@@ -1,0 +1,102 @@
+// §6.1 evaluation axes "consensus algorithms / network size / difficulty":
+// the same transaction stream committed under PoW, PoS, PBFT, and Raft,
+// sweeping validator count, plus a PoW difficulty sweep. Expected shapes:
+// PBFT messages O(n²) vs Raft O(n); PoS cheap; PoW latency doubling per
+// difficulty bit (BlockCloud's motivation for PoS over PoW).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "consensus/engine.h"
+
+namespace {
+
+using namespace provledger;  // benchmark driver
+
+consensus::ConsensusConfig Config(uint32_t nodes) {
+  consensus::ConsensusConfig config;
+  config.num_nodes = nodes;
+  config.seed = 12345;
+  config.pow_difficulty_bits = 10;
+  return config;
+}
+
+void PrintComparisonTable() {
+  std::printf("== Consensus comparison (10 blocks each; simulated) ==\n\n");
+  std::printf("  %-6s %6s %12s %12s %14s %14s\n", "engine", "nodes",
+              "msgs/commit", "bytes/commit", "latency us", "hash attempts");
+  for (uint32_t nodes : {4u, 8u, 16u, 32u}) {
+    for (const char* kind : {"pow", "pos", "pbft", "raft"}) {
+      auto engine = consensus::MakeEngine(kind, Config(nodes));
+      if (!engine.ok()) continue;
+      uint64_t messages = 0, bytes = 0, attempts = 0;
+      int64_t latency = 0;
+      const int kBlocks = 10;
+      bool failed = false;
+      for (int b = 0; b < kBlocks; ++b) {
+        auto result =
+            engine.value()->Propose(ToBytes("block-" + std::to_string(b)));
+        if (!result.ok()) {
+          failed = true;
+          break;
+        }
+        messages += result->metrics.messages;
+        bytes += result->metrics.bytes;
+        latency += result->metrics.latency_us;
+        attempts += result->metrics.hash_attempts;
+      }
+      if (failed) continue;
+      std::printf("  %-6s %6u %12.0f %12.0f %14.0f %14.0f\n", kind, nodes,
+                  static_cast<double>(messages) / kBlocks,
+                  static_cast<double>(bytes) / kBlocks,
+                  static_cast<double>(latency) / kBlocks,
+                  static_cast<double>(attempts) / kBlocks);
+    }
+  }
+  std::printf("\n== PoW difficulty sweep (5 blocks each) ==\n\n");
+  std::printf("  %-10s %16s %16s\n", "difficulty", "attempts/block",
+              "sim latency us");
+  for (uint32_t bits : {6u, 8u, 10u, 12u, 14u, 16u}) {
+    consensus::ConsensusConfig config = Config(4);
+    config.pow_difficulty_bits = bits;
+    auto engine = consensus::MakeEngine("pow", config);
+    uint64_t attempts = 0;
+    int64_t latency = 0;
+    const int kBlocks = 5;
+    for (int b = 0; b < kBlocks; ++b) {
+      auto result =
+          engine.value()->Propose(ToBytes("b" + std::to_string(b)));
+      attempts += result->metrics.hash_attempts;
+      latency += result->metrics.latency_us;
+    }
+    std::printf("  %-10u %16.0f %16.0f\n", bits,
+                static_cast<double>(attempts) / kBlocks,
+                static_cast<double>(latency) / kBlocks);
+  }
+  std::printf("\n");
+}
+
+void BM_Consensus(benchmark::State& state, const char* kind) {
+  auto engine =
+      consensus::MakeEngine(kind, Config(static_cast<uint32_t>(state.range(0))));
+  uint64_t b = 0;
+  for (auto _ : state) {
+    auto result = engine.value()->Propose(ToBytes("b" + std::to_string(b++)));
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(b));
+}
+BENCHMARK_CAPTURE(BM_Consensus, pow, "pow")->Arg(4)->Arg(16);
+BENCHMARK_CAPTURE(BM_Consensus, pos, "pos")->Arg(4)->Arg(16);
+BENCHMARK_CAPTURE(BM_Consensus, pbft, "pbft")->Arg(4)->Arg(16);
+BENCHMARK_CAPTURE(BM_Consensus, raft, "raft")->Arg(4)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintComparisonTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

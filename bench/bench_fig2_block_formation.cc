@@ -1,0 +1,114 @@
+// Reproduces Figure 2 (block/chain structure) as measurements: block
+// formation and validation cost vs transactions per block, chain
+// verification vs length, and the immutability sweep — mutate block k of a
+// 64-block chain and confirm detection at every k (the hash-chain property
+// the paper's Figure 2 illustrates).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "ledger/chain.h"
+
+namespace {
+
+using namespace provledger;  // benchmark driver
+
+std::vector<ledger::Transaction> MakeTxs(size_t n, uint64_t salt) {
+  std::vector<ledger::Transaction> txs;
+  txs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    txs.push_back(ledger::Transaction::MakeSystem(
+        "data", "bench", ToBytes("payload-" + std::to_string(salt * 100000 + i)),
+        1000, salt * 100000 + i));
+  }
+  return txs;
+}
+
+void PrintTamperSweep() {
+  std::printf("== Figure 2: hash-chained blocks — tamper-evidence sweep ==\n");
+  std::printf("(mutate one tx in block k of a 64-block chain; VerifyIntegrity"
+              " must fail for every k)\n\n");
+  const int kBlocks = 64;
+  int detected = 0;
+  for (int k = 1; k <= kBlocks; ++k) {
+    ledger::Blockchain chain;
+    for (int b = 1; b <= kBlocks; ++b) {
+      (void)chain.Append(MakeTxs(4, static_cast<uint64_t>(b)), 1000 + b,
+                         "node");
+    }
+    (void)chain.TamperForTesting(static_cast<uint64_t>(k), 0, 0xFF);
+    if (chain.VerifyIntegrity().IsCorruption()) ++detected;
+  }
+  std::printf("  tampered heights tested : %d\n", kBlocks);
+  std::printf("  tampering detected      : %d (%.1f%%)\n\n", detected,
+              100.0 * detected / kBlocks);
+}
+
+void BM_BlockFormation(benchmark::State& state) {
+  const size_t txs_per_block = static_cast<size_t>(state.range(0));
+  uint64_t salt = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto txs = MakeTxs(txs_per_block, salt++);
+    state.ResumeTiming();
+    ledger::Block block =
+        ledger::Block::Make(1, crypto::ZeroDigest(), std::move(txs), 1000, "n");
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(txs_per_block));
+}
+BENCHMARK(BM_BlockFormation)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BlockValidationAppend(benchmark::State& state) {
+  const size_t txs_per_block = static_cast<size_t>(state.range(0));
+  ledger::Blockchain chain;
+  uint64_t salt = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto txs = MakeTxs(txs_per_block, salt++);
+    state.ResumeTiming();
+    auto hash = chain.Append(std::move(txs), 1000 + static_cast<int64_t>(salt),
+                             "node");
+    benchmark::DoNotOptimize(hash);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(txs_per_block));
+}
+BENCHMARK(BM_BlockValidationAppend)->Arg(16)->Arg(256)->Arg(1024);
+
+void BM_ChainVerifyIntegrity(benchmark::State& state) {
+  const size_t blocks = static_cast<size_t>(state.range(0));
+  ledger::Blockchain chain;
+  for (size_t b = 1; b <= blocks; ++b) {
+    (void)chain.Append(MakeTxs(8, b), 1000 + static_cast<int64_t>(b), "n");
+  }
+  for (auto _ : state) {
+    Status s = chain.VerifyIntegrity();
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(blocks));
+}
+BENCHMARK(BM_ChainVerifyIntegrity)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_TxInclusionProof(benchmark::State& state) {
+  const size_t txs_per_block = static_cast<size_t>(state.range(0));
+  ledger::Blockchain chain;
+  auto txs = MakeTxs(txs_per_block, 1);
+  (void)chain.Append(txs, 1000, "n");
+  for (auto _ : state) {
+    auto proof = chain.ProveTransaction(txs[txs_per_block / 2].Id());
+    benchmark::DoNotOptimize(proof);
+  }
+}
+BENCHMARK(BM_TxInclusionProof)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTamperSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

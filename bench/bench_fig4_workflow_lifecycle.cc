@@ -1,0 +1,111 @@
+// Reproduces Figure 4 (life cycle of scientific workflows) as measured
+// series: cost of each lifecycle phase (design / execute / publish /
+// invalidate / re-execute) over fan-out x depth DAG shapes. Expected
+// shape: invalidation cascade + re-execution cost is proportional to the
+// affected subgraph, not the whole workflow (SciBlock/SciLedger's point).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "domains/scientific/workflow.h"
+
+namespace {
+
+using namespace provledger;  // benchmark driver
+
+// Layered DAG: `depth` layers of `width` tasks; each task depends on every
+// task of the previous layer.
+void BuildWorkflow(scientific::WorkflowManager* wm, const std::string& wf,
+                   size_t depth, size_t width) {
+  (void)wm->CreateWorkflow(wf, "lab");
+  std::vector<std::string> previous;
+  for (size_t layer = 0; layer < depth; ++layer) {
+    std::vector<std::string> current;
+    for (size_t i = 0; i < width; ++i) {
+      std::string task =
+          "t" + std::to_string(layer) + "-" + std::to_string(i);
+      (void)wm->AddTask(wf, task, "op", previous);
+      current.push_back(task);
+    }
+    previous = std::move(current);
+  }
+}
+
+void PrintLifecycleTable() {
+  std::printf("== Figure 4: workflow lifecycle (reproduced) ==\n\n");
+  std::printf("  %-12s %8s %12s %16s %14s\n", "DAG (d x w)", "tasks",
+              "executed", "invalidated@L1", "re-executed");
+  for (auto [depth, width] : {std::pair<size_t, size_t>{3, 2},
+                              {4, 3},
+                              {5, 4},
+                              {6, 5}}) {
+    ledger::Blockchain chain;
+    SimClock clock(0);
+    prov::ProvenanceStore store(&chain, &clock);
+    scientific::WorkflowManager wm(&store, &clock);
+    BuildWorkflow(&wm, "wf", depth, width);
+    auto executed = wm.ExecuteAll("wf", "alice");
+    (void)wm.Publish("wf");
+
+    // Invalidate one task in layer 1: everything below it cascades; layer 0
+    // is untouched.
+    auto invalidated = wm.InvalidateTask("wf", "t1-0", "bad parameter");
+    auto plan = wm.ReexecutionPlan("wf");
+    size_t reexecuted = 0;
+    for (const auto& task : plan.value()) {
+      if (wm.ReexecuteTask("wf", task, "alice").ok()) ++reexecuted;
+    }
+    std::printf("  %zux%-9zu %8zu %12zu %16zu %14zu\n", depth, width,
+                depth * width, executed.value(), invalidated->size(),
+                reexecuted);
+  }
+  std::printf("\n(invalidating a leaf touches only itself; invalidating the"
+              " root touches everything)\n\n");
+}
+
+void BM_ExecuteTask(benchmark::State& state) {
+  ledger::Blockchain chain;
+  SimClock clock(0);
+  prov::ProvenanceStore store(&chain, &clock);
+  scientific::WorkflowManager wm(&store, &clock);
+  (void)wm.CreateWorkflow("wf", "lab");
+  uint64_t i = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string task = "task-" + std::to_string(i++);
+    (void)wm.AddTask("wf", task, "op");
+    state.ResumeTiming();
+    Status s = wm.ExecuteTask("wf", task, "alice");
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_ExecuteTask);
+
+void BM_InvalidationCascade(benchmark::State& state) {
+  const size_t depth = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    ledger::Blockchain chain;
+    SimClock clock(0);
+    prov::ProvenanceStore store(&chain, &clock);
+    scientific::WorkflowManager wm(&store, &clock);
+    BuildWorkflow(&wm, "wf", depth, 3);
+    (void)wm.ExecuteAll("wf", "alice");
+    state.ResumeTiming();
+    auto invalidated = wm.InvalidateTask("wf", "t0-0", "x");
+    benchmark::DoNotOptimize(invalidated);
+  }
+  state.SetLabel("depth=" + std::to_string(depth));
+}
+BENCHMARK(BM_InvalidationCascade)->Arg(3)->Arg(5)->Arg(7);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintLifecycleTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,131 @@
+// §6.1 "storage performance overhead": full-on-chain payloads vs the
+// hash-on-chain / bytes-off-chain (IPFS) pattern used by [33], HealthBlock,
+// and Ahmed et al. Expected shape: on-chain bytes per record collapse to a
+// near-constant with the off-chain pattern, at the price of one content-
+// store indirection on retrieval.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "prov/store.h"
+#include "storage/content_store.h"
+
+namespace {
+
+using namespace provledger;  // benchmark driver
+
+void PrintOverheadTable() {
+  std::printf("== Storage overhead: on-chain payloads vs hash-on-chain ==\n\n");
+  std::printf("  %-12s %18s %18s %9s\n", "payload B", "on-chain B/rec",
+              "hash-mode B/rec", "ratio");
+  const int kRecords = 64;
+  for (size_t payload : {64u, 256u, 1024u, 4096u, 16384u}) {
+    Rng rng(7);
+    // Mode A: payload embedded in the record fields (on-chain).
+    ledger::Blockchain chain_a;
+    SimClock clock_a(0);
+    prov::ProvenanceStore store_a(&chain_a, &clock_a);
+    size_t base_a = chain_a.ApproximateBytes();
+    for (int i = 0; i < kRecords; ++i) {
+      prov::ProvenanceRecord rec;
+      rec.record_id = "a-" + std::to_string(i);
+      rec.operation = "store";
+      rec.subject = "obj-" + std::to_string(i);
+      rec.agent = "u";
+      rec.timestamp = i;
+      rec.fields["data"] = BytesToString(rng.NextBytes(payload));
+      (void)store_a.Anchor(rec);
+    }
+    double onchain =
+        static_cast<double>(chain_a.ApproximateBytes() - base_a) / kRecords;
+
+    // Mode B: payload in the content store, hash on chain.
+    ledger::Blockchain chain_b;
+    SimClock clock_b(0);
+    prov::ProvenanceStore store_b(&chain_b, &clock_b);
+    storage::ContentStore content;
+    size_t base_b = chain_b.ApproximateBytes();
+    for (int i = 0; i < kRecords; ++i) {
+      prov::ProvenanceRecord rec;
+      rec.record_id = "b-" + std::to_string(i);
+      rec.operation = "store";
+      rec.subject = "obj-" + std::to_string(i);
+      rec.agent = "u";
+      rec.timestamp = i;
+      rec.payload_hash = content.Put(rng.NextBytes(payload));
+      (void)store_b.Anchor(rec);
+    }
+    double hashed =
+        static_cast<double>(chain_b.ApproximateBytes() - base_b) / kRecords;
+    std::printf("  %-12zu %18.0f %18.0f %8.1fx\n", payload, onchain, hashed,
+                onchain / hashed);
+  }
+  std::printf("\n");
+}
+
+void BM_AnchorOnChainPayload(benchmark::State& state) {
+  const size_t payload = static_cast<size_t>(state.range(0));
+  ledger::Blockchain chain;
+  SimClock clock(0);
+  prov::ProvenanceStore store(&chain, &clock);
+  Rng rng(3);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    prov::ProvenanceRecord rec;
+    rec.record_id = "r-" + std::to_string(i++);
+    rec.operation = "store";
+    rec.subject = "o";
+    rec.agent = "u";
+    rec.fields["data"] = BytesToString(rng.NextBytes(payload));
+    Status s = store.Anchor(rec);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(payload) * state.iterations());
+}
+BENCHMARK(BM_AnchorOnChainPayload)->Arg(256)->Arg(4096);
+
+void BM_AnchorHashOnly(benchmark::State& state) {
+  const size_t payload = static_cast<size_t>(state.range(0));
+  ledger::Blockchain chain;
+  SimClock clock(0);
+  prov::ProvenanceStore store(&chain, &clock);
+  storage::ContentStore content;
+  Rng rng(3);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    prov::ProvenanceRecord rec;
+    rec.record_id = "r-" + std::to_string(i++);
+    rec.operation = "store";
+    rec.subject = "o";
+    rec.agent = "u";
+    rec.payload_hash = content.Put(rng.NextBytes(payload));
+    Status s = store.Anchor(rec);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(payload) * state.iterations());
+}
+BENCHMARK(BM_AnchorHashOnly)->Arg(256)->Arg(4096);
+
+void BM_RetrieveWithIndirection(benchmark::State& state) {
+  storage::ContentStore content;
+  Rng rng(3);
+  std::vector<crypto::Digest> cids;
+  for (int i = 0; i < 64; ++i) cids.push_back(content.Put(rng.NextBytes(4096)));
+  size_t i = 0;
+  for (auto _ : state) {
+    auto blob = content.GetVerified(cids[i++ % cids.size()]);
+    benchmark::DoNotOptimize(blob);
+  }
+}
+BENCHMARK(BM_RetrieveWithIndirection);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintOverheadTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Reproduces Table 1 of the paper ("Provenance Record Fields"): the three
+// domain schemas — product supply chain, digital forensics, scientific
+// collaboration — as *measured* artifacts: each field column is populated
+// by the record builders, records round-trip through the canonical codec,
+// and we report encoded size and capture (anchor) throughput per schema.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "prov/store.h"
+
+namespace {
+
+using namespace provledger;  // benchmark driver
+
+prov::ProvenanceRecord SampleRecord(prov::Domain domain, uint64_t i) {
+  const std::string id = "rec-" + std::to_string(i);
+  switch (domain) {
+    case prov::Domain::kSupplyChain:
+      return prov::MakeSupplyChainRecord(
+          id, "transfer", "prod-" + std::to_string(i % 100), "dist-co", 1000,
+          "batch-7", "2026-01/2028-01", "factory>dc>pharmacy", "vaccine",
+          "mfg-42", "qr://prod");
+    case prov::Domain::kForensics:
+      return prov::MakeForensicsRecord(
+          id, "collect", "ev-" + std::to_string(i % 100), "investigator-1",
+          1000, "case-2026-07", "collection", "2026-06-01", "",
+          "img,txt,log", "read:12,write:3,copy:1", "ev-prior");
+    default:
+      return prov::MakeScientificRecord(
+          id, "execute", "task-" + std::to_string(i % 100), "lab-a", 1000,
+          "wf-1", "412ms", "researcher-9", "dataset-17", "result-17", "");
+  }
+}
+
+void PrintTable1() {
+  std::printf("== Table 1: Provenance Record Fields (reproduced) ==\n\n");
+  struct Column {
+    const char* title;
+    prov::Domain domain;
+  };
+  const Column columns[] = {
+      {"Product Supply Chain", prov::Domain::kSupplyChain},
+      {"Digital Forensics", prov::Domain::kForensics},
+      {"Scientific Collaboration", prov::Domain::kScientific},
+  };
+  for (const auto& column : columns) {
+    prov::ProvenanceRecord sample = SampleRecord(column.domain, 1);
+    std::printf("%-26s (%zu required fields, %zu bytes encoded)\n",
+                column.title, prov::RequiredFields(column.domain).size(),
+                sample.Encode().size());
+    for (const auto& field : prov::RequiredFields(column.domain)) {
+      std::printf("    %-22s = %s\n", field.c_str(),
+                  sample.fields.at(field).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+void BM_EncodeRecord(benchmark::State& state) {
+  auto domain = static_cast<prov::Domain>(state.range(0));
+  prov::ProvenanceRecord rec = SampleRecord(domain, 7);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    Bytes enc = rec.Encode();
+    bytes += enc.size();
+    benchmark::DoNotOptimize(enc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+  state.SetLabel(prov::DomainName(domain));
+}
+BENCHMARK(BM_EncodeRecord)
+    ->Arg(static_cast<int>(prov::Domain::kSupplyChain))
+    ->Arg(static_cast<int>(prov::Domain::kForensics))
+    ->Arg(static_cast<int>(prov::Domain::kScientific));
+
+void BM_DecodeRecord(benchmark::State& state) {
+  auto domain = static_cast<prov::Domain>(state.range(0));
+  Bytes enc = SampleRecord(domain, 7).Encode();
+  for (auto _ : state) {
+    auto rec = prov::ProvenanceRecord::Decode(enc);
+    benchmark::DoNotOptimize(rec);
+  }
+  state.SetLabel(prov::DomainName(domain));
+}
+BENCHMARK(BM_DecodeRecord)
+    ->Arg(static_cast<int>(prov::Domain::kSupplyChain))
+    ->Arg(static_cast<int>(prov::Domain::kForensics))
+    ->Arg(static_cast<int>(prov::Domain::kScientific));
+
+void BM_AnchorRecord(benchmark::State& state) {
+  auto domain = static_cast<prov::Domain>(state.range(0));
+  ledger::Blockchain chain;
+  SimClock clock(0);
+  prov::ProvenanceStore store(&chain, &clock);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    Status s = store.Anchor(SampleRecord(domain, i++));
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+  state.SetLabel(prov::DomainName(domain));
+}
+BENCHMARK(BM_AnchorRecord)
+    ->Arg(static_cast<int>(prov::Domain::kSupplyChain))
+    ->Arg(static_cast<int>(prov::Domain::kForensics))
+    ->Arg(static_cast<int>(prov::Domain::kScientific));
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

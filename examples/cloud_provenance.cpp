@@ -1,0 +1,57 @@
+// RQ1 scenario (ProvChain): a single user's cloud files, every operation
+// anchored; an auditor verifies the whole history; on-chain identities are
+// anonymized; tampering with either the ledger or the stored content is
+// detected.
+//
+// Build & run:  ./build/examples/cloud_provenance
+
+#include <cstdio>
+
+#include "cloud/cloud_store.h"
+
+using namespace provledger;  // example code; library code never does this
+
+int main() {
+  std::printf("=== Cloud storage provenance (RQ1 / ProvChain) ===\n\n");
+
+  ledger::Blockchain chain;
+  SimClock clock(0);
+  prov::ProvenanceStoreOptions opts;
+  opts.hash_agent_ids = true;  // ProvChain privacy: anonymize users on-chain
+  prov::ProvenanceStore store(&chain, &clock, opts);
+  storage::ContentStore content;
+  cloud::CloudStore cloud(&store, &content, &clock);
+  cloud::CloudAuditor auditor(&store);
+
+  // A user's day: create, edit, share, collaborator edits, read back.
+  (void)cloud.CreateFile("alice", "thesis.tex", ToBytes("\\chapter{Intro}"));
+  (void)cloud.UpdateFile("alice", "thesis.tex",
+                         ToBytes("\\chapter{Intro} more text"));
+  (void)cloud.ShareFile("alice", "thesis.tex", "advisor");
+  (void)cloud.UpdateFile("advisor", "thesis.tex",
+                         ToBytes("\\chapter{Intro} reviewed"));
+  auto denied = cloud.ReadFile("stranger", "thesis.tex");
+  std::printf("stranger reads thesis.tex: %s\n",
+              denied.status().ToString().c_str());
+
+  // The file's complete history, as anchored.
+  std::printf("\nhistory of thesis.tex (agents are anonymized on-chain):\n");
+  for (const auto& rec : cloud.FileHistory("thesis.tex")) {
+    std::printf("  v%s %-12s by %s\n", rec.fields.at("version").c_str(),
+                rec.operation.c_str(), rec.agent.c_str());
+  }
+
+  // Auditor verifies everything with Merkle proofs.
+  auto audit = auditor.AuditEverything();
+  std::printf("\nauditor verified %zu records: OK\n", audit.value());
+
+  // Tamper with the ledger -> the auditor notices.
+  (void)chain.TamperForTesting(2, 0, 0x99);
+  std::printf("after ledger tampering, audit says: %s\n",
+              auditor.AuditEverything().status().ToString().c_str());
+
+  std::printf("\nchain: %llu blocks, %zu cloud operations recorded\n",
+              static_cast<unsigned long long>(chain.height()),
+              cloud.operation_count());
+  return 0;
+}

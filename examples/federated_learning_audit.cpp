@@ -1,0 +1,86 @@
+// Federated-learning audit scenario (§4.4): hospitals train a shared model;
+// 40% of them are poisoned. Plain FedAvg collapses, the BlockDFL-style
+// pipeline (committee voting + reputation + compression) stays stable, the
+// asset DAG answers "which datasets shaped this model?" for fair
+// compensation, and every round is anchored for training auditability.
+//
+// Build & run:  ./build/examples/federated_learning_audit
+
+#include <cstdio>
+
+#include "domains/ml/asset_graph.h"
+#include "domains/ml/federated.h"
+
+using namespace provledger;  // example code; library code never does this
+
+int main() {
+  std::printf("=== Federated learning with provenance ===\n\n");
+
+  ledger::Blockchain chain;
+  SimClock clock(0);
+  prov::ProvenanceStore store(&chain, &clock);
+
+  // --- Asset registration (Lüthi et al.'s dataset/operation/model DAG) ----
+  ml::AssetGraph assets(&store, &clock);
+  (void)assets.RegisterDataset("ds-hospital-a", "hospital-a");
+  (void)assets.RegisterDataset("ds-hospital-b", "hospital-b");
+  (void)assets.RegisterDataset("ds-hospital-c", "hospital-c");
+  (void)assets.RegisterDerivedDataset("ds-harmonized", "consortium",
+                                      "harmonize",
+                                      {"ds-hospital-a", "ds-hospital-b"});
+  (void)assets.RegisterModel("diabetes-model-v1", "consortium", "fl-train",
+                             {"ds-harmonized", "ds-hospital-c"});
+  auto contributors = assets.Contributors("diabetes-model-v1");
+  std::printf("fair-compensation set for diabetes-model-v1:");
+  for (const auto& org : contributors) std::printf(" %s", org.c_str());
+  std::printf("\n\n");
+
+  // --- Training under attack ----------------------------------------------
+  const double kAttackers = 0.4;
+  ml::FlConfig base;
+  base.num_workers = 20;
+  base.attacker_fraction = kAttackers;
+  base.seed = 11;
+
+  ml::FlConfig fedavg = base;
+  fedavg.aggregation = ml::Aggregation::kFedAvg;
+  ml::FederatedLearning undefended(fedavg, nullptr, nullptr);
+
+  ml::FlConfig blockdfl = base;
+  blockdfl.aggregation = ml::Aggregation::kBlockDfl;
+  ml::FederatedLearning defended(blockdfl, &store, &clock);
+
+  std::printf("round |  fedavg error | blockdfl error\n");
+  std::printf("------+---------------+---------------\n");
+  for (int round = 1; round <= 25; ++round) {
+    auto u = undefended.RunRound();
+    auto d = defended.RunRound();
+    if (round % 5 == 0 || round == 1) {
+      std::printf("%5d | %13.4f | %14.4f\n", round, u.model_error,
+                  d.model_error);
+    }
+  }
+
+  std::printf("\nwith %.0f%% poisoned workers: FedAvg error %.3f vs "
+              "BlockDFL %.3f\n",
+              kAttackers * 100, undefended.model_error(),
+              defended.model_error());
+
+  // --- Reputation has isolated the attackers -------------------------------
+  size_t excluded = 0;
+  for (size_t w = 0; w < blockdfl.num_workers; ++w) {
+    if (defended.excluded(w)) ++excluded;
+  }
+  std::printf("workers excluded by reputation: %zu of %zu\n", excluded,
+              blockdfl.num_workers);
+
+  // --- Every round is on the ledger ----------------------------------------
+  auto rounds = store.SubjectHistory("global-model");
+  std::printf("\ntraining rounds anchored: %zu (first: accepted=%s "
+              "rejected=%s)\n",
+              rounds.size(), rounds.front().fields.at("accepted").c_str(),
+              rounds.front().fields.at("rejected").c_str());
+  std::printf("ledger integrity: %s\n",
+              chain.VerifyIntegrity().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Quickstart: the core ProvLedger loop in ~60 lines of API use.
+//
+//   1. create a blockchain + provenance store,
+//   2. anchor a few provenance records (who did what to which artifact),
+//   3. query history and lineage,
+//   4. verify a record with a Merkle proof,
+//   5. demonstrate tamper evidence.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "prov/store.h"
+
+using provledger::SimClock;
+using provledger::crypto::DigestHex;
+using provledger::ledger::Blockchain;
+using provledger::prov::Domain;
+using provledger::prov::ProvenanceRecord;
+using provledger::prov::ProvenanceStore;
+
+namespace {
+ProvenanceRecord MakeRecord(const std::string& id, const std::string& op,
+                            const std::string& subject,
+                            const std::string& agent,
+                            std::vector<std::string> inputs,
+                            provledger::Timestamp ts) {
+  ProvenanceRecord rec;
+  rec.record_id = id;
+  rec.domain = Domain::kGeneric;
+  rec.operation = op;
+  rec.subject = subject;
+  rec.agent = agent;
+  rec.timestamp = ts;
+  rec.inputs = std::move(inputs);
+  return rec;
+}
+}  // namespace
+
+int main() {
+  std::printf("=== ProvLedger quickstart ===\n\n");
+
+  Blockchain chain;
+  SimClock clock(1'000'000);
+  ProvenanceStore store(&chain, &clock);
+
+  // 1. Record a small data pipeline: raw.csv -> clean.csv -> report.pdf.
+  (void)store.Anchor(MakeRecord("r1", "create", "raw.csv", "alice", {}, 100));
+  (void)store.Anchor(
+      MakeRecord("r2", "clean", "clean.csv", "bob", {"raw.csv"}, 200));
+  (void)store.Anchor(
+      MakeRecord("r3", "report", "report.pdf", "carol", {"clean.csv"}, 300));
+  std::printf("anchored %zu records across %llu blocks\n",
+              store.anchored_count(),
+              static_cast<unsigned long long>(chain.height()));
+
+  // 2. Query: where did report.pdf come from?
+  std::printf("\nlineage of report.pdf:\n");
+  for (const auto& ancestor : store.Lineage("report.pdf")) {
+    std::printf("  <- %s\n", ancestor.c_str());
+  }
+
+  // 3. Who touched clean.csv?
+  std::printf("\nhistory of clean.csv:\n");
+  for (const auto& rec : store.SubjectHistory("clean.csv")) {
+    std::printf("  [%s] %s by %s\n", rec.record_id.c_str(),
+                rec.operation.c_str(), rec.agent.c_str());
+  }
+
+  // 4. Verify record r2 cryptographically (what an auditor does).
+  auto record = store.GetRecord("r2");
+  auto proof = store.ProveRecord("r2");
+  if (record.ok() && proof.ok() &&
+      store.VerifyRecordProof(record.value(), proof.value())) {
+    std::printf("\nrecord r2 verified against block %s (height %llu)\n",
+                DigestHex(proof->block_hash).substr(0, 12).c_str(),
+                static_cast<unsigned long long>(proof->header.height));
+  }
+
+  // 5. Tamper evidence: mutate history, watch verification break.
+  (void)chain.TamperForTesting(2, 0, 0xFF);
+  std::printf("\nafter tampering with block 2: chain integrity = %s\n",
+              chain.VerifyIntegrity().ToString().c_str());
+
+  std::printf("\nquickstart complete.\n");
+  return 0;
+}

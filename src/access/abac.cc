@@ -1,0 +1,69 @@
+#include "access/abac.h"
+
+#include <sstream>
+
+namespace provledger {
+namespace access {
+
+bool AbacCondition::Matches(const Attributes& subject,
+                            const Attributes& resource,
+                            const Attributes& environment) const {
+  const Attributes* bag = nullptr;
+  switch (scope) {
+    case Scope::kSubject:
+      bag = &subject;
+      break;
+    case Scope::kResource:
+      bag = &resource;
+      break;
+    case Scope::kEnvironment:
+      bag = &environment;
+      break;
+  }
+  auto it = bag->find(attribute);
+  if (it == bag->end()) return false;
+  const std::string& actual = it->second;
+
+  switch (op) {
+    case Op::kEquals:
+      return actual == value;
+    case Op::kNotEquals:
+      return actual != value;
+    case Op::kIn: {
+      std::stringstream ss(value);
+      std::string alternative;
+      while (std::getline(ss, alternative, ',')) {
+        if (actual == alternative) return true;
+      }
+      return false;
+    }
+    case Op::kPrefix:
+      return actual.compare(0, value.size(), value) == 0;
+  }
+  return false;
+}
+
+void AbacPolicy::AddRule(AbacRule rule) { rules_.push_back(std::move(rule)); }
+
+bool AbacPolicy::Check(const Attributes& subject, const std::string& action,
+                       const Attributes& resource,
+                       const Attributes& environment) const {
+  bool allowed = false;
+  for (const auto& rule : rules_) {
+    if (rule.action != "*" && rule.action != action) continue;
+    bool all_match = true;
+    for (const auto& cond : rule.conditions) {
+      if (!cond.Matches(subject, resource, environment)) {
+        all_match = false;
+        break;
+      }
+    }
+    if (!all_match) continue;
+    if (!rule.allow) return false;  // deny overrides
+    allowed = true;
+  }
+  return allowed;
+}
+
+}  // namespace access
+}  // namespace provledger

@@ -1,0 +1,64 @@
+// Attribute-based access control (§6.1): policies are rules over subject,
+// resource, and environment attributes. More expressive than RBAC (and
+// correspondingly slower to evaluate — bench_access_control measures the
+// gap the paper's design-considerations section alludes to).
+
+#ifndef PROVLEDGER_ACCESS_ABAC_H_
+#define PROVLEDGER_ACCESS_ABAC_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace provledger {
+namespace access {
+
+/// Attribute bag: name -> value.
+using Attributes = std::map<std::string, std::string>;
+
+/// \brief One condition inside a rule.
+struct AbacCondition {
+  enum class Scope : uint8_t { kSubject, kResource, kEnvironment };
+  enum class Op : uint8_t { kEquals, kNotEquals, kIn, kPrefix };
+
+  Scope scope = Scope::kSubject;
+  std::string attribute;
+  Op op = Op::kEquals;
+  /// For kIn, `value` holds comma-separated alternatives.
+  std::string value;
+
+  bool Matches(const Attributes& subject, const Attributes& resource,
+               const Attributes& environment) const;
+};
+
+/// \brief A rule: if all conditions match for the given action, the effect
+/// applies. Deny overrides allow.
+struct AbacRule {
+  std::string id;
+  std::string action;  // "*" matches any action
+  std::vector<AbacCondition> conditions;
+  bool allow = true;
+};
+
+/// \brief Policy: ordered rule list with deny-overrides combining.
+class AbacPolicy {
+ public:
+  void AddRule(AbacRule rule);
+  size_t rule_count() const { return rules_.size(); }
+
+  /// Evaluate an access request. Default-deny: no matching allow => false.
+  bool Check(const Attributes& subject, const std::string& action,
+             const Attributes& resource,
+             const Attributes& environment = {}) const;
+
+ private:
+  std::vector<AbacRule> rules_;
+};
+
+}  // namespace access
+}  // namespace provledger
+
+#endif  // PROVLEDGER_ACCESS_ABAC_H_

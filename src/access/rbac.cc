@@ -1,0 +1,69 @@
+#include "access/rbac.h"
+
+namespace provledger {
+namespace access {
+
+void RbacPolicy::DefineRole(const std::string& role) { roles_[role]; }
+
+Status RbacPolicy::GrantPermission(const std::string& role,
+                                   const std::string& permission) {
+  auto it = roles_.find(role);
+  if (it == roles_.end()) return Status::NotFound("no such role: " + role);
+  it->second.insert(permission);
+  return Status::OK();
+}
+
+Status RbacPolicy::RevokePermission(const std::string& role,
+                                    const std::string& permission) {
+  auto it = roles_.find(role);
+  if (it == roles_.end()) return Status::NotFound("no such role: " + role);
+  it->second.erase(permission);
+  return Status::OK();
+}
+
+Status RbacPolicy::AssignRole(const std::string& principal,
+                              const std::string& role) {
+  if (!roles_.count(role)) return Status::NotFound("no such role: " + role);
+  assignments_[principal].insert(role);
+  return Status::OK();
+}
+
+Status RbacPolicy::UnassignRole(const std::string& principal,
+                                const std::string& role) {
+  auto it = assignments_.find(principal);
+  if (it == assignments_.end() || !it->second.count(role)) {
+    return Status::NotFound("principal does not hold role: " + role);
+  }
+  it->second.erase(role);
+  return Status::OK();
+}
+
+bool RbacPolicy::Check(const std::string& principal,
+                       const std::string& permission) const {
+  auto it = assignments_.find(principal);
+  if (it == assignments_.end()) return false;
+  for (const auto& role : it->second) {
+    auto role_it = roles_.find(role);
+    if (role_it != roles_.end() && role_it->second.count(permission)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> RbacPolicy::RolesOf(
+    const std::string& principal) const {
+  auto it = assignments_.find(principal);
+  if (it == assignments_.end()) return {};
+  return std::vector<std::string>(it->second.begin(), it->second.end());
+}
+
+std::vector<std::string> RbacPolicy::PermissionsOf(
+    const std::string& role) const {
+  auto it = roles_.find(role);
+  if (it == roles_.end()) return {};
+  return std::vector<std::string>(it->second.begin(), it->second.end());
+}
+
+}  // namespace access
+}  // namespace provledger

@@ -1,0 +1,48 @@
+// Role-based access control (§6.1 "Access Control"): roles aggregate
+// permissions; principals hold roles. Used directly by the healthcare and
+// forensics domains, and as the baseline in bench_access_control.
+
+#ifndef PROVLEDGER_ACCESS_RBAC_H_
+#define PROVLEDGER_ACCESS_RBAC_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace provledger {
+namespace access {
+
+/// \brief Role/permission registry with principal-role assignment.
+class RbacPolicy {
+ public:
+  /// Define a role (idempotent) and attach permissions to it.
+  void DefineRole(const std::string& role);
+  Status GrantPermission(const std::string& role,
+                         const std::string& permission);
+  Status RevokePermission(const std::string& role,
+                          const std::string& permission);
+
+  /// Assign/remove a role for a principal.
+  Status AssignRole(const std::string& principal, const std::string& role);
+  Status UnassignRole(const std::string& principal, const std::string& role);
+
+  /// True iff any of the principal's roles carries the permission.
+  bool Check(const std::string& principal,
+             const std::string& permission) const;
+
+  std::vector<std::string> RolesOf(const std::string& principal) const;
+  std::vector<std::string> PermissionsOf(const std::string& role) const;
+  size_t role_count() const { return roles_.size(); }
+
+ private:
+  std::map<std::string, std::set<std::string>> roles_;       // role -> perms
+  std::map<std::string, std::set<std::string>> assignments_; // who -> roles
+};
+
+}  // namespace access
+}  // namespace provledger
+
+#endif  // PROVLEDGER_ACCESS_RBAC_H_

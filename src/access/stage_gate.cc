@@ -1,0 +1,97 @@
+#include "access/stage_gate.h"
+
+namespace provledger {
+namespace access {
+
+StageGate::StageGate(std::vector<std::string> stages)
+    : stages_(std::move(stages)) {
+  for (size_t i = 0; i < stages_.size(); ++i) stage_index_[stages_[i]] = i;
+}
+
+Status StageGate::AllowInStage(const std::string& stage,
+                               const std::string& role,
+                               const std::string& action) {
+  if (!stage_index_.count(stage)) {
+    return Status::NotFound("no such stage: " + stage);
+  }
+  gates_[stage][role].insert(action);
+  return Status::OK();
+}
+
+Status StageGate::AllowTransition(const std::string& stage,
+                                  const std::string& role) {
+  if (!stage_index_.count(stage)) {
+    return Status::NotFound("no such stage: " + stage);
+  }
+  transition_roles_[stage].insert(role);
+  return Status::OK();
+}
+
+Status StageGate::StartProcess(const std::string& process) {
+  if (stages_.empty()) {
+    return Status::FailedPrecondition("no stages defined");
+  }
+  if (processes_.count(process)) {
+    return Status::AlreadyExists("process already started: " + process);
+  }
+  processes_[process] = 0;
+  return Status::OK();
+}
+
+Result<std::string> StageGate::CurrentStage(const std::string& process) const {
+  auto it = processes_.find(process);
+  if (it == processes_.end()) {
+    return Status::NotFound("no such process: " + process);
+  }
+  if (it->second >= stages_.size()) {
+    return Status::FailedPrecondition("process is complete");
+  }
+  return stages_[it->second];
+}
+
+bool StageGate::Check(const std::string& process, const std::string& role,
+                      const std::string& action) const {
+  auto stage = CurrentStage(process);
+  if (!stage.ok()) return false;
+  auto stage_it = gates_.find(stage.value());
+  if (stage_it == gates_.end()) return false;
+  auto role_it = stage_it->second.find(role);
+  if (role_it == stage_it->second.end()) return false;
+  return role_it->second.count(action) > 0;
+}
+
+Status StageGate::Advance(const std::string& process, const std::string& actor,
+                          const std::string& actor_role, Timestamp at) {
+  auto it = processes_.find(process);
+  if (it == processes_.end()) {
+    return Status::NotFound("no such process: " + process);
+  }
+  if (it->second >= stages_.size()) {
+    return Status::FailedPrecondition("process already complete");
+  }
+  const std::string& current = stages_[it->second];
+  auto roles_it = transition_roles_.find(current);
+  if (roles_it == transition_roles_.end() ||
+      !roles_it->second.count(actor_role)) {
+    return Status::PermissionDenied("role " + actor_role +
+                                    " may not advance stage " + current);
+  }
+  StageTransition transition;
+  transition.process = process;
+  transition.from_stage = current;
+  transition.to_stage =
+      (it->second + 1 < stages_.size()) ? stages_[it->second + 1] : "complete";
+  transition.actor = actor;
+  transition.at = at;
+  transitions_.push_back(std::move(transition));
+  ++it->second;
+  return Status::OK();
+}
+
+bool StageGate::IsComplete(const std::string& process) const {
+  auto it = processes_.find(process);
+  return it != processes_.end() && it->second >= stages_.size();
+}
+
+}  // namespace access
+}  // namespace provledger

@@ -1,0 +1,77 @@
+// Stage-scoped access control (ForensiBlock [12]): permissions depend on the
+// current stage of a process (e.g. a forensic investigation's five stages,
+// Figure 5). Stage transitions are themselves permission-gated and recorded,
+// and access rights change automatically as the process advances — the
+// "supporting investigation stage changes" mechanism of ForensiBlock.
+
+#ifndef PROVLEDGER_ACCESS_STAGE_GATE_H_
+#define PROVLEDGER_ACCESS_STAGE_GATE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace provledger {
+namespace access {
+
+/// \brief A recorded stage transition.
+struct StageTransition {
+  std::string process;
+  std::string from_stage;
+  std::string to_stage;
+  std::string actor;
+  Timestamp at = 0;
+};
+
+/// \brief Per-stage permission gates over named processes.
+class StageGate {
+ public:
+  /// Define the linear stage sequence (e.g. the five forensic stages).
+  explicit StageGate(std::vector<std::string> stages);
+
+  /// Allow `role` to perform `action` during `stage`.
+  Status AllowInStage(const std::string& stage, const std::string& role,
+                      const std::string& action);
+  /// Allow `role` to advance processes out of `stage`.
+  Status AllowTransition(const std::string& stage, const std::string& role);
+
+  /// Start a process in the first stage.
+  Status StartProcess(const std::string& process);
+  Result<std::string> CurrentStage(const std::string& process) const;
+
+  /// True iff `role` may perform `action` on `process` in its current stage.
+  bool Check(const std::string& process, const std::string& role,
+             const std::string& action) const;
+
+  /// Advance `process` to the next stage; `actor_role` must be transition-
+  /// authorized for the current stage. Records the transition.
+  Status Advance(const std::string& process, const std::string& actor,
+                 const std::string& actor_role, Timestamp at);
+
+  const std::vector<StageTransition>& transitions() const {
+    return transitions_;
+  }
+  const std::vector<std::string>& stages() const { return stages_; }
+  /// True once the process has passed the final stage.
+  bool IsComplete(const std::string& process) const;
+
+ private:
+  std::vector<std::string> stages_;
+  std::map<std::string, size_t> stage_index_;
+  // stage -> role -> allowed actions.
+  std::map<std::string, std::map<std::string, std::set<std::string>>> gates_;
+  // stage -> roles allowed to advance.
+  std::map<std::string, std::set<std::string>> transition_roles_;
+  // process -> current stage index (== stages_.size() when complete).
+  std::map<std::string, size_t> processes_;
+  std::vector<StageTransition> transitions_;
+};
+
+}  // namespace access
+}  // namespace provledger
+
+#endif  // PROVLEDGER_ACCESS_STAGE_GATE_H_

@@ -1,0 +1,106 @@
+#include "access/views.h"
+
+namespace provledger {
+namespace access {
+
+bool ViewFilter::Matches(const prov::ProvenanceRecord& record) const {
+  if (!subject_prefix.empty() &&
+      record.subject.compare(0, subject_prefix.size(), subject_prefix) != 0) {
+    return false;
+  }
+  if (!operations.empty() && !operations.count(record.operation)) {
+    return false;
+  }
+  if (domain.has_value() && record.domain != *domain) return false;
+  return true;
+}
+
+Status ViewManager::CreateView(View view) {
+  if (view.name.empty()) {
+    return Status::InvalidArgument("view name must not be empty");
+  }
+  if (views_.count(view.name)) {
+    return Status::AlreadyExists("view already exists: " + view.name);
+  }
+  // The owner is always a member.
+  view.members.insert(view.owner);
+  views_.emplace(view.name, std::move(view));
+  return Status::OK();
+}
+
+Status ViewManager::Grant(const std::string& view_name,
+                          const std::string& requester,
+                          const std::string& member) {
+  auto it = views_.find(view_name);
+  if (it == views_.end()) {
+    return Status::NotFound("no such view: " + view_name);
+  }
+  if (it->second.owner != requester) {
+    return Status::PermissionDenied("only the view owner may grant access");
+  }
+  it->second.members.insert(member);
+  return Status::OK();
+}
+
+Status ViewManager::Revoke(const std::string& view_name,
+                           const std::string& requester,
+                           const std::string& member) {
+  auto it = views_.find(view_name);
+  if (it == views_.end()) {
+    return Status::NotFound("no such view: " + view_name);
+  }
+  View& view = it->second;
+  if (view.owner != requester) {
+    return Status::PermissionDenied("only the view owner may revoke access");
+  }
+  if (!view.revocable) {
+    return Status::FailedPrecondition(
+        "view is irrevocable: membership is a permanent capability");
+  }
+  if (member == view.owner) {
+    return Status::InvalidArgument("cannot revoke the view owner");
+  }
+  view.members.erase(member);
+  return Status::OK();
+}
+
+bool ViewManager::CheckAccess(const std::string& view_name,
+                              const std::string& principal) const {
+  auto it = views_.find(view_name);
+  if (it == views_.end()) return false;
+  const View& view = it->second;
+  if (!view.members.count(principal)) return false;
+  if (!view.required_role.empty()) {
+    if (rbac_ == nullptr) return false;
+    bool has_role = false;
+    for (const auto& role : rbac_->RolesOf(principal)) {
+      if (role == view.required_role) {
+        has_role = true;
+        break;
+      }
+    }
+    if (!has_role) return false;
+  }
+  return true;
+}
+
+Result<std::vector<prov::ProvenanceRecord>> ViewManager::Query(
+    const std::string& view_name, const std::string& principal,
+    const std::string& subject) const {
+  auto it = views_.find(view_name);
+  if (it == views_.end()) {
+    return Status::NotFound("no such view: " + view_name);
+  }
+  if (!CheckAccess(view_name, principal)) {
+    return Status::PermissionDenied(principal + " may not read view " +
+                                    view_name);
+  }
+  std::vector<prov::ProvenanceRecord> out;
+  for (const auto& record : store_->SubjectHistory(subject)) {
+    if (it->second.filter.Matches(record)) out.push_back(record);
+  }
+  return out;
+}
+
+}  // namespace access
+}  // namespace provledger

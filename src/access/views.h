@@ -1,0 +1,84 @@
+// LedgerView-style access-control views [66]: a view is a named, filtered
+// window onto a channel's provenance records, granted to a member set.
+// Views are *revocable* (the owner can remove members later) or
+// *irrevocable* (membership is a permanent capability — revocation attempts
+// fail), the distinction LedgerView contributes on Hyperledger Fabric.
+// Views compose with RBAC: a view can require a role for reading.
+
+#ifndef PROVLEDGER_ACCESS_VIEWS_H_
+#define PROVLEDGER_ACCESS_VIEWS_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "access/rbac.h"
+#include "prov/store.h"
+
+namespace provledger {
+namespace access {
+
+/// \brief Declarative record filter for a view.
+struct ViewFilter {
+  /// Only records whose subject starts with this prefix ("" = all).
+  std::string subject_prefix;
+  /// Only records with one of these operations (empty = all).
+  std::set<std::string> operations;
+  /// Only records from this domain (nullopt = all).
+  std::optional<prov::Domain> domain;
+
+  bool Matches(const prov::ProvenanceRecord& record) const;
+};
+
+/// \brief A view definition.
+struct View {
+  std::string name;
+  std::string owner;
+  ViewFilter filter;
+  bool revocable = true;
+  std::set<std::string> members;
+  /// Optional role requirement checked against an RbacPolicy.
+  std::string required_role;
+};
+
+/// \brief Registry of views over one ProvenanceStore.
+class ViewManager {
+ public:
+  explicit ViewManager(const prov::ProvenanceStore* store,
+                       const RbacPolicy* rbac = nullptr)
+      : store_(store), rbac_(rbac) {}
+
+  /// Create a view owned by `owner`.
+  Status CreateView(View view);
+  bool HasView(const std::string& name) const { return views_.count(name); }
+
+  /// Owner-only membership management. Revoke fails on irrevocable views
+  /// (LedgerView's contract).
+  Status Grant(const std::string& view, const std::string& requester,
+               const std::string& member);
+  Status Revoke(const std::string& view, const std::string& requester,
+                const std::string& member);
+
+  /// True iff `principal` may read through the view (member + role check).
+  bool CheckAccess(const std::string& view,
+                   const std::string& principal) const;
+
+  /// Records visible to `principal` through the view, or PermissionDenied.
+  Result<std::vector<prov::ProvenanceRecord>> Query(
+      const std::string& view, const std::string& principal,
+      const std::string& subject) const;
+
+  size_t view_count() const { return views_.size(); }
+
+ private:
+  const prov::ProvenanceStore* store_;
+  const RbacPolicy* rbac_;
+  std::map<std::string, View> views_;
+};
+
+}  // namespace access
+}  // namespace provledger
+
+#endif  // PROVLEDGER_ACCESS_VIEWS_H_

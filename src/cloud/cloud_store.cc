@@ -1,0 +1,136 @@
+#include "cloud/cloud_store.h"
+
+namespace provledger {
+namespace cloud {
+
+CloudStore::CloudStore(prov::ProvenanceStore* store,
+                       storage::ContentStore* content, Clock* clock)
+    : store_(store), content_(content), clock_(clock) {}
+
+bool CloudStore::CanAccess(const CloudFile& file,
+                           const std::string& user) const {
+  return file.owner == user || file.shared_with.count(user) > 0;
+}
+
+Status CloudStore::Hook(const std::string& user, const std::string& name,
+                        const std::string& operation,
+                        const crypto::Digest& cid, uint64_t version) {
+  prov::ProvenanceRecord rec;
+  rec.record_id = "cloud-" + std::to_string(++seq_);
+  rec.domain = prov::Domain::kCloud;
+  rec.operation = operation;
+  rec.subject = name;
+  rec.agent = user;
+  rec.timestamp = clock_->NowMicros();
+  rec.payload_hash = cid;
+  rec.fields["version"] = std::to_string(version);
+  ++op_count_;
+  return store_->Anchor(rec);
+}
+
+Status CloudStore::CreateFile(const std::string& user, const std::string& name,
+                              const Bytes& content) {
+  auto it = files_.find(name);
+  if (it != files_.end() && !it->second.deleted) {
+    return Status::AlreadyExists("file exists: " + name);
+  }
+  CloudFile file;
+  file.name = name;
+  file.owner = user;
+  file.content_cid = content_->Put(content);
+  file.version = 1;
+  files_[name] = std::move(file);
+  return Hook(user, name, "create", files_[name].content_cid, 1);
+}
+
+Result<Bytes> CloudStore::ReadFile(const std::string& user,
+                                   const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end() || it->second.deleted) {
+    return Status::NotFound("no such file: " + name);
+  }
+  if (!CanAccess(it->second, user)) {
+    PROVLEDGER_RETURN_NOT_OK(
+        Hook(user, name, "read-denied", crypto::ZeroDigest(),
+             it->second.version));
+    return Status::PermissionDenied(user + " may not read " + name);
+  }
+  PROVLEDGER_RETURN_NOT_OK(
+      Hook(user, name, "read", it->second.content_cid, it->second.version));
+  return content_->GetVerified(it->second.content_cid);
+}
+
+Status CloudStore::UpdateFile(const std::string& user, const std::string& name,
+                              const Bytes& content) {
+  auto it = files_.find(name);
+  if (it == files_.end() || it->second.deleted) {
+    return Status::NotFound("no such file: " + name);
+  }
+  if (!CanAccess(it->second, user)) {
+    return Status::PermissionDenied(user + " may not update " + name);
+  }
+  it->second.content_cid = content_->Put(content);
+  it->second.version++;
+  return Hook(user, name, "update", it->second.content_cid,
+              it->second.version);
+}
+
+Status CloudStore::ShareFile(const std::string& owner, const std::string& name,
+                             const std::string& with_user) {
+  auto it = files_.find(name);
+  if (it == files_.end() || it->second.deleted) {
+    return Status::NotFound("no such file: " + name);
+  }
+  if (it->second.owner != owner) {
+    return Status::PermissionDenied("only the owner may share " + name);
+  }
+  it->second.shared_with.insert(with_user);
+  return Hook(owner, name, "share:" + with_user, it->second.content_cid,
+              it->second.version);
+}
+
+Status CloudStore::DeleteFile(const std::string& user,
+                              const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end() || it->second.deleted) {
+    return Status::NotFound("no such file: " + name);
+  }
+  if (it->second.owner != user) {
+    return Status::PermissionDenied("only the owner may delete " + name);
+  }
+  it->second.deleted = true;
+  return Hook(user, name, "delete", it->second.content_cid,
+              it->second.version);
+}
+
+std::vector<prov::ProvenanceRecord> CloudStore::FileHistory(
+    const std::string& name) const {
+  return store_->SubjectHistory(name);
+}
+
+Result<CloudFile> CloudStore::GetFile(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("no such file: " + name);
+  return it->second;
+}
+
+Result<size_t> CloudAuditor::AuditFile(const std::string& file_name) const {
+  size_t verified = 0;
+  for (const auto& rec : store_->SubjectHistory(file_name)) {
+    auto proof = store_->ProveRecord(rec.record_id);
+    if (!proof.ok()) return proof.status();
+    if (!store_->VerifyRecordProof(rec, proof.value())) {
+      return Status::Corruption("record failed verification: " +
+                                rec.record_id);
+    }
+    ++verified;
+  }
+  return verified;
+}
+
+Result<size_t> CloudAuditor::AuditEverything() const {
+  return store_->AuditAll();
+}
+
+}  // namespace cloud
+}  // namespace provledger

@@ -1,0 +1,45 @@
+// Byte-buffer utilities shared by every subsystem: the canonical Bytes type,
+// hex encoding/decoding, and constant-time comparison for secret material.
+
+#ifndef PROVLEDGER_COMMON_BYTES_H_
+#define PROVLEDGER_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace provledger {
+
+/// Canonical owned byte buffer.
+using Bytes = std::vector<uint8_t>;
+
+/// \brief Build a Bytes buffer from a string's raw characters.
+Bytes ToBytes(std::string_view s);
+
+/// \brief Interpret a byte buffer as a (possibly non-UTF8) string.
+std::string BytesToString(const Bytes& b);
+
+/// \brief Lowercase hex encoding ("deadbeef").
+std::string HexEncode(const Bytes& data);
+std::string HexEncode(const uint8_t* data, size_t len);
+
+/// \brief Decode lowercase/uppercase hex; fails on odd length or non-hex
+/// characters.
+Result<Bytes> HexDecode(std::string_view hex);
+
+/// \brief Constant-time equality, for comparing MACs / hash preimages.
+bool ConstantTimeEqual(const Bytes& a, const Bytes& b);
+
+/// \brief Append `src` to `dst`.
+void AppendBytes(Bytes* dst, const Bytes& src);
+void AppendBytes(Bytes* dst, std::string_view src);
+
+/// \brief Short printable prefix of a (hash-sized) buffer, e.g. "3fd2a8c1…".
+std::string ShortHex(const Bytes& data, size_t prefix_bytes = 4);
+
+}  // namespace provledger
+
+#endif  // PROVLEDGER_COMMON_BYTES_H_

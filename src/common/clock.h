@@ -1,0 +1,54 @@
+// Clock abstraction. Every timestamp in ProvLedger flows through a Clock so
+// that tests and the discrete-event network simulation are fully
+// deterministic (SimClock), while examples may use wall time (SystemClock).
+
+#ifndef PROVLEDGER_COMMON_CLOCK_H_
+#define PROVLEDGER_COMMON_CLOCK_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace provledger {
+
+/// Microseconds since an arbitrary epoch.
+using Timestamp = int64_t;
+
+/// \brief Source of timestamps.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds.
+  virtual Timestamp NowMicros() const = 0;
+};
+
+/// \brief Wall-clock time.
+class SystemClock : public Clock {
+ public:
+  Timestamp NowMicros() const override;
+};
+
+/// \brief Manually advanced clock for deterministic tests and simulation.
+class SimClock : public Clock {
+ public:
+  explicit SimClock(Timestamp start = 1'700'000'000'000'000LL)
+      : now_(start) {}
+
+  Timestamp NowMicros() const override { return now_; }
+
+  /// Advance time by `micros`; returns the new time.
+  Timestamp Advance(Timestamp micros) {
+    now_ += micros;
+    return now_;
+  }
+  /// Jump to an absolute time (must not go backwards).
+  void SetMicros(Timestamp t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  Timestamp now_;
+};
+
+}  // namespace provledger
+
+#endif  // PROVLEDGER_COMMON_CLOCK_H_

@@ -1,0 +1,137 @@
+#include "common/codec.h"
+
+#include <cstring>
+
+namespace provledger {
+
+void Encoder::PutU8(uint8_t v) { buf_.push_back(v); }
+
+void Encoder::PutU16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void Encoder::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+
+void Encoder::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void Encoder::PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+void Encoder::PutBytes(const Bytes& b) {
+  PutU32(static_cast<uint32_t>(b.size()));
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void Encoder::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Encoder::PutRaw(const Bytes& b) {
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+Status Decoder::Need(size_t n) {
+  if (buf_.size() - pos_ < n) {
+    return Status::Corruption("decode past end of buffer");
+  }
+  return Status::OK();
+}
+
+Status Decoder::GetU8(uint8_t* v) {
+  PROVLEDGER_RETURN_NOT_OK(Need(1));
+  *v = buf_[pos_++];
+  return Status::OK();
+}
+
+Status Decoder::GetU16(uint16_t* v) {
+  PROVLEDGER_RETURN_NOT_OK(Need(2));
+  *v = static_cast<uint16_t>(buf_[pos_]) |
+       static_cast<uint16_t>(buf_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return Status::OK();
+}
+
+Status Decoder::GetU32(uint32_t* v) {
+  PROVLEDGER_RETURN_NOT_OK(Need(4));
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(buf_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  *v = out;
+  return Status::OK();
+}
+
+Status Decoder::GetU64(uint64_t* v) {
+  PROVLEDGER_RETURN_NOT_OK(Need(8));
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(buf_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  *v = out;
+  return Status::OK();
+}
+
+Status Decoder::GetI64(int64_t* v) {
+  uint64_t u;
+  PROVLEDGER_RETURN_NOT_OK(GetU64(&u));
+  *v = static_cast<int64_t>(u);
+  return Status::OK();
+}
+
+Status Decoder::GetDouble(double* v) {
+  uint64_t bits;
+  PROVLEDGER_RETURN_NOT_OK(GetU64(&bits));
+  std::memcpy(v, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status Decoder::GetBool(bool* v) {
+  uint8_t b;
+  PROVLEDGER_RETURN_NOT_OK(GetU8(&b));
+  if (b > 1) return Status::Corruption("bool byte out of range");
+  *v = b != 0;
+  return Status::OK();
+}
+
+Status Decoder::GetBytes(Bytes* b) {
+  uint32_t len;
+  PROVLEDGER_RETURN_NOT_OK(GetU32(&len));
+  PROVLEDGER_RETURN_NOT_OK(Need(len));
+  b->assign(buf_.begin() + pos_, buf_.begin() + pos_ + len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status Decoder::GetString(std::string* s) {
+  uint32_t len;
+  PROVLEDGER_RETURN_NOT_OK(GetU32(&len));
+  PROVLEDGER_RETURN_NOT_OK(Need(len));
+  s->assign(buf_.begin() + pos_, buf_.begin() + pos_ + len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status Decoder::GetRaw(size_t len, Bytes* b) {
+  PROVLEDGER_RETURN_NOT_OK(Need(len));
+  b->assign(buf_.begin() + pos_, buf_.begin() + pos_ + len);
+  pos_ += len;
+  return Status::OK();
+}
+
+}  // namespace provledger

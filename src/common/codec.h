@@ -1,0 +1,79 @@
+// Deterministic binary serialization used for every on-ledger structure.
+//
+// All multi-byte integers are little-endian fixed width; variable-size fields
+// are length-prefixed with a u32. Encoding is canonical: re-encoding a decoded
+// structure yields byte-identical output, which is required because structure
+// hashes (transaction ids, Merkle leaves, block ids) are hashes of encodings.
+
+#ifndef PROVLEDGER_COMMON_CODEC_H_
+#define PROVLEDGER_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace provledger {
+
+/// \brief Append-only binary encoder.
+class Encoder {
+ public:
+  Encoder() = default;
+
+  void PutU8(uint8_t v);
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v);
+  /// Encodes an IEEE-754 double by bit pattern.
+  void PutDouble(double v);
+  void PutBool(bool v);
+  /// Length-prefixed (u32) byte string.
+  void PutBytes(const Bytes& b);
+  /// Length-prefixed (u32) character string.
+  void PutString(std::string_view s);
+  /// Raw bytes, no length prefix (caller must know the length when decoding).
+  void PutRaw(const Bytes& b);
+
+  const Bytes& buffer() const { return buf_; }
+  Bytes TakeBuffer() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// \brief Sequential decoder over a byte buffer; every getter validates
+/// remaining length and returns Corruption on truncated input.
+class Decoder {
+ public:
+  explicit Decoder(const Bytes& buf) : buf_(buf) {}
+
+  Status GetU8(uint8_t* v);
+  Status GetU16(uint16_t* v);
+  Status GetU32(uint32_t* v);
+  Status GetU64(uint64_t* v);
+  Status GetI64(int64_t* v);
+  Status GetDouble(double* v);
+  Status GetBool(bool* v);
+  Status GetBytes(Bytes* b);
+  Status GetString(std::string* s);
+  /// Reads exactly `len` raw bytes.
+  Status GetRaw(size_t len, Bytes* b);
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return buf_.size() - pos_; }
+  bool AtEnd() const { return pos_ == buf_.size(); }
+
+ private:
+  Status Need(size_t n);
+
+  const Bytes& buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace provledger
+
+#endif  // PROVLEDGER_COMMON_CODEC_H_

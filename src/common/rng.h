@@ -1,0 +1,48 @@
+// Deterministic random number generation (xoshiro256** seeded via splitmix64).
+// All stochastic behaviour in ProvLedger — workload generators, simulated
+// network jitter, PoS leader election, attack injection — draws from an Rng
+// so experiments are reproducible from a single seed.
+
+#ifndef PROVLEDGER_COMMON_RNG_H_
+#define PROVLEDGER_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace provledger {
+
+/// \brief xoshiro256** PRNG. Not cryptographically secure; used for
+/// simulation and workload generation only.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+  /// Uniform in [0, bound) (bound must be > 0; uses rejection sampling).
+  uint64_t NextBelow(uint64_t bound);
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t NextRange(uint64_t lo, uint64_t hi);
+  /// Uniform double in [0, 1).
+  double NextDouble();
+  /// Gaussian via Box–Muller.
+  double NextGaussian(double mean, double stddev);
+  /// True with probability p.
+  bool NextBool(double p = 0.5);
+  /// `n` random bytes.
+  Bytes NextBytes(size_t n);
+  /// Random lowercase alphanumeric string of length `n`.
+  std::string NextAlnum(size_t n);
+
+  /// Derive an independent child generator (splitmix64 of next output).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace provledger
+
+#endif  // PROVLEDGER_COMMON_RNG_H_

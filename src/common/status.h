@@ -1,0 +1,189 @@
+// ProvLedger: unified blockchain-for-provenance framework.
+//
+// Status / Result error model (RocksDB idiom): no exceptions cross public API
+// boundaries; every fallible operation returns a Status or a Result<T>.
+
+#ifndef PROVLEDGER_COMMON_STATUS_H_
+#define PROVLEDGER_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace provledger {
+
+/// \brief Canonical error codes used across every ProvLedger subsystem.
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kCorruption = 3,
+  kPermissionDenied = 4,
+  kAlreadyExists = 5,
+  kFailedPrecondition = 6,
+  kUnauthenticated = 7,
+  kTimedOut = 8,
+  kUnavailable = 9,
+  kResourceExhausted = 10,
+  kAborted = 11,
+  kInternal = 12,
+};
+
+/// \brief Return the canonical lowercase name of a status code
+/// (e.g. "not_found").
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Result of a fallible operation: a code plus a human-readable
+/// message. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// \name Factory constructors, one per canonical code.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unauthenticated(std::string msg) {
+    return Status(StatusCode::kUnauthenticated, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// @}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsPermissionDenied() const {
+    return code_ == StatusCode::kPermissionDenied;
+  }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnauthenticated() const {
+    return code_ == StatusCode::kUnauthenticated;
+  }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief "ok" or "<code_name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief A value or a non-OK Status (Arrow idiom).
+///
+/// Usage:
+/// \code
+///   Result<Block> r = chain.GetBlock(height);
+///   if (!r.ok()) return r.status();
+///   const Block& b = r.value();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return my_value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// \brief Value if OK, otherwise the supplied default.
+  T value_or(T def) const {
+    return ok() ? *value_ : std::move(def);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Propagate a non-OK status to the caller (RocksDB RETURN_NOT_OK idiom).
+#define PROVLEDGER_RETURN_NOT_OK(expr)            \
+  do {                                            \
+    ::provledger::Status _s = (expr);             \
+    if (!_s.ok()) return _s;                      \
+  } while (0)
+
+/// Unwrap a Result into `lhs`, propagating a non-OK status.
+#define PROVLEDGER_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto PROVLEDGER_CONCAT_(_r, __LINE__) = (expr); \
+  if (!PROVLEDGER_CONCAT_(_r, __LINE__).ok())     \
+    return PROVLEDGER_CONCAT_(_r, __LINE__).status(); \
+  lhs = std::move(PROVLEDGER_CONCAT_(_r, __LINE__)).value()
+
+#define PROVLEDGER_CONCAT_IMPL_(a, b) a##b
+#define PROVLEDGER_CONCAT_(a, b) PROVLEDGER_CONCAT_IMPL_(a, b)
+
+}  // namespace provledger
+
+#endif  // PROVLEDGER_COMMON_STATUS_H_

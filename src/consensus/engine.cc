@@ -1,0 +1,32 @@
+#include "consensus/engine.h"
+
+#include "consensus/pbft.h"
+#include "consensus/pos.h"
+#include "consensus/pow.h"
+#include "consensus/raft.h"
+
+namespace provledger {
+namespace consensus {
+
+Result<std::unique_ptr<ConsensusEngine>> MakeEngine(
+    const std::string& kind, const ConsensusConfig& config) {
+  if (config.num_nodes == 0) {
+    return Status::InvalidArgument("consensus requires at least one node");
+  }
+  if (kind == "pow") {
+    return std::unique_ptr<ConsensusEngine>(new PowEngine(config));
+  }
+  if (kind == "pos") {
+    return std::unique_ptr<ConsensusEngine>(new PosEngine(config));
+  }
+  if (kind == "pbft") {
+    return std::unique_ptr<ConsensusEngine>(new PbftEngine(config));
+  }
+  if (kind == "raft") {
+    return std::unique_ptr<ConsensusEngine>(new RaftEngine(config));
+  }
+  return Status::InvalidArgument("unknown consensus engine: " + kind);
+}
+
+}  // namespace consensus
+}  // namespace provledger

@@ -1,0 +1,91 @@
+// Pluggable consensus engines (§2.1 of the paper: PoW, PoS, BFT; §4.1's EO
+// system additionally uses Raft — all four are implemented here over the
+// deterministic simulated network).
+//
+// An engine commits one opaque payload per Propose() call and reports the
+// §6.1 evaluation metrics: protocol messages, bytes, rounds, simulated
+// latency, and (for PoW) hash attempts. Engines keep protocol state across
+// calls (PBFT view, Raft term/leader, PoS seed chain).
+
+#ifndef PROVLEDGER_CONSENSUS_ENGINE_H_
+#define PROVLEDGER_CONSENSUS_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "network/sim_network.h"
+
+namespace provledger {
+namespace consensus {
+
+/// \brief Per-commit metrics (§6.1 evaluation axes).
+struct CommitMetrics {
+  uint64_t messages = 0;       // protocol messages sent
+  uint64_t bytes = 0;          // protocol bytes sent
+  uint64_t rounds = 0;         // protocol phases/rounds executed
+  int64_t latency_us = 0;      // simulated wall time to commit
+  uint64_t hash_attempts = 0;  // PoW only
+};
+
+/// \brief Result of a successful commit.
+struct CommitResult {
+  crypto::Digest payload_digest;
+  uint32_t proposer = 0;  // node id that led the commit
+  CommitMetrics metrics;
+};
+
+/// \brief Engine configuration.
+struct ConsensusConfig {
+  /// Validator count.
+  uint32_t num_nodes = 4;
+  /// Deterministic seed for the engine's network and randomness.
+  uint64_t seed = 1;
+  /// Network behaviour for protocol messages.
+  network::NetworkOptions net;
+
+  /// PoW: required leading zero bits of the block hash.
+  uint32_t pow_difficulty_bits = 12;
+  /// PoW: simulated aggregate hash rate, hashes per microsecond.
+  double pow_hashrate_per_us = 10.0;
+
+  /// PoS: per-node stake; empty = equal stake.
+  std::vector<uint64_t> stakes;
+
+  /// PBFT: number of byzantine (silent) nodes to simulate.
+  uint32_t byzantine_nodes = 0;
+  /// Raft: number of crashed (unresponsive) nodes to simulate.
+  uint32_t crashed_nodes = 0;
+  /// PBFT/Raft: give up after this much simulated time per commit.
+  int64_t timeout_us = 10'000'000;
+};
+
+/// \brief Abstract consensus engine.
+class ConsensusEngine {
+ public:
+  virtual ~ConsensusEngine() = default;
+
+  /// Engine name for reports ("pow", "pos", "pbft", "raft").
+  virtual std::string name() const = 0;
+
+  /// Drive the protocol until `payload` is committed by the validator set
+  /// (or fail: TimedOut for liveness loss, FailedPrecondition for
+  /// insufficient honest nodes).
+  virtual Result<CommitResult> Propose(const Bytes& payload) = 0;
+
+  /// Total simulated time consumed so far.
+  virtual Timestamp now_us() const = 0;
+};
+
+/// \brief Factory. `kind` ∈ {"pow", "pos", "pbft", "raft"}.
+Result<std::unique_ptr<ConsensusEngine>> MakeEngine(
+    const std::string& kind, const ConsensusConfig& config);
+
+/// Count of leading zero bits of a digest (PoW target check).
+uint32_t LeadingZeroBits(const crypto::Digest& digest);
+
+}  // namespace consensus
+}  // namespace provledger
+
+#endif  // PROVLEDGER_CONSENSUS_ENGINE_H_

@@ -1,0 +1,129 @@
+#include "consensus/pbft.h"
+
+#include "common/codec.h"
+
+namespace provledger {
+namespace consensus {
+
+PbftEngine::PbftEngine(const ConsensusConfig& config)
+    : config_(config), clock_(), net_(&clock_, config.seed, config.net) {
+  replicas_.resize(config_.num_nodes);
+  // The last `byzantine_nodes` replicas are silent-faulty.
+  for (uint32_t i = 0; i < config_.byzantine_nodes && i < config_.num_nodes;
+       ++i) {
+    replicas_[config_.num_nodes - 1 - i].byzantine = true;
+  }
+  for (uint32_t i = 0; i < config_.num_nodes; ++i) {
+    net_.AddNode([this, i](const network::Message& msg) {
+      HandleMessage(i, msg);
+    });
+  }
+}
+
+void PbftEngine::ResetRound() {
+  for (auto& r : replicas_) {
+    r.have_preprepare = false;
+    r.sent_prepare = false;
+    r.sent_commit = false;
+    r.executed = false;
+    r.digest = crypto::ZeroDigest();
+    r.prepares.clear();
+    r.commits.clear();
+  }
+}
+
+size_t PbftEngine::ExecutedCount() const {
+  size_t n = 0;
+  for (const auto& r : replicas_) n += r.executed ? 1 : 0;
+  return n;
+}
+
+void PbftEngine::HandleMessage(network::NodeId self,
+                               const network::Message& msg) {
+  Replica& r = replicas_[self];
+  if (r.byzantine) return;  // silent fault: ignores all protocol traffic
+
+  const uint32_t f = fault_tolerance();
+  if (msg.type == "pbft/pre-prepare") {
+    if (r.have_preprepare) return;
+    r.have_preprepare = true;
+    r.digest = crypto::Sha256::Hash(msg.payload);
+    // The leader's pre-prepare counts as its prepare vote.
+    r.prepares.insert(msg.from);
+    // Enter the prepare phase: broadcast PREPARE(digest).
+    if (!r.sent_prepare) {
+      r.sent_prepare = true;
+      r.prepares.insert(self);
+      net_.Broadcast(self, "pbft/prepare", crypto::DigestToBytes(r.digest));
+    }
+  } else if (msg.type == "pbft/prepare") {
+    r.prepares.insert(msg.from);
+    // prepared == pre-prepare + 2f matching prepares.
+    if (r.have_preprepare && r.prepares.size() >= 2 * f + 1 &&
+        !r.sent_commit) {
+      r.sent_commit = true;
+      r.commits.insert(self);
+      net_.Broadcast(self, "pbft/commit", crypto::DigestToBytes(r.digest));
+      if (r.commits.size() >= 2 * f + 1) r.executed = true;
+    }
+  } else if (msg.type == "pbft/commit") {
+    r.commits.insert(msg.from);
+    if (r.sent_commit && r.commits.size() >= 2 * f + 1) r.executed = true;
+  }
+}
+
+Result<CommitResult> PbftEngine::Propose(const Bytes& payload) {
+  const uint32_t n = config_.num_nodes;
+  const uint32_t f = fault_tolerance();
+  if (n < 4) {
+    return Status::InvalidArgument("pbft requires at least 4 replicas");
+  }
+  if (config_.byzantine_nodes > f) {
+    return Status::FailedPrecondition(
+        "byzantine nodes exceed pbft fault tolerance f=(n-1)/3");
+  }
+
+  const auto start_metrics = net_.metrics();
+  const Timestamp start = clock_.NowMicros();
+  ++sequence_;
+
+  // Try successive views until an honest leader drives execution.
+  for (uint32_t attempt = 0; attempt < n; ++attempt) {
+    ResetRound();
+    const uint32_t leader = static_cast<uint32_t>(view_ % n);
+    if (replicas_[leader].byzantine) {
+      // Faulty leader: replicas time out and force a view change.
+      clock_.Advance(config_.timeout_us);
+      ++view_;
+      continue;
+    }
+
+    // Leader pre-prepares; it is implicitly prepared/committed on its own
+    // proposal.
+    Replica& lr = replicas_[leader];
+    lr.have_preprepare = true;
+    lr.digest = crypto::Sha256::Hash(payload);
+    lr.sent_prepare = true;
+    lr.prepares.insert(leader);
+    net_.Broadcast(leader, "pbft/pre-prepare", payload);
+    net_.RunUntilIdle();
+
+    if (ExecutedCount() >= 2 * f + 1) {
+      CommitResult result;
+      result.payload_digest = crypto::Sha256::Hash(payload);
+      result.proposer = leader;
+      result.metrics.messages =
+          net_.metrics().messages_sent - start_metrics.messages_sent;
+      result.metrics.bytes =
+          net_.metrics().bytes_sent - start_metrics.bytes_sent;
+      result.metrics.rounds = 3 + attempt;  // pre-prepare/prepare/commit
+      result.metrics.latency_us = clock_.NowMicros() - start;
+      return result;
+    }
+    ++view_;
+  }
+  return Status::TimedOut("pbft failed to commit in any view");
+}
+
+}  // namespace consensus
+}  // namespace provledger

@@ -1,0 +1,57 @@
+// Practical Byzantine Fault Tolerance: the full three-phase protocol
+// (pre-prepare / prepare / commit) with O(n²) message complexity, per-node
+// state machines on the simulated network, silent-byzantine fault injection,
+// and view changes when the leader is faulty. Consortium designs surveyed in
+// §4.1 (EO data management) pair PBFT with Raft; bench_consensus_comparison
+// reproduces the message-complexity gap between them.
+
+#ifndef PROVLEDGER_CONSENSUS_PBFT_H_
+#define PROVLEDGER_CONSENSUS_PBFT_H_
+
+#include <set>
+
+#include "consensus/engine.h"
+
+namespace provledger {
+namespace consensus {
+
+/// \brief PBFT engine; tolerates f = (n-1)/3 byzantine replicas.
+class PbftEngine : public ConsensusEngine {
+ public:
+  explicit PbftEngine(const ConsensusConfig& config);
+
+  std::string name() const override { return "pbft"; }
+  Result<CommitResult> Propose(const Bytes& payload) override;
+  Timestamp now_us() const override { return clock_.NowMicros(); }
+
+  uint64_t view() const { return view_; }
+  uint32_t fault_tolerance() const { return (config_.num_nodes - 1) / 3; }
+
+ private:
+  struct Replica {
+    bool byzantine = false;
+    bool have_preprepare = false;
+    bool sent_prepare = false;
+    bool sent_commit = false;
+    bool executed = false;
+    crypto::Digest digest;
+    std::set<network::NodeId> prepares;
+    std::set<network::NodeId> commits;
+  };
+
+  void HandleMessage(network::NodeId self, const network::Message& msg);
+  void ResetRound();
+  size_t ExecutedCount() const;
+
+  ConsensusConfig config_;
+  SimClock clock_;
+  network::SimNetwork net_;
+  std::vector<Replica> replicas_;
+  uint64_t view_ = 0;
+  uint64_t sequence_ = 0;
+};
+
+}  // namespace consensus
+}  // namespace provledger
+
+#endif  // PROVLEDGER_CONSENSUS_PBFT_H_

@@ -1,0 +1,84 @@
+#include "consensus/pos.h"
+
+#include "common/codec.h"
+
+namespace provledger {
+namespace consensus {
+
+PosEngine::PosEngine(const ConsensusConfig& config)
+    : config_(config), clock_(), net_(&clock_, config.seed, config.net) {
+  stakes_ = config.stakes;
+  if (stakes_.empty()) stakes_.assign(config_.num_nodes, 100);
+  stakes_.resize(config_.num_nodes, 100);
+  for (uint64_t s : stakes_) total_stake_ += s;
+
+  // Node handlers: validators attest to proposals by replying to the leader.
+  for (uint32_t i = 0; i < config_.num_nodes; ++i) {
+    net_.AddNode([this, i](const network::Message& msg) {
+      if (msg.type == "pos/propose") {
+        // Validate (payload is opaque here) and attest back to the leader.
+        net_.Send(i, msg.from, "pos/attest", Bytes{});
+      } else if (msg.type == "pos/attest") {
+        attestations_ += stakes_[msg.from];
+      }
+    });
+  }
+
+  // Genesis seed derived from the engine seed.
+  Encoder enc;
+  enc.PutU64(config_.seed);
+  slot_seed_ = crypto::Sha256::Hash(enc.buffer());
+}
+
+uint32_t PosEngine::ElectLeader() {
+  // seed_{t+1} = H(seed_t || slot); leader picked stake-proportionally from
+  // the seed's low 64 bits.
+  Encoder enc;
+  enc.PutRaw(crypto::DigestToBytes(slot_seed_));
+  enc.PutU64(slot_);
+  slot_seed_ = crypto::Sha256::Hash(enc.buffer());
+
+  uint64_t draw = 0;
+  for (int i = 0; i < 8; ++i) draw = (draw << 8) | slot_seed_[i];
+  uint64_t ticket = draw % total_stake_;
+  uint64_t acc = 0;
+  for (uint32_t i = 0; i < stakes_.size(); ++i) {
+    acc += stakes_[i];
+    if (ticket < acc) return i;
+  }
+  return static_cast<uint32_t>(stakes_.size() - 1);
+}
+
+Result<CommitResult> PosEngine::Propose(const Bytes& payload) {
+  const auto start_metrics = net_.metrics();
+  const Timestamp start = clock_.NowMicros();
+
+  ++slot_;
+  const uint32_t leader = ElectLeader();
+  last_leader_ = leader;
+  attestations_ = stakes_[leader];  // leader implicitly attests
+
+  net_.Broadcast(leader, "pos/propose", payload);
+  net_.RunUntilIdle();
+
+  // 2/3 total-stake quorum, counting the leader's own stake.
+  if (attestations_ * 3 < total_stake_ * 2) {
+    return Status::Unavailable("insufficient stake attested");
+  }
+
+  CommitResult result;
+  Encoder enc;
+  enc.PutU64(slot_);
+  enc.PutBytes(payload);
+  result.payload_digest = crypto::Sha256::Hash(enc.buffer());
+  result.proposer = leader;
+  result.metrics.messages =
+      net_.metrics().messages_sent - start_metrics.messages_sent;
+  result.metrics.bytes = net_.metrics().bytes_sent - start_metrics.bytes_sent;
+  result.metrics.rounds = 2;  // propose + attest
+  result.metrics.latency_us = clock_.NowMicros() - start;
+  return result;
+}
+
+}  // namespace consensus
+}  // namespace provledger

@@ -1,0 +1,82 @@
+#include "consensus/pow.h"
+
+#include "common/codec.h"
+
+namespace provledger {
+namespace consensus {
+
+uint32_t LeadingZeroBits(const crypto::Digest& digest) {
+  uint32_t bits = 0;
+  for (uint8_t byte : digest) {
+    if (byte == 0) {
+      bits += 8;
+      continue;
+    }
+    for (int i = 7; i >= 0; --i) {
+      if (byte & (1 << i)) return bits;
+      ++bits;
+    }
+  }
+  return bits;
+}
+
+PowEngine::PowEngine(const ConsensusConfig& config)
+    : config_(config),
+      clock_(),
+      net_(&clock_, config.seed, config.net),
+      rng_(config.seed ^ 0x9057'0000'0001ULL) {
+  for (uint32_t i = 0; i < config_.num_nodes; ++i) {
+    net_.AddNode([](const network::Message&) {});
+  }
+}
+
+Result<CommitResult> PowEngine::Propose(const Bytes& payload) {
+  if (config_.pow_difficulty_bits > 40) {
+    return Status::InvalidArgument("difficulty too high for simulation");
+  }
+  const auto start_metrics = net_.metrics();
+  const Timestamp start = clock_.NowMicros();
+
+  // Mine: search nonces until the digest clears the target. The nonce
+  // search starts at a seed-derived offset so distinct engines/heights do
+  // not share search paths.
+  crypto::Digest digest;
+  uint64_t nonce = rng_.NextU64();
+  uint64_t attempts = 0;
+  for (;;) {
+    Encoder enc;
+    enc.PutU64(height_);
+    enc.PutU64(nonce);
+    enc.PutBytes(payload);
+    digest = crypto::Sha256::Hash(enc.buffer());
+    ++attempts;
+    if (LeadingZeroBits(digest) >= config_.pow_difficulty_bits) break;
+    ++nonce;
+  }
+  last_nonce_ = nonce;
+
+  // Simulated mining time across the aggregate network hash rate.
+  const int64_t mining_us = static_cast<int64_t>(
+      static_cast<double>(attempts) / config_.pow_hashrate_per_us);
+  clock_.Advance(mining_us);
+
+  // Winner (stake in PoW = hash power; pick uniformly) broadcasts the block.
+  const uint32_t winner =
+      static_cast<uint32_t>(rng_.NextBelow(config_.num_nodes));
+  net_.Broadcast(winner, "pow/block", payload);
+  net_.RunUntilIdle();
+
+  ++height_;
+  CommitResult result;
+  result.payload_digest = digest;
+  result.proposer = winner;
+  result.metrics.messages = net_.metrics().messages_sent - start_metrics.messages_sent;
+  result.metrics.bytes = net_.metrics().bytes_sent - start_metrics.bytes_sent;
+  result.metrics.rounds = 1;
+  result.metrics.latency_us = clock_.NowMicros() - start;
+  result.metrics.hash_attempts = attempts;
+  return result;
+}
+
+}  // namespace consensus
+}  // namespace provledger

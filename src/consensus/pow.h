@@ -1,0 +1,38 @@
+// Proof-of-Work consensus (Nakamoto-style mining): real hash-target search
+// over SHA-256 with the block broadcast modelled on the simulated network.
+// Simulated mining latency = attempts / aggregate hash rate, so the §6.1
+// "difficulty level" axis sweeps honestly (attempts double per bit).
+
+#ifndef PROVLEDGER_CONSENSUS_POW_H_
+#define PROVLEDGER_CONSENSUS_POW_H_
+
+#include "consensus/engine.h"
+
+namespace provledger {
+namespace consensus {
+
+/// \brief Nakamoto PoW over the validator set.
+class PowEngine : public ConsensusEngine {
+ public:
+  explicit PowEngine(const ConsensusConfig& config);
+
+  std::string name() const override { return "pow"; }
+  Result<CommitResult> Propose(const Bytes& payload) override;
+  Timestamp now_us() const override { return clock_.NowMicros(); }
+
+  /// The winning nonce of the last commit (exposed for chain sealing).
+  uint64_t last_nonce() const { return last_nonce_; }
+
+ private:
+  ConsensusConfig config_;
+  SimClock clock_;
+  network::SimNetwork net_;
+  Rng rng_;
+  uint64_t height_ = 0;
+  uint64_t last_nonce_ = 0;
+};
+
+}  // namespace consensus
+}  // namespace provledger
+
+#endif  // PROVLEDGER_CONSENSUS_POW_H_

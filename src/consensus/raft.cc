@@ -1,0 +1,136 @@
+#include "consensus/raft.h"
+
+#include "common/codec.h"
+
+namespace provledger {
+namespace consensus {
+
+RaftEngine::RaftEngine(const ConsensusConfig& config)
+    : config_(config), clock_(), net_(&clock_, config.seed, config.net) {
+  peers_.resize(config_.num_nodes);
+  // The last `crashed_nodes` ids start crashed.
+  for (uint32_t i = 0; i < config_.crashed_nodes && i < config_.num_nodes;
+       ++i) {
+    peers_[config_.num_nodes - 1 - i].crashed = true;
+  }
+  for (uint32_t i = 0; i < config_.num_nodes; ++i) {
+    net_.AddNode([this, i](const network::Message& msg) {
+      HandleMessage(i, msg);
+    });
+  }
+}
+
+size_t RaftEngine::AliveCount() const {
+  size_t n = 0;
+  for (const auto& p : peers_) n += p.crashed ? 0 : 1;
+  return n;
+}
+
+void RaftEngine::CrashLeader() {
+  if (leader_ >= 0) {
+    peers_[leader_].crashed = true;
+    leader_ = -1;
+  }
+}
+
+void RaftEngine::HandleMessage(network::NodeId self,
+                               const network::Message& msg) {
+  Peer& p = peers_[self];
+  if (p.crashed) return;
+
+  if (msg.type == "raft/request-vote") {
+    Decoder dec(msg.payload);
+    uint64_t candidate_term = 0;
+    if (!dec.GetU64(&candidate_term).ok()) return;
+    if (candidate_term > p.voted_term) {
+      p.voted_term = candidate_term;
+      Encoder enc;
+      enc.PutU64(candidate_term);
+      net_.Send(self, msg.from, "raft/vote-granted", enc.TakeBuffer());
+    }
+  } else if (msg.type == "raft/vote-granted") {
+    ++votes_;
+  } else if (msg.type == "raft/append-entries") {
+    p.log_length++;
+    p.acked_index = p.log_length;
+    net_.Send(self, msg.from, "raft/append-ack", Bytes{});
+  } else if (msg.type == "raft/append-ack") {
+    ++acks_;
+  } else if (msg.type == "raft/commit-notify") {
+    // Followers learn the commit index; no reply required.
+  }
+}
+
+Status RaftEngine::ElectLeader() {
+  // Candidates try in id order (a deterministic stand-in for randomized
+  // election timeouts).
+  for (uint32_t candidate = 0; candidate < config_.num_nodes; ++candidate) {
+    if (peers_[candidate].crashed) continue;
+    ++term_;
+    votes_ = 1;  // self-vote
+    peers_[candidate].voted_term = term_;
+    Encoder enc;
+    enc.PutU64(term_);
+    net_.Broadcast(candidate, "raft/request-vote", enc.buffer());
+    net_.RunUntilIdle();
+    if (votes_ * 2 > config_.num_nodes) {
+      leader_ = static_cast<int32_t>(candidate);
+      return Status::OK();
+    }
+    clock_.Advance(config_.timeout_us / 10);  // election timeout, retry
+  }
+  return Status::Unavailable("no candidate achieved a majority");
+}
+
+Result<CommitResult> RaftEngine::Propose(const Bytes& payload) {
+  if (AliveCount() * 2 <= config_.num_nodes) {
+    return Status::Unavailable(
+        "raft quorum unavailable: too many crashed nodes");
+  }
+  const auto start_metrics = net_.metrics();
+  const Timestamp start = clock_.NowMicros();
+  uint64_t rounds = 0;
+
+  if (leader_ < 0 || peers_[leader_].crashed) {
+    PROVLEDGER_RETURN_NOT_OK(ElectLeader());
+    ++rounds;
+  }
+
+  // Replicate: AppendEntries to all, commit on majority ack.
+  acks_ = 1;  // leader's own log append
+  peers_[leader_].log_length++;
+  peers_[leader_].acked_index = peers_[leader_].log_length;
+  net_.Broadcast(static_cast<network::NodeId>(leader_), "raft/append-entries",
+                 payload);
+  net_.RunUntilIdle();
+  ++rounds;
+
+  if (acks_ * 2 <= config_.num_nodes) {
+    return Status::TimedOut("append-entries did not reach a majority");
+  }
+
+  // Leader advances the commit index and notifies followers.
+  ++log_index_;
+  Encoder enc;
+  enc.PutU64(log_index_);
+  net_.Broadcast(static_cast<network::NodeId>(leader_), "raft/commit-notify",
+                 enc.buffer());
+  net_.RunUntilIdle();
+  ++rounds;
+
+  CommitResult result;
+  Encoder digest_enc;
+  digest_enc.PutU64(log_index_);
+  digest_enc.PutBytes(payload);
+  result.payload_digest = crypto::Sha256::Hash(digest_enc.buffer());
+  result.proposer = static_cast<uint32_t>(leader_);
+  result.metrics.messages =
+      net_.metrics().messages_sent - start_metrics.messages_sent;
+  result.metrics.bytes = net_.metrics().bytes_sent - start_metrics.bytes_sent;
+  result.metrics.rounds = rounds;
+  result.metrics.latency_us = clock_.NowMicros() - start;
+  return result;
+}
+
+}  // namespace consensus
+}  // namespace provledger

@@ -1,0 +1,118 @@
+#include "contracts/incentive.h"
+
+#include "common/codec.h"
+
+namespace provledger {
+namespace contracts {
+
+IncentiveContract::IncentiveContract(uint64_t reward_per_proof)
+    : reward_per_proof_(reward_per_proof) {}
+
+Bytes IncentiveContract::DepositArgs(const std::string& account,
+                                     uint64_t amount) {
+  Encoder enc;
+  enc.PutString(account);
+  enc.PutU64(amount);
+  return enc.TakeBuffer();
+}
+
+Bytes IncentiveContract::RewardArgs(const std::string& worker,
+                                    uint64_t amount) {
+  return DepositArgs(worker, amount);
+}
+
+Bytes IncentiveContract::BalanceArgs(const std::string& account) {
+  Encoder enc;
+  enc.PutString(account);
+  return enc.TakeBuffer();
+}
+
+Bytes IncentiveContract::RecordProofArgs(const std::string& worker,
+                                         const std::string& proof_id) {
+  Encoder enc;
+  enc.PutString(worker);
+  enc.PutString(proof_id);
+  return enc.TakeBuffer();
+}
+
+Result<uint64_t> IncentiveContract::GetBalance(ContractContext* ctx,
+                                               const std::string& account) {
+  auto value = ctx->GetState("balance/" + account);
+  if (!value.ok()) return uint64_t{0};
+  Decoder dec(value.value());
+  uint64_t amount = 0;
+  PROVLEDGER_RETURN_NOT_OK(dec.GetU64(&amount));
+  return amount;
+}
+
+Status IncentiveContract::SetBalance(ContractContext* ctx,
+                                     const std::string& account,
+                                     uint64_t amount) {
+  Encoder enc;
+  enc.PutU64(amount);
+  return ctx->PutState("balance/" + account, enc.TakeBuffer());
+}
+
+Result<Bytes> IncentiveContract::Invoke(ContractContext* ctx,
+                                        const std::string& method,
+                                        const Bytes& args) {
+  Decoder dec(args);
+  if (method == "deposit") {
+    std::string account;
+    uint64_t amount = 0;
+    PROVLEDGER_RETURN_NOT_OK(dec.GetString(&account));
+    PROVLEDGER_RETURN_NOT_OK(dec.GetU64(&amount));
+    PROVLEDGER_ASSIGN_OR_RETURN(uint64_t balance, GetBalance(ctx, account));
+    PROVLEDGER_RETURN_NOT_OK(SetBalance(ctx, account, balance + amount));
+    return Bytes{};
+  }
+  if (method == "reward") {
+    std::string worker;
+    uint64_t amount = 0;
+    PROVLEDGER_RETURN_NOT_OK(dec.GetString(&worker));
+    PROVLEDGER_RETURN_NOT_OK(dec.GetU64(&amount));
+    PROVLEDGER_ASSIGN_OR_RETURN(uint64_t sponsor,
+                                GetBalance(ctx, ctx->caller()));
+    if (sponsor < amount) {
+      return Status::FailedPrecondition("insufficient escrow balance");
+    }
+    PROVLEDGER_ASSIGN_OR_RETURN(uint64_t wb, GetBalance(ctx, worker));
+    PROVLEDGER_RETURN_NOT_OK(SetBalance(ctx, ctx->caller(), sponsor - amount));
+    PROVLEDGER_RETURN_NOT_OK(SetBalance(ctx, worker, wb + amount));
+    PROVLEDGER_RETURN_NOT_OK(ctx->EmitEvent("rewarded", worker));
+    return Bytes{};
+  }
+  if (method == "balance") {
+    std::string account;
+    PROVLEDGER_RETURN_NOT_OK(dec.GetString(&account));
+    PROVLEDGER_ASSIGN_OR_RETURN(uint64_t balance, GetBalance(ctx, account));
+    Encoder enc;
+    enc.PutU64(balance);
+    return enc.TakeBuffer();
+  }
+  if (method == "record_proof") {
+    std::string worker, proof_id;
+    PROVLEDGER_RETURN_NOT_OK(dec.GetString(&worker));
+    PROVLEDGER_RETURN_NOT_OK(dec.GetString(&proof_id));
+    // One reward per proof id.
+    if (ctx->GetState("proof/" + proof_id).ok()) {
+      return Status::AlreadyExists("proof already rewarded: " + proof_id);
+    }
+    PROVLEDGER_ASSIGN_OR_RETURN(uint64_t sponsor,
+                                GetBalance(ctx, ctx->caller()));
+    if (sponsor < reward_per_proof_) {
+      return Status::FailedPrecondition("insufficient escrow for reward");
+    }
+    PROVLEDGER_ASSIGN_OR_RETURN(uint64_t wb, GetBalance(ctx, worker));
+    PROVLEDGER_RETURN_NOT_OK(ctx->PutState("proof/" + proof_id, worker));
+    PROVLEDGER_RETURN_NOT_OK(
+        SetBalance(ctx, ctx->caller(), sponsor - reward_per_proof_));
+    PROVLEDGER_RETURN_NOT_OK(SetBalance(ctx, worker, wb + reward_per_proof_));
+    PROVLEDGER_RETURN_NOT_OK(ctx->EmitEvent("proof-rewarded", proof_id));
+    return Bytes{};
+  }
+  return Status::InvalidArgument("unknown method: " + method);
+}
+
+}  // namespace contracts
+}  // namespace provledger

@@ -1,0 +1,48 @@
+// Incentive contract (PrivChain [52]): participants who submit valid
+// (range-)proofs about their private supply-chain data are paid
+// automatically. Methods:
+//   deposit(account, amount)        — fund an account (sponsor escrow)
+//   reward(worker, amount)          — pay from the caller's escrow
+//   balance(account)                — query
+//   record_proof(worker, proof_id)  — log a verified proof and auto-reward
+// The contract never sees the private data; the verifier calls
+// record_proof only after Zkrp::Verify succeeds, which is exactly
+// PrivChain's "proof instead of data, payment by smart contract" loop.
+
+#ifndef PROVLEDGER_CONTRACTS_INCENTIVE_H_
+#define PROVLEDGER_CONTRACTS_INCENTIVE_H_
+
+#include "contracts/runtime.h"
+
+namespace provledger {
+namespace contracts {
+
+/// \brief Escrowed proof-reward accounting.
+class IncentiveContract : public Contract {
+ public:
+  /// `reward_per_proof` paid out on every record_proof call.
+  explicit IncentiveContract(uint64_t reward_per_proof = 10);
+
+  std::string name() const override { return "incentive"; }
+  Result<Bytes> Invoke(ContractContext* ctx, const std::string& method,
+                       const Bytes& args) override;
+
+  /// Helpers for encoding arguments.
+  static Bytes DepositArgs(const std::string& account, uint64_t amount);
+  static Bytes RewardArgs(const std::string& worker, uint64_t amount);
+  static Bytes BalanceArgs(const std::string& account);
+  static Bytes RecordProofArgs(const std::string& worker,
+                               const std::string& proof_id);
+
+ private:
+  Result<uint64_t> GetBalance(ContractContext* ctx, const std::string& account);
+  Status SetBalance(ContractContext* ctx, const std::string& account,
+                    uint64_t amount);
+
+  uint64_t reward_per_proof_;
+};
+
+}  // namespace contracts
+}  // namespace provledger
+
+#endif  // PROVLEDGER_CONTRACTS_INCENTIVE_H_

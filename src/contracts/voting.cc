@@ -1,0 +1,110 @@
+#include "contracts/voting.h"
+
+#include "common/codec.h"
+
+namespace provledger {
+namespace contracts {
+
+namespace {
+std::string BallotKey(const std::string& id) { return "ballot/" + id; }
+std::string VoteKey(const std::string& id, const std::string& voter) {
+  return "ballot/" + id + "/vote/" + voter;
+}
+std::string CountKey(const std::string& id, bool approve) {
+  return "ballot/" + id + (approve ? "/yes" : "/no");
+}
+
+Result<uint64_t> ReadCounter(ContractContext* ctx, const std::string& key) {
+  auto value = ctx->GetState(key);
+  if (!value.ok()) return uint64_t{0};
+  Decoder dec(value.value());
+  uint64_t n = 0;
+  PROVLEDGER_RETURN_NOT_OK(dec.GetU64(&n));
+  return n;
+}
+
+Status WriteCounter(ContractContext* ctx, const std::string& key, uint64_t n) {
+  Encoder enc;
+  enc.PutU64(n);
+  return ctx->PutState(key, enc.TakeBuffer());
+}
+}  // namespace
+
+ThresholdVoteContract::ThresholdVoteContract(std::set<std::string> voters,
+                                             uint32_t threshold_percent)
+    : voters_(std::move(voters)), threshold_percent_(threshold_percent) {}
+
+Result<Bytes> ThresholdVoteContract::Invoke(ContractContext* ctx,
+                                            const std::string& method,
+                                            const Bytes& args) {
+  if (method == "propose") return Propose(ctx, args);
+  if (method == "vote") return Vote(ctx, args);
+  if (method == "status") return GetStatus(ctx, args);
+  return Status::InvalidArgument("unknown method: " + method);
+}
+
+Result<Bytes> ThresholdVoteContract::Propose(ContractContext* ctx,
+                                             const Bytes& args) {
+  Decoder dec(args);
+  std::string id;
+  PROVLEDGER_RETURN_NOT_OK(dec.GetString(&id));
+  if (ctx->GetState(BallotKey(id)).ok()) {
+    return Status::AlreadyExists("ballot already open: " + id);
+  }
+  PROVLEDGER_RETURN_NOT_OK(ctx->PutState(BallotKey(id), "open"));
+  PROVLEDGER_RETURN_NOT_OK(ctx->EmitEvent("proposed", id));
+  return ToBytes("open");
+}
+
+Result<Bytes> ThresholdVoteContract::Vote(ContractContext* ctx,
+                                          const Bytes& args) {
+  Decoder dec(args);
+  std::string id;
+  bool approve = false;
+  PROVLEDGER_RETURN_NOT_OK(dec.GetString(&id));
+  PROVLEDGER_RETURN_NOT_OK(dec.GetBool(&approve));
+
+  if (!voters_.count(ctx->caller())) {
+    return Status::PermissionDenied("not a registered voter: " +
+                                    ctx->caller());
+  }
+  auto state = ctx->GetState(BallotKey(id));
+  if (!state.ok()) return Status::NotFound("no such ballot: " + id);
+  if (BytesToString(state.value()) != "open") {
+    return Status::FailedPrecondition("ballot already closed: " + id);
+  }
+  if (ctx->GetState(VoteKey(id, ctx->caller())).ok()) {
+    return Status::AlreadyExists("voter already voted: " + ctx->caller());
+  }
+  PROVLEDGER_RETURN_NOT_OK(
+      ctx->PutState(VoteKey(id, ctx->caller()), approve ? "yes" : "no"));
+
+  PROVLEDGER_ASSIGN_OR_RETURN(uint64_t count,
+                              ReadCounter(ctx, CountKey(id, approve)));
+  ++count;
+  PROVLEDGER_RETURN_NOT_OK(WriteCounter(ctx, CountKey(id, approve), count));
+
+  // Close the ballot once a side crosses the threshold.
+  const uint64_t needed =
+      voters_.size() * threshold_percent_ / 100 + 1;  // strictly more than %
+  if (count >= needed) {
+    const char* verdict = approve ? "approved" : "rejected";
+    PROVLEDGER_RETURN_NOT_OK(ctx->PutState(BallotKey(id), verdict));
+    PROVLEDGER_RETURN_NOT_OK(ctx->EmitEvent(verdict, id));
+    return ToBytes(verdict);
+  }
+  return ToBytes("open");
+}
+
+Result<Bytes> ThresholdVoteContract::GetStatus(ContractContext* ctx,
+                                               const Bytes& args) {
+  Decoder dec(args);
+  std::string id;
+  PROVLEDGER_RETURN_NOT_OK(dec.GetString(&id));
+  auto state = ctx->GetState(BallotKey(id));
+  if (!state.ok()) return Status::NotFound("no such ballot: " + id);
+  return state.value();
+}
+
+}  // namespace contracts
+}  // namespace provledger

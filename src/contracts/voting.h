@@ -1,0 +1,49 @@
+// Threshold-vote contract (SmartProvenance [63]): provenance records are
+// accepted onto the ledger only after a voter quorum approves them. Methods:
+//   propose(id)        — open a ballot for a record hash
+//   vote(id, approve)  — one vote per registered voter per ballot
+//   status(id)         — "open" / "approved" / "rejected"
+// A ballot closes as soon as the approval (or rejection) threshold is
+// mathematically reached; "approved"/"rejected" events fire exactly once.
+
+#ifndef PROVLEDGER_CONTRACTS_VOTING_H_
+#define PROVLEDGER_CONTRACTS_VOTING_H_
+
+#include <set>
+#include <string>
+
+#include "contracts/runtime.h"
+
+namespace provledger {
+namespace contracts {
+
+/// \brief SmartProvenance-style record-approval voting.
+///
+/// Arguments are encoded with common/codec.h:
+///   propose: PutString(ballot_id)
+///   vote:    PutString(ballot_id), PutBool(approve)
+///   status:  PutString(ballot_id)  -> returns the state string
+class ThresholdVoteContract : public Contract {
+ public:
+  /// `voters` are the registered identities; a ballot passes when
+  /// strictly more than `threshold_percent`% of them approve.
+  ThresholdVoteContract(std::set<std::string> voters,
+                        uint32_t threshold_percent = 50);
+
+  std::string name() const override { return "threshold-vote"; }
+  Result<Bytes> Invoke(ContractContext* ctx, const std::string& method,
+                       const Bytes& args) override;
+
+ private:
+  Result<Bytes> Propose(ContractContext* ctx, const Bytes& args);
+  Result<Bytes> Vote(ContractContext* ctx, const Bytes& args);
+  Result<Bytes> GetStatus(ContractContext* ctx, const Bytes& args);
+
+  std::set<std::string> voters_;
+  uint32_t threshold_percent_;
+};
+
+}  // namespace contracts
+}  // namespace provledger
+
+#endif  // PROVLEDGER_CONTRACTS_VOTING_H_

@@ -1,0 +1,181 @@
+#include "crosschain/forensicross.h"
+
+namespace provledger {
+namespace crosschain {
+
+ForensiCross::ForensiCross(Clock* clock, uint32_t notaries)
+    : clock_(clock),
+      bridge_(clock),
+      notaries_("forensicross", notaries, /*threshold=*/notaries) {}
+
+Result<ForensicOrg*> ForensiCross::FindOrg(const std::string& name) {
+  for (auto& org : orgs_) {
+    if (org.name == name) return &org;
+  }
+  return Status::NotFound("org not registered: " + name);
+}
+
+Status ForensiCross::RegisterOrg(const ForensicOrg& org) {
+  for (const auto& existing : orgs_) {
+    if (existing.name == org.name) {
+      return Status::AlreadyExists("org already registered: " + org.name);
+    }
+  }
+  PROVLEDGER_ASSIGN_OR_RETURN(ledger::BlockHeader genesis,
+                              org.chain->GetHeader(0));
+  PROVLEDGER_RETURN_NOT_OK(bridge_.RegisterChain(org.name, genesis));
+  orgs_.push_back(org);
+  return Status::OK();
+}
+
+Status ForensiCross::SyncHeaders(const std::string& org_name) {
+  PROVLEDGER_ASSIGN_OR_RETURN(ForensicOrg * org, FindOrg(org_name));
+  PROVLEDGER_ASSIGN_OR_RETURN(uint64_t relayed,
+                              bridge_.LatestHeight(org_name));
+  while (relayed < org->chain->height()) {
+    ++relayed;
+    PROVLEDGER_ASSIGN_OR_RETURN(ledger::BlockHeader header,
+                                org->chain->GetHeader(relayed));
+    PROVLEDGER_RETURN_NOT_OK(bridge_.SubmitHeader(org_name, header));
+  }
+  return Status::OK();
+}
+
+Status ForensiCross::LinkCase(const std::string& case_id,
+                              const std::string& lead,
+                              const std::string& start_date) {
+  if (orgs_.size() < 2) {
+    return Status::FailedPrecondition(
+        "cross-chain collaboration needs at least two orgs");
+  }
+  if (linked_cases_.count(case_id)) {
+    return Status::AlreadyExists("case already linked: " + case_id);
+  }
+  for (auto& org : orgs_) {
+    PROVLEDGER_RETURN_NOT_OK(org.cases->OpenCase(case_id, lead, start_date));
+  }
+  linked_cases_.insert(case_id);
+  CrossChainMessage message;
+  message.from_chain = orgs_[0].name;
+  message.to_chain = orgs_[1].name;
+  message.type = "forensics/case-link";
+  message.payload = ToBytes(case_id);
+  return bridge_.SendMessage(message);
+}
+
+Status ForensiCross::AdvanceLinkedStage(const std::string& case_id,
+                                        const std::string& actor,
+                                        uint32_t signing_notaries) {
+  if (!linked_cases_.count(case_id)) {
+    return Status::NotFound("case not linked: " + case_id);
+  }
+  // Unanimous notary validation of the transition statement.
+  Bytes statement = ToBytes("advance/" + case_id + "/" + actor);
+  NotaryCommittee::Attestation attestation =
+      notaries_.Attest(statement, signing_notaries);
+  if (!notaries_.Verify(attestation)) {
+    return Status::PermissionDenied(
+        "stage advance requires unanimous notary agreement");
+  }
+  // All-or-nothing across orgs: validate first, then apply.
+  for (auto& org : orgs_) {
+    auto stage = org.cases->CurrentStage(case_id);
+    if (!stage.ok()) return stage.status();
+  }
+  for (auto& org : orgs_) {
+    PROVLEDGER_RETURN_NOT_OK(org.cases->AdvanceStage(case_id, actor));
+  }
+  // Broadcast the transition over the bridge for the audit log.
+  for (size_t i = 1; i < orgs_.size(); ++i) {
+    CrossChainMessage message;
+    message.from_chain = orgs_[0].name;
+    message.to_chain = orgs_[i].name;
+    message.type = "forensics/stage-advance";
+    message.payload = statement;
+    PROVLEDGER_RETURN_NOT_OK(bridge_.SendMessage(message));
+  }
+  return Status::OK();
+}
+
+Result<SharedEvidence> ForensiCross::ShareEvidence(
+    const std::string& from_org, const std::string& case_id,
+    const std::string& evidence_id) {
+  PROVLEDGER_ASSIGN_OR_RETURN(ForensicOrg * org, FindOrg(from_org));
+  PROVLEDGER_ASSIGN_OR_RETURN(forensics::Evidence evidence,
+                              org->cases->GetEvidence(case_id, evidence_id));
+  // The sender's collect-evidence record + its inclusion proof.
+  auto history = org->cases->EvidenceHistory(case_id, evidence_id);
+  if (history.empty()) {
+    return Status::NotFound("no anchored history for " + evidence_id);
+  }
+  SharedEvidence shared;
+  shared.from_org = from_org;
+  shared.case_id = case_id;
+  shared.evidence_id = evidence_id;
+  shared.content_hash = evidence.content_hash;
+  shared.record = history.front();
+  PROVLEDGER_ASSIGN_OR_RETURN(shared.proof,
+                              org->store->ProveRecord(shared.record.record_id));
+  // Make sure the bridge has headers covering the proof.
+  PROVLEDGER_RETURN_NOT_OK(SyncHeaders(from_org));
+
+  // Announce the pointer to the other orgs.
+  for (auto& other : orgs_) {
+    if (other.name == from_org) continue;
+    CrossChainMessage message;
+    message.from_chain = from_org;
+    message.to_chain = other.name;
+    message.type = "forensics/evidence-pointer";
+    message.payload = shared.record.Encode();
+    PROVLEDGER_RETURN_NOT_OK(bridge_.SendMessage(message));
+  }
+  return shared;
+}
+
+Status ForensiCross::VerifySharedEvidence(const SharedEvidence& shared) {
+  PROVLEDGER_ASSIGN_OR_RETURN(ForensicOrg * org, FindOrg(shared.from_org));
+  // Recipient-side verification trusts only (a) the relayed headers on the
+  // bridge and (b) the Merkle math — never the sender's claims. The sender
+  // chain is contacted solely to fetch the anchoring transaction bytes (in
+  // a deployment the sender ships them alongside the pointer); any
+  // tampering in those bytes fails the Merkle check below.
+  PROVLEDGER_ASSIGN_OR_RETURN(ledger::Block block,
+                              org->chain->GetBlockByHash(shared.proof.block_hash));
+  if (shared.proof.merkle_proof.leaf_index >= block.transactions.size()) {
+    return Status::Unauthenticated("proof index out of range");
+  }
+  const ledger::Transaction& tx =
+      block.transactions[shared.proof.merkle_proof.leaf_index];
+  if (tx.payload != shared.record.Encode()) {
+    return Status::Unauthenticated("shared record does not match anchor");
+  }
+  if (shared.record.payload_hash != crypto::ZeroDigest() &&
+      shared.record.payload_hash != shared.content_hash) {
+    return Status::Unauthenticated("content hash mismatch");
+  }
+  return bridge_.VerifyForeignTransaction(shared.from_org, tx.Encode(),
+                                          shared.proof);
+}
+
+std::vector<AuthenticatedRecord> ForensiCross::ExtractProvenance(
+    const std::string& evidence_id) {
+  std::vector<AuthenticatedRecord> out;
+  for (auto& org : orgs_) {
+    for (const auto& record : org.store->SubjectHistory(evidence_id)) {
+      AuthenticatedRecord authenticated;
+      authenticated.chain_id = org.name;
+      authenticated.record = record;
+      auto proof = org.store->ProveRecord(record.record_id);
+      if (proof.ok()) {
+        authenticated.proof = proof.value();
+        authenticated.verified =
+            org.store->VerifyRecordProof(record, authenticated.proof);
+      }
+      out.push_back(std::move(authenticated));
+    }
+  }
+  return out;
+}
+
+}  // namespace crosschain
+}  // namespace provledger

@@ -1,0 +1,96 @@
+// ForensiCross [11]: cross-chain collaboration for digital forensics.
+//
+// Two (or more) organizations each run their own chain, provenance store,
+// and CaseManager. A BridgeChain (relay + unanimous notary validation)
+// carries case-linking, stage-synchronization, and evidence-pointer
+// messages between them:
+//   * stage advances on one side propagate to the others, keeping linked
+//     investigations in lock-step ("synchronization of investigative
+//     stages" with "unanimous agreement for progression");
+//   * evidence is shared as content hash + Merkle proof, verifiable by the
+//     recipient against relayed headers without trusting the sender;
+//   * cross-chain provenance extraction gathers both sides' evidence
+//     histories through the dependency-chain query engine pattern.
+
+#ifndef PROVLEDGER_CROSSCHAIN_FORENSICROSS_H_
+#define PROVLEDGER_CROSSCHAIN_FORENSICROSS_H_
+
+#include "crosschain/provquery.h"
+#include "crosschain/relay.h"
+#include "domains/forensics/case_manager.h"
+
+namespace provledger {
+namespace crosschain {
+
+/// \brief One participating organization.
+struct ForensicOrg {
+  std::string name;
+  ledger::Blockchain* chain = nullptr;
+  prov::ProvenanceStore* store = nullptr;
+  forensics::CaseManager* cases = nullptr;
+};
+
+/// \brief A shared evidence pointer as carried over the bridge.
+struct SharedEvidence {
+  std::string from_org;
+  std::string case_id;
+  std::string evidence_id;
+  crypto::Digest content_hash;
+  prov::ProvenanceRecord record;   // the sender's collect-evidence record
+  ledger::TxProof proof;           // its inclusion proof on the sender chain
+};
+
+/// \brief The cross-chain forensic collaboration coordinator.
+class ForensiCross {
+ public:
+  ForensiCross(Clock* clock, uint32_t notaries = 4);
+
+  /// Register an organization; its chain's genesis header is relayed.
+  Status RegisterOrg(const ForensicOrg& org);
+
+  /// Link a case across all registered orgs: each org opens a local case
+  /// with the shared id (stage lock-step starts at identification).
+  Status LinkCase(const std::string& case_id, const std::string& lead,
+                  const std::string& start_date);
+
+  /// Advance the linked case everywhere. Requires a unanimous notary
+  /// attestation over the transition statement (ForensiCross's "unanimous
+  /// agreement for progression"); with fewer than all notaries signing the
+  /// advance is rejected everywhere.
+  Status AdvanceLinkedStage(const std::string& case_id,
+                            const std::string& actor,
+                            uint32_t signing_notaries = 0);
+
+  /// Sync the org's chain headers to the bridge (call after local writes).
+  Status SyncHeaders(const std::string& org_name);
+
+  /// Share evidence from one org to the others: pointer + proof over the
+  /// bridge. The receiving side verifies against relayed headers.
+  Result<SharedEvidence> ShareEvidence(const std::string& from_org,
+                                       const std::string& case_id,
+                                       const std::string& evidence_id);
+  /// Receiver-side verification of a shared pointer (relay-based, does not
+  /// trust the sender).
+  Status VerifySharedEvidence(const SharedEvidence& shared);
+
+  /// Cross-org provenance extraction for a case's evidence item.
+  std::vector<AuthenticatedRecord> ExtractProvenance(
+      const std::string& evidence_id);
+
+  RelayChain* bridge() { return &bridge_; }
+  const NotaryCommittee& notaries() const { return notaries_; }
+
+ private:
+  Result<ForensicOrg*> FindOrg(const std::string& name);
+
+  Clock* clock_;
+  RelayChain bridge_;
+  NotaryCommittee notaries_;
+  std::vector<ForensicOrg> orgs_;
+  std::set<std::string> linked_cases_;
+};
+
+}  // namespace crosschain
+}  // namespace provledger
+
+#endif  // PROVLEDGER_CROSSCHAIN_FORENSICROSS_H_

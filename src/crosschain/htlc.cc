@@ -1,0 +1,194 @@
+#include "crosschain/htlc.h"
+
+namespace provledger {
+namespace crosschain {
+
+AssetLedger::AssetLedger(const std::string& chain_id, Clock* clock)
+    : chain_id_(chain_id),
+      clock_(clock),
+      chain_(ledger::ChainOptions{.chain_id = chain_id}) {}
+
+Status AssetLedger::Anchor(const std::string& operation,
+                           const std::string& detail) {
+  Encoder enc;
+  enc.PutString(operation);
+  enc.PutString(detail);
+  ledger::Transaction tx = ledger::Transaction::MakeSystem(
+      "asset/" + operation, "assets", enc.TakeBuffer(), clock_->NowMicros(),
+      ++seq_);
+  return chain_.Append({tx}, clock_->NowMicros(), "asset-ledger").status();
+}
+
+Status AssetLedger::Mint(const std::string& account, uint64_t amount) {
+  balances_[account] += amount;
+  return Anchor("mint", account + ":" + std::to_string(amount));
+}
+
+Result<uint64_t> AssetLedger::BalanceOf(const std::string& account) const {
+  auto it = balances_.find(account);
+  return it == balances_.end() ? uint64_t{0} : it->second;
+}
+
+Status AssetLedger::Transfer(const std::string& from, const std::string& to,
+                             uint64_t amount) {
+  auto it = balances_.find(from);
+  if (it == balances_.end() || it->second < amount) {
+    return Status::FailedPrecondition("insufficient balance for " + from);
+  }
+  it->second -= amount;
+  balances_[to] += amount;
+  return Anchor("transfer", from + ">" + to + ":" + std::to_string(amount));
+}
+
+Result<std::string> AssetLedger::Lock(const std::string& sender,
+                                      const std::string& recipient,
+                                      uint64_t amount,
+                                      const crypto::HashLock& lock,
+                                      Timestamp timeout_at) {
+  auto it = balances_.find(sender);
+  if (it == balances_.end() || it->second < amount) {
+    return Status::FailedPrecondition("insufficient balance for " + sender);
+  }
+  if (timeout_at <= clock_->NowMicros()) {
+    return Status::InvalidArgument("timeout must be in the future");
+  }
+  it->second -= amount;
+  const std::string escrow_id =
+      chain_id_ + "-htlc-" + std::to_string(escrows_.size() + 1);
+  Escrow escrow;
+  escrow.sender = sender;
+  escrow.recipient = recipient;
+  escrow.amount = amount;
+  escrow.lock = lock;
+  escrow.timeout_at = timeout_at;
+  escrows_.emplace(escrow_id, std::move(escrow));
+  PROVLEDGER_RETURN_NOT_OK(Anchor("htlc-lock", escrow_id));
+  return escrow_id;
+}
+
+Status AssetLedger::Claim(const std::string& escrow_id,
+                          const std::string& recipient,
+                          const Bytes& preimage) {
+  auto it = escrows_.find(escrow_id);
+  if (it == escrows_.end()) {
+    return Status::NotFound("no such escrow: " + escrow_id);
+  }
+  Escrow& escrow = it->second;
+  if (escrow.state != EscrowState::kLocked) {
+    return Status::FailedPrecondition("escrow is not locked");
+  }
+  if (escrow.recipient != recipient) {
+    return Status::PermissionDenied("escrow not addressed to " + recipient);
+  }
+  if (clock_->NowMicros() >= escrow.timeout_at) {
+    return Status::TimedOut("escrow timed out; only refund is possible");
+  }
+  if (!escrow.lock.Matches(preimage)) {
+    return Status::Unauthenticated("wrong preimage for escrow " + escrow_id);
+  }
+  escrow.state = EscrowState::kClaimed;
+  escrow.revealed_preimage = preimage;  // public on-chain from now on
+  balances_[recipient] += escrow.amount;
+  return Anchor("htlc-claim", escrow_id);
+}
+
+Status AssetLedger::Refund(const std::string& escrow_id,
+                           const std::string& sender) {
+  auto it = escrows_.find(escrow_id);
+  if (it == escrows_.end()) {
+    return Status::NotFound("no such escrow: " + escrow_id);
+  }
+  Escrow& escrow = it->second;
+  if (escrow.state != EscrowState::kLocked) {
+    return Status::FailedPrecondition("escrow is not locked");
+  }
+  if (escrow.sender != sender) {
+    return Status::PermissionDenied("only the sender may refund");
+  }
+  if (clock_->NowMicros() < escrow.timeout_at) {
+    return Status::FailedPrecondition("escrow has not timed out yet");
+  }
+  escrow.state = EscrowState::kRefunded;
+  balances_[sender] += escrow.amount;
+  return Anchor("htlc-refund", escrow_id);
+}
+
+Result<Bytes> AssetLedger::RevealedPreimage(
+    const std::string& escrow_id) const {
+  auto it = escrows_.find(escrow_id);
+  if (it == escrows_.end()) {
+    return Status::NotFound("no such escrow: " + escrow_id);
+  }
+  if (it->second.state != EscrowState::kClaimed) {
+    return Status::FailedPrecondition("escrow not claimed yet");
+  }
+  return it->second.revealed_preimage;
+}
+
+AtomicSwap::AtomicSwap(AssetLedger* ledger_a, AssetLedger* ledger_b,
+                       SimClock* clock)
+    : ledger_a_(ledger_a), ledger_b_(ledger_b), clock_(clock) {}
+
+Result<SwapOutcome> AtomicSwap::Execute(const std::string& alice,
+                                        const std::string& bob,
+                                        uint64_t amount_a, uint64_t amount_b,
+                                        const Bytes& secret,
+                                        Timestamp lock_duration_us) {
+  const crypto::HashLock lock = crypto::HashLock::FromSecret(secret);
+  const Timestamp now = clock_->NowMicros();
+  // Leader's (Alice's) lock lives twice as long as Bob's: Bob must be able
+  // to claim with the revealed preimage before Alice's side could refund.
+  const Timestamp alice_timeout = now + 2 * lock_duration_us;
+  const Timestamp bob_timeout = now + lock_duration_us;
+
+  // Step 1: Alice (secret holder) locks on chain A for Bob.
+  PROVLEDGER_ASSIGN_OR_RETURN(
+      std::string escrow_a,
+      ledger_a_->Lock(alice, bob, amount_a, lock, alice_timeout));
+  clock_->Advance(1000);
+
+  // Step 2: Bob sees the lock and locks on chain B for Alice (same hash).
+  PROVLEDGER_ASSIGN_OR_RETURN(
+      std::string escrow_b,
+      ledger_b_->Lock(bob, alice, amount_b, lock, bob_timeout));
+  clock_->Advance(1000);
+
+  // Step 3: Alice claims on chain B, revealing the preimage on-chain.
+  PROVLEDGER_RETURN_NOT_OK(ledger_b_->Claim(escrow_b, alice, secret));
+  clock_->Advance(1000);
+
+  // Step 4: Bob reads the revealed preimage and claims on chain A.
+  PROVLEDGER_ASSIGN_OR_RETURN(Bytes revealed,
+                              ledger_b_->RevealedPreimage(escrow_b));
+  PROVLEDGER_RETURN_NOT_OK(ledger_a_->Claim(escrow_a, bob, revealed));
+
+  SwapOutcome outcome;
+  outcome.completed = true;
+  outcome.detail = "both legs claimed";
+  return outcome;
+}
+
+Result<SwapOutcome> AtomicSwap::ExecuteWithBobAbort(
+    const std::string& alice, const std::string& bob, uint64_t amount_a,
+    uint64_t /*amount_b*/, const Bytes& secret, Timestamp lock_duration_us) {
+  const crypto::HashLock lock = crypto::HashLock::FromSecret(secret);
+  const Timestamp now = clock_->NowMicros();
+  const Timestamp alice_timeout = now + 2 * lock_duration_us;
+
+  PROVLEDGER_ASSIGN_OR_RETURN(
+      std::string escrow_a,
+      ledger_a_->Lock(alice, bob, amount_a, lock, alice_timeout));
+
+  // Bob never locks. Alice must NOT reveal the secret; she waits out her
+  // own timeout and refunds. No party can end up half-paid.
+  clock_->SetMicros(alice_timeout + 1);
+  PROVLEDGER_RETURN_NOT_OK(ledger_a_->Refund(escrow_a, alice));
+
+  SwapOutcome outcome;
+  outcome.refunded = true;
+  outcome.detail = "counterparty aborted; leader refunded after timeout";
+  return outcome;
+}
+
+}  // namespace crosschain
+}  // namespace provledger

@@ -1,0 +1,142 @@
+#include "crosschain/relay.h"
+
+namespace provledger {
+namespace crosschain {
+
+RelayChain::RelayChain(Clock* clock)
+    : clock_(clock),
+      relay_ledger_(ledger::ChainOptions{.chain_id = "relay-chain"}) {}
+
+Status RelayChain::Anchor(const std::string& type, const Bytes& payload) {
+  ledger::Transaction tx = ledger::Transaction::MakeSystem(
+      type, "relay", payload, clock_->NowMicros(), ++seq_);
+  return relay_ledger_.Append({tx}, clock_->NowMicros(), "relay").status();
+}
+
+Status RelayChain::RegisterChain(const std::string& chain_id,
+                                 const ledger::BlockHeader& genesis_header) {
+  if (headers_.count(chain_id)) {
+    return Status::AlreadyExists("chain already registered: " + chain_id);
+  }
+  if (genesis_header.height != 0) {
+    return Status::InvalidArgument("registration requires the genesis header");
+  }
+  headers_[chain_id].push_back(genesis_header);
+  ++header_count_;
+  Encoder enc;
+  genesis_header.EncodeTo(&enc);
+  return Anchor("relay/register:" + chain_id, enc.TakeBuffer());
+}
+
+Status RelayChain::SubmitHeader(const std::string& chain_id,
+                                const ledger::BlockHeader& header) {
+  auto it = headers_.find(chain_id);
+  if (it == headers_.end()) {
+    return Status::NotFound("chain not registered: " + chain_id);
+  }
+  const ledger::BlockHeader& tip = it->second.back();
+  if (header.height != tip.height + 1) {
+    return Status::InvalidArgument("header does not extend the relayed tip");
+  }
+  if (header.prev_hash != tip.Hash()) {
+    return Status::InvalidArgument("header prev_hash breaks continuity");
+  }
+  it->second.push_back(header);
+  ++header_count_;
+  Encoder enc;
+  header.EncodeTo(&enc);
+  return Anchor("relay/header:" + chain_id, enc.TakeBuffer());
+}
+
+Result<uint64_t> RelayChain::LatestHeight(const std::string& chain_id) const {
+  auto it = headers_.find(chain_id);
+  if (it == headers_.end()) {
+    return Status::NotFound("chain not registered: " + chain_id);
+  }
+  return it->second.back().height;
+}
+
+Status RelayChain::VerifyForeignTransaction(
+    const std::string& chain_id, const Bytes& tx_encoding,
+    const ledger::TxProof& proof) const {
+  auto it = headers_.find(chain_id);
+  if (it == headers_.end()) {
+    return Status::NotFound("chain not registered: " + chain_id);
+  }
+  if (proof.header.height >= it->second.size()) {
+    return Status::FailedPrecondition(
+        "block height not yet relayed; wait for header sync");
+  }
+  // The proof's header must be exactly the relayed one...
+  const ledger::BlockHeader& relayed = it->second[proof.header.height];
+  if (relayed.Hash() != proof.block_hash) {
+    return Status::Unauthenticated("proof header is not the relayed header");
+  }
+  // ...and the Merkle proof must bind the transaction to it.
+  if (!ledger::Blockchain::VerifyTxProofAgainstHeader(tx_encoding, proof)) {
+    return Status::Unauthenticated("merkle proof failed against header");
+  }
+  return Status::OK();
+}
+
+Status RelayChain::SendMessage(const CrossChainMessage& message) {
+  if (!headers_.count(message.from_chain)) {
+    return Status::NotFound("sender chain not registered: " +
+                            message.from_chain);
+  }
+  if (!headers_.count(message.to_chain)) {
+    return Status::NotFound("recipient chain not registered: " +
+                            message.to_chain);
+  }
+  CrossChainMessage stamped = message;
+  stamped.at = clock_->NowMicros();
+  messages_.push_back(stamped);
+  Encoder enc;
+  enc.PutString(stamped.from_chain);
+  enc.PutString(stamped.to_chain);
+  enc.PutString(stamped.type);
+  enc.PutRaw(crypto::DigestToBytes(crypto::Sha256::Hash(stamped.payload)));
+  return Anchor("relay/message", enc.TakeBuffer());
+}
+
+std::vector<CrossChainMessage> RelayChain::Inbox(
+    const std::string& chain_id) const {
+  std::vector<CrossChainMessage> out;
+  for (const auto& message : messages_) {
+    if (message.to_chain == chain_id) out.push_back(message);
+  }
+  return out;
+}
+
+NotaryCommittee::NotaryCommittee(const std::string& name, uint32_t size,
+                                 uint32_t threshold)
+    : threshold_(threshold) {
+  for (uint32_t i = 0; i < size; ++i) {
+    keys_.push_back(crypto::PrivateKey::FromSeed(name + "-notary-" +
+                                                 std::to_string(i)));
+    public_keys_.push_back(keys_.back().public_key());
+  }
+}
+
+NotaryCommittee::Attestation NotaryCommittee::Attest(const Bytes& statement,
+                                                     uint32_t signers) const {
+  if (signers == 0 || signers > keys_.size()) {
+    signers = static_cast<uint32_t>(keys_.size());
+  }
+  Attestation attestation;
+  attestation.statement = statement;
+  for (uint32_t i = 0; i < signers; ++i) {
+    attestation.signatures.parts.emplace_back(public_keys_[i],
+                                              keys_[i].Sign(statement));
+  }
+  return attestation;
+}
+
+bool NotaryCommittee::Verify(const Attestation& attestation) const {
+  return crypto::VerifyThreshold(public_keys_, threshold_,
+                                 attestation.statement,
+                                 attestation.signatures);
+}
+
+}  // namespace crosschain
+}  // namespace provledger

@@ -1,0 +1,110 @@
+// Relay-chain cross-chain verification (§2.3 relay chains; ARC [88];
+// ForensiCross's BridgeChain [11]).
+//
+// Source chains register their block headers with the relay; the relay
+// validates hash-chain continuity, and any party can then verify a foreign
+// transaction with just (header on relay) + (Merkle proof) — the SPV
+// pattern. The relay also carries typed cross-chain messages whose payload
+// hash is anchored on the relay's own ledger, giving the logging +
+// synchronization substrate ForensiCross builds on.
+
+#ifndef PROVLEDGER_CROSSCHAIN_RELAY_H_
+#define PROVLEDGER_CROSSCHAIN_RELAY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ledger/chain.h"
+
+namespace provledger {
+namespace crosschain {
+
+/// \brief A cross-chain message carried over the relay.
+struct CrossChainMessage {
+  std::string from_chain;
+  std::string to_chain;
+  std::string type;  // e.g. "forensics/stage-advance"
+  Bytes payload;
+  Timestamp at = 0;
+};
+
+/// \brief Relay chain: header registry + message bus, itself a ledger.
+class RelayChain {
+ public:
+  explicit RelayChain(Clock* clock);
+
+  /// Register a source chain starting from its genesis header.
+  Status RegisterChain(const std::string& chain_id,
+                       const ledger::BlockHeader& genesis_header);
+  /// Submit the next header of a registered chain. Continuity (height + 1,
+  /// prev_hash) is enforced — a forged fork header is rejected.
+  Status SubmitHeader(const std::string& chain_id,
+                      const ledger::BlockHeader& header);
+  /// Latest relayed height for a chain.
+  Result<uint64_t> LatestHeight(const std::string& chain_id) const;
+
+  /// \brief Verify that `tx_encoding` is included in `chain_id` at the
+  /// proof's height, using only relayed headers (no access to the source
+  /// chain). This is the trust-minimized cross-chain read.
+  Status VerifyForeignTransaction(const std::string& chain_id,
+                                  const Bytes& tx_encoding,
+                                  const ledger::TxProof& proof) const;
+
+  /// \name Message bus (logged on the relay ledger).
+  /// @{
+  Status SendMessage(const CrossChainMessage& message);
+  /// Messages addressed to `chain_id`, in order.
+  std::vector<CrossChainMessage> Inbox(const std::string& chain_id) const;
+  /// @}
+
+  /// The relay's own ledger (headers + message hashes are anchored here).
+  const ledger::Blockchain& ledger() const { return relay_ledger_; }
+  size_t relayed_header_count() const { return header_count_; }
+
+ private:
+  Status Anchor(const std::string& type, const Bytes& payload);
+
+  Clock* clock_;
+  ledger::Blockchain relay_ledger_;
+  // chain id -> headers by height.
+  std::map<std::string, std::vector<ledger::BlockHeader>> headers_;
+  std::vector<CrossChainMessage> messages_;
+  size_t header_count_ = 0;
+  uint64_t seq_ = 0;
+};
+
+/// \brief Notary-scheme attestation (§2.3 notary schemes; Sun et al. [71]):
+/// an m-of-n committee co-signs a statement about another chain's state.
+/// Trust model: you trust the committee quorum rather than verifying
+/// headers yourself — cheaper than a relay, stronger assumptions.
+class NotaryCommittee {
+ public:
+  /// Build a committee of `size` notaries (deterministic keys) requiring
+  /// `threshold` co-signatures.
+  NotaryCommittee(const std::string& name, uint32_t size, uint32_t threshold);
+
+  /// \brief A signed attestation of an arbitrary statement.
+  struct Attestation {
+    Bytes statement;
+    crypto::MultiSignature signatures;
+  };
+
+  /// Have the first `signers` notaries sign (defaults to all).
+  Attestation Attest(const Bytes& statement, uint32_t signers = 0) const;
+  /// Verify against the committee's public keys and threshold.
+  bool Verify(const Attestation& attestation) const;
+
+  uint32_t size() const { return static_cast<uint32_t>(keys_.size()); }
+  uint32_t threshold() const { return threshold_; }
+
+ private:
+  std::vector<crypto::PrivateKey> keys_;
+  std::vector<crypto::PublicKey> public_keys_;
+  uint32_t threshold_;
+};
+
+}  // namespace crosschain
+}  // namespace provledger
+
+#endif  // PROVLEDGER_CROSSCHAIN_RELAY_H_

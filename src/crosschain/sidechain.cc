@@ -1,0 +1,153 @@
+#include "crosschain/sidechain.h"
+
+namespace provledger {
+namespace crosschain {
+
+PeggedSidechain::PeggedSidechain(Clock* clock)
+    : clock_(clock),
+      main_chain_(ledger::ChainOptions{.chain_id = "main-chain"}),
+      side_chain_(ledger::ChainOptions{.chain_id = "side-chain"}) {
+  // Genesis is implicitly checkpointed: the peg operator registers the
+  // side chain's genesis header on the main chain at setup.
+  auto genesis = side_chain_.GetHeader(0);
+  checkpointed_headers_.push_back(genesis.value());
+}
+
+void PeggedSidechain::FundMain(const std::string& user, uint64_t amount) {
+  main_balances_[user] += amount;
+}
+
+uint64_t PeggedSidechain::MainBalance(const std::string& user) const {
+  auto it = main_balances_.find(user);
+  return it == main_balances_.end() ? 0 : it->second;
+}
+
+uint64_t PeggedSidechain::SideBalance(const std::string& user) const {
+  auto it = side_balances_.find(user);
+  return it == side_balances_.end() ? 0 : it->second;
+}
+
+Status PeggedSidechain::AnchorMain(const std::string& type,
+                                   const Bytes& payload) {
+  ledger::Transaction tx = ledger::Transaction::MakeSystem(
+      type, "peg", payload, clock_->NowMicros(), ++seq_);
+  return main_chain_.Append({tx}, clock_->NowMicros(), "peg").status();
+}
+
+Status PeggedSidechain::AnchorSide(const std::string& type,
+                                   const Bytes& payload,
+                                   crypto::Digest* txid_out) {
+  ledger::Transaction tx = ledger::Transaction::MakeSystem(
+      type, "peg", payload, clock_->NowMicros(), ++seq_);
+  if (txid_out != nullptr) *txid_out = tx.Id();
+  return side_chain_.Append({tx}, clock_->NowMicros(), "side").status();
+}
+
+Status PeggedSidechain::Deposit(const std::string& user, uint64_t amount) {
+  auto it = main_balances_.find(user);
+  if (it == main_balances_.end() || it->second < amount) {
+    return Status::FailedPrecondition("insufficient main-chain balance");
+  }
+  it->second -= amount;
+  escrow_ += amount;
+  Encoder enc;
+  enc.PutString(user);
+  enc.PutU64(amount);
+  PROVLEDGER_RETURN_NOT_OK(AnchorMain("peg/deposit", enc.buffer()));
+  side_balances_[user] += amount;
+  return AnchorSide("peg/mint", enc.buffer());
+}
+
+Status PeggedSidechain::SideTransfer(const std::string& from,
+                                     const std::string& to, uint64_t amount) {
+  auto it = side_balances_.find(from);
+  if (it == side_balances_.end() || it->second < amount) {
+    return Status::FailedPrecondition("insufficient side-chain balance");
+  }
+  it->second -= amount;
+  side_balances_[to] += amount;
+  Encoder enc;
+  enc.PutString(from);
+  enc.PutString(to);
+  enc.PutU64(amount);
+  return AnchorSide("side/transfer", enc.buffer());
+}
+
+Result<size_t> PeggedSidechain::Checkpoint() {
+  size_t submitted = 0;
+  while (checkpointed_height_ < side_chain_.height()) {
+    ++checkpointed_height_;
+    PROVLEDGER_ASSIGN_OR_RETURN(ledger::BlockHeader header,
+                                side_chain_.GetHeader(checkpointed_height_));
+    Encoder enc;
+    header.EncodeTo(&enc);
+    PROVLEDGER_RETURN_NOT_OK(AnchorMain("peg/checkpoint", enc.buffer()));
+    checkpointed_headers_.push_back(header);
+    ++submitted;
+  }
+  return submitted;
+}
+
+Result<crypto::Digest> PeggedSidechain::WithdrawInitiate(
+    const std::string& user, uint64_t amount) {
+  auto it = side_balances_.find(user);
+  if (it == side_balances_.end() || it->second < amount) {
+    return Status::FailedPrecondition("insufficient side-chain balance");
+  }
+  it->second -= amount;
+  Encoder enc;
+  enc.PutString(user);
+  enc.PutU64(amount);
+  crypto::Digest txid;
+  PROVLEDGER_RETURN_NOT_OK(AnchorSide("peg/burn", enc.buffer(), &txid));
+  burns_.emplace(crypto::DigestHex(txid), Burn{user, amount, false});
+  return txid;
+}
+
+Status PeggedSidechain::WithdrawComplete(const std::string& user,
+                                         const crypto::Digest& burn_txid) {
+  auto burn_it = burns_.find(crypto::DigestHex(burn_txid));
+  if (burn_it == burns_.end()) {
+    return Status::NotFound("unknown burn transaction");
+  }
+  Burn& burn = burn_it->second;
+  if (burn.completed) {
+    return Status::AlreadyExists("withdrawal already completed");
+  }
+  if (burn.user != user) {
+    return Status::PermissionDenied("burn belongs to another user");
+  }
+
+  // Main-chain-side verification: the burn must be provable against a
+  // header the main chain has checkpointed.
+  PROVLEDGER_ASSIGN_OR_RETURN(ledger::TxProof proof,
+                              side_chain_.ProveTransaction(burn_txid));
+  if (proof.header.height > checkpointed_height_) {
+    return Status::FailedPrecondition(
+        "burn block not yet checkpointed on the main chain");
+  }
+  const ledger::BlockHeader& checkpointed =
+      checkpointed_headers_[proof.header.height];
+  if (checkpointed.Hash() != proof.block_hash) {
+    return Status::Unauthenticated("burn proof against a forked header");
+  }
+  PROVLEDGER_ASSIGN_OR_RETURN(ledger::Transaction tx,
+                              side_chain_.GetTransaction(burn_txid));
+  if (!ledger::Blockchain::VerifyTxProofAgainstHeader(tx.Encode(), proof)) {
+    return Status::Unauthenticated("burn merkle proof failed");
+  }
+
+  if (escrow_ < burn.amount) {
+    return Status::Internal("escrow underflow — peg accounting broken");
+  }
+  escrow_ -= burn.amount;
+  main_balances_[user] += burn.amount;
+  burn.completed = true;
+  Encoder enc;
+  enc.PutString(user);
+  enc.PutU64(burn.amount);
+  return AnchorMain("peg/release", enc.buffer());
+}
+
+}  // namespace crosschain
+}  // namespace provledger

@@ -1,0 +1,84 @@
+// Two-layer main/side-chain architecture (§2.3 side chains; InfiniteChain
+// [37]; pegged sidechains [16]).
+//
+// Assets lock in a main-chain escrow and are minted 1:1 on the side chain;
+// the side chain periodically *checkpoints* its headers onto the main chain
+// (InfiniteChain's "distributed auditing of sidechains"), and withdrawals
+// burn on the side chain and unlock on the main chain only with a Merkle
+// proof of the burn against a checkpointed header — so the main chain never
+// trusts the side chain's word, only its own anchored checkpoints.
+
+#ifndef PROVLEDGER_CROSSCHAIN_SIDECHAIN_H_
+#define PROVLEDGER_CROSSCHAIN_SIDECHAIN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ledger/chain.h"
+
+namespace provledger {
+namespace crosschain {
+
+/// \brief A main chain + pegged side chain pair.
+class PeggedSidechain {
+ public:
+  explicit PeggedSidechain(Clock* clock);
+
+  /// Fund a user's main-chain balance (test/bootstrap).
+  void FundMain(const std::string& user, uint64_t amount);
+  uint64_t MainBalance(const std::string& user) const;
+  uint64_t SideBalance(const std::string& user) const;
+  uint64_t EscrowBalance() const { return escrow_; }
+
+  /// Lock on main, mint on side.
+  Status Deposit(const std::string& user, uint64_t amount);
+  /// Ordinary side-chain payment (the fast/cheap lane side chains exist
+  /// for).
+  Status SideTransfer(const std::string& from, const std::string& to,
+                      uint64_t amount);
+  /// Anchor all side-chain headers since the last checkpoint onto the
+  /// main chain. Returns how many headers were checkpointed.
+  Result<size_t> Checkpoint();
+  /// Burn on side; returns the burn transaction id for the withdrawal
+  /// proof.
+  Result<crypto::Digest> WithdrawInitiate(const std::string& user,
+                                          uint64_t amount);
+  /// Release from escrow on main, given a Merkle proof of the burn that
+  /// verifies against a *checkpointed* side header. Burns not yet covered
+  /// by a checkpoint are rejected (FailedPrecondition).
+  Status WithdrawComplete(const std::string& user,
+                          const crypto::Digest& burn_txid);
+
+  const ledger::Blockchain& main_chain() const { return main_chain_; }
+  const ledger::Blockchain& side_chain() const { return side_chain_; }
+  uint64_t checkpointed_height() const { return checkpointed_height_; }
+
+ private:
+  struct Burn {
+    std::string user;
+    uint64_t amount = 0;
+    bool completed = false;
+  };
+
+  Status AnchorMain(const std::string& type, const Bytes& payload);
+  Status AnchorSide(const std::string& type, const Bytes& payload,
+                    crypto::Digest* txid_out = nullptr);
+
+  Clock* clock_;
+  ledger::Blockchain main_chain_;
+  ledger::Blockchain side_chain_;
+  std::map<std::string, uint64_t> main_balances_;
+  std::map<std::string, uint64_t> side_balances_;
+  uint64_t escrow_ = 0;
+  // Side headers as checkpointed on main (index == height).
+  std::vector<ledger::BlockHeader> checkpointed_headers_;
+  uint64_t checkpointed_height_ = 0;
+  std::map<std::string, Burn> burns_;  // hex(txid) -> burn
+  uint64_t seq_ = 0;
+};
+
+}  // namespace crosschain
+}  // namespace provledger
+
+#endif  // PROVLEDGER_CROSSCHAIN_SIDECHAIN_H_

@@ -1,0 +1,199 @@
+#include "crypto/ec.h"
+
+#include "crypto/sha256.h"
+
+namespace provledger {
+namespace crypto {
+
+namespace {
+const U256& CurveB() {
+  static const U256 b = U256::FromU64(7);
+  return b;
+}
+
+// x³ + 7 mod p.
+U256 CurveRhs(const U256& x) {
+  return FieldAdd(FieldMul(FieldSqr(x), x), CurveB());
+}
+}  // namespace
+
+bool AffinePoint::operator==(const AffinePoint& o) const {
+  if (infinity || o.infinity) return infinity == o.infinity;
+  return x == o.x && y == o.y;
+}
+
+bool AffinePoint::IsOnCurve() const {
+  if (infinity) return true;
+  return FieldSqr(y) == CurveRhs(x);
+}
+
+Bytes AffinePoint::EncodeCompressed() const {
+  if (infinity) return Bytes{0x00};
+  Bytes out;
+  out.reserve(33);
+  out.push_back(y.IsOdd() ? 0x03 : 0x02);
+  Bytes xb = x.ToBytesBE();
+  out.insert(out.end(), xb.begin(), xb.end());
+  return out;
+}
+
+Result<AffinePoint> AffinePoint::DecodeCompressed(const Bytes& data) {
+  if (data.size() == 1 && data[0] == 0x00) {
+    AffinePoint p;
+    p.infinity = true;
+    return p;
+  }
+  if (data.size() != 33 || (data[0] != 0x02 && data[0] != 0x03)) {
+    return Status::InvalidArgument("bad compressed point encoding");
+  }
+  AffinePoint p;
+  p.x = U256::FromBytesBE(data.data() + 1);
+  if (Cmp(p.x, FieldP()) >= 0) {
+    return Status::InvalidArgument("point x out of field range");
+  }
+  U256 rhs = CurveRhs(p.x);
+  U256 y = FieldSqrt(rhs);
+  if (FieldSqr(y) != rhs) {
+    return Status::InvalidArgument("x has no point on the curve");
+  }
+  bool want_odd = data[0] == 0x03;
+  if (y.IsOdd() != want_odd) y = FieldSub(U256::Zero(), y);
+  p.y = y;
+  return p;
+}
+
+JacobianPoint JacobianPoint::Infinity() {
+  JacobianPoint p;
+  p.x = U256::One();
+  p.y = U256::One();
+  p.z = U256::Zero();
+  return p;
+}
+
+JacobianPoint JacobianPoint::FromAffine(const AffinePoint& p) {
+  if (p.infinity) return Infinity();
+  JacobianPoint j;
+  j.x = p.x;
+  j.y = p.y;
+  j.z = U256::One();
+  return j;
+}
+
+AffinePoint JacobianPoint::ToAffine() const {
+  AffinePoint out;
+  if (IsInfinity()) {
+    out.infinity = true;
+    return out;
+  }
+  U256 zinv = FieldInv(z);
+  U256 zinv2 = FieldSqr(zinv);
+  out.x = FieldMul(x, zinv2);
+  out.y = FieldMul(y, FieldMul(zinv2, zinv));
+  return out;
+}
+
+JacobianPoint EcDouble(const JacobianPoint& p) {
+  if (p.IsInfinity() || p.y.IsZero()) return JacobianPoint::Infinity();
+  // dbl-2009-l formulas for a = 0.
+  U256 a = FieldSqr(p.x);                       // A = X1²
+  U256 b = FieldSqr(p.y);                       // B = Y1²
+  U256 c = FieldSqr(b);                         // C = B²
+  U256 t = FieldSqr(FieldAdd(p.x, b));          // (X1+B)²
+  U256 d = FieldAdd(FieldSub(FieldSub(t, a), c),
+                    FieldSub(FieldSub(t, a), c));  // D = 2((X1+B)²-A-C)
+  U256 e = FieldAdd(FieldAdd(a, a), a);         // E = 3A
+  U256 f = FieldSqr(e);                         // F = E²
+  JacobianPoint out;
+  out.x = FieldSub(f, FieldAdd(d, d));          // X3 = F - 2D
+  U256 c8 = FieldAdd(FieldAdd(FieldAdd(c, c), FieldAdd(c, c)),
+                     FieldAdd(FieldAdd(c, c), FieldAdd(c, c)));  // 8C
+  out.y = FieldSub(FieldMul(e, FieldSub(d, out.x)), c8);
+  out.z = FieldMul(FieldAdd(p.y, p.y), p.z);    // Z3 = 2 Y1 Z1
+  return out;
+}
+
+JacobianPoint EcAdd(const JacobianPoint& p, const JacobianPoint& q) {
+  if (p.IsInfinity()) return q;
+  if (q.IsInfinity()) return p;
+
+  U256 z1z1 = FieldSqr(p.z);
+  U256 z2z2 = FieldSqr(q.z);
+  U256 u1 = FieldMul(p.x, z2z2);
+  U256 u2 = FieldMul(q.x, z1z1);
+  U256 s1 = FieldMul(p.y, FieldMul(z2z2, q.z));
+  U256 s2 = FieldMul(q.y, FieldMul(z1z1, p.z));
+
+  if (u1 == u2) {
+    if (s1 != s2) return JacobianPoint::Infinity();
+    return EcDouble(p);
+  }
+
+  U256 h = FieldSub(u2, u1);
+  U256 r = FieldSub(s2, s1);
+  U256 h2 = FieldSqr(h);
+  U256 h3 = FieldMul(h2, h);
+  U256 u1h2 = FieldMul(u1, h2);
+
+  JacobianPoint out;
+  out.x = FieldSub(FieldSub(FieldSqr(r), h3), FieldAdd(u1h2, u1h2));
+  out.y = FieldSub(FieldMul(r, FieldSub(u1h2, out.x)), FieldMul(s1, h3));
+  out.z = FieldMul(FieldMul(p.z, q.z), h);
+  return out;
+}
+
+JacobianPoint EcAddAffine(const JacobianPoint& p, const AffinePoint& q) {
+  if (q.infinity) return p;
+  return EcAdd(p, JacobianPoint::FromAffine(q));
+}
+
+JacobianPoint EcScalarMul(const U256& k, const AffinePoint& p) {
+  JacobianPoint acc = JacobianPoint::Infinity();
+  if (p.infinity || k.IsZero()) return acc;
+  size_t bits = k.BitLength();
+  for (size_t i = bits; i-- > 0;) {
+    acc = EcDouble(acc);
+    if (k.Bit(i)) acc = EcAddAffine(acc, p);
+  }
+  return acc;
+}
+
+const AffinePoint& Generator() {
+  static const AffinePoint g = [] {
+    AffinePoint p;
+    p.x = U256::FromHex(
+        "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
+    p.y = U256::FromHex(
+        "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8");
+    return p;
+  }();
+  return g;
+}
+
+JacobianPoint EcBaseMul(const U256& k) { return EcScalarMul(k, Generator()); }
+
+AffinePoint HashToCurve(const Bytes& seed) {
+  // Try-and-increment: x = SHA256(seed || ctr) until x³+7 is a square.
+  for (uint32_t ctr = 0;; ++ctr) {
+    Sha256 h;
+    h.Update(seed);
+    uint8_t ctr_bytes[4] = {static_cast<uint8_t>(ctr >> 24),
+                            static_cast<uint8_t>(ctr >> 16),
+                            static_cast<uint8_t>(ctr >> 8),
+                            static_cast<uint8_t>(ctr)};
+    h.Update(ctr_bytes, 4);
+    Digest d = h.Finish();
+    U256 x = U256::FromBytesBE(d.data());
+    if (Cmp(x, FieldP()) >= 0) continue;
+    U256 rhs = CurveRhs(x);
+    U256 y = FieldSqrt(rhs);
+    if (FieldSqr(y) == rhs) {
+      AffinePoint p;
+      p.x = x;
+      p.y = y.IsOdd() ? y : FieldSub(U256::Zero(), y);  // canonical: odd y
+      return p;
+    }
+  }
+}
+
+}  // namespace crypto
+}  // namespace provledger

@@ -1,0 +1,67 @@
+// secp256k1 elliptic-curve group operations (y² = x³ + 7 over F_p),
+// Jacobian coordinates, written from scratch on top of crypto/u256.h.
+//
+// This is the group underlying ProvLedger signatures (crypto/schnorr.h) and
+// Pedersen commitments / range proofs (crypto/pedersen.h). Arithmetic is
+// correct but variable-time; see DESIGN.md §3 on the security scope of the
+// crypto substitution.
+
+#ifndef PROVLEDGER_CRYPTO_EC_H_
+#define PROVLEDGER_CRYPTO_EC_H_
+
+#include "crypto/u256.h"
+
+namespace provledger {
+namespace crypto {
+
+/// \brief Curve point in affine coordinates. `infinity` is the identity.
+struct AffinePoint {
+  U256 x;
+  U256 y;
+  bool infinity = false;
+
+  bool operator==(const AffinePoint& o) const;
+
+  /// SEC1 compressed encoding: 0x02/0x03 || x (33 bytes); infinity -> 0x00.
+  Bytes EncodeCompressed() const;
+  /// Decode a compressed point; validates that it lies on the curve.
+  static Result<AffinePoint> DecodeCompressed(const Bytes& data);
+  /// Curve membership check (y² == x³ + 7).
+  bool IsOnCurve() const;
+};
+
+/// \brief Curve point in Jacobian coordinates (X/Z², Y/Z³); Z=0 ⇒ identity.
+struct JacobianPoint {
+  U256 x;
+  U256 y;
+  U256 z;
+
+  static JacobianPoint Infinity();
+  static JacobianPoint FromAffine(const AffinePoint& p);
+  AffinePoint ToAffine() const;
+  bool IsInfinity() const { return z.IsZero(); }
+};
+
+/// Point doubling (a = 0 fast path).
+JacobianPoint EcDouble(const JacobianPoint& p);
+/// General point addition.
+JacobianPoint EcAdd(const JacobianPoint& p, const JacobianPoint& q);
+/// Mixed addition with an affine operand (saves field ops in scalar mult).
+JacobianPoint EcAddAffine(const JacobianPoint& p, const AffinePoint& q);
+/// Double-and-add scalar multiplication k·P.
+JacobianPoint EcScalarMul(const U256& k, const AffinePoint& p);
+/// k·G for the standard base point.
+JacobianPoint EcBaseMul(const U256& k);
+
+/// The secp256k1 base point G.
+const AffinePoint& Generator();
+
+/// \brief Deterministic hash-to-curve via try-and-increment: the returned
+/// point has unknown discrete log w.r.t. G, as required for the Pedersen
+/// second generator H.
+AffinePoint HashToCurve(const Bytes& seed);
+
+}  // namespace crypto
+}  // namespace provledger
+
+#endif  // PROVLEDGER_CRYPTO_EC_H_

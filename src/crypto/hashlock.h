@@ -1,0 +1,36 @@
+// Hash-lock primitive: commit to a secret by publishing H(secret); anyone
+// holding the preimage can later "unlock". This is the cryptographic core of
+// the HTLC atomic-swap protocol (crosschain/htlc.h) and of claim-first
+// cross-chain transfers surveyed in §2.3 of the paper.
+
+#ifndef PROVLEDGER_CRYPTO_HASHLOCK_H_
+#define PROVLEDGER_CRYPTO_HASHLOCK_H_
+
+#include "crypto/sha256.h"
+
+namespace provledger {
+namespace crypto {
+
+/// \brief A SHA-256 preimage lock.
+struct HashLock {
+  Digest lock;
+
+  /// Lock derived from a secret preimage.
+  static HashLock FromSecret(const Bytes& secret) {
+    return HashLock{Sha256::Hash(secret)};
+  }
+
+  /// True iff `secret` is the committed preimage. Constant-time compare.
+  bool Matches(const Bytes& secret) const {
+    Digest candidate = Sha256::Hash(secret);
+    return ConstantTimeEqual(Bytes(candidate.begin(), candidate.end()),
+                             Bytes(lock.begin(), lock.end()));
+  }
+
+  bool operator==(const HashLock& o) const { return lock == o.lock; }
+};
+
+}  // namespace crypto
+}  // namespace provledger
+
+#endif  // PROVLEDGER_CRYPTO_HASHLOCK_H_

@@ -1,0 +1,80 @@
+// Binary Merkle tree with inclusion proofs.
+//
+// Used for: block transaction roots (Figure 2), SPV-style cross-chain
+// transaction verification (relay chains), auditor verification of anchored
+// provenance (ProvChain), and the per-case integrity forest (ForensiBlock).
+//
+// Odd levels duplicate the last node (Bitcoin convention). Leaves are hashed
+// with a 0x00 domain-separation prefix and interior nodes with 0x01 to
+// prevent second-preimage attacks that splice subtrees as leaves.
+
+#ifndef PROVLEDGER_CRYPTO_MERKLE_H_
+#define PROVLEDGER_CRYPTO_MERKLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/codec.h"
+#include "crypto/sha256.h"
+
+namespace provledger {
+namespace crypto {
+
+/// \brief One step of a Merkle inclusion proof: sibling digest plus which
+/// side of the concatenation the sibling sits on.
+struct MerkleProofStep {
+  Digest sibling;
+  bool sibling_on_left = false;
+};
+
+/// \brief Inclusion proof for one leaf; verify with MerkleTree::VerifyProof.
+struct MerkleProof {
+  uint64_t leaf_index = 0;
+  std::vector<MerkleProofStep> steps;
+
+  void EncodeTo(Encoder* enc) const;
+  static Result<MerkleProof> DecodeFrom(Decoder* dec);
+};
+
+/// \brief Immutable binary Merkle tree built over a list of leaf payloads.
+class MerkleTree {
+ public:
+  /// Build over raw leaf payloads (each is leaf-hashed internally).
+  static MerkleTree Build(const std::vector<Bytes>& leaves);
+  /// Build over already-computed leaf digests (domain prefix still applied
+  /// uniformly at the layer above, so pass payload hashes consistently).
+  static MerkleTree BuildFromDigests(const std::vector<Digest>& leaf_digests);
+
+  /// Root digest; ZeroDigest() for an empty tree.
+  const Digest& root() const { return root_; }
+  size_t leaf_count() const { return leaf_count_; }
+  bool empty() const { return leaf_count_ == 0; }
+
+  /// Inclusion proof for the leaf at `index`.
+  Result<MerkleProof> Prove(uint64_t index) const;
+
+  /// \brief Verify that `leaf_payload` is included under `root` via `proof`.
+  static bool VerifyProof(const Digest& root, const Bytes& leaf_payload,
+                          const MerkleProof& proof);
+  /// Verify against a precomputed leaf digest.
+  static bool VerifyProofDigest(const Digest& root, const Digest& leaf_digest,
+                                const MerkleProof& proof);
+
+  /// Leaf digest for a payload (0x00-prefixed hash).
+  static Digest LeafHash(const Bytes& payload);
+  /// Interior digest for two children (0x01-prefixed hash).
+  static Digest NodeHash(const Digest& left, const Digest& right);
+
+ private:
+  MerkleTree() = default;
+
+  // levels_[0] = leaf digests, levels_.back() = {root}.
+  std::vector<std::vector<Digest>> levels_;
+  Digest root_ = ZeroDigest();
+  size_t leaf_count_ = 0;
+};
+
+}  // namespace crypto
+}  // namespace provledger
+
+#endif  // PROVLEDGER_CRYPTO_MERKLE_H_

@@ -1,0 +1,88 @@
+#include "crypto/merkle_forest.h"
+
+namespace provledger {
+namespace crypto {
+
+uint64_t MerkleForest::Append(const std::string& partition,
+                              const Bytes& payload) {
+  auto& leaves = partitions_[partition];
+  leaves.push_back(MerkleTree::LeafHash(payload));
+  return leaves.size() - 1;
+}
+
+size_t MerkleForest::PartitionSize(const std::string& partition) const {
+  auto it = partitions_.find(partition);
+  return it == partitions_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string> MerkleForest::Partitions() const {
+  std::vector<std::string> out;
+  out.reserve(partitions_.size());
+  for (const auto& [key, _] : partitions_) out.push_back(key);
+  return out;
+}
+
+Digest MerkleForest::ForestRoot() const {
+  if (partitions_.empty()) return ZeroDigest();
+  std::vector<Digest> roots;
+  roots.reserve(partitions_.size());
+  for (const auto& [_, leaves] : partitions_) {
+    roots.push_back(MerkleTree::BuildFromDigests(leaves).root());
+  }
+  return MerkleTree::BuildFromDigests(roots).root();
+}
+
+Result<Digest> MerkleForest::PartitionRoot(
+    const std::string& partition) const {
+  auto it = partitions_.find(partition);
+  if (it == partitions_.end()) {
+    return Status::NotFound("no such partition: " + partition);
+  }
+  return MerkleTree::BuildFromDigests(it->second).root();
+}
+
+Result<ForestProof> MerkleForest::Prove(const std::string& partition,
+                                        uint64_t index) const {
+  auto it = partitions_.find(partition);
+  if (it == partitions_.end()) {
+    return Status::NotFound("no such partition: " + partition);
+  }
+  MerkleTree partition_tree = MerkleTree::BuildFromDigests(it->second);
+  PROVLEDGER_ASSIGN_OR_RETURN(MerkleProof leaf_proof,
+                              partition_tree.Prove(index));
+
+  // Build top tree and locate this partition's position in sorted order.
+  std::vector<Digest> roots;
+  uint64_t partition_index = 0;
+  uint64_t i = 0;
+  for (const auto& [key, leaves] : partitions_) {
+    if (key == partition) partition_index = i;
+    roots.push_back(MerkleTree::BuildFromDigests(leaves).root());
+    ++i;
+  }
+  MerkleTree top = MerkleTree::BuildFromDigests(roots);
+  PROVLEDGER_ASSIGN_OR_RETURN(MerkleProof partition_proof,
+                              top.Prove(partition_index));
+
+  ForestProof proof;
+  proof.partition = partition;
+  proof.leaf_proof = std::move(leaf_proof);
+  proof.partition_root = partition_tree.root();
+  proof.partition_proof = std::move(partition_proof);
+  return proof;
+}
+
+bool MerkleForest::Verify(const Digest& forest_root, const Bytes& payload,
+                          const ForestProof& proof) {
+  // Record must hash up to the claimed partition root...
+  if (!MerkleTree::VerifyProof(proof.partition_root, payload,
+                               proof.leaf_proof)) {
+    return false;
+  }
+  // ...and the partition root must hash up to the forest root.
+  return MerkleTree::VerifyProofDigest(forest_root, proof.partition_root,
+                                       proof.partition_proof);
+}
+
+}  // namespace crypto
+}  // namespace provledger

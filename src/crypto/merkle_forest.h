@@ -1,0 +1,64 @@
+// Distributed Merkle forest (ForensiBlock): one incremental Merkle tree per
+// partition key (e.g. per forensic case, per workflow, per product batch),
+// plus a top tree over the per-partition roots. Verifying one record needs a
+// proof in its partition tree plus a proof of the partition root in the top
+// tree — O(log n_partition + log n_partitions) instead of O(log n_total) over
+// a single interleaved tree, and partitions can be verified independently,
+// which is the property ForensiBlock exploits for per-case integrity checks.
+
+#ifndef PROVLEDGER_CRYPTO_MERKLE_FOREST_H_
+#define PROVLEDGER_CRYPTO_MERKLE_FOREST_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/merkle.h"
+
+namespace provledger {
+namespace crypto {
+
+/// \brief Two-level proof: record within partition, partition within forest.
+struct ForestProof {
+  std::string partition;
+  MerkleProof leaf_proof;       // leaf within the partition tree
+  Digest partition_root;        // root of the partition tree
+  MerkleProof partition_proof;  // partition root within the top tree
+};
+
+/// \brief Append-only forest of per-partition Merkle trees.
+class MerkleForest {
+ public:
+  /// Append a record payload to `partition` (created on first use).
+  /// Returns the index of the record inside its partition.
+  uint64_t Append(const std::string& partition, const Bytes& payload);
+
+  /// Number of records in a partition (0 if absent).
+  size_t PartitionSize(const std::string& partition) const;
+  /// All partition keys, sorted.
+  std::vector<std::string> Partitions() const;
+
+  /// Root over all partition roots (keys sorted lexicographically so the
+  /// forest root is canonical). ZeroDigest() when empty.
+  Digest ForestRoot() const;
+  /// Root of one partition's tree.
+  Result<Digest> PartitionRoot(const std::string& partition) const;
+
+  /// Two-level inclusion proof for record `index` of `partition`.
+  Result<ForestProof> Prove(const std::string& partition,
+                            uint64_t index) const;
+
+  /// Verify a two-level proof against a forest root.
+  static bool Verify(const Digest& forest_root, const Bytes& payload,
+                     const ForestProof& proof);
+
+ private:
+  // Payload leaf digests per partition; trees are rebuilt on demand. Using
+  // std::map keeps partitions sorted for a canonical top-tree order.
+  std::map<std::string, std::vector<Digest>> partitions_;
+};
+
+}  // namespace crypto
+}  // namespace provledger
+
+#endif  // PROVLEDGER_CRYPTO_MERKLE_FOREST_H_

@@ -1,0 +1,236 @@
+#include "crypto/pedersen.h"
+
+namespace provledger {
+namespace crypto {
+
+namespace {
+
+// U256 with only bit `i` set (2^i).
+U256 Pow2(uint32_t i) {
+  U256 out;
+  out.limb[i / 64] = 1ULL << (i % 64);
+  return out;
+}
+
+AffinePoint EcNeg(const AffinePoint& p) {
+  if (p.infinity) return p;
+  AffinePoint out = p;
+  out.y = FieldSub(U256::Zero(), p.y);
+  return out;
+}
+
+AffinePoint EcAddAff(const AffinePoint& a, const AffinePoint& b) {
+  return EcAdd(JacobianPoint::FromAffine(a), JacobianPoint::FromAffine(b))
+      .ToAffine();
+}
+
+AffinePoint EcSubAff(const AffinePoint& a, const AffinePoint& b) {
+  return EcAddAff(a, EcNeg(b));
+}
+
+AffinePoint MulAff(const U256& k, const AffinePoint& p) {
+  return EcScalarMul(k, p).ToAffine();
+}
+
+// Deterministic per-proof scalar: H(seed || tag || index) mod n, nonzero.
+U256 DeriveScalar(const Bytes& seed, const char* tag, uint32_t index) {
+  Sha256 h;
+  h.Update(seed);
+  h.Update(std::string_view(tag));
+  uint8_t idx[4] = {static_cast<uint8_t>(index >> 24),
+                    static_cast<uint8_t>(index >> 16),
+                    static_cast<uint8_t>(index >> 8),
+                    static_cast<uint8_t>(index)};
+  h.Update(idx, 4);
+  Digest d = h.Finish();
+  U256 v = ReduceMod(U256::FromBytesBE(d.data()), OrderN());
+  if (v.IsZero()) v = U256::One();
+  return v;
+}
+
+// Fiat–Shamir challenge for one bit proof.
+U256 BitChallenge(const AffinePoint& c, const AffinePoint& a0,
+                  const AffinePoint& a1) {
+  Bytes buf;
+  AppendBytes(&buf, c.EncodeCompressed());
+  AppendBytes(&buf, a0.EncodeCompressed());
+  AppendBytes(&buf, a1.EncodeCompressed());
+  Digest d = Sha256::Hash(buf);
+  return ReduceMod(U256::FromBytesBE(d.data()), OrderN());
+}
+
+}  // namespace
+
+const PedersenParams& PedersenParams::Default() {
+  static const PedersenParams params = [] {
+    PedersenParams p;
+    p.g = Generator();
+    p.h = HashToCurve(ToBytes("provledger/pedersen/h/v1"));
+    return p;
+  }();
+  return params;
+}
+
+AffinePoint PedersenCommit(const U256& value, const U256& blinding,
+                           const PedersenParams& params) {
+  JacobianPoint vg = EcScalarMul(value, params.g);
+  JacobianPoint rh = EcScalarMul(blinding, params.h);
+  return EcAdd(vg, rh).ToAffine();
+}
+
+U256 InvModOrder(const U256& a) {
+  U256 n_minus_2;
+  SubWithBorrow(OrderN(), U256::FromU64(2), &n_minus_2);
+  return ExpMod(a, n_minus_2, OrderN());
+}
+
+size_t RangeProof::EncodedSize() const {
+  // commitment (33) + bits (4) + per-bit: C_i (33) + A0/A1 (66) + 4 scalars.
+  return 33 + 4 + bit_commitments.size() * 33 +
+         bit_proofs.size() * (66 + 4 * 32);
+}
+
+Result<RangeProof> Zkrp::Prove(uint64_t value, const U256& blinding,
+                               uint32_t bits, const Bytes& nonce_seed,
+                               const PedersenParams& params) {
+  if (bits == 0 || bits > 64) {
+    return Status::InvalidArgument("range width must be in [1, 64]");
+  }
+  if (bits < 64 && value >= (1ULL << bits)) {
+    return Status::InvalidArgument("value outside the provable range");
+  }
+
+  const U256& n = OrderN();
+  RangeProof proof;
+  proof.bits = bits;
+  proof.commitment = PedersenCommit(U256::FromU64(value), blinding, params);
+
+  // Per-bit blindings r_i with Σ 2^i·r_i ≡ blinding (mod n): draw all but
+  // the last at random, then solve for the last.
+  std::vector<U256> r(bits);
+  U256 acc = U256::Zero();
+  for (uint32_t i = 0; i + 1 < bits; ++i) {
+    r[i] = DeriveScalar(nonce_seed, "blind", i);
+    acc = AddMod(acc, MulMod(Pow2(i), r[i], n), n);
+  }
+  U256 remainder = SubMod(ReduceMod(blinding, n), acc, n);
+  r[bits - 1] = MulMod(remainder, InvModOrder(Pow2(bits - 1)), n);
+
+  proof.bit_commitments.resize(bits);
+  proof.bit_proofs.resize(bits);
+
+  for (uint32_t i = 0; i < bits; ++i) {
+    const bool bit = (value >> i) & 1;
+    const AffinePoint ci =
+        PedersenCommit(bit ? U256::One() : U256::Zero(), r[i], params);
+    proof.bit_commitments[i] = ci;
+
+    BitProof& bp = proof.bit_proofs[i];
+    const U256 w = DeriveScalar(nonce_seed, "w", i);
+    if (!bit) {
+      // Real branch: C_i = r_i·H. Simulate the "bit = 1" branch.
+      bp.a0 = MulAff(w, params.h);
+      bp.e1 = DeriveScalar(nonce_seed, "fake-e", i);
+      bp.s1 = DeriveScalar(nonce_seed, "fake-s", i);
+      const AffinePoint ci_minus_g = EcSubAff(ci, params.g);
+      bp.a1 = EcSubAff(MulAff(bp.s1, params.h), MulAff(bp.e1, ci_minus_g));
+      const U256 e = BitChallenge(ci, bp.a0, bp.a1);
+      bp.e0 = SubMod(e, bp.e1, n);
+      bp.s0 = AddMod(w, MulMod(bp.e0, r[i], n), n);
+    } else {
+      // Real branch: C_i − G = r_i·H. Simulate the "bit = 0" branch.
+      bp.a1 = MulAff(w, params.h);
+      bp.e0 = DeriveScalar(nonce_seed, "fake-e", i);
+      bp.s0 = DeriveScalar(nonce_seed, "fake-s", i);
+      bp.a0 = EcSubAff(MulAff(bp.s0, params.h), MulAff(bp.e0, ci));
+      const U256 e = BitChallenge(ci, bp.a0, bp.a1);
+      bp.e1 = SubMod(e, bp.e0, n);
+      bp.s1 = AddMod(w, MulMod(bp.e1, r[i], n), n);
+    }
+  }
+  return proof;
+}
+
+bool Zkrp::Verify(const RangeProof& proof, const PedersenParams& params) {
+  if (proof.bits == 0 || proof.bits > 64) return false;
+  if (proof.bit_commitments.size() != proof.bits ||
+      proof.bit_proofs.size() != proof.bits) {
+    return false;
+  }
+  const U256& n = OrderN();
+
+  for (uint32_t i = 0; i < proof.bits; ++i) {
+    const AffinePoint& ci = proof.bit_commitments[i];
+    const BitProof& bp = proof.bit_proofs[i];
+
+    // Challenge split must be consistent with Fiat–Shamir.
+    const U256 e = BitChallenge(ci, bp.a0, bp.a1);
+    if (AddMod(bp.e0, bp.e1, n) != e) return false;
+
+    // Branch 0: s0·H == A0 + e0·C_i.
+    const AffinePoint lhs0 = MulAff(bp.s0, params.h);
+    const AffinePoint rhs0 = EcAddAff(bp.a0, MulAff(bp.e0, ci));
+    if (!(lhs0 == rhs0)) return false;
+
+    // Branch 1: s1·H == A1 + e1·(C_i − G).
+    const AffinePoint ci_minus_g = EcSubAff(ci, params.g);
+    const AffinePoint lhs1 = MulAff(bp.s1, params.h);
+    const AffinePoint rhs1 = EcAddAff(bp.a1, MulAff(bp.e1, ci_minus_g));
+    if (!(lhs1 == rhs1)) return false;
+  }
+
+  // Recomposition: Σ 2^i·C_i == C, evaluated Horner-style from the top bit.
+  JacobianPoint acc = JacobianPoint::Infinity();
+  for (uint32_t i = proof.bits; i-- > 0;) {
+    acc = EcDouble(acc);
+    acc = EcAddAffine(acc, proof.bit_commitments[i]);
+  }
+  return acc.ToAffine() == proof.commitment;
+}
+
+Result<Zkrp::IntervalProof> Zkrp::ProveInterval(uint64_t value, uint64_t lo,
+                                                uint64_t hi,
+                                                const U256& blinding,
+                                                uint32_t bits,
+                                                const Bytes& nonce_seed,
+                                                const PedersenParams& params) {
+  if (lo > hi || value < lo || value > hi) {
+    return Status::InvalidArgument("value outside [lo, hi]");
+  }
+  IntervalProof out;
+  out.lo = lo;
+  out.hi = hi;
+  out.value_commitment =
+      PedersenCommit(U256::FromU64(value), blinding, params);
+
+  // Lower: (v − lo) committed under C − lo·G with the same blinding.
+  Bytes lower_seed = nonce_seed;
+  AppendBytes(&lower_seed, "/lower");
+  PROVLEDGER_ASSIGN_OR_RETURN(
+      out.lower, Prove(value - lo, blinding, bits, lower_seed, params));
+
+  // Upper: (hi − v) committed under hi·G − C with blinding −r (mod n).
+  Bytes upper_seed = nonce_seed;
+  AppendBytes(&upper_seed, "/upper");
+  U256 neg_r = SubMod(U256::Zero(), ReduceMod(blinding, OrderN()), OrderN());
+  PROVLEDGER_ASSIGN_OR_RETURN(
+      out.upper, Prove(hi - value, neg_r, bits, upper_seed, params));
+  return out;
+}
+
+bool Zkrp::VerifyInterval(const IntervalProof& proof,
+                          const PedersenParams& params) {
+  if (proof.lo > proof.hi) return false;
+  // The sub-proof commitments must be derivable from the public commitment:
+  // C_lower = C − lo·G, C_upper = hi·G − C.
+  const AffinePoint expected_lower = EcSubAff(
+      proof.value_commitment, MulAff(U256::FromU64(proof.lo), params.g));
+  const AffinePoint expected_upper = EcSubAff(
+      MulAff(U256::FromU64(proof.hi), params.g), proof.value_commitment);
+  if (!(proof.lower.commitment == expected_lower)) return false;
+  if (!(proof.upper.commitment == expected_upper)) return false;
+  return Verify(proof.lower, params) && Verify(proof.upper, params);
+}
+
+}  // namespace crypto
+}  // namespace provledger

@@ -1,0 +1,100 @@
+// Pedersen commitments and bitwise zero-knowledge range proofs.
+//
+// This is the substrate for PrivChain-style private provenance (§4.2 of the
+// paper): a supply-chain participant commits to a sensitive value (e.g. a
+// location cell or a temperature reading) and proves it lies in a permitted
+// range without revealing it. We implement the textbook construction —
+// Pedersen commitment C = v·G + r·H plus one Cramer–Damgård–Schoenmakers
+// OR-proof per bit (Fiat–Shamir transformed) — rather than Bulletproofs;
+// proof size is linear in the bit width, which preserves every qualitative
+// trade-off the paper discusses (DESIGN.md §3).
+
+#ifndef PROVLEDGER_CRYPTO_PEDERSEN_H_
+#define PROVLEDGER_CRYPTO_PEDERSEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/ec.h"
+#include "crypto/sha256.h"
+
+namespace provledger {
+namespace crypto {
+
+/// \brief Commitment parameters: base points G (standard generator) and H
+/// (hash-to-curve, discrete log unknown).
+struct PedersenParams {
+  AffinePoint g;
+  AffinePoint h;
+
+  /// Canonical parameters used across ProvLedger.
+  static const PedersenParams& Default();
+};
+
+/// \brief Compute C = v·G + r·H.
+AffinePoint PedersenCommit(const U256& value, const U256& blinding,
+                           const PedersenParams& params);
+
+/// \brief Sigma OR-proof that a commitment opens to 0 or 1 (one per bit).
+struct BitProof {
+  AffinePoint a0;  // announcement for the "bit = 0" branch
+  AffinePoint a1;  // announcement for the "bit = 1" branch
+  U256 e0;         // split challenges (e0 + e1 == Fiat–Shamir challenge)
+  U256 e1;
+  U256 s0;         // responses
+  U256 s1;
+};
+
+/// \brief Zero-knowledge proof that a committed value lies in [0, 2^bits).
+struct RangeProof {
+  AffinePoint commitment;                  // C = v·G + r·H
+  uint32_t bits = 0;                       // range width
+  std::vector<AffinePoint> bit_commitments;  // C_i, with Σ 2^i·C_i == C
+  std::vector<BitProof> bit_proofs;
+
+  /// Serialized size in bytes (for the storage-overhead experiments).
+  size_t EncodedSize() const;
+};
+
+/// \brief Prover/verifier for [0, 2^bits) range statements.
+class Zkrp {
+ public:
+  /// Prove that `value` ∈ [0, 2^bits). `blinding` is the commitment
+  /// randomness; `nonce_seed` seeds the proof's internal randomness
+  /// deterministically (distinct seeds yield distinct proofs).
+  static Result<RangeProof> Prove(uint64_t value, const U256& blinding,
+                                  uint32_t bits, const Bytes& nonce_seed,
+                                  const PedersenParams& params =
+                                      PedersenParams::Default());
+
+  /// Verify a range proof. Checks each bit OR-proof and that the bit
+  /// commitments recompose to the top-level commitment.
+  static bool Verify(const RangeProof& proof,
+                     const PedersenParams& params = PedersenParams::Default());
+
+  /// \brief Prove lo ≤ value ≤ hi by proving (value − lo) ∈ [0, 2^bits) and
+  /// (hi − value) ∈ [0, 2^bits) against commitments the verifier can derive
+  /// from the public commitment to `value` (PrivChain's ZKRP pattern).
+  struct IntervalProof {
+    AffinePoint value_commitment;  // C = v·G + r·H (public)
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    RangeProof lower;  // proves v - lo >= 0
+    RangeProof upper;  // proves hi - v >= 0
+  };
+  static Result<IntervalProof> ProveInterval(
+      uint64_t value, uint64_t lo, uint64_t hi, const U256& blinding,
+      uint32_t bits, const Bytes& nonce_seed,
+      const PedersenParams& params = PedersenParams::Default());
+  static bool VerifyInterval(const IntervalProof& proof,
+                             const PedersenParams& params =
+                                 PedersenParams::Default());
+};
+
+/// \brief Modular inverse modulo the group order n (n is prime).
+U256 InvModOrder(const U256& a);
+
+}  // namespace crypto
+}  // namespace provledger
+
+#endif  // PROVLEDGER_CRYPTO_PEDERSEN_H_

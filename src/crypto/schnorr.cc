@@ -1,0 +1,141 @@
+#include "crypto/schnorr.h"
+
+#include <set>
+
+namespace provledger {
+namespace crypto {
+
+namespace {
+// Hash to a nonzero scalar mod n.
+U256 HashToScalar(const Bytes& data) {
+  Digest d = Sha256::Hash(data);
+  U256 v = U256::FromBytesBE(d.data());
+  v = ReduceMod(v, OrderN());
+  if (v.IsZero()) v = U256::One();
+  return v;
+}
+
+// Challenge e = H(enc(R) || enc(P) || m) mod n.
+U256 Challenge(const AffinePoint& r, const PublicKey& pub,
+               const Bytes& message) {
+  Bytes buf;
+  AppendBytes(&buf, r.EncodeCompressed());
+  AppendBytes(&buf, pub.Encode());
+  AppendBytes(&buf, message);
+  return HashToScalar(buf);
+}
+}  // namespace
+
+Result<PublicKey> PublicKey::Decode(const Bytes& data) {
+  PROVLEDGER_ASSIGN_OR_RETURN(AffinePoint p, AffinePoint::DecodeCompressed(data));
+  if (p.infinity) return Status::InvalidArgument("public key is infinity");
+  PublicKey key;
+  key.point = p;
+  return key;
+}
+
+std::string PublicKey::ToId() const { return HexEncode(Encode()); }
+
+Bytes Signature::Encode() const {
+  Bytes out = r.EncodeCompressed();
+  Bytes sb = s.ToBytesBE();
+  out.insert(out.end(), sb.begin(), sb.end());
+  return out;
+}
+
+Result<Signature> Signature::Decode(const Bytes& data) {
+  if (data.size() != 65) {
+    return Status::InvalidArgument("signature must be 65 bytes");
+  }
+  Signature sig;
+  Bytes rb(data.begin(), data.begin() + 33);
+  PROVLEDGER_ASSIGN_OR_RETURN(sig.r, AffinePoint::DecodeCompressed(rb));
+  sig.s = U256::FromBytesBE(data.data() + 33);
+  return sig;
+}
+
+PrivateKey PrivateKey::FromSeed(const Bytes& seed) {
+  PrivateKey key;
+  // Expand the seed until we land in [1, n-1] (overwhelmingly first try).
+  Bytes material = seed;
+  for (;;) {
+    Digest d = Sha256::Hash(material);
+    U256 candidate = U256::FromBytesBE(d.data());
+    if (!candidate.IsZero() && Cmp(candidate, OrderN()) < 0) {
+      key.secret_ = candidate;
+      break;
+    }
+    material.assign(d.begin(), d.end());
+  }
+  key.public_key_.point = EcBaseMul(key.secret_).ToAffine();
+  return key;
+}
+
+PrivateKey PrivateKey::FromSeed(const std::string& seed) {
+  return FromSeed(ToBytes(seed));
+}
+
+Signature PrivateKey::Sign(const Bytes& message) const {
+  // Deterministic nonce: k = HMAC(secret, message) mod n (RFC6979 spirit).
+  Digest kd = HmacSha256(secret_.ToBytesBE(), message);
+  U256 k = U256::FromBytesBE(kd.data());
+  k = ReduceMod(k, OrderN());
+  if (k.IsZero()) k = U256::One();
+
+  Signature sig;
+  sig.r = EcBaseMul(k).ToAffine();
+  U256 e = Challenge(sig.r, public_key_, message);
+  // s = k + e·d (mod n)
+  sig.s = AddMod(k, MulMod(e, secret_, OrderN()), OrderN());
+  return sig;
+}
+
+Signature PrivateKey::Sign(const std::string& message) const {
+  return Sign(ToBytes(message));
+}
+
+bool Verify(const PublicKey& key, const Bytes& message, const Signature& sig) {
+  if (sig.r.infinity || key.point.infinity) return false;
+  if (Cmp(sig.s, OrderN()) >= 0) return false;
+  if (!sig.r.IsOnCurve() || !key.point.IsOnCurve()) return false;
+
+  U256 e = Challenge(sig.r, key, message);
+  // Check s·G == R + e·P.
+  JacobianPoint lhs = EcBaseMul(sig.s);
+  JacobianPoint rhs =
+      EcAdd(JacobianPoint::FromAffine(sig.r), EcScalarMul(e, key.point));
+  return lhs.ToAffine() == rhs.ToAffine();
+}
+
+bool Verify(const PublicKey& key, const std::string& message,
+            const Signature& sig) {
+  return Verify(key, ToBytes(message), sig);
+}
+
+bool VerifyThreshold(const std::vector<PublicKey>& committee, size_t threshold,
+                     const Bytes& message, const MultiSignature& multisig) {
+  std::set<std::string> seen;
+  size_t valid = 0;
+  for (const auto& [key, sig] : multisig.parts) {
+    // Signer must be a committee member, counted once.
+    bool member = false;
+    for (const auto& c : committee) {
+      if (c == key) {
+        member = true;
+        break;
+      }
+    }
+    if (!member) continue;
+    std::string id = key.ToId();
+    if (seen.count(id)) continue;
+    if (Verify(key, message, sig)) {
+      seen.insert(id);
+      ++valid;
+      if (valid >= threshold) return true;
+    }
+  }
+  return valid >= threshold;
+}
+
+}  // namespace crypto
+}  // namespace provledger

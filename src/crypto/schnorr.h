@@ -1,0 +1,86 @@
+// Schnorr signatures over secp256k1 (BIP340-flavoured, full-point variant).
+//
+// This is ProvLedger's substitute for the production ECDSA/Ed25519 libraries
+// the surveyed systems use (DESIGN.md §3): identical sign/verify/aggregate
+// code paths and asymptotics, deterministic nonces (RFC6979-style via
+// HMAC), and m-of-n multi-signature support for notary committees.
+
+#ifndef PROVLEDGER_CRYPTO_SCHNORR_H_
+#define PROVLEDGER_CRYPTO_SCHNORR_H_
+
+#include <string>
+#include <vector>
+
+#include "crypto/ec.h"
+#include "crypto/sha256.h"
+
+namespace provledger {
+namespace crypto {
+
+/// \brief Public verification key (a curve point).
+struct PublicKey {
+  AffinePoint point;
+
+  /// 33-byte compressed encoding.
+  Bytes Encode() const { return point.EncodeCompressed(); }
+  static Result<PublicKey> Decode(const Bytes& data);
+  /// Stable identity string (hex of compressed point) — used as on-ledger
+  /// agent/node identity throughout ProvLedger.
+  std::string ToId() const;
+
+  bool operator==(const PublicKey& o) const { return point == o.point; }
+};
+
+/// \brief Schnorr signature: commitment point R and response scalar s.
+struct Signature {
+  AffinePoint r;
+  U256 s;
+
+  /// 65-byte serialization (33-byte R || 32-byte s).
+  Bytes Encode() const;
+  static Result<Signature> Decode(const Bytes& data);
+};
+
+/// \brief Signing key; generates deterministic (RFC6979-style) nonces.
+class PrivateKey {
+ public:
+  /// Derive a keypair deterministically from seed bytes (test-friendly).
+  static PrivateKey FromSeed(const Bytes& seed);
+  /// Derive from a string label, e.g. "hospital-A".
+  static PrivateKey FromSeed(const std::string& seed);
+
+  const PublicKey& public_key() const { return public_key_; }
+
+  /// Sign a message (its SHA-256 is taken internally).
+  Signature Sign(const Bytes& message) const;
+  Signature Sign(const std::string& message) const;
+
+ private:
+  PrivateKey() = default;
+
+  U256 secret_;
+  PublicKey public_key_;
+};
+
+/// \brief Verify `sig` on `message` under `key`.
+bool Verify(const PublicKey& key, const Bytes& message, const Signature& sig);
+bool Verify(const PublicKey& key, const std::string& message,
+            const Signature& sig);
+
+/// \brief An m-of-n multi-signature: independent signatures from a committee
+/// (notary scheme primitive; RQ3). Not an aggregate signature — the survey's
+/// notary schemes verify each notary independently.
+struct MultiSignature {
+  std::vector<std::pair<PublicKey, Signature>> parts;
+};
+
+/// \brief True iff at least `threshold` distinct committee members produced
+/// valid signatures over `message`.
+bool VerifyThreshold(const std::vector<PublicKey>& committee,
+                     size_t threshold, const Bytes& message,
+                     const MultiSignature& multisig);
+
+}  // namespace crypto
+}  // namespace provledger
+
+#endif  // PROVLEDGER_CRYPTO_SCHNORR_H_

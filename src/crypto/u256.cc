@@ -1,0 +1,288 @@
+#include "crypto/u256.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace provledger {
+namespace crypto {
+
+namespace {
+// 2^256 ≡ kFoldC (mod p) for the secp256k1 field prime.
+constexpr uint64_t kFoldC = 0x1000003D1ULL;  // 2^32 + 977
+
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  assert(false && "bad hex digit");
+  return 0;
+}
+}  // namespace
+
+U256 U256::FromU64(uint64_t v) {
+  U256 out;
+  out.limb[0] = v;
+  return out;
+}
+
+U256 U256::FromHex(const char* hex64) {
+  assert(std::strlen(hex64) == 64);
+  U256 out;
+  for (int limb_i = 0; limb_i < 4; ++limb_i) {
+    uint64_t v = 0;
+    // limb 3 is the most significant = first 16 hex chars.
+    const char* start = hex64 + (3 - limb_i) * 16;
+    for (int i = 0; i < 16; ++i) v = (v << 4) | HexVal(start[i]);
+    out.limb[limb_i] = v;
+  }
+  return out;
+}
+
+U256 U256::FromBytesBE(const uint8_t* data) {
+  U256 out;
+  for (int limb_i = 0; limb_i < 4; ++limb_i) {
+    uint64_t v = 0;
+    const uint8_t* start = data + (3 - limb_i) * 8;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | start[i];
+    out.limb[limb_i] = v;
+  }
+  return out;
+}
+
+Bytes U256::ToBytesBE() const {
+  Bytes out(32);
+  for (int limb_i = 0; limb_i < 4; ++limb_i) {
+    uint64_t v = limb[limb_i];
+    uint8_t* start = out.data() + (3 - limb_i) * 8;
+    for (int i = 7; i >= 0; --i) {
+      start[i] = static_cast<uint8_t>(v);
+      v >>= 8;
+    }
+  }
+  return out;
+}
+
+std::string U256::ToHex() const { return HexEncode(ToBytesBE()); }
+
+size_t U256::BitLength() const {
+  for (int i = 3; i >= 0; --i) {
+    if (limb[i] != 0) {
+      size_t bits = 0;
+      uint64_t v = limb[i];
+      while (v != 0) {
+        ++bits;
+        v >>= 1;
+      }
+      return static_cast<size_t>(i) * 64 + bits;
+    }
+  }
+  return 0;
+}
+
+int Cmp(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.limb[i] < b.limb[i]) return -1;
+    if (a.limb[i] > b.limb[i]) return 1;
+  }
+  return 0;
+}
+
+uint64_t AddWithCarry(const U256& a, const U256& b, U256* out) {
+  unsigned __int128 acc = 0;
+  for (int i = 0; i < 4; ++i) {
+    acc += static_cast<unsigned __int128>(a.limb[i]) + b.limb[i];
+    out->limb[i] = static_cast<uint64_t>(acc);
+    acc >>= 64;
+  }
+  return static_cast<uint64_t>(acc);
+}
+
+uint64_t SubWithBorrow(const U256& a, const U256& b, U256* out) {
+  unsigned __int128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 lhs = a.limb[i];
+    unsigned __int128 rhs = static_cast<unsigned __int128>(b.limb[i]) + borrow;
+    if (lhs >= rhs) {
+      out->limb[i] = static_cast<uint64_t>(lhs - rhs);
+      borrow = 0;
+    } else {
+      out->limb[i] =
+          static_cast<uint64_t>((static_cast<unsigned __int128>(1) << 64) +
+                                lhs - rhs);
+      borrow = 1;
+    }
+  }
+  return static_cast<uint64_t>(borrow);
+}
+
+U256 AddMod(const U256& a, const U256& b, const U256& m) {
+  U256 sum;
+  uint64_t carry = AddWithCarry(a, b, &sum);
+  if (carry || Cmp(sum, m) >= 0) {
+    U256 reduced;
+    SubWithBorrow(sum, m, &reduced);
+    return reduced;
+  }
+  return sum;
+}
+
+U256 SubMod(const U256& a, const U256& b, const U256& m) {
+  if (Cmp(a, b) >= 0) {
+    U256 out;
+    SubWithBorrow(a, b, &out);
+    return out;
+  }
+  U256 tmp;
+  SubWithBorrow(m, b, &tmp);  // m - b
+  U256 out;
+  AddWithCarry(tmp, a, &out);  // (m - b) + a < m, no carry possible
+  return out;
+}
+
+U256 MulMod(const U256& a, const U256& b, const U256& m) {
+  // Russian-peasant: scan b from its highest set bit.
+  U256 result = U256::Zero();
+  U256 addend = ReduceMod(a, m);
+  size_t bits = b.BitLength();
+  for (size_t i = bits; i-- > 0;) {
+    result = AddMod(result, result, m);  // result <<= 1 (mod m)
+    if (b.Bit(i)) result = AddMod(result, addend, m);
+  }
+  return result;
+}
+
+U256 ExpMod(const U256& base, const U256& exp, const U256& m) {
+  U256 result = U256::One();
+  U256 b = ReduceMod(base, m);
+  size_t bits = exp.BitLength();
+  for (size_t i = bits; i-- > 0;) {
+    result = MulMod(result, result, m);
+    if (exp.Bit(i)) result = MulMod(result, b, m);
+  }
+  return result;
+}
+
+U256 ReduceMod(const U256& a, const U256& m) {
+  U256 out = a;
+  while (Cmp(out, m) >= 0) {
+    U256 tmp;
+    SubWithBorrow(out, m, &tmp);
+    out = tmp;
+  }
+  return out;
+}
+
+const U256& FieldP() {
+  static const U256 p = U256::FromHex(
+      "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+  return p;
+}
+
+const U256& OrderN() {
+  static const U256 n = U256::FromHex(
+      "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+  return n;
+}
+
+U256 FieldAdd(const U256& a, const U256& b) { return AddMod(a, b, FieldP()); }
+
+U256 FieldSub(const U256& a, const U256& b) { return SubMod(a, b, FieldP()); }
+
+namespace {
+// Full 256x256 -> 512-bit schoolbook multiply; w[0] is the lowest limb.
+void Mul512(const U256& a, const U256& b, uint64_t w[8]) {
+  std::memset(w, 0, 8 * sizeof(uint64_t));
+  for (int i = 0; i < 4; ++i) {
+    uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      unsigned __int128 acc = static_cast<unsigned __int128>(a.limb[i]) *
+                                  b.limb[j] +
+                              w[i + j] + carry;
+      w[i + j] = static_cast<uint64_t>(acc);
+      carry = static_cast<uint64_t>(acc >> 64);
+    }
+    w[i + 4] += carry;
+  }
+}
+
+// Reduce a 512-bit value mod the secp256k1 field prime using
+// 2^256 ≡ kFoldC (mod p), folding twice then subtracting p as needed.
+U256 FieldReduce512(const uint64_t w[8]) {
+  // t (5 limbs) = lo + hi * kFoldC.
+  uint64_t t[5] = {w[0], w[1], w[2], w[3], 0};
+  uint64_t carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 acc =
+        static_cast<unsigned __int128>(w[4 + i]) * kFoldC + t[i] + carry;
+    t[i] = static_cast<uint64_t>(acc);
+    carry = static_cast<uint64_t>(acc >> 64);
+  }
+  t[4] = carry;
+
+  // Second fold: t[4] * 2^256 ≡ t[4] * kFoldC.
+  U256 r;
+  unsigned __int128 acc = static_cast<unsigned __int128>(t[4]) * kFoldC + t[0];
+  r.limb[0] = static_cast<uint64_t>(acc);
+  acc >>= 64;
+  for (int i = 1; i < 4; ++i) {
+    acc += t[i];
+    r.limb[i] = static_cast<uint64_t>(acc);
+    acc >>= 64;
+  }
+  // A final carry here represents one more 2^256 ≡ kFoldC.
+  if (acc != 0) {
+    unsigned __int128 acc2 =
+        static_cast<unsigned __int128>(r.limb[0]) + kFoldC;
+    r.limb[0] = static_cast<uint64_t>(acc2);
+    uint64_t c = static_cast<uint64_t>(acc2 >> 64);
+    for (int i = 1; i < 4 && c; ++i) {
+      acc2 = static_cast<unsigned __int128>(r.limb[i]) + c;
+      r.limb[i] = static_cast<uint64_t>(acc2);
+      c = static_cast<uint64_t>(acc2 >> 64);
+    }
+  }
+  return ReduceMod(r, FieldP());
+}
+}  // namespace
+
+U256 FieldMul(const U256& a, const U256& b) {
+  uint64_t w[8];
+  Mul512(a, b, w);
+  return FieldReduce512(w);
+}
+
+U256 FieldSqr(const U256& a) { return FieldMul(a, a); }
+
+U256 FieldExp(const U256& base, const U256& exp) {
+  U256 result = U256::One();
+  U256 b = ReduceMod(base, FieldP());
+  size_t bits = exp.BitLength();
+  for (size_t i = bits; i-- > 0;) {
+    result = FieldSqr(result);
+    if (exp.Bit(i)) result = FieldMul(result, b);
+  }
+  return result;
+}
+
+U256 FieldInv(const U256& a) {
+  // a^(p-2) by Fermat's little theorem.
+  U256 p_minus_2;
+  SubWithBorrow(FieldP(), U256::FromU64(2), &p_minus_2);
+  return FieldExp(a, p_minus_2);
+}
+
+U256 FieldSqrt(const U256& a) {
+  // p ≡ 3 (mod 4) so sqrt(a) = a^((p+1)/4) when a is a quadratic residue.
+  U256 p_plus_1;
+  AddWithCarry(FieldP(), U256::One(), &p_plus_1);
+  // (p+1)/4: shift right by 2. p+1 does not overflow 2^256 (p < 2^256 - 1).
+  U256 e;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t hi = (i < 3) ? p_plus_1.limb[i + 1] : 0;
+    e.limb[i] = (p_plus_1.limb[i] >> 2) | (hi << 62);
+  }
+  return FieldExp(a, e);
+}
+
+}  // namespace crypto
+}  // namespace provledger

@@ -1,0 +1,95 @@
+// Fixed-width 256-bit unsigned arithmetic, written from scratch for the
+// signature / commitment substrate. Two tiers:
+//   * generic modular arithmetic (AddMod/SubMod/MulMod/ExpMod) for work
+//     modulo the secp256k1 group order n, and
+//   * a fast path for the secp256k1 field prime p = 2^256 - 2^32 - 977,
+//     exploiting 2^256 ≡ 2^32 + 977 (mod p) for O(1)-fold reduction.
+
+#ifndef PROVLEDGER_CRYPTO_U256_H_
+#define PROVLEDGER_CRYPTO_U256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace provledger {
+namespace crypto {
+
+/// \brief 256-bit unsigned integer; limbs little-endian (limb[0] lowest).
+struct U256 {
+  std::array<uint64_t, 4> limb{0, 0, 0, 0};
+
+  static U256 Zero() { return U256{}; }
+  static U256 One() { return FromU64(1); }
+  static U256 FromU64(uint64_t v);
+  /// Parse exactly 64 hex characters (big-endian).
+  static U256 FromHex(const char* hex64);
+  /// Interpret a 32-byte big-endian buffer.
+  static U256 FromBytesBE(const uint8_t* data);
+
+  /// 32-byte big-endian serialization.
+  Bytes ToBytesBE() const;
+  std::string ToHex() const;
+
+  bool IsZero() const {
+    return (limb[0] | limb[1] | limb[2] | limb[3]) == 0;
+  }
+  bool IsOdd() const { return limb[0] & 1; }
+  /// Value of bit i (0 = least significant).
+  bool Bit(size_t i) const {
+    return (limb[i / 64] >> (i % 64)) & 1;
+  }
+  /// Index of highest set bit + 1 (0 for zero).
+  size_t BitLength() const;
+
+  bool operator==(const U256& o) const { return limb == o.limb; }
+  bool operator!=(const U256& o) const { return !(*this == o); }
+};
+
+/// -1 / 0 / +1 three-way comparison.
+int Cmp(const U256& a, const U256& b);
+
+/// a + b mod 2^256; returns carry-out.
+uint64_t AddWithCarry(const U256& a, const U256& b, U256* out);
+/// a - b mod 2^256; returns borrow-out.
+uint64_t SubWithBorrow(const U256& a, const U256& b, U256* out);
+
+/// \name Generic modular arithmetic. Operands must already be < m.
+/// @{
+U256 AddMod(const U256& a, const U256& b, const U256& m);
+U256 SubMod(const U256& a, const U256& b, const U256& m);
+/// Double-and-add multiplication; O(256) AddMod steps. Used only for the
+/// (rare) scalar operations modulo the group order.
+U256 MulMod(const U256& a, const U256& b, const U256& m);
+U256 ExpMod(const U256& base, const U256& exp, const U256& m);
+/// Reduce an arbitrary 256-bit value (e.g. a hash) modulo m (m > 2^255 in
+/// all our uses, so at most one subtraction).
+U256 ReduceMod(const U256& a, const U256& m);
+/// @}
+
+/// \name secp256k1 field arithmetic (mod p = 2^256 - 2^32 - 977).
+/// @{
+/// The field prime.
+const U256& FieldP();
+/// The group order n of the secp256k1 base point.
+const U256& OrderN();
+
+U256 FieldAdd(const U256& a, const U256& b);
+U256 FieldSub(const U256& a, const U256& b);
+/// Schoolbook 256x256 -> 512 then special-form fold; ~20 ns per call.
+U256 FieldMul(const U256& a, const U256& b);
+U256 FieldSqr(const U256& a);
+/// Inversion via Fermat: a^(p-2).
+U256 FieldInv(const U256& a);
+/// Square root via a^((p+1)/4) (valid because p ≡ 3 mod 4); caller must
+/// check the result squares back to the input (non-residues have none).
+U256 FieldSqrt(const U256& a);
+U256 FieldExp(const U256& base, const U256& exp);
+/// @}
+
+}  // namespace crypto
+}  // namespace provledger
+
+#endif  // PROVLEDGER_CRYPTO_U256_H_

@@ -1,0 +1,280 @@
+#include "domains/forensics/case_manager.h"
+
+namespace provledger {
+namespace forensics {
+
+const std::vector<std::string>& ForensicStages() {
+  static const std::vector<std::string> kStages = {
+      "identification", "preservation", "collection", "analysis",
+      "reporting"};
+  return kStages;
+}
+
+CaseManager::CaseManager(prov::ProvenanceStore* store,
+                         storage::ContentStore* content, Clock* clock)
+    : store_(store), content_(content), clock_(clock),
+      gate_(ForensicStages()) {
+  // Default gate matrix (ForensiBlock: privileges follow the stage).
+  (void)gate_.AllowInStage("identification", "investigator", "identify");
+  (void)gate_.AllowInStage("preservation", "investigator", "collect");
+  (void)gate_.AllowInStage("collection", "investigator", "collect");
+  (void)gate_.AllowInStage("collection", "investigator", "duplicate");
+  (void)gate_.AllowInStage("analysis", "analyst", "analyze");
+  (void)gate_.AllowInStage("analysis", "analyst", "duplicate");
+  (void)gate_.AllowInStage("reporting", "lead", "report");
+  for (const auto& stage : ForensicStages()) {
+    (void)gate_.AllowTransition(stage, "lead");
+  }
+}
+
+Status CaseManager::Anchor(const std::string& case_id,
+                           const std::string& subject,
+                           const std::string& operation,
+                           const std::string& actor,
+                           std::map<std::string, std::string> extra) {
+  auto case_it = cases_.find(case_id);
+  if (case_it == cases_.end()) {
+    return Status::NotFound("no such case: " + case_id);
+  }
+  auto stage = gate_.CurrentStage(case_id);
+  prov::ProvenanceRecord rec = prov::MakeForensicsRecord(
+      "df-" + std::to_string(++seq_), operation, subject, actor,
+      clock_->NowMicros(), case_id,
+      stage.ok() ? stage.value() : "complete", case_it->second.start_date,
+      case_it->second.closure_date,
+      extra.count("file_type") ? extra.at("file_type") : "",
+      extra.count("access") ? extra.at("access") : operation,
+      extra.count("dependency") ? extra.at("dependency") : "");
+  for (auto& [key, value] : extra) rec.fields[key] = std::move(value);
+  return store_->Anchor(rec);
+}
+
+Status CaseManager::OpenCase(const std::string& case_id,
+                             const std::string& lead,
+                             const std::string& start_date) {
+  if (cases_.count(case_id)) {
+    return Status::AlreadyExists("case already open: " + case_id);
+  }
+  PROVLEDGER_RETURN_NOT_OK(gate_.StartProcess(case_id));
+  Case c;
+  c.case_id = case_id;
+  c.lead = lead;
+  c.start_date = start_date;
+  cases_.emplace(case_id, std::move(c));
+  return Anchor(case_id, case_id, "open-case", lead);
+}
+
+Status CaseManager::AdvanceStage(const std::string& case_id,
+                                 const std::string& actor) {
+  auto it = cases_.find(case_id);
+  if (it == cases_.end()) {
+    return Status::NotFound("no such case: " + case_id);
+  }
+  if (it->second.lead != actor) {
+    return Status::PermissionDenied("only the case lead may advance stages");
+  }
+  PROVLEDGER_RETURN_NOT_OK(
+      gate_.Advance(case_id, actor, "lead", clock_->NowMicros()));
+  if (gate_.IsComplete(case_id)) {
+    return Status::OK();  // closure is recorded by FileReport
+  }
+  return Anchor(case_id, case_id, "advance-stage", actor);
+}
+
+Result<std::string> CaseManager::CurrentStage(
+    const std::string& case_id) const {
+  return gate_.CurrentStage(case_id);
+}
+
+Status CaseManager::IdentifySource(const std::string& case_id,
+                                   const std::string& source,
+                                   const std::string& actor) {
+  if (!gate_.Check(case_id, "investigator", "identify")) {
+    return Status::PermissionDenied(
+        "identify not allowed in the current stage");
+  }
+  return Anchor(case_id, source, "identify-source", actor);
+}
+
+Bytes CaseManager::EvidenceLeaf(const Evidence& evidence) const {
+  Encoder enc;
+  enc.PutString(evidence.case_id);
+  enc.PutString(evidence.evidence_id);
+  enc.PutRaw(crypto::DigestToBytes(evidence.content_hash));
+  return enc.TakeBuffer();
+}
+
+Status CaseManager::CollectEvidence(const std::string& case_id,
+                                    const std::string& evidence_id,
+                                    const std::string& file_type,
+                                    const Bytes& content,
+                                    const std::string& actor) {
+  auto case_it = cases_.find(case_id);
+  if (case_it == cases_.end()) {
+    return Status::NotFound("no such case: " + case_id);
+  }
+  if (!gate_.Check(case_id, "investigator", "collect")) {
+    return Status::PermissionDenied(
+        "collect not allowed in the current stage");
+  }
+  const std::string key = EvKey(case_id, evidence_id);
+  if (evidence_.count(key)) {
+    return Status::AlreadyExists("evidence already collected: " + key);
+  }
+
+  Evidence ev;
+  ev.evidence_id = evidence_id;
+  ev.case_id = case_id;
+  ev.file_type = file_type;
+  ev.content_hash = content_->Put(content);  // preserve ESI off-chain
+  ev.custodian = actor;
+  ev.custody_chain.push_back(actor);
+  ev.forest_index = forest_.Append(case_id, EvidenceLeaf(ev));
+
+  PROVLEDGER_RETURN_NOT_OK(
+      Anchor(case_id, evidence_id, "collect-evidence", actor,
+             {{"file_type", file_type},
+              {"content_hash", crypto::DigestHex(ev.content_hash)}}));
+  evidence_.emplace(key, std::move(ev));
+  case_it->second.evidence_ids.push_back(evidence_id);
+  return Status::OK();
+}
+
+Result<std::string> CaseManager::DuplicateEvidence(
+    const std::string& case_id, const std::string& evidence_id,
+    const std::string& actor) {
+  auto it = evidence_.find(EvKey(case_id, evidence_id));
+  if (it == evidence_.end()) {
+    return Status::NotFound("no such evidence: " + evidence_id);
+  }
+  auto stage = gate_.CurrentStage(case_id);
+  const std::string role =
+      (stage.ok() && stage.value() == "analysis") ? "analyst"
+                                                  : "investigator";
+  if (!gate_.Check(case_id, role, "duplicate")) {
+    return Status::PermissionDenied(
+        "duplicate not allowed in the current stage");
+  }
+  // "Exact duplicates for detailed analysis": fetch with verification so a
+  // corrupted original can never silently become the working copy.
+  PROVLEDGER_ASSIGN_OR_RETURN(Bytes original,
+                              content_->GetVerified(it->second.content_hash));
+  crypto::Digest copy_cid = content_->Put(original);
+  const std::string dup_id = evidence_id + "-dup";
+  PROVLEDGER_RETURN_NOT_OK(Anchor(
+      case_id, dup_id, "duplicate-evidence", actor,
+      {{"dependency", evidence_id},
+       {"content_hash", crypto::DigestHex(copy_cid)}}));
+  return dup_id;
+}
+
+Status CaseManager::AnalyzeEvidence(const std::string& case_id,
+                                    const std::string& evidence_id,
+                                    const std::string& finding,
+                                    const std::string& actor) {
+  if (!evidence_.count(EvKey(case_id, evidence_id))) {
+    return Status::NotFound("no such evidence: " + evidence_id);
+  }
+  if (!gate_.Check(case_id, "analyst", "analyze")) {
+    return Status::PermissionDenied(
+        "analyze not allowed in the current stage");
+  }
+  return Anchor(case_id, evidence_id, "analyze-evidence", actor,
+                {{"finding", finding}, {"dependency", evidence_id}});
+}
+
+Status CaseManager::FileReport(const std::string& case_id,
+                               const std::string& summary,
+                               const std::string& actor,
+                               const std::string& closure_date) {
+  auto it = cases_.find(case_id);
+  if (it == cases_.end()) {
+    return Status::NotFound("no such case: " + case_id);
+  }
+  if (!gate_.Check(case_id, "lead", "report")) {
+    return Status::PermissionDenied("report not allowed in current stage");
+  }
+  it->second.closure_date = closure_date;
+  std::string dependencies;
+  for (const auto& ev : it->second.evidence_ids) {
+    if (!dependencies.empty()) dependencies += ",";
+    dependencies += ev;
+  }
+  return Anchor(case_id, case_id, "file-report", actor,
+                {{"summary", summary}, {"dependency", dependencies}});
+}
+
+Status CaseManager::TransferCustody(const std::string& case_id,
+                                    const std::string& evidence_id,
+                                    const std::string& from,
+                                    const std::string& to) {
+  auto it = evidence_.find(EvKey(case_id, evidence_id));
+  if (it == evidence_.end()) {
+    return Status::NotFound("no such evidence: " + evidence_id);
+  }
+  if (it->second.custodian != from) {
+    return Status::PermissionDenied(from + " is not the custodian of " +
+                                    evidence_id);
+  }
+  it->second.custodian = to;
+  it->second.custody_chain.push_back(to);
+  return Anchor(case_id, evidence_id, "transfer-custody", from,
+                {{"to", to}, {"dependency", evidence_id}});
+}
+
+Result<Evidence> CaseManager::GetEvidence(const std::string& case_id,
+                                          const std::string& evidence_id) const {
+  auto it = evidence_.find(EvKey(case_id, evidence_id));
+  if (it == evidence_.end()) {
+    return Status::NotFound("no such evidence: " + evidence_id);
+  }
+  return it->second;
+}
+
+Result<Case> CaseManager::GetCase(const std::string& case_id) const {
+  auto it = cases_.find(case_id);
+  if (it == cases_.end()) {
+    return Status::NotFound("no such case: " + case_id);
+  }
+  return it->second;
+}
+
+std::vector<prov::ProvenanceRecord> CaseManager::EvidenceHistory(
+    const std::string& case_id, const std::string& evidence_id) const {
+  std::vector<prov::ProvenanceRecord> out;
+  for (const auto& rec : store_->SubjectHistory(evidence_id)) {
+    auto field = rec.fields.find(prov::fields::kCaseNumber);
+    if (field != rec.fields.end() && field->second == case_id) {
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+Result<crypto::Digest> CaseManager::CaseRoot(
+    const std::string& case_id) const {
+  return forest_.PartitionRoot(case_id);
+}
+
+Status CaseManager::VerifyEvidence(const std::string& case_id,
+                                   const std::string& evidence_id) const {
+  auto it = evidence_.find(EvKey(case_id, evidence_id));
+  if (it == evidence_.end()) {
+    return Status::NotFound("no such evidence: " + evidence_id);
+  }
+  const Evidence& ev = it->second;
+  // Content-level integrity.
+  PROVLEDGER_RETURN_NOT_OK(content_->GetVerified(ev.content_hash).status());
+  // Membership in the case's Merkle partition, up to the forest root.
+  PROVLEDGER_ASSIGN_OR_RETURN(crypto::ForestProof proof,
+                              forest_.Prove(case_id, ev.forest_index));
+  if (!crypto::MerkleForest::Verify(forest_.ForestRoot(), EvidenceLeaf(ev),
+                                    proof)) {
+    return Status::Corruption("evidence failed forest verification: " +
+                              evidence_id);
+  }
+  return Status::OK();
+}
+
+}  // namespace forensics
+}  // namespace provledger

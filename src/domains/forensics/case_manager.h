@@ -1,0 +1,144 @@
+// Digital-forensics provenance (§4.5, Figure 5; ForensiBlock [12]):
+// investigation cases walk the five-stage methodology — identification,
+// preservation, collection, analysis, reporting — with
+//   * stage-scoped access control (access/stage_gate.h),
+//   * evidence preserved off-chain by content hash with exact duplicates,
+//   * an explicit chain of custody per evidence item,
+//   * per-case distributed Merkle trees (crypto/merkle_forest.h) so one
+//     case's integrity is verifiable without touching other cases, and
+//   * every action anchored as a Table 1 forensics record.
+
+#ifndef PROVLEDGER_DOMAINS_FORENSICS_CASE_MANAGER_H_
+#define PROVLEDGER_DOMAINS_FORENSICS_CASE_MANAGER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "access/stage_gate.h"
+#include "crypto/merkle_forest.h"
+#include "prov/store.h"
+#include "storage/content_store.h"
+
+namespace provledger {
+namespace forensics {
+
+/// The five canonical stages (Figure 5).
+const std::vector<std::string>& ForensicStages();
+
+/// \brief One evidence item within a case.
+struct Evidence {
+  std::string evidence_id;
+  std::string case_id;
+  std::string file_type;
+  crypto::Digest content_hash = crypto::ZeroDigest();
+  /// Current custodian.
+  std::string custodian;
+  /// Ordered custody history (custodian ids).
+  std::vector<std::string> custody_chain;
+  uint64_t forest_index = 0;
+};
+
+/// \brief An investigation case.
+struct Case {
+  std::string case_id;
+  std::string lead;
+  std::string start_date;
+  std::string closure_date;  // empty until reporting completes
+  std::vector<std::string> evidence_ids;
+};
+
+/// \brief ForensiBlock-style case manager.
+class CaseManager {
+ public:
+  CaseManager(prov::ProvenanceStore* store, storage::ContentStore* content,
+              Clock* clock);
+
+  /// Role wiring: investigators collect, analysts analyze, leads advance
+  /// stages; see the constructor for the default gate matrix.
+  access::StageGate* gate() { return &gate_; }
+
+  /// Open a case in the identification stage.
+  Status OpenCase(const std::string& case_id, const std::string& lead,
+                  const std::string& start_date);
+  /// Advance the case to its next stage (lead-only).
+  Status AdvanceStage(const std::string& case_id, const std::string& actor);
+  Result<std::string> CurrentStage(const std::string& case_id) const;
+
+  /// \name Stage-scoped operations.
+  /// @{
+  /// Identification: register an evidence source.
+  Status IdentifySource(const std::string& case_id, const std::string& source,
+                        const std::string& actor);
+  /// Preservation/collection: ingest evidence bytes. The content is stored
+  /// off-chain; its hash goes into the case's Merkle partition and a
+  /// forensics record is anchored. `actor` becomes the first custodian.
+  Status CollectEvidence(const std::string& case_id,
+                         const std::string& evidence_id,
+                         const std::string& file_type, const Bytes& content,
+                         const std::string& actor);
+  /// Create an exact working duplicate of collected evidence (the
+  /// "duplicate for detailed analysis" step). Fails if the original was
+  /// tampered with in the content store.
+  Result<std::string> DuplicateEvidence(const std::string& case_id,
+                                        const std::string& evidence_id,
+                                        const std::string& actor);
+  /// Analysis: record an analysis action over evidence.
+  Status AnalyzeEvidence(const std::string& case_id,
+                         const std::string& evidence_id,
+                         const std::string& finding,
+                         const std::string& actor);
+  /// Reporting: compile findings, close the case.
+  Status FileReport(const std::string& case_id, const std::string& summary,
+                    const std::string& actor,
+                    const std::string& closure_date);
+  /// @}
+
+  /// Transfer custody of evidence (chain-of-custody record).
+  Status TransferCustody(const std::string& case_id,
+                         const std::string& evidence_id,
+                         const std::string& from, const std::string& to);
+
+  Result<Evidence> GetEvidence(const std::string& case_id,
+                               const std::string& evidence_id) const;
+  Result<Case> GetCase(const std::string& case_id) const;
+  /// Full event history of one evidence item (custody + analysis).
+  std::vector<prov::ProvenanceRecord> EvidenceHistory(
+      const std::string& case_id, const std::string& evidence_id) const;
+
+  /// \name Case integrity (distributed Merkle tree).
+  /// @{
+  /// Root over this case's evidence partition.
+  Result<crypto::Digest> CaseRoot(const std::string& case_id) const;
+  /// Verify one evidence item's membership + content integrity against the
+  /// whole forest. Detects both ledger-level and content-level tampering.
+  Status VerifyEvidence(const std::string& case_id,
+                        const std::string& evidence_id) const;
+  /// @}
+
+  size_t case_count() const { return cases_.size(); }
+
+ private:
+  std::string EvKey(const std::string& c, const std::string& e) const {
+    return c + "/" + e;
+  }
+  Status Anchor(const std::string& case_id, const std::string& subject,
+                const std::string& operation, const std::string& actor,
+                std::map<std::string, std::string> extra = {});
+  Bytes EvidenceLeaf(const Evidence& evidence) const;
+
+  prov::ProvenanceStore* store_;
+  storage::ContentStore* content_;
+  Clock* clock_;
+  access::StageGate gate_;
+  crypto::MerkleForest forest_;
+  std::map<std::string, Case> cases_;
+  std::map<std::string, Evidence> evidence_;  // key: "<case>/<evidence>"
+  uint64_t seq_ = 0;
+};
+
+}  // namespace forensics
+}  // namespace provledger
+
+#endif  // PROVLEDGER_DOMAINS_FORENSICS_CASE_MANAGER_H_

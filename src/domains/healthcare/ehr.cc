@@ -1,0 +1,181 @@
+#include "domains/healthcare/ehr.h"
+
+namespace provledger {
+namespace healthcare {
+
+EhrSystem::EhrSystem(prov::ProvenanceStore* store,
+                     storage::ContentStore* content, Clock* clock)
+    : store_(store), content_(content), clock_(clock) {
+  rbac_.DefineRole("doctor");
+  rbac_.DefineRole("nurse");
+  rbac_.DefineRole("pharmacist");
+  rbac_.DefineRole("insurer");
+  rbac_.DefineRole("researcher");
+  for (const char* role : {"doctor", "nurse"}) {
+    (void)rbac_.GrantPermission(role, "ehr:read");
+  }
+  (void)rbac_.GrantPermission("doctor", "ehr:write");
+  (void)rbac_.GrantPermission("pharmacist", "ehr:read");
+  (void)rbac_.GrantPermission("researcher", "ehr:read");
+}
+
+Status EhrSystem::Audit(const std::string& patient, const std::string& actor,
+                        const std::string& operation,
+                        const std::string& outcome,
+                        const std::string& record_id) {
+  prov::ProvenanceRecord rec;
+  rec.record_id = "ehr-audit-" + std::to_string(++seq_);
+  rec.domain = prov::Domain::kHealthcare;
+  rec.operation = operation;
+  rec.subject = patient;
+  rec.agent = actor;
+  rec.timestamp = clock_->NowMicros();
+  rec.fields["outcome"] = outcome;
+  if (!record_id.empty()) rec.fields["record"] = record_id;
+  return store_->Anchor(rec);
+}
+
+Status EhrSystem::RegisterPatient(const std::string& patient) {
+  if (patients_.count(patient)) {
+    return Status::AlreadyExists("patient already registered: " + patient);
+  }
+  patients_.insert(patient);
+  return Audit(patient, patient, "register-patient", "ok");
+}
+
+Bytes EhrSystem::SearchKey(const std::string& patient) const {
+  crypto::Digest key =
+      crypto::HmacSha256(ToBytes("ehr-search-master"), ToBytes(patient));
+  return Bytes(key.begin(), key.end());
+}
+
+std::string EhrSystem::Trapdoor(const std::string& patient,
+                                const std::string& keyword) const {
+  crypto::Digest token =
+      crypto::HmacSha256(SearchKey(patient), ToBytes(keyword));
+  return HexEncode(token.data(), 16);
+}
+
+Result<std::string> EhrSystem::AddRecord(
+    const std::string& patient, const std::string& provider,
+    const std::string& note, const std::vector<std::string>& keywords) {
+  if (!patients_.count(patient)) {
+    return Status::NotFound("no such patient: " + patient);
+  }
+  if (!rbac_.Check(provider, "ehr:write")) {
+    (void)Audit(patient, provider, "add-record", "denied:role");
+    return Status::PermissionDenied(provider + " lacks ehr:write");
+  }
+  if (!HasConsent(patient, provider, "treatment")) {
+    (void)Audit(patient, provider, "add-record", "denied:consent");
+    return Status::PermissionDenied("no treatment consent from " + patient);
+  }
+
+  // Content goes off-chain; the ledger holds its hash (HealthBlock/IPFS
+  // pattern).
+  crypto::Digest cid = content_->Put(ToBytes(note));
+  const std::string record_id = "ehr-rec-" + std::to_string(++seq_);
+
+  prov::ProvenanceRecord rec;
+  rec.record_id = record_id;
+  rec.domain = prov::Domain::kHealthcare;
+  rec.operation = "add-record";
+  rec.subject = patient;
+  rec.agent = provider;
+  rec.timestamp = clock_->NowMicros();
+  rec.payload_hash = cid;
+  rec.fields["outcome"] = "ok";
+  PROVLEDGER_RETURN_NOT_OK(store_->Anchor(rec));
+
+  records_.emplace(record_id, RecordMeta{patient, cid});
+  for (const auto& keyword : keywords) {
+    keyword_index_[Trapdoor(patient, keyword)].push_back(record_id);
+  }
+  return record_id;
+}
+
+Status EhrSystem::GrantConsent(const std::string& patient,
+                               const std::string& grantee,
+                               const std::set<std::string>& purposes) {
+  if (!patients_.count(patient)) {
+    return Status::NotFound("no such patient: " + patient);
+  }
+  Consent consent;
+  consent.patient = patient;
+  consent.grantee = grantee;
+  consent.purposes = purposes;
+  consent.granted_at = clock_->NowMicros();
+  consents_[patient + "/" + grantee] = std::move(consent);
+  return Audit(patient, patient, "grant-consent", "ok->" + grantee);
+}
+
+Status EhrSystem::RevokeConsent(const std::string& patient,
+                                const std::string& grantee) {
+  auto it = consents_.find(patient + "/" + grantee);
+  if (it == consents_.end() || it->second.revoked) {
+    return Status::NotFound("no active consent for " + grantee);
+  }
+  it->second.revoked = true;
+  return Audit(patient, patient, "revoke-consent", "ok->" + grantee);
+}
+
+bool EhrSystem::HasConsent(const std::string& patient,
+                           const std::string& grantee,
+                           const std::string& purpose) const {
+  auto it = consents_.find(patient + "/" + grantee);
+  if (it == consents_.end() || it->second.revoked) return false;
+  return it->second.purposes.count(purpose) > 0;
+}
+
+Result<std::string> EhrSystem::ReadRecord(const std::string& record_id,
+                                          const std::string& reader,
+                                          const std::string& purpose,
+                                          bool emergency) {
+  auto it = records_.find(record_id);
+  if (it == records_.end()) {
+    return Status::NotFound("no such record: " + record_id);
+  }
+  const std::string& patient = it->second.patient;
+
+  if (!rbac_.Check(reader, "ehr:read")) {
+    (void)Audit(patient, reader, "read-record", "denied:role", record_id);
+    return Status::PermissionDenied(reader + " lacks ehr:read");
+  }
+  if (!emergency && !HasConsent(patient, reader, purpose) &&
+      reader != patient) {
+    (void)Audit(patient, reader, "read-record", "denied:consent", record_id);
+    return Status::PermissionDenied("no consent for purpose " + purpose);
+  }
+  // Break-glass: allowed, but loudly audited (HealthBlock's emergency
+  // access requirement).
+  PROVLEDGER_RETURN_NOT_OK(Audit(patient, reader, "read-record",
+                                 emergency ? "ok:EMERGENCY" : "ok",
+                                 record_id));
+  PROVLEDGER_ASSIGN_OR_RETURN(Bytes content,
+                              content_->GetVerified(it->second.content_cid));
+  return BytesToString(content);
+}
+
+std::vector<prov::ProvenanceRecord> EhrSystem::AccessAudit(
+    const std::string& patient) const {
+  return store_->SubjectHistory(patient);
+}
+
+Result<std::vector<std::string>> EhrSystem::Search(
+    const std::string& patient, const std::string& searcher,
+    const std::string& keyword) {
+  // Multi-user search: the searcher needs consent for "search" (or to be
+  // the patient), mirroring Niu et al.'s delegated search capability.
+  if (searcher != patient && !HasConsent(patient, searcher, "search")) {
+    (void)Audit(patient, searcher, "search", "denied:consent");
+    return Status::PermissionDenied("no search consent from " + patient);
+  }
+  PROVLEDGER_RETURN_NOT_OK(
+      Audit(patient, searcher, "search", "ok:" + keyword));
+  auto it = keyword_index_.find(Trapdoor(patient, keyword));
+  if (it == keyword_index_.end()) return std::vector<std::string>{};
+  return it->second;
+}
+
+}  // namespace healthcare
+}  // namespace provledger

@@ -1,0 +1,127 @@
+// Healthcare provenance (§4.3): the EHR lifecycle as surveyed in Singh et
+// al. [69] (smart-contract-managed stakeholders), MedBlock [27]
+// (hospital-bundled sharing), Niu et al. [59] (searchable encryption over
+// shared EHRs — simulated with HMAC trapdoor tokens), and HealthBlock [1]
+// (patient-controlled access, off-chain storage, emergency access).
+//
+// Design centers on the challenges §4.6 lists for healthcare: data
+// ownership (patients own records), patient centricity (consent manager),
+// HIPAA-style minimum-necessary access (role × consent × purpose), and
+// break-glass emergency access with mandatory audit.
+
+#ifndef PROVLEDGER_DOMAINS_HEALTHCARE_EHR_H_
+#define PROVLEDGER_DOMAINS_HEALTHCARE_EHR_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "access/rbac.h"
+#include "prov/store.h"
+#include "storage/content_store.h"
+
+namespace provledger {
+namespace healthcare {
+
+/// \brief A consent grant from a patient to a provider.
+struct Consent {
+  std::string patient;
+  std::string grantee;
+  /// Purposes the grantee may access records for ("treatment", "research").
+  std::set<std::string> purposes;
+  Timestamp granted_at = 0;
+  bool revoked = false;
+};
+
+/// \brief Result of an access attempt (everything is audited).
+struct AccessOutcome {
+  bool allowed = false;
+  bool emergency = false;
+  std::string reason;
+};
+
+/// \brief Patient-centric EHR system over a ProvenanceStore.
+class EhrSystem {
+ public:
+  EhrSystem(prov::ProvenanceStore* store, storage::ContentStore* content,
+            Clock* clock);
+
+  /// Role registry (doctor / nurse / pharmacist / insurer / researcher).
+  access::RbacPolicy* rbac() { return &rbac_; }
+
+  /// \name Record lifecycle.
+  /// @{
+  /// Register a patient (owns their record set from then on).
+  Status RegisterPatient(const std::string& patient);
+  /// Add an EHR entry authored by `provider` (requires "ehr:write" role
+  /// permission + patient consent for purpose "treatment").
+  /// `keywords` feed the searchable index. Returns the record id.
+  Result<std::string> AddRecord(const std::string& patient,
+                                const std::string& provider,
+                                const std::string& note,
+                                const std::vector<std::string>& keywords);
+  /// @}
+
+  /// \name Consent management (patient-centric control).
+  /// @{
+  Status GrantConsent(const std::string& patient, const std::string& grantee,
+                      const std::set<std::string>& purposes);
+  Status RevokeConsent(const std::string& patient, const std::string& grantee);
+  bool HasConsent(const std::string& patient, const std::string& grantee,
+                  const std::string& purpose) const;
+  /// @}
+
+  /// \name Gated access (HIPAA-style) — every attempt is audited on-ledger.
+  /// @{
+  /// Read a patient's record content. Requires the "ehr:read" permission
+  /// AND active consent for `purpose` — unless `emergency` (break-glass):
+  /// then access is granted to any credentialed provider but flagged.
+  Result<std::string> ReadRecord(const std::string& record_id,
+                                 const std::string& reader,
+                                 const std::string& purpose,
+                                 bool emergency = false);
+  /// All audited access outcomes for a patient (from the ledger).
+  std::vector<prov::ProvenanceRecord> AccessAudit(
+      const std::string& patient) const;
+  /// @}
+
+  /// \name Searchable (encrypted-index) retrieval — Niu et al., simulated.
+  /// @{
+  /// Record ids matching `keyword`, searchable only with the patient's
+  /// search key (multi-user search via per-grantee delegated keys).
+  Result<std::vector<std::string>> Search(const std::string& patient,
+                                          const std::string& searcher,
+                                          const std::string& keyword);
+  /// @}
+
+  size_t patient_count() const { return patients_.size(); }
+
+ private:
+  struct RecordMeta {
+    std::string patient;
+    crypto::Digest content_cid;
+  };
+  Status Audit(const std::string& patient, const std::string& actor,
+               const std::string& operation, const std::string& outcome,
+               const std::string& record_id = "");
+  Bytes SearchKey(const std::string& patient) const;
+  std::string Trapdoor(const std::string& patient,
+                       const std::string& keyword) const;
+
+  prov::ProvenanceStore* store_;
+  storage::ContentStore* content_;
+  Clock* clock_;
+  access::RbacPolicy rbac_;
+  std::set<std::string> patients_;
+  std::map<std::string, Consent> consents_;  // "patient/grantee"
+  std::map<std::string, RecordMeta> records_;
+  // Trapdoor token -> record ids (the "encrypted" inverted index).
+  std::map<std::string, std::vector<std::string>> keyword_index_;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace healthcare
+}  // namespace provledger
+
+#endif  // PROVLEDGER_DOMAINS_HEALTHCARE_EHR_H_

@@ -1,0 +1,107 @@
+#include "domains/ml/asset_graph.h"
+
+namespace provledger {
+namespace ml {
+
+const char* AssetKindName(AssetKind kind) {
+  switch (kind) {
+    case AssetKind::kDataset:
+      return "dataset";
+    case AssetKind::kOperation:
+      return "operation";
+    case AssetKind::kModel:
+      return "model";
+  }
+  return "unknown";
+}
+
+AssetGraph::AssetGraph(prov::ProvenanceStore* store, Clock* clock)
+    : store_(store), clock_(clock) {}
+
+Status AssetGraph::Register(const std::string& asset_id, AssetKind kind,
+                            const std::string& owner,
+                            const std::string& operation,
+                            const std::vector<std::string>& inputs) {
+  if (kinds_.count(asset_id)) {
+    return Status::AlreadyExists("asset already registered: " + asset_id);
+  }
+  for (const auto& input : inputs) {
+    if (!kinds_.count(input)) {
+      return Status::NotFound("input asset not registered: " + input);
+    }
+  }
+  prov::ProvenanceRecord rec;
+  rec.record_id = "ml-" + std::to_string(++seq_);
+  rec.domain = prov::Domain::kMachineLearning;
+  rec.operation = operation;
+  rec.subject = asset_id;
+  rec.agent = owner;
+  rec.timestamp = clock_->NowMicros();
+  rec.inputs = inputs;
+  rec.outputs = {asset_id};
+  rec.fields["asset_kind"] = AssetKindName(kind);
+  PROVLEDGER_RETURN_NOT_OK(store_->Anchor(rec));
+
+  kinds_.emplace(asset_id, kind);
+  owners_.emplace(asset_id, owner);
+  return Status::OK();
+}
+
+Status AssetGraph::RegisterDataset(const std::string& dataset_id,
+                                   const std::string& owner) {
+  return Register(dataset_id, AssetKind::kDataset, owner, "register-dataset",
+                  {});
+}
+
+Status AssetGraph::RegisterModel(const std::string& model_id,
+                                 const std::string& owner,
+                                 const std::string& operation,
+                                 const std::vector<std::string>& inputs) {
+  if (inputs.empty()) {
+    return Status::InvalidArgument("a model needs at least one input asset");
+  }
+  return Register(model_id, AssetKind::kModel, owner, operation, inputs);
+}
+
+Status AssetGraph::RegisterDerivedDataset(
+    const std::string& dataset_id, const std::string& owner,
+    const std::string& operation, const std::vector<std::string>& inputs) {
+  if (inputs.empty()) {
+    return Status::InvalidArgument(
+        "a derived dataset needs at least one input");
+  }
+  return Register(dataset_id, AssetKind::kDataset, owner, operation, inputs);
+}
+
+Result<AssetKind> AssetGraph::KindOf(const std::string& asset_id) const {
+  auto it = kinds_.find(asset_id);
+  if (it == kinds_.end()) {
+    return Status::NotFound("no such asset: " + asset_id);
+  }
+  return it->second;
+}
+
+bool AssetGraph::HasAsset(const std::string& asset_id) const {
+  return kinds_.count(asset_id) > 0;
+}
+
+std::vector<std::string> AssetGraph::AssetLineage(
+    const std::string& asset_id) const {
+  return store_->Lineage(asset_id);
+}
+
+std::set<std::string> AssetGraph::Contributors(
+    const std::string& asset_id) const {
+  std::set<std::string> contributors;
+  for (const auto& ancestor : store_->Lineage(asset_id)) {
+    auto kind_it = kinds_.find(ancestor);
+    if (kind_it != kinds_.end() && kind_it->second == AssetKind::kDataset) {
+      auto owner_it = owners_.find(ancestor);
+      if (owner_it != owners_.end()) contributors.insert(owner_it->second);
+    }
+  }
+  return contributors;
+}
+
+}  // namespace ml
+}  // namespace provledger

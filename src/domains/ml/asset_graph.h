@@ -1,0 +1,69 @@
+// AI-asset provenance (Lüthi et al. [51]): datasets, operations, and models
+// as first-class assets in a DAG, tracked without requiring a corresponding
+// operation for every asset, supporting audits ("which datasets shaped this
+// model?") and fair-compensation queries ("who contributed to it?").
+
+#ifndef PROVLEDGER_DOMAINS_ML_ASSET_GRAPH_H_
+#define PROVLEDGER_DOMAINS_ML_ASSET_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "prov/store.h"
+
+namespace provledger {
+namespace ml {
+
+/// \brief Asset classification (Lüthi et al.'s three classes).
+enum class AssetKind : uint8_t { kDataset = 0, kOperation = 1, kModel = 2 };
+
+const char* AssetKindName(AssetKind kind);
+
+/// \brief Registry of AI assets over a ProvenanceStore.
+class AssetGraph {
+ public:
+  AssetGraph(prov::ProvenanceStore* store, Clock* clock);
+
+  /// Register a dataset owned by `owner` (no generating operation needed).
+  Status RegisterDataset(const std::string& dataset_id,
+                         const std::string& owner);
+  /// Register a model produced by `operation` from `input_assets`
+  /// (datasets and/or earlier models).
+  Status RegisterModel(const std::string& model_id, const std::string& owner,
+                       const std::string& operation,
+                       const std::vector<std::string>& input_assets);
+  /// Register a derived dataset (e.g. a preprocessing output).
+  Status RegisterDerivedDataset(const std::string& dataset_id,
+                                const std::string& owner,
+                                const std::string& operation,
+                                const std::vector<std::string>& input_assets);
+
+  Result<AssetKind> KindOf(const std::string& asset_id) const;
+  bool HasAsset(const std::string& asset_id) const;
+
+  /// All assets in `model_id`'s ancestry (audit query).
+  std::vector<std::string> AssetLineage(const std::string& asset_id) const;
+  /// Distinct owners of datasets in the asset's ancestry — the fair-
+  /// compensation set.
+  std::set<std::string> Contributors(const std::string& asset_id) const;
+
+  size_t asset_count() const { return kinds_.size(); }
+
+ private:
+  Status Register(const std::string& asset_id, AssetKind kind,
+                  const std::string& owner, const std::string& operation,
+                  const std::vector<std::string>& inputs);
+
+  prov::ProvenanceStore* store_;
+  Clock* clock_;
+  std::map<std::string, AssetKind> kinds_;
+  std::map<std::string, std::string> owners_;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace ml
+}  // namespace provledger
+
+#endif  // PROVLEDGER_DOMAINS_ML_ASSET_GRAPH_H_

@@ -1,0 +1,199 @@
+#include "domains/ml/federated.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace provledger {
+namespace ml {
+
+namespace {
+double L2(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+}  // namespace
+
+FederatedLearning::FederatedLearning(const FlConfig& config,
+                                     prov::ProvenanceStore* store,
+                                     Clock* clock)
+    : config_(config), store_(store), clock_(clock), rng_(config.seed) {
+  true_weights_.resize(config_.dims);
+  weights_.assign(config_.dims, 0.0);
+  for (auto& w : true_weights_) w = rng_.NextGaussian(0.0, 1.0);
+
+  // Assign adversary roles deterministically: the first k workers are
+  // attackers, the next f are free riders.
+  const size_t attackers = static_cast<size_t>(
+      config_.attacker_fraction * static_cast<double>(config_.num_workers) +
+      0.5);
+  is_attacker_.assign(config_.num_workers, false);
+  is_free_rider_.assign(config_.num_workers, false);
+  for (size_t i = 0; i < attackers && i < config_.num_workers; ++i) {
+    is_attacker_[i] = true;
+  }
+  for (size_t i = attackers;
+       i < attackers + config_.free_riders && i < config_.num_workers; ++i) {
+    is_free_rider_[i] = true;
+  }
+  reputation_.assign(config_.num_workers, 1.0);
+}
+
+double FederatedLearning::model_error() const {
+  return L2(weights_, true_weights_);
+}
+
+std::vector<double> FederatedLearning::WorkerUpdate(size_t worker) {
+  std::vector<double> update(config_.dims, 0.0);
+  if (is_free_rider_[worker]) return update;  // zero contribution
+
+  for (size_t d = 0; d < config_.dims; ++d) {
+    // Honest gradient: step toward the truth as seen through this
+    // worker's noisy local data.
+    double gradient = (true_weights_[d] - weights_[d]) +
+                      rng_.NextGaussian(0.0, config_.data_noise);
+    if (is_attacker_[worker]) {
+      // Model poisoning: amplified step in the wrong direction.
+      gradient = -2.0 * gradient;
+    }
+    update[d] = gradient;
+  }
+  Compress(&update);
+  return update;
+}
+
+void FederatedLearning::Compress(std::vector<double>* update) const {
+  // Top-k sparsification (BlockDFL's gradient compression): zero all but
+  // the largest-magnitude fraction of coordinates.
+  const size_t keep = std::max<size_t>(
+      1, static_cast<size_t>(config_.compression_keep *
+                             static_cast<double>(update->size())));
+  if (keep >= update->size()) return;
+  std::vector<size_t> order(update->size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::nth_element(order.begin(), order.begin() + keep - 1, order.end(),
+                   [&](size_t a, size_t b) {
+                     return std::fabs((*update)[a]) > std::fabs((*update)[b]);
+                   });
+  std::vector<bool> kept(update->size(), false);
+  for (size_t i = 0; i < keep; ++i) kept[order[i]] = true;
+  for (size_t i = 0; i < update->size(); ++i) {
+    if (!kept[i]) (*update)[i] = 0.0;
+  }
+}
+
+bool FederatedLearning::CommitteeApproves(const std::vector<double>& update) {
+  // Each committee member scores the candidate against its own noisy
+  // validation view; majority approval wins (BlockDFL's voting).
+  size_t approvals = 0;
+  for (size_t member = 0; member < config_.committee_size; ++member) {
+    double before = 0.0, after = 0.0;
+    for (size_t d = 0; d < config_.dims; ++d) {
+      double validation_truth =
+          true_weights_[d] + rng_.NextGaussian(0.0, config_.committee_noise);
+      double current_gap = validation_truth - weights_[d];
+      double next_gap =
+          validation_truth -
+          (weights_[d] + config_.learning_rate * update[d]);
+      before += current_gap * current_gap;
+      after += next_gap * next_gap;
+    }
+    if (after < before) ++approvals;
+  }
+  return approvals * 2 > config_.committee_size;
+}
+
+RoundStats FederatedLearning::RunRound() {
+  RoundStats stats;
+  stats.round = ++round_;
+  stats.model_error = model_error();
+
+  std::vector<std::vector<double>> accepted_updates;
+  for (size_t worker = 0; worker < config_.num_workers; ++worker) {
+    if (config_.aggregation == Aggregation::kBlockDfl && excluded(worker)) {
+      ++stats.excluded;
+      continue;
+    }
+    std::vector<double> update = WorkerUpdate(worker);
+    stats.bytes_uploaded += static_cast<uint64_t>(
+        sizeof(double) * config_.compression_keep *
+        static_cast<double>(config_.dims));
+
+    bool accept = true;
+    if (config_.aggregation == Aggregation::kBlockDfl) {
+      // Free-rider screen: all-zero updates earn no reputation and are
+      // not aggregated.
+      bool all_zero = true;
+      for (double v : update) {
+        if (v != 0.0) {
+          all_zero = false;
+          break;
+        }
+      }
+      accept = !all_zero && CommitteeApproves(update);
+    }
+
+    if (accept) {
+      accepted_updates.push_back(std::move(update));
+      ++stats.accepted;
+      reputation_[worker] = std::min(1.0, reputation_[worker] + 0.05);
+    } else {
+      ++stats.rejected;
+      reputation_[worker] *= 0.8;
+    }
+  }
+
+  if (!accepted_updates.empty()) {
+    if (config_.aggregation == Aggregation::kFedAvg) {
+      for (size_t d = 0; d < config_.dims; ++d) {
+        double sum = 0;
+        for (const auto& u : accepted_updates) sum += u[d];
+        weights_[d] += config_.learning_rate *
+                       (sum / static_cast<double>(accepted_updates.size()));
+      }
+    } else {
+      // Coordinate-wise median: robust to residual outliers that slipped
+      // past the vote.
+      std::vector<double> column(accepted_updates.size());
+      for (size_t d = 0; d < config_.dims; ++d) {
+        for (size_t i = 0; i < accepted_updates.size(); ++i) {
+          column[i] = accepted_updates[i][d];
+        }
+        std::nth_element(column.begin(), column.begin() + column.size() / 2,
+                         column.end());
+        weights_[d] += config_.learning_rate * column[column.size() / 2];
+      }
+    }
+  }
+  stats.model_error = model_error();
+
+  if (store_ != nullptr) {
+    prov::ProvenanceRecord rec;
+    rec.record_id = "fl-round-" + std::to_string(round_) + "-" +
+                    std::to_string(config_.seed);
+    rec.domain = prov::Domain::kMachineLearning;
+    rec.operation = "fl-round";
+    rec.subject = "global-model";
+    rec.agent = config_.aggregation == Aggregation::kBlockDfl ? "blockdfl"
+                                                              : "fedavg";
+    rec.timestamp = clock_->NowMicros();
+    rec.fields["round"] = std::to_string(round_);
+    rec.fields["accepted"] = std::to_string(stats.accepted);
+    rec.fields["rejected"] = std::to_string(stats.rejected);
+    rec.fields["error"] = std::to_string(stats.model_error);
+    (void)store_->Anchor(rec);
+  }
+  return stats;
+}
+
+RoundStats FederatedLearning::RunRounds(size_t n) {
+  RoundStats last;
+  for (size_t i = 0; i < n; ++i) last = RunRound();
+  return last;
+}
+
+}  // namespace ml
+}  // namespace provledger

@@ -1,0 +1,255 @@
+#include "domains/scientific/workflow.h"
+
+#include <deque>
+
+namespace provledger {
+namespace scientific {
+
+WorkflowManager::WorkflowManager(prov::ProvenanceStore* store, Clock* clock)
+    : store_(store), clock_(clock) {}
+
+Status WorkflowManager::CreateWorkflow(const std::string& workflow_id,
+                                       const std::string& owner) {
+  if (workflows_.count(workflow_id)) {
+    return Status::AlreadyExists("workflow exists: " + workflow_id);
+  }
+  Workflow wf;
+  wf.id = workflow_id;
+  wf.owner = owner;
+  workflows_.emplace(workflow_id, std::move(wf));
+  return Status::OK();
+}
+
+Status WorkflowManager::AddTaskInternal(
+    const std::string& workflow_id, const std::string& task_id,
+    const std::string& operation,
+    const std::vector<std::string>& depends_on) {
+  auto wf_it = workflows_.find(workflow_id);
+  if (wf_it == workflows_.end()) {
+    return Status::NotFound("no such workflow: " + workflow_id);
+  }
+  const std::string key = TaskKey(workflow_id, task_id);
+  if (tasks_.count(key)) {
+    return Status::AlreadyExists("task exists: " + key);
+  }
+  for (const auto& dep : depends_on) {
+    if (!tasks_.count(TaskKey(workflow_id, dep))) {
+      return Status::NotFound("dependency not found: " + dep);
+    }
+  }
+  // DAG by construction: dependencies must pre-exist, so no cycles.
+  Task task;
+  task.id = task_id;
+  task.workflow = workflow_id;
+  task.operation = operation;
+  task.depends_on = depends_on;
+  task.output = workflow_id + "/" + task_id + "/out";
+  tasks_.emplace(key, std::move(task));
+  wf_it->second.task_order.push_back(task_id);
+  return Status::OK();
+}
+
+Status WorkflowManager::AddTask(const std::string& workflow_id,
+                                const std::string& task_id,
+                                const std::string& operation,
+                                const std::vector<std::string>& depends_on) {
+  return AddTaskInternal(workflow_id, task_id, operation, depends_on);
+}
+
+Status WorkflowManager::Branch(const std::string& workflow_id,
+                               const std::string& task_id,
+                               const std::string& operation,
+                               const std::string& from_task) {
+  return AddTaskInternal(workflow_id, task_id, operation, {from_task});
+}
+
+Status WorkflowManager::Merge(const std::string& workflow_id,
+                              const std::string& task_id,
+                              const std::string& operation,
+                              const std::vector<std::string>& from_tasks) {
+  if (from_tasks.size() < 2) {
+    return Status::InvalidArgument("merge requires at least two sources");
+  }
+  return AddTaskInternal(workflow_id, task_id, operation, from_tasks);
+}
+
+Status WorkflowManager::ExecuteInternal(const std::string& workflow_id,
+                                        Task* task,
+                                        const std::string& researcher,
+                                        bool reexecution) {
+  // Dependencies must be executed and currently valid.
+  std::vector<std::string> inputs;
+  for (const auto& dep : task->depends_on) {
+    const Task& dep_task = tasks_.at(TaskKey(workflow_id, dep));
+    if (dep_task.state != TaskState::kExecuted &&
+        dep_task.state != TaskState::kReexecuted) {
+      return Status::FailedPrecondition("dependency not executed/valid: " +
+                                        dep);
+    }
+    inputs.push_back(dep_task.output);
+  }
+
+  ++record_seq_;
+  const std::string record_id = workflow_id + "/exec-" + task->id + "-" +
+                                std::to_string(task->executions + 1);
+  prov::ProvenanceRecord rec = prov::MakeScientificRecord(
+      record_id, reexecution ? "re-execute" : "execute", task->id, researcher,
+      clock_->NowMicros(), workflow_id,
+      std::to_string(100 + record_seq_ % 400) + "ms", researcher,
+      inputs.empty() ? "external" : inputs[0],
+      task->output, reexecution ? task->execution_record : "");
+  rec.inputs = inputs;
+  rec.outputs = {task->output};
+  PROVLEDGER_RETURN_NOT_OK(store_->Anchor(rec));
+
+  task->state = reexecution ? TaskState::kReexecuted : TaskState::kExecuted;
+  task->execution_record = record_id;
+  task->executions++;
+  return Status::OK();
+}
+
+Status WorkflowManager::ExecuteTask(const std::string& workflow_id,
+                                    const std::string& task_id,
+                                    const std::string& researcher) {
+  auto it = tasks_.find(TaskKey(workflow_id, task_id));
+  if (it == tasks_.end()) {
+    return Status::NotFound("no such task: " + task_id);
+  }
+  if (it->second.state != TaskState::kPending) {
+    return Status::FailedPrecondition("task not pending: " + task_id);
+  }
+  return ExecuteInternal(workflow_id, &it->second, researcher, false);
+}
+
+Result<size_t> WorkflowManager::ExecuteAll(const std::string& workflow_id,
+                                           const std::string& researcher) {
+  auto wf_it = workflows_.find(workflow_id);
+  if (wf_it == workflows_.end()) {
+    return Status::NotFound("no such workflow: " + workflow_id);
+  }
+  // task_order is a valid topological order (deps precede dependents by
+  // construction), so one pass suffices.
+  size_t executed = 0;
+  for (const auto& task_id : wf_it->second.task_order) {
+    Task& task = tasks_.at(TaskKey(workflow_id, task_id));
+    if (task.state != TaskState::kPending) continue;
+    PROVLEDGER_RETURN_NOT_OK(
+        ExecuteInternal(workflow_id, &task, researcher, false));
+    ++executed;
+  }
+  return executed;
+}
+
+Status WorkflowManager::Publish(const std::string& workflow_id) {
+  auto it = workflows_.find(workflow_id);
+  if (it == workflows_.end()) {
+    return Status::NotFound("no such workflow: " + workflow_id);
+  }
+  for (const auto& task_id : it->second.task_order) {
+    const Task& task = tasks_.at(TaskKey(workflow_id, task_id));
+    if (task.state == TaskState::kPending ||
+        task.state == TaskState::kInvalidated) {
+      return Status::FailedPrecondition(
+          "cannot publish with pending/invalidated task: " + task_id);
+    }
+  }
+  it->second.published = true;
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> WorkflowManager::InvalidateTask(
+    const std::string& workflow_id, const std::string& task_id,
+    const std::string& reason) {
+  auto it = tasks_.find(TaskKey(workflow_id, task_id));
+  if (it == tasks_.end()) {
+    return Status::NotFound("no such task: " + task_id);
+  }
+  Task& root = it->second;
+  if (root.state != TaskState::kExecuted &&
+      root.state != TaskState::kReexecuted) {
+    return Status::FailedPrecondition("task has no valid execution: " +
+                                      task_id);
+  }
+  // Invalidate the execution record in the provenance graph; the cascade
+  // gives us the affected executions, which map back to tasks.
+  // Graph invalidation runs on the store's shared graph, so cascades cross
+  // workflow boundaries when outputs were consumed elsewhere.
+  PROVLEDGER_ASSIGN_OR_RETURN(
+      std::vector<std::string> cascade,
+      store_->mutable_graph()->Invalidate(root.execution_record,
+                                          clock_->NowMicros(), reason));
+
+  std::vector<std::string> affected_tasks;
+  for (const auto& record_id : cascade) {
+    auto rec = store_->GetRecord(record_id);
+    if (!rec.ok()) continue;
+    // Scientific execution records carry the task id as subject.
+    auto task_it = tasks_.find(TaskKey(rec->fields.count(
+                                           prov::fields::kWorkflowId)
+                                           ? rec->fields.at(
+                                                 prov::fields::kWorkflowId)
+                                           : workflow_id,
+                                       rec->subject));
+    if (task_it == tasks_.end()) continue;
+    if (task_it->second.execution_record == record_id) {
+      task_it->second.state = TaskState::kInvalidated;
+      affected_tasks.push_back(task_it->second.id);
+    }
+  }
+  return affected_tasks;
+}
+
+Result<std::vector<std::string>> WorkflowManager::ReexecutionPlan(
+    const std::string& workflow_id) const {
+  auto wf_it = workflows_.find(workflow_id);
+  if (wf_it == workflows_.end()) {
+    return Status::NotFound("no such workflow: " + workflow_id);
+  }
+  std::vector<std::string> plan;
+  for (const auto& task_id : wf_it->second.task_order) {
+    const Task& task = tasks_.at(TaskKey(workflow_id, task_id));
+    if (task.state == TaskState::kInvalidated) plan.push_back(task_id);
+  }
+  return plan;
+}
+
+Status WorkflowManager::ReexecuteTask(const std::string& workflow_id,
+                                      const std::string& task_id,
+                                      const std::string& researcher) {
+  auto it = tasks_.find(TaskKey(workflow_id, task_id));
+  if (it == tasks_.end()) {
+    return Status::NotFound("no such task: " + task_id);
+  }
+  if (it->second.state != TaskState::kInvalidated) {
+    return Status::FailedPrecondition("task is not invalidated: " + task_id);
+  }
+  return ExecuteInternal(workflow_id, &it->second, researcher, true);
+}
+
+Result<Task> WorkflowManager::GetTask(const std::string& workflow_id,
+                                      const std::string& task_id) const {
+  auto it = tasks_.find(TaskKey(workflow_id, task_id));
+  if (it == tasks_.end()) {
+    return Status::NotFound("no such task: " + task_id);
+  }
+  return it->second;
+}
+
+Result<Workflow> WorkflowManager::GetWorkflow(
+    const std::string& workflow_id) const {
+  auto it = workflows_.find(workflow_id);
+  if (it == workflows_.end()) {
+    return Status::NotFound("no such workflow: " + workflow_id);
+  }
+  return it->second;
+}
+
+std::vector<std::string> WorkflowManager::OutputLineage(
+    const std::string& workflow_id, const std::string& task_id) const {
+  auto it = tasks_.find(TaskKey(workflow_id, task_id));
+  if (it == tasks_.end()) return {};
+  return store_->Lineage(it->second.output);
+}
+
+}  // namespace scientific
+}  // namespace provledger

@@ -1,0 +1,134 @@
+// Scientific-workflow provenance (§4.1; SciLedger [36], SciBlock [28]):
+// multi-task workflows as DAGs whose every execution is anchored as a
+// Table 1 scientific record, supporting the full Figure 4 lifecycle —
+// design (add tasks/dependencies), execution (dependency-ordered), sharing
+// (publish), branching/merging, timestamp invalidation with cascade, and
+// selective re-execution of exactly the affected subgraph.
+
+#ifndef PROVLEDGER_DOMAINS_SCIENTIFIC_WORKFLOW_H_
+#define PROVLEDGER_DOMAINS_SCIENTIFIC_WORKFLOW_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "prov/store.h"
+
+namespace provledger {
+namespace scientific {
+
+/// \brief Task lifecycle states (Figure 4).
+enum class TaskState : uint8_t {
+  kPending = 0,
+  kExecuted = 1,
+  kInvalidated = 2,
+  kReexecuted = 3,
+};
+
+/// \brief One workflow task.
+struct Task {
+  std::string id;
+  std::string workflow;
+  std::string operation;
+  std::vector<std::string> depends_on;  // upstream task ids
+  TaskState state = TaskState::kPending;
+  /// Output entity id (derived as "<task>/out" on execution).
+  std::string output;
+  /// Record id of the most recent execution.
+  std::string execution_record;
+  uint32_t executions = 0;
+};
+
+/// \brief A workflow: a named DAG of tasks owned by a researcher.
+struct Workflow {
+  std::string id;
+  std::string owner;
+  bool published = false;
+  std::vector<std::string> task_order;  // insertion order
+};
+
+/// \brief Workflow manager over a ProvenanceStore (the SciLedger role).
+class WorkflowManager {
+ public:
+  WorkflowManager(prov::ProvenanceStore* store, Clock* clock);
+
+  /// \name Design phase.
+  /// @{
+  Status CreateWorkflow(const std::string& workflow_id,
+                        const std::string& owner);
+  /// Add a task; dependencies must already exist in the same workflow.
+  /// Cycles are rejected.
+  Status AddTask(const std::string& workflow_id, const std::string& task_id,
+                 const std::string& operation,
+                 const std::vector<std::string>& depends_on = {});
+  /// Branch: add a new task consuming an existing task's output.
+  Status Branch(const std::string& workflow_id, const std::string& task_id,
+                const std::string& operation, const std::string& from_task);
+  /// Merge: add a task consuming several tasks' outputs.
+  Status Merge(const std::string& workflow_id, const std::string& task_id,
+               const std::string& operation,
+               const std::vector<std::string>& from_tasks);
+  /// @}
+
+  /// \name Execution phase.
+  /// @{
+  /// Execute a task as `researcher`; all dependencies must be executed and
+  /// valid. Anchors a Table 1 scientific record.
+  Status ExecuteTask(const std::string& workflow_id,
+                     const std::string& task_id,
+                     const std::string& researcher);
+  /// Execute every pending task in dependency order; returns count.
+  Result<size_t> ExecuteAll(const std::string& workflow_id,
+                            const std::string& researcher);
+  /// @}
+
+  /// \name Sharing / invalidation / repair (Figure 4 tail).
+  /// @{
+  /// Publish the workflow (shared provenance becomes externally queryable).
+  Status Publish(const std::string& workflow_id);
+  /// Invalidate an executed task (SciBlock): cascades to every executed
+  /// downstream task. Returns the ids of tasks invalidated.
+  Result<std::vector<std::string>> InvalidateTask(
+      const std::string& workflow_id, const std::string& task_id,
+      const std::string& reason);
+  /// Tasks needing re-execution, in dependency order.
+  Result<std::vector<std::string>> ReexecutionPlan(
+      const std::string& workflow_id) const;
+  /// Re-execute one invalidated task (dependencies must be valid again).
+  Status ReexecuteTask(const std::string& workflow_id,
+                       const std::string& task_id,
+                       const std::string& researcher);
+  /// @}
+
+  Result<Task> GetTask(const std::string& workflow_id,
+                       const std::string& task_id) const;
+  Result<Workflow> GetWorkflow(const std::string& workflow_id) const;
+  /// Lineage of a task's output across workflows (multi-workflow support).
+  std::vector<std::string> OutputLineage(const std::string& workflow_id,
+                                         const std::string& task_id) const;
+  size_t workflow_count() const { return workflows_.size(); }
+
+ private:
+  std::string TaskKey(const std::string& wf, const std::string& task) const {
+    return wf + "/" + task;
+  }
+  Status AddTaskInternal(const std::string& workflow_id,
+                         const std::string& task_id,
+                         const std::string& operation,
+                         const std::vector<std::string>& depends_on);
+  Status ExecuteInternal(const std::string& workflow_id, Task* task,
+                         const std::string& researcher, bool reexecution);
+
+  prov::ProvenanceStore* store_;
+  Clock* clock_;
+  std::map<std::string, Workflow> workflows_;
+  std::map<std::string, Task> tasks_;  // key: "<wf>/<task>"
+  uint64_t record_seq_ = 0;
+};
+
+}  // namespace scientific
+}  // namespace provledger
+
+#endif  // PROVLEDGER_DOMAINS_SCIENTIFIC_WORKFLOW_H_

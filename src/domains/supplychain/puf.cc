@@ -1,0 +1,68 @@
+#include "domains/supplychain/puf.h"
+
+#include "common/rng.h"
+
+namespace provledger {
+namespace supplychain {
+
+PufDevice::PufDevice(const std::string& device_id, const Bytes& intrinsic)
+    : device_id_(device_id) {
+  // The device's silicon fingerprint: derived once, never exported.
+  Bytes material = ToBytes("puf/" + device_id + "/");
+  AppendBytes(&material, intrinsic);
+  crypto::Digest d = crypto::Sha256::Hash(material);
+  secret_.assign(d.begin(), d.end());
+}
+
+Bytes PufDevice::Respond(const Bytes& challenge) const {
+  crypto::Digest response = crypto::HmacSha256(secret_, challenge);
+  return Bytes(response.begin(), response.end());
+}
+
+Status PufVerifier::Enroll(const PufDevice& device, size_t count,
+                           uint64_t seed) {
+  if (count == 0) return Status::InvalidArgument("need at least one CRP");
+  if (crps_.count(device.device_id())) {
+    return Status::AlreadyExists("device already enrolled: " +
+                                 device.device_id());
+  }
+  Rng rng(seed);
+  std::vector<Crp> pairs;
+  pairs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Crp crp;
+    crp.challenge = rng.NextBytes(32);
+    crp.response = device.Respond(crp.challenge);
+    pairs.push_back(std::move(crp));
+  }
+  crps_.emplace(device.device_id(), std::move(pairs));
+  return Status::OK();
+}
+
+Status PufVerifier::Authenticate(
+    const std::string& device_id,
+    const std::function<Bytes(const Bytes&)>& responder) {
+  auto it = crps_.find(device_id);
+  if (it == crps_.end()) {
+    return Status::NotFound("device not enrolled: " + device_id);
+  }
+  if (it->second.empty()) {
+    return Status::ResourceExhausted("no unused CRPs left for " + device_id);
+  }
+  Crp crp = std::move(it->second.back());
+  it->second.pop_back();  // single-use: consumed even on failure
+
+  Bytes response = responder(crp.challenge);
+  if (!ConstantTimeEqual(response, crp.response)) {
+    return Status::Unauthenticated("PUF response mismatch for " + device_id);
+  }
+  return Status::OK();
+}
+
+size_t PufVerifier::RemainingCrps(const std::string& device_id) const {
+  auto it = crps_.find(device_id);
+  return it == crps_.end() ? 0 : it->second.size();
+}
+
+}  // namespace supplychain
+}  // namespace provledger

@@ -1,0 +1,66 @@
+// Physically Unclonable Function simulation (Islam et al. [38]).
+//
+// A real PUF derives a device-unique response from silicon variation; an
+// adversary without the physical device cannot answer fresh challenges.
+// Our substitute (DESIGN.md §3) is a keyed challenge-response oracle:
+// response = HMAC(device_secret, challenge). The verifier enrolls a set of
+// challenge-response pairs (CRPs) while it briefly trusts the device, then
+// authenticates later by replaying an unused challenge — exactly the
+// enrollment/authentication protocol the paper's supply-chain section
+// describes, with the same unclonability *property* (the secret never
+// leaves the device object).
+
+#ifndef PROVLEDGER_DOMAINS_SUPPLYCHAIN_PUF_H_
+#define PROVLEDGER_DOMAINS_SUPPLYCHAIN_PUF_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace provledger {
+namespace supplychain {
+
+/// \brief The device side: holds the secret, answers challenges.
+class PufDevice {
+ public:
+  /// Manufacture a device with an intrinsic (random) secret.
+  explicit PufDevice(const std::string& device_id, const Bytes& intrinsic);
+
+  const std::string& device_id() const { return device_id_; }
+  /// The PUF response to a challenge.
+  Bytes Respond(const Bytes& challenge) const;
+
+ private:
+  std::string device_id_;
+  Bytes secret_;
+};
+
+/// \brief The verifier side: enrolls CRPs, authenticates devices later.
+class PufVerifier {
+ public:
+  /// Enroll `count` challenge-response pairs from a trusted device.
+  /// Challenges are drawn deterministically from `seed`.
+  Status Enroll(const PufDevice& device, size_t count, uint64_t seed);
+
+  /// Authenticate: pop an unused CRP and check the device's response.
+  /// Each CRP is single-use (replay resistance).
+  Status Authenticate(const std::string& device_id,
+                      const std::function<Bytes(const Bytes&)>& responder);
+
+  size_t RemainingCrps(const std::string& device_id) const;
+
+ private:
+  struct Crp {
+    Bytes challenge;
+    Bytes response;
+  };
+  std::map<std::string, std::vector<Crp>> crps_;
+};
+
+}  // namespace supplychain
+}  // namespace provledger
+
+#endif  // PROVLEDGER_DOMAINS_SUPPLYCHAIN_PUF_H_

@@ -1,0 +1,244 @@
+#include "domains/supplychain/supply_chain.h"
+
+namespace provledger {
+namespace supplychain {
+
+SupplyChain::SupplyChain(prov::ProvenanceStore* store, Clock* clock)
+    : store_(store), clock_(clock) {}
+
+std::string SupplyChain::NextRecordId() {
+  return "sc-rec-" + std::to_string(++seq_);
+}
+
+Status SupplyChain::AnchorEvent(const Product& product,
+                                const std::string& operation,
+                                const std::string& agent,
+                                std::map<std::string, std::string> extra) {
+  prov::ProvenanceRecord rec = prov::MakeSupplyChainRecord(
+      NextRecordId(), operation, product.product_id, agent,
+      clock_->NowMicros(), product.batch, product.expiry, product.trace,
+      product.product_type, product.manufacturer,
+      "qr://" + product.product_id);
+  for (auto& [key, value] : extra) rec.fields[key] = std::move(value);
+  return store_->Anchor(rec);
+}
+
+void SupplyChain::AccreditManufacturer(const std::string& manufacturer) {
+  manufacturers_.insert(manufacturer);
+}
+
+Status SupplyChain::RegisterProduct(const std::string& product_id,
+                                    const std::string& product_type,
+                                    const std::string& batch,
+                                    const std::string& manufacturer,
+                                    const std::string& expiry) {
+  // Illegitimate product registration (§4.6): only accredited
+  // manufacturers can mint product identities.
+  if (!manufacturers_.count(manufacturer)) {
+    return Status::PermissionDenied("manufacturer not accredited: " +
+                                    manufacturer);
+  }
+  if (products_.count(product_id)) {
+    return Status::AlreadyExists("product already registered: " + product_id);
+  }
+  Product product;
+  product.product_id = product_id;
+  product.product_type = product_type;
+  product.batch = batch;
+  product.manufacturer = manufacturer;
+  product.expiry = expiry;
+  product.owner = manufacturer;
+  product.trace = manufacturer;
+  PROVLEDGER_RETURN_NOT_OK(AnchorEvent(product, "register", manufacturer));
+  products_.emplace(product_id, std::move(product));
+  return Status::OK();
+}
+
+Status SupplyChain::InitiateTransfer(const std::string& product_id,
+                                     const std::string& from,
+                                     const std::string& to) {
+  auto it = products_.find(product_id);
+  if (it == products_.end()) {
+    return Status::NotFound("no such product: " + product_id);
+  }
+  Product& product = it->second;
+  if (product.recalled) {
+    return Status::FailedPrecondition("product recalled: " + product_id);
+  }
+  if (product.owner != from) {
+    return Status::PermissionDenied(from + " does not own " + product_id);
+  }
+  if (product.pending_transfer_to.has_value()) {
+    return Status::FailedPrecondition("transfer already pending");
+  }
+  product.pending_transfer_to = to;
+  return AnchorEvent(product, "transfer-initiate", from,
+                     {{"transfer_to", to}});
+}
+
+Status SupplyChain::ConfirmTransfer(const std::string& product_id,
+                                    const std::string& to) {
+  auto it = products_.find(product_id);
+  if (it == products_.end()) {
+    return Status::NotFound("no such product: " + product_id);
+  }
+  Product& product = it->second;
+  if (!product.pending_transfer_to.has_value()) {
+    return Status::FailedPrecondition("no pending transfer");
+  }
+  // The confirmation step is what prevents theft and mis-shipment (Cui et
+  // al.): only the named recipient can complete custody.
+  if (*product.pending_transfer_to != to) {
+    return Status::PermissionDenied("transfer is not addressed to " + to);
+  }
+  product.owner = to;
+  product.pending_transfer_to.reset();
+  product.trace += ">" + to;
+  return AnchorEvent(product, "transfer-confirm", to);
+}
+
+Status SupplyChain::CancelTransfer(const std::string& product_id,
+                                   const std::string& who) {
+  auto it = products_.find(product_id);
+  if (it == products_.end()) {
+    return Status::NotFound("no such product: " + product_id);
+  }
+  Product& product = it->second;
+  if (!product.pending_transfer_to.has_value()) {
+    return Status::FailedPrecondition("no pending transfer");
+  }
+  if (who != product.owner && who != *product.pending_transfer_to) {
+    return Status::PermissionDenied(
+        "only the owner or recipient may cancel the transfer");
+  }
+  product.pending_transfer_to.reset();
+  return AnchorEvent(product, "transfer-cancel", who);
+}
+
+Status SupplyChain::SetColdChainRange(const std::string& product_id,
+                                      int64_t low, int64_t high) {
+  if (low > high) return Status::InvalidArgument("low > high");
+  if (!products_.count(product_id)) {
+    return Status::NotFound("no such product: " + product_id);
+  }
+  cold_ranges_[product_id] = {low, high};
+  return Status::OK();
+}
+
+Status SupplyChain::RecordSensorReading(const std::string& product_id,
+                                        const std::string& sensor,
+                                        int64_t reading) {
+  auto it = products_.find(product_id);
+  if (it == products_.end()) {
+    return Status::NotFound("no such product: " + product_id);
+  }
+  auto range_it = cold_ranges_.find(product_id);
+  if (range_it == cold_ranges_.end()) {
+    return Status::FailedPrecondition("no cold-chain range configured");
+  }
+  const auto [low, high] = range_it->second;
+  bool in_range = reading >= low && reading <= high;
+  PROVLEDGER_RETURN_NOT_OK(AnchorEvent(
+      it->second, "sensor-reading", sensor,
+      {{"reading", std::to_string(reading)},
+       {"in_range", in_range ? "true" : "false"}}));
+  if (!in_range) {
+    alerts_.push_back(ColdChainAlert{product_id, sensor, reading, low, high,
+                                     clock_->NowMicros()});
+  }
+  return Status::OK();
+}
+
+Result<std::string> SupplyChain::RecordPrivateReading(
+    const std::string& product_id, const std::string& sensor, int64_t reading,
+    int64_t low, int64_t high) {
+  auto it = products_.find(product_id);
+  if (it == products_.end()) {
+    return Status::NotFound("no such product: " + product_id);
+  }
+  if (reading < 0 || low < 0 || high < 0) {
+    return Status::InvalidArgument("private readings must be non-negative");
+  }
+  // Commit to the reading, prove it lies in [low, high] without revealing
+  // it (PrivChain's ZKRP pattern).
+  const std::string record_id = NextRecordId();
+  crypto::U256 blinding = crypto::U256::FromBytesBE(
+      crypto::Sha256::Hash("blind/" + record_id).data());
+  PROVLEDGER_ASSIGN_OR_RETURN(
+      crypto::Zkrp::IntervalProof proof,
+      crypto::Zkrp::ProveInterval(static_cast<uint64_t>(reading),
+                                  static_cast<uint64_t>(low),
+                                  static_cast<uint64_t>(high), blinding,
+                                  /*bits=*/16, ToBytes(record_id)));
+
+  // The ledger record carries the commitment and the proof's hash; the
+  // proof body stays off-chain (PrivChain's "offline computation of
+  // proofs reduces blockchain overhead").
+  Product& product = it->second;
+  prov::ProvenanceRecord rec = prov::MakeSupplyChainRecord(
+      record_id, "private-sensor-proof", product.product_id, sensor,
+      clock_->NowMicros(), product.batch, product.expiry, product.trace,
+      product.product_type, product.manufacturer,
+      "qr://" + product.product_id);
+  rec.fields["commitment"] =
+      HexEncode(proof.value_commitment.EncodeCompressed());
+  rec.fields["range"] =
+      std::to_string(low) + ".." + std::to_string(high);
+  PROVLEDGER_RETURN_NOT_OK(store_->Anchor(rec));
+  proofs_.emplace(record_id, std::move(proof));
+  return record_id;
+}
+
+Status SupplyChain::VerifyPrivateReading(const std::string& record_id) {
+  auto proof_it = proofs_.find(record_id);
+  if (proof_it == proofs_.end()) {
+    return Status::NotFound("no proof stored for record: " + record_id);
+  }
+  PROVLEDGER_ASSIGN_OR_RETURN(prov::ProvenanceRecord rec,
+                              store_->GetRecord(record_id));
+  // The on-ledger commitment must match the off-chain proof...
+  if (rec.fields.at("commitment") !=
+      HexEncode(proof_it->second.value_commitment.EncodeCompressed())) {
+    return Status::Corruption("commitment mismatch for " + record_id);
+  }
+  // ...and the proof itself must verify.
+  if (!crypto::Zkrp::VerifyInterval(proof_it->second)) {
+    return Status::Unauthenticated("interval proof failed for " + record_id);
+  }
+  return Status::OK();
+}
+
+Status SupplyChain::Recall(const std::string& product_id,
+                           const std::string& reason) {
+  auto it = products_.find(product_id);
+  if (it == products_.end()) {
+    return Status::NotFound("no such product: " + product_id);
+  }
+  it->second.recalled = true;
+  return AnchorEvent(it->second, "recall", it->second.manufacturer,
+                     {{"reason", reason}});
+}
+
+Result<Product> SupplyChain::GetProduct(const std::string& product_id) const {
+  auto it = products_.find(product_id);
+  if (it == products_.end()) {
+    return Status::NotFound("no such product: " + product_id);
+  }
+  return it->second;
+}
+
+std::vector<prov::ProvenanceRecord> SupplyChain::History(
+    const std::string& product_id) const {
+  return store_->SubjectHistory(product_id);
+}
+
+bool SupplyChain::VerifyAuthenticity(const std::string& product_id,
+                                     const std::string& claimed_holder) const {
+  auto it = products_.find(product_id);
+  if (it == products_.end()) return false;  // unknown id => counterfeit
+  if (it->second.recalled) return false;
+  return it->second.owner == claimed_holder;
+}
+
+}  // namespace supplychain
+}  // namespace provledger

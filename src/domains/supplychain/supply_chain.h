@@ -1,0 +1,137 @@
+// Supply-chain provenance (§4.2): the registry + custody machinery of Cui
+// et al. [23] (unique device ids, confirmation-based ownership transfer to
+// prevent theft/human error), Kumar et al. [42] (cold-chain sensor
+// monitoring with alert thresholds), PrivChain [52] (ZK range proofs in
+// place of raw sensitive readings, with automated incentives), and Islam et
+// al. [38] (PUF-authenticated parts via domains/supplychain/puf.h).
+//
+// Every action anchors a Table 1 supply-chain record on the ledger.
+
+#ifndef PROVLEDGER_DOMAINS_SUPPLYCHAIN_SUPPLY_CHAIN_H_
+#define PROVLEDGER_DOMAINS_SUPPLYCHAIN_SUPPLY_CHAIN_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crypto/pedersen.h"
+#include "prov/store.h"
+
+namespace provledger {
+namespace supplychain {
+
+/// \brief Registered product state.
+struct Product {
+  std::string product_id;
+  std::string product_type;
+  std::string batch;
+  std::string manufacturer;
+  std::string expiry;
+  std::string owner;
+  /// Pending two-phase transfer target (confirmation-based transfer).
+  std::optional<std::string> pending_transfer_to;
+  /// Accumulated travel trace ("factory>dc>pharmacy").
+  std::string trace;
+  bool recalled = false;
+};
+
+/// \brief Cold-chain alert raised by an out-of-range reading.
+struct ColdChainAlert {
+  std::string product_id;
+  std::string sensor;
+  int64_t reading;
+  int64_t low;
+  int64_t high;
+  Timestamp at;
+};
+
+/// \brief Supply-chain manager over a ProvenanceStore.
+class SupplyChain {
+ public:
+  SupplyChain(prov::ProvenanceStore* store, Clock* clock);
+
+  /// \name Legitimate registration (a §4.6 challenge).
+  /// @{
+  /// Only accredited manufacturers may register products.
+  void AccreditManufacturer(const std::string& manufacturer);
+  Status RegisterProduct(const std::string& product_id,
+                         const std::string& product_type,
+                         const std::string& batch,
+                         const std::string& manufacturer,
+                         const std::string& expiry);
+  /// @}
+
+  /// \name Confirmation-based ownership transfer (Cui et al.).
+  /// @{
+  /// Phase 1: the current owner offers the product to `to`.
+  Status InitiateTransfer(const std::string& product_id,
+                          const std::string& from, const std::string& to);
+  /// Phase 2: the recipient confirms, completing custody transfer.
+  Status ConfirmTransfer(const std::string& product_id,
+                         const std::string& to);
+  /// Either side may cancel a pending transfer.
+  Status CancelTransfer(const std::string& product_id,
+                        const std::string& who);
+  /// @}
+
+  /// \name Cold chain (Kumar et al.).
+  /// @{
+  /// Set the acceptable sensor range for a product (e.g. 2..8 °C).
+  Status SetColdChainRange(const std::string& product_id, int64_t low,
+                           int64_t high);
+  /// Record a sensor reading on-ledger; out-of-range raises an alert.
+  Status RecordSensorReading(const std::string& product_id,
+                             const std::string& sensor, int64_t reading);
+  const std::vector<ColdChainAlert>& alerts() const { return alerts_; }
+  /// @}
+
+  /// \name PrivChain private disclosure.
+  /// @{
+  /// Anchor a ZK interval proof that the (hidden) reading was in range,
+  /// instead of the reading itself. Returns the anchored record id.
+  Result<std::string> RecordPrivateReading(const std::string& product_id,
+                                           const std::string& sensor,
+                                           int64_t reading, int64_t low,
+                                           int64_t high);
+  /// Verify an anchored private reading (re-checks the stored proof).
+  Status VerifyPrivateReading(const std::string& record_id);
+  /// @}
+
+  /// Recall a product (e.g. counterfeit detection downstream).
+  Status Recall(const std::string& product_id, const std::string& reason);
+
+  Result<Product> GetProduct(const std::string& product_id) const;
+  /// Complete custody/event history from the ledger.
+  std::vector<prov::ProvenanceRecord> History(
+      const std::string& product_id) const;
+  /// True iff the claimed product exists, is not recalled, and the claimed
+  /// holder matches on-ledger custody (counterfeit check).
+  bool VerifyAuthenticity(const std::string& product_id,
+                          const std::string& claimed_holder) const;
+
+  size_t product_count() const { return products_.size(); }
+
+ private:
+  Status AnchorEvent(const Product& product, const std::string& operation,
+                     const std::string& agent,
+                     std::map<std::string, std::string> extra = {});
+  std::string NextRecordId();
+
+  prov::ProvenanceStore* store_;
+  Clock* clock_;
+  std::set<std::string> manufacturers_;
+  std::map<std::string, Product> products_;
+  std::map<std::string, std::pair<int64_t, int64_t>> cold_ranges_;
+  std::vector<ColdChainAlert> alerts_;
+  // record id -> serialized interval proof (off-chain proof store; the
+  // ledger holds the record + proof hash).
+  std::map<std::string, crypto::Zkrp::IntervalProof> proofs_;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace supplychain
+}  // namespace provledger
+
+#endif  // PROVLEDGER_DOMAINS_SUPPLYCHAIN_SUPPLY_CHAIN_H_

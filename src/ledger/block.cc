@@ -1,0 +1,89 @@
+#include "ledger/block.h"
+
+namespace provledger {
+namespace ledger {
+
+void BlockHeader::EncodeTo(Encoder* enc) const {
+  enc->PutU64(height);
+  enc->PutRaw(crypto::DigestToBytes(prev_hash));
+  enc->PutRaw(crypto::DigestToBytes(merkle_root));
+  enc->PutI64(timestamp);
+  enc->PutU64(nonce);
+  enc->PutString(proposer);
+}
+
+Result<BlockHeader> BlockHeader::DecodeFrom(Decoder* dec) {
+  BlockHeader h;
+  PROVLEDGER_RETURN_NOT_OK(dec->GetU64(&h.height));
+  Bytes raw;
+  PROVLEDGER_RETURN_NOT_OK(dec->GetRaw(crypto::kSha256DigestSize, &raw));
+  PROVLEDGER_ASSIGN_OR_RETURN(h.prev_hash, crypto::DigestFromBytes(raw));
+  PROVLEDGER_RETURN_NOT_OK(dec->GetRaw(crypto::kSha256DigestSize, &raw));
+  PROVLEDGER_ASSIGN_OR_RETURN(h.merkle_root, crypto::DigestFromBytes(raw));
+  PROVLEDGER_RETURN_NOT_OK(dec->GetI64(&h.timestamp));
+  PROVLEDGER_RETURN_NOT_OK(dec->GetU64(&h.nonce));
+  PROVLEDGER_RETURN_NOT_OK(dec->GetString(&h.proposer));
+  return h;
+}
+
+crypto::Digest BlockHeader::Hash() const {
+  Encoder enc;
+  EncodeTo(&enc);
+  return crypto::Sha256::Hash(enc.buffer());
+}
+
+crypto::Digest Block::ComputeMerkleRoot(const std::vector<Transaction>& txs) {
+  std::vector<Bytes> leaves;
+  leaves.reserve(txs.size());
+  for (const auto& tx : txs) leaves.push_back(tx.Encode());
+  return crypto::MerkleTree::Build(leaves).root();
+}
+
+Block Block::Make(uint64_t height, const crypto::Digest& prev_hash,
+                  std::vector<Transaction> txs, Timestamp timestamp,
+                  const std::string& proposer) {
+  Block b;
+  b.header.height = height;
+  b.header.prev_hash = prev_hash;
+  b.header.timestamp = timestamp;
+  b.header.proposer = proposer;
+  b.header.merkle_root = ComputeMerkleRoot(txs);
+  b.transactions = std::move(txs);
+  return b;
+}
+
+Result<crypto::MerkleProof> Block::ProveTransaction(size_t index) const {
+  if (index >= transactions.size()) {
+    return Status::InvalidArgument("transaction index out of range");
+  }
+  std::vector<Bytes> leaves;
+  leaves.reserve(transactions.size());
+  for (const auto& tx : transactions) leaves.push_back(tx.Encode());
+  return crypto::MerkleTree::Build(leaves).Prove(index);
+}
+
+Bytes Block::Encode() const {
+  Encoder enc;
+  header.EncodeTo(&enc);
+  enc.PutU32(static_cast<uint32_t>(transactions.size()));
+  for (const auto& tx : transactions) tx.EncodeTo(&enc);
+  return enc.TakeBuffer();
+}
+
+Result<Block> Block::Decode(const Bytes& data) {
+  Decoder dec(data);
+  Block b;
+  PROVLEDGER_ASSIGN_OR_RETURN(b.header, BlockHeader::DecodeFrom(&dec));
+  uint32_t count = 0;
+  PROVLEDGER_RETURN_NOT_OK(dec.GetU32(&count));
+  b.transactions.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PROVLEDGER_ASSIGN_OR_RETURN(Transaction tx, Transaction::DecodeFrom(&dec));
+    b.transactions.push_back(std::move(tx));
+  }
+  if (!dec.AtEnd()) return Status::Corruption("trailing bytes after block");
+  return b;
+}
+
+}  // namespace ledger
+}  // namespace provledger

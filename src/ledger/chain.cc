@@ -1,0 +1,279 @@
+#include "ledger/chain.h"
+#include <algorithm>
+
+
+namespace provledger {
+namespace ledger {
+
+namespace {
+std::string Key(const crypto::Digest& d) { return crypto::DigestHex(d); }
+}  // namespace
+
+Blockchain::Blockchain(ChainOptions options) : options_(std::move(options)) {
+  // Genesis: one system transaction binding the chain id.
+  Transaction genesis_tx = Transaction::MakeSystem(
+      "genesis", "", ToBytes(options_.chain_id), /*timestamp=*/0, /*nonce=*/0);
+  Block genesis = Block::Make(0, crypto::ZeroDigest(), {genesis_tx},
+                              /*timestamp=*/0, "genesis");
+  crypto::Digest hash = genesis.header.Hash();
+  blocks_.emplace(Key(hash), genesis);
+  main_chain_.push_back(hash);
+  tx_index_.emplace(Key(genesis_tx.Id()), TxLocation{0, 0});
+}
+
+uint64_t Blockchain::height() const {
+  return static_cast<uint64_t>(main_chain_.size()) - 1;
+}
+
+crypto::Digest Blockchain::head_hash() const { return main_chain_.back(); }
+
+const Block& Blockchain::genesis() const {
+  return blocks_.at(Key(main_chain_[0]));
+}
+
+Status Blockchain::ValidateBlock(const Block& block,
+                                 const Block& parent) const {
+  if (block.header.height != parent.header.height + 1) {
+    return Status::InvalidArgument("block height does not extend parent");
+  }
+  if (block.header.prev_hash != parent.header.Hash()) {
+    return Status::InvalidArgument("prev_hash does not match parent");
+  }
+  if (block.header.timestamp < parent.header.timestamp) {
+    return Status::InvalidArgument("block timestamp precedes parent");
+  }
+  if (options_.max_block_txs != 0 &&
+      block.transactions.size() > options_.max_block_txs) {
+    return Status::InvalidArgument("block exceeds max transaction count");
+  }
+  if (Block::ComputeMerkleRoot(block.transactions) !=
+      block.header.merkle_root) {
+    return Status::Corruption("merkle root does not match transactions");
+  }
+  for (const auto& tx : block.transactions) {
+    if (!tx.IsSigned() && !options_.allow_unsigned) {
+      return Status::PermissionDenied("unsigned transactions not allowed");
+    }
+    if (options_.verify_signatures) {
+      PROVLEDGER_RETURN_NOT_OK(tx.VerifySignature());
+    }
+  }
+  return Status::OK();
+}
+
+Result<crypto::Digest> Blockchain::Append(std::vector<Transaction> txs,
+                                          Timestamp timestamp,
+                                          const std::string& proposer,
+                                          uint64_t nonce) {
+  const Block& parent = blocks_.at(Key(head_hash()));
+  Block block = Block::Make(parent.header.height + 1, parent.header.Hash(),
+                            std::move(txs), timestamp, proposer);
+  block.header.nonce = nonce;
+  PROVLEDGER_RETURN_NOT_OK(SubmitBlock(block));
+  return block.header.Hash();
+}
+
+Status Blockchain::SubmitBlock(const Block& block) {
+  const std::string block_key = Key(block.header.Hash());
+  if (blocks_.count(block_key)) {
+    return Status::AlreadyExists("block already known");
+  }
+  auto parent_it = blocks_.find(Key(block.header.prev_hash));
+  if (parent_it == blocks_.end()) {
+    return Status::NotFound("parent block unknown");
+  }
+  PROVLEDGER_RETURN_NOT_OK(ValidateBlock(block, parent_it->second));
+
+  blocks_.emplace(block_key, block);
+
+  // Fork choice: extending the head is the fast path; a strictly higher
+  // side branch triggers a reorg (longest-chain rule).
+  if (block.header.prev_hash == head_hash()) {
+    main_chain_.push_back(block.header.Hash());
+    uint32_t idx = 0;
+    for (const auto& tx : block.transactions) {
+      tx_index_[Key(tx.Id())] = TxLocation{block.header.height, idx++};
+    }
+    return Status::OK();
+  }
+  if (block.header.height > height()) {
+    // Rebuild the main chain by walking parents back to genesis.
+    std::vector<crypto::Digest> new_chain;
+    crypto::Digest cursor = block.header.Hash();
+    while (true) {
+      new_chain.push_back(cursor);
+      const Block& b = blocks_.at(Key(cursor));
+      if (b.header.height == 0) break;
+      cursor = b.header.prev_hash;
+    }
+    std::reverse(new_chain.begin(), new_chain.end());
+    main_chain_ = std::move(new_chain);
+    ReindexMainChain();
+  }
+  return Status::OK();
+}
+
+void Blockchain::ReindexMainChain() {
+  tx_index_.clear();
+  for (const auto& hash : main_chain_) {
+    const Block& b = blocks_.at(Key(hash));
+    uint32_t idx = 0;
+    for (const auto& tx : b.transactions) {
+      tx_index_[Key(tx.Id())] = TxLocation{b.header.height, idx++};
+    }
+  }
+}
+
+Result<Block> Blockchain::GetBlock(uint64_t h) const {
+  if (h >= main_chain_.size()) {
+    return Status::NotFound("no block at height " + std::to_string(h));
+  }
+  return blocks_.at(Key(main_chain_[h]));
+}
+
+Result<Block> Blockchain::GetBlockByHash(const crypto::Digest& hash) const {
+  auto it = blocks_.find(Key(hash));
+  if (it == blocks_.end()) return Status::NotFound("unknown block hash");
+  return it->second;
+}
+
+Result<BlockHeader> Blockchain::GetHeader(uint64_t h) const {
+  PROVLEDGER_ASSIGN_OR_RETURN(Block b, GetBlock(h));
+  return b.header;
+}
+
+Result<TxLocation> Blockchain::FindTransaction(
+    const crypto::Digest& txid) const {
+  auto it = tx_index_.find(Key(txid));
+  if (it == tx_index_.end()) {
+    return Status::NotFound("transaction not on main chain");
+  }
+  return it->second;
+}
+
+Result<Transaction> Blockchain::GetTransaction(
+    const crypto::Digest& txid) const {
+  PROVLEDGER_ASSIGN_OR_RETURN(TxLocation loc, FindTransaction(txid));
+  PROVLEDGER_ASSIGN_OR_RETURN(Block b, GetBlock(loc.height));
+  return b.transactions[loc.index];
+}
+
+std::vector<Transaction> Blockchain::GetChannelTransactions(
+    const std::string& channel) const {
+  std::vector<Transaction> out;
+  for (const auto& hash : main_chain_) {
+    const Block& b = blocks_.at(Key(hash));
+    for (const auto& tx : b.transactions) {
+      if (tx.channel == channel) out.push_back(tx);
+    }
+  }
+  return out;
+}
+
+Result<TxProof> Blockchain::ProveTransaction(const crypto::Digest& txid) const {
+  PROVLEDGER_ASSIGN_OR_RETURN(TxLocation loc, FindTransaction(txid));
+  PROVLEDGER_ASSIGN_OR_RETURN(Block b, GetBlock(loc.height));
+  TxProof proof;
+  proof.block_hash = b.header.Hash();
+  proof.header = b.header;
+  PROVLEDGER_ASSIGN_OR_RETURN(proof.merkle_proof,
+                              b.ProveTransaction(loc.index));
+  return proof;
+}
+
+bool Blockchain::VerifyTxProofAgainstHeader(const Bytes& tx_encoding,
+                                            const TxProof& proof) {
+  if (proof.header.Hash() != proof.block_hash) return false;
+  return crypto::MerkleTree::VerifyProof(proof.header.merkle_root,
+                                         tx_encoding, proof.merkle_proof);
+}
+
+bool Blockchain::VerifyTxProof(const Bytes& tx_encoding,
+                               const TxProof& proof) const {
+  if (!VerifyTxProofAgainstHeader(tx_encoding, proof)) return false;
+  // The proof's block must be on *this* chain's main branch.
+  if (proof.header.height >= main_chain_.size()) return false;
+  return main_chain_[proof.header.height] == proof.block_hash;
+}
+
+Status Blockchain::VerifyIntegrity() const {
+  for (size_t h = 0; h < main_chain_.size(); ++h) {
+    const Block& b = blocks_.at(Key(main_chain_[h]));
+    if (b.header.height != h) {
+      return Status::Corruption("height mismatch at " + std::to_string(h));
+    }
+    if (Block::ComputeMerkleRoot(b.transactions) != b.header.merkle_root) {
+      return Status::Corruption("merkle root mismatch at height " +
+                                std::to_string(h));
+    }
+    if (h > 0) {
+      const Block& parent = blocks_.at(Key(main_chain_[h - 1]));
+      if (b.header.prev_hash != parent.header.Hash()) {
+        return Status::Corruption("hash chain broken at height " +
+                                  std::to_string(h));
+      }
+    }
+    if (options_.verify_signatures) {
+      for (const auto& tx : b.transactions) {
+        Status s = tx.VerifySignature();
+        if (!s.ok()) {
+          return Status::Corruption("bad signature at height " +
+                                    std::to_string(h) + ": " + s.message());
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+size_t Blockchain::ApproximateBytes() const {
+  size_t total = 0;
+  for (const auto& hash : main_chain_) {
+    total += blocks_.at(Key(hash)).EncodedSize();
+  }
+  return total;
+}
+
+Status Blockchain::TamperForTesting(uint64_t height, size_t tx_index,
+                                    uint8_t xor_mask) {
+  if (height >= main_chain_.size()) {
+    return Status::NotFound("no block at that height");
+  }
+  Block& b = blocks_.at(Key(main_chain_[height]));
+  if (tx_index >= b.transactions.size()) {
+    return Status::NotFound("no transaction at that index");
+  }
+  Bytes& payload = b.transactions[tx_index].payload;
+  if (payload.empty()) payload.push_back(0);
+  payload[0] ^= xor_mask;
+  return Status::OK();
+}
+
+Status Mempool::Add(const Transaction& tx) {
+  const std::string id = crypto::DigestHex(tx.Id());
+  if (seen_.count(id)) {
+    return Status::AlreadyExists("transaction already in mempool");
+  }
+  if (verify_signatures_) {
+    PROVLEDGER_RETURN_NOT_OK(tx.VerifySignature());
+  }
+  seen_.emplace(id, true);
+  queue_.push_back(tx);
+  return Status::OK();
+}
+
+std::vector<Transaction> Mempool::Take(size_t max_count) {
+  size_t n = (max_count == 0 || max_count > queue_.size()) ? queue_.size()
+                                                           : max_count;
+  std::vector<Transaction> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(queue_.front()));
+    seen_.erase(crypto::DigestHex(out.back().Id()));
+    queue_.pop_front();
+  }
+  return out;
+}
+
+}  // namespace ledger
+}  // namespace provledger

@@ -1,0 +1,148 @@
+// The blockchain: a validated block tree with longest-chain fork choice,
+// transaction indexes, tamper detection, and SPV-style transaction proofs.
+//
+// This is the "own ledger framework" substitute for the Ethereum/Fabric
+// deployments of the surveyed systems (DESIGN.md §3): the mechanisms the
+// paper evaluates — hash-chained immutability (Figure 2), Merkle anchoring,
+// channel separation, reorg behaviour — are all first-class here.
+
+#ifndef PROVLEDGER_LEDGER_CHAIN_H_
+#define PROVLEDGER_LEDGER_CHAIN_H_
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ledger/block.h"
+
+namespace provledger {
+namespace ledger {
+
+/// \brief Chain configuration.
+struct ChainOptions {
+  /// Human-readable chain identity; hashed into the genesis block so two
+  /// chains with different ids never share block hashes.
+  std::string chain_id = "provledger";
+  /// Verify transaction signatures on block submission.
+  bool verify_signatures = true;
+  /// Accept unsigned (system) transactions.
+  bool allow_unsigned = true;
+  /// Maximum transactions per block (0 = unlimited).
+  size_t max_block_txs = 0;
+};
+
+/// \brief Where a transaction lives on the main chain.
+struct TxLocation {
+  uint64_t height = 0;
+  uint32_t index = 0;
+};
+
+/// \brief A transaction inclusion proof verifiable against a block header
+/// plus the chain of headers up to the head (the auditor/relay primitive).
+struct TxProof {
+  crypto::Digest block_hash;
+  BlockHeader header;
+  crypto::MerkleProof merkle_proof;
+};
+
+/// \brief Block tree + longest-chain view.
+class Blockchain {
+ public:
+  explicit Blockchain(ChainOptions options = ChainOptions());
+
+  const ChainOptions& options() const { return options_; }
+
+  /// Height of the main-chain head (genesis = 0).
+  uint64_t height() const;
+  crypto::Digest head_hash() const;
+  const Block& genesis() const;
+
+  /// \brief Build, validate, and append a block of `txs` on the current
+  /// head. Returns the new block's hash.
+  Result<crypto::Digest> Append(std::vector<Transaction> txs,
+                                Timestamp timestamp,
+                                const std::string& proposer,
+                                uint64_t nonce = 0);
+
+  /// \brief Submit an externally built block (fork-aware). The block is
+  /// fully validated; if it extends a side branch that becomes strictly
+  /// longer than the main chain, a reorg adopts it.
+  Status SubmitBlock(const Block& block);
+
+  /// Main-chain block by height.
+  Result<Block> GetBlock(uint64_t height) const;
+  /// Any known block (main or side) by hash.
+  Result<Block> GetBlockByHash(const crypto::Digest& hash) const;
+  /// Main-chain header by height (cheap).
+  Result<BlockHeader> GetHeader(uint64_t height) const;
+
+  /// Locate a transaction on the main chain by id.
+  Result<TxLocation> FindTransaction(const crypto::Digest& txid) const;
+  /// Fetch a transaction by id.
+  Result<Transaction> GetTransaction(const crypto::Digest& txid) const;
+  /// All main-chain transactions on `channel` in chain order.
+  std::vector<Transaction> GetChannelTransactions(
+      const std::string& channel) const;
+
+  /// Merkle + header proof of inclusion for a transaction.
+  Result<TxProof> ProveTransaction(const crypto::Digest& txid) const;
+  /// Verify a TxProof against this chain's main-chain headers.
+  bool VerifyTxProof(const Bytes& tx_encoding, const TxProof& proof) const;
+  /// Header-only verification (what a light client / relay holds).
+  static bool VerifyTxProofAgainstHeader(const Bytes& tx_encoding,
+                                         const TxProof& proof);
+
+  /// \brief Full-chain integrity scan: hash links, Merkle roots,
+  /// signatures. Returns Corruption with the offending height otherwise
+  /// (the paper's tamper-evidence property, exercised by bench_fig2).
+  Status VerifyIntegrity() const;
+
+  /// Number of blocks on the main chain (height + 1).
+  size_t main_chain_length() const { return main_chain_.size(); }
+  /// Total blocks known including side branches.
+  size_t total_blocks() const { return blocks_.size(); }
+  /// Total encoded bytes of main-chain blocks (storage-overhead metric).
+  size_t ApproximateBytes() const;
+
+  /// Test hook: mutate a stored transaction payload in place, bypassing
+  /// validation (for tamper-detection experiments).
+  Status TamperForTesting(uint64_t height, size_t tx_index, uint8_t xor_mask);
+
+ private:
+  Status ValidateBlock(const Block& block, const Block& parent) const;
+  void ReindexMainChain();
+
+  ChainOptions options_;
+  // All known blocks by hex(hash).
+  std::unordered_map<std::string, Block> blocks_;
+  // Main chain: block hashes by height.
+  std::vector<crypto::Digest> main_chain_;
+  // txid hex -> location, main chain only.
+  std::unordered_map<std::string, TxLocation> tx_index_;
+};
+
+/// \brief FIFO mempool with id-dedup and signature pre-validation.
+class Mempool {
+ public:
+  explicit Mempool(bool verify_signatures = true)
+      : verify_signatures_(verify_signatures) {}
+
+  /// Queue a transaction; AlreadyExists on duplicate id.
+  Status Add(const Transaction& tx);
+  /// Pop up to `max_count` transactions in arrival order (0 = all).
+  std::vector<Transaction> Take(size_t max_count = 0);
+  size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  bool verify_signatures_;
+  std::deque<Transaction> queue_;
+  std::unordered_map<std::string, bool> seen_;
+};
+
+}  // namespace ledger
+}  // namespace provledger
+
+#endif  // PROVLEDGER_LEDGER_CHAIN_H_

@@ -1,0 +1,103 @@
+#include "ledger/transaction.h"
+
+namespace provledger {
+namespace ledger {
+
+Bytes Transaction::SigningBytes() const {
+  Encoder enc;
+  enc.PutString(type);
+  enc.PutString(channel);
+  enc.PutBytes(payload);
+  enc.PutI64(timestamp);
+  enc.PutU64(nonce);
+  enc.PutBytes(sender);
+  return enc.TakeBuffer();
+}
+
+void Transaction::EncodeTo(Encoder* enc) const {
+  enc->PutString(type);
+  enc->PutString(channel);
+  enc->PutBytes(payload);
+  enc->PutI64(timestamp);
+  enc->PutU64(nonce);
+  enc->PutBytes(sender);
+  enc->PutBytes(signature);
+}
+
+Bytes Transaction::Encode() const {
+  Encoder enc;
+  EncodeTo(&enc);
+  return enc.TakeBuffer();
+}
+
+Result<Transaction> Transaction::DecodeFrom(Decoder* dec) {
+  Transaction tx;
+  PROVLEDGER_RETURN_NOT_OK(dec->GetString(&tx.type));
+  PROVLEDGER_RETURN_NOT_OK(dec->GetString(&tx.channel));
+  PROVLEDGER_RETURN_NOT_OK(dec->GetBytes(&tx.payload));
+  PROVLEDGER_RETURN_NOT_OK(dec->GetI64(&tx.timestamp));
+  PROVLEDGER_RETURN_NOT_OK(dec->GetU64(&tx.nonce));
+  PROVLEDGER_RETURN_NOT_OK(dec->GetBytes(&tx.sender));
+  PROVLEDGER_RETURN_NOT_OK(dec->GetBytes(&tx.signature));
+  return tx;
+}
+
+Result<Transaction> Transaction::Decode(const Bytes& data) {
+  Decoder dec(data);
+  PROVLEDGER_ASSIGN_OR_RETURN(Transaction tx, DecodeFrom(&dec));
+  if (!dec.AtEnd()) {
+    return Status::Corruption("trailing bytes after transaction");
+  }
+  return tx;
+}
+
+crypto::Digest Transaction::Id() const {
+  return crypto::Sha256::Hash(Encode());
+}
+
+Status Transaction::VerifySignature() const {
+  if (!IsSigned()) {
+    if (!signature.empty()) {
+      return Status::InvalidArgument("signature present without sender");
+    }
+    return Status::OK();
+  }
+  PROVLEDGER_ASSIGN_OR_RETURN(crypto::PublicKey key,
+                              crypto::PublicKey::Decode(sender));
+  PROVLEDGER_ASSIGN_OR_RETURN(crypto::Signature sig,
+                              crypto::Signature::Decode(signature));
+  if (!crypto::Verify(key, SigningBytes(), sig)) {
+    return Status::Unauthenticated("transaction signature invalid");
+  }
+  return Status::OK();
+}
+
+Transaction Transaction::MakeSigned(const std::string& type,
+                                    const std::string& channel, Bytes payload,
+                                    const crypto::PrivateKey& key,
+                                    Timestamp timestamp, uint64_t nonce) {
+  Transaction tx;
+  tx.type = type;
+  tx.channel = channel;
+  tx.payload = std::move(payload);
+  tx.timestamp = timestamp;
+  tx.nonce = nonce;
+  tx.sender = key.public_key().Encode();
+  tx.signature = key.Sign(tx.SigningBytes()).Encode();
+  return tx;
+}
+
+Transaction Transaction::MakeSystem(const std::string& type,
+                                    const std::string& channel, Bytes payload,
+                                    Timestamp timestamp, uint64_t nonce) {
+  Transaction tx;
+  tx.type = type;
+  tx.channel = channel;
+  tx.payload = std::move(payload);
+  tx.timestamp = timestamp;
+  tx.nonce = nonce;
+  return tx;
+}
+
+}  // namespace ledger
+}  // namespace provledger

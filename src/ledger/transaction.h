@@ -1,0 +1,65 @@
+// Ledger transactions. A transaction is an opaque, typed, signed payload:
+// the provenance layer (src/prov) serializes records into transactions, and
+// domain modules never touch blocks directly. `channel` namespaces
+// applications sharing one chain (the Fabric-style isolation LedgerView
+// builds its views over).
+
+#ifndef PROVLEDGER_LEDGER_TRANSACTION_H_
+#define PROVLEDGER_LEDGER_TRANSACTION_H_
+
+#include <string>
+
+#include "common/clock.h"
+#include "common/codec.h"
+#include "crypto/schnorr.h"
+
+namespace provledger {
+namespace ledger {
+
+/// \brief A signed ledger entry.
+struct Transaction {
+  /// Application-defined kind, e.g. "prov/record", "custody/transfer".
+  std::string type;
+  /// Namespace for multi-application chains, e.g. "supply-chain".
+  std::string channel;
+  /// Opaque application payload.
+  Bytes payload;
+  /// Producer-asserted creation time (microseconds).
+  Timestamp timestamp = 0;
+  /// Producer-chosen uniquifier.
+  uint64_t nonce = 0;
+  /// Compressed public key of the producer; empty for system transactions.
+  Bytes sender;
+  /// Schnorr signature over SigningBytes(); empty for system transactions.
+  Bytes signature;
+
+  /// Canonical bytes covered by the signature (everything but `signature`).
+  Bytes SigningBytes() const;
+  /// Transaction id: SHA-256 of the full canonical encoding.
+  crypto::Digest Id() const;
+  /// Full canonical encoding (used as the Merkle leaf payload).
+  Bytes Encode() const;
+  void EncodeTo(Encoder* enc) const;
+  static Result<Transaction> DecodeFrom(Decoder* dec);
+  static Result<Transaction> Decode(const Bytes& data);
+
+  bool IsSigned() const { return !sender.empty(); }
+  /// OK for correctly signed transactions; signature errors otherwise.
+  /// System (unsigned) transactions pass by construction.
+  Status VerifySignature() const;
+
+  /// Build and sign a transaction in one step.
+  static Transaction MakeSigned(const std::string& type,
+                                const std::string& channel, Bytes payload,
+                                const crypto::PrivateKey& key,
+                                Timestamp timestamp, uint64_t nonce);
+  /// Build an unsigned system transaction.
+  static Transaction MakeSystem(const std::string& type,
+                                const std::string& channel, Bytes payload,
+                                Timestamp timestamp, uint64_t nonce);
+};
+
+}  // namespace ledger
+}  // namespace provledger
+
+#endif  // PROVLEDGER_LEDGER_TRANSACTION_H_

@@ -1,0 +1,93 @@
+#include "network/sim_network.h"
+
+#include <cassert>
+
+namespace provledger {
+namespace network {
+
+SimNetwork::SimNetwork(SimClock* clock, uint64_t seed, NetworkOptions options)
+    : clock_(clock), rng_(seed), options_(options) {
+  assert(clock != nullptr);
+}
+
+NodeId SimNetwork::AddNode(Handler handler) {
+  handlers_.push_back(std::move(handler));
+  return static_cast<NodeId>(handlers_.size() - 1);
+}
+
+bool SimNetwork::Partitioned(NodeId a, NodeId b) const {
+  if (!partitioned_) return false;
+  bool a_in = partition_group_.count(a) > 0;
+  bool b_in = partition_group_.count(b) > 0;
+  return a_in != b_in;
+}
+
+void SimNetwork::Send(NodeId from, NodeId to, const std::string& type,
+                      Bytes payload) {
+  assert(to < handlers_.size());
+  metrics_.messages_sent++;
+  metrics_.bytes_sent += payload.size();
+
+  if (Partitioned(from, to) || rng_.NextBool(options_.drop_rate)) {
+    metrics_.messages_dropped++;
+    return;
+  }
+
+  int64_t latency = options_.base_latency_us;
+  if (options_.jitter_us > 0) {
+    latency += static_cast<int64_t>(
+        rng_.NextBelow(static_cast<uint64_t>(options_.jitter_us) + 1));
+  }
+  Event ev;
+  ev.deliver_at = clock_->NowMicros() + latency;
+  ev.seq = next_seq_++;
+  ev.message = Message{from, to, type, std::move(payload)};
+  queue_.push(std::move(ev));
+}
+
+void SimNetwork::Broadcast(NodeId from, const std::string& type,
+                           const Bytes& payload) {
+  for (NodeId to = 0; to < handlers_.size(); ++to) {
+    if (to != from) Send(from, to, type, payload);
+  }
+}
+
+void SimNetwork::Partition(const std::set<NodeId>& group_a) {
+  partitioned_ = true;
+  partition_group_ = group_a;
+}
+
+void SimNetwork::Heal() {
+  partitioned_ = false;
+  partition_group_.clear();
+}
+
+size_t SimNetwork::RunUntilIdle() {
+  size_t delivered = 0;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    clock_->SetMicros(ev.deliver_at + options_.processing_us);
+    metrics_.messages_delivered++;
+    ++delivered;
+    handlers_[ev.message.to](ev.message);
+  }
+  return delivered;
+}
+
+size_t SimNetwork::RunUntil(Timestamp deadline) {
+  size_t delivered = 0;
+  while (!queue_.empty() && queue_.top().deliver_at <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    clock_->SetMicros(ev.deliver_at + options_.processing_us);
+    metrics_.messages_delivered++;
+    ++delivered;
+    handlers_[ev.message.to](ev.message);
+  }
+  clock_->SetMicros(deadline);
+  return delivered;
+}
+
+}  // namespace network
+}  // namespace provledger

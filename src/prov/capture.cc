@@ -1,0 +1,135 @@
+#include "prov/capture.h"
+
+namespace provledger {
+namespace prov {
+
+DirectCapture::DirectCapture(ProvenanceStore* store, SimClock* clock,
+                             int64_t sign_cost_us)
+    : store_(store), clock_(clock), sign_cost_us_(sign_cost_us) {}
+
+void DirectCapture::RegisterUser(const std::string& user,
+                                 crypto::PrivateKey key) {
+  keys_.emplace(user, std::move(key));
+}
+
+Status DirectCapture::Capture(const std::string& user,
+                              const ProvenanceRecord& record) {
+  auto it = keys_.find(user);
+  if (it == keys_.end()) {
+    ++metrics_.auth_failures;
+    return Status::Unauthenticated("no signing key registered for " + user);
+  }
+  clock_->Advance(sign_cost_us_);
+  metrics_.anchor_us += sign_cost_us_;
+  PROVLEDGER_RETURN_NOT_OK(store_->Anchor(record, &it->second));
+  ++metrics_.records;
+  return Status::OK();
+}
+
+DataStoreCapture::DataStoreCapture(ProvenanceStore* store, SimClock* clock,
+                                   size_t flush_threshold,
+                                   int64_t emit_cost_us)
+    : store_(store),
+      clock_(clock),
+      flush_threshold_(flush_threshold == 0 ? 1 : flush_threshold),
+      emit_cost_us_(emit_cost_us) {}
+
+Status DataStoreCapture::Capture(const std::string& /*user*/,
+                                 const ProvenanceRecord& record) {
+  // The data store trusts its own operation log; no per-user auth.
+  clock_->Advance(emit_cost_us_);
+  metrics_.anchor_us += emit_cost_us_;
+  buffer_.push_back(record);
+  buffered_ = buffer_.size();
+  ++metrics_.records;
+  if (buffer_.size() >= flush_threshold_) return FlushBuffered();
+  return Status::OK();
+}
+
+Status DataStoreCapture::FlushBuffered() {
+  if (buffer_.empty()) return Status::OK();
+  std::vector<ProvenanceRecord> batch = std::move(buffer_);
+  buffer_.clear();
+  buffered_ = 0;
+  return store_->AnchorBatch(batch);
+}
+
+CentralizedCapture::CentralizedCapture(ProvenanceStore* store, SimClock* clock,
+                                       int64_t auth_cost_us)
+    : store_(store), clock_(clock), auth_cost_us_(auth_cost_us) {
+  // Authority master key (deterministic in simulation).
+  authority_key_ = ToBytes("capture-authority-master-key");
+}
+
+Bytes CentralizedCapture::EnrollUser(const std::string& user) {
+  crypto::Digest token = crypto::HmacSha256(authority_key_, ToBytes(user));
+  return Bytes(token.begin(), token.end());
+}
+
+void CentralizedCapture::PresentToken(const std::string& user,
+                                      const Bytes& token) {
+  presented_[user] = token;
+}
+
+Status CentralizedCapture::Capture(const std::string& user,
+                                   const ProvenanceRecord& record) {
+  clock_->Advance(auth_cost_us_);
+  metrics_.auth_us += auth_cost_us_;
+
+  auto it = presented_.find(user);
+  crypto::Digest expected = crypto::HmacSha256(authority_key_, ToBytes(user));
+  if (it == presented_.end() ||
+      !ConstantTimeEqual(it->second,
+                         Bytes(expected.begin(), expected.end()))) {
+    ++metrics_.auth_failures;
+    return Status::Unauthenticated("capability token invalid for " + user);
+  }
+  PROVLEDGER_RETURN_NOT_OK(store_->Anchor(record));
+  ++metrics_.records;
+  return Status::OK();
+}
+
+DecentralizedCapture::DecentralizedCapture(ProvenanceStore* store,
+                                           SimClock* clock,
+                                           uint32_t committee_size,
+                                           uint32_t threshold,
+                                           int64_t member_latency_us)
+    : store_(store),
+      clock_(clock),
+      threshold_(threshold),
+      member_latency_us_(member_latency_us),
+      alive_members_(committee_size) {
+  for (uint32_t i = 0; i < committee_size; ++i) {
+    committee_.push_back(crypto::PrivateKey::FromSeed(
+        "capture-committee-" + std::to_string(i)));
+    committee_public_.push_back(committee_.back().public_key());
+  }
+}
+
+Status DecentralizedCapture::Capture(const std::string& /*user*/,
+                                     const ProvenanceRecord& record) {
+  // One round trip to the committee (members answer in parallel) plus a
+  // response per live member.
+  clock_->Advance(2 * member_latency_us_);
+  metrics_.auth_us += 2 * member_latency_us_;
+  metrics_.messages += committee_.size() + alive_members_;
+
+  const Bytes record_hash = crypto::DigestToBytes(record.Hash());
+  crypto::MultiSignature multisig;
+  for (uint32_t i = 0; i < alive_members_ && i < committee_.size(); ++i) {
+    multisig.parts.emplace_back(committee_public_[i],
+                                committee_[i].Sign(record_hash));
+  }
+  if (!crypto::VerifyThreshold(committee_public_, threshold_, record_hash,
+                               multisig)) {
+    ++metrics_.auth_failures;
+    return Status::Unauthenticated(
+        "committee quorum not reached for record " + record.record_id);
+  }
+  PROVLEDGER_RETURN_NOT_OK(store_->Anchor(record));
+  ++metrics_.records;
+  return Status::OK();
+}
+
+}  // namespace prov
+}  // namespace provledger

@@ -1,0 +1,138 @@
+// The four provenance-capture architectures of Figure 3, as pluggable
+// services in front of a ProvenanceStore:
+//
+//   (a) DirectCapture            — the user writes (signed) records straight
+//                                  to provenance storage;
+//   (b) DataStoreCapture         — the data store itself emits records as a
+//                                  side effect of operations, batching them;
+//   (c) CentralizedCapture       — a centralized third party authenticates
+//                                  each user before anchoring on their
+//                                  behalf (token check, single authority);
+//   (d) DecentralizedCapture     — a committee of authenticators must
+//                                  jointly approve (m-of-n signatures over
+//                                  the record hash) before anchoring.
+//
+// Each service accounts simulated authentication/anchor latency on a
+// SimClock and message counts, which bench_fig3_capture_paths compares.
+
+#ifndef PROVLEDGER_PROV_CAPTURE_H_
+#define PROVLEDGER_PROV_CAPTURE_H_
+
+#include <memory>
+
+#include "prov/store.h"
+
+namespace provledger {
+namespace prov {
+
+/// \brief Per-service capture counters.
+struct CaptureMetrics {
+  uint64_t records = 0;
+  uint64_t auth_failures = 0;
+  int64_t auth_us = 0;     // simulated time spent authenticating
+  int64_t anchor_us = 0;   // simulated time spent anchoring
+  uint64_t messages = 0;   // protocol messages (committee path)
+};
+
+/// \brief Abstract capture path (one Figure 3 scenario each).
+class CaptureService {
+ public:
+  virtual ~CaptureService() = default;
+  virtual std::string name() const = 0;
+  /// Capture one record on behalf of `user`.
+  virtual Status Capture(const std::string& user,
+                         const ProvenanceRecord& record) = 0;
+  const CaptureMetrics& metrics() const { return metrics_; }
+
+ protected:
+  CaptureMetrics metrics_;
+};
+
+/// \brief Scenario (a): the user anchors signed records directly.
+class DirectCapture : public CaptureService {
+ public:
+  DirectCapture(ProvenanceStore* store, SimClock* clock,
+                int64_t sign_cost_us = 50);
+  std::string name() const override { return "user-direct"; }
+  /// Register a user's signing key.
+  void RegisterUser(const std::string& user, crypto::PrivateKey key);
+  Status Capture(const std::string& user,
+                 const ProvenanceRecord& record) override;
+
+ private:
+  ProvenanceStore* store_;
+  SimClock* clock_;
+  int64_t sign_cost_us_;
+  std::map<std::string, crypto::PrivateKey> keys_;
+};
+
+/// \brief Scenario (b): the data store emits records itself, batched.
+class DataStoreCapture : public CaptureService {
+ public:
+  DataStoreCapture(ProvenanceStore* store, SimClock* clock,
+                   size_t flush_threshold = 8, int64_t emit_cost_us = 5);
+  std::string name() const override { return "datastore-emitted"; }
+  Status Capture(const std::string& user,
+                 const ProvenanceRecord& record) override;
+  /// Force the buffered records out (end of an operation burst).
+  Status FlushBuffered();
+  size_t buffered() const { return buffered_; }
+
+ private:
+  ProvenanceStore* store_;
+  SimClock* clock_;
+  size_t flush_threshold_;
+  int64_t emit_cost_us_;
+  size_t buffered_ = 0;
+  std::vector<ProvenanceRecord> buffer_;
+};
+
+/// \brief Scenario (c): centralized third party authenticates users by
+/// HMAC capability token before anchoring.
+class CentralizedCapture : public CaptureService {
+ public:
+  CentralizedCapture(ProvenanceStore* store, SimClock* clock,
+                     int64_t auth_cost_us = 300);
+  std::string name() const override { return "centralized-third-party"; }
+  /// Enroll a user; returns their capability token.
+  Bytes EnrollUser(const std::string& user);
+  /// Provide the token the user presents on capture.
+  void PresentToken(const std::string& user, const Bytes& token);
+  Status Capture(const std::string& user,
+                 const ProvenanceRecord& record) override;
+
+ private:
+  ProvenanceStore* store_;
+  SimClock* clock_;
+  int64_t auth_cost_us_;
+  Bytes authority_key_;
+  std::map<std::string, Bytes> presented_;
+};
+
+/// \brief Scenario (d): a decentralized committee co-signs each record
+/// hash (m-of-n) before it is anchored.
+class DecentralizedCapture : public CaptureService {
+ public:
+  DecentralizedCapture(ProvenanceStore* store, SimClock* clock,
+                       uint32_t committee_size = 4, uint32_t threshold = 3,
+                       int64_t member_latency_us = 500);
+  std::string name() const override { return "decentralized-third-party"; }
+  Status Capture(const std::string& user,
+                 const ProvenanceRecord& record) override;
+  /// Fault injection: members beyond index `alive` stop responding.
+  void SetAliveMembers(uint32_t alive) { alive_members_ = alive; }
+
+ private:
+  ProvenanceStore* store_;
+  SimClock* clock_;
+  uint32_t threshold_;
+  int64_t member_latency_us_;
+  std::vector<crypto::PrivateKey> committee_;
+  std::vector<crypto::PublicKey> committee_public_;
+  uint32_t alive_members_;
+};
+
+}  // namespace prov
+}  // namespace provledger
+
+#endif  // PROVLEDGER_PROV_CAPTURE_H_

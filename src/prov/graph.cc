@@ -1,0 +1,222 @@
+#include "prov/graph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace provledger {
+namespace prov {
+
+Status ProvenanceGraph::AddRecord(const ProvenanceRecord& record) {
+  PROVLEDGER_RETURN_NOT_OK(record.Validate());
+  if (records_.count(record.record_id)) {
+    return Status::AlreadyExists("record already in graph: " +
+                                 record.record_id);
+  }
+
+  // Effective outputs: if none are declared, the operation produces a new
+  // logical version of the subject entity.
+  std::vector<std::string> outputs = record.outputs;
+  if (outputs.empty()) outputs.push_back(record.subject);
+
+  records_.emplace(record.record_id, record);
+  by_agent_[record.agent].push_back(record.record_id);
+  by_subject_[record.subject].push_back(record.record_id);
+  entity_versions_.insert(record.subject);
+
+  // used: activity -> each input entity.
+  for (const auto& in : record.inputs) {
+    entity_versions_.insert(in);
+    used_by_[in].push_back(record.record_id);
+    ++edge_count_;
+  }
+  // wasGeneratedBy + wasDerivedFrom: each output entity.
+  for (const auto& out : outputs) {
+    entity_versions_.insert(out);
+    generated_by_[out].push_back(record.record_id);
+    ++edge_count_;
+    for (const auto& in : record.inputs) {
+      if (in == out) continue;
+      derived_from_[out].insert(in);
+      derivations_[in].insert(out);
+      ++edge_count_;
+    }
+  }
+  // wasAssociatedWith: activity -> agent.
+  ++edge_count_;
+  return Status::OK();
+}
+
+bool ProvenanceGraph::HasRecord(const std::string& record_id) const {
+  return records_.count(record_id) > 0;
+}
+
+Result<ProvenanceRecord> ProvenanceGraph::GetRecord(
+    const std::string& record_id) const {
+  auto it = records_.find(record_id);
+  if (it == records_.end()) {
+    return Status::NotFound("no such record: " + record_id);
+  }
+  return it->second;
+}
+
+namespace {
+// Generic BFS over an adjacency map of entity -> set<entity>.
+std::vector<std::string> Closure(
+    const std::map<std::string, std::set<std::string>>& adjacency,
+    const std::string& start) {
+  std::vector<std::string> out;
+  std::set<std::string> seen{start};
+  std::deque<std::string> frontier{start};
+  while (!frontier.empty()) {
+    std::string current = frontier.front();
+    frontier.pop_front();
+    auto it = adjacency.find(current);
+    if (it == adjacency.end()) continue;
+    for (const auto& next : it->second) {
+      if (seen.insert(next).second) {
+        out.push_back(next);
+        frontier.push_back(next);
+      }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<std::string> ProvenanceGraph::Lineage(
+    const std::string& entity) const {
+  return Closure(derived_from_, entity);
+}
+
+std::vector<std::string> ProvenanceGraph::Descendants(
+    const std::string& entity) const {
+  return Closure(derivations_, entity);
+}
+
+namespace {
+std::vector<ProvenanceRecord> SortByTime(std::vector<ProvenanceRecord> recs) {
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const ProvenanceRecord& a, const ProvenanceRecord& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return recs;
+}
+}  // namespace
+
+std::vector<ProvenanceRecord> ProvenanceGraph::SubjectHistory(
+    const std::string& subject) const {
+  std::vector<ProvenanceRecord> out;
+  auto it = by_subject_.find(subject);
+  if (it == by_subject_.end()) return out;
+  for (const auto& id : it->second) out.push_back(records_.at(id));
+  return SortByTime(std::move(out));
+}
+
+std::vector<ProvenanceRecord> ProvenanceGraph::ByAgent(
+    const std::string& agent) const {
+  std::vector<ProvenanceRecord> out;
+  auto it = by_agent_.find(agent);
+  if (it == by_agent_.end()) return out;
+  for (const auto& id : it->second) out.push_back(records_.at(id));
+  return SortByTime(std::move(out));
+}
+
+std::vector<ProvenanceRecord> ProvenanceGraph::InRange(Timestamp from,
+                                                       Timestamp to) const {
+  std::vector<ProvenanceRecord> out;
+  for (const auto& [_, rec] : records_) {
+    if (rec.timestamp >= from && rec.timestamp <= to) out.push_back(rec);
+  }
+  return SortByTime(std::move(out));
+}
+
+std::vector<std::string> ProvenanceGraph::DownstreamRecords(
+    const std::string& record_id) const {
+  const ProvenanceRecord& rec = records_.at(record_id);
+  std::vector<std::string> outputs = rec.outputs;
+  if (outputs.empty()) outputs.push_back(rec.subject);
+
+  std::vector<std::string> downstream;
+  std::set<std::string> seen;
+  for (const auto& out : outputs) {
+    auto it = used_by_.find(out);
+    if (it == used_by_.end()) continue;
+    for (const auto& consumer : it->second) {
+      if (consumer != record_id && seen.insert(consumer).second) {
+        downstream.push_back(consumer);
+      }
+    }
+  }
+  return downstream;
+}
+
+Result<std::vector<std::string>> ProvenanceGraph::Invalidate(
+    const std::string& record_id, Timestamp at, const std::string& reason) {
+  if (!records_.count(record_id)) {
+    return Status::NotFound("no such record: " + record_id);
+  }
+  if (invalidations_.count(record_id)) {
+    return Status::AlreadyExists("record already invalidated: " + record_id);
+  }
+
+  // BFS over the consumption graph: every record that used (transitively)
+  // this record's outputs is cascade-invalidated (SciBlock semantics).
+  std::vector<std::string> order;
+  std::deque<std::string> frontier{record_id};
+  std::set<std::string> seen{record_id};
+  while (!frontier.empty()) {
+    std::string current = frontier.front();
+    frontier.pop_front();
+    order.push_back(current);
+    for (const auto& next : DownstreamRecords(current)) {
+      if (seen.insert(next).second) frontier.push_back(next);
+    }
+  }
+  for (const auto& id : order) {
+    if (invalidations_.count(id)) continue;  // already invalid from earlier
+    Invalidation inv;
+    inv.record_id = id;
+    inv.at = at;
+    inv.reason = reason;
+    inv.cascaded = (id != record_id);
+    invalidations_.emplace(id, std::move(inv));
+  }
+  return order;
+}
+
+bool ProvenanceGraph::IsInvalidated(const std::string& record_id) const {
+  return invalidations_.count(record_id) > 0;
+}
+
+Result<Invalidation> ProvenanceGraph::GetInvalidation(
+    const std::string& record_id) const {
+  auto it = invalidations_.find(record_id);
+  if (it == invalidations_.end()) {
+    return Status::NotFound("record not invalidated: " + record_id);
+  }
+  return it->second;
+}
+
+std::vector<std::string> ProvenanceGraph::ReexecutionSet(
+    const std::string& record_id) const {
+  if (!records_.count(record_id)) return {};
+  // Downstream closure over the consumption graph: exactly the activities
+  // that must re-run once `record_id` is invalidated and repaired.
+  std::vector<std::string> out;
+  std::deque<std::string> frontier{record_id};
+  std::set<std::string> seen{record_id};
+  while (!frontier.empty()) {
+    std::string current = frontier.front();
+    frontier.pop_front();
+    for (const auto& next : DownstreamRecords(current)) {
+      if (seen.insert(next).second) {
+        out.push_back(next);
+        frontier.push_back(next);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace prov
+}  // namespace provledger

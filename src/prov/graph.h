@@ -1,0 +1,113 @@
+// The provenance graph: a PROV-DM-style DAG (entities, activities, agents;
+// used / wasGeneratedBy / wasDerivedFrom / wasAssociatedWith edges) built
+// from anchored records, with the query and invalidation machinery the
+// paper's §6.1 "Provenance Query" axis calls for:
+//
+//   * lineage (ancestor entities) and descendants,
+//   * per-agent, per-subject, and time-range queries,
+//   * SciBlock-style timestamp invalidation with downstream cascade
+//     (the Figure 4 lifecycle's "invalidate + selective re-execution").
+
+#ifndef PROVLEDGER_PROV_GRAPH_H_
+#define PROVLEDGER_PROV_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "prov/record.h"
+
+namespace provledger {
+namespace prov {
+
+/// \brief PROV-DM node kinds.
+enum class NodeKind : uint8_t { kEntity = 0, kActivity = 1, kAgent = 2 };
+
+/// \brief PROV-DM relation kinds (activity-centric subset).
+enum class RelationKind : uint8_t {
+  kUsed = 0,              // activity  -> entity (input)
+  kWasGeneratedBy = 1,    // entity    -> activity
+  kWasDerivedFrom = 2,    // entity    -> entity
+  kWasAssociatedWith = 3  // activity  -> agent
+};
+
+/// \brief An invalidation mark on a record (SciBlock's timestamp-based
+/// invalidation: later consumers of the outputs become invalid too).
+struct Invalidation {
+  std::string record_id;
+  Timestamp at = 0;
+  std::string reason;
+  /// True when this record was invalidated transitively via a cascade.
+  bool cascaded = false;
+};
+
+/// \brief In-memory provenance DAG over anchored records.
+class ProvenanceGraph {
+ public:
+  /// Ingest a (validated) record, creating entity/activity/agent nodes and
+  /// PROV edges. Records must have unique ids.
+  Status AddRecord(const ProvenanceRecord& record);
+
+  bool HasRecord(const std::string& record_id) const;
+  Result<ProvenanceRecord> GetRecord(const std::string& record_id) const;
+  size_t record_count() const { return records_.size(); }
+  size_t entity_count() const { return entity_versions_.size(); }
+  size_t edge_count() const { return edge_count_; }
+
+  /// \name Queries (§6.1 "Provenance Query").
+  /// @{
+  /// All ancestor entities `entity` transitively derives from.
+  std::vector<std::string> Lineage(const std::string& entity) const;
+  /// All entities transitively derived from `entity`.
+  std::vector<std::string> Descendants(const std::string& entity) const;
+  /// Records touching `subject`, in timestamp order.
+  std::vector<ProvenanceRecord> SubjectHistory(
+      const std::string& subject) const;
+  /// Records performed by `agent`, in timestamp order.
+  std::vector<ProvenanceRecord> ByAgent(const std::string& agent) const;
+  /// Records with timestamp in [from, to], in timestamp order.
+  std::vector<ProvenanceRecord> InRange(Timestamp from, Timestamp to) const;
+  /// @}
+
+  /// \name Invalidation (SciBlock / Figure 4).
+  /// @{
+  /// Invalidate a record; every record that transitively used its outputs
+  /// is cascade-invalidated. Returns the ids invalidated (including the
+  /// root), in cascade order.
+  Result<std::vector<std::string>> Invalidate(const std::string& record_id,
+                                              Timestamp at,
+                                              const std::string& reason);
+  bool IsInvalidated(const std::string& record_id) const;
+  Result<Invalidation> GetInvalidation(const std::string& record_id) const;
+  size_t invalidated_count() const { return invalidations_.size(); }
+  /// Records that would be re-executed to repair the graph after the given
+  /// record's invalidation (= the cascade set minus the root).
+  std::vector<std::string> ReexecutionSet(const std::string& record_id) const;
+  /// @}
+
+ private:
+  // Downstream records: record -> records that used any of its outputs.
+  std::vector<std::string> DownstreamRecords(
+      const std::string& record_id) const;
+
+  std::map<std::string, ProvenanceRecord> records_;
+  // entity id -> records that generated it / used it.
+  std::map<std::string, std::vector<std::string>> generated_by_;
+  std::map<std::string, std::vector<std::string>> used_by_;
+  // entity -> direct derivation sources (inputs of its generating records).
+  std::map<std::string, std::set<std::string>> derived_from_;
+  // entity -> entities directly derived from it.
+  std::map<std::string, std::set<std::string>> derivations_;
+  // Entities seen (as subject/input/output).
+  std::set<std::string> entity_versions_;
+  std::map<std::string, std::vector<std::string>> by_agent_;
+  std::map<std::string, std::vector<std::string>> by_subject_;
+  std::map<std::string, Invalidation> invalidations_;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace prov
+}  // namespace provledger
+
+#endif  // PROVLEDGER_PROV_GRAPH_H_

@@ -1,0 +1,210 @@
+#include "prov/record.h"
+
+namespace provledger {
+namespace prov {
+
+const char* DomainName(Domain domain) {
+  switch (domain) {
+    case Domain::kGeneric:
+      return "generic";
+    case Domain::kCloud:
+      return "cloud";
+    case Domain::kSupplyChain:
+      return "supply_chain";
+    case Domain::kForensics:
+      return "forensics";
+    case Domain::kScientific:
+      return "scientific";
+    case Domain::kHealthcare:
+      return "healthcare";
+    case Domain::kMachineLearning:
+      return "machine_learning";
+  }
+  return "unknown";
+}
+
+const std::vector<std::string>& RequiredFields(Domain domain) {
+  static const std::vector<std::string> kSupplyChain = {
+      fields::kProductId,    fields::kBatchNumber,    fields::kMfgExpiry,
+      fields::kTravelTrace,  fields::kProductType,    fields::kManufacturerId,
+      fields::kQuickAccess};
+  static const std::vector<std::string> kForensics = {
+      fields::kCaseNumber,      fields::kInvestigationStage,
+      fields::kCaseStartDate,   fields::kCaseClosureDate,
+      fields::kFileTypes,       fields::kAccessPatterns,
+      fields::kFilesDependency};
+  static const std::vector<std::string> kScientific = {
+      fields::kTaskId,    fields::kWorkflowId, fields::kExecutionTime,
+      fields::kUserId,    fields::kInputData,  fields::kOutputData,
+      fields::kInvalidatedResults};
+  static const std::vector<std::string> kNone = {};
+  switch (domain) {
+    case Domain::kSupplyChain:
+      return kSupplyChain;
+    case Domain::kForensics:
+      return kForensics;
+    case Domain::kScientific:
+      return kScientific;
+    default:
+      return kNone;
+  }
+}
+
+Bytes ProvenanceRecord::Encode() const {
+  Encoder enc;
+  enc.PutString(record_id);
+  enc.PutU8(static_cast<uint8_t>(domain));
+  enc.PutString(operation);
+  enc.PutString(subject);
+  enc.PutString(agent);
+  enc.PutI64(timestamp);
+  enc.PutU32(static_cast<uint32_t>(inputs.size()));
+  for (const auto& in : inputs) enc.PutString(in);
+  enc.PutU32(static_cast<uint32_t>(outputs.size()));
+  for (const auto& out : outputs) enc.PutString(out);
+  enc.PutU32(static_cast<uint32_t>(fields.size()));
+  for (const auto& [key, value] : fields) {  // std::map: sorted, canonical
+    enc.PutString(key);
+    enc.PutString(value);
+  }
+  enc.PutRaw(crypto::DigestToBytes(payload_hash));
+  return enc.TakeBuffer();
+}
+
+Result<ProvenanceRecord> ProvenanceRecord::Decode(const Bytes& data) {
+  Decoder dec(data);
+  ProvenanceRecord rec;
+  PROVLEDGER_RETURN_NOT_OK(dec.GetString(&rec.record_id));
+  uint8_t domain_byte = 0;
+  PROVLEDGER_RETURN_NOT_OK(dec.GetU8(&domain_byte));
+  if (domain_byte > static_cast<uint8_t>(Domain::kMachineLearning)) {
+    return Status::Corruption("unknown domain byte");
+  }
+  rec.domain = static_cast<Domain>(domain_byte);
+  PROVLEDGER_RETURN_NOT_OK(dec.GetString(&rec.operation));
+  PROVLEDGER_RETURN_NOT_OK(dec.GetString(&rec.subject));
+  PROVLEDGER_RETURN_NOT_OK(dec.GetString(&rec.agent));
+  PROVLEDGER_RETURN_NOT_OK(dec.GetI64(&rec.timestamp));
+
+  uint32_t n = 0;
+  PROVLEDGER_RETURN_NOT_OK(dec.GetU32(&n));
+  rec.inputs.resize(n);
+  for (auto& in : rec.inputs) PROVLEDGER_RETURN_NOT_OK(dec.GetString(&in));
+  PROVLEDGER_RETURN_NOT_OK(dec.GetU32(&n));
+  rec.outputs.resize(n);
+  for (auto& out : rec.outputs) PROVLEDGER_RETURN_NOT_OK(dec.GetString(&out));
+  PROVLEDGER_RETURN_NOT_OK(dec.GetU32(&n));
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string key, value;
+    PROVLEDGER_RETURN_NOT_OK(dec.GetString(&key));
+    PROVLEDGER_RETURN_NOT_OK(dec.GetString(&value));
+    rec.fields.emplace(std::move(key), std::move(value));
+  }
+  Bytes raw;
+  PROVLEDGER_RETURN_NOT_OK(dec.GetRaw(crypto::kSha256DigestSize, &raw));
+  PROVLEDGER_ASSIGN_OR_RETURN(rec.payload_hash, crypto::DigestFromBytes(raw));
+  if (!dec.AtEnd()) {
+    return Status::Corruption("trailing bytes after provenance record");
+  }
+  return rec;
+}
+
+crypto::Digest ProvenanceRecord::Hash() const {
+  return crypto::Sha256::Hash(Encode());
+}
+
+Status ProvenanceRecord::Validate() const {
+  if (record_id.empty()) {
+    return Status::InvalidArgument("record_id must not be empty");
+  }
+  if (operation.empty()) {
+    return Status::InvalidArgument("operation must not be empty");
+  }
+  if (subject.empty()) {
+    return Status::InvalidArgument("subject must not be empty");
+  }
+  if (agent.empty()) {
+    return Status::InvalidArgument("agent must not be empty");
+  }
+  for (const auto& key : RequiredFields(domain)) {
+    if (!fields.count(key)) {
+      return Status::InvalidArgument(
+          std::string("missing required field for domain ") +
+          DomainName(domain) + ": " + key);
+    }
+  }
+  return Status::OK();
+}
+
+ProvenanceRecord MakeSupplyChainRecord(
+    const std::string& record_id, const std::string& operation,
+    const std::string& product_id, const std::string& agent,
+    Timestamp timestamp, const std::string& batch, const std::string& expiry,
+    const std::string& trace, const std::string& type,
+    const std::string& manufacturer, const std::string& qr) {
+  ProvenanceRecord rec;
+  rec.record_id = record_id;
+  rec.domain = Domain::kSupplyChain;
+  rec.operation = operation;
+  rec.subject = product_id;
+  rec.agent = agent;
+  rec.timestamp = timestamp;
+  rec.fields[fields::kProductId] = product_id;
+  rec.fields[fields::kBatchNumber] = batch;
+  rec.fields[fields::kMfgExpiry] = expiry;
+  rec.fields[fields::kTravelTrace] = trace;
+  rec.fields[fields::kProductType] = type;
+  rec.fields[fields::kManufacturerId] = manufacturer;
+  rec.fields[fields::kQuickAccess] = qr;
+  return rec;
+}
+
+ProvenanceRecord MakeForensicsRecord(
+    const std::string& record_id, const std::string& operation,
+    const std::string& evidence_id, const std::string& agent,
+    Timestamp timestamp, const std::string& case_number,
+    const std::string& stage, const std::string& start_date,
+    const std::string& closure_date, const std::string& file_types,
+    const std::string& access_patterns, const std::string& dependency) {
+  ProvenanceRecord rec;
+  rec.record_id = record_id;
+  rec.domain = Domain::kForensics;
+  rec.operation = operation;
+  rec.subject = evidence_id;
+  rec.agent = agent;
+  rec.timestamp = timestamp;
+  rec.fields[fields::kCaseNumber] = case_number;
+  rec.fields[fields::kInvestigationStage] = stage;
+  rec.fields[fields::kCaseStartDate] = start_date;
+  rec.fields[fields::kCaseClosureDate] = closure_date;
+  rec.fields[fields::kFileTypes] = file_types;
+  rec.fields[fields::kAccessPatterns] = access_patterns;
+  rec.fields[fields::kFilesDependency] = dependency;
+  return rec;
+}
+
+ProvenanceRecord MakeScientificRecord(
+    const std::string& record_id, const std::string& operation,
+    const std::string& task_id, const std::string& agent, Timestamp timestamp,
+    const std::string& workflow_id, const std::string& execution_time,
+    const std::string& user_id, const std::string& input_data,
+    const std::string& output_data, const std::string& invalidated) {
+  ProvenanceRecord rec;
+  rec.record_id = record_id;
+  rec.domain = Domain::kScientific;
+  rec.operation = operation;
+  rec.subject = task_id;
+  rec.agent = agent;
+  rec.timestamp = timestamp;
+  rec.fields[fields::kTaskId] = task_id;
+  rec.fields[fields::kWorkflowId] = workflow_id;
+  rec.fields[fields::kExecutionTime] = execution_time;
+  rec.fields[fields::kUserId] = user_id;
+  rec.fields[fields::kInputData] = input_data;
+  rec.fields[fields::kOutputData] = output_data;
+  rec.fields[fields::kInvalidatedResults] = invalidated;
+  return rec;
+}
+
+}  // namespace prov
+}  // namespace provledger

@@ -1,0 +1,133 @@
+// Provenance records — the canonical on-ledger unit of provenance.
+//
+// A record documents one operation: who (agent) did what (operation) to
+// which artifact (subject), when, deriving which outputs from which inputs.
+// Domain-specific metadata lives in `fields`, whose canonical keys per
+// domain reproduce Table 1 of the paper ("Provenance Record Fields"):
+// product supply chain, digital forensics, and scientific collaboration
+// each have a required field schema validated by Validate().
+
+#ifndef PROVLEDGER_PROV_RECORD_H_
+#define PROVLEDGER_PROV_RECORD_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/codec.h"
+#include "crypto/sha256.h"
+
+namespace provledger {
+namespace prov {
+
+/// \brief Application domain of a record (RQ1: cloud; RQ2: the five
+/// collaborative domains of §4).
+enum class Domain : uint8_t {
+  kGeneric = 0,
+  kCloud = 1,
+  kSupplyChain = 2,
+  kForensics = 3,
+  kScientific = 4,
+  kHealthcare = 5,
+  kMachineLearning = 6,
+};
+
+/// Canonical lowercase name ("supply_chain", ...).
+const char* DomainName(Domain domain);
+
+/// \brief Canonical Table 1 field keys.
+namespace fields {
+// Product supply chain (Table 1, column 1).
+inline constexpr char kProductId[] = "product_id";
+inline constexpr char kBatchNumber[] = "batch_number";
+inline constexpr char kMfgExpiry[] = "mfg_expiry";
+inline constexpr char kTravelTrace[] = "travel_trace";
+inline constexpr char kProductType[] = "product_type";
+inline constexpr char kManufacturerId[] = "manufacturer_id";
+inline constexpr char kQuickAccess[] = "quick_access";
+
+// Digital forensics (Table 1, column 2).
+inline constexpr char kCaseNumber[] = "case_number";
+inline constexpr char kInvestigationStage[] = "investigation_stage";
+inline constexpr char kCaseStartDate[] = "case_start_date";
+inline constexpr char kCaseClosureDate[] = "case_closure_date";
+inline constexpr char kFileTypes[] = "file_types";
+inline constexpr char kAccessPatterns[] = "access_patterns";
+inline constexpr char kFilesDependency[] = "files_dependency";
+
+// Scientific collaboration (Table 1, column 3).
+inline constexpr char kTaskId[] = "task_id";
+inline constexpr char kWorkflowId[] = "workflow_id";
+inline constexpr char kExecutionTime[] = "execution_time";
+inline constexpr char kUserId[] = "user_id";
+inline constexpr char kInputData[] = "input_data";
+inline constexpr char kOutputData[] = "output_data";
+inline constexpr char kInvalidatedResults[] = "invalidated_results";
+}  // namespace fields
+
+/// Required Table 1 field keys for a domain (empty for domains the table
+/// does not cover).
+const std::vector<std::string>& RequiredFields(Domain domain);
+
+/// \brief One provenance record.
+struct ProvenanceRecord {
+  /// Globally unique id (caller-assigned, e.g. "rec-000042").
+  std::string record_id;
+  Domain domain = Domain::kGeneric;
+  /// Operation name: "create", "update", "share", "transfer", "execute"...
+  std::string operation;
+  /// Primary artifact the operation acted on (file, product, task, case).
+  std::string subject;
+  /// Identity of the actor (public-key id or organizational name).
+  std::string agent;
+  Timestamp timestamp = 0;
+  /// Entity ids consumed (PROV `used` / derivation sources).
+  std::vector<std::string> inputs;
+  /// Entity ids produced (PROV `wasGeneratedBy`); if empty, the operation
+  /// is treated as producing a new version of `subject`.
+  std::vector<std::string> outputs;
+  /// Domain metadata (Table 1 keys).
+  std::map<std::string, std::string> fields;
+  /// Hash of the off-chain artifact content this record attests to.
+  crypto::Digest payload_hash = crypto::ZeroDigest();
+
+  /// Canonical encoding (deterministic; map keys are sorted by std::map).
+  Bytes Encode() const;
+  static Result<ProvenanceRecord> Decode(const Bytes& data);
+  /// SHA-256 of the canonical encoding.
+  crypto::Digest Hash() const;
+
+  /// Structural checks plus the Table 1 required-field schema.
+  Status Validate() const;
+};
+
+/// \name Table 1 record builders (one per column).
+/// @{
+ProvenanceRecord MakeSupplyChainRecord(
+    const std::string& record_id, const std::string& operation,
+    const std::string& product_id, const std::string& agent,
+    Timestamp timestamp, const std::string& batch, const std::string& expiry,
+    const std::string& trace, const std::string& type,
+    const std::string& manufacturer, const std::string& qr);
+
+ProvenanceRecord MakeForensicsRecord(
+    const std::string& record_id, const std::string& operation,
+    const std::string& evidence_id, const std::string& agent,
+    Timestamp timestamp, const std::string& case_number,
+    const std::string& stage, const std::string& start_date,
+    const std::string& closure_date, const std::string& file_types,
+    const std::string& access_patterns, const std::string& dependency);
+
+ProvenanceRecord MakeScientificRecord(
+    const std::string& record_id, const std::string& operation,
+    const std::string& task_id, const std::string& agent, Timestamp timestamp,
+    const std::string& workflow_id, const std::string& execution_time,
+    const std::string& user_id, const std::string& input_data,
+    const std::string& output_data, const std::string& invalidated);
+/// @}
+
+}  // namespace prov
+}  // namespace provledger
+
+#endif  // PROVLEDGER_PROV_RECORD_H_

@@ -1,0 +1,183 @@
+#include "prov/store.h"
+
+namespace provledger {
+namespace prov {
+
+ProvenanceStore::ProvenanceStore(ledger::Blockchain* chain, Clock* clock,
+                                 ProvenanceStoreOptions options)
+    : chain_(chain), clock_(clock), options_(std::move(options)) {}
+
+std::string ProvenanceStore::OnChainAgentId(const std::string& agent) const {
+  if (!options_.hash_agent_ids) return agent;
+  crypto::Digest mac =
+      crypto::HmacSha256(options_.anonymization_key, ToBytes(agent));
+  return "anon-" + HexEncode(mac.data(), 8);
+}
+
+ledger::Transaction ProvenanceStore::MakeTx(
+    const ProvenanceRecord& record, const crypto::PrivateKey* signer) const {
+  if (signer != nullptr) {
+    return ledger::Transaction::MakeSigned("prov/record", options_.channel,
+                                           record.Encode(), *signer,
+                                           clock_->NowMicros(), nonce_);
+  }
+  return ledger::Transaction::MakeSystem("prov/record", options_.channel,
+                                         record.Encode(),
+                                         clock_->NowMicros(), nonce_);
+}
+
+Status ProvenanceStore::Anchor(const ProvenanceRecord& record,
+                               const crypto::PrivateKey* signer) {
+  ProvenanceRecord anchored = record;
+  anchored.agent = OnChainAgentId(record.agent);
+  PROVLEDGER_RETURN_NOT_OK(anchored.Validate());
+  if (graph_.HasRecord(anchored.record_id)) {
+    return Status::AlreadyExists("record already anchored: " +
+                                 anchored.record_id);
+  }
+
+  ++nonce_;
+  pending_.push_back(MakeTx(anchored, signer));
+  pending_records_.push_back(std::move(anchored));
+  if (pending_.size() >= options_.batch_size) {
+    return Flush();
+  }
+  return Status::OK();
+}
+
+Status ProvenanceStore::AnchorBatch(
+    const std::vector<ProvenanceRecord>& records,
+    const crypto::PrivateKey* signer) {
+  for (const auto& record : records) {
+    ProvenanceRecord anchored = record;
+    anchored.agent = OnChainAgentId(record.agent);
+    PROVLEDGER_RETURN_NOT_OK(anchored.Validate());
+    if (graph_.HasRecord(anchored.record_id)) {
+      return Status::AlreadyExists("record already anchored: " +
+                                   anchored.record_id);
+    }
+    ++nonce_;
+    pending_.push_back(MakeTx(anchored, signer));
+    pending_records_.push_back(std::move(anchored));
+  }
+  return Flush();
+}
+
+Status ProvenanceStore::Flush() {
+  if (pending_.empty()) return Status::OK();
+  std::vector<ledger::Transaction> txs = std::move(pending_);
+  std::vector<ProvenanceRecord> records = std::move(pending_records_);
+  pending_.clear();
+  pending_records_.clear();
+
+  auto block_hash =
+      chain_->Append(txs, clock_->NowMicros(), options_.proposer);
+  if (!block_hash.ok()) return block_hash.status();
+
+  for (size_t i = 0; i < records.size(); ++i) {
+    PROVLEDGER_RETURN_NOT_OK(IndexRecord(records[i], txs[i].Id()));
+  }
+  return Status::OK();
+}
+
+Status ProvenanceStore::IndexRecord(const ProvenanceRecord& record,
+                                    const crypto::Digest& txid) {
+  PROVLEDGER_RETURN_NOT_OK(graph_.AddRecord(record));
+  PROVLEDGER_RETURN_NOT_OK(index_.Put("rec/" + record.record_id,
+                                      crypto::DigestToBytes(txid)));
+  ++anchored_count_;
+  return Status::OK();
+}
+
+Result<ProvenanceRecord> ProvenanceStore::GetRecord(
+    const std::string& record_id) const {
+  return graph_.GetRecord(record_id);
+}
+
+bool ProvenanceStore::HasRecord(const std::string& record_id) const {
+  return graph_.HasRecord(record_id);
+}
+
+std::vector<ProvenanceRecord> ProvenanceStore::SubjectHistory(
+    const std::string& subject) const {
+  return graph_.SubjectHistory(subject);
+}
+
+std::vector<ProvenanceRecord> ProvenanceStore::ByAgent(
+    const std::string& agent) const {
+  return graph_.ByAgent(agent);
+}
+
+std::vector<std::string> ProvenanceStore::Lineage(
+    const std::string& entity) const {
+  return graph_.Lineage(entity);
+}
+
+Result<ledger::TxProof> ProvenanceStore::ProveRecord(
+    const std::string& record_id) const {
+  PROVLEDGER_ASSIGN_OR_RETURN(Bytes txid_bytes,
+                              index_.Get("rec/" + record_id));
+  PROVLEDGER_ASSIGN_OR_RETURN(crypto::Digest txid,
+                              crypto::DigestFromBytes(txid_bytes));
+  return chain_->ProveTransaction(txid);
+}
+
+bool ProvenanceStore::VerifyRecordProof(const ProvenanceRecord& record,
+                                        const ledger::TxProof& proof) const {
+  auto txid_bytes = index_.Get("rec/" + record.record_id);
+  if (!txid_bytes.ok()) return false;
+  auto txid = crypto::DigestFromBytes(txid_bytes.value());
+  if (!txid.ok()) return false;
+  auto tx = chain_->GetTransaction(txid.value());
+  if (!tx.ok()) return false;
+  // The anchored transaction must carry exactly this record's encoding.
+  if (tx->payload != record.Encode()) return false;
+  return chain_->VerifyTxProof(tx->Encode(), proof);
+}
+
+Status ProvenanceStore::RebuildFromChain() {
+  graph_ = ProvenanceGraph();
+  index_ = storage::MemKvStore();
+  anchored_count_ = 0;
+  pending_.clear();
+  pending_records_.clear();
+
+  for (uint64_t h = 0; h <= chain_->height(); ++h) {
+    PROVLEDGER_ASSIGN_OR_RETURN(ledger::Block block, chain_->GetBlock(h));
+    for (const auto& tx : block.transactions) {
+      if (tx.type != "prov/record" || tx.channel != options_.channel) {
+        continue;
+      }
+      PROVLEDGER_ASSIGN_OR_RETURN(ProvenanceRecord record,
+                                  ProvenanceRecord::Decode(tx.payload));
+      PROVLEDGER_RETURN_NOT_OK(IndexRecord(record, tx.Id()));
+    }
+  }
+  return Status::OK();
+}
+
+Result<size_t> ProvenanceStore::AuditAll() const {
+  size_t verified = 0;
+  auto it = index_.NewIterator();
+  for (it->Seek("rec/"); it->Valid(); it->Next()) {
+    if (it->key().compare(0, 4, "rec/") != 0) break;
+    auto txid = crypto::DigestFromBytes(it->value());
+    if (!txid.ok()) return txid.status();
+    auto tx = chain_->GetTransaction(txid.value());
+    if (!tx.ok()) {
+      return Status::Corruption("anchored record missing from chain: " +
+                                it->key());
+    }
+    auto proof = chain_->ProveTransaction(txid.value());
+    if (!proof.ok()) return proof.status();
+    if (!chain_->VerifyTxProof(tx->Encode(), proof.value())) {
+      return Status::Corruption("merkle verification failed for " +
+                                it->key());
+    }
+    ++verified;
+  }
+  return verified;
+}
+
+}  // namespace prov
+}  // namespace provledger

@@ -1,0 +1,42 @@
+#include "storage/content_store.h"
+
+namespace provledger {
+namespace storage {
+
+crypto::Digest ContentStore::Put(const Bytes& content) {
+  crypto::Digest cid = crypto::Sha256::Hash(content);
+  std::string key = crypto::DigestHex(cid);
+  auto [it, inserted] = objects_.emplace(key, content);
+  if (inserted) total_bytes_ += content.size();
+  return cid;
+}
+
+Result<Bytes> ContentStore::Get(const crypto::Digest& cid) const {
+  auto it = objects_.find(crypto::DigestHex(cid));
+  if (it == objects_.end()) {
+    return Status::NotFound("content not found: " + crypto::DigestHex(cid));
+  }
+  return it->second;
+}
+
+bool ContentStore::Has(const crypto::Digest& cid) const {
+  return objects_.count(crypto::DigestHex(cid)) > 0;
+}
+
+Result<Bytes> ContentStore::GetVerified(const crypto::Digest& cid) const {
+  PROVLEDGER_ASSIGN_OR_RETURN(Bytes content, Get(cid));
+  if (crypto::Sha256::Hash(content) != cid) {
+    return Status::Corruption("stored content does not match its address");
+  }
+  return content;
+}
+
+bool ContentStore::CorruptForTesting(const crypto::Digest& cid) {
+  auto it = objects_.find(crypto::DigestHex(cid));
+  if (it == objects_.end() || it->second.empty()) return false;
+  it->second[0] ^= 0xFF;
+  return true;
+}
+
+}  // namespace storage
+}  // namespace provledger

@@ -1,0 +1,47 @@
+// Content-addressed object store — ProvLedger's in-process stand-in for
+// IPFS (DESIGN.md §3). Several surveyed systems ([33], HealthBlock, Ahmed
+// et al.) keep bulk data off-chain in IPFS and anchor only the content hash
+// on the ledger; ContentStore preserves exactly that architectural split and
+// its measurable consequences (on-chain bytes vs retrieval indirection),
+// which bench_storage_overhead quantifies.
+
+#ifndef PROVLEDGER_STORAGE_CONTENT_STORE_H_
+#define PROVLEDGER_STORAGE_CONTENT_STORE_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "crypto/sha256.h"
+
+namespace provledger {
+namespace storage {
+
+/// \brief Immutable content-addressed blob store keyed by SHA-256.
+class ContentStore {
+ public:
+  /// Store a blob; returns its content id (SHA-256). Idempotent.
+  crypto::Digest Put(const Bytes& content);
+
+  /// Fetch a blob by content id.
+  Result<Bytes> Get(const crypto::Digest& cid) const;
+  bool Has(const crypto::Digest& cid) const;
+
+  /// \brief Fetch and re-hash, returning Corruption if the stored bytes no
+  /// longer match the address (integrity self-check).
+  Result<Bytes> GetVerified(const crypto::Digest& cid) const;
+
+  size_t object_count() const { return objects_.size(); }
+  size_t total_bytes() const { return total_bytes_; }
+
+  /// Test hook: silently corrupt a stored object (fault injection).
+  bool CorruptForTesting(const crypto::Digest& cid);
+
+ private:
+  std::unordered_map<std::string, Bytes> objects_;  // hex(cid) -> content
+  size_t total_bytes_ = 0;
+};
+
+}  // namespace storage
+}  // namespace provledger
+
+#endif  // PROVLEDGER_STORAGE_CONTENT_STORE_H_

@@ -1,0 +1,281 @@
+// Access-control tests: RBAC, ABAC with deny-overrides, LedgerView
+// revocable/irrevocable views, and ForensiBlock stage gates.
+
+#include <gtest/gtest.h>
+
+#include "access/abac.h"
+#include "access/rbac.h"
+#include "access/stage_gate.h"
+#include "access/views.h"
+
+namespace provledger {
+namespace access {
+namespace {
+
+TEST(RbacTest, RolePermissionFlow) {
+  RbacPolicy rbac;
+  rbac.DefineRole("doctor");
+  ASSERT_TRUE(rbac.GrantPermission("doctor", "ehr:read").ok());
+  ASSERT_TRUE(rbac.GrantPermission("doctor", "ehr:write").ok());
+  ASSERT_TRUE(rbac.AssignRole("alice", "doctor").ok());
+
+  EXPECT_TRUE(rbac.Check("alice", "ehr:read"));
+  EXPECT_TRUE(rbac.Check("alice", "ehr:write"));
+  EXPECT_FALSE(rbac.Check("alice", "ehr:delete"));
+  EXPECT_FALSE(rbac.Check("bob", "ehr:read"));
+}
+
+TEST(RbacTest, RevocationTakesEffect) {
+  RbacPolicy rbac;
+  rbac.DefineRole("auditor");
+  ASSERT_TRUE(rbac.GrantPermission("auditor", "prov:audit").ok());
+  ASSERT_TRUE(rbac.AssignRole("eve", "auditor").ok());
+  EXPECT_TRUE(rbac.Check("eve", "prov:audit"));
+
+  ASSERT_TRUE(rbac.UnassignRole("eve", "auditor").ok());
+  EXPECT_FALSE(rbac.Check("eve", "prov:audit"));
+  EXPECT_TRUE(rbac.UnassignRole("eve", "auditor").IsNotFound());
+}
+
+TEST(RbacTest, PermissionRevocationAffectsAllHolders) {
+  RbacPolicy rbac;
+  rbac.DefineRole("nurse");
+  ASSERT_TRUE(rbac.GrantPermission("nurse", "ehr:read").ok());
+  ASSERT_TRUE(rbac.AssignRole("a", "nurse").ok());
+  ASSERT_TRUE(rbac.AssignRole("b", "nurse").ok());
+  ASSERT_TRUE(rbac.RevokePermission("nurse", "ehr:read").ok());
+  EXPECT_FALSE(rbac.Check("a", "ehr:read"));
+  EXPECT_FALSE(rbac.Check("b", "ehr:read"));
+}
+
+TEST(RbacTest, UnknownRoleErrors) {
+  RbacPolicy rbac;
+  EXPECT_TRUE(rbac.GrantPermission("ghost", "x").IsNotFound());
+  EXPECT_TRUE(rbac.AssignRole("a", "ghost").IsNotFound());
+}
+
+TEST(AbacTest, AllowRuleMatches) {
+  AbacPolicy policy;
+  AbacRule rule;
+  rule.id = "researchers-read-own-org";
+  rule.action = "read";
+  rule.conditions.push_back({AbacCondition::Scope::kSubject, "org",
+                             AbacCondition::Op::kEquals, "lab-a"});
+  rule.conditions.push_back({AbacCondition::Scope::kResource, "org",
+                             AbacCondition::Op::kEquals, "lab-a"});
+  policy.AddRule(rule);
+
+  EXPECT_TRUE(policy.Check({{"org", "lab-a"}}, "read", {{"org", "lab-a"}}));
+  EXPECT_FALSE(policy.Check({{"org", "lab-b"}}, "read", {{"org", "lab-a"}}));
+  EXPECT_FALSE(policy.Check({{"org", "lab-a"}}, "write", {{"org", "lab-a"}}));
+}
+
+TEST(AbacTest, DenyOverridesAllow) {
+  AbacPolicy policy;
+  AbacRule allow;
+  allow.action = "*";
+  allow.conditions.push_back({AbacCondition::Scope::kSubject, "clearance",
+                              AbacCondition::Op::kIn, "secret,topsecret"});
+  policy.AddRule(allow);
+  AbacRule deny;
+  deny.action = "*";
+  deny.allow = false;
+  deny.conditions.push_back({AbacCondition::Scope::kSubject, "suspended",
+                             AbacCondition::Op::kEquals, "true"});
+  policy.AddRule(deny);
+
+  EXPECT_TRUE(policy.Check({{"clearance", "secret"}}, "read", {}));
+  EXPECT_FALSE(policy.Check(
+      {{"clearance", "secret"}, {"suspended", "true"}}, "read", {}));
+}
+
+TEST(AbacTest, OperatorSemantics) {
+  Attributes subject = {{"dept", "oncology"}, {"id", "user-42"}};
+  AbacCondition eq{AbacCondition::Scope::kSubject, "dept",
+                   AbacCondition::Op::kEquals, "oncology"};
+  AbacCondition neq{AbacCondition::Scope::kSubject, "dept",
+                    AbacCondition::Op::kNotEquals, "surgery"};
+  AbacCondition in{AbacCondition::Scope::kSubject, "dept",
+                   AbacCondition::Op::kIn, "radiology,oncology"};
+  AbacCondition prefix{AbacCondition::Scope::kSubject, "id",
+                       AbacCondition::Op::kPrefix, "user-"};
+  AbacCondition missing{AbacCondition::Scope::kSubject, "ghost",
+                        AbacCondition::Op::kEquals, "x"};
+  EXPECT_TRUE(eq.Matches(subject, {}, {}));
+  EXPECT_TRUE(neq.Matches(subject, {}, {}));
+  EXPECT_TRUE(in.Matches(subject, {}, {}));
+  EXPECT_TRUE(prefix.Matches(subject, {}, {}));
+  EXPECT_FALSE(missing.Matches(subject, {}, {}));
+}
+
+TEST(AbacTest, EnvironmentConditions) {
+  AbacPolicy policy;
+  AbacRule rule;
+  rule.action = "access";
+  rule.conditions.push_back({AbacCondition::Scope::kEnvironment, "emergency",
+                             AbacCondition::Op::kEquals, "true"});
+  policy.AddRule(rule);
+  EXPECT_TRUE(policy.Check({}, "access", {}, {{"emergency", "true"}}));
+  EXPECT_FALSE(policy.Check({}, "access", {}, {}));
+}
+
+class ViewsTest : public ::testing::Test {
+ protected:
+  ViewsTest() : clock_(0), store_(&chain_, &clock_), views_(&store_, &rbac_) {
+    rbac_.DefineRole("regulator");
+    EXPECT_TRUE(rbac_.AssignRole("fda", "regulator").ok());
+
+    // Anchor a mixed history for product-1.
+    Anchor("r1", "product-1", "create");
+    Anchor("r2", "product-1", "transfer");
+    Anchor("r3", "product-1", "price-update");
+    Anchor("r4", "other-2", "transfer");
+  }
+
+  void Anchor(const std::string& id, const std::string& subject,
+              const std::string& op) {
+    prov::ProvenanceRecord rec;
+    rec.record_id = id;
+    rec.operation = op;
+    rec.subject = subject;
+    rec.agent = "supplier";
+    rec.timestamp = ++ts_;
+    ASSERT_TRUE(store_.Anchor(rec).ok());
+  }
+
+  ledger::Blockchain chain_;
+  SimClock clock_;
+  prov::ProvenanceStore store_;
+  RbacPolicy rbac_;
+  ViewManager views_;
+  Timestamp ts_ = 0;
+};
+
+TEST_F(ViewsTest, FilteredQueryThroughView) {
+  View v;
+  v.name = "custody-only";
+  v.owner = "supplier";
+  v.filter.operations = {"create", "transfer"};
+  ASSERT_TRUE(views_.CreateView(v).ok());
+  ASSERT_TRUE(views_.Grant("custody-only", "supplier", "consumer").ok());
+
+  auto records = views_.Query("custody-only", "consumer", "product-1");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);  // price-update filtered out
+  EXPECT_EQ((*records)[0].operation, "create");
+  EXPECT_EQ((*records)[1].operation, "transfer");
+}
+
+TEST_F(ViewsTest, NonMemberDenied) {
+  View v;
+  v.name = "v";
+  v.owner = "supplier";
+  ASSERT_TRUE(views_.CreateView(v).ok());
+  EXPECT_TRUE(views_.Query("v", "stranger", "product-1")
+                  .status()
+                  .IsPermissionDenied());
+  EXPECT_TRUE(views_.Query("ghost-view", "supplier", "product-1")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(ViewsTest, RevocableViewRevokes) {
+  View v;
+  v.name = "rv";
+  v.owner = "supplier";
+  v.revocable = true;
+  ASSERT_TRUE(views_.CreateView(v).ok());
+  ASSERT_TRUE(views_.Grant("rv", "supplier", "partner").ok());
+  EXPECT_TRUE(views_.CheckAccess("rv", "partner"));
+  ASSERT_TRUE(views_.Revoke("rv", "supplier", "partner").ok());
+  EXPECT_FALSE(views_.CheckAccess("rv", "partner"));
+}
+
+TEST_F(ViewsTest, IrrevocableViewCannotRevoke) {
+  View v;
+  v.name = "iv";
+  v.owner = "supplier";
+  v.revocable = false;
+  ASSERT_TRUE(views_.CreateView(v).ok());
+  ASSERT_TRUE(views_.Grant("iv", "supplier", "partner").ok());
+  EXPECT_TRUE(
+      views_.Revoke("iv", "supplier", "partner").IsFailedPrecondition());
+  EXPECT_TRUE(views_.CheckAccess("iv", "partner"));
+}
+
+TEST_F(ViewsTest, OnlyOwnerManagesMembership) {
+  View v;
+  v.name = "ov";
+  v.owner = "supplier";
+  ASSERT_TRUE(views_.CreateView(v).ok());
+  EXPECT_TRUE(
+      views_.Grant("ov", "mallory", "mallory").IsPermissionDenied());
+  ASSERT_TRUE(views_.Grant("ov", "supplier", "partner").ok());
+  EXPECT_TRUE(
+      views_.Revoke("ov", "mallory", "partner").IsPermissionDenied());
+}
+
+TEST_F(ViewsTest, RoleGatedView) {
+  View v;
+  v.name = "regulated";
+  v.owner = "supplier";
+  v.required_role = "regulator";
+  ASSERT_TRUE(views_.CreateView(v).ok());
+  ASSERT_TRUE(views_.Grant("regulated", "supplier", "fda").ok());
+  ASSERT_TRUE(views_.Grant("regulated", "supplier", "consumer").ok());
+  EXPECT_TRUE(views_.CheckAccess("regulated", "fda"));
+  EXPECT_FALSE(views_.CheckAccess("regulated", "consumer"));  // lacks role
+}
+
+TEST(StageGateTest, FiveStageForensicFlow) {
+  StageGate gate({"identification", "preservation", "collection", "analysis",
+                  "reporting"});
+  ASSERT_TRUE(gate.AllowInStage("identification", "investigator",
+                                "add-source").ok());
+  ASSERT_TRUE(gate.AllowInStage("collection", "investigator",
+                                "collect-evidence").ok());
+  ASSERT_TRUE(gate.AllowInStage("analysis", "analyst", "run-analysis").ok());
+  for (const auto& stage : gate.stages()) {
+    ASSERT_TRUE(gate.AllowTransition(stage, "lead").ok());
+  }
+  ASSERT_TRUE(gate.StartProcess("case-1").ok());
+
+  // Stage-scoped permissions.
+  EXPECT_TRUE(gate.Check("case-1", "investigator", "add-source"));
+  EXPECT_FALSE(gate.Check("case-1", "investigator", "collect-evidence"));
+
+  // Advance: identification -> preservation -> collection.
+  ASSERT_TRUE(gate.Advance("case-1", "alice", "lead", 100).ok());
+  ASSERT_TRUE(gate.Advance("case-1", "alice", "lead", 200).ok());
+  EXPECT_TRUE(gate.Check("case-1", "investigator", "collect-evidence"));
+  EXPECT_FALSE(gate.Check("case-1", "investigator", "add-source"));
+
+  // Unauthorized role cannot advance.
+  EXPECT_TRUE(
+      gate.Advance("case-1", "bob", "investigator", 300).IsPermissionDenied());
+
+  // Complete the process.
+  ASSERT_TRUE(gate.Advance("case-1", "alice", "lead", 400).ok());
+  ASSERT_TRUE(gate.Advance("case-1", "alice", "lead", 500).ok());
+  ASSERT_TRUE(gate.Advance("case-1", "alice", "lead", 600).ok());
+  EXPECT_TRUE(gate.IsComplete("case-1"));
+  EXPECT_TRUE(gate.Advance("case-1", "alice", "lead", 700)
+                  .IsFailedPrecondition());
+  EXPECT_EQ(gate.transitions().size(), 5u);
+  EXPECT_EQ(gate.transitions().back().to_stage, "complete");
+}
+
+TEST(StageGateTest, ProcessLifecycleErrors) {
+  StageGate gate({"s1", "s2"});
+  EXPECT_TRUE(gate.CurrentStage("ghost").status().IsNotFound());
+  ASSERT_TRUE(gate.StartProcess("p").ok());
+  EXPECT_TRUE(gate.StartProcess("p").IsAlreadyExists());
+  EXPECT_TRUE(gate.AllowInStage("ghost-stage", "r", "a").IsNotFound());
+  auto stage = gate.CurrentStage("p");
+  ASSERT_TRUE(stage.ok());
+  EXPECT_EQ(stage.value(), "s1");
+}
+
+}  // namespace
+}  // namespace access
+}  // namespace provledger

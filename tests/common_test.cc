@@ -1,0 +1,265 @@
+// Unit tests for src/common: Status/Result, bytes/hex, codec, clock, rng.
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/codec.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace provledger {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing block");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "not_found: missing block");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "corruption");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kPermissionDenied),
+               "permission_denied");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnauthenticated),
+               "unauthenticated");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kTimedOut), "timed_out");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAborted), "aborted");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> Doubler(Result<int> in) {
+  PROVLEDGER_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(Doubler(21).value(), 42);
+  EXPECT_TRUE(Doubler(Status::NotFound("x")).status().IsNotFound());
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes data = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x7f};
+  std::string hex = HexEncode(data);
+  EXPECT_EQ(hex, "deadbeef007f");
+  auto decoded = HexDecode(hex);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), data);
+}
+
+TEST(BytesTest, HexDecodeRejectsBadInput) {
+  EXPECT_FALSE(HexDecode("abc").ok());   // odd length
+  EXPECT_FALSE(HexDecode("zz").ok());    // non-hex
+  EXPECT_TRUE(HexDecode("").ok());       // empty is valid
+}
+
+TEST(BytesTest, HexDecodeAcceptsUppercase) {
+  auto decoded = HexDecode("DEADBEEF");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(HexEncode(decoded.value()), "deadbeef");
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  Bytes d = {1, 2};
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  EXPECT_FALSE(ConstantTimeEqual(a, c));
+  EXPECT_FALSE(ConstantTimeEqual(a, d));
+}
+
+TEST(BytesTest, StringConversionRoundTrip) {
+  std::string s = "provenance";
+  EXPECT_EQ(BytesToString(ToBytes(s)), s);
+}
+
+TEST(CodecTest, ScalarRoundTrip) {
+  Encoder enc;
+  enc.PutU8(0xAB);
+  enc.PutU16(0xBEEF);
+  enc.PutU32(0xDEADBEEF);
+  enc.PutU64(0x0123456789ABCDEFULL);
+  enc.PutI64(-12345);
+  enc.PutDouble(3.14159);
+  enc.PutBool(true);
+  enc.PutString("hello");
+  enc.PutBytes({9, 8, 7});
+
+  Decoder dec(enc.buffer());
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  int64_t i64;
+  double dbl;
+  bool b;
+  std::string str;
+  Bytes bytes;
+  ASSERT_TRUE(dec.GetU8(&u8).ok());
+  ASSERT_TRUE(dec.GetU16(&u16).ok());
+  ASSERT_TRUE(dec.GetU32(&u32).ok());
+  ASSERT_TRUE(dec.GetU64(&u64).ok());
+  ASSERT_TRUE(dec.GetI64(&i64).ok());
+  ASSERT_TRUE(dec.GetDouble(&dbl).ok());
+  ASSERT_TRUE(dec.GetBool(&b).ok());
+  ASSERT_TRUE(dec.GetString(&str).ok());
+  ASSERT_TRUE(dec.GetBytes(&bytes).ok());
+  EXPECT_TRUE(dec.AtEnd());
+
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u16, 0xBEEF);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(i64, -12345);
+  EXPECT_DOUBLE_EQ(dbl, 3.14159);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(str, "hello");
+  EXPECT_EQ(bytes, (Bytes{9, 8, 7}));
+}
+
+TEST(CodecTest, TruncatedInputIsCorruption) {
+  Encoder enc;
+  enc.PutU32(7);
+  Decoder dec(enc.buffer());
+  uint64_t v;
+  EXPECT_TRUE(dec.GetU64(&v).IsCorruption());
+}
+
+TEST(CodecTest, TruncatedStringLengthIsCorruption) {
+  Encoder enc;
+  enc.PutU32(1000);  // claims 1000 bytes follow; none do
+  Decoder dec(enc.buffer());
+  std::string s;
+  EXPECT_TRUE(dec.GetString(&s).IsCorruption());
+}
+
+TEST(CodecTest, CanonicalEncoding) {
+  // Re-encoding a decoded structure must be byte-identical (hashing relies
+  // on this).
+  Encoder enc1;
+  enc1.PutString("entity");
+  enc1.PutU64(99);
+  Decoder dec(enc1.buffer());
+  std::string s;
+  uint64_t v;
+  ASSERT_TRUE(dec.GetString(&s).ok());
+  ASSERT_TRUE(dec.GetU64(&v).ok());
+  Encoder enc2;
+  enc2.PutString(s);
+  enc2.PutU64(v);
+  EXPECT_EQ(enc1.buffer(), enc2.buffer());
+}
+
+TEST(SimClockTest, AdvancesMonotonically) {
+  SimClock clock(1000);
+  EXPECT_EQ(clock.NowMicros(), 1000);
+  clock.Advance(500);
+  EXPECT_EQ(clock.NowMicros(), 1500);
+  clock.SetMicros(100);  // cannot go backwards
+  EXPECT_EQ(clock.NowMicros(), 1500);
+  clock.SetMicros(2000);
+  EXPECT_EQ(clock.NowMicros(), 2000);
+}
+
+TEST(SystemClockTest, ReturnsPlausibleTime) {
+  SystemClock clock;
+  Timestamp t1 = clock.NowMicros();
+  Timestamp t2 = clock.NowMicros();
+  EXPECT_GT(t1, 1'600'000'000'000'000LL);  // after 2020
+  EXPECT_GE(t2, t1);
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  EXPECT_NE(a.NextU64(), c.NextU64());
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+  EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(RngTest, NextRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = rng.NextRange(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianHasRoughMoments) {
+  Rng rng(13);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.NextGaussian(10.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, BytesAndAlnum) {
+  Rng rng(17);
+  Bytes b = rng.NextBytes(37);
+  EXPECT_EQ(b.size(), 37u);
+  std::string s = rng.NextAlnum(20);
+  EXPECT_EQ(s.size(), 20u);
+  for (char c : s) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) << c;
+  }
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(99);
+  Rng child = parent.Fork();
+  // Child stream differs from the parent's continued stream.
+  EXPECT_NE(parent.NextU64(), child.NextU64());
+}
+
+}  // namespace
+}  // namespace provledger

@@ -1,0 +1,254 @@
+// Consensus engine tests: commit correctness, fault tolerance boundaries,
+// message complexity shapes (PBFT O(n²) vs Raft O(n)), difficulty scaling,
+// and stake-weighted election bias.
+
+#include <gtest/gtest.h>
+
+#include "consensus/engine.h"
+#include "consensus/pbft.h"
+#include "consensus/pos.h"
+#include "consensus/pow.h"
+#include "consensus/raft.h"
+
+namespace provledger {
+namespace consensus {
+namespace {
+
+ConsensusConfig BaseConfig(uint32_t nodes) {
+  ConsensusConfig config;
+  config.num_nodes = nodes;
+  config.seed = 7;
+  config.pow_difficulty_bits = 8;  // fast for tests
+  return config;
+}
+
+TEST(LeadingZeroBitsTest, CountsCorrectly) {
+  crypto::Digest d{};
+  EXPECT_EQ(LeadingZeroBits(d), 256u);
+  d[0] = 0x80;
+  EXPECT_EQ(LeadingZeroBits(d), 0u);
+  d[0] = 0x01;
+  EXPECT_EQ(LeadingZeroBits(d), 7u);
+  d[0] = 0x00;
+  d[1] = 0x10;
+  EXPECT_EQ(LeadingZeroBits(d), 11u);
+}
+
+TEST(FactoryTest, MakesAllKinds) {
+  for (const char* kind : {"pow", "pos", "pbft", "raft"}) {
+    auto engine = MakeEngine(kind, BaseConfig(4));
+    ASSERT_TRUE(engine.ok()) << kind;
+    EXPECT_EQ(engine.value()->name(), kind);
+  }
+  EXPECT_FALSE(MakeEngine("tendermint", BaseConfig(4)).ok());
+  ConsensusConfig zero = BaseConfig(0);
+  EXPECT_FALSE(MakeEngine("pow", zero).ok());
+}
+
+TEST(PowTest, CommitMeetsDifficulty) {
+  PowEngine engine(BaseConfig(4));
+  auto result = engine.Propose(ToBytes("block-1"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(LeadingZeroBits(result->payload_digest), 8u);
+  EXPECT_GT(result->metrics.hash_attempts, 0u);
+  EXPECT_EQ(result->metrics.messages, 3u);  // broadcast to n-1
+}
+
+TEST(PowTest, HarderDifficultyCostsMoreAttempts) {
+  uint64_t attempts_easy = 0, attempts_hard = 0;
+  const int kBlocks = 12;
+  {
+    ConsensusConfig config = BaseConfig(4);
+    config.pow_difficulty_bits = 6;
+    PowEngine engine(config);
+    for (int i = 0; i < kBlocks; ++i) {
+      auto r = engine.Propose(ToBytes("b" + std::to_string(i)));
+      ASSERT_TRUE(r.ok());
+      attempts_easy += r->metrics.hash_attempts;
+    }
+  }
+  {
+    ConsensusConfig config = BaseConfig(4);
+    config.pow_difficulty_bits = 12;
+    PowEngine engine(config);
+    for (int i = 0; i < kBlocks; ++i) {
+      auto r = engine.Propose(ToBytes("b" + std::to_string(i)));
+      ASSERT_TRUE(r.ok());
+      attempts_hard += r->metrics.hash_attempts;
+    }
+  }
+  // 6 extra bits => ~64x more attempts; demand at least 8x to be robust.
+  EXPECT_GT(attempts_hard, attempts_easy * 8);
+}
+
+TEST(PowTest, RejectsAbsurdDifficulty) {
+  ConsensusConfig config = BaseConfig(4);
+  config.pow_difficulty_bits = 64;
+  PowEngine engine(config);
+  EXPECT_FALSE(engine.Propose(ToBytes("x")).ok());
+}
+
+TEST(PosTest, CommitsWithQuorum) {
+  PosEngine engine(BaseConfig(5));
+  auto result = engine.Propose(ToBytes("block-1"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->metrics.rounds, 2u);
+  // propose broadcast (n-1) + attests back (n-1).
+  EXPECT_EQ(result->metrics.messages, 8u);
+  EXPECT_LT(result->proposer, 5u);
+}
+
+TEST(PosTest, StakeWeightedElectionBias) {
+  ConsensusConfig config = BaseConfig(4);
+  config.stakes = {1000, 10, 10, 10};
+  PosEngine engine(config);
+  int whale_wins = 0;
+  const int kSlots = 100;
+  for (int i = 0; i < kSlots; ++i) {
+    auto r = engine.Propose(ToBytes("s" + std::to_string(i)));
+    ASSERT_TRUE(r.ok());
+    if (r->proposer == 0) ++whale_wins;
+  }
+  // Whale holds ~97% of stake; should win the vast majority of slots.
+  EXPECT_GT(whale_wins, 80);
+}
+
+TEST(PosTest, LeaderScheduleIsDeterministic) {
+  std::vector<uint32_t> run1, run2;
+  for (auto* out : {&run1, &run2}) {
+    PosEngine engine(BaseConfig(5));
+    for (int i = 0; i < 10; ++i) {
+      auto r = engine.Propose(ToBytes("b" + std::to_string(i)));
+      ASSERT_TRUE(r.ok());
+      out->push_back(r->proposer);
+    }
+  }
+  EXPECT_EQ(run1, run2);
+}
+
+TEST(PbftTest, CommitsWithoutFaults) {
+  PbftEngine engine(BaseConfig(4));
+  auto result = engine.Propose(ToBytes("block-1"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->metrics.rounds, 3u);
+}
+
+TEST(PbftTest, RequiresFourReplicas) {
+  PbftEngine engine(BaseConfig(3));
+  EXPECT_TRUE(engine.Propose(ToBytes("x")).status().IsInvalidArgument());
+}
+
+TEST(PbftTest, ToleratesFByzantine) {
+  ConsensusConfig config = BaseConfig(7);  // f = 2
+  config.byzantine_nodes = 2;
+  PbftEngine engine(config);
+  auto result = engine.Propose(ToBytes("block-1"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST(PbftTest, FailsBeyondFByzantine) {
+  ConsensusConfig config = BaseConfig(7);  // f = 2
+  config.byzantine_nodes = 3;
+  PbftEngine engine(config);
+  EXPECT_TRUE(engine.Propose(ToBytes("x")).status().IsFailedPrecondition());
+}
+
+TEST(PbftTest, ViewChangeOnByzantineLeader) {
+  // Node n-1 is byzantine; force it to be the leader by advancing views.
+  ConsensusConfig config = BaseConfig(4);
+  config.byzantine_nodes = 1;  // node 3 silent
+  PbftEngine engine(config);
+  // Commit until view reaches the byzantine node, then once more.
+  for (int i = 0; i < 5; ++i) {
+    auto r = engine.Propose(ToBytes("b" + std::to_string(i)));
+    ASSERT_TRUE(r.ok()) << "iteration " << i << ": " << r.status().ToString();
+  }
+}
+
+TEST(PbftTest, QuadraticMessageComplexity) {
+  auto messages_for = [](uint32_t n) {
+    PbftEngine engine(BaseConfig(n));
+    auto r = engine.Propose(ToBytes("b"));
+    EXPECT_TRUE(r.ok());
+    return r->metrics.messages;
+  };
+  uint64_t m4 = messages_for(4);
+  uint64_t m16 = messages_for(16);
+  // n 4x larger -> messages should grow ~16x (allow >8x).
+  EXPECT_GT(m16, m4 * 8);
+}
+
+TEST(RaftTest, ElectsLeaderAndCommits) {
+  RaftEngine engine(BaseConfig(5));
+  EXPECT_EQ(engine.leader(), -1);
+  auto result = engine.Propose(ToBytes("entry-1"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(engine.leader(), 0);
+  // Subsequent commits skip the election round.
+  auto r2 = engine.Propose(ToBytes("entry-2"));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_LT(r2->metrics.messages, result->metrics.messages);
+}
+
+TEST(RaftTest, LinearMessageComplexity) {
+  auto messages_for = [](uint32_t n) {
+    RaftEngine engine(BaseConfig(n));
+    (void)engine.Propose(ToBytes("warmup"));  // election
+    auto r = engine.Propose(ToBytes("b"));
+    EXPECT_TRUE(r.ok());
+    return r->metrics.messages;
+  };
+  uint64_t m4 = messages_for(4);
+  uint64_t m16 = messages_for(16);
+  // Linear growth: 4x nodes -> ~4x messages (must stay well under 8x).
+  EXPECT_LT(m16, m4 * 8);
+  EXPECT_GT(m16, m4 * 2);
+}
+
+TEST(RaftTest, SurvivesMinorityCrashes) {
+  ConsensusConfig config = BaseConfig(5);
+  config.crashed_nodes = 2;
+  RaftEngine engine(config);
+  auto result = engine.Propose(ToBytes("entry"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST(RaftTest, FailsWithoutMajority) {
+  ConsensusConfig config = BaseConfig(5);
+  config.crashed_nodes = 3;
+  RaftEngine engine(config);
+  EXPECT_TRUE(engine.Propose(ToBytes("x")).status().IsUnavailable());
+}
+
+TEST(RaftTest, ReelectsAfterLeaderCrash) {
+  RaftEngine engine(BaseConfig(5));
+  ASSERT_TRUE(engine.Propose(ToBytes("e1")).ok());
+  int32_t old_leader = engine.leader();
+  engine.CrashLeader();
+  auto result = engine.Propose(ToBytes("e2"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(engine.leader(), old_leader);
+}
+
+// Parameterized cross-engine property: every engine commits a batch of
+// payloads and reports sane metrics.
+class EngineSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EngineSweep, CommitsBatch) {
+  auto engine = MakeEngine(GetParam(), BaseConfig(4));
+  ASSERT_TRUE(engine.ok());
+  for (int i = 0; i < 5; ++i) {
+    auto r = engine.value()->Propose(ToBytes("payload-" + std::to_string(i)));
+    ASSERT_TRUE(r.ok()) << GetParam() << " block " << i;
+    EXPECT_GT(r->metrics.messages, 0u);
+    EXPECT_GT(r->metrics.latency_us, 0);
+  }
+  EXPECT_GT(engine.value()->now_us(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, EngineSweep,
+                         ::testing::Values("pow", "pos", "pbft", "raft"));
+
+}  // namespace
+}  // namespace consensus
+}  // namespace provledger

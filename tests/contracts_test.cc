@@ -1,0 +1,273 @@
+// Contract runtime tests: gas metering, transactional state, events, plus
+// the SmartProvenance voting and PrivChain incentive contracts.
+
+#include <gtest/gtest.h>
+
+#include "common/codec.h"
+#include "contracts/incentive.h"
+#include "contracts/runtime.h"
+#include "contracts/voting.h"
+
+namespace provledger {
+namespace contracts {
+namespace {
+
+// A tiny contract for runtime-mechanics tests.
+class CounterContract : public Contract {
+ public:
+  std::string name() const override { return "counter"; }
+  Result<Bytes> Invoke(ContractContext* ctx, const std::string& method,
+                       const Bytes& /*args*/) override {
+    if (method == "increment") {
+      uint64_t value = 0;
+      auto state = ctx->GetState("count");
+      if (state.ok()) {
+        Decoder dec(state.value());
+        PROVLEDGER_RETURN_NOT_OK(dec.GetU64(&value));
+      }
+      ++value;
+      Encoder enc;
+      enc.PutU64(value);
+      PROVLEDGER_RETURN_NOT_OK(ctx->PutState("count", enc.TakeBuffer()));
+      PROVLEDGER_RETURN_NOT_OK(
+          ctx->EmitEvent("incremented", std::to_string(value)));
+      Encoder out;
+      out.PutU64(value);
+      return out.TakeBuffer();
+    }
+    if (method == "fail_after_write") {
+      PROVLEDGER_RETURN_NOT_OK(ctx->PutState("count", ToBytes("garbage")));
+      return Status::Aborted("deliberate failure");
+    }
+    if (method == "burn_gas") {
+      for (int i = 0; i < 1'000'000; ++i) {
+        PROVLEDGER_RETURN_NOT_OK(ctx->PutState("x", ToBytes("y")));
+      }
+      return Bytes{};
+    }
+    return Status::InvalidArgument("unknown method");
+  }
+};
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  RuntimeTest() : clock_(1000), runtime_(&clock_) {
+    EXPECT_TRUE(runtime_.Deploy(std::make_unique<CounterContract>()).ok());
+  }
+  SimClock clock_;
+  ContractRuntime runtime_;
+};
+
+TEST_F(RuntimeTest, InvokeAndPersistState) {
+  auto r1 = runtime_.Invoke("counter", "increment", {}, "alice");
+  ASSERT_TRUE(r1.ok());
+  auto r2 = runtime_.Invoke("counter", "increment", {}, "bob");
+  ASSERT_TRUE(r2.ok());
+  Decoder dec(r2->return_value);
+  uint64_t value = 0;
+  ASSERT_TRUE(dec.GetU64(&value).ok());
+  EXPECT_EQ(value, 2u);
+}
+
+TEST_F(RuntimeTest, FailureRollsBackState) {
+  ASSERT_TRUE(runtime_.Invoke("counter", "increment", {}, "alice").ok());
+  EXPECT_FALSE(
+      runtime_.Invoke("counter", "fail_after_write", {}, "alice").ok());
+  // State still decodes as the counter value 1.
+  auto r = runtime_.Invoke("counter", "increment", {}, "alice");
+  ASSERT_TRUE(r.ok());
+  Decoder dec(r->return_value);
+  uint64_t value = 0;
+  ASSERT_TRUE(dec.GetU64(&value).ok());
+  EXPECT_EQ(value, 2u);
+}
+
+TEST_F(RuntimeTest, GasLimitEnforced) {
+  auto r = runtime_.Invoke("counter", "burn_gas", {}, "alice");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(RuntimeTest, EventsRecordedOnlyOnSuccess) {
+  ASSERT_TRUE(runtime_.Invoke("counter", "increment", {}, "alice").ok());
+  EXPECT_FALSE(
+      runtime_.Invoke("counter", "fail_after_write", {}, "alice").ok());
+  ASSERT_EQ(runtime_.event_log().size(), 1u);
+  EXPECT_EQ(runtime_.event_log()[0].name, "incremented");
+}
+
+TEST_F(RuntimeTest, UnknownContractAndDuplicateDeploy) {
+  EXPECT_TRUE(runtime_.Invoke("ghost", "m", {}, "a").status().IsNotFound());
+  EXPECT_TRUE(runtime_.Deploy(std::make_unique<CounterContract>())
+                  .IsAlreadyExists());
+}
+
+Bytes StringArgs(const std::string& s) {
+  Encoder enc;
+  enc.PutString(s);
+  return enc.TakeBuffer();
+}
+
+Bytes VoteArgs(const std::string& id, bool approve) {
+  Encoder enc;
+  enc.PutString(id);
+  enc.PutBool(approve);
+  return enc.TakeBuffer();
+}
+
+class VotingTest : public ::testing::Test {
+ protected:
+  VotingTest() : clock_(1000), runtime_(&clock_) {
+    EXPECT_TRUE(runtime_
+                    .Deploy(std::make_unique<ThresholdVoteContract>(
+                        std::set<std::string>{"v1", "v2", "v3", "v4", "v5"},
+                        50))
+                    .ok());
+  }
+  std::string Status_(const std::string& id) {
+    auto r = runtime_.Invoke("threshold-vote", "status", StringArgs(id), "x");
+    EXPECT_TRUE(r.ok());
+    return BytesToString(r->return_value);
+  }
+  SimClock clock_;
+  ContractRuntime runtime_;
+};
+
+TEST_F(VotingTest, ApprovalAtMajority) {
+  ASSERT_TRUE(
+      runtime_.Invoke("threshold-vote", "propose", StringArgs("rec-1"), "v1")
+          .ok());
+  EXPECT_EQ(Status_("rec-1"), "open");
+  ASSERT_TRUE(
+      runtime_.Invoke("threshold-vote", "vote", VoteArgs("rec-1", true), "v1")
+          .ok());
+  ASSERT_TRUE(
+      runtime_.Invoke("threshold-vote", "vote", VoteArgs("rec-1", true), "v2")
+          .ok());
+  EXPECT_EQ(Status_("rec-1"), "open");  // 2 of 5 < 50%+1
+  ASSERT_TRUE(
+      runtime_.Invoke("threshold-vote", "vote", VoteArgs("rec-1", true), "v3")
+          .ok());
+  EXPECT_EQ(Status_("rec-1"), "approved");  // 3 >= floor(5*50/100)+1
+}
+
+TEST_F(VotingTest, RejectionPath) {
+  ASSERT_TRUE(
+      runtime_.Invoke("threshold-vote", "propose", StringArgs("rec-2"), "v1")
+          .ok());
+  for (const char* voter : {"v1", "v2", "v3"}) {
+    ASSERT_TRUE(runtime_
+                    .Invoke("threshold-vote", "vote", VoteArgs("rec-2", false),
+                            voter)
+                    .ok());
+  }
+  EXPECT_EQ(Status_("rec-2"), "rejected");
+}
+
+TEST_F(VotingTest, NonVoterRejected) {
+  ASSERT_TRUE(
+      runtime_.Invoke("threshold-vote", "propose", StringArgs("rec-3"), "v1")
+          .ok());
+  auto r = runtime_.Invoke("threshold-vote", "vote", VoteArgs("rec-3", true),
+                           "intruder");
+  EXPECT_TRUE(r.status().IsPermissionDenied());
+}
+
+TEST_F(VotingTest, DoubleVoteRejected) {
+  ASSERT_TRUE(
+      runtime_.Invoke("threshold-vote", "propose", StringArgs("rec-4"), "v1")
+          .ok());
+  ASSERT_TRUE(
+      runtime_.Invoke("threshold-vote", "vote", VoteArgs("rec-4", true), "v1")
+          .ok());
+  EXPECT_TRUE(
+      runtime_.Invoke("threshold-vote", "vote", VoteArgs("rec-4", true), "v1")
+          .status()
+          .IsAlreadyExists());
+}
+
+TEST_F(VotingTest, ClosedBallotRejectsVotes) {
+  ASSERT_TRUE(
+      runtime_.Invoke("threshold-vote", "propose", StringArgs("rec-5"), "v1")
+          .ok());
+  for (const char* voter : {"v1", "v2", "v3"}) {
+    ASSERT_TRUE(
+        runtime_.Invoke("threshold-vote", "vote", VoteArgs("rec-5", true),
+                        voter)
+            .ok());
+  }
+  EXPECT_TRUE(
+      runtime_.Invoke("threshold-vote", "vote", VoteArgs("rec-5", true), "v4")
+          .status()
+          .IsFailedPrecondition());
+}
+
+class IncentiveTest : public ::testing::Test {
+ protected:
+  IncentiveTest() : clock_(1000), runtime_(&clock_) {
+    EXPECT_TRUE(
+        runtime_.Deploy(std::make_unique<IncentiveContract>(10)).ok());
+  }
+  uint64_t Balance(const std::string& account) {
+    auto r = runtime_.Invoke("incentive", "balance",
+                             IncentiveContract::BalanceArgs(account), "x");
+    EXPECT_TRUE(r.ok());
+    Decoder dec(r->return_value);
+    uint64_t v = 0;
+    EXPECT_TRUE(dec.GetU64(&v).ok());
+    return v;
+  }
+  SimClock clock_;
+  ContractRuntime runtime_;
+};
+
+TEST_F(IncentiveTest, DepositAndReward) {
+  ASSERT_TRUE(runtime_
+                  .Invoke("incentive", "deposit",
+                          IncentiveContract::DepositArgs("sponsor", 100),
+                          "sponsor")
+                  .ok());
+  EXPECT_EQ(Balance("sponsor"), 100u);
+  ASSERT_TRUE(runtime_
+                  .Invoke("incentive", "reward",
+                          IncentiveContract::RewardArgs("worker", 30),
+                          "sponsor")
+                  .ok());
+  EXPECT_EQ(Balance("sponsor"), 70u);
+  EXPECT_EQ(Balance("worker"), 30u);
+}
+
+TEST_F(IncentiveTest, RewardRequiresEscrow) {
+  auto r = runtime_.Invoke("incentive", "reward",
+                           IncentiveContract::RewardArgs("worker", 5),
+                           "broke-sponsor");
+  EXPECT_TRUE(r.status().IsFailedPrecondition());
+}
+
+TEST_F(IncentiveTest, ProofRewardOncePerProof) {
+  ASSERT_TRUE(runtime_
+                  .Invoke("incentive", "deposit",
+                          IncentiveContract::DepositArgs("verifier", 100),
+                          "verifier")
+                  .ok());
+  ASSERT_TRUE(
+      runtime_
+          .Invoke("incentive", "record_proof",
+                  IncentiveContract::RecordProofArgs("farmer", "zkrp-1"),
+                  "verifier")
+          .ok());
+  EXPECT_EQ(Balance("farmer"), 10u);
+  // Replaying the same proof id does not double-pay.
+  EXPECT_TRUE(
+      runtime_
+          .Invoke("incentive", "record_proof",
+                  IncentiveContract::RecordProofArgs("farmer", "zkrp-1"),
+                  "verifier")
+          .status()
+          .IsAlreadyExists());
+  EXPECT_EQ(Balance("farmer"), 10u);
+}
+
+}  // namespace
+}  // namespace contracts
+}  // namespace provledger

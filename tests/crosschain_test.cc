@@ -1,0 +1,495 @@
+// RQ3 tests: HTLC atomic swaps (happy + every abort schedule), notary
+// committees, relay-chain foreign verification, pegged sidechain, Vassago
+// dependency-first queries, and ForensiCross collaboration.
+
+#include <gtest/gtest.h>
+
+#include "crosschain/forensicross.h"
+#include "crosschain/htlc.h"
+#include "crosschain/provquery.h"
+#include "crosschain/relay.h"
+#include "crosschain/sidechain.h"
+
+namespace provledger {
+namespace crosschain {
+namespace {
+
+class HtlcTest : public ::testing::Test {
+ protected:
+  HtlcTest()
+      : clock_(1'000'000), ledger_a_("chain-a", &clock_),
+        ledger_b_("chain-b", &clock_) {
+    EXPECT_TRUE(ledger_a_.Mint("alice", 100).ok());
+    EXPECT_TRUE(ledger_b_.Mint("bob", 50).ok());
+  }
+  SimClock clock_;
+  AssetLedger ledger_a_;
+  AssetLedger ledger_b_;
+};
+
+TEST_F(HtlcTest, BasicLedgerOperations) {
+  EXPECT_EQ(ledger_a_.BalanceOf("alice").value(), 100u);
+  ASSERT_TRUE(ledger_a_.Transfer("alice", "carol", 30).ok());
+  EXPECT_EQ(ledger_a_.BalanceOf("carol").value(), 30u);
+  EXPECT_TRUE(
+      ledger_a_.Transfer("alice", "carol", 1000).IsFailedPrecondition());
+}
+
+TEST_F(HtlcTest, ClaimWithCorrectPreimage) {
+  Bytes secret = ToBytes("the-secret");
+  auto lock = crypto::HashLock::FromSecret(secret);
+  auto escrow = ledger_a_.Lock("alice", "bob", 40, lock,
+                               clock_.NowMicros() + 1000);
+  ASSERT_TRUE(escrow.ok());
+  EXPECT_EQ(ledger_a_.BalanceOf("alice").value(), 60u);
+
+  // Wrong preimage, wrong recipient both fail.
+  EXPECT_TRUE(ledger_a_.Claim(escrow.value(), "bob", ToBytes("wrong"))
+                  .IsUnauthenticated());
+  EXPECT_TRUE(ledger_a_.Claim(escrow.value(), "eve", secret)
+                  .IsPermissionDenied());
+
+  ASSERT_TRUE(ledger_a_.Claim(escrow.value(), "bob", secret).ok());
+  EXPECT_EQ(ledger_a_.BalanceOf("bob").value(), 40u);
+  // Revealed preimage is now public.
+  auto revealed = ledger_a_.RevealedPreimage(escrow.value());
+  ASSERT_TRUE(revealed.ok());
+  EXPECT_EQ(revealed.value(), secret);
+  // No double-claim.
+  EXPECT_TRUE(
+      ledger_a_.Claim(escrow.value(), "bob", secret).IsFailedPrecondition());
+}
+
+TEST_F(HtlcTest, TimeoutSemantics) {
+  Bytes secret = ToBytes("s");
+  auto lock = crypto::HashLock::FromSecret(secret);
+  auto escrow =
+      ledger_a_.Lock("alice", "bob", 40, lock, clock_.NowMicros() + 1000);
+  ASSERT_TRUE(escrow.ok());
+
+  // Refund before timeout fails; claim after timeout fails.
+  EXPECT_TRUE(
+      ledger_a_.Refund(escrow.value(), "alice").IsFailedPrecondition());
+  clock_.Advance(2000);
+  EXPECT_TRUE(ledger_a_.Claim(escrow.value(), "bob", secret).IsTimedOut());
+  ASSERT_TRUE(ledger_a_.Refund(escrow.value(), "alice").ok());
+  EXPECT_EQ(ledger_a_.BalanceOf("alice").value(), 100u);
+}
+
+TEST_F(HtlcTest, AtomicSwapHappyPath) {
+  AtomicSwap swap(&ledger_a_, &ledger_b_, &clock_);
+  auto outcome =
+      swap.Execute("alice", "bob", 40, 20, ToBytes("swap-secret-1"));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->completed);
+  // Alice: -40 on A, +20 on B. Bob: +40 on A, -20 on B.
+  EXPECT_EQ(ledger_a_.BalanceOf("alice").value(), 60u);
+  EXPECT_EQ(ledger_a_.BalanceOf("bob").value(), 40u);
+  EXPECT_EQ(ledger_b_.BalanceOf("bob").value(), 30u);
+  EXPECT_EQ(ledger_b_.BalanceOf("alice").value(), 20u);
+}
+
+TEST_F(HtlcTest, AtomicSwapAbortLeavesNoHalfState) {
+  AtomicSwap swap(&ledger_a_, &ledger_b_, &clock_);
+  auto outcome =
+      swap.ExecuteWithBobAbort("alice", "bob", 40, 20, ToBytes("secret"));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->refunded);
+  // Everything back where it started: atomicity under abort.
+  EXPECT_EQ(ledger_a_.BalanceOf("alice").value(), 100u);
+  EXPECT_EQ(ledger_a_.BalanceOf("bob").value(), 0u);
+  EXPECT_EQ(ledger_b_.BalanceOf("bob").value(), 50u);
+  EXPECT_EQ(ledger_b_.BalanceOf("alice").value(), 0u);
+}
+
+TEST_F(HtlcTest, EscrowOperationsAnchoredOnChain) {
+  AtomicSwap swap(&ledger_a_, &ledger_b_, &clock_);
+  ASSERT_TRUE(swap.Execute("alice", "bob", 10, 5, ToBytes("x")).ok());
+  // Mint + lock + claim at minimum on each chain.
+  EXPECT_GE(ledger_a_.chain()->height(), 3u);
+  EXPECT_GE(ledger_b_.chain()->height(), 3u);
+  EXPECT_TRUE(ledger_a_.chain()->VerifyIntegrity().ok());
+}
+
+TEST(NotaryTest, ThresholdAttestation) {
+  NotaryCommittee committee("test", 5, 3);
+  Bytes statement = ToBytes("chain-a block 7 contains tx 0xabc");
+  // All sign.
+  EXPECT_TRUE(committee.Verify(committee.Attest(statement)));
+  // Exactly threshold.
+  EXPECT_TRUE(committee.Verify(committee.Attest(statement, 3)));
+  // Below threshold.
+  EXPECT_FALSE(committee.Verify(committee.Attest(statement, 2)));
+}
+
+TEST(NotaryTest, TamperedStatementFails) {
+  NotaryCommittee committee("test", 4, 3);
+  auto attestation = committee.Attest(ToBytes("honest statement"));
+  attestation.statement = ToBytes("forged statement");
+  EXPECT_FALSE(committee.Verify(attestation));
+}
+
+class RelayTest : public ::testing::Test {
+ protected:
+  RelayTest() : clock_(0), relay_(&clock_), source_(MakeOptions()) {}
+  static ledger::ChainOptions MakeOptions() {
+    ledger::ChainOptions opts;
+    opts.chain_id = "source-chain";
+    return opts;
+  }
+  void Grow(int blocks) {
+    for (int i = 0; i < blocks; ++i) {
+      ledger::Transaction tx = ledger::Transaction::MakeSystem(
+          "data", "ch", ToBytes("payload-" + std::to_string(i)),
+          1000 + i, i);
+      ASSERT_TRUE(source_.Append({tx}, 1000 + i, "src").ok());
+      txs_.push_back(tx);
+    }
+  }
+  void SyncAll() {
+    for (uint64_t h = relay_.LatestHeight("source-chain").value() + 1;
+         h <= source_.height(); ++h) {
+      ASSERT_TRUE(relay_.SubmitHeader("source-chain",
+                                      source_.GetHeader(h).value())
+                      .ok());
+    }
+  }
+  SimClock clock_;
+  RelayChain relay_;
+  ledger::Blockchain source_;
+  std::vector<ledger::Transaction> txs_;
+};
+
+TEST_F(RelayTest, HeaderContinuityEnforced) {
+  ASSERT_TRUE(
+      relay_.RegisterChain("source-chain", source_.GetHeader(0).value()).ok());
+  Grow(3);
+  // Skipping a height is rejected.
+  EXPECT_TRUE(relay_.SubmitHeader("source-chain", source_.GetHeader(2).value())
+                  .IsInvalidArgument());
+  SyncAll();
+  EXPECT_EQ(relay_.LatestHeight("source-chain").value(), 3u);
+  // A forged continuation is rejected (prev_hash break).
+  ledger::BlockHeader forged = source_.GetHeader(3).value();
+  forged.height = 4;
+  forged.prev_hash = crypto::Sha256::Hash("not-the-tip");
+  EXPECT_TRUE(
+      relay_.SubmitHeader("source-chain", forged).IsInvalidArgument());
+}
+
+TEST_F(RelayTest, ForeignTransactionVerification) {
+  ASSERT_TRUE(
+      relay_.RegisterChain("source-chain", source_.GetHeader(0).value()).ok());
+  Grow(5);
+  SyncAll();
+
+  auto proof = source_.ProveTransaction(txs_[2].Id());
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(relay_
+                  .VerifyForeignTransaction("source-chain", txs_[2].Encode(),
+                                            proof.value())
+                  .ok());
+  // A different transaction's bytes fail.
+  EXPECT_TRUE(relay_
+                  .VerifyForeignTransaction("source-chain", txs_[3].Encode(),
+                                            proof.value())
+                  .IsUnauthenticated());
+  // Unknown chain and unsynced heights fail cleanly.
+  EXPECT_TRUE(relay_
+                  .VerifyForeignTransaction("ghost", txs_[2].Encode(),
+                                            proof.value())
+                  .IsNotFound());
+}
+
+TEST_F(RelayTest, ProofAheadOfSyncRejected) {
+  ASSERT_TRUE(
+      relay_.RegisterChain("source-chain", source_.GetHeader(0).value()).ok());
+  Grow(2);
+  // Only genesis relayed; a proof at height 2 must wait.
+  auto proof = source_.ProveTransaction(txs_[1].Id());
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(relay_
+                  .VerifyForeignTransaction("source-chain", txs_[1].Encode(),
+                                            proof.value())
+                  .IsFailedPrecondition());
+}
+
+TEST_F(RelayTest, MessageBus) {
+  ASSERT_TRUE(
+      relay_.RegisterChain("source-chain", source_.GetHeader(0).value()).ok());
+  ledger::Blockchain other(ledger::ChainOptions{.chain_id = "other"});
+  ASSERT_TRUE(relay_.RegisterChain("other", other.GetHeader(0).value()).ok());
+
+  CrossChainMessage message;
+  message.from_chain = "source-chain";
+  message.to_chain = "other";
+  message.type = "test/hello";
+  message.payload = ToBytes("hi");
+  ASSERT_TRUE(relay_.SendMessage(message).ok());
+  auto inbox = relay_.Inbox("other");
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].type, "test/hello");
+  EXPECT_TRUE(relay_.Inbox("source-chain").empty());
+  // Messages to unregistered chains fail.
+  message.to_chain = "ghost";
+  EXPECT_TRUE(relay_.SendMessage(message).IsNotFound());
+}
+
+TEST(SidechainTest, DepositTransferWithdraw) {
+  SimClock clock(0);
+  PeggedSidechain peg(&clock);
+  peg.FundMain("alice", 100);
+
+  ASSERT_TRUE(peg.Deposit("alice", 60).ok());
+  EXPECT_EQ(peg.MainBalance("alice"), 40u);
+  EXPECT_EQ(peg.SideBalance("alice"), 60u);
+  EXPECT_EQ(peg.EscrowBalance(), 60u);
+
+  ASSERT_TRUE(peg.SideTransfer("alice", "bob", 25).ok());
+  EXPECT_EQ(peg.SideBalance("bob"), 25u);
+
+  // Withdraw: burn, checkpoint, then complete.
+  auto burn = peg.WithdrawInitiate("bob", 25);
+  ASSERT_TRUE(burn.ok());
+  // Before checkpointing, the main chain refuses.
+  EXPECT_TRUE(
+      peg.WithdrawComplete("bob", burn.value()).IsFailedPrecondition());
+  ASSERT_TRUE(peg.Checkpoint().ok());
+  ASSERT_TRUE(peg.WithdrawComplete("bob", burn.value()).ok());
+  EXPECT_EQ(peg.MainBalance("bob"), 25u);
+  EXPECT_EQ(peg.EscrowBalance(), 35u);
+  // No double withdrawal.
+  EXPECT_TRUE(peg.WithdrawComplete("bob", burn.value()).IsAlreadyExists());
+}
+
+TEST(SidechainTest, WithdrawGuards) {
+  SimClock clock(0);
+  PeggedSidechain peg(&clock);
+  peg.FundMain("alice", 10);
+  ASSERT_TRUE(peg.Deposit("alice", 10).ok());
+  EXPECT_TRUE(peg.Deposit("alice", 10).IsFailedPrecondition());
+  auto burn = peg.WithdrawInitiate("alice", 10);
+  ASSERT_TRUE(burn.ok());
+  ASSERT_TRUE(peg.Checkpoint().ok());
+  // Only the burner withdraws.
+  EXPECT_TRUE(peg.WithdrawComplete("eve", burn.value()).IsPermissionDenied());
+  EXPECT_TRUE(
+      peg.WithdrawComplete("alice", crypto::Sha256::Hash("ghost")).IsNotFound());
+  EXPECT_TRUE(peg.WithdrawComplete("alice", burn.value()).ok());
+}
+
+// --- Vassago-style cross-chain provenance queries --------------------------
+
+class ProvQueryTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kOrgs = 4;
+
+  ProvQueryTest() : clock_(0), deps_(&clock_) {
+    for (size_t i = 0; i < kOrgs; ++i) {
+      ledger::ChainOptions opts;
+      opts.chain_id = "org-" + std::to_string(i);
+      chains_.push_back(std::make_unique<ledger::Blockchain>(opts));
+      stores_.push_back(
+          std::make_unique<prov::ProvenanceStore>(chains_.back().get(),
+                                                  &clock_));
+    }
+    // The traced entity "shipment-7" has records on orgs 0 and 2 only.
+    Anchor(0, "sq-1", "shipment-7", "register");
+    Anchor(2, "sq-2", "shipment-7", "receive");
+    Anchor(1, "sq-3", "unrelated", "noise");
+    EXPECT_TRUE(deps_.RecordDependency("shipment-7", "org-0").ok());
+    EXPECT_TRUE(deps_.RecordDependency("shipment-7", "org-2").ok());
+
+    std::vector<OrgChain> orgs;
+    for (size_t i = 0; i < kOrgs; ++i) {
+      OrgChain org;
+      org.chain_id = "org-" + std::to_string(i);
+      org.chain = chains_[i].get();
+      org.store = stores_[i].get();
+      org.query_latency_us = 2000;
+      orgs.push_back(org);
+    }
+    engine_ = std::make_unique<CrossChainQueryEngine>(orgs, &deps_, &clock_);
+  }
+
+  void Anchor(size_t org, const std::string& id, const std::string& subject,
+              const std::string& op) {
+    prov::ProvenanceRecord rec;
+    rec.record_id = id;
+    rec.operation = op;
+    rec.subject = subject;
+    rec.agent = "org-" + std::to_string(org);
+    rec.timestamp = 100;
+    ASSERT_TRUE(stores_[org]->Anchor(rec).ok());
+  }
+
+  SimClock clock_;
+  DependencyChain deps_;
+  std::vector<std::unique_ptr<ledger::Blockchain>> chains_;
+  std::vector<std::unique_ptr<prov::ProvenanceStore>> stores_;
+  std::unique_ptr<CrossChainQueryEngine> engine_;
+};
+
+TEST_F(ProvQueryTest, BothEnginesReturnSameRecords) {
+  auto sequential = engine_->SequentialTrace("shipment-7");
+  auto dependency = engine_->DependencyFirstTrace("shipment-7");
+  ASSERT_EQ(sequential.records.size(), 2u);
+  ASSERT_EQ(dependency.records.size(), 2u);
+  for (const auto& rec : sequential.records) EXPECT_TRUE(rec.verified);
+  for (const auto& rec : dependency.records) EXPECT_TRUE(rec.verified);
+}
+
+TEST_F(ProvQueryTest, DependencyFirstIsFasterAndNarrower) {
+  auto sequential = engine_->SequentialTrace("shipment-7");
+  auto dependency = engine_->DependencyFirstTrace("shipment-7");
+  // Sequential touches all 4 chains serially; Vassago touches 2 in
+  // parallel after one dependency lookup.
+  EXPECT_EQ(sequential.chains_contacted, kOrgs);
+  EXPECT_EQ(dependency.chains_contacted, 2u);
+  EXPECT_LT(dependency.latency_us, sequential.latency_us / 2);
+}
+
+TEST_F(ProvQueryTest, UnknownEntity) {
+  auto dependency = engine_->DependencyFirstTrace("ghost-entity");
+  EXPECT_TRUE(dependency.records.empty());
+  EXPECT_EQ(dependency.chains_contacted, 0u);
+}
+
+TEST_F(ProvQueryTest, CachedTraceServesRepeatsAndDetectsStaleness) {
+  // §6.2 future-work extension: repeated queries hit the cache; a new
+  // anchor on a relevant chain invalidates it (freshness, §5.1).
+  auto first = engine_->CachedTrace("shipment-7");
+  EXPECT_EQ(engine_->cache_misses(), 1u);
+  ASSERT_EQ(first.records.size(), 2u);
+
+  auto repeat = engine_->CachedTrace("shipment-7");
+  EXPECT_EQ(engine_->cache_hits(), 1u);
+  ASSERT_EQ(repeat.records.size(), 2u);
+  // Hit pays only the height probe, far below a full fan-out.
+  EXPECT_LT(repeat.latency_us, first.latency_us / 2);
+
+  // New record on org-2 -> stale -> refetched, including the new record.
+  Anchor(2, "sq-4", "shipment-7", "inspect");
+  auto refreshed = engine_->CachedTrace("shipment-7");
+  EXPECT_EQ(engine_->cache_misses(), 2u);
+  EXPECT_EQ(refreshed.records.size(), 3u);
+  for (const auto& rec : refreshed.records) EXPECT_TRUE(rec.verified);
+}
+
+TEST_F(ProvQueryTest, DependencyChainIsItselfALedger) {
+  // Each dependency edge is an anchored transaction (auditable).
+  EXPECT_EQ(deps_.ledger().height(), 2u);
+  EXPECT_TRUE(deps_.ledger().VerifyIntegrity().ok());
+}
+
+// --- ForensiCross -----------------------------------------------------------
+
+class ForensiCrossTest : public ::testing::Test {
+ protected:
+  ForensiCrossTest() : clock_(0), fx_(&clock_, /*notaries=*/4) {
+    for (int i = 0; i < 2; ++i) {
+      std::string name = i == 0 ? "agency-us" : "agency-eu";
+      ledger::ChainOptions opts;
+      opts.chain_id = name;
+      chains_.push_back(std::make_unique<ledger::Blockchain>(opts));
+      stores_.push_back(std::make_unique<prov::ProvenanceStore>(
+          chains_.back().get(), &clock_));
+      contents_.push_back(std::make_unique<storage::ContentStore>());
+      managers_.push_back(std::make_unique<forensics::CaseManager>(
+          stores_.back().get(), contents_.back().get(), &clock_));
+      ForensicOrg org;
+      org.name = name;
+      org.chain = chains_.back().get();
+      org.store = stores_.back().get();
+      org.cases = managers_.back().get();
+      EXPECT_TRUE(fx_.RegisterOrg(org).ok());
+    }
+  }
+  SimClock clock_;
+  ForensiCross fx_;
+  std::vector<std::unique_ptr<ledger::Blockchain>> chains_;
+  std::vector<std::unique_ptr<prov::ProvenanceStore>> stores_;
+  std::vector<std::unique_ptr<storage::ContentStore>> contents_;
+  std::vector<std::unique_ptr<forensics::CaseManager>> managers_;
+};
+
+TEST_F(ForensiCrossTest, LinkedCaseStaysInLockstep) {
+  ASSERT_TRUE(fx_.LinkCase("case-x", "lead-1", "2026-06-01").ok());
+  ASSERT_TRUE(fx_.AdvanceLinkedStage("case-x", "lead-1").ok());
+  for (auto& manager : managers_) {
+    auto stage = manager->CurrentStage("case-x");
+    ASSERT_TRUE(stage.ok());
+    EXPECT_EQ(stage.value(), "preservation");
+  }
+}
+
+TEST_F(ForensiCrossTest, NonUnanimousAdvanceRejectedEverywhere) {
+  ASSERT_TRUE(fx_.LinkCase("case-x", "lead-1", "2026-06-01").ok());
+  // Only 3 of 4 notaries sign: rejected, and no org moved.
+  EXPECT_TRUE(fx_.AdvanceLinkedStage("case-x", "lead-1", 3)
+                  .IsPermissionDenied());
+  for (auto& manager : managers_) {
+    EXPECT_EQ(manager->CurrentStage("case-x").value(), "identification");
+  }
+}
+
+TEST_F(ForensiCrossTest, EvidenceSharedAndVerifiedCrossChain) {
+  ASSERT_TRUE(fx_.LinkCase("case-x", "lead-1", "2026-06-01").ok());
+  ASSERT_TRUE(fx_.AdvanceLinkedStage("case-x", "lead-1").ok());  // preserve
+  ASSERT_TRUE(fx_.AdvanceLinkedStage("case-x", "lead-1").ok());  // collect
+  ASSERT_TRUE(managers_[0]
+                  ->CollectEvidence("case-x", "ev-1", "img",
+                                    ToBytes("disk image"), "inv-a")
+                  .ok());
+  auto shared = fx_.ShareEvidence("agency-us", "case-x", "ev-1");
+  ASSERT_TRUE(shared.ok()) << shared.status().ToString();
+  EXPECT_TRUE(fx_.VerifySharedEvidence(shared.value()).ok());
+
+  // Tampered pointer fails recipient verification.
+  auto forged = shared.value();
+  forged.record.fields["finding"] = "planted";
+  EXPECT_FALSE(fx_.VerifySharedEvidence(forged).ok());
+
+  // The pointer message is on the bridge.
+  auto inbox = fx_.bridge()->Inbox("agency-eu");
+  bool pointer_seen = false;
+  for (const auto& message : inbox) {
+    if (message.type == "forensics/evidence-pointer") pointer_seen = true;
+  }
+  EXPECT_TRUE(pointer_seen);
+}
+
+TEST_F(ForensiCrossTest, CrossChainProvenanceExtraction) {
+  ASSERT_TRUE(fx_.LinkCase("case-x", "lead-1", "2026-06-01").ok());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(fx_.AdvanceLinkedStage("case-x", "lead-1").ok());
+  }
+  ASSERT_TRUE(managers_[0]
+                  ->CollectEvidence("case-x", "ev-shared", "img",
+                                    ToBytes("us copy"), "inv-a")
+                  .ok());
+  ASSERT_TRUE(managers_[1]
+                  ->CollectEvidence("case-x", "ev-shared", "img",
+                                    ToBytes("eu copy"), "inv-b")
+                  .ok());
+  auto records = fx_.ExtractProvenance("ev-shared");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_NE(records[0].chain_id, records[1].chain_id);
+  for (const auto& rec : records) EXPECT_TRUE(rec.verified);
+}
+
+TEST_F(ForensiCrossTest, RegistrationGuards) {
+  ForensicOrg duplicate;
+  duplicate.name = "agency-us";
+  duplicate.chain = chains_[0].get();
+  duplicate.store = stores_[0].get();
+  duplicate.cases = managers_[0].get();
+  EXPECT_TRUE(fx_.RegisterOrg(duplicate).IsAlreadyExists());
+  EXPECT_TRUE(fx_.LinkCase("case-y", "l", "d").ok());
+  EXPECT_TRUE(fx_.LinkCase("case-y", "l", "d").IsAlreadyExists());
+  EXPECT_TRUE(fx_.AdvanceLinkedStage("ghost", "l").IsNotFound());
+}
+
+}  // namespace
+}  // namespace crosschain
+}  // namespace provledger

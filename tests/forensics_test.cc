@@ -1,0 +1,172 @@
+// Forensics tests: five-stage case flow with stage-scoped permissions,
+// chain of custody, evidence duplication, Merkle-forest case integrity,
+// tamper detection.
+
+#include <gtest/gtest.h>
+
+#include "domains/forensics/case_manager.h"
+
+namespace provledger {
+namespace forensics {
+namespace {
+
+class CaseTest : public ::testing::Test {
+ protected:
+  CaseTest()
+      : clock_(0), store_(&chain_, &clock_), cm_(&store_, &content_, &clock_) {
+    EXPECT_TRUE(cm_.OpenCase("case-1", "lead-anna", "2026-06-01").ok());
+  }
+
+  // Drive the case to the collection stage and gather one evidence item.
+  void CollectOne(const std::string& evidence_id = "ev-1") {
+    ASSERT_TRUE(cm_.AdvanceStage("case-1", "lead-anna").ok());  // preservation
+    ASSERT_TRUE(cm_.AdvanceStage("case-1", "lead-anna").ok());  // collection
+    ASSERT_TRUE(cm_.CollectEvidence("case-1", evidence_id, "img",
+                                    ToBytes("disk image bytes"), "inv-bob")
+                    .ok());
+  }
+
+  ledger::Blockchain chain_;
+  SimClock clock_;
+  prov::ProvenanceStore store_;
+  storage::ContentStore content_;
+  CaseManager cm_;
+};
+
+TEST_F(CaseTest, FiveStagesInOrder) {
+  EXPECT_EQ(ForensicStages().size(), 5u);
+  auto stage = cm_.CurrentStage("case-1");
+  ASSERT_TRUE(stage.ok());
+  EXPECT_EQ(stage.value(), "identification");
+  for (size_t i = 0; i + 1 < ForensicStages().size(); ++i) {
+    ASSERT_TRUE(cm_.AdvanceStage("case-1", "lead-anna").ok());
+  }
+  stage = cm_.CurrentStage("case-1");
+  ASSERT_TRUE(stage.ok());
+  EXPECT_EQ(stage.value(), "reporting");
+}
+
+TEST_F(CaseTest, StageScopedPermissions) {
+  // Identification stage: identify allowed, collect not.
+  ASSERT_TRUE(cm_.IdentifySource("case-1", "suspect-laptop", "inv-bob").ok());
+  EXPECT_TRUE(cm_.CollectEvidence("case-1", "ev-1", "img", ToBytes("x"),
+                                  "inv-bob")
+                  .IsPermissionDenied());
+  CollectOne();
+  // Collection stage: identify no longer allowed.
+  EXPECT_TRUE(
+      cm_.IdentifySource("case-1", "another", "inv-bob").IsPermissionDenied());
+  // Analysis actions require the analysis stage.
+  EXPECT_TRUE(cm_.AnalyzeEvidence("case-1", "ev-1", "found logs", "analyst-z")
+                  .IsPermissionDenied());
+  ASSERT_TRUE(cm_.AdvanceStage("case-1", "lead-anna").ok());  // analysis
+  EXPECT_TRUE(
+      cm_.AnalyzeEvidence("case-1", "ev-1", "found logs", "analyst-z").ok());
+}
+
+TEST_F(CaseTest, FullCaseLifecycle) {
+  ASSERT_TRUE(cm_.IdentifySource("case-1", "laptop", "inv-bob").ok());
+  CollectOne();
+  ASSERT_TRUE(cm_.AdvanceStage("case-1", "lead-anna").ok());  // analysis
+  auto dup = cm_.DuplicateEvidence("case-1", "ev-1", "analyst-z");
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(dup.value(), "ev-1-dup");
+  ASSERT_TRUE(
+      cm_.AnalyzeEvidence("case-1", "ev-1", "deleted-files", "analyst-z").ok());
+  ASSERT_TRUE(cm_.AdvanceStage("case-1", "lead-anna").ok());  // reporting
+  ASSERT_TRUE(cm_.FileReport("case-1", "summary of findings", "lead-anna",
+                             "2026-06-11")
+                  .ok());
+  auto c = cm_.GetCase("case-1");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->closure_date, "2026-06-11");
+  EXPECT_TRUE(chain_.VerifyIntegrity().ok());
+}
+
+TEST_F(CaseTest, ChainOfCustody) {
+  CollectOne();
+  auto ev = cm_.GetEvidence("case-1", "ev-1");
+  ASSERT_TRUE(ev.ok());
+  EXPECT_EQ(ev->custodian, "inv-bob");
+
+  // Only the current custodian can transfer.
+  EXPECT_TRUE(cm_.TransferCustody("case-1", "ev-1", "mallory", "eve")
+                  .IsPermissionDenied());
+  ASSERT_TRUE(
+      cm_.TransferCustody("case-1", "ev-1", "inv-bob", "analyst-z").ok());
+  ev = cm_.GetEvidence("case-1", "ev-1");
+  ASSERT_TRUE(ev.ok());
+  EXPECT_EQ(ev->custodian, "analyst-z");
+  EXPECT_EQ(ev->custody_chain,
+            (std::vector<std::string>{"inv-bob", "analyst-z"}));
+
+  // The custody history is on-ledger.
+  auto history = cm_.EvidenceHistory("case-1", "ev-1");
+  ASSERT_EQ(history.size(), 2u);  // collect + transfer
+  EXPECT_EQ(history[1].operation, "transfer-custody");
+}
+
+TEST_F(CaseTest, CaseIntegrityViaMerkleForest) {
+  CollectOne("ev-1");
+  ASSERT_TRUE(cm_.CollectEvidence("case-1", "ev-2", "txt",
+                                  ToBytes("chat log"), "inv-bob")
+                  .ok());
+  EXPECT_TRUE(cm_.VerifyEvidence("case-1", "ev-1").ok());
+  EXPECT_TRUE(cm_.VerifyEvidence("case-1", "ev-2").ok());
+  auto root = cm_.CaseRoot("case-1");
+  ASSERT_TRUE(root.ok());
+  EXPECT_NE(root.value(), crypto::ZeroDigest());
+}
+
+TEST_F(CaseTest, ContentTamperingDetected) {
+  CollectOne();
+  auto ev = cm_.GetEvidence("case-1", "ev-1");
+  ASSERT_TRUE(ev.ok());
+  ASSERT_TRUE(content_.CorruptForTesting(ev->content_hash));
+  EXPECT_TRUE(cm_.VerifyEvidence("case-1", "ev-1").IsCorruption());
+  // Duplication must also refuse a corrupted original.
+  ASSERT_TRUE(cm_.AdvanceStage("case-1", "lead-anna").ok());  // analysis
+  EXPECT_TRUE(
+      cm_.DuplicateEvidence("case-1", "ev-1", "analyst-z").status()
+          .IsCorruption());
+}
+
+TEST_F(CaseTest, CasesAreIsolatedPartitions) {
+  CollectOne();
+  ASSERT_TRUE(cm_.OpenCase("case-2", "lead-carl", "2026-06-02").ok());
+  ASSERT_TRUE(cm_.AdvanceStage("case-2", "lead-carl").ok());
+  ASSERT_TRUE(cm_.AdvanceStage("case-2", "lead-carl").ok());
+  ASSERT_TRUE(cm_.CollectEvidence("case-2", "ev-1", "img",
+                                  ToBytes("other image"), "inv-dan")
+                  .ok());
+  // Same evidence id, different cases: distinct items and partitions.
+  auto r1 = cm_.CaseRoot("case-1");
+  auto r2 = cm_.CaseRoot("case-2");
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_NE(r1.value(), r2.value());
+  EXPECT_TRUE(cm_.VerifyEvidence("case-2", "ev-1").ok());
+}
+
+TEST_F(CaseTest, RecordsCarryStageField) {
+  CollectOne();
+  auto history = cm_.EvidenceHistory("case-1", "ev-1");
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_EQ(history[0].fields.at(prov::fields::kInvestigationStage),
+            "collection");
+  EXPECT_EQ(history[0].fields.at(prov::fields::kCaseNumber), "case-1");
+  EXPECT_TRUE(history[0].Validate().ok());
+}
+
+TEST_F(CaseTest, Guards) {
+  EXPECT_TRUE(cm_.OpenCase("case-1", "x", "d").IsAlreadyExists());
+  EXPECT_TRUE(cm_.GetCase("ghost").status().IsNotFound());
+  EXPECT_TRUE(cm_.GetEvidence("case-1", "ghost").status().IsNotFound());
+  EXPECT_TRUE(cm_.VerifyEvidence("case-1", "ghost").IsNotFound());
+  EXPECT_TRUE(cm_.AdvanceStage("case-1", "intruder").IsPermissionDenied());
+  EXPECT_TRUE(cm_.CaseRoot("ghost").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace forensics
+}  // namespace provledger

@@ -1,0 +1,163 @@
+// Healthcare tests: consent-gated EHR lifecycle, HIPAA-style denial audit,
+// break-glass emergency access, searchable-index retrieval.
+
+#include <gtest/gtest.h>
+
+#include "domains/healthcare/ehr.h"
+
+namespace provledger {
+namespace healthcare {
+namespace {
+
+class EhrTest : public ::testing::Test {
+ protected:
+  EhrTest() : clock_(0), store_(&chain_, &clock_), ehr_(&store_, &content_, &clock_) {
+    EXPECT_TRUE(ehr_.RegisterPatient("patient-1").ok());
+    EXPECT_TRUE(ehr_.rbac()->AssignRole("dr-smith", "doctor").ok());
+    EXPECT_TRUE(ehr_.rbac()->AssignRole("nurse-kim", "nurse").ok());
+    EXPECT_TRUE(ehr_.rbac()->AssignRole("dr-jones", "doctor").ok());
+  }
+
+  std::string AddTreatmentRecord() {
+    EXPECT_TRUE(ehr_.GrantConsent("patient-1", "dr-smith",
+                                  {"treatment", "search"})
+                    .ok());
+    auto id = ehr_.AddRecord("patient-1", "dr-smith",
+                             "bp 120/80, prescribed statins",
+                             {"cardiology", "statins"});
+    EXPECT_TRUE(id.ok());
+    return id.value_or("");
+  }
+
+  ledger::Blockchain chain_;
+  SimClock clock_;
+  prov::ProvenanceStore store_;
+  storage::ContentStore content_;
+  EhrSystem ehr_;
+};
+
+TEST_F(EhrTest, WriteRequiresRoleAndConsent) {
+  // No consent yet: even a doctor cannot write.
+  EXPECT_TRUE(ehr_.AddRecord("patient-1", "dr-smith", "note", {})
+                  .status()
+                  .IsPermissionDenied());
+  // A nurse (no ehr:write) cannot write even with consent.
+  ASSERT_TRUE(
+      ehr_.GrantConsent("patient-1", "nurse-kim", {"treatment"}).ok());
+  EXPECT_TRUE(ehr_.AddRecord("patient-1", "nurse-kim", "note", {})
+                  .status()
+                  .IsPermissionDenied());
+  // Doctor with consent succeeds.
+  std::string id = AddTreatmentRecord();
+  EXPECT_FALSE(id.empty());
+}
+
+TEST_F(EhrTest, ReadGatedByConsentAndPurpose) {
+  std::string id = AddTreatmentRecord();
+  // The treating doctor reads for treatment.
+  auto note = ehr_.ReadRecord(id, "dr-smith", "treatment");
+  ASSERT_TRUE(note.ok());
+  EXPECT_NE(note->find("statins"), std::string::npos);
+
+  // Another doctor without consent is denied.
+  EXPECT_TRUE(ehr_.ReadRecord(id, "dr-jones", "treatment")
+                  .status()
+                  .IsPermissionDenied());
+  // Purpose matters: consent for treatment does not allow research reads.
+  EXPECT_TRUE(ehr_.ReadRecord(id, "dr-smith", "research")
+                  .status()
+                  .IsPermissionDenied());
+  // The patient can always read their own record... if credentialed.
+  EXPECT_TRUE(ehr_.rbac()->AssignRole("patient-1", "nurse").ok());
+  EXPECT_TRUE(ehr_.ReadRecord(id, "patient-1", "self").ok());
+}
+
+TEST_F(EhrTest, ConsentRevocationTakesEffect) {
+  std::string id = AddTreatmentRecord();
+  ASSERT_TRUE(ehr_.ReadRecord(id, "dr-smith", "treatment").ok());
+  ASSERT_TRUE(ehr_.RevokeConsent("patient-1", "dr-smith").ok());
+  EXPECT_TRUE(ehr_.ReadRecord(id, "dr-smith", "treatment")
+                  .status()
+                  .IsPermissionDenied());
+  EXPECT_TRUE(ehr_.RevokeConsent("patient-1", "dr-smith").IsNotFound());
+}
+
+TEST_F(EhrTest, EmergencyBreakGlassIsAuditedLoudly) {
+  std::string id = AddTreatmentRecord();
+  // dr-jones has no consent but invokes emergency access.
+  auto note = ehr_.ReadRecord(id, "dr-jones", "treatment",
+                              /*emergency=*/true);
+  ASSERT_TRUE(note.ok());
+
+  bool flagged = false;
+  for (const auto& rec : ehr_.AccessAudit("patient-1")) {
+    if (rec.agent == "dr-jones" &&
+        rec.fields.count("outcome") &&
+        rec.fields.at("outcome") == "ok:EMERGENCY") {
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged);
+  // Role still required even in emergencies.
+  EXPECT_TRUE(ehr_.ReadRecord(id, "random-person", "treatment", true)
+                  .status()
+                  .IsPermissionDenied());
+}
+
+TEST_F(EhrTest, DeniedAccessesAreAudited) {
+  std::string id = AddTreatmentRecord();
+  (void)ehr_.ReadRecord(id, "dr-jones", "treatment");
+  bool denied_audited = false;
+  for (const auto& rec : ehr_.AccessAudit("patient-1")) {
+    if (rec.agent == "dr-jones" && rec.fields.count("outcome") &&
+        rec.fields.at("outcome") == "denied:consent") {
+      denied_audited = true;
+    }
+  }
+  EXPECT_TRUE(denied_audited);
+}
+
+TEST_F(EhrTest, SearchableIndexWithDelegation) {
+  std::string id = AddTreatmentRecord();
+  // The patient searches their own records.
+  auto hits = ehr_.Search("patient-1", "patient-1", "cardiology");
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0], id);
+  // Unknown keyword -> empty.
+  auto none = ehr_.Search("patient-1", "patient-1", "oncology");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  // dr-smith holds "search" consent; dr-jones does not.
+  EXPECT_TRUE(ehr_.Search("patient-1", "dr-smith", "statins").ok());
+  EXPECT_TRUE(ehr_.Search("patient-1", "dr-jones", "statins")
+                  .status()
+                  .IsPermissionDenied());
+}
+
+TEST_F(EhrTest, ContentOffChainHashOnChain) {
+  std::string id = AddTreatmentRecord();
+  auto rec = store_.GetRecord(id);
+  ASSERT_TRUE(rec.ok());
+  // The ledger record does not contain the note text, only its hash.
+  EXPECT_NE(rec->payload_hash, crypto::ZeroDigest());
+  EXPECT_TRUE(content_.Has(rec->payload_hash));
+  // Corrupting the off-chain store is caught at read time.
+  ASSERT_TRUE(content_.CorruptForTesting(rec->payload_hash));
+  EXPECT_TRUE(ehr_.ReadRecord(id, "dr-smith", "treatment")
+                  .status()
+                  .IsCorruption());
+}
+
+TEST_F(EhrTest, PatientRegistryGuards) {
+  EXPECT_TRUE(ehr_.RegisterPatient("patient-1").IsAlreadyExists());
+  EXPECT_TRUE(ehr_.GrantConsent("ghost", "dr-smith", {"treatment"})
+                  .IsNotFound());
+  EXPECT_TRUE(ehr_.AddRecord("ghost", "dr-smith", "n", {})
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace healthcare
+}  // namespace provledger

@@ -1,0 +1,289 @@
+// Ledger tests: transaction signing/encoding, block Merkle roots, chain
+// validation, immutability (the paper's Figure 2 property), fork choice,
+// transaction proofs, and the mempool.
+
+#include <gtest/gtest.h>
+
+#include "ledger/chain.h"
+
+namespace provledger {
+namespace ledger {
+namespace {
+
+crypto::PrivateKey TestKey(const std::string& name) {
+  return crypto::PrivateKey::FromSeed(name);
+}
+
+Transaction SignedTx(const std::string& payload, const std::string& who,
+                     uint64_t nonce = 0) {
+  return Transaction::MakeSigned("prov/record", "test-channel",
+                                 ToBytes(payload), TestKey(who),
+                                 /*timestamp=*/1000, nonce);
+}
+
+TEST(TransactionTest, EncodeDecodeRoundTrip) {
+  Transaction tx = SignedTx("hello", "alice");
+  auto decoded = Transaction::Decode(tx.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->Id(), tx.Id());
+  EXPECT_EQ(decoded->type, "prov/record");
+  EXPECT_EQ(decoded->channel, "test-channel");
+  EXPECT_TRUE(decoded->VerifySignature().ok());
+}
+
+TEST(TransactionTest, SignatureCoversPayload) {
+  Transaction tx = SignedTx("hello", "alice");
+  tx.payload = ToBytes("tampered");
+  EXPECT_TRUE(tx.VerifySignature().IsUnauthenticated());
+}
+
+TEST(TransactionTest, SignatureCoversMetadata) {
+  Transaction tx = SignedTx("hello", "alice");
+  tx.nonce ^= 1;
+  EXPECT_FALSE(tx.VerifySignature().ok());
+}
+
+TEST(TransactionTest, SystemTransactionNeedsNoSignature) {
+  Transaction tx = Transaction::MakeSystem("genesis", "", ToBytes("x"), 0, 0);
+  EXPECT_FALSE(tx.IsSigned());
+  EXPECT_TRUE(tx.VerifySignature().ok());
+}
+
+TEST(TransactionTest, IdIsContentAddressed) {
+  Transaction a = SignedTx("same", "alice", 1);
+  Transaction b = SignedTx("same", "alice", 1);
+  Transaction c = SignedTx("same", "alice", 2);
+  EXPECT_EQ(a.Id(), b.Id());
+  EXPECT_NE(a.Id(), c.Id());
+}
+
+TEST(BlockTest, MerkleRootBindsTransactions) {
+  std::vector<Transaction> txs = {SignedTx("a", "alice"),
+                                  SignedTx("b", "bob")};
+  Block block = Block::Make(1, crypto::ZeroDigest(), txs, 1000, "node-0");
+  EXPECT_EQ(block.header.merkle_root, Block::ComputeMerkleRoot(txs));
+  // Mutating a transaction breaks the root.
+  block.transactions[0].payload = ToBytes("evil");
+  EXPECT_NE(Block::ComputeMerkleRoot(block.transactions),
+            block.header.merkle_root);
+}
+
+TEST(BlockTest, EncodeDecodeRoundTrip) {
+  std::vector<Transaction> txs = {SignedTx("a", "alice"),
+                                  SignedTx("b", "bob")};
+  Block block = Block::Make(3, crypto::ZeroDigest(), txs, 1234, "node-1");
+  auto decoded = Block::Decode(block.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->header.Hash(), block.header.Hash());
+  EXPECT_EQ(decoded->transactions.size(), 2u);
+}
+
+TEST(BlockTest, TransactionInclusionProof) {
+  std::vector<Transaction> txs;
+  for (int i = 0; i < 9; ++i) txs.push_back(SignedTx("tx", "alice", i));
+  Block block = Block::Make(1, crypto::ZeroDigest(), txs, 1000, "n");
+  for (size_t i = 0; i < txs.size(); ++i) {
+    auto proof = block.ProveTransaction(i);
+    ASSERT_TRUE(proof.ok());
+    EXPECT_TRUE(crypto::MerkleTree::VerifyProof(
+        block.header.merkle_root, block.transactions[i].Encode(),
+        proof.value()));
+  }
+  EXPECT_FALSE(block.ProveTransaction(99).ok());
+}
+
+TEST(BlockchainTest, GenesisExists) {
+  Blockchain chain;
+  EXPECT_EQ(chain.height(), 0u);
+  EXPECT_EQ(chain.genesis().header.height, 0u);
+  EXPECT_TRUE(chain.VerifyIntegrity().ok());
+}
+
+TEST(BlockchainTest, DistinctChainIdsDistinctGenesis) {
+  Blockchain a(ChainOptions{.chain_id = "chain-a"});
+  Blockchain b(ChainOptions{.chain_id = "chain-b"});
+  EXPECT_NE(a.head_hash(), b.head_hash());
+}
+
+TEST(BlockchainTest, AppendAndQuery) {
+  Blockchain chain;
+  Transaction tx = SignedTx("record-1", "alice");
+  auto hash = chain.Append({tx}, /*timestamp=*/1000, "node-0");
+  ASSERT_TRUE(hash.ok());
+  EXPECT_EQ(chain.height(), 1u);
+
+  auto loc = chain.FindTransaction(tx.Id());
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc->height, 1u);
+  auto fetched = chain.GetTransaction(tx.Id());
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->payload, tx.payload);
+}
+
+TEST(BlockchainTest, RejectsBadSignature) {
+  Blockchain chain;
+  Transaction tx = SignedTx("record", "alice");
+  tx.payload = ToBytes("tampered-after-signing");
+  EXPECT_FALSE(chain.Append({tx}, 1000, "node-0").ok());
+  EXPECT_EQ(chain.height(), 0u);
+}
+
+TEST(BlockchainTest, UnsignedPolicyEnforced) {
+  ChainOptions opts;
+  opts.allow_unsigned = false;
+  Blockchain chain(opts);
+  Transaction tx = Transaction::MakeSystem("t", "", ToBytes("x"), 1000, 1);
+  EXPECT_TRUE(chain.Append({tx}, 1000, "n").status().IsPermissionDenied());
+}
+
+TEST(BlockchainTest, MaxBlockTxsEnforced) {
+  ChainOptions opts;
+  opts.max_block_txs = 2;
+  Blockchain chain(opts);
+  std::vector<Transaction> txs = {SignedTx("a", "a", 1), SignedTx("b", "a", 2),
+                                  SignedTx("c", "a", 3)};
+  EXPECT_FALSE(chain.Append(txs, 1000, "n").ok());
+  txs.pop_back();
+  EXPECT_TRUE(chain.Append(txs, 1000, "n").ok());
+}
+
+TEST(BlockchainTest, TimestampMonotonicity) {
+  Blockchain chain;
+  ASSERT_TRUE(chain.Append({SignedTx("a", "a")}, 2000, "n").ok());
+  EXPECT_FALSE(chain.Append({SignedTx("b", "a")}, 1000, "n").ok());
+  EXPECT_TRUE(chain.Append({SignedTx("b", "a")}, 2000, "n").ok());
+}
+
+TEST(BlockchainTest, ImmutabilityAnyTamperDetected) {
+  // The paper's core claim (Figure 2): altering any historical transaction
+  // invalidates the chain.
+  Blockchain chain;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        chain.Append({SignedTx("r" + std::to_string(i), "alice", i)},
+                     1000 + i, "node-0")
+            .ok());
+  }
+  ASSERT_TRUE(chain.VerifyIntegrity().ok());
+  for (uint64_t h = 1; h <= 10; ++h) {
+    Blockchain victim;
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(
+          victim.Append({SignedTx("r" + std::to_string(i), "alice", i)},
+                        1000 + i, "node-0")
+              .ok());
+    }
+    ASSERT_TRUE(victim.TamperForTesting(h, 0, 0xFF).ok());
+    EXPECT_TRUE(victim.VerifyIntegrity().IsCorruption()) << "height " << h;
+  }
+}
+
+TEST(BlockchainTest, ForkChoiceAdoptsLongerBranch) {
+  Blockchain chain;
+  ASSERT_TRUE(chain.Append({SignedTx("main-1", "a", 1)}, 1000, "n").ok());
+  crypto::Digest fork_point = chain.head_hash();
+  ASSERT_TRUE(chain.Append({SignedTx("main-2", "a", 2)}, 1001, "n").ok());
+  EXPECT_EQ(chain.height(), 2u);
+
+  // Build a competing branch from height 1 with two blocks.
+  Block side1 = Block::Make(2, fork_point, {SignedTx("side-2", "b", 1)},
+                            1002, "rival");
+  ASSERT_TRUE(chain.SubmitBlock(side1).ok());
+  EXPECT_EQ(chain.height(), 2u);  // tie: main chain keeps the head
+
+  Block side2 = Block::Make(3, side1.header.Hash(),
+                            {SignedTx("side-3", "b", 2)}, 1003, "rival");
+  ASSERT_TRUE(chain.SubmitBlock(side2).ok());
+  EXPECT_EQ(chain.height(), 3u);  // reorg to the longer branch
+
+  // main-2's transaction fell off the main chain; side transactions are on.
+  EXPECT_TRUE(
+      chain.FindTransaction(SignedTx("main-2", "a", 2).Id()).status()
+          .IsNotFound());
+  EXPECT_TRUE(chain.FindTransaction(SignedTx("side-3", "b", 2).Id()).ok());
+  EXPECT_TRUE(chain.VerifyIntegrity().ok());
+  EXPECT_EQ(chain.total_blocks(), 5u);       // genesis + 2 main + 2 side
+  EXPECT_EQ(chain.main_chain_length(), 4u);  // genesis..height 3
+}
+
+TEST(BlockchainTest, SubmitRejectsUnknownParentAndDuplicates) {
+  Blockchain chain;
+  Block orphan = Block::Make(5, crypto::Sha256::Hash("nowhere"),
+                             {SignedTx("x", "a")}, 1000, "n");
+  EXPECT_TRUE(chain.SubmitBlock(orphan).IsNotFound());
+
+  ASSERT_TRUE(chain.Append({SignedTx("a", "a")}, 1000, "n").ok());
+  auto dup = chain.GetBlock(1);
+  ASSERT_TRUE(dup.ok());
+  EXPECT_TRUE(chain.SubmitBlock(dup.value()).IsAlreadyExists());
+}
+
+TEST(BlockchainTest, TxProofVerifies) {
+  Blockchain chain;
+  std::vector<Transaction> txs;
+  for (int i = 0; i < 7; ++i) txs.push_back(SignedTx("t", "alice", i));
+  ASSERT_TRUE(chain.Append(txs, 1000, "n").ok());
+
+  auto proof = chain.ProveTransaction(txs[3].Id());
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(chain.VerifyTxProof(txs[3].Encode(), proof.value()));
+  EXPECT_TRUE(Blockchain::VerifyTxProofAgainstHeader(txs[3].Encode(),
+                                                     proof.value()));
+  // Wrong transaction fails.
+  EXPECT_FALSE(chain.VerifyTxProof(txs[4].Encode(), proof.value()));
+  // Forged header fails.
+  auto forged = proof.value();
+  forged.header.timestamp += 1;
+  EXPECT_FALSE(Blockchain::VerifyTxProofAgainstHeader(txs[3].Encode(), forged));
+}
+
+TEST(BlockchainTest, ChannelScan) {
+  Blockchain chain;
+  Transaction t1 = Transaction::MakeSigned("r", "ch-a", ToBytes("1"),
+                                           TestKey("a"), 1000, 1);
+  Transaction t2 = Transaction::MakeSigned("r", "ch-b", ToBytes("2"),
+                                           TestKey("a"), 1000, 2);
+  Transaction t3 = Transaction::MakeSigned("r", "ch-a", ToBytes("3"),
+                                           TestKey("a"), 1000, 3);
+  ASSERT_TRUE(chain.Append({t1, t2}, 1000, "n").ok());
+  ASSERT_TRUE(chain.Append({t3}, 1001, "n").ok());
+  auto on_a = chain.GetChannelTransactions("ch-a");
+  ASSERT_EQ(on_a.size(), 2u);
+  EXPECT_EQ(on_a[0].payload, ToBytes("1"));
+  EXPECT_EQ(on_a[1].payload, ToBytes("3"));
+}
+
+TEST(MempoolTest, DedupAndFifo) {
+  Mempool pool;
+  Transaction a = SignedTx("a", "alice", 1);
+  Transaction b = SignedTx("b", "alice", 2);
+  ASSERT_TRUE(pool.Add(a).ok());
+  ASSERT_TRUE(pool.Add(b).ok());
+  EXPECT_TRUE(pool.Add(a).IsAlreadyExists());
+  EXPECT_EQ(pool.size(), 2u);
+
+  auto taken = pool.Take(1);
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_EQ(taken[0].Id(), a.Id());
+  // After taking, the same tx may be re-added (e.g. after a reorg).
+  EXPECT_TRUE(pool.Add(a).ok());
+}
+
+TEST(MempoolTest, RejectsBadSignatures) {
+  Mempool pool;
+  Transaction tx = SignedTx("a", "alice");
+  tx.payload = ToBytes("tampered");
+  EXPECT_FALSE(pool.Add(tx).ok());
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(MempoolTest, TakeAllWhenZero) {
+  Mempool pool;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(pool.Add(SignedTx("t", "a", i)).ok());
+  EXPECT_EQ(pool.Take(0).size(), 5u);
+  EXPECT_TRUE(pool.empty());
+}
+
+}  // namespace
+}  // namespace ledger
+}  // namespace provledger

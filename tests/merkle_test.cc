@@ -1,0 +1,176 @@
+// Merkle tree + Merkle forest tests, including parameterized proof sweeps
+// over tree sizes (property: every leaf of every size proves and verifies).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/merkle.h"
+#include "crypto/merkle_forest.h"
+
+namespace provledger {
+namespace crypto {
+namespace {
+
+std::vector<Bytes> MakeLeaves(size_t n) {
+  std::vector<Bytes> leaves;
+  leaves.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    leaves.push_back(ToBytes("leaf-" + std::to_string(i)));
+  }
+  return leaves;
+}
+
+TEST(MerkleTest, EmptyTreeHasZeroRoot) {
+  MerkleTree t = MerkleTree::Build({});
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.root(), ZeroDigest());
+  EXPECT_FALSE(t.Prove(0).ok());
+}
+
+TEST(MerkleTest, SingleLeafRootIsLeafHash) {
+  auto leaves = MakeLeaves(1);
+  MerkleTree t = MerkleTree::Build(leaves);
+  EXPECT_EQ(t.root(), MerkleTree::LeafHash(leaves[0]));
+  auto proof = t.Prove(0);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(proof->steps.empty());
+  EXPECT_TRUE(MerkleTree::VerifyProof(t.root(), leaves[0], proof.value()));
+}
+
+TEST(MerkleTest, RootChangesWithAnyLeaf) {
+  auto leaves = MakeLeaves(8);
+  Digest original = MerkleTree::Build(leaves).root();
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    auto mutated = leaves;
+    mutated[i].push_back(0xFF);
+    EXPECT_NE(MerkleTree::Build(mutated).root(), original) << "leaf " << i;
+  }
+}
+
+TEST(MerkleTest, LeafOrderMatters) {
+  auto leaves = MakeLeaves(4);
+  Digest original = MerkleTree::Build(leaves).root();
+  std::swap(leaves[1], leaves[2]);
+  EXPECT_NE(MerkleTree::Build(leaves).root(), original);
+}
+
+TEST(MerkleTest, DomainSeparationLeafVsNode) {
+  // A leaf whose payload equals the concatenation byte-pattern of two
+  // digests must not collide with the interior node over those digests.
+  Digest a = Sha256::Hash("a");
+  Digest b = Sha256::Hash("b");
+  Bytes concat;
+  concat.push_back(0x01);
+  concat.insert(concat.end(), a.begin(), a.end());
+  concat.insert(concat.end(), b.begin(), b.end());
+  EXPECT_NE(MerkleTree::LeafHash(concat), MerkleTree::NodeHash(a, b));
+}
+
+TEST(MerkleTest, ProofSerializationRoundTrip) {
+  auto leaves = MakeLeaves(13);
+  MerkleTree t = MerkleTree::Build(leaves);
+  auto proof = t.Prove(7);
+  ASSERT_TRUE(proof.ok());
+
+  Encoder enc;
+  proof->EncodeTo(&enc);
+  Decoder dec(enc.buffer());
+  auto decoded = MerkleProof::DecodeFrom(&dec);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(MerkleTree::VerifyProof(t.root(), leaves[7], decoded.value()));
+}
+
+// Property sweep: every leaf of every tree size in [1, 33] proves and
+// verifies; a proof for one leaf never verifies another payload.
+class MerkleSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MerkleSizeSweep, AllLeavesProveAndVerify) {
+  const size_t n = GetParam();
+  auto leaves = MakeLeaves(n);
+  MerkleTree t = MerkleTree::Build(leaves);
+  ASSERT_EQ(t.leaf_count(), n);
+  for (size_t i = 0; i < n; ++i) {
+    auto proof = t.Prove(i);
+    ASSERT_TRUE(proof.ok()) << "leaf " << i;
+    EXPECT_TRUE(MerkleTree::VerifyProof(t.root(), leaves[i], proof.value()));
+    // Wrong payload must fail.
+    EXPECT_FALSE(
+        MerkleTree::VerifyProof(t.root(), ToBytes("evil"), proof.value()));
+  }
+  EXPECT_FALSE(t.Prove(n).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeSizes, MerkleSizeSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17,
+                                           31, 32, 33));
+
+TEST(MerkleTest, TamperedProofStepFails) {
+  auto leaves = MakeLeaves(16);
+  MerkleTree t = MerkleTree::Build(leaves);
+  auto proof = t.Prove(5);
+  ASSERT_TRUE(proof.ok());
+  proof->steps[1].sibling[0] ^= 0x01;
+  EXPECT_FALSE(MerkleTree::VerifyProof(t.root(), leaves[5], proof.value()));
+}
+
+TEST(MerkleForestTest, EmptyForest) {
+  MerkleForest forest;
+  EXPECT_EQ(forest.ForestRoot(), ZeroDigest());
+  EXPECT_TRUE(forest.Partitions().empty());
+  EXPECT_FALSE(forest.PartitionRoot("case-1").ok());
+}
+
+TEST(MerkleForestTest, PerPartitionProofs) {
+  MerkleForest forest;
+  const std::vector<std::string> cases = {"case-a", "case-b", "case-c"};
+  std::vector<std::vector<Bytes>> payloads(cases.size());
+  for (size_t c = 0; c < cases.size(); ++c) {
+    for (size_t i = 0; i < 5 + c; ++i) {
+      Bytes payload = ToBytes(cases[c] + "/evidence-" + std::to_string(i));
+      payloads[c].push_back(payload);
+      EXPECT_EQ(forest.Append(cases[c], payload), i);
+    }
+  }
+  Digest root = forest.ForestRoot();
+
+  for (size_t c = 0; c < cases.size(); ++c) {
+    EXPECT_EQ(forest.PartitionSize(cases[c]), 5 + c);
+    for (size_t i = 0; i < payloads[c].size(); ++i) {
+      auto proof = forest.Prove(cases[c], i);
+      ASSERT_TRUE(proof.ok());
+      EXPECT_TRUE(MerkleForest::Verify(root, payloads[c][i], proof.value()));
+      EXPECT_FALSE(
+          MerkleForest::Verify(root, ToBytes("forged"), proof.value()));
+    }
+  }
+}
+
+TEST(MerkleForestTest, AppendChangesForestRoot) {
+  MerkleForest forest;
+  forest.Append("case-a", ToBytes("e1"));
+  Digest r1 = forest.ForestRoot();
+  forest.Append("case-b", ToBytes("e2"));
+  Digest r2 = forest.ForestRoot();
+  EXPECT_NE(r1, r2);
+  // Old proofs are against old roots; new root invalidates them (append-only
+  // forests require proof refresh, as in ForensiBlock).
+  forest.Append("case-a", ToBytes("e3"));
+  EXPECT_NE(forest.ForestRoot(), r2);
+}
+
+TEST(MerkleForestTest, ProofBoundToPartition) {
+  MerkleForest forest;
+  Bytes shared = ToBytes("identical payload");
+  forest.Append("case-a", shared);
+  forest.Append("case-b", shared);
+  Digest root = forest.ForestRoot();
+  auto proof_a = forest.Prove("case-a", 0);
+  ASSERT_TRUE(proof_a.ok());
+  EXPECT_TRUE(MerkleForest::Verify(root, shared, proof_a.value()));
+  EXPECT_FALSE(forest.Prove("case-a", 1).ok());
+  EXPECT_FALSE(forest.Prove("case-z", 0).ok());
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace provledger

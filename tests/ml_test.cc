@@ -1,0 +1,183 @@
+// ML domain tests: asset DAG + contributor queries, and the federated-
+// learning robustness properties (BlockDFL voting vs FedAvg under
+// poisoning, free-rider screening, reputation exclusion).
+
+#include <gtest/gtest.h>
+
+#include "domains/ml/asset_graph.h"
+#include "domains/ml/federated.h"
+
+namespace provledger {
+namespace ml {
+namespace {
+
+class AssetGraphTest : public ::testing::Test {
+ protected:
+  AssetGraphTest() : clock_(0), store_(&chain_, &clock_), assets_(&store_, &clock_) {}
+  ledger::Blockchain chain_;
+  SimClock clock_;
+  prov::ProvenanceStore store_;
+  AssetGraph assets_;
+};
+
+TEST_F(AssetGraphTest, RegisterAndClassify) {
+  ASSERT_TRUE(assets_.RegisterDataset("ds-hospital-a", "hospital-a").ok());
+  ASSERT_TRUE(assets_.RegisterDataset("ds-hospital-b", "hospital-b").ok());
+  ASSERT_TRUE(assets_
+                  .RegisterModel("model-v1", "ai-lab", "train",
+                                 {"ds-hospital-a", "ds-hospital-b"})
+                  .ok());
+  auto kind = assets_.KindOf("model-v1");
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(kind.value(), AssetKind::kModel);
+  EXPECT_EQ(assets_.asset_count(), 3u);
+}
+
+TEST_F(AssetGraphTest, GuardsAndErrors) {
+  ASSERT_TRUE(assets_.RegisterDataset("ds-1", "o").ok());
+  EXPECT_TRUE(assets_.RegisterDataset("ds-1", "o").IsAlreadyExists());
+  EXPECT_TRUE(
+      assets_.RegisterModel("m", "o", "train", {"ghost"}).IsNotFound());
+  EXPECT_TRUE(assets_.RegisterModel("m", "o", "train", {}).IsInvalidArgument());
+  EXPECT_TRUE(assets_.KindOf("ghost").status().IsNotFound());
+}
+
+TEST_F(AssetGraphTest, LineageAndContributors) {
+  ASSERT_TRUE(assets_.RegisterDataset("raw-a", "org-a").ok());
+  ASSERT_TRUE(assets_.RegisterDataset("raw-b", "org-b").ok());
+  ASSERT_TRUE(assets_
+                  .RegisterDerivedDataset("clean-a", "org-c", "clean",
+                                          {"raw-a"})
+                  .ok());
+  ASSERT_TRUE(assets_
+                  .RegisterModel("model-v1", "ai-lab", "train",
+                                 {"clean-a", "raw-b"})
+                  .ok());
+  ASSERT_TRUE(assets_
+                  .RegisterModel("model-v2", "ai-lab", "finetune",
+                                 {"model-v1"})
+                  .ok());
+
+  auto lineage = assets_.AssetLineage("model-v2");
+  EXPECT_EQ(lineage.size(), 4u);  // model-v1, clean-a, raw-b, raw-a
+
+  // Fair compensation: dataset owners in the ancestry.
+  auto contributors = assets_.Contributors("model-v2");
+  EXPECT_EQ(contributors,
+            (std::set<std::string>{"org-a", "org-b", "org-c"}));
+}
+
+FlConfig BaseConfig(Aggregation agg, double attackers) {
+  FlConfig config;
+  config.aggregation = agg;
+  config.attacker_fraction = attackers;
+  config.num_workers = 20;
+  config.seed = 7;
+  return config;
+}
+
+TEST(FederatedTest, ConvergesWithoutAttackers) {
+  FederatedLearning fl(BaseConfig(Aggregation::kFedAvg, 0.0), nullptr,
+                       nullptr);
+  double initial = fl.model_error();
+  auto stats = fl.RunRounds(30);
+  EXPECT_LT(stats.model_error, initial * 0.1);
+  EXPECT_EQ(fl.rounds_run(), 30u);
+}
+
+TEST(FederatedTest, FedAvgDegradesUnderPoisoning) {
+  FederatedLearning clean(BaseConfig(Aggregation::kFedAvg, 0.0), nullptr,
+                          nullptr);
+  FederatedLearning poisoned(BaseConfig(Aggregation::kFedAvg, 0.4), nullptr,
+                             nullptr);
+  double clean_error = clean.RunRounds(30).model_error;
+  double poisoned_error = poisoned.RunRounds(30).model_error;
+  // 40% sign-flipped attackers severely hurt plain averaging.
+  EXPECT_GT(poisoned_error, clean_error * 3);
+}
+
+TEST(FederatedTest, BlockDflStableNearFiftyPercent) {
+  // The Yang et al. / BlockDFL headline shape: voting + reputation stays
+  // stable up to ~50% attackers.
+  FederatedLearning defended(BaseConfig(Aggregation::kBlockDfl, 0.5),
+                             nullptr, nullptr);
+  auto stats = defended.RunRounds(30);
+  EXPECT_LT(stats.model_error, 0.5);
+
+  FederatedLearning undefended(BaseConfig(Aggregation::kFedAvg, 0.5),
+                               nullptr, nullptr);
+  EXPECT_GT(undefended.RunRounds(30).model_error, stats.model_error * 2);
+}
+
+TEST(FederatedTest, CommitteeRejectsPoisonedUpdates) {
+  FederatedLearning fl(BaseConfig(Aggregation::kBlockDfl, 0.3), nullptr,
+                       nullptr);
+  auto stats = fl.RunRound();
+  // ~30% of 20 workers = 6 poisoned updates rejected in round 1.
+  EXPECT_GE(stats.rejected, 4u);
+  EXPECT_GE(stats.accepted, 10u);
+}
+
+TEST(FederatedTest, ReputationExcludesRepeatOffenders) {
+  FlConfig config = BaseConfig(Aggregation::kBlockDfl, 0.3);
+  FederatedLearning fl(config, nullptr, nullptr);
+  fl.RunRounds(8);
+  // Attackers (workers 0..5) should have collapsed reputation.
+  size_t excluded = 0;
+  for (size_t w = 0; w < config.num_workers; ++w) {
+    if (fl.excluded(w)) ++excluded;
+  }
+  EXPECT_GE(excluded, 4u);
+  auto stats = fl.RunRound();
+  EXPECT_GE(stats.excluded, 4u);
+}
+
+TEST(FederatedTest, FreeRidersScreened) {
+  FlConfig config = BaseConfig(Aggregation::kBlockDfl, 0.0);
+  config.free_riders = 5;
+  FederatedLearning fl(config, nullptr, nullptr);
+  auto stats = fl.RunRound();
+  EXPECT_EQ(stats.rejected, 5u);  // zero updates rejected
+  EXPECT_EQ(stats.accepted, 15u);
+}
+
+TEST(FederatedTest, CompressionReducesBytes) {
+  FlConfig full = BaseConfig(Aggregation::kBlockDfl, 0.0);
+  full.compression_keep = 1.0;
+  FlConfig half = full;
+  half.compression_keep = 0.5;
+  FederatedLearning fl_full(full, nullptr, nullptr);
+  FederatedLearning fl_half(half, nullptr, nullptr);
+  auto full_stats = fl_full.RunRound();
+  auto half_stats = fl_half.RunRound();
+  EXPECT_LT(half_stats.bytes_uploaded, full_stats.bytes_uploaded);
+  // Training still converges with compression.
+  EXPECT_LT(fl_half.RunRounds(30).model_error, 0.5);
+}
+
+TEST(FederatedTest, RoundsAnchoredToProvenance) {
+  ledger::Blockchain chain;
+  SimClock clock(0);
+  prov::ProvenanceStore store(&chain, &clock);
+  FederatedLearning fl(BaseConfig(Aggregation::kBlockDfl, 0.2), &store,
+                       &clock);
+  fl.RunRounds(5);
+  EXPECT_EQ(store.anchored_count(), 5u);
+  auto history = store.SubjectHistory("global-model");
+  ASSERT_EQ(history.size(), 5u);
+  EXPECT_EQ(history[0].fields.at("round"), "1");
+  EXPECT_EQ(history[4].fields.at("round"), "5");
+}
+
+TEST(FederatedTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    FederatedLearning fl(BaseConfig(Aggregation::kBlockDfl, 0.3), nullptr,
+                         nullptr);
+    return fl.RunRounds(10).model_error;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace provledger

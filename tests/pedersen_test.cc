@@ -1,0 +1,147 @@
+// Pedersen commitment + ZK range proof tests: homomorphism, completeness,
+// soundness probes (forged/tampered proofs), and interval proofs.
+
+#include <gtest/gtest.h>
+
+#include "crypto/pedersen.h"
+
+namespace provledger {
+namespace crypto {
+namespace {
+
+U256 Scalar(uint64_t v) { return U256::FromU64(v); }
+
+TEST(PedersenTest, CommitIsDeterministic) {
+  auto c1 = PedersenCommit(Scalar(42), Scalar(777), PedersenParams::Default());
+  auto c2 = PedersenCommit(Scalar(42), Scalar(777), PedersenParams::Default());
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(PedersenTest, HidingAcrossBlindings) {
+  auto c1 = PedersenCommit(Scalar(42), Scalar(1), PedersenParams::Default());
+  auto c2 = PedersenCommit(Scalar(42), Scalar(2), PedersenParams::Default());
+  EXPECT_FALSE(c1 == c2);
+}
+
+TEST(PedersenTest, AdditiveHomomorphism) {
+  const auto& params = PedersenParams::Default();
+  // C(a, r1) + C(b, r2) == C(a+b, r1+r2)
+  auto ca = PedersenCommit(Scalar(30), Scalar(11), params);
+  auto cb = PedersenCommit(Scalar(12), Scalar(22), params);
+  auto sum = EcAdd(JacobianPoint::FromAffine(ca), JacobianPoint::FromAffine(cb))
+                 .ToAffine();
+  auto expected = PedersenCommit(Scalar(42), Scalar(33), params);
+  EXPECT_EQ(sum, expected);
+}
+
+TEST(ZkrpTest, ProveAndVerifyInRange) {
+  auto proof = Zkrp::Prove(/*value=*/200, Scalar(9999), /*bits=*/8,
+                           ToBytes("nonce-1"));
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(Zkrp::Verify(proof.value()));
+  EXPECT_EQ(proof->bit_commitments.size(), 8u);
+}
+
+TEST(ZkrpTest, BoundaryValues) {
+  for (uint64_t v : {0ULL, 1ULL, 254ULL, 255ULL}) {
+    auto proof = Zkrp::Prove(v, Scalar(5), 8, ToBytes("nonce-b"));
+    ASSERT_TRUE(proof.ok()) << v;
+    EXPECT_TRUE(Zkrp::Verify(proof.value())) << v;
+  }
+}
+
+TEST(ZkrpTest, OutOfRangeValueRejectedAtProve) {
+  EXPECT_FALSE(Zkrp::Prove(256, Scalar(5), 8, ToBytes("n")).ok());
+  EXPECT_FALSE(Zkrp::Prove(5, Scalar(5), 0, ToBytes("n")).ok());
+  EXPECT_FALSE(Zkrp::Prove(5, Scalar(5), 65, ToBytes("n")).ok());
+}
+
+TEST(ZkrpTest, TamperedBitCommitmentFails) {
+  auto proof = Zkrp::Prove(77, Scalar(4242), 8, ToBytes("nonce-2"));
+  ASSERT_TRUE(proof.ok());
+  RangeProof forged = proof.value();
+  // Swap two bit commitments: recomposition must break.
+  std::swap(forged.bit_commitments[0], forged.bit_commitments[1]);
+  std::swap(forged.bit_proofs[0], forged.bit_proofs[1]);
+  EXPECT_FALSE(Zkrp::Verify(forged));
+}
+
+TEST(ZkrpTest, TamperedResponseFails) {
+  auto proof = Zkrp::Prove(77, Scalar(4242), 8, ToBytes("nonce-3"));
+  ASSERT_TRUE(proof.ok());
+  RangeProof forged = proof.value();
+  forged.bit_proofs[3].s0 = AddMod(forged.bit_proofs[3].s0, U256::One(),
+                                   OrderN());
+  EXPECT_FALSE(Zkrp::Verify(forged));
+}
+
+TEST(ZkrpTest, TamperedChallengeSplitFails) {
+  auto proof = Zkrp::Prove(77, Scalar(4242), 8, ToBytes("nonce-4"));
+  ASSERT_TRUE(proof.ok());
+  RangeProof forged = proof.value();
+  forged.bit_proofs[0].e0 = AddMod(forged.bit_proofs[0].e0, U256::One(),
+                                   OrderN());
+  EXPECT_FALSE(Zkrp::Verify(forged));
+}
+
+TEST(ZkrpTest, SwappedTopCommitmentFails) {
+  auto p1 = Zkrp::Prove(10, Scalar(1), 8, ToBytes("n1"));
+  auto p2 = Zkrp::Prove(20, Scalar(2), 8, ToBytes("n2"));
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  RangeProof mixed = p1.value();
+  mixed.commitment = p2->commitment;
+  EXPECT_FALSE(Zkrp::Verify(mixed));
+}
+
+TEST(ZkrpTest, WideRange) {
+  auto proof = Zkrp::Prove(1'000'000, Scalar(31337), 32, ToBytes("wide"));
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(Zkrp::Verify(proof.value()));
+  EXPECT_GT(proof->EncodedSize(), 32u * 33u);
+}
+
+TEST(ZkrpIntervalTest, ValueInsideIntervalVerifies) {
+  // PrivChain's scenario: prove a temperature stayed within [2, 8] °C
+  // without revealing the reading.
+  auto proof = Zkrp::ProveInterval(/*value=*/5, /*lo=*/2, /*hi=*/8,
+                                   Scalar(5551), /*bits=*/8,
+                                   ToBytes("cold-chain"));
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(Zkrp::VerifyInterval(proof.value()));
+}
+
+TEST(ZkrpIntervalTest, BoundsInclusive) {
+  for (uint64_t v : {2ULL, 8ULL}) {
+    auto proof = Zkrp::ProveInterval(v, 2, 8, Scalar(71), 8, ToBytes("edge"));
+    ASSERT_TRUE(proof.ok()) << v;
+    EXPECT_TRUE(Zkrp::VerifyInterval(proof.value())) << v;
+  }
+}
+
+TEST(ZkrpIntervalTest, OutsideIntervalRejectedAtProve) {
+  EXPECT_FALSE(Zkrp::ProveInterval(1, 2, 8, Scalar(7), 8, ToBytes("x")).ok());
+  EXPECT_FALSE(Zkrp::ProveInterval(9, 2, 8, Scalar(7), 8, ToBytes("x")).ok());
+  EXPECT_FALSE(Zkrp::ProveInterval(5, 8, 2, Scalar(7), 8, ToBytes("x")).ok());
+}
+
+TEST(ZkrpIntervalTest, MismatchedBoundsFailVerify) {
+  auto proof = Zkrp::ProveInterval(5, 2, 8, Scalar(5551), 8, ToBytes("cc"));
+  ASSERT_TRUE(proof.ok());
+  auto forged = proof.value();
+  forged.lo = 6;  // claim a tighter bound than was proven
+  EXPECT_FALSE(Zkrp::VerifyInterval(forged));
+}
+
+TEST(ZkrpIntervalTest, ForeignCommitmentFailsVerify) {
+  auto proof = Zkrp::ProveInterval(5, 2, 8, Scalar(5551), 8, ToBytes("cc"));
+  ASSERT_TRUE(proof.ok());
+  auto forged = proof.value();
+  forged.value_commitment =
+      PedersenCommit(Scalar(100), Scalar(1), PedersenParams::Default());
+  EXPECT_FALSE(Zkrp::VerifyInterval(forged));
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace provledger

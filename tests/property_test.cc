@@ -1,0 +1,250 @@
+// Property-based suites (parameterized sweeps over randomized inputs):
+// codec/record round-trip under random content, Merkle forest membership
+// across random partition layouts, chain integrity under random batch
+// sizes, invalidation-cascade = downstream-closure equivalence on random
+// DAGs, ZKRP completeness over random values/ranges, and HTLC conservation
+// under randomized schedules.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crosschain/htlc.h"
+#include "crypto/merkle_forest.h"
+#include "crypto/pedersen.h"
+#include "ledger/chain.h"
+#include "prov/graph.h"
+
+namespace provledger {
+namespace {
+
+// ---------- Record codec round-trip under random content -------------------
+
+class RecordRoundTripSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RecordRoundTripSweep, RandomRecordsSurviveCodec) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    prov::ProvenanceRecord rec;
+    rec.record_id = rng.NextAlnum(1 + rng.NextBelow(20));
+    rec.domain = static_cast<prov::Domain>(rng.NextBelow(7));
+    rec.operation = rng.NextAlnum(1 + rng.NextBelow(12));
+    rec.subject = rng.NextAlnum(1 + rng.NextBelow(24));
+    rec.agent = rng.NextAlnum(1 + rng.NextBelow(16));
+    rec.timestamp = static_cast<Timestamp>(rng.NextU64() >> 1);
+    for (uint64_t k = rng.NextBelow(5); k > 0; --k) {
+      rec.inputs.push_back(rng.NextAlnum(8));
+    }
+    for (uint64_t k = rng.NextBelow(4); k > 0; --k) {
+      rec.outputs.push_back(rng.NextAlnum(8));
+    }
+    for (uint64_t k = rng.NextBelow(8); k > 0; --k) {
+      rec.fields[rng.NextAlnum(6)] = BytesToString(rng.NextBytes(
+          rng.NextBelow(64)));
+    }
+    crypto::Digest ph = crypto::Sha256::Hash(rng.NextBytes(16));
+    rec.payload_hash = ph;
+
+    auto decoded = prov::ProvenanceRecord::Decode(rec.Encode());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->Encode(), rec.Encode());  // canonical
+    EXPECT_EQ(decoded->Hash(), rec.Hash());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecordRoundTripSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------- Merkle forest membership across random layouts -----------------
+
+class ForestSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ForestSweep, EveryAppendedLeafVerifies) {
+  Rng rng(GetParam());
+  crypto::MerkleForest forest;
+  std::vector<std::pair<std::string, Bytes>> appended;  // (partition, leaf)
+  std::vector<uint64_t> indices;
+  const size_t partitions = 1 + rng.NextBelow(6);
+  const size_t appends = 20 + rng.NextBelow(40);
+  for (size_t i = 0; i < appends; ++i) {
+    std::string partition = "part-" + std::to_string(rng.NextBelow(partitions));
+    Bytes payload = rng.NextBytes(1 + rng.NextBelow(48));
+    indices.push_back(forest.Append(partition, payload));
+    appended.emplace_back(partition, payload);
+  }
+  crypto::Digest root = forest.ForestRoot();
+  for (size_t i = 0; i < appended.size(); ++i) {
+    auto proof = forest.Prove(appended[i].first, indices[i]);
+    ASSERT_TRUE(proof.ok());
+    EXPECT_TRUE(
+        crypto::MerkleForest::Verify(root, appended[i].second, proof.value()));
+    // And a mutated payload never verifies.
+    Bytes tampered = appended[i].second;
+    tampered.push_back(0x00);
+    EXPECT_FALSE(crypto::MerkleForest::Verify(root, tampered, proof.value()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForestSweep,
+                         ::testing::Values(7, 11, 19, 23, 31));
+
+// ---------- Chain integrity under random batches ----------------------------
+
+class ChainSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChainSweep, RandomBatchesKeepIntegrity) {
+  Rng rng(GetParam());
+  ledger::Blockchain chain;
+  Timestamp ts = 1000;
+  size_t total_txs = 0;
+  for (int b = 0; b < 20; ++b) {
+    std::vector<ledger::Transaction> txs;
+    const size_t count = 1 + rng.NextBelow(12);
+    for (size_t i = 0; i < count; ++i) {
+      txs.push_back(ledger::Transaction::MakeSystem(
+          "t", "ch-" + std::to_string(rng.NextBelow(3)),
+          rng.NextBytes(rng.NextBelow(100)), ts, rng.NextU64()));
+    }
+    total_txs += count;
+    ts += static_cast<Timestamp>(rng.NextBelow(50));
+    ASSERT_TRUE(chain.Append(txs, ts, "node").ok());
+    // Every transaction findable and provable immediately.
+    for (const auto& tx : txs) {
+      ASSERT_TRUE(chain.FindTransaction(tx.Id()).ok());
+      auto proof = chain.ProveTransaction(tx.Id());
+      ASSERT_TRUE(proof.ok());
+      EXPECT_TRUE(chain.VerifyTxProof(tx.Encode(), proof.value()));
+    }
+  }
+  EXPECT_TRUE(chain.VerifyIntegrity().ok());
+  EXPECT_EQ(chain.height(), 20u);
+  (void)total_txs;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainSweep, ::testing::Values(3, 17, 29));
+
+// ---------- Invalidation cascade == downstream closure ----------------------
+
+class CascadeSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CascadeSweep, CascadeEqualsReexecutionSetPlusRoot) {
+  // Random DAG: record i consumes outputs of a random subset of earlier
+  // records. Invalidating any record must mark exactly {root} ∪
+  // ReexecutionSet(root).
+  Rng rng(GetParam());
+  prov::ProvenanceGraph graph;
+  const int n = 25;
+  for (int i = 0; i < n; ++i) {
+    prov::ProvenanceRecord rec;
+    rec.record_id = "rec-" + std::to_string(i);
+    rec.operation = "op";
+    rec.subject = "node-" + std::to_string(i);
+    rec.agent = "a";
+    rec.timestamp = i;
+    rec.outputs = {"out-" + std::to_string(i)};
+    if (i > 0) {
+      for (uint64_t k = rng.NextBelow(3); k > 0; --k) {
+        rec.inputs.push_back("out-" + std::to_string(rng.NextBelow(
+                                 static_cast<uint64_t>(i))));
+      }
+    }
+    ASSERT_TRUE(graph.AddRecord(rec).ok());
+  }
+  const std::string root = "rec-" + std::to_string(rng.NextBelow(n));
+  auto expected = graph.ReexecutionSet(root);
+  auto cascade = graph.Invalidate(root, 999, "probe");
+  ASSERT_TRUE(cascade.ok());
+  EXPECT_EQ(cascade->size(), expected.size() + 1);
+  EXPECT_TRUE(graph.IsInvalidated(root));
+  for (const auto& id : expected) {
+    EXPECT_TRUE(graph.IsInvalidated(id)) << id;
+  }
+  EXPECT_EQ(graph.invalidated_count(), expected.size() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CascadeSweep,
+                         ::testing::Values(41, 43, 47, 53, 59, 61));
+
+// ---------- ZKRP completeness over random values ----------------------------
+
+class ZkrpSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ZkrpSweep, RandomValuesProveAndVerify) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 3; ++i) {
+    const uint32_t bits = 4 + static_cast<uint32_t>(rng.NextBelow(9));
+    const uint64_t value = rng.NextBelow(1ULL << bits);
+    crypto::U256 blinding = crypto::U256::FromBytesBE(
+        crypto::Sha256::Hash(rng.NextBytes(16)).data());
+    auto proof = crypto::Zkrp::Prove(value, blinding, bits,
+                                     rng.NextBytes(8));
+    ASSERT_TRUE(proof.ok()) << "bits=" << bits << " value=" << value;
+    EXPECT_TRUE(crypto::Zkrp::Verify(proof.value()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZkrpSweep, ::testing::Values(67, 71, 73));
+
+// ---------- HTLC conservation under randomized schedules --------------------
+
+class HtlcScheduleSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HtlcScheduleSweep, ValueConservedUnderAnySchedule) {
+  Rng rng(GetParam());
+  SimClock clock(1'000'000);
+  crosschain::AssetLedger ledger("chain", &clock);
+  ASSERT_TRUE(ledger.Mint("alice", 1000).ok());
+  ASSERT_TRUE(ledger.Mint("bob", 1000).ok());
+
+  auto total = [&] {
+    return ledger.BalanceOf("alice").value() +
+           ledger.BalanceOf("bob").value();
+  };
+
+  uint64_t locked_total = 0;
+  struct Open {
+    std::string id;
+    Bytes secret;
+    Timestamp timeout;
+    uint64_t amount;
+  };
+  std::vector<Open> open_escrows;
+
+  for (int step = 0; step < 60; ++step) {
+    const uint64_t action = rng.NextBelow(3);
+    if (action == 0 && ledger.BalanceOf("alice").value() >= 10) {
+      Bytes secret = rng.NextBytes(8);
+      Timestamp timeout =
+          clock.NowMicros() + 100 + static_cast<Timestamp>(rng.NextBelow(500));
+      auto escrow = ledger.Lock("alice", "bob", 10,
+                                crypto::HashLock::FromSecret(secret), timeout);
+      if (escrow.ok()) {
+        open_escrows.push_back({escrow.value(), secret, timeout, 10});
+        locked_total += 10;
+      }
+    } else if (action == 1 && !open_escrows.empty()) {
+      size_t pick = rng.NextBelow(open_escrows.size());
+      Open escrow = open_escrows[pick];
+      if (ledger.Claim(escrow.id, "bob", escrow.secret).ok()) {
+        locked_total -= escrow.amount;
+        open_escrows.erase(open_escrows.begin() + static_cast<long>(pick));
+      }
+    } else if (!open_escrows.empty()) {
+      size_t pick = rng.NextBelow(open_escrows.size());
+      Open escrow = open_escrows[pick];
+      clock.SetMicros(escrow.timeout + 1);  // let it expire
+      if (ledger.Refund(escrow.id, "alice").ok()) {
+        locked_total -= escrow.amount;
+        open_escrows.erase(open_escrows.begin() + static_cast<long>(pick));
+      }
+    }
+    // Invariant: circulating + locked == initial supply at every step.
+    EXPECT_EQ(total() + locked_total, 2000u) << "step " << step;
+  }
+  EXPECT_TRUE(ledger.chain()->VerifyIntegrity().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HtlcScheduleSweep,
+                         ::testing::Values(83, 89, 97, 101));
+
+}  // namespace
+}  // namespace provledger

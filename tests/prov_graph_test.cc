@@ -1,0 +1,162 @@
+// Provenance graph tests: PROV structure, lineage/descendant queries, and
+// the SciBlock invalidation cascade.
+
+#include <gtest/gtest.h>
+
+#include "prov/graph.h"
+
+namespace provledger {
+namespace prov {
+namespace {
+
+ProvenanceRecord Rec(const std::string& id, const std::string& agent,
+                     Timestamp ts, std::vector<std::string> inputs,
+                     std::vector<std::string> outputs,
+                     const std::string& subject = "") {
+  ProvenanceRecord rec;
+  rec.record_id = id;
+  rec.operation = "execute";
+  rec.subject = subject.empty() ? (outputs.empty() ? id : outputs[0]) : subject;
+  rec.agent = agent;
+  rec.timestamp = ts;
+  rec.inputs = std::move(inputs);
+  rec.outputs = std::move(outputs);
+  return rec;
+}
+
+// Builds the pipeline: raw -> [t1] -> mid -> [t2] -> out1
+//                                      \--> [t3] -> out2 -> [t4] -> final
+class GraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(g_.AddRecord(Rec("t1", "alice", 100, {"raw"}, {"mid"})).ok());
+    ASSERT_TRUE(g_.AddRecord(Rec("t2", "bob", 200, {"mid"}, {"out1"})).ok());
+    ASSERT_TRUE(g_.AddRecord(Rec("t3", "bob", 300, {"mid"}, {"out2"})).ok());
+    ASSERT_TRUE(
+        g_.AddRecord(Rec("t4", "carol", 400, {"out2"}, {"final"})).ok());
+  }
+  ProvenanceGraph g_;
+};
+
+TEST_F(GraphTest, CountsAndLookup) {
+  EXPECT_EQ(g_.record_count(), 4u);
+  EXPECT_TRUE(g_.HasRecord("t1"));
+  EXPECT_FALSE(g_.HasRecord("tX"));
+  auto rec = g_.GetRecord("t2");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->agent, "bob");
+  EXPECT_TRUE(g_.GetRecord("nope").status().IsNotFound());
+}
+
+TEST_F(GraphTest, DuplicateRecordRejected) {
+  EXPECT_TRUE(g_.AddRecord(Rec("t1", "x", 1, {}, {"y"}))
+                  .IsAlreadyExists());
+}
+
+TEST_F(GraphTest, LineageWalksAncestors) {
+  auto lineage = g_.Lineage("final");
+  // final <- out2 <- mid <- raw
+  EXPECT_EQ(lineage.size(), 3u);
+  EXPECT_NE(std::find(lineage.begin(), lineage.end(), "out2"), lineage.end());
+  EXPECT_NE(std::find(lineage.begin(), lineage.end(), "mid"), lineage.end());
+  EXPECT_NE(std::find(lineage.begin(), lineage.end(), "raw"), lineage.end());
+  EXPECT_TRUE(g_.Lineage("raw").empty());
+}
+
+TEST_F(GraphTest, DescendantsWalkForward) {
+  auto desc = g_.Descendants("raw");
+  // raw -> mid -> {out1, out2} -> final
+  EXPECT_EQ(desc.size(), 4u);
+  EXPECT_TRUE(g_.Descendants("final").empty());
+}
+
+TEST_F(GraphTest, ByAgentOrderedByTime) {
+  auto recs = g_.ByAgent("bob");
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].record_id, "t2");
+  EXPECT_EQ(recs[1].record_id, "t3");
+  EXPECT_TRUE(g_.ByAgent("nobody").empty());
+}
+
+TEST_F(GraphTest, InRangeFiltersByTimestamp) {
+  auto recs = g_.InRange(150, 350);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].record_id, "t2");
+  EXPECT_EQ(recs[1].record_id, "t3");
+}
+
+TEST_F(GraphTest, SubjectHistory) {
+  ASSERT_TRUE(
+      g_.AddRecord(Rec("t5", "alice", 500, {}, {}, "final")).ok());
+  auto recs = g_.SubjectHistory("final");
+  ASSERT_EQ(recs.size(), 2u);  // t4 generated it; t5 touched it
+  EXPECT_EQ(recs[0].record_id, "t4");
+  EXPECT_EQ(recs[1].record_id, "t5");
+}
+
+TEST_F(GraphTest, InvalidationCascadesDownstreamOnly) {
+  // Invalidate t3: t4 consumed out2, so it cascades; t2/out1 unaffected.
+  auto result = g_.Invalidate("t3", 999, "bad parameter");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+  EXPECT_TRUE(g_.IsInvalidated("t3"));
+  EXPECT_TRUE(g_.IsInvalidated("t4"));
+  EXPECT_FALSE(g_.IsInvalidated("t1"));
+  EXPECT_FALSE(g_.IsInvalidated("t2"));
+
+  auto root_inv = g_.GetInvalidation("t3");
+  ASSERT_TRUE(root_inv.ok());
+  EXPECT_FALSE(root_inv->cascaded);
+  EXPECT_EQ(root_inv->reason, "bad parameter");
+  auto cascade_inv = g_.GetInvalidation("t4");
+  ASSERT_TRUE(cascade_inv.ok());
+  EXPECT_TRUE(cascade_inv->cascaded);
+}
+
+TEST_F(GraphTest, RootInvalidationCascadesEverything) {
+  auto result = g_.Invalidate("t1", 999, "source corrupted");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 4u);
+  EXPECT_EQ(g_.invalidated_count(), 4u);
+}
+
+TEST_F(GraphTest, DoubleInvalidationRejected) {
+  ASSERT_TRUE(g_.Invalidate("t4", 999, "x").ok());
+  EXPECT_TRUE(g_.Invalidate("t4", 1000, "y").status().IsAlreadyExists());
+  EXPECT_TRUE(g_.Invalidate("ghost", 1, "z").status().IsNotFound());
+}
+
+TEST_F(GraphTest, ReexecutionSetMatchesDownstreamClosure) {
+  auto reexec = g_.ReexecutionSet("t1");
+  EXPECT_EQ(reexec.size(), 3u);  // t2, t3, t4
+  EXPECT_TRUE(g_.ReexecutionSet("t4").empty());
+  EXPECT_TRUE(g_.ReexecutionSet("ghost").empty());
+}
+
+TEST_F(GraphTest, RecordWithoutOutputsProducesSubjectVersion) {
+  // A record with no declared outputs acts on its subject entity.
+  ProvenanceGraph g;
+  ASSERT_TRUE(g.AddRecord(Rec("w1", "a", 1, {}, {}, "doc")).ok());
+  ASSERT_TRUE(g.AddRecord(Rec("w2", "b", 2, {"doc"}, {"summary"})).ok());
+  auto lineage = g.Lineage("summary");
+  ASSERT_EQ(lineage.size(), 1u);
+  EXPECT_EQ(lineage[0], "doc");
+  // Invalidating w1 cascades into w2.
+  auto inv = g.Invalidate("w1", 10, "typo");
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(inv->size(), 2u);
+}
+
+TEST(GraphDiamondTest, DiamondLineageNoDuplicates) {
+  // a -> {b, c} -> d (diamond): d's lineage must contain each node once.
+  ProvenanceGraph g;
+  ASSERT_TRUE(g.AddRecord(Rec("t1", "x", 1, {"a"}, {"b"})).ok());
+  ASSERT_TRUE(g.AddRecord(Rec("t2", "x", 2, {"a"}, {"c"})).ok());
+  ASSERT_TRUE(g.AddRecord(Rec("t3", "x", 3, {"b", "c"}, {"d"})).ok());
+  auto lineage = g.Lineage("d");
+  EXPECT_EQ(lineage.size(), 3u);  // b, c, a — each exactly once
+}
+
+}  // namespace
+}  // namespace prov
+}  // namespace provledger

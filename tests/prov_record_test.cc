@@ -1,0 +1,123 @@
+// Provenance record tests: Table 1 schemas, canonical encoding, validation.
+
+#include <gtest/gtest.h>
+
+#include "prov/record.h"
+
+namespace provledger {
+namespace prov {
+namespace {
+
+TEST(RecordTest, EncodeDecodeRoundTrip) {
+  ProvenanceRecord rec;
+  rec.record_id = "rec-1";
+  rec.domain = Domain::kCloud;
+  rec.operation = "update";
+  rec.subject = "file-7";
+  rec.agent = "alice";
+  rec.timestamp = 12345;
+  rec.inputs = {"file-6"};
+  rec.outputs = {"file-7"};
+  rec.fields["note"] = "resize";
+  rec.payload_hash = crypto::Sha256::Hash("content");
+
+  auto decoded = ProvenanceRecord::Decode(rec.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->record_id, "rec-1");
+  EXPECT_EQ(decoded->domain, Domain::kCloud);
+  EXPECT_EQ(decoded->inputs, rec.inputs);
+  EXPECT_EQ(decoded->fields.at("note"), "resize");
+  EXPECT_EQ(decoded->payload_hash, rec.payload_hash);
+  EXPECT_EQ(decoded->Hash(), rec.Hash());
+}
+
+TEST(RecordTest, EncodingIsCanonical) {
+  // Field insertion order must not affect the encoding (std::map sorts).
+  ProvenanceRecord a, b;
+  a.record_id = b.record_id = "rec-x";
+  a.operation = b.operation = "op";
+  a.subject = b.subject = "s";
+  a.agent = b.agent = "a";
+  a.fields["k1"] = "v1";
+  a.fields["k2"] = "v2";
+  b.fields["k2"] = "v2";
+  b.fields["k1"] = "v1";
+  EXPECT_EQ(a.Encode(), b.Encode());
+}
+
+TEST(RecordTest, ValidateRejectsEmptyCore) {
+  ProvenanceRecord rec;
+  rec.operation = "op";
+  rec.subject = "s";
+  rec.agent = "a";
+  EXPECT_FALSE(rec.Validate().ok());  // missing record_id
+  rec.record_id = "r";
+  EXPECT_TRUE(rec.Validate().ok());
+  rec.agent.clear();
+  EXPECT_FALSE(rec.Validate().ok());
+}
+
+TEST(RecordTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(ProvenanceRecord::Decode(Bytes{1, 2, 3}).ok());
+  // Trailing bytes rejected.
+  ProvenanceRecord rec;
+  rec.record_id = "r";
+  rec.operation = "o";
+  rec.subject = "s";
+  rec.agent = "a";
+  Bytes enc = rec.Encode();
+  enc.push_back(0x00);
+  EXPECT_TRUE(ProvenanceRecord::Decode(enc).status().IsCorruption());
+}
+
+TEST(Table1Test, DomainNames) {
+  EXPECT_STREQ(DomainName(Domain::kSupplyChain), "supply_chain");
+  EXPECT_STREQ(DomainName(Domain::kForensics), "forensics");
+  EXPECT_STREQ(DomainName(Domain::kScientific), "scientific");
+}
+
+TEST(Table1Test, SupplyChainSchemaHasSevenFields) {
+  // Table 1, column 1: seven provenance record fields.
+  EXPECT_EQ(RequiredFields(Domain::kSupplyChain).size(), 7u);
+  ProvenanceRecord rec = MakeSupplyChainRecord(
+      "rec-1", "register", "prod-42", "acme-pharma", 1000, "batch-9",
+      "2026-01/2028-01", "factory->dc", "vaccine", "mfg-77", "qr://prod-42");
+  EXPECT_TRUE(rec.Validate().ok());
+  EXPECT_EQ(rec.fields.at(fields::kProductId), "prod-42");
+  EXPECT_EQ(rec.fields.at(fields::kBatchNumber), "batch-9");
+  // Dropping any required field fails validation.
+  for (const auto& key : RequiredFields(Domain::kSupplyChain)) {
+    ProvenanceRecord broken = rec;
+    broken.fields.erase(key);
+    EXPECT_FALSE(broken.Validate().ok()) << key;
+  }
+}
+
+TEST(Table1Test, ForensicsSchemaHasSevenFields) {
+  EXPECT_EQ(RequiredFields(Domain::kForensics).size(), 7u);
+  ProvenanceRecord rec = MakeForensicsRecord(
+      "rec-2", "collect", "evidence-3", "investigator-1", 2000, "case-2026-07",
+      "collection", "2026-06-01", "", "img,txt", "read:5,write:1",
+      "evidence-2");
+  EXPECT_TRUE(rec.Validate().ok());
+  EXPECT_EQ(rec.fields.at(fields::kCaseNumber), "case-2026-07");
+  EXPECT_EQ(rec.fields.at(fields::kInvestigationStage), "collection");
+}
+
+TEST(Table1Test, ScientificSchemaHasSevenFields) {
+  EXPECT_EQ(RequiredFields(Domain::kScientific).size(), 7u);
+  ProvenanceRecord rec = MakeScientificRecord(
+      "rec-3", "execute", "task-5", "lab-a", 3000, "wf-1", "452ms",
+      "researcher-9", "dataset-1", "result-5", "");
+  EXPECT_TRUE(rec.Validate().ok());
+  EXPECT_EQ(rec.fields.at(fields::kWorkflowId), "wf-1");
+}
+
+TEST(Table1Test, GenericDomainHasNoRequiredFields) {
+  EXPECT_TRUE(RequiredFields(Domain::kGeneric).empty());
+  EXPECT_TRUE(RequiredFields(Domain::kCloud).empty());
+}
+
+}  // namespace
+}  // namespace prov
+}  // namespace provledger

@@ -1,0 +1,253 @@
+// ProvenanceStore tests: anchoring, indexes, proofs, auditor sweep,
+// rebuild-from-chain, batching, and ProvChain's privacy (hashed agents).
+
+#include <gtest/gtest.h>
+
+#include "prov/capture.h"
+#include "prov/store.h"
+
+namespace provledger {
+namespace prov {
+namespace {
+
+ProvenanceRecord Rec(const std::string& id, const std::string& subject,
+                     const std::string& agent, Timestamp ts,
+                     std::vector<std::string> inputs = {}) {
+  ProvenanceRecord rec;
+  rec.record_id = id;
+  rec.operation = "update";
+  rec.subject = subject;
+  rec.agent = agent;
+  rec.timestamp = ts;
+  rec.inputs = std::move(inputs);
+  return rec;
+}
+
+class StoreTest : public ::testing::Test {
+ protected:
+  StoreTest() : clock_(1'000'000), store_(&chain_, &clock_) {}
+  ledger::Blockchain chain_;
+  SimClock clock_;
+  ProvenanceStore store_;
+};
+
+TEST_F(StoreTest, AnchorAndFetch) {
+  ASSERT_TRUE(store_.Anchor(Rec("r1", "file-1", "alice", 100)).ok());
+  EXPECT_EQ(chain_.height(), 1u);
+  EXPECT_TRUE(store_.HasRecord("r1"));
+  auto rec = store_.GetRecord("r1");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->subject, "file-1");
+  EXPECT_EQ(store_.anchored_count(), 1u);
+}
+
+TEST_F(StoreTest, DuplicateRecordRejected) {
+  ASSERT_TRUE(store_.Anchor(Rec("r1", "f", "a", 100)).ok());
+  EXPECT_TRUE(store_.Anchor(Rec("r1", "f", "a", 200)).IsAlreadyExists());
+}
+
+TEST_F(StoreTest, InvalidRecordRejected) {
+  ProvenanceRecord bad;  // everything empty
+  EXPECT_TRUE(store_.Anchor(bad).IsInvalidArgument());
+  EXPECT_EQ(chain_.height(), 0u);
+}
+
+TEST_F(StoreTest, BatchingAnchorsOneBlock) {
+  ProvenanceStoreOptions opts;
+  opts.batch_size = 4;
+  ProvenanceStore batched(&chain_, &clock_, opts);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        batched.Anchor(Rec("b" + std::to_string(i), "f", "a", 100 + i)).ok());
+  }
+  EXPECT_EQ(chain_.height(), 0u);  // still buffered
+  EXPECT_EQ(batched.pending_count(), 3u);
+  ASSERT_TRUE(batched.Anchor(Rec("b3", "f", "a", 103)).ok());
+  EXPECT_EQ(chain_.height(), 1u);  // one block for the whole batch
+  EXPECT_EQ(batched.pending_count(), 0u);
+  auto block = chain_.GetBlock(1);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block->transactions.size(), 4u);
+}
+
+TEST_F(StoreTest, SignedAnchoring) {
+  crypto::PrivateKey key = crypto::PrivateKey::FromSeed(std::string("alice"));
+  ASSERT_TRUE(store_.Anchor(Rec("r1", "f", "alice", 100), &key).ok());
+  auto block = chain_.GetBlock(1);
+  ASSERT_TRUE(block.ok());
+  EXPECT_TRUE(block->transactions[0].IsSigned());
+  EXPECT_TRUE(chain_.VerifyIntegrity().ok());
+}
+
+TEST_F(StoreTest, QueriesThroughGraph) {
+  ASSERT_TRUE(store_.Anchor(Rec("r1", "doc", "alice", 100)).ok());
+  ASSERT_TRUE(store_.Anchor(Rec("r2", "doc", "bob", 200)).ok());
+  ASSERT_TRUE(
+      store_.Anchor(Rec("r3", "summary", "bob", 300, {"doc"})).ok());
+
+  auto history = store_.SubjectHistory("doc");
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].record_id, "r1");
+
+  auto by_bob = store_.ByAgent("bob");
+  EXPECT_EQ(by_bob.size(), 2u);
+
+  auto lineage = store_.Lineage("summary");
+  ASSERT_EQ(lineage.size(), 1u);
+  EXPECT_EQ(lineage[0], "doc");
+}
+
+TEST_F(StoreTest, RecordProofVerifies) {
+  ASSERT_TRUE(store_.Anchor(Rec("r1", "f", "a", 100)).ok());
+  ASSERT_TRUE(store_.Anchor(Rec("r2", "f", "a", 200)).ok());
+  auto proof = store_.ProveRecord("r1");
+  ASSERT_TRUE(proof.ok());
+  auto rec = store_.GetRecord("r1");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(store_.VerifyRecordProof(rec.value(), proof.value()));
+  // A different record fails against that proof.
+  auto rec2 = store_.GetRecord("r2");
+  ASSERT_TRUE(rec2.ok());
+  EXPECT_FALSE(store_.VerifyRecordProof(rec2.value(), proof.value()));
+  EXPECT_FALSE(store_.ProveRecord("ghost").ok());
+}
+
+TEST_F(StoreTest, AuditAllDetectsTampering) {
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        store_.Anchor(Rec("r" + std::to_string(i), "f", "a", 100 + i)).ok());
+  }
+  auto audit = store_.AuditAll();
+  ASSERT_TRUE(audit.ok());
+  EXPECT_EQ(audit.value(), 5u);
+
+  // Tamper with a block in storage: the auditor must notice.
+  ASSERT_TRUE(chain_.TamperForTesting(2, 0, 0x55).ok());
+  EXPECT_FALSE(store_.AuditAll().ok());
+}
+
+TEST_F(StoreTest, RebuildFromChainRecoversState) {
+  ASSERT_TRUE(store_.Anchor(Rec("r1", "doc", "alice", 100)).ok());
+  ASSERT_TRUE(store_.Anchor(Rec("r2", "sum", "bob", 200, {"doc"})).ok());
+
+  ProvenanceStore rebuilt(&chain_, &clock_);
+  ASSERT_TRUE(rebuilt.RebuildFromChain().ok());
+  EXPECT_EQ(rebuilt.anchored_count(), 2u);
+  EXPECT_TRUE(rebuilt.HasRecord("r1"));
+  auto lineage = rebuilt.Lineage("sum");
+  ASSERT_EQ(lineage.size(), 1u);
+  EXPECT_EQ(lineage[0], "doc");
+  // Proofs still work on the rebuilt store.
+  auto proof = rebuilt.ProveRecord("r2");
+  ASSERT_TRUE(proof.ok());
+}
+
+TEST_F(StoreTest, PrivacyModeHashesAgents) {
+  ProvenanceStoreOptions opts;
+  opts.hash_agent_ids = true;
+  ProvenanceStore anon(&chain_, &clock_, opts);
+  ASSERT_TRUE(anon.Anchor(Rec("r1", "f", "alice", 100)).ok());
+
+  // On-chain record does not contain "alice".
+  auto block = chain_.GetBlock(1);
+  ASSERT_TRUE(block.ok());
+  auto rec = ProvenanceRecord::Decode(block->transactions[0].payload);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_NE(rec->agent, "alice");
+  EXPECT_EQ(rec->agent.rfind("anon-", 0), 0u);
+
+  // Deterministic pseudonym: queries via OnChainAgentId still work.
+  EXPECT_EQ(anon.ByAgent(anon.OnChainAgentId("alice")).size(), 1u);
+  EXPECT_TRUE(anon.ByAgent("alice").empty());
+}
+
+class CaptureTest : public ::testing::Test {
+ protected:
+  CaptureTest() : clock_(0), store_(&chain_, &clock_) {}
+  ledger::Blockchain chain_;
+  SimClock clock_;
+  ProvenanceStore store_;
+};
+
+TEST_F(CaptureTest, DirectCaptureRequiresKey) {
+  DirectCapture direct(&store_, &clock_);
+  direct.RegisterUser("alice",
+                      crypto::PrivateKey::FromSeed(std::string("alice")));
+  EXPECT_TRUE(direct.Capture("alice", Rec("r1", "f", "alice", 1)).ok());
+  EXPECT_TRUE(direct.Capture("mallory", Rec("r2", "f", "mallory", 2))
+                  .IsUnauthenticated());
+  EXPECT_EQ(direct.metrics().records, 1u);
+  EXPECT_EQ(direct.metrics().auth_failures, 1u);
+}
+
+TEST_F(CaptureTest, DataStoreCaptureBatches) {
+  DataStoreCapture ds(&store_, &clock_, /*flush_threshold=*/3);
+  ASSERT_TRUE(ds.Capture("u", Rec("r1", "f", "store", 1)).ok());
+  ASSERT_TRUE(ds.Capture("u", Rec("r2", "f", "store", 2)).ok());
+  EXPECT_EQ(chain_.height(), 0u);
+  EXPECT_EQ(ds.buffered(), 2u);
+  ASSERT_TRUE(ds.Capture("u", Rec("r3", "f", "store", 3)).ok());
+  EXPECT_EQ(chain_.height(), 1u);  // flushed as one block
+  EXPECT_EQ(ds.buffered(), 0u);
+  // Manual flush of a partial buffer.
+  ASSERT_TRUE(ds.Capture("u", Rec("r4", "f", "store", 4)).ok());
+  ASSERT_TRUE(ds.FlushBuffered().ok());
+  EXPECT_EQ(chain_.height(), 2u);
+}
+
+TEST_F(CaptureTest, CentralizedCaptureChecksToken) {
+  CentralizedCapture central(&store_, &clock_);
+  Bytes token = central.EnrollUser("alice");
+  central.PresentToken("alice", token);
+  EXPECT_TRUE(central.Capture("alice", Rec("r1", "f", "alice", 1)).ok());
+  // Wrong/absent token fails.
+  central.PresentToken("bob", ToBytes("forged-token-bytes"));
+  EXPECT_TRUE(
+      central.Capture("bob", Rec("r2", "f", "bob", 2)).IsUnauthenticated());
+  EXPECT_GT(central.metrics().auth_us, 0);
+}
+
+TEST_F(CaptureTest, DecentralizedCaptureNeedsQuorum) {
+  DecentralizedCapture committee(&store_, &clock_, /*committee_size=*/4,
+                                 /*threshold=*/3);
+  EXPECT_TRUE(committee.Capture("u", Rec("r1", "f", "u", 1)).ok());
+  EXPECT_GT(committee.metrics().messages, 0u);
+
+  // With only 2 of 4 members alive, the 3-threshold fails.
+  committee.SetAliveMembers(2);
+  EXPECT_TRUE(
+      committee.Capture("u", Rec("r2", "f", "u", 2)).IsUnauthenticated());
+  committee.SetAliveMembers(3);
+  EXPECT_TRUE(committee.Capture("u", Rec("r3", "f", "u", 3)).ok());
+}
+
+TEST_F(CaptureTest, PathLatencyOrdering) {
+  // Figure 3's qualitative shape: direct < datastore-emit < centralized
+  // < decentralized per-record simulated cost.
+  SimClock c1(0), c2(0), c3(0), c4(0);
+  ledger::Blockchain ch1, ch2, ch3, ch4;
+  ProvenanceStore s1(&ch1, &c1), s2(&ch2, &c2), s3(&ch3, &c3), s4(&ch4, &c4);
+
+  DirectCapture direct(&s1, &c1);
+  direct.RegisterUser("u", crypto::PrivateKey::FromSeed(std::string("u")));
+  DataStoreCapture ds(&s2, &c2, 1);
+  CentralizedCapture central(&s3, &c3);
+  central.PresentToken("u", central.EnrollUser("u"));
+  DecentralizedCapture committee(&s4, &c4);
+
+  const int kN = 10;
+  for (int i = 0; i < kN; ++i) {
+    std::string id = "r" + std::to_string(i);
+    ASSERT_TRUE(ds.Capture("u", Rec(id, "f", "u", i)).ok());
+    ASSERT_TRUE(direct.Capture("u", Rec(id, "f", "u", i)).ok());
+    ASSERT_TRUE(central.Capture("u", Rec(id, "f", "u", i)).ok());
+    ASSERT_TRUE(committee.Capture("u", Rec(id, "f", "u", i)).ok());
+  }
+  EXPECT_LT(c2.NowMicros(), c1.NowMicros());
+  EXPECT_LT(c1.NowMicros(), c3.NowMicros());
+  EXPECT_LT(c3.NowMicros(), c4.NowMicros());
+}
+
+}  // namespace
+}  // namespace prov
+}  // namespace provledger

@@ -1,0 +1,155 @@
+// Scientific-workflow tests: the Figure 4 lifecycle — design, execution,
+// branching/merging, publishing, invalidation cascade, re-execution.
+
+#include <gtest/gtest.h>
+
+#include "domains/scientific/workflow.h"
+
+namespace provledger {
+namespace scientific {
+namespace {
+
+class WorkflowTest : public ::testing::Test {
+ protected:
+  WorkflowTest() : clock_(0), store_(&chain_, &clock_), wm_(&store_, &clock_) {
+    // Pipeline: ingest -> clean -> {analyze-a, analyze-b} -> merge-report
+    EXPECT_TRUE(wm_.CreateWorkflow("wf-1", "lab-a").ok());
+    EXPECT_TRUE(wm_.AddTask("wf-1", "ingest", "fetch-data").ok());
+    EXPECT_TRUE(wm_.AddTask("wf-1", "clean", "clean", {"ingest"}).ok());
+    EXPECT_TRUE(wm_.Branch("wf-1", "analyze-a", "stats", "clean").ok());
+    EXPECT_TRUE(wm_.Branch("wf-1", "analyze-b", "ml-fit", "clean").ok());
+    EXPECT_TRUE(
+        wm_.Merge("wf-1", "merge-report", "report", {"analyze-a", "analyze-b"})
+            .ok());
+  }
+  ledger::Blockchain chain_;
+  SimClock clock_;
+  prov::ProvenanceStore store_;
+  WorkflowManager wm_;
+};
+
+TEST_F(WorkflowTest, DesignPhaseValidation) {
+  EXPECT_TRUE(wm_.CreateWorkflow("wf-1", "x").IsAlreadyExists());
+  EXPECT_TRUE(wm_.AddTask("ghost", "t", "op").IsNotFound());
+  EXPECT_TRUE(wm_.AddTask("wf-1", "ingest", "op").IsAlreadyExists());
+  EXPECT_TRUE(wm_.AddTask("wf-1", "t", "op", {"ghost-dep"}).IsNotFound());
+  EXPECT_TRUE(
+      wm_.Merge("wf-1", "m", "op", {"ingest"}).IsInvalidArgument());
+}
+
+TEST_F(WorkflowTest, DependencyOrderEnforced) {
+  EXPECT_TRUE(
+      wm_.ExecuteTask("wf-1", "clean", "alice").IsFailedPrecondition());
+  ASSERT_TRUE(wm_.ExecuteTask("wf-1", "ingest", "alice").ok());
+  EXPECT_TRUE(wm_.ExecuteTask("wf-1", "clean", "alice").ok());
+  // Double execution rejected.
+  EXPECT_TRUE(
+      wm_.ExecuteTask("wf-1", "ingest", "alice").IsFailedPrecondition());
+}
+
+TEST_F(WorkflowTest, ExecuteAllRunsTopologically) {
+  auto executed = wm_.ExecuteAll("wf-1", "alice");
+  ASSERT_TRUE(executed.ok());
+  EXPECT_EQ(executed.value(), 5u);
+  auto task = wm_.GetTask("wf-1", "merge-report");
+  ASSERT_TRUE(task.ok());
+  EXPECT_EQ(task->state, TaskState::kExecuted);
+  // Provenance was anchored per execution.
+  EXPECT_EQ(store_.anchored_count(), 5u);
+}
+
+TEST_F(WorkflowTest, PublishRequiresAllExecuted) {
+  EXPECT_TRUE(wm_.Publish("wf-1").IsFailedPrecondition());
+  ASSERT_TRUE(wm_.ExecuteAll("wf-1", "alice").ok());
+  EXPECT_TRUE(wm_.Publish("wf-1").ok());
+  auto wf = wm_.GetWorkflow("wf-1");
+  ASSERT_TRUE(wf.ok());
+  EXPECT_TRUE(wf->published);
+}
+
+TEST_F(WorkflowTest, OutputLineageTracksInputs) {
+  ASSERT_TRUE(wm_.ExecuteAll("wf-1", "alice").ok());
+  auto lineage = wm_.OutputLineage("wf-1", "merge-report");
+  // merge-report/out <- {analyze-a/out, analyze-b/out} <- clean/out <- ingest/out
+  EXPECT_EQ(lineage.size(), 4u);
+}
+
+TEST_F(WorkflowTest, InvalidationCascadesToDownstreamTasks) {
+  ASSERT_TRUE(wm_.ExecuteAll("wf-1", "alice").ok());
+  auto invalidated = wm_.InvalidateTask("wf-1", "clean", "bad parameter");
+  ASSERT_TRUE(invalidated.ok());
+  // clean + analyze-a + analyze-b + merge-report.
+  EXPECT_EQ(invalidated->size(), 4u);
+  for (const char* t : {"clean", "analyze-a", "analyze-b", "merge-report"}) {
+    auto task = wm_.GetTask("wf-1", t);
+    ASSERT_TRUE(task.ok());
+    EXPECT_EQ(task->state, TaskState::kInvalidated) << t;
+  }
+  // ingest untouched.
+  auto ingest = wm_.GetTask("wf-1", "ingest");
+  ASSERT_TRUE(ingest.ok());
+  EXPECT_EQ(ingest->state, TaskState::kExecuted);
+}
+
+TEST_F(WorkflowTest, LeafInvalidationTouchesOnlyLeaf) {
+  ASSERT_TRUE(wm_.ExecuteAll("wf-1", "alice").ok());
+  auto invalidated = wm_.InvalidateTask("wf-1", "merge-report", "typo");
+  ASSERT_TRUE(invalidated.ok());
+  EXPECT_EQ(invalidated->size(), 1u);
+}
+
+TEST_F(WorkflowTest, SelectiveReexecutionRepairsWorkflow) {
+  ASSERT_TRUE(wm_.ExecuteAll("wf-1", "alice").ok());
+  ASSERT_TRUE(wm_.InvalidateTask("wf-1", "analyze-a", "bug").ok());
+
+  auto plan = wm_.ReexecutionPlan("wf-1");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(*plan, (std::vector<std::string>{"analyze-a", "merge-report"}));
+
+  // Cannot re-execute merge before its invalidated dependency is repaired.
+  EXPECT_TRUE(wm_.ReexecuteTask("wf-1", "merge-report", "bob")
+                  .IsFailedPrecondition());
+  ASSERT_TRUE(wm_.ReexecuteTask("wf-1", "analyze-a", "bob").ok());
+  ASSERT_TRUE(wm_.ReexecuteTask("wf-1", "merge-report", "bob").ok());
+
+  auto task = wm_.GetTask("wf-1", "merge-report");
+  ASSERT_TRUE(task.ok());
+  EXPECT_EQ(task->state, TaskState::kReexecuted);
+  EXPECT_EQ(task->executions, 2u);
+  // Publishing is possible again.
+  EXPECT_TRUE(wm_.Publish("wf-1").ok());
+}
+
+TEST_F(WorkflowTest, ReexecutionOnlyForInvalidated) {
+  ASSERT_TRUE(wm_.ExecuteAll("wf-1", "alice").ok());
+  EXPECT_TRUE(
+      wm_.ReexecuteTask("wf-1", "ingest", "bob").IsFailedPrecondition());
+  EXPECT_TRUE(wm_.InvalidateTask("wf-1", "ghost", "x").status().IsNotFound());
+}
+
+TEST_F(WorkflowTest, MultiWorkflowLedgerSharing) {
+  // A second workflow on the same store/ledger (SciLedger's multi-workflow
+  // support).
+  ASSERT_TRUE(wm_.CreateWorkflow("wf-2", "lab-b").ok());
+  ASSERT_TRUE(wm_.AddTask("wf-2", "only", "op").ok());
+  ASSERT_TRUE(wm_.ExecuteAll("wf-1", "alice").ok());
+  ASSERT_TRUE(wm_.ExecuteTask("wf-2", "only", "bob").ok());
+  EXPECT_EQ(wm_.workflow_count(), 2u);
+  EXPECT_EQ(store_.anchored_count(), 6u);
+  EXPECT_TRUE(chain_.VerifyIntegrity().ok());
+}
+
+TEST_F(WorkflowTest, RecordsCarryTable1Fields) {
+  ASSERT_TRUE(wm_.ExecuteTask("wf-1", "ingest", "alice").ok());
+  auto history = store_.SubjectHistory("ingest");
+  ASSERT_EQ(history.size(), 1u);
+  const auto& rec = history[0];
+  EXPECT_EQ(rec.domain, prov::Domain::kScientific);
+  EXPECT_EQ(rec.fields.at(prov::fields::kWorkflowId), "wf-1");
+  EXPECT_EQ(rec.fields.at(prov::fields::kUserId), "alice");
+  EXPECT_TRUE(rec.Validate().ok());
+}
+
+}  // namespace
+}  // namespace scientific
+}  // namespace provledger

@@ -1,0 +1,111 @@
+// SHA-256 / HMAC-SHA256 against FIPS-180 and RFC 4231 vectors, plus
+// incremental-update equivalence properties.
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.h"
+
+namespace provledger {
+namespace crypto {
+namespace {
+
+TEST(Sha256Test, EmptyStringVector) {
+  EXPECT_EQ(DigestHex(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, AbcVector) {
+  EXPECT_EQ(DigestHex(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockVector) {
+  EXPECT_EQ(DigestHex(Sha256::Hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAVector) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(DigestHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg =
+      "provenance traces data from its creation to manipulation";
+  for (size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.Update(std::string_view(msg).substr(0, split));
+    h.Update(std::string_view(msg).substr(split));
+    EXPECT_EQ(h.Finish(), Sha256::Hash(msg)) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, ExactBlockBoundaries) {
+  // 55/56/63/64/65 bytes straddle the padding edge cases.
+  for (size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string msg(len, 'x');
+    Sha256 one;
+    one.Update(msg);
+    Sha256 split;
+    split.Update(std::string_view(msg).substr(0, len / 2));
+    split.Update(std::string_view(msg).substr(len / 2));
+    EXPECT_EQ(one.Finish(), split.Finish()) << "len=" << len;
+  }
+}
+
+TEST(Sha256Test, HashPairDomain) {
+  Digest a = Sha256::Hash("a");
+  Digest b = Sha256::Hash("b");
+  Digest ab = Sha256::HashPair(a, b);
+  Digest ba = Sha256::HashPair(b, a);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(Sha256Test, DigestBytesRoundTrip) {
+  Digest d = Sha256::Hash("roundtrip");
+  auto parsed = DigestFromBytes(DigestToBytes(d));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), d);
+  EXPECT_FALSE(DigestFromBytes(Bytes{1, 2, 3}).ok());
+}
+
+TEST(Sha256Test, ZeroDigestIsAllZero) {
+  Digest z = ZeroDigest();
+  for (uint8_t byte : z) EXPECT_EQ(byte, 0);
+}
+
+TEST(HmacSha256Test, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  Digest mac = HmacSha256(key, ToBytes("Hi There"));
+  EXPECT_EQ(DigestHex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256Test, Rfc4231Case2) {
+  Digest mac =
+      HmacSha256(ToBytes("Jefe"), ToBytes("what do ya want for nothing?"));
+  EXPECT_EQ(DigestHex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256Test, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key of 0xaa.
+  Bytes key(131, 0xaa);
+  Digest mac = HmacSha256(
+      key, ToBytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(DigestHex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256Test, KeySensitivity) {
+  Bytes msg = ToBytes("same message");
+  EXPECT_NE(HmacSha256(ToBytes("key1"), msg), HmacSha256(ToBytes("key2"), msg));
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace provledger

@@ -1,0 +1,194 @@
+// Supply-chain tests: legitimate registration, confirmation-based transfer,
+// cold chain alerts, PrivChain ZKRP disclosure, PUF authentication,
+// counterfeit detection.
+
+#include <gtest/gtest.h>
+
+#include "domains/supplychain/puf.h"
+#include "domains/supplychain/supply_chain.h"
+
+namespace provledger {
+namespace supplychain {
+namespace {
+
+class SupplyChainTest : public ::testing::Test {
+ protected:
+  SupplyChainTest() : clock_(0), store_(&chain_, &clock_), sc_(&store_, &clock_) {
+    sc_.AccreditManufacturer("acme-pharma");
+    EXPECT_TRUE(sc_.RegisterProduct("prod-1", "vaccine", "batch-9",
+                                    "acme-pharma", "2028-01")
+                    .ok());
+  }
+  ledger::Blockchain chain_;
+  SimClock clock_;
+  prov::ProvenanceStore store_;
+  SupplyChain sc_;
+};
+
+TEST_F(SupplyChainTest, OnlyAccreditedManufacturersRegister) {
+  // The §4.6 "illegitimate product registration" defence.
+  EXPECT_TRUE(sc_.RegisterProduct("fake-1", "vaccine", "b", "shady-corp", "e")
+                  .IsPermissionDenied());
+  EXPECT_TRUE(sc_.RegisterProduct("prod-1", "vaccine", "b", "acme-pharma", "e")
+                  .IsAlreadyExists());
+  EXPECT_EQ(sc_.product_count(), 1u);
+}
+
+TEST_F(SupplyChainTest, ConfirmationBasedTransfer) {
+  // Cui et al.: two-phase custody transfer.
+  ASSERT_TRUE(sc_.InitiateTransfer("prod-1", "acme-pharma", "dist-co").ok());
+  auto product = sc_.GetProduct("prod-1");
+  ASSERT_TRUE(product.ok());
+  EXPECT_EQ(product->owner, "acme-pharma");  // not yet transferred
+
+  // Only the named recipient may confirm (anti-theft property).
+  EXPECT_TRUE(sc_.ConfirmTransfer("prod-1", "thief").IsPermissionDenied());
+  ASSERT_TRUE(sc_.ConfirmTransfer("prod-1", "dist-co").ok());
+  product = sc_.GetProduct("prod-1");
+  ASSERT_TRUE(product.ok());
+  EXPECT_EQ(product->owner, "dist-co");
+  EXPECT_EQ(product->trace, "acme-pharma>dist-co");
+}
+
+TEST_F(SupplyChainTest, TransferGuards) {
+  EXPECT_TRUE(
+      sc_.InitiateTransfer("prod-1", "not-owner", "x").IsPermissionDenied());
+  EXPECT_TRUE(sc_.ConfirmTransfer("prod-1", "x").IsFailedPrecondition());
+  ASSERT_TRUE(sc_.InitiateTransfer("prod-1", "acme-pharma", "dist-co").ok());
+  // No double-initiate while pending.
+  EXPECT_TRUE(sc_.InitiateTransfer("prod-1", "acme-pharma", "other")
+                  .IsFailedPrecondition());
+  // Cancel by either party; stranger cannot.
+  EXPECT_TRUE(sc_.CancelTransfer("prod-1", "stranger").IsPermissionDenied());
+  ASSERT_TRUE(sc_.CancelTransfer("prod-1", "dist-co").ok());
+  auto product = sc_.GetProduct("prod-1");
+  ASSERT_TRUE(product.ok());
+  EXPECT_FALSE(product->pending_transfer_to.has_value());
+}
+
+TEST_F(SupplyChainTest, ColdChainAlerts) {
+  ASSERT_TRUE(sc_.SetColdChainRange("prod-1", 2, 8).ok());
+  ASSERT_TRUE(sc_.RecordSensorReading("prod-1", "sensor-1", 5).ok());
+  EXPECT_TRUE(sc_.alerts().empty());
+  ASSERT_TRUE(sc_.RecordSensorReading("prod-1", "sensor-1", 12).ok());
+  ASSERT_EQ(sc_.alerts().size(), 1u);
+  EXPECT_EQ(sc_.alerts()[0].reading, 12);
+  EXPECT_EQ(sc_.alerts()[0].high, 8);
+  // Readings are on-ledger either way.
+  auto history = sc_.History("prod-1");
+  size_t readings = 0;
+  for (const auto& rec : history) {
+    if (rec.operation == "sensor-reading") ++readings;
+  }
+  EXPECT_EQ(readings, 2u);
+}
+
+TEST_F(SupplyChainTest, ColdChainGuards) {
+  EXPECT_TRUE(sc_.RecordSensorReading("prod-1", "s", 5).IsFailedPrecondition());
+  EXPECT_TRUE(sc_.SetColdChainRange("prod-1", 9, 2).IsInvalidArgument());
+  EXPECT_TRUE(sc_.SetColdChainRange("ghost", 2, 8).IsNotFound());
+}
+
+TEST_F(SupplyChainTest, PrivateReadingZkrpRoundTrip) {
+  // PrivChain: the ledger sees a commitment + range, never the reading.
+  auto record_id = sc_.RecordPrivateReading("prod-1", "sensor-1", 5, 2, 8);
+  ASSERT_TRUE(record_id.ok());
+  EXPECT_TRUE(sc_.VerifyPrivateReading(record_id.value()).ok());
+
+  auto rec = store_.GetRecord(record_id.value());
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->operation, "private-sensor-proof");
+  EXPECT_EQ(rec->fields.at("range"), "2..8");
+  // The raw reading never appears in the record fields.
+  for (const auto& [key, value] : rec->fields) {
+    if (key == "range") continue;
+    EXPECT_NE(value, "5") << key;
+  }
+}
+
+TEST_F(SupplyChainTest, PrivateReadingOutOfRangeUnprovable) {
+  EXPECT_FALSE(sc_.RecordPrivateReading("prod-1", "s", 12, 2, 8).ok());
+}
+
+TEST_F(SupplyChainTest, RecallBlocksTransfersAndAuthenticity) {
+  ASSERT_TRUE(sc_.Recall("prod-1", "contamination").ok());
+  EXPECT_TRUE(sc_.InitiateTransfer("prod-1", "acme-pharma", "x")
+                  .IsFailedPrecondition());
+  EXPECT_FALSE(sc_.VerifyAuthenticity("prod-1", "acme-pharma"));
+}
+
+TEST_F(SupplyChainTest, CounterfeitDetection) {
+  // Unknown id => counterfeit; wrong holder => counterfeit/diverted.
+  EXPECT_FALSE(sc_.VerifyAuthenticity("prod-999", "anyone"));
+  EXPECT_TRUE(sc_.VerifyAuthenticity("prod-1", "acme-pharma"));
+  EXPECT_FALSE(sc_.VerifyAuthenticity("prod-1", "grey-market"));
+}
+
+TEST_F(SupplyChainTest, LedgerHistoryIsComplete) {
+  ASSERT_TRUE(sc_.InitiateTransfer("prod-1", "acme-pharma", "dist-co").ok());
+  ASSERT_TRUE(sc_.ConfirmTransfer("prod-1", "dist-co").ok());
+  auto history = sc_.History("prod-1");
+  ASSERT_EQ(history.size(), 3u);  // register, initiate, confirm
+  EXPECT_EQ(history[0].operation, "register");
+  EXPECT_EQ(history[1].operation, "transfer-initiate");
+  EXPECT_EQ(history[2].operation, "transfer-confirm");
+  for (const auto& rec : history) EXPECT_TRUE(rec.Validate().ok());
+  EXPECT_TRUE(chain_.VerifyIntegrity().ok());
+}
+
+TEST(PufTest, EnrollmentAndAuthentication) {
+  PufDevice device("chip-1", ToBytes("intrinsic-variation-1"));
+  PufVerifier verifier;
+  ASSERT_TRUE(verifier.Enroll(device, 5, /*seed=*/77).ok());
+  EXPECT_EQ(verifier.RemainingCrps("chip-1"), 5u);
+
+  // The genuine device authenticates.
+  ASSERT_TRUE(verifier
+                  .Authenticate("chip-1",
+                                [&](const Bytes& c) { return device.Respond(c); })
+                  .ok());
+  EXPECT_EQ(verifier.RemainingCrps("chip-1"), 4u);
+}
+
+TEST(PufTest, CloneFailsAuthentication) {
+  PufDevice device("chip-1", ToBytes("intrinsic-variation-1"));
+  // A counterfeit with different silicon cannot answer.
+  PufDevice clone("chip-1", ToBytes("different-silicon"));
+  PufVerifier verifier;
+  ASSERT_TRUE(verifier.Enroll(device, 3, 77).ok());
+  EXPECT_TRUE(verifier
+                  .Authenticate("chip-1",
+                                [&](const Bytes& c) { return clone.Respond(c); })
+                  .IsUnauthenticated());
+  // CRP consumed even on failure (replay resistance).
+  EXPECT_EQ(verifier.RemainingCrps("chip-1"), 2u);
+}
+
+TEST(PufTest, CrpsAreSingleUse) {
+  PufDevice device("chip-2", ToBytes("x"));
+  PufVerifier verifier;
+  ASSERT_TRUE(verifier.Enroll(device, 1, 1).ok());
+  ASSERT_TRUE(verifier
+                  .Authenticate("chip-2",
+                                [&](const Bytes& c) { return device.Respond(c); })
+                  .ok());
+  auto again = verifier.Authenticate(
+      "chip-2", [&](const Bytes& c) { return device.Respond(c); });
+  EXPECT_EQ(again.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PufTest, EnrollmentGuards) {
+  PufDevice device("chip-3", ToBytes("x"));
+  PufVerifier verifier;
+  EXPECT_TRUE(verifier.Enroll(device, 0, 1).IsInvalidArgument());
+  ASSERT_TRUE(verifier.Enroll(device, 2, 1).ok());
+  EXPECT_TRUE(verifier.Enroll(device, 2, 1).IsAlreadyExists());
+  EXPECT_TRUE(verifier
+                  .Authenticate("unknown",
+                                [&](const Bytes& c) { return device.Respond(c); })
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace supplychain
+}  // namespace provledger

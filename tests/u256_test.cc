@@ -1,0 +1,169 @@
+// 256-bit arithmetic tests: limb ops cross-checked against native integers,
+// field axioms over the secp256k1 prime, and modular identities.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/u256.h"
+
+namespace provledger {
+namespace crypto {
+namespace {
+
+U256 RandomU256(Rng* rng) {
+  U256 v;
+  for (auto& limb : v.limb) limb = rng->NextU64();
+  return v;
+}
+
+TEST(U256Test, HexRoundTrip) {
+  const char* hex =
+      "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef";
+  U256 v = U256::FromHex(hex);
+  EXPECT_EQ(v.ToHex(), hex);
+}
+
+TEST(U256Test, BytesBigEndianRoundTrip) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    U256 v = RandomU256(&rng);
+    Bytes b = v.ToBytesBE();
+    ASSERT_EQ(b.size(), 32u);
+    EXPECT_EQ(U256::FromBytesBE(b.data()), v);
+  }
+}
+
+TEST(U256Test, CmpOrdering) {
+  U256 small = U256::FromU64(5);
+  U256 big = U256::FromHex(
+      "0000000000000001000000000000000000000000000000000000000000000000");
+  EXPECT_EQ(Cmp(small, small), 0);
+  EXPECT_LT(Cmp(small, big), 0);
+  EXPECT_GT(Cmp(big, small), 0);
+}
+
+TEST(U256Test, AddSubInverse) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    U256 a = RandomU256(&rng);
+    U256 b = RandomU256(&rng);
+    U256 sum, back;
+    uint64_t carry = AddWithCarry(a, b, &sum);
+    uint64_t borrow = SubWithBorrow(sum, b, &back);
+    // (a + b) - b == a mod 2^256, and carry/borrow agree.
+    EXPECT_EQ(back, a);
+    EXPECT_EQ(carry, borrow);
+  }
+}
+
+TEST(U256Test, BitLength) {
+  EXPECT_EQ(U256::Zero().BitLength(), 0u);
+  EXPECT_EQ(U256::One().BitLength(), 1u);
+  EXPECT_EQ(U256::FromU64(0x80).BitLength(), 8u);
+  U256 top = U256::FromHex(
+      "8000000000000000000000000000000000000000000000000000000000000000");
+  EXPECT_EQ(top.BitLength(), 256u);
+}
+
+TEST(U256Test, SmallModularArithmeticMatchesNative) {
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t a = rng.NextBelow(1u << 20);
+    uint64_t b = rng.NextBelow(1u << 20);
+    uint64_t m = 2 + rng.NextBelow(1u << 20);
+    U256 am = U256::FromU64(a % m), bm = U256::FromU64(b % m),
+         mm = U256::FromU64(m);
+    EXPECT_EQ(AddMod(am, bm, mm), U256::FromU64((a % m + b % m) % m));
+    EXPECT_EQ(MulMod(am, bm, mm),
+              U256::FromU64(((a % m) * (b % m)) % m));
+  }
+}
+
+TEST(U256Test, SubModWrapsCorrectly) {
+  U256 m = U256::FromU64(97);
+  EXPECT_EQ(SubMod(U256::FromU64(5), U256::FromU64(9), m), U256::FromU64(93));
+  EXPECT_EQ(SubMod(U256::FromU64(9), U256::FromU64(5), m), U256::FromU64(4));
+}
+
+TEST(U256Test, ExpModSmall) {
+  // 3^20 mod 1000003 = 3486784401 mod 1000003
+  uint64_t expected = 1;
+  for (int i = 0; i < 20; ++i) expected = expected * 3 % 1000003;
+  EXPECT_EQ(ExpMod(U256::FromU64(3), U256::FromU64(20),
+                   U256::FromU64(1000003)),
+            U256::FromU64(expected));
+}
+
+TEST(U256Test, FermatLittleTheoremSmallPrime) {
+  // a^(p-1) ≡ 1 (mod p) for prime p = 1000003.
+  U256 p = U256::FromU64(1000003);
+  EXPECT_EQ(ExpMod(U256::FromU64(123456), U256::FromU64(1000002), p),
+            U256::One());
+}
+
+TEST(FieldTest, MulMatchesMulModAgainstPrime) {
+  // FieldMul's fast fold must agree with the generic peasant multiplier.
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    U256 a = ReduceMod(RandomU256(&rng), FieldP());
+    U256 b = ReduceMod(RandomU256(&rng), FieldP());
+    EXPECT_EQ(FieldMul(a, b), MulMod(a, b, FieldP()));
+  }
+}
+
+TEST(FieldTest, FieldAxioms) {
+  Rng rng(13);
+  for (int i = 0; i < 30; ++i) {
+    U256 a = ReduceMod(RandomU256(&rng), FieldP());
+    U256 b = ReduceMod(RandomU256(&rng), FieldP());
+    U256 c = ReduceMod(RandomU256(&rng), FieldP());
+    // Commutativity and associativity (mul), distributivity.
+    EXPECT_EQ(FieldMul(a, b), FieldMul(b, a));
+    EXPECT_EQ(FieldMul(FieldMul(a, b), c), FieldMul(a, FieldMul(b, c)));
+    EXPECT_EQ(FieldMul(a, FieldAdd(b, c)),
+              FieldAdd(FieldMul(a, b), FieldMul(a, c)));
+  }
+}
+
+TEST(FieldTest, InverseIsInverse) {
+  Rng rng(17);
+  for (int i = 0; i < 20; ++i) {
+    U256 a = ReduceMod(RandomU256(&rng), FieldP());
+    if (a.IsZero()) continue;
+    EXPECT_EQ(FieldMul(a, FieldInv(a)), U256::One());
+  }
+}
+
+TEST(FieldTest, SqrtOfSquareRoundTrips) {
+  Rng rng(19);
+  for (int i = 0; i < 20; ++i) {
+    U256 a = ReduceMod(RandomU256(&rng), FieldP());
+    U256 sq = FieldSqr(a);
+    U256 root = FieldSqrt(sq);
+    // root is ±a.
+    bool plus = root == a;
+    bool minus = root == FieldSub(U256::Zero(), a);
+    EXPECT_TRUE(plus || minus);
+  }
+}
+
+TEST(FieldTest, FieldConstantsSane) {
+  // p and n are both 256-bit and p > n.
+  EXPECT_EQ(FieldP().BitLength(), 256u);
+  EXPECT_EQ(OrderN().BitLength(), 256u);
+  EXPECT_GT(Cmp(FieldP(), OrderN()), 0);
+}
+
+TEST(FieldTest, ReduceModIdempotent) {
+  Rng rng(23);
+  for (int i = 0; i < 50; ++i) {
+    U256 a = RandomU256(&rng);
+    U256 r = ReduceMod(a, FieldP());
+    EXPECT_LT(Cmp(r, FieldP()), 0);
+    EXPECT_EQ(ReduceMod(r, FieldP()), r);
+  }
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace provledger
