@@ -1,0 +1,415 @@
+// Scale benchmark for the dense-id provenance graph engine: builds a
+// 100k-record DAG and compares ingest throughput and per-query p50 latency
+// against the pre-refactor std::map/std::set implementation (embedded below
+// as `legacy::Graph`, a faithful copy of the old ProvenanceGraph hot path).
+//
+// Emits BENCH_graph.json (path = argv[1], record count = argv[2]) with
+// records/sec and per-query p50 latencies plus dense-vs-legacy speedups —
+// the start of the perf trajectory for the §6.1 "Provenance Query" axis.
+//
+// Usage: bench_graph_scale [BENCH_graph.json [100000]]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "prov/graph.h"
+
+namespace provledger {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedUs(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+// ---------------------------------------------------------------------------
+// The pre-refactor implementation, kept verbatim as the benchmark baseline.
+// ---------------------------------------------------------------------------
+namespace legacy {
+
+class Graph {
+ public:
+  Status AddRecord(const prov::ProvenanceRecord& record) {
+    PROVLEDGER_RETURN_NOT_OK(record.Validate());
+    if (records_.count(record.record_id)) {
+      return Status::AlreadyExists("record already in graph");
+    }
+    std::vector<std::string> outputs = record.outputs;
+    if (outputs.empty()) outputs.push_back(record.subject);
+
+    records_.emplace(record.record_id, record);
+    by_agent_[record.agent].push_back(record.record_id);
+    by_subject_[record.subject].push_back(record.record_id);
+    entity_versions_.insert(record.subject);
+    for (const auto& in : record.inputs) {
+      entity_versions_.insert(in);
+      used_by_[in].push_back(record.record_id);
+    }
+    for (const auto& out : outputs) {
+      entity_versions_.insert(out);
+      generated_by_[out].push_back(record.record_id);
+      for (const auto& in : record.inputs) {
+        if (in == out) continue;
+        derived_from_[out].insert(in);
+        derivations_[in].insert(out);
+      }
+    }
+    return Status::OK();
+  }
+
+  std::vector<std::string> Lineage(const std::string& entity) const {
+    return Closure(derived_from_, entity);
+  }
+
+  std::vector<prov::ProvenanceRecord> SubjectHistory(
+      const std::string& subject) const {
+    return Collect(by_subject_, subject);
+  }
+
+  std::vector<prov::ProvenanceRecord> ByAgent(const std::string& agent) const {
+    return Collect(by_agent_, agent);
+  }
+
+  std::vector<prov::ProvenanceRecord> InRange(Timestamp from,
+                                              Timestamp to) const {
+    std::vector<prov::ProvenanceRecord> out;
+    for (const auto& [_, rec] : records_) {
+      if (rec.timestamp >= from && rec.timestamp <= to) out.push_back(rec);
+    }
+    return SortByTime(std::move(out));
+  }
+
+  std::vector<std::string> ReexecutionSet(const std::string& record_id) const {
+    if (!records_.count(record_id)) return {};
+    std::vector<std::string> out;
+    std::deque<std::string> frontier{record_id};
+    std::set<std::string> seen{record_id};
+    while (!frontier.empty()) {
+      std::string current = frontier.front();
+      frontier.pop_front();
+      for (const auto& next : DownstreamRecords(current)) {
+        if (seen.insert(next).second) {
+          out.push_back(next);
+          frontier.push_back(next);
+        }
+      }
+    }
+    return out;
+  }
+
+  std::vector<std::string> Invalidate(const std::string& record_id) {
+    std::vector<std::string> order;
+    std::deque<std::string> frontier{record_id};
+    std::set<std::string> seen{record_id};
+    while (!frontier.empty()) {
+      std::string current = frontier.front();
+      frontier.pop_front();
+      order.push_back(current);
+      for (const auto& next : DownstreamRecords(current)) {
+        if (seen.insert(next).second) frontier.push_back(next);
+      }
+    }
+    for (const auto& id : order) invalidated_.insert(id);
+    return order;
+  }
+
+ private:
+  static std::vector<prov::ProvenanceRecord> SortByTime(
+      std::vector<prov::ProvenanceRecord> recs) {
+    std::stable_sort(recs.begin(), recs.end(),
+                     [](const prov::ProvenanceRecord& a,
+                        const prov::ProvenanceRecord& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+    return recs;
+  }
+
+  std::vector<prov::ProvenanceRecord> Collect(
+      const std::map<std::string, std::vector<std::string>>& index,
+      const std::string& key) const {
+    std::vector<prov::ProvenanceRecord> out;
+    auto it = index.find(key);
+    if (it == index.end()) return out;
+    for (const auto& id : it->second) out.push_back(records_.at(id));
+    return SortByTime(std::move(out));
+  }
+
+  static std::vector<std::string> Closure(
+      const std::map<std::string, std::set<std::string>>& adjacency,
+      const std::string& start) {
+    std::vector<std::string> out;
+    std::set<std::string> seen{start};
+    std::deque<std::string> frontier{start};
+    while (!frontier.empty()) {
+      std::string current = frontier.front();
+      frontier.pop_front();
+      auto it = adjacency.find(current);
+      if (it == adjacency.end()) continue;
+      for (const auto& next : it->second) {
+        if (seen.insert(next).second) {
+          out.push_back(next);
+          frontier.push_back(next);
+        }
+      }
+    }
+    return out;
+  }
+
+  std::vector<std::string> DownstreamRecords(
+      const std::string& record_id) const {
+    const prov::ProvenanceRecord& rec = records_.at(record_id);
+    std::vector<std::string> outputs = rec.outputs;
+    if (outputs.empty()) outputs.push_back(rec.subject);
+    std::vector<std::string> downstream;
+    std::set<std::string> seen;
+    for (const auto& out : outputs) {
+      auto it = used_by_.find(out);
+      if (it == used_by_.end()) continue;
+      for (const auto& consumer : it->second) {
+        if (consumer != record_id && seen.insert(consumer).second) {
+          downstream.push_back(consumer);
+        }
+      }
+    }
+    return downstream;
+  }
+
+  std::map<std::string, prov::ProvenanceRecord> records_;
+  std::map<std::string, std::vector<std::string>> generated_by_;
+  std::map<std::string, std::vector<std::string>> used_by_;
+  std::map<std::string, std::set<std::string>> derived_from_;
+  std::map<std::string, std::set<std::string>> derivations_;
+  std::set<std::string> entity_versions_;
+  std::map<std::string, std::vector<std::string>> by_agent_;
+  std::map<std::string, std::vector<std::string>> by_subject_;
+  std::set<std::string> invalidated_;
+};
+
+}  // namespace legacy
+
+// ---------------------------------------------------------------------------
+// Workload: a layered DAG with long derivation chains (record i consumes the
+// previous version plus a periodic long-range input), 1k hot subjects, and
+// 64 agents — the shape SciChain-style scientific pipelines produce.
+// ---------------------------------------------------------------------------
+std::vector<prov::ProvenanceRecord> MakeWorkload(size_t n) {
+  std::vector<prov::ProvenanceRecord> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    prov::ProvenanceRecord rec;
+    rec.record_id = "r" + std::to_string(i);
+    rec.operation = "execute";
+    rec.subject = "s" + std::to_string(i % 1000);
+    rec.agent = "a" + std::to_string(i % 64);
+    rec.timestamp = static_cast<Timestamp>(i * 16 + (i * 2654435761u) % 16);
+    if (i > 0) rec.inputs.push_back("e" + std::to_string(i - 1));
+    if (i % 7 == 0 && i > 1) rec.inputs.push_back("e" + std::to_string(i / 2));
+    rec.outputs.push_back("e" + std::to_string(i));
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  size_t idx = static_cast<size_t>(p * (samples.size() - 1));
+  return samples[idx];
+}
+
+struct QueryStat {
+  double legacy_p50_us = 0;
+  double dense_p50_us = 0;
+  double speedup() const {
+    return dense_p50_us > 0 ? legacy_p50_us / dense_p50_us : 0;
+  }
+};
+
+// Optimizer sink: result sizes accumulate here so query bodies stay live.
+volatile size_t g_sink = 0;
+
+/// Times `fn(arg)` once per element of `args`, returning p50 microseconds.
+template <typename Fn, typename Arg>
+double MeasureP50(const std::vector<Arg>& args, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(args.size());
+  for (const Arg& arg : args) {
+    auto t0 = Clock::now();
+    auto result = fn(arg);
+    samples.push_back(ElapsedUs(t0));
+    g_sink += result.size();
+  }
+  return Percentile(std::move(samples), 0.5);
+}
+
+int Run(const std::string& json_path, size_t n) {
+  if (n < 100) {
+    std::fprintf(stderr, "record count must be >= 100 (got %zu)\n", n);
+    return 1;
+  }
+  std::printf("== Dense-id graph engine vs legacy std::map graph ==\n");
+  std::printf("   records: %zu\n\n", n);
+  std::vector<prov::ProvenanceRecord> workload = MakeWorkload(n);
+  Rng rng(7);
+
+  // Ingest throughput.
+  legacy::Graph legacy_graph;
+  auto t0 = Clock::now();
+  for (const auto& rec : workload) {
+    if (!legacy_graph.AddRecord(rec).ok()) return 1;
+  }
+  double legacy_build_s = ElapsedUs(t0) / 1e6;
+
+  prov::ProvenanceGraph dense_graph;
+  t0 = Clock::now();
+  for (const auto& rec : workload) {
+    if (!dense_graph.AddRecord(rec).ok()) return 1;
+  }
+  double dense_build_s = ElapsedUs(t0) / 1e6;
+  double legacy_rps = n / legacy_build_s;
+  double dense_rps = n / dense_build_s;
+  std::printf("  build: legacy %.0f rec/s, dense %.0f rec/s (%.1fx)\n",
+              legacy_rps, dense_rps, dense_rps / legacy_rps);
+
+  // InRange: windows spanning ~1% of the time axis.
+  const Timestamp max_ts = static_cast<Timestamp>(n * 16);
+  std::vector<std::pair<Timestamp, Timestamp>> windows;
+  for (int q = 0; q < 200; ++q) {
+    Timestamp from = static_cast<Timestamp>(rng.NextBelow(max_ts));
+    windows.emplace_back(from, from + max_ts / 100);
+  }
+  QueryStat in_range;
+  in_range.legacy_p50_us = MeasureP50(windows, [&](const auto& w) {
+    return legacy_graph.InRange(w.first, w.second);
+  });
+  in_range.dense_p50_us = MeasureP50(windows, [&](const auto& w) {
+    return dense_graph.InRange(w.first, w.second);
+  });
+  // Cross-check: both implementations must agree on the result set size.
+  for (const auto& w : windows) {
+    size_t legacy_n = legacy_graph.InRange(w.first, w.second).size();
+    size_t dense_n = dense_graph.InRange(w.first, w.second).size();
+    if (legacy_n != dense_n) {
+      std::fprintf(stderr, "InRange mismatch: legacy %zu vs dense %zu\n",
+                   legacy_n, dense_n);
+      return 1;
+    }
+  }
+
+  // Lineage: entities across the full depth spectrum (deepest ~ n).
+  std::vector<std::string> lineage_targets;
+  for (int q = 0; q < 30; ++q) {
+    lineage_targets.push_back(
+        "e" + std::to_string(n / 2 + rng.NextBelow(n / 2)));
+  }
+  QueryStat lineage;
+  lineage.legacy_p50_us = MeasureP50(
+      lineage_targets, [&](const auto& e) { return legacy_graph.Lineage(e); });
+  lineage.dense_p50_us = MeasureP50(
+      lineage_targets, [&](const auto& e) { return dense_graph.Lineage(e); });
+
+  // SubjectHistory / ByAgent postings (~n/1000 and ~n/64 records each).
+  std::vector<std::string> subjects, agents;
+  for (int q = 0; q < 200; ++q) {
+    subjects.push_back("s" + std::to_string(rng.NextBelow(1000)));
+    agents.push_back("a" + std::to_string(rng.NextBelow(64)));
+  }
+  QueryStat subject_history, by_agent;
+  subject_history.legacy_p50_us = MeasureP50(
+      subjects, [&](const auto& s) { return legacy_graph.SubjectHistory(s); });
+  subject_history.dense_p50_us = MeasureP50(
+      subjects, [&](const auto& s) { return dense_graph.SubjectHistory(s); });
+  by_agent.legacy_p50_us = MeasureP50(
+      agents, [&](const auto& a) { return legacy_graph.ByAgent(a); });
+  by_agent.dense_p50_us = MeasureP50(
+      agents, [&](const auto& a) { return dense_graph.ByAgent(a); });
+
+  // Invalidation closure (ReexecutionSet = the Invalidate BFS without the
+  // marking), from roots in the first half → large downstream cascades.
+  std::vector<std::string> roots;
+  for (int q = 0; q < 20; ++q) {
+    roots.push_back("r" + std::to_string(rng.NextBelow(n / 2)));
+  }
+  QueryStat reexec;
+  reexec.legacy_p50_us = MeasureP50(
+      roots, [&](const auto& r) { return legacy_graph.ReexecutionSet(r); });
+  reexec.dense_p50_us = MeasureP50(
+      roots, [&](const auto& r) { return dense_graph.ReexecutionSet(r); });
+
+  // One real Invalidate cascade each (mutating, so measured once near the
+  // root where the cascade covers almost the whole graph).
+  QueryStat invalidate;
+  t0 = Clock::now();
+  size_t legacy_cascade = legacy_graph.Invalidate("r1").size();
+  invalidate.legacy_p50_us = ElapsedUs(t0);
+  t0 = Clock::now();
+  auto dense_cascade = dense_graph.Invalidate("r1", 999, "bench");
+  invalidate.dense_p50_us = ElapsedUs(t0);
+  if (!dense_cascade.ok() || dense_cascade->size() != legacy_cascade) {
+    std::fprintf(stderr, "cascade mismatch: legacy %zu\n", legacy_cascade);
+    return 1;
+  }
+
+  struct Row {
+    const char* name;
+    const QueryStat* stat;
+  };
+  const Row rows[] = {{"in_range", &in_range},
+                      {"lineage", &lineage},
+                      {"subject_history", &subject_history},
+                      {"by_agent", &by_agent},
+                      {"invalidate_closure", &reexec},
+                      {"invalidate", &invalidate}};
+  for (const Row& row : rows) {
+    std::printf("  %-18s legacy p50 %10.1f us   dense p50 %8.1f us   %6.1fx\n",
+                row.name, row.stat->legacy_p50_us, row.stat->dense_p50_us,
+                row.stat->speedup());
+  }
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"bench_graph_scale\",\n"
+               "  \"records\": %zu,\n"
+               "  \"build\": {\n"
+               "    \"legacy_records_per_sec\": %.0f,\n"
+               "    \"dense_records_per_sec\": %.0f,\n"
+               "    \"speedup\": %.2f\n"
+               "  },\n"
+               "  \"queries\": {\n",
+               n, legacy_rps, dense_rps, dense_rps / legacy_rps);
+  for (size_t i = 0; i < sizeof(rows) / sizeof(rows[0]); ++i) {
+    std::fprintf(f,
+                 "    \"%s\": {\"legacy_p50_us\": %.2f, "
+                 "\"dense_p50_us\": %.2f, \"speedup\": %.2f}%s\n",
+                 rows[i].name, rows[i].stat->legacy_p50_us,
+                 rows[i].stat->dense_p50_us, rows[i].stat->speedup(),
+                 i + 1 < sizeof(rows) / sizeof(rows[0]) ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("\n  wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace provledger
+
+int main(int argc, char** argv) {
+  std::string json_path = argc > 1 ? argv[1] : "BENCH_graph.json";
+  size_t n = argc > 2 ? static_cast<size_t>(std::atoll(argv[2])) : 100000;
+  return provledger::Run(json_path, n);
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Build Release and regenerate BENCH_graph.json from the graph scale bench.
+#
+# Usage: scripts/run_benches.sh [record_count]   (default 100000)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD="$ROOT/build-release"
+RECORDS="${1:-100000}"
+
+cmake -B "$BUILD" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DPROVLEDGER_BUILD_BENCHES=ON \
+  -DPROVLEDGER_BUILD_TESTS=OFF \
+  -DPROVLEDGER_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD" -j --target bench_graph_scale
+
+"$BUILD/bench_graph_scale" "$ROOT/BENCH_graph.json" "$RECORDS"

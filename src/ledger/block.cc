@@ -32,11 +32,15 @@ crypto::Digest BlockHeader::Hash() const {
   return crypto::Sha256::Hash(enc.buffer());
 }
 
-crypto::Digest Block::ComputeMerkleRoot(const std::vector<Transaction>& txs) {
+std::vector<Bytes> Block::TxLeaves(const std::vector<Transaction>& txs) {
   std::vector<Bytes> leaves;
   leaves.reserve(txs.size());
   for (const auto& tx : txs) leaves.push_back(tx.Encode());
-  return crypto::MerkleTree::Build(leaves).root();
+  return leaves;
+}
+
+crypto::Digest Block::ComputeMerkleRoot(const std::vector<Transaction>& txs) {
+  return crypto::MerkleTree::Build(TxLeaves(txs)).root();
 }
 
 Block Block::Make(uint64_t height, const crypto::Digest& prev_hash,
@@ -56,10 +60,7 @@ Result<crypto::MerkleProof> Block::ProveTransaction(size_t index) const {
   if (index >= transactions.size()) {
     return Status::InvalidArgument("transaction index out of range");
   }
-  std::vector<Bytes> leaves;
-  leaves.reserve(transactions.size());
-  for (const auto& tx : transactions) leaves.push_back(tx.Encode());
-  return crypto::MerkleTree::Build(leaves).Prove(index);
+  return crypto::MerkleTree::Build(TxLeaves(transactions)).Prove(index);
 }
 
 Bytes Block::Encode() const {

@@ -47,6 +47,11 @@ struct Block {
   static crypto::Digest ComputeMerkleRoot(
       const std::vector<Transaction>& txs);
 
+  /// Merkle leaf payloads for `txs` — the single definition of the leaf
+  /// domain, shared by root computation and every proof tree so the two
+  /// can never diverge.
+  static std::vector<Bytes> TxLeaves(const std::vector<Transaction>& txs);
+
   /// Inclusion proof for transaction `index` against header.merkle_root —
   /// the SPV primitive used by auditors and cross-chain relays.
   Result<crypto::MerkleProof> ProveTransaction(size_t index) const;

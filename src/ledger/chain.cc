@@ -131,6 +131,11 @@ Result<Block> Blockchain::GetBlock(uint64_t h) const {
   return blocks_.at(Key(main_chain_[h]));
 }
 
+const Block* Blockchain::PeekBlock(uint64_t h) const {
+  if (h >= main_chain_.size()) return nullptr;
+  return &blocks_.at(Key(main_chain_[h]));
+}
+
 Result<Block> Blockchain::GetBlockByHash(const crypto::Digest& hash) const {
   auto it = blocks_.find(Key(hash));
   if (it == blocks_.end()) return Status::NotFound("unknown block hash");
@@ -154,7 +159,9 @@ Result<TxLocation> Blockchain::FindTransaction(
 Result<Transaction> Blockchain::GetTransaction(
     const crypto::Digest& txid) const {
   PROVLEDGER_ASSIGN_OR_RETURN(TxLocation loc, FindTransaction(txid));
-  PROVLEDGER_ASSIGN_OR_RETURN(Block b, GetBlock(loc.height));
+  // Reference the stored block directly: GetBlock would copy the whole
+  // block (every transaction) to hand back one of them.
+  const Block& b = blocks_.at(Key(main_chain_[loc.height]));
   return b.transactions[loc.index];
 }
 
@@ -170,14 +177,34 @@ std::vector<Transaction> Blockchain::GetChannelTransactions(
   return out;
 }
 
+const crypto::MerkleTree& Blockchain::TreeFor(const std::string& block_key,
+                                              const Block& block) const {
+  auto it = merkle_cache_.find(block_key);
+  if (it != merkle_cache_.end()) return it->second;
+  if (options_.merkle_cache_blocks != 0) {
+    while (merkle_cache_.size() >= options_.merkle_cache_blocks &&
+           !merkle_cache_order_.empty()) {
+      merkle_cache_.erase(merkle_cache_order_.front());
+      merkle_cache_order_.pop_front();
+    }
+  }
+  ++merkle_builds_;
+  merkle_cache_order_.push_back(block_key);
+  return merkle_cache_
+      .emplace(block_key, crypto::MerkleTree::Build(
+                              Block::TxLeaves(block.transactions)))
+      .first->second;
+}
+
 Result<TxProof> Blockchain::ProveTransaction(const crypto::Digest& txid) const {
   PROVLEDGER_ASSIGN_OR_RETURN(TxLocation loc, FindTransaction(txid));
-  PROVLEDGER_ASSIGN_OR_RETURN(Block b, GetBlock(loc.height));
+  const std::string block_key = Key(main_chain_[loc.height]);
+  const Block& b = blocks_.at(block_key);
   TxProof proof;
-  proof.block_hash = b.header.Hash();
+  proof.block_hash = main_chain_[loc.height];
   proof.header = b.header;
   PROVLEDGER_ASSIGN_OR_RETURN(proof.merkle_proof,
-                              b.ProveTransaction(loc.index));
+                              TreeFor(block_key, b).Prove(loc.index));
   return proof;
 }
 
@@ -246,6 +273,13 @@ Status Blockchain::TamperForTesting(uint64_t height, size_t tx_index,
   Bytes& payload = b.transactions[tx_index].payload;
   if (payload.empty()) payload.push_back(0);
   payload[0] ^= xor_mask;
+  // The stored block no longer matches any cached proof tree. Purge the
+  // FIFO entry too so the map and eviction order stay one-to-one.
+  const std::string block_key = Key(main_chain_[height]);
+  merkle_cache_.erase(block_key);
+  merkle_cache_order_.erase(std::remove(merkle_cache_order_.begin(),
+                                        merkle_cache_order_.end(), block_key),
+                            merkle_cache_order_.end());
   return Status::OK();
 }
 

@@ -31,6 +31,9 @@ struct ChainOptions {
   bool allow_unsigned = true;
   /// Maximum transactions per block (0 = unlimited).
   size_t max_block_txs = 0;
+  /// Cap on cached per-block Merkle proof trees (FIFO eviction; 0 =
+  /// unlimited). Bounds proof-cache memory on long-lived nodes.
+  size_t merkle_cache_blocks = 1024;
 };
 
 /// \brief Where a transaction lives on the main chain.
@@ -48,6 +51,10 @@ struct TxProof {
 };
 
 /// \brief Block tree + longest-chain view.
+///
+/// Thread safety: NOT internally synchronized. Const proof methods
+/// populate a mutable Merkle-tree cache, so even concurrent read-only use
+/// requires external synchronization.
 class Blockchain {
  public:
   explicit Blockchain(ChainOptions options = ChainOptions());
@@ -73,6 +80,10 @@ class Blockchain {
 
   /// Main-chain block by height.
   Result<Block> GetBlock(uint64_t height) const;
+  /// Borrowed view of a main-chain block, or nullptr if out of range.
+  /// Valid until the next chain mutation; use when iterating without the
+  /// deep copy GetBlock makes.
+  const Block* PeekBlock(uint64_t height) const;
   /// Any known block (main or side) by hash.
   Result<Block> GetBlockByHash(const crypto::Digest& hash) const;
   /// Main-chain header by height (cheap).
@@ -106,6 +117,11 @@ class Blockchain {
   /// Total encoded bytes of main-chain blocks (storage-overhead metric).
   size_t ApproximateBytes() const;
 
+  /// Number of Merkle trees built to serve proofs since construction.
+  /// Proof requests against a block whose tree is already cached do not
+  /// increment this (perf counter; exercised by the prov store tests).
+  size_t merkle_tree_builds() const { return merkle_builds_; }
+
   /// Test hook: mutate a stored transaction payload in place, bypassing
   /// validation (for tamper-detection experiments).
   Status TamperForTesting(uint64_t height, size_t tx_index, uint8_t xor_mask);
@@ -113,6 +129,11 @@ class Blockchain {
  private:
   Status ValidateBlock(const Block& block, const Block& parent) const;
   void ReindexMainChain();
+  /// Cached Merkle tree over `block`'s transactions, built on first use.
+  /// `block_key` is hex(block hash); blocks are immutable once stored, so
+  /// entries survive reorgs.
+  const crypto::MerkleTree& TreeFor(const std::string& block_key,
+                                    const Block& block) const;
 
   ChainOptions options_;
   // All known blocks by hex(hash).
@@ -121,6 +142,11 @@ class Blockchain {
   std::vector<crypto::Digest> main_chain_;
   // txid hex -> location, main chain only.
   std::unordered_map<std::string, TxLocation> tx_index_;
+  // hex(block hash) -> Merkle tree over its transactions (proof cache),
+  // bounded by options_.merkle_cache_blocks with FIFO eviction.
+  mutable std::unordered_map<std::string, crypto::MerkleTree> merkle_cache_;
+  mutable std::deque<std::string> merkle_cache_order_;
+  mutable size_t merkle_builds_ = 0;
 };
 
 /// \brief FIFO mempool with id-dedup and signature pre-validation.

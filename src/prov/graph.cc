@@ -1,220 +1,289 @@
 #include "prov/graph.h"
 
 #include <algorithm>
-#include <deque>
 
 namespace provledger {
 namespace prov {
 
+uint32_t ProvenanceGraph::InternEntity(const std::string& entity) {
+  uint32_t eid = entities_.Intern(entity);
+  if (eid >= generated_by_.size()) {
+    generated_by_.resize(eid + 1);
+    used_by_.resize(eid + 1);
+    derived_from_.resize(eid + 1);
+    derivations_.resize(eid + 1);
+    by_subject_.resize(eid + 1);
+    subject_dirty_.resize(eid + 1, 0);
+  }
+  return eid;
+}
+
+namespace {
+// Sorted-vector set insert; true when `x` was newly added.
+bool InsertSortedUnique(std::vector<uint32_t>* v, uint32_t x) {
+  auto it = std::lower_bound(v->begin(), v->end(), x);
+  if (it != v->end() && *it == x) return false;
+  v->insert(it, x);
+  return true;
+}
+}  // namespace
+
+void ProvenanceGraph::AppendByTime(std::vector<uint32_t>* postings,
+                                   uint32_t rid, uint8_t* dirty) {
+  if (!postings->empty() &&
+      meta_[postings->back()].timestamp > meta_[rid].timestamp) {
+    *dirty = 1;
+  }
+  postings->push_back(rid);
+}
+
+void ProvenanceGraph::EnsureTimeSorted(std::vector<uint32_t>* postings,
+                                       uint8_t* dirty) const {
+  if (!*dirty) return;
+  // Record ids increase in ingest order, so sorting (timestamp, rid)
+  // reproduces the documented "(timestamp, ingest)" tie order.
+  std::sort(postings->begin(), postings->end(),
+            [this](uint32_t a, uint32_t b) {
+              Timestamp ta = meta_[a].timestamp, tb = meta_[b].timestamp;
+              return ta != tb ? ta < tb : a < b;
+            });
+  *dirty = 0;
+}
+
 Status ProvenanceGraph::AddRecord(const ProvenanceRecord& record) {
   PROVLEDGER_RETURN_NOT_OK(record.Validate());
-  if (records_.count(record.record_id)) {
+  if (record_ids_.Find(record.record_id) != InternTable::kNone) {
     return Status::AlreadyExists("record already in graph: " +
                                  record.record_id);
   }
 
+  uint32_t rid = record_ids_.Intern(record.record_id);
+  records_.push_back(record);
+  meta_.emplace_back();
+  RecordMeta& meta = meta_.back();
+  meta.timestamp = record.timestamp;
+  meta.subject = InternEntity(record.subject);
+
+  meta.inputs.reserve(record.inputs.size());
+  for (const auto& in : record.inputs) {
+    uint32_t eid = InternEntity(in);
+    meta.inputs.push_back(eid);
+    used_by_[eid].push_back(rid);
+    ++edge_count_;
+  }
+
   // Effective outputs: if none are declared, the operation produces a new
   // logical version of the subject entity.
-  std::vector<std::string> outputs = record.outputs;
-  if (outputs.empty()) outputs.push_back(record.subject);
-
-  records_.emplace(record.record_id, record);
-  by_agent_[record.agent].push_back(record.record_id);
-  by_subject_[record.subject].push_back(record.record_id);
-  entity_versions_.insert(record.subject);
-
-  // used: activity -> each input entity.
-  for (const auto& in : record.inputs) {
-    entity_versions_.insert(in);
-    used_by_[in].push_back(record.record_id);
-    ++edge_count_;
-  }
-  // wasGeneratedBy + wasDerivedFrom: each output entity.
-  for (const auto& out : outputs) {
-    entity_versions_.insert(out);
-    generated_by_[out].push_back(record.record_id);
-    ++edge_count_;
-    for (const auto& in : record.inputs) {
-      if (in == out) continue;
-      derived_from_[out].insert(in);
-      derivations_[in].insert(out);
-      ++edge_count_;
+  if (record.outputs.empty()) {
+    meta.outputs.push_back(meta.subject);
+  } else {
+    meta.outputs.reserve(record.outputs.size());
+    for (const auto& out : record.outputs) {
+      meta.outputs.push_back(InternEntity(out));
     }
   }
+  // wasGeneratedBy + wasDerivedFrom: each output entity.
+  for (uint32_t out : meta.outputs) {
+    generated_by_[out].push_back(rid);
+    ++edge_count_;
+    for (uint32_t in : meta.inputs) {
+      if (in == out) continue;
+      if (InsertSortedUnique(&derived_from_[out], in)) ++edge_count_;
+      InsertSortedUnique(&derivations_[in], out);
+    }
+  }
+
+  AppendByTime(&by_subject_[meta.subject], rid, &subject_dirty_[meta.subject]);
+  uint32_t aid = agents_.Intern(record.agent);
+  if (aid >= by_agent_.size()) {
+    by_agent_.resize(aid + 1);
+    agent_dirty_.resize(aid + 1, 0);
+  }
+  AppendByTime(&by_agent_[aid], rid, &agent_dirty_[aid]);
+
+  // Global time index; same append-and-mark-dirty scheme.
+  std::pair<Timestamp, uint32_t> entry{record.timestamp, rid};
+  if (!by_time_.empty() && by_time_.back() > entry) time_dirty_ = 1;
+  by_time_.push_back(entry);
+
   // wasAssociatedWith: activity -> agent.
   ++edge_count_;
   return Status::OK();
 }
 
 bool ProvenanceGraph::HasRecord(const std::string& record_id) const {
-  return records_.count(record_id) > 0;
+  return record_ids_.Find(record_id) != InternTable::kNone;
 }
 
 Result<ProvenanceRecord> ProvenanceGraph::GetRecord(
     const std::string& record_id) const {
-  auto it = records_.find(record_id);
-  if (it == records_.end()) {
+  uint32_t rid = record_ids_.Find(record_id);
+  if (rid == InternTable::kNone) {
     return Status::NotFound("no such record: " + record_id);
   }
-  return it->second;
+  return records_[rid];
 }
 
-namespace {
-// Generic BFS over an adjacency map of entity -> set<entity>.
-std::vector<std::string> Closure(
-    const std::map<std::string, std::set<std::string>>& adjacency,
-    const std::string& start) {
+std::vector<std::string> ProvenanceGraph::EntityClosure(
+    const std::vector<std::vector<uint32_t>>& adjacency,
+    const std::string& start) const {
   std::vector<std::string> out;
-  std::set<std::string> seen{start};
-  std::deque<std::string> frontier{start};
-  while (!frontier.empty()) {
-    std::string current = frontier.front();
-    frontier.pop_front();
-    auto it = adjacency.find(current);
-    if (it == adjacency.end()) continue;
-    for (const auto& next : it->second) {
-      if (seen.insert(next).second) {
-        out.push_back(next);
-        frontier.push_back(next);
-      }
+  uint32_t s = entities_.Find(start);
+  if (s == InternTable::kNone) return out;
+
+  Bitset seen(entities_.size());
+  seen.TestAndSet(s);
+  // `reached` doubles as the BFS queue: ids are only appended, and `head`
+  // walks it front to back.
+  std::vector<uint32_t> reached;
+  reached.push_back(s);
+  for (size_t head = 0; head < reached.size(); ++head) {
+    for (uint32_t next : adjacency[reached[head]]) {
+      if (seen.TestAndSet(next)) reached.push_back(next);
     }
+  }
+  out.reserve(reached.size() - 1);
+  for (size_t i = 1; i < reached.size(); ++i) {
+    out.push_back(entities_.Name(reached[i]));
   }
   return out;
 }
-}  // namespace
 
 std::vector<std::string> ProvenanceGraph::Lineage(
     const std::string& entity) const {
-  return Closure(derived_from_, entity);
+  return EntityClosure(derived_from_, entity);
 }
 
 std::vector<std::string> ProvenanceGraph::Descendants(
     const std::string& entity) const {
-  return Closure(derivations_, entity);
+  return EntityClosure(derivations_, entity);
 }
 
-namespace {
-std::vector<ProvenanceRecord> SortByTime(std::vector<ProvenanceRecord> recs) {
-  std::stable_sort(recs.begin(), recs.end(),
-                   [](const ProvenanceRecord& a, const ProvenanceRecord& b) {
-                     return a.timestamp < b.timestamp;
-                   });
-  return recs;
+std::vector<ProvenanceRecord> ProvenanceGraph::MaterializeRecords(
+    const std::vector<uint32_t>& rids) const {
+  std::vector<ProvenanceRecord> out;
+  out.reserve(rids.size());
+  for (uint32_t rid : rids) out.push_back(records_[rid]);
+  return out;
 }
-}  // namespace
 
 std::vector<ProvenanceRecord> ProvenanceGraph::SubjectHistory(
     const std::string& subject) const {
-  std::vector<ProvenanceRecord> out;
-  auto it = by_subject_.find(subject);
-  if (it == by_subject_.end()) return out;
-  for (const auto& id : it->second) out.push_back(records_.at(id));
-  return SortByTime(std::move(out));
+  uint32_t eid = entities_.Find(subject);
+  if (eid == InternTable::kNone) return {};
+  EnsureTimeSorted(&by_subject_[eid], &subject_dirty_[eid]);
+  return MaterializeRecords(by_subject_[eid]);
 }
 
 std::vector<ProvenanceRecord> ProvenanceGraph::ByAgent(
     const std::string& agent) const {
-  std::vector<ProvenanceRecord> out;
-  auto it = by_agent_.find(agent);
-  if (it == by_agent_.end()) return out;
-  for (const auto& id : it->second) out.push_back(records_.at(id));
-  return SortByTime(std::move(out));
+  uint32_t aid = agents_.Find(agent);
+  if (aid == InternTable::kNone) return {};
+  EnsureTimeSorted(&by_agent_[aid], &agent_dirty_[aid]);
+  return MaterializeRecords(by_agent_[aid]);
 }
 
 std::vector<ProvenanceRecord> ProvenanceGraph::InRange(Timestamp from,
                                                        Timestamp to) const {
   std::vector<ProvenanceRecord> out;
-  for (const auto& [_, rec] : records_) {
-    if (rec.timestamp >= from && rec.timestamp <= to) out.push_back(rec);
+  if (from > to) return out;
+  if (time_dirty_) {
+    std::sort(by_time_.begin(), by_time_.end());
+    time_dirty_ = 0;
   }
-  return SortByTime(std::move(out));
+  auto lo = std::lower_bound(by_time_.begin(), by_time_.end(),
+                             std::pair<Timestamp, uint32_t>{from, 0});
+  auto hi = std::upper_bound(
+      by_time_.begin(), by_time_.end(),
+      std::pair<Timestamp, uint32_t>{to, InternTable::kNone});
+  out.reserve(hi - lo);
+  for (auto it = lo; it != hi; ++it) out.push_back(records_[it->second]);
+  return out;
 }
 
-std::vector<std::string> ProvenanceGraph::DownstreamRecords(
-    const std::string& record_id) const {
-  const ProvenanceRecord& rec = records_.at(record_id);
-  std::vector<std::string> outputs = rec.outputs;
-  if (outputs.empty()) outputs.push_back(rec.subject);
-
-  std::vector<std::string> downstream;
-  std::set<std::string> seen;
-  for (const auto& out : outputs) {
-    auto it = used_by_.find(out);
-    if (it == used_by_.end()) continue;
-    for (const auto& consumer : it->second) {
-      if (consumer != record_id && seen.insert(consumer).second) {
-        downstream.push_back(consumer);
+void ProvenanceGraph::AppendDownstream(uint32_t rid, Bitset* seen,
+                                       std::vector<uint32_t>* out) const {
+  for (uint32_t eid : meta_[rid].outputs) {
+    for (uint32_t consumer : used_by_[eid]) {
+      if (consumer != rid && seen->TestAndSet(consumer)) {
+        out->push_back(consumer);
       }
     }
   }
-  return downstream;
+}
+
+std::vector<uint32_t> ProvenanceGraph::DownstreamClosure(uint32_t rid) const {
+  // BFS over the consumption graph: every record that used (transitively)
+  // this record's outputs (SciBlock semantics).
+  Bitset seen(records_.size());
+  seen.TestAndSet(rid);
+  std::vector<uint32_t> reached;
+  AppendDownstream(rid, &seen, &reached);
+  for (size_t head = 0; head < reached.size(); ++head) {
+    AppendDownstream(reached[head], &seen, &reached);
+  }
+  return reached;
 }
 
 Result<std::vector<std::string>> ProvenanceGraph::Invalidate(
     const std::string& record_id, Timestamp at, const std::string& reason) {
-  if (!records_.count(record_id)) {
+  uint32_t rid = record_ids_.Find(record_id);
+  if (rid == InternTable::kNone) {
     return Status::NotFound("no such record: " + record_id);
   }
-  if (invalidations_.count(record_id)) {
+  if (invalidations_.count(rid)) {
     return Status::AlreadyExists("record already invalidated: " + record_id);
   }
 
-  // BFS over the consumption graph: every record that used (transitively)
-  // this record's outputs is cascade-invalidated (SciBlock semantics).
+  std::vector<uint32_t> cascade = DownstreamClosure(rid);
   std::vector<std::string> order;
-  std::deque<std::string> frontier{record_id};
-  std::set<std::string> seen{record_id};
-  while (!frontier.empty()) {
-    std::string current = frontier.front();
-    frontier.pop_front();
-    order.push_back(current);
-    for (const auto& next : DownstreamRecords(current)) {
-      if (seen.insert(next).second) frontier.push_back(next);
-    }
-  }
-  for (const auto& id : order) {
+  order.reserve(cascade.size() + 1);
+  order.push_back(record_id);
+  for (uint32_t id : cascade) order.push_back(record_ids_.Name(id));
+
+  for (uint32_t id : cascade) {
     if (invalidations_.count(id)) continue;  // already invalid from earlier
     Invalidation inv;
-    inv.record_id = id;
+    inv.record_id = record_ids_.Name(id);
     inv.at = at;
     inv.reason = reason;
-    inv.cascaded = (id != record_id);
+    inv.cascaded = true;
     invalidations_.emplace(id, std::move(inv));
   }
+  Invalidation root;
+  root.record_id = record_id;
+  root.at = at;
+  root.reason = reason;
+  root.cascaded = false;
+  invalidations_.emplace(rid, std::move(root));
   return order;
 }
 
 bool ProvenanceGraph::IsInvalidated(const std::string& record_id) const {
-  return invalidations_.count(record_id) > 0;
+  uint32_t rid = record_ids_.Find(record_id);
+  return rid != InternTable::kNone && invalidations_.count(rid) > 0;
 }
 
 Result<Invalidation> ProvenanceGraph::GetInvalidation(
     const std::string& record_id) const {
-  auto it = invalidations_.find(record_id);
-  if (it == invalidations_.end()) {
-    return Status::NotFound("record not invalidated: " + record_id);
+  uint32_t rid = record_ids_.Find(record_id);
+  if (rid != InternTable::kNone) {
+    auto it = invalidations_.find(rid);
+    if (it != invalidations_.end()) return it->second;
   }
-  return it->second;
+  return Status::NotFound("record not invalidated: " + record_id);
 }
 
 std::vector<std::string> ProvenanceGraph::ReexecutionSet(
     const std::string& record_id) const {
-  if (!records_.count(record_id)) return {};
+  uint32_t rid = record_ids_.Find(record_id);
+  if (rid == InternTable::kNone) return {};
   // Downstream closure over the consumption graph: exactly the activities
   // that must re-run once `record_id` is invalidated and repaired.
+  std::vector<uint32_t> cascade = DownstreamClosure(rid);
   std::vector<std::string> out;
-  std::deque<std::string> frontier{record_id};
-  std::set<std::string> seen{record_id};
-  while (!frontier.empty()) {
-    std::string current = frontier.front();
-    frontier.pop_front();
-    for (const auto& next : DownstreamRecords(current)) {
-      if (seen.insert(next).second) {
-        out.push_back(next);
-        frontier.push_back(next);
-      }
-    }
-  }
+  out.reserve(cascade.size());
+  for (uint32_t id : cascade) out.push_back(record_ids_.Name(id));
   return out;
 }
 

@@ -7,15 +7,26 @@
 //   * per-agent, per-subject, and time-range queries,
 //   * SciBlock-style timestamp invalidation with downstream cascade
 //     (the Figure 4 lifecycle's "invalidate + selective re-execution").
+//
+// Engine layout (dense-id rewrite): every entity, agent, and record id is
+// interned to a contiguous uint32_t on ingest (see prov/intern.h). All
+// adjacency is stored as per-id vectors of ids — derivation edges as
+// sorted, deduplicated vectors (CSR-style), subject/agent postings lists
+// insertion-sorted by timestamp so history queries need no per-call sort,
+// plus a global (timestamp, record) index that makes InRange O(log n + k).
+// Traversals (Lineage / Descendants / Invalidate / ReexecutionSet) run BFS
+// over integer adjacency with bitset visited-sets; strings are only touched
+// when materializing results. The public API is unchanged and string-based.
 
 #ifndef PROVLEDGER_PROV_GRAPH_H_
 #define PROVLEDGER_PROV_GRAPH_H_
 
-#include <map>
-#include <set>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "prov/intern.h"
 #include "prov/record.h"
 
 namespace provledger {
@@ -43,6 +54,10 @@ struct Invalidation {
 };
 
 /// \brief In-memory provenance DAG over anchored records.
+///
+/// Thread safety: NOT internally synchronized. Const query methods may
+/// lazily re-sort internal time indexes (mutable state), so even
+/// concurrent read-only use requires external synchronization.
 class ProvenanceGraph {
  public:
   /// Ingest a (validated) record, creating entity/activity/agent nodes and
@@ -52,7 +67,11 @@ class ProvenanceGraph {
   bool HasRecord(const std::string& record_id) const;
   Result<ProvenanceRecord> GetRecord(const std::string& record_id) const;
   size_t record_count() const { return records_.size(); }
-  size_t entity_count() const { return entity_versions_.size(); }
+  size_t entity_count() const { return entities_.size(); }
+  /// Distinct PROV edges: used + wasGeneratedBy + wasAssociatedWith per
+  /// record, plus *deduplicated* derivation pairs — a derivation asserted
+  /// by several records counts once (the pre-rewrite engine counted each
+  /// assertion).
   size_t edge_count() const { return edge_count_; }
 
   /// \name Queries (§6.1 "Provenance Query").
@@ -66,7 +85,8 @@ class ProvenanceGraph {
       const std::string& subject) const;
   /// Records performed by `agent`, in timestamp order.
   std::vector<ProvenanceRecord> ByAgent(const std::string& agent) const;
-  /// Records with timestamp in [from, to], in timestamp order.
+  /// Records with timestamp in [from, to], in timestamp order (ties in
+  /// ingest order).
   std::vector<ProvenanceRecord> InRange(Timestamp from, Timestamp to) const;
   /// @}
 
@@ -87,23 +107,81 @@ class ProvenanceGraph {
   /// @}
 
  private:
-  // Downstream records: record -> records that used any of its outputs.
-  std::vector<std::string> DownstreamRecords(
-      const std::string& record_id) const;
+  /// Per-record dense metadata mirrored off the full ProvenanceRecord so
+  /// traversals never touch strings.
+  struct RecordMeta {
+    uint32_t subject = 0;
+    Timestamp timestamp = 0;
+    std::vector<uint32_t> inputs;
+    /// Effective outputs (the subject when none are declared).
+    std::vector<uint32_t> outputs;
+  };
 
-  std::map<std::string, ProvenanceRecord> records_;
-  // entity id -> records that generated it / used it.
-  std::map<std::string, std::vector<std::string>> generated_by_;
-  std::map<std::string, std::vector<std::string>> used_by_;
-  // entity -> direct derivation sources (inputs of its generating records).
-  std::map<std::string, std::set<std::string>> derived_from_;
-  // entity -> entities directly derived from it.
-  std::map<std::string, std::set<std::string>> derivations_;
-  // Entities seen (as subject/input/output).
-  std::set<std::string> entity_versions_;
-  std::map<std::string, std::vector<std::string>> by_agent_;
-  std::map<std::string, std::vector<std::string>> by_subject_;
-  std::map<std::string, Invalidation> invalidations_;
+  /// Word-granular visited bitset sized for `n` ids.
+  class Bitset {
+   public:
+    explicit Bitset(size_t n) : words_((n + 63) / 64, 0) {}
+    /// Marks `id`; true when it was not yet set.
+    bool TestAndSet(uint32_t id) {
+      uint64_t& w = words_[id >> 6];
+      uint64_t bit = uint64_t{1} << (id & 63);
+      if (w & bit) return false;
+      w |= bit;
+      return true;
+    }
+
+   private:
+    std::vector<uint64_t> words_;
+  };
+
+  uint32_t InternEntity(const std::string& entity);
+  /// Direct downstream consumers of `rid`'s outputs, appended to `out`
+  /// (deduplicated via `seen`).
+  void AppendDownstream(uint32_t rid, Bitset* seen,
+                        std::vector<uint32_t>* out) const;
+  /// BFS closure of records downstream of `rid` (excluding `rid`), in
+  /// cascade order — shared by Invalidate and ReexecutionSet so their
+  /// orders always agree.
+  std::vector<uint32_t> DownstreamClosure(uint32_t rid) const;
+  std::vector<std::string> EntityClosure(
+      const std::vector<std::vector<uint32_t>>& adjacency,
+      const std::string& start) const;
+  /// Append `rid` to a postings list kept in (timestamp, ingest) order;
+  /// an out-of-order timestamp just flags the list dirty so ingest stays
+  /// O(1) and the sort is paid once, on the next query of that list.
+  void AppendByTime(std::vector<uint32_t>* postings, uint32_t rid,
+                    uint8_t* dirty);
+  /// Sort-on-demand counterpart of AppendByTime.
+  void EnsureTimeSorted(std::vector<uint32_t>* postings,
+                        uint8_t* dirty) const;
+  std::vector<ProvenanceRecord> MaterializeRecords(
+      const std::vector<uint32_t>& rids) const;
+
+  InternTable record_ids_;
+  InternTable entities_;
+  InternTable agents_;
+  /// Full records by dense record id (ingest order).
+  std::vector<ProvenanceRecord> records_;
+  std::vector<RecordMeta> meta_;
+
+  // Per-entity adjacency, indexed by entity id.
+  std::vector<std::vector<uint32_t>> generated_by_;  // record ids
+  std::vector<std::vector<uint32_t>> used_by_;       // record ids
+  std::vector<std::vector<uint32_t>> derived_from_;  // entity ids, sorted
+  std::vector<std::vector<uint32_t>> derivations_;   // entity ids, sorted
+
+  // Time-ordered postings (subject / agent / global). Lists touched by an
+  // out-of-order ingest carry a dirty flag and are re-sorted lazily on
+  // query, hence mutable.
+  mutable std::vector<std::vector<uint32_t>> by_subject_;
+  mutable std::vector<uint8_t> subject_dirty_;
+  mutable std::vector<std::vector<uint32_t>> by_agent_;
+  mutable std::vector<uint8_t> agent_dirty_;
+  // Global (timestamp, record id) index, sorted.
+  mutable std::vector<std::pair<Timestamp, uint32_t>> by_time_;
+  mutable uint8_t time_dirty_ = 0;
+
+  std::unordered_map<uint32_t, Invalidation> invalidations_;
   size_t edge_count_ = 0;
 };
 

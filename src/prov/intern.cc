@@ -1,0 +1,21 @@
+#include "prov/intern.h"
+
+namespace provledger {
+namespace prov {
+
+uint32_t InternTable::Intern(const std::string& s) {
+  auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  ids_.emplace(s, id);
+  names_.push_back(s);
+  return id;
+}
+
+uint32_t InternTable::Find(const std::string& s) const {
+  auto it = ids_.find(s);
+  return it == ids_.end() ? kNone : it->second;
+}
+
+}  // namespace prov
+}  // namespace provledger

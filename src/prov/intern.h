@@ -1,0 +1,52 @@
+// String interning for the provenance graph's hot path.
+//
+// Query latency over large provenance DAGs is dominated by string keys:
+// every map lookup re-hashes (or re-compares) entity/agent/record ids, and
+// every BFS visited-set insert copies a std::string. InternTable maps each
+// distinct id to a dense uint32_t once at ingest time, so the graph engine
+// can store adjacency as integer vectors and run traversals over bitsets.
+//
+// Ids are assigned contiguously from 0 in first-seen order, which makes
+// them directly usable as vector indexes (CSR-style adjacency) and bitset
+// positions.
+
+#ifndef PROVLEDGER_PROV_INTERN_H_
+#define PROVLEDGER_PROV_INTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace provledger {
+namespace prov {
+
+/// \brief Bidirectional string <-> dense-id table.
+class InternTable {
+ public:
+  /// Sentinel returned by Find() for unknown strings.
+  static constexpr uint32_t kNone = 0xFFFFFFFFu;
+
+  /// Id for `s`, interning it if new. Ids are dense: the first distinct
+  /// string gets 0, the next 1, and so on.
+  uint32_t Intern(const std::string& s);
+
+  /// Id for `s`, or kNone if it was never interned.
+  uint32_t Find(const std::string& s) const;
+
+  /// The string for a previously returned id. The reference is invalidated
+  /// by the next Intern() call.
+  const std::string& Name(uint32_t id) const { return names_[id]; }
+
+  /// Number of distinct strings interned.
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace prov
+}  // namespace provledger
+
+#endif  // PROVLEDGER_PROV_INTERN_H_

@@ -15,30 +15,42 @@ std::string ProvenanceStore::OnChainAgentId(const std::string& agent) const {
 }
 
 ledger::Transaction ProvenanceStore::MakeTx(
-    const ProvenanceRecord& record, const crypto::PrivateKey* signer) const {
+    Bytes payload, const crypto::PrivateKey* signer) const {
   if (signer != nullptr) {
     return ledger::Transaction::MakeSigned("prov/record", options_.channel,
-                                           record.Encode(), *signer,
+                                           std::move(payload), *signer,
                                            clock_->NowMicros(), nonce_);
   }
   return ledger::Transaction::MakeSystem("prov/record", options_.channel,
-                                         record.Encode(),
+                                         std::move(payload),
                                          clock_->NowMicros(), nonce_);
+}
+
+Status ProvenanceStore::CheckNotAnchored(const std::string& record_id) const {
+  if (graph_.HasRecord(record_id) || pending_ids_.count(record_id)) {
+    return Status::AlreadyExists("record already anchored: " + record_id);
+  }
+  return Status::OK();
+}
+
+Status ProvenanceStore::Buffer(ProvenanceRecord&& record,
+                               const crypto::PrivateKey* signer) {
+  PROVLEDGER_RETURN_NOT_OK(record.Validate());
+  PROVLEDGER_RETURN_NOT_OK(CheckNotAnchored(record.record_id));
+  ++nonce_;
+  // Encode once; the encoding travels into the transaction payload and the
+  // record itself moves into the pending buffer — no further full copies.
+  pending_.push_back(MakeTx(record.Encode(), signer));
+  pending_ids_.insert(record.record_id);
+  pending_records_.push_back(std::move(record));
+  return Status::OK();
 }
 
 Status ProvenanceStore::Anchor(const ProvenanceRecord& record,
                                const crypto::PrivateKey* signer) {
   ProvenanceRecord anchored = record;
   anchored.agent = OnChainAgentId(record.agent);
-  PROVLEDGER_RETURN_NOT_OK(anchored.Validate());
-  if (graph_.HasRecord(anchored.record_id)) {
-    return Status::AlreadyExists("record already anchored: " +
-                                 anchored.record_id);
-  }
-
-  ++nonce_;
-  pending_.push_back(MakeTx(anchored, signer));
-  pending_records_.push_back(std::move(anchored));
+  PROVLEDGER_RETURN_NOT_OK(Buffer(std::move(anchored), signer));
   if (pending_.size() >= options_.batch_size) {
     return Flush();
   }
@@ -48,32 +60,42 @@ Status ProvenanceStore::Anchor(const ProvenanceRecord& record,
 Status ProvenanceStore::AnchorBatch(
     const std::vector<ProvenanceRecord>& records,
     const crypto::PrivateKey* signer) {
+  // All-or-nothing: a mid-batch failure must not leave this batch's
+  // records buffered, or they would block retries and then ride along on
+  // an unrelated later Flush despite the reported error.
+  const size_t mark = pending_.size();
+  const uint64_t nonce_mark = nonce_;
   for (const auto& record : records) {
     ProvenanceRecord anchored = record;
     anchored.agent = OnChainAgentId(record.agent);
-    PROVLEDGER_RETURN_NOT_OK(anchored.Validate());
-    if (graph_.HasRecord(anchored.record_id)) {
-      return Status::AlreadyExists("record already anchored: " +
-                                   anchored.record_id);
+    Status s = Buffer(std::move(anchored), signer);
+    if (!s.ok()) {
+      for (size_t i = mark; i < pending_records_.size(); ++i) {
+        pending_ids_.erase(pending_records_[i].record_id);
+      }
+      pending_.resize(mark);
+      pending_records_.resize(mark);
+      nonce_ = nonce_mark;
+      return s;
     }
-    ++nonce_;
-    pending_.push_back(MakeTx(anchored, signer));
-    pending_records_.push_back(std::move(anchored));
   }
   return Flush();
 }
 
 Status ProvenanceStore::Flush() {
   if (pending_.empty()) return Status::OK();
+  // Append before touching the buffers: on failure (block too large,
+  // signature policy, ...) everything stays pending so the caller can fix
+  // the chain options and retry without losing records.
+  auto block_hash =
+      chain_->Append(pending_, clock_->NowMicros(), options_.proposer);
+  if (!block_hash.ok()) return block_hash.status();
+
   std::vector<ledger::Transaction> txs = std::move(pending_);
   std::vector<ProvenanceRecord> records = std::move(pending_records_);
   pending_.clear();
   pending_records_.clear();
-
-  auto block_hash =
-      chain_->Append(txs, clock_->NowMicros(), options_.proposer);
-  if (!block_hash.ok()) return block_hash.status();
-
+  pending_ids_.clear();
   for (size_t i = 0; i < records.size(); ++i) {
     PROVLEDGER_RETURN_NOT_OK(IndexRecord(records[i], txs[i].Id()));
   }
@@ -141,16 +163,24 @@ Status ProvenanceStore::RebuildFromChain() {
   anchored_count_ = 0;
   pending_.clear();
   pending_records_.clear();
+  pending_ids_.clear();
+  nonce_ = 0;
 
   for (uint64_t h = 0; h <= chain_->height(); ++h) {
-    PROVLEDGER_ASSIGN_OR_RETURN(ledger::Block block, chain_->GetBlock(h));
-    for (const auto& tx : block.transactions) {
+    const ledger::Block* block = chain_->PeekBlock(h);
+    if (block == nullptr) {
+      return Status::NotFound("no block at height " + std::to_string(h));
+    }
+    for (const auto& tx : block->transactions) {
       if (tx.type != "prov/record" || tx.channel != options_.channel) {
         continue;
       }
       PROVLEDGER_ASSIGN_OR_RETURN(ProvenanceRecord record,
                                   ProvenanceRecord::Decode(tx.payload));
       PROVLEDGER_RETURN_NOT_OK(IndexRecord(record, tx.Id()));
+      // Resume nonce issuance past everything already on the chain, so
+      // post-rebuild transactions never reuse an anchored nonce.
+      if (tx.nonce > nonce_) nonce_ = tx.nonce;
     }
   }
   return Status::OK();

@@ -15,6 +15,7 @@
 #define PROVLEDGER_PROV_STORE_H_
 
 #include <optional>
+#include <unordered_set>
 
 #include "ledger/chain.h"
 #include "prov/graph.h"
@@ -95,7 +96,12 @@ class ProvenanceStore {
  private:
   Status IndexRecord(const ProvenanceRecord& record,
                      const crypto::Digest& txid);
-  ledger::Transaction MakeTx(const ProvenanceRecord& record,
+  /// AlreadyExists if `record_id` is anchored or buffered for anchoring.
+  Status CheckNotAnchored(const std::string& record_id) const;
+  /// Validate, dedup, encode once, and buffer `record` (already carrying
+  /// its on-chain agent id) plus its transaction.
+  Status Buffer(ProvenanceRecord&& record, const crypto::PrivateKey* signer);
+  ledger::Transaction MakeTx(Bytes payload,
                              const crypto::PrivateKey* signer) const;
 
   ledger::Blockchain* chain_;
@@ -105,6 +111,9 @@ class ProvenanceStore {
   storage::MemKvStore index_;  // "rec/<id>" -> txid bytes
   std::vector<ledger::Transaction> pending_;
   std::vector<ProvenanceRecord> pending_records_;
+  // Record ids in pending_records_, so a duplicate cannot buffer twice and
+  // then corrupt graph/index state when Flush() replays the batch.
+  std::unordered_set<std::string> pending_ids_;
   size_t anchored_count_ = 0;
   uint64_t nonce_ = 0;
 };

@@ -147,6 +147,110 @@ TEST_F(GraphTest, RecordWithoutOutputsProducesSubjectVersion) {
   EXPECT_EQ(inv->size(), 2u);
 }
 
+TEST_F(GraphTest, InRangeBoundariesAreInclusive) {
+  // Exact-endpoint hits on both sides.
+  auto recs = g_.InRange(100, 400);
+  ASSERT_EQ(recs.size(), 4u);
+  EXPECT_EQ(recs.front().record_id, "t1");
+  EXPECT_EQ(recs.back().record_id, "t4");
+  // Degenerate single-timestamp range.
+  recs = g_.InRange(200, 200);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].record_id, "t2");
+}
+
+TEST_F(GraphTest, InRangeEmptyCases) {
+  EXPECT_TRUE(g_.InRange(401, 1000).empty());  // past all records
+  EXPECT_TRUE(g_.InRange(0, 99).empty());      // before all records
+  EXPECT_TRUE(g_.InRange(201, 299).empty());   // gap between records
+  EXPECT_TRUE(g_.InRange(300, 200).empty());   // inverted range
+  EXPECT_TRUE(ProvenanceGraph().InRange(0, 1000).empty());
+}
+
+TEST(GraphOrderingTest, InRangeOrdersOutOfOrderTimestamps) {
+  // Ingest with shuffled timestamps; InRange must still come back sorted.
+  ProvenanceGraph g;
+  ASSERT_TRUE(g.AddRecord(Rec("r-late", "a", 300, {}, {"x1"})).ok());
+  ASSERT_TRUE(g.AddRecord(Rec("r-early", "a", 100, {}, {"x2"})).ok());
+  ASSERT_TRUE(g.AddRecord(Rec("r-mid", "a", 200, {}, {"x3"})).ok());
+  auto recs = g.InRange(0, 1000);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].record_id, "r-early");
+  EXPECT_EQ(recs[1].record_id, "r-mid");
+  EXPECT_EQ(recs[2].record_id, "r-late");
+}
+
+TEST(GraphOrderingTest, SubjectHistoryOrdersOutOfOrderTimestamps) {
+  ProvenanceGraph g;
+  ASSERT_TRUE(g.AddRecord(Rec("h3", "a", 300, {}, {}, "doc")).ok());
+  ASSERT_TRUE(g.AddRecord(Rec("h1", "a", 100, {}, {}, "doc")).ok());
+  ASSERT_TRUE(g.AddRecord(Rec("h2", "b", 200, {}, {}, "doc")).ok());
+  // A tie on the earliest timestamp keeps ingest order (stable).
+  ASSERT_TRUE(g.AddRecord(Rec("h1b", "b", 100, {}, {}, "doc")).ok());
+  auto recs = g.SubjectHistory("doc");
+  ASSERT_EQ(recs.size(), 4u);
+  EXPECT_EQ(recs[0].record_id, "h1");
+  EXPECT_EQ(recs[1].record_id, "h1b");
+  EXPECT_EQ(recs[2].record_id, "h2");
+  EXPECT_EQ(recs[3].record_id, "h3");
+  // Agent postings are time-sorted the same way.
+  auto by_b = g.ByAgent("b");
+  ASSERT_EQ(by_b.size(), 2u);
+  EXPECT_EQ(by_b[0].record_id, "h1b");
+  EXPECT_EQ(by_b[1].record_id, "h2");
+}
+
+TEST(GraphScaleTest, DeepLineageRegression) {
+  // 1k-record derivation chain: lineage/reexecution must cover the whole
+  // depth without recursion or quadratic blowup.
+  ProvenanceGraph g;
+  const int kDepth = 1000;
+  for (int i = 0; i < kDepth; ++i) {
+    std::vector<std::string> inputs;
+    if (i > 0) inputs.push_back("e" + std::to_string(i - 1));
+    ASSERT_TRUE(g.AddRecord(Rec("r" + std::to_string(i), "agent", 1000 + i,
+                                std::move(inputs),
+                                {"e" + std::to_string(i)}))
+                    .ok());
+  }
+  EXPECT_EQ(g.Lineage("e999").size(), 999u);
+  EXPECT_EQ(g.Descendants("e0").size(), 999u);
+  EXPECT_EQ(g.ReexecutionSet("r0").size(), 999u);
+  auto window = g.InRange(1500, 1599);
+  EXPECT_EQ(window.size(), 100u);
+  auto cascade = g.Invalidate("r500", 9999, "probe");
+  ASSERT_TRUE(cascade.ok());
+  EXPECT_EQ(cascade->size(), 500u);  // r500..r999
+}
+
+TEST(GraphScaleTest, DescendingTimestampBackfill) {
+  // Worst case for the time indexes: 1k records ingested newest-first.
+  // Ingest must stay append-cheap (sort deferred to query time) and the
+  // queries must still come back fully time-ordered.
+  ProvenanceGraph g;
+  const int kN = 1000;
+  for (int i = kN - 1; i >= 0; --i) {
+    ASSERT_TRUE(g.AddRecord(Rec("r" + std::to_string(i),
+                                "a" + std::to_string(i % 3), 1000 + i, {},
+                                {}, "doc"))
+                    .ok());
+  }
+  auto recs = g.InRange(1000, 1000 + kN);
+  ASSERT_EQ(recs.size(), static_cast<size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(recs[i].timestamp, 1000 + i);
+  }
+  auto history = g.SubjectHistory("doc");
+  ASSERT_EQ(history.size(), static_cast<size_t>(kN));
+  EXPECT_EQ(history.front().record_id, "r0");
+  EXPECT_EQ(history.back().record_id, "r999");
+  auto by_a0 = g.ByAgent("a0");
+  ASSERT_FALSE(by_a0.empty());
+  for (size_t i = 1; i < by_a0.size(); ++i) {
+    EXPECT_LE(by_a0[i - 1].timestamp, by_a0[i].timestamp);
+  }
+}
+
 TEST(GraphDiamondTest, DiamondLineageNoDuplicates) {
   // a -> {b, c} -> d (diamond): d's lineage must contain each node once.
   ProvenanceGraph g;

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "prov/capture.h"
 #include "prov/store.h"
 
@@ -140,6 +142,111 @@ TEST_F(StoreTest, RebuildFromChainRecoversState) {
   // Proofs still work on the rebuilt store.
   auto proof = rebuilt.ProveRecord("r2");
   ASSERT_TRUE(proof.ok());
+}
+
+TEST_F(StoreTest, PendingDuplicateRejected) {
+  // A duplicate of a *buffered* (not yet flushed) record must be rejected,
+  // otherwise Flush() double-indexes and corrupts graph state mid-batch.
+  ProvenanceStoreOptions opts;
+  opts.batch_size = 4;
+  ProvenanceStore batched(&chain_, &clock_, opts);
+  ASSERT_TRUE(batched.Anchor(Rec("dup", "f", "a", 100)).ok());
+  EXPECT_EQ(batched.pending_count(), 1u);
+  EXPECT_TRUE(batched.Anchor(Rec("dup", "f", "a", 200)).IsAlreadyExists());
+  EXPECT_EQ(batched.pending_count(), 1u);
+  ASSERT_TRUE(batched.Flush().ok());
+  EXPECT_EQ(batched.anchored_count(), 1u);
+  // Once flushed, the id stays taken; a fresh id goes through.
+  EXPECT_TRUE(batched.Anchor(Rec("dup", "f", "a", 300)).IsAlreadyExists());
+  ASSERT_TRUE(batched.Anchor(Rec("dup2", "f", "a", 300)).ok());
+}
+
+TEST_F(StoreTest, AnchorBatchRejectsIntraBatchDuplicateAndRollsBack) {
+  Status s = store_.AnchorBatch(
+      {Rec("x1", "f", "a", 100), Rec("x1", "f", "a", 200)});
+  EXPECT_TRUE(s.IsAlreadyExists());
+  // The failed batch leaves nothing behind: no buffered records, and a
+  // corrected retry that reuses the id goes through cleanly.
+  EXPECT_EQ(store_.pending_count(), 0u);
+  EXPECT_EQ(chain_.height(), 0u);
+  ASSERT_TRUE(store_.AnchorBatch(
+                  {Rec("x1", "f", "a", 100), Rec("x2", "f", "a", 200)})
+                  .ok());
+  EXPECT_EQ(store_.anchored_count(), 2u);
+}
+
+TEST_F(StoreTest, FailedFlushKeepsRecordsBuffered) {
+  // A chain that refuses the block (too many txs) must not cost us the
+  // buffered records: they stay pending, ready for a retry.
+  ledger::ChainOptions chain_opts;
+  chain_opts.max_block_txs = 2;
+  ledger::Blockchain strict_chain(chain_opts);
+  ProvenanceStoreOptions opts;
+  opts.batch_size = 3;
+  ProvenanceStore batched(&strict_chain, &clock_, opts);
+  ASSERT_TRUE(batched.Anchor(Rec("r1", "f", "a", 100)).ok());
+  ASSERT_TRUE(batched.Anchor(Rec("r2", "f", "a", 200)).ok());
+  EXPECT_FALSE(batched.Anchor(Rec("r3", "f", "a", 300)).ok());  // flush fails
+  EXPECT_EQ(batched.pending_count(), 3u);
+  EXPECT_EQ(strict_chain.height(), 0u);
+  EXPECT_EQ(batched.anchored_count(), 0u);
+}
+
+TEST_F(StoreTest, RebuildRestoresNonce) {
+  ASSERT_TRUE(store_.Anchor(Rec("r1", "f", "a", 100)).ok());
+  ASSERT_TRUE(store_.Anchor(Rec("r2", "f", "a", 200)).ok());
+
+  ProvenanceStore rebuilt(&chain_, &clock_);
+  ASSERT_TRUE(rebuilt.RebuildFromChain().ok());
+  ASSERT_TRUE(rebuilt.Anchor(Rec("r3", "f", "a", 300)).ok());
+
+  // Every prov/record transaction on the chain must carry a distinct
+  // nonce; a rebuild that reset the counter would reuse one.
+  std::set<uint64_t> nonces;
+  for (const auto& tx : chain_.GetChannelTransactions("prov")) {
+    EXPECT_TRUE(nonces.insert(tx.nonce).second)
+        << "nonce reused: " << tx.nonce;
+  }
+  EXPECT_EQ(nonces.size(), 3u);
+}
+
+TEST_F(StoreTest, AuditAllAfterRebuild) {
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        store_.Anchor(Rec("r" + std::to_string(i), "f", "a", 100 + i)).ok());
+  }
+  ProvenanceStore rebuilt(&chain_, &clock_);
+  ASSERT_TRUE(rebuilt.RebuildFromChain().ok());
+  auto audit = rebuilt.AuditAll();
+  ASSERT_TRUE(audit.ok());
+  EXPECT_EQ(audit.value(), 6u);
+  // Tampering after the rebuild is still caught.
+  ASSERT_TRUE(chain_.TamperForTesting(3, 0, 0x55).ok());
+  EXPECT_FALSE(rebuilt.AuditAll().ok());
+}
+
+TEST_F(StoreTest, CachedBlockProvesWithoutMerkleRebuild) {
+  ASSERT_TRUE(store_.AnchorBatch({Rec("r1", "f", "a", 100),
+                                  Rec("r2", "f", "a", 200),
+                                  Rec("r3", "f", "a", 300)})
+                  .ok());
+  size_t builds_before = chain_.merkle_tree_builds();
+  ASSERT_TRUE(store_.ProveRecord("r1").ok());
+  // First proof against the block builds its tree exactly once...
+  EXPECT_EQ(chain_.merkle_tree_builds(), builds_before + 1);
+  // ...and every further proof against the cached block builds zero trees.
+  ASSERT_TRUE(store_.ProveRecord("r2").ok());
+  ASSERT_TRUE(store_.ProveRecord("r3").ok());
+  ASSERT_TRUE(store_.ProveRecord("r1").ok());
+  EXPECT_EQ(chain_.merkle_tree_builds(), builds_before + 1);
+
+  // AuditAll re-proves every record but only ever builds one tree per
+  // block, not one per record.
+  size_t audit_baseline = chain_.merkle_tree_builds();
+  auto audit = store_.AuditAll();
+  ASSERT_TRUE(audit.ok());
+  EXPECT_EQ(audit.value(), 3u);
+  EXPECT_EQ(chain_.merkle_tree_builds(), audit_baseline);
 }
 
 TEST_F(StoreTest, PrivacyModeHashesAgents) {
