@@ -1,0 +1,258 @@
+// Query-API benchmark: planner-chosen index scans (ProvenanceGraph::Run)
+// vs the legacy fetch-then-filter pattern every consumer hand-rolled before
+// the composable Query API existed — fetch a whole fixed-shape result
+// (ByAgent / SubjectHistory), then post-filter copies in the caller.
+//
+// Both sides run against the same dense graph, so the gap measured is the
+// API's: materializing only the matches (and, for count-only, nothing at
+// all) instead of copying every record behind the broadest predicate.
+//
+// Workloads at 100k records (multi-predicate, per the ISSUE acceptance):
+//   * agent+range       — records by one agent inside a 1% time window
+//   * subject+operation — one subject's records with one of 8 operations
+//   * count_subject_range — count-only: one subject's records in a window
+//
+// Emits BENCH_query.json (path = argv[1], record count = argv[2]).
+//
+// Usage: bench_query_api [BENCH_query.json [100000]]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "prov/graph.h"
+
+namespace provledger {
+namespace {
+
+using BenchClock = std::chrono::steady_clock;
+
+double ElapsedUs(BenchClock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(BenchClock::now() - t0)
+      .count();
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  size_t idx = static_cast<size_t>(p * (samples.size() - 1));
+  return samples[idx];
+}
+
+// Workload: the bench_graph_scale DAG shape (1k hot subjects, 64 agents,
+// long derivation chains) plus a rotating set of 8 operations so
+// operation predicates have real selectivity.
+std::vector<prov::ProvenanceRecord> MakeWorkload(size_t n) {
+  static const char* kOps[] = {"create",  "update",  "share",   "transfer",
+                               "execute", "analyze", "archive", "annotate"};
+  std::vector<prov::ProvenanceRecord> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    prov::ProvenanceRecord rec;
+    rec.record_id = "r" + std::to_string(i);
+    rec.operation = kOps[i % 8];
+    rec.subject = "s" + std::to_string(i % 1000);
+    rec.agent = "a" + std::to_string(i % 64);
+    rec.timestamp = static_cast<Timestamp>(i * 16 + (i * 2654435761u) % 16);
+    if (i > 0) rec.inputs.push_back("e" + std::to_string(i - 1));
+    if (i % 7 == 0 && i > 1) rec.inputs.push_back("e" + std::to_string(i / 2));
+    rec.outputs.push_back("e" + std::to_string(i));
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+volatile size_t g_sink = 0;
+
+struct Workload {
+  const char* name;
+  double legacy_p50_us = 0;
+  double query_p50_us = 0;
+  double speedup() const {
+    return query_p50_us > 0 ? legacy_p50_us / query_p50_us : 0;
+  }
+};
+
+int Run(const std::string& json_path, size_t n) {
+  if (n < 1000) {
+    std::fprintf(stderr, "record count must be >= 1000 (got %zu)\n", n);
+    return 1;
+  }
+  std::printf("== Planner-chosen index scans vs legacy fetch-then-filter ==\n");
+  std::printf("   records: %zu\n\n", n);
+
+  prov::ProvenanceGraph graph;
+  for (const auto& rec : MakeWorkload(n)) {
+    if (!graph.AddRecord(rec).ok()) return 1;
+  }
+
+  Rng rng(11);
+  const Timestamp max_ts = static_cast<Timestamp>(n * 16);
+  const int kQueries = 200;
+
+  // ---- Workload 1: agent + time range (1% window). --------------------
+  struct AgentRangeCase {
+    std::string agent;
+    Timestamp from, to;
+  };
+  std::vector<AgentRangeCase> agent_range;
+  for (int q = 0; q < kQueries; ++q) {
+    Timestamp from = static_cast<Timestamp>(rng.NextBelow(max_ts));
+    agent_range.push_back({"a" + std::to_string(rng.NextBelow(64)), from,
+                           from + max_ts / 100});
+  }
+  Workload w_agent_range{"agent+range"};
+  {
+    std::vector<double> legacy_samples, query_samples;
+    for (const auto& c : agent_range) {
+      auto t0 = BenchClock::now();
+      // Legacy: materialize the agent's whole history, then post-filter.
+      std::vector<prov::ProvenanceRecord> out;
+      for (const auto& rec : graph.ByAgent(c.agent)) {
+        if (rec.timestamp >= c.from && rec.timestamp <= c.to) {
+          out.push_back(rec);
+        }
+      }
+      legacy_samples.push_back(ElapsedUs(t0));
+      size_t legacy_n = out.size();
+      g_sink += legacy_n;
+
+      t0 = BenchClock::now();
+      auto result = graph.Run(
+          prov::Query().WithAgent(c.agent).Between(c.from, c.to));
+      query_samples.push_back(ElapsedUs(t0));
+      g_sink += result.records.size();
+      if (result.records.size() != legacy_n) {
+        std::fprintf(stderr, "agent+range mismatch: %zu vs %zu\n", legacy_n,
+                     result.records.size());
+        return 1;
+      }
+    }
+    w_agent_range.legacy_p50_us = Percentile(std::move(legacy_samples), 0.5);
+    w_agent_range.query_p50_us = Percentile(std::move(query_samples), 0.5);
+  }
+
+  // ---- Workload 2: subject + operation. -------------------------------
+  struct SubjectOpCase {
+    std::string subject;
+    std::string op;
+  };
+  static const char* kOps[] = {"create",  "update",  "share",   "transfer",
+                               "execute", "analyze", "archive", "annotate"};
+  std::vector<SubjectOpCase> subject_op;
+  for (int q = 0; q < kQueries; ++q) {
+    subject_op.push_back({"s" + std::to_string(rng.NextBelow(1000)),
+                          kOps[rng.NextBelow(8)]});
+  }
+  Workload w_subject_op{"subject+operation"};
+  {
+    std::vector<double> legacy_samples, query_samples;
+    for (const auto& c : subject_op) {
+      auto t0 = BenchClock::now();
+      std::vector<prov::ProvenanceRecord> out;
+      for (const auto& rec : graph.SubjectHistory(c.subject)) {
+        if (rec.operation == c.op) out.push_back(rec);
+      }
+      legacy_samples.push_back(ElapsedUs(t0));
+      size_t legacy_n = out.size();
+      g_sink += legacy_n;
+
+      t0 = BenchClock::now();
+      auto result =
+          graph.Run(prov::Query().WithSubject(c.subject).WithOperation(c.op));
+      query_samples.push_back(ElapsedUs(t0));
+      g_sink += result.records.size();
+      if (result.records.size() != legacy_n) {
+        std::fprintf(stderr, "subject+operation mismatch\n");
+        return 1;
+      }
+    }
+    w_subject_op.legacy_p50_us = Percentile(std::move(legacy_samples), 0.5);
+    w_subject_op.query_p50_us = Percentile(std::move(query_samples), 0.5);
+  }
+
+  // ---- Workload 3: count-only, subject + time range. ------------------
+  struct SubjectRangeCase {
+    std::string subject;
+    Timestamp from, to;
+  };
+  std::vector<SubjectRangeCase> count_cases;
+  for (int q = 0; q < kQueries; ++q) {
+    Timestamp from = static_cast<Timestamp>(rng.NextBelow(max_ts));
+    count_cases.push_back({"s" + std::to_string(rng.NextBelow(1000)), from,
+                           from + max_ts / 4});
+  }
+  Workload w_count{"count_subject_range"};
+  {
+    std::vector<double> legacy_samples, query_samples;
+    for (const auto& c : count_cases) {
+      auto t0 = BenchClock::now();
+      size_t legacy_count = 0;
+      for (const auto& rec : graph.SubjectHistory(c.subject)) {
+        if (rec.timestamp >= c.from && rec.timestamp <= c.to) ++legacy_count;
+      }
+      legacy_samples.push_back(ElapsedUs(t0));
+      g_sink += legacy_count;
+
+      t0 = BenchClock::now();
+      auto result = graph.Run(prov::Query()
+                                  .WithSubject(c.subject)
+                                  .Between(c.from, c.to)
+                                  .CountOnly());
+      query_samples.push_back(ElapsedUs(t0));
+      g_sink += result.count;
+      if (result.count != legacy_count) {
+        std::fprintf(stderr, "count mismatch: %zu vs %zu\n", legacy_count,
+                     result.count);
+        return 1;
+      }
+    }
+    w_count.legacy_p50_us = Percentile(std::move(legacy_samples), 0.5);
+    w_count.query_p50_us = Percentile(std::move(query_samples), 0.5);
+  }
+
+  const Workload workloads[] = {w_agent_range, w_subject_op, w_count};
+  for (const Workload& w : workloads) {
+    std::printf(
+        "  %-20s legacy p50 %9.1f us   query p50 %8.1f us   %6.1fx\n",
+        w.name, w.legacy_p50_us, w.query_p50_us, w.speedup());
+  }
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"bench_query_api\",\n"
+               "  \"records\": %zu,\n"
+               "  \"workloads\": {\n",
+               n);
+  const size_t kCount = sizeof(workloads) / sizeof(workloads[0]);
+  for (size_t i = 0; i < kCount; ++i) {
+    std::fprintf(f,
+                 "    \"%s\": {\"legacy_p50_us\": %.2f, "
+                 "\"query_p50_us\": %.2f, \"speedup\": %.2f}%s\n",
+                 workloads[i].name, workloads[i].legacy_p50_us,
+                 workloads[i].query_p50_us, workloads[i].speedup(),
+                 i + 1 < kCount ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("\n  wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace provledger
+
+int main(int argc, char** argv) {
+  std::string json_path = argc > 1 ? argv[1] : "BENCH_query.json";
+  size_t n = argc > 2 ? static_cast<size_t>(std::atoll(argv[2])) : 100000;
+  return provledger::Run(json_path, n);
+}

@@ -67,6 +67,13 @@ int main() {
                 rec.operation.c_str(), rec.agent.c_str());
   }
 
+  // 3b. Composable queries: filters AND together and run off the most
+  // selective index (see examples/query_tour.cpp for the full surface).
+  auto cleanups = store.Execute(
+      provledger::prov::Query().WithOperation("clean").Between(150, 250));
+  std::printf("\n'clean' operations in [150, 250]: %zu\n",
+              cleanups.records.size());
+
   // 4. Verify record r2 cryptographically (what an auditor does).
   auto record = store.GetRecord("r2");
   auto proof = store.ProveRecord("r2");

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# CI-style strict check: configure + build + run the full ctest suite in a
+# dedicated build tree, with the provledger library compiled under
+# -Wall -Wextra -Werror (PROVLEDGER_WERROR) at RelWithDebInfo.
+#
+# Usage: scripts/check_build.sh [extra cmake args...]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD="$ROOT/build-check"
+
+cmake -B "$BUILD" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPROVLEDGER_WERROR=ON \
+  -DPROVLEDGER_BUILD_TESTS=ON \
+  -DPROVLEDGER_BUILD_BENCHES=ON \
+  -DPROVLEDGER_BUILD_EXAMPLES=ON \
+  "$@"
+cmake --build "$BUILD" -j
+(cd "$BUILD" && ctest --output-on-failure -j)
+echo "check_build: OK"

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Build Release and regenerate BENCH_graph.json from the graph scale bench.
+# Build Release and regenerate the benchmark JSONs:
+#   BENCH_graph.json — dense graph engine vs legacy std::map graph
+#   BENCH_query.json — planner-chosen index scans vs fetch-then-filter
 #
 # Usage: scripts/run_benches.sh [record_count]   (default 100000)
 set -euo pipefail
@@ -13,6 +15,7 @@ cmake -B "$BUILD" -S "$ROOT" \
   -DPROVLEDGER_BUILD_BENCHES=ON \
   -DPROVLEDGER_BUILD_TESTS=OFF \
   -DPROVLEDGER_BUILD_EXAMPLES=OFF
-cmake --build "$BUILD" -j --target bench_graph_scale
+cmake --build "$BUILD" -j --target bench_graph_scale --target bench_query_api
 
 "$BUILD/bench_graph_scale" "$ROOT/BENCH_graph.json" "$RECORDS"
+"$BUILD/bench_query_api" "$ROOT/BENCH_query.json" "$RECORDS"

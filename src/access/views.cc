@@ -3,7 +3,17 @@
 namespace provledger {
 namespace access {
 
+prov::Query ViewFilter::ToQuery() const {
+  prov::Query query;
+  if (!subject_prefix.empty()) query.WithSubjectPrefix(subject_prefix);
+  for (const auto& op : operations) query.WithOperation(op);
+  if (domain.has_value()) query.WithDomain(*domain);
+  return query;
+}
+
 bool ViewFilter::Matches(const prov::ProvenanceRecord& record) const {
+  // Allocation-free single-record predicate; ToQuery() is for handing the
+  // whole filter to the store's planner.
   if (!subject_prefix.empty() &&
       record.subject.compare(0, subject_prefix.size(), subject_prefix) != 0) {
     return false;
@@ -95,11 +105,10 @@ Result<std::vector<prov::ProvenanceRecord>> ViewManager::Query(
     return Status::PermissionDenied(principal + " may not read view " +
                                     view_name);
   }
-  std::vector<prov::ProvenanceRecord> out;
-  for (const auto& record : store_->SubjectHistory(subject)) {
-    if (it->second.filter.Matches(record)) out.push_back(record);
-  }
-  return out;
+  // One planned query: the store scans the subject postings and applies
+  // the view filter per candidate — no fetch-then-filter copy.
+  return store_->Execute(it->second.filter.ToQuery().WithSubject(subject))
+      .records;
 }
 
 }  // namespace access

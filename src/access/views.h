@@ -29,6 +29,8 @@ struct ViewFilter {
   /// Only records from this domain (nullopt = all).
   std::optional<prov::Domain> domain;
 
+  /// The filter as a composable store query (index-planned execution).
+  prov::Query ToQuery() const;
   bool Matches(const prov::ProvenanceRecord& record) const;
 };
 

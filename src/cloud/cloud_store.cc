@@ -115,16 +115,26 @@ Result<CloudFile> CloudStore::GetFile(const std::string& name) const {
 }
 
 Result<size_t> CloudAuditor::AuditFile(const std::string& file_name) const {
+  // Streamed query: verify each record as the subject index yields it —
+  // no full-history copy, and a failure stops the scan immediately.
   size_t verified = 0;
-  for (const auto& rec : store_->SubjectHistory(file_name)) {
-    auto proof = store_->ProveRecord(rec.record_id);
-    if (!proof.ok()) return proof.status();
-    if (!store_->VerifyRecordProof(rec, proof.value())) {
-      return Status::Corruption("record failed verification: " +
-                                rec.record_id);
-    }
-    ++verified;
-  }
+  Status failure = Status::OK();
+  store_->Execute(prov::Query().WithSubject(file_name),
+                  [&](const prov::ProvenanceRecord& rec) {
+                    auto proof = store_->ProveRecord(rec.record_id);
+                    if (!proof.ok()) {
+                      failure = proof.status();
+                      return false;
+                    }
+                    if (!store_->VerifyRecordProof(rec, proof.value())) {
+                      failure = Status::Corruption(
+                          "record failed verification: " + rec.record_id);
+                      return false;
+                    }
+                    ++verified;
+                    return true;
+                  });
+  if (!failure.ok()) return failure;
   return verified;
 }
 

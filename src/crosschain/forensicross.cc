@@ -161,18 +161,23 @@ std::vector<AuthenticatedRecord> ForensiCross::ExtractProvenance(
     const std::string& evidence_id) {
   std::vector<AuthenticatedRecord> out;
   for (auto& org : orgs_) {
-    for (const auto& record : org.store->SubjectHistory(evidence_id)) {
-      AuthenticatedRecord authenticated;
-      authenticated.chain_id = org.name;
-      authenticated.record = record;
-      auto proof = org.store->ProveRecord(record.record_id);
-      if (proof.ok()) {
-        authenticated.proof = proof.value();
-        authenticated.verified =
-            org.store->VerifyRecordProof(record, authenticated.proof);
-      }
-      out.push_back(std::move(authenticated));
-    }
+    // Streamed per-org query: authenticate each match as the store's
+    // subject index yields it, instead of copying the history out first.
+    org.store->Execute(
+        prov::Query().WithSubject(evidence_id),
+        [&](const prov::ProvenanceRecord& record) {
+          AuthenticatedRecord authenticated;
+          authenticated.chain_id = org.name;
+          authenticated.record = record;
+          auto proof = org.store->ProveRecord(record.record_id);
+          if (proof.ok()) {
+            authenticated.proof = proof.value();
+            authenticated.verified =
+                org.store->VerifyRecordProof(record, authenticated.proof);
+          }
+          out.push_back(std::move(authenticated));
+          return true;
+        });
   }
   return out;
 }

@@ -42,19 +42,24 @@ CrossChainQueryEngine::CrossChainQueryEngine(std::vector<OrgChain> orgs,
 
 std::vector<AuthenticatedRecord> CrossChainQueryEngine::FetchFrom(
     OrgChain* org, const std::string& entity) {
+  // Streamed query: each match is authenticated straight off the store's
+  // subject index, without first materializing the whole history vector.
   std::vector<AuthenticatedRecord> out;
-  for (const auto& record : org->store->SubjectHistory(entity)) {
-    AuthenticatedRecord authenticated;
-    authenticated.chain_id = org->chain_id;
-    authenticated.record = record;
-    auto proof = org->store->ProveRecord(record.record_id);
-    if (proof.ok()) {
-      authenticated.proof = proof.value();
-      authenticated.verified =
-          org->store->VerifyRecordProof(record, authenticated.proof);
-    }
-    out.push_back(std::move(authenticated));
-  }
+  org->store->Execute(
+      prov::Query().WithSubject(entity),
+      [&](const prov::ProvenanceRecord& record) {
+        AuthenticatedRecord authenticated;
+        authenticated.chain_id = org->chain_id;
+        authenticated.record = record;
+        auto proof = org->store->ProveRecord(record.record_id);
+        if (proof.ok()) {
+          authenticated.proof = proof.value();
+          authenticated.verified =
+              org->store->VerifyRecordProof(record, authenticated.proof);
+        }
+        out.push_back(std::move(authenticated));
+        return true;
+      });
   return out;
 }
 

@@ -241,14 +241,20 @@ Result<Case> CaseManager::GetCase(const std::string& case_id) const {
 
 std::vector<prov::ProvenanceRecord> CaseManager::EvidenceHistory(
     const std::string& case_id, const std::string& evidence_id) const {
-  std::vector<prov::ProvenanceRecord> out;
-  for (const auto& rec : store_->SubjectHistory(evidence_id)) {
-    auto field = rec.fields.find(prov::fields::kCaseNumber);
-    if (field != rec.fields.end() && field->second == case_id) {
-      out.push_back(rec);
-    }
-  }
-  return out;
+  return store_
+      ->Execute(prov::Query()
+                    .WithSubject(evidence_id)
+                    .WithField(prov::fields::kCaseNumber, case_id))
+      .records;
+}
+
+std::vector<prov::ProvenanceRecord> CaseManager::CaseActivity(
+    const std::string& case_id, const std::string& operation) const {
+  prov::Query query;
+  query.WithDomain(prov::Domain::kForensics)
+      .WithField(prov::fields::kCaseNumber, case_id);
+  if (!operation.empty()) query.WithOperation(operation);
+  return store_->Execute(query).records;
 }
 
 Result<crypto::Digest> CaseManager::CaseRoot(

@@ -106,6 +106,10 @@ class CaseManager {
   /// Full event history of one evidence item (custody + analysis).
   std::vector<prov::ProvenanceRecord> EvidenceHistory(
       const std::string& case_id, const std::string& evidence_id) const;
+  /// Every anchored action in a case, optionally narrowed to one operation
+  /// (e.g. "collect-evidence") — one planned query over the ledger.
+  std::vector<prov::ProvenanceRecord> CaseActivity(
+      const std::string& case_id, const std::string& operation = "") const;
 
   /// \name Case integrity (distributed Merkle tree).
   /// @{

@@ -158,7 +158,20 @@ Result<std::string> EhrSystem::ReadRecord(const std::string& record_id,
 
 std::vector<prov::ProvenanceRecord> EhrSystem::AccessAudit(
     const std::string& patient) const {
-  return store_->SubjectHistory(patient);
+  return store_
+      ->Execute(prov::Query().WithSubject(patient).WithDomain(
+          prov::Domain::kHealthcare))
+      .records;
+}
+
+std::vector<prov::ProvenanceRecord> EhrSystem::EmergencyAccesses(
+    const std::string& patient) const {
+  return store_
+      ->Execute(prov::Query()
+                    .WithSubject(patient)
+                    .WithOperation("read-record")
+                    .WithField("outcome", "ok:EMERGENCY"))
+      .records;
 }
 
 Result<std::vector<std::string>> EhrSystem::Search(

@@ -84,6 +84,10 @@ class EhrSystem {
   /// All audited access outcomes for a patient (from the ledger).
   std::vector<prov::ProvenanceRecord> AccessAudit(
       const std::string& patient) const;
+  /// Break-glass reads only (operation + outcome filtered on-index): the
+  /// mandatory-review queue HealthBlock's emergency access calls for.
+  std::vector<prov::ProvenanceRecord> EmergencyAccesses(
+      const std::string& patient) const;
   /// @}
 
   /// \name Searchable (encrypted-index) retrieval — Niu et al., simulated.

@@ -90,6 +90,31 @@ std::vector<std::string> AssetGraph::AssetLineage(
   return store_->Lineage(asset_id);
 }
 
+std::vector<prov::ProvenanceRecord> AssetGraph::AssetHistory(
+    const std::string& asset_id) const {
+  return store_
+      ->Execute(prov::Query().WithSubject(asset_id).WithDomain(
+          prov::Domain::kMachineLearning))
+      .records;
+}
+
+std::vector<prov::ProvenanceRecord> AssetGraph::OperationsBy(
+    const std::string& owner) const {
+  return store_
+      ->Execute(prov::Query()
+                    .WithAgent(store_->OnChainAgentId(owner))
+                    .WithDomain(prov::Domain::kMachineLearning))
+      .records;
+}
+
+std::vector<prov::ProvenanceRecord> AssetGraph::DerivedFrom(
+    const std::string& asset_id) const {
+  return store_
+      ->Execute(prov::Query().WithInput(asset_id).WithDomain(
+          prov::Domain::kMachineLearning))
+      .records;
+}
+
 std::set<std::string> AssetGraph::Contributors(
     const std::string& asset_id) const {
   std::set<std::string> contributors;

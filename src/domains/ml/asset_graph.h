@@ -49,6 +49,20 @@ class AssetGraph {
   /// compensation set.
   std::set<std::string> Contributors(const std::string& asset_id) const;
 
+  /// \name Ledger queries (planned over the store's indexes).
+  /// @{
+  /// Anchored ML records about one asset.
+  std::vector<prov::ProvenanceRecord> AssetHistory(
+      const std::string& asset_id) const;
+  /// Every registration an owner performed.
+  std::vector<prov::ProvenanceRecord> OperationsBy(
+      const std::string& owner) const;
+  /// Registrations that consumed `asset_id` directly (one derivation hop;
+  /// input-index query).
+  std::vector<prov::ProvenanceRecord> DerivedFrom(
+      const std::string& asset_id) const;
+  /// @}
+
   size_t asset_count() const { return kinds_.size(); }
 
  private:

@@ -251,5 +251,23 @@ std::vector<std::string> WorkflowManager::OutputLineage(
   return store_->Lineage(it->second.output);
 }
 
+std::vector<prov::ProvenanceRecord> WorkflowManager::ExecutionHistory(
+    const std::string& workflow_id, bool only_valid) const {
+  prov::Query query;
+  query.WithDomain(prov::Domain::kScientific)
+      .WithField(prov::fields::kWorkflowId, workflow_id);
+  if (only_valid) query.OnlyValid();
+  return store_->Execute(query).records;
+}
+
+std::vector<prov::ProvenanceRecord> WorkflowManager::TaskExecutions(
+    const std::string& workflow_id, const std::string& task_id) const {
+  return store_
+      ->Execute(prov::Query()
+                    .WithSubject(task_id)
+                    .WithField(prov::fields::kWorkflowId, workflow_id))
+      .records;
+}
+
 }  // namespace scientific
 }  // namespace provledger

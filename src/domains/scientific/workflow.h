@@ -108,6 +108,14 @@ class WorkflowManager {
   /// Lineage of a task's output across workflows (multi-workflow support).
   std::vector<std::string> OutputLineage(const std::string& workflow_id,
                                          const std::string& task_id) const;
+  /// Every anchored execution record of a workflow, in time order; with
+  /// `only_valid`, invalidated executions are filtered on-index (the
+  /// SciBlock "current state of the shared results" view).
+  std::vector<prov::ProvenanceRecord> ExecutionHistory(
+      const std::string& workflow_id, bool only_valid = false) const;
+  /// All execution records of one task (including superseded re-runs).
+  std::vector<prov::ProvenanceRecord> TaskExecutions(
+      const std::string& workflow_id, const std::string& task_id) const;
   size_t workflow_count() const { return workflows_.size(); }
 
  private:

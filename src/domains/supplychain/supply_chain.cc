@@ -229,7 +229,28 @@ Result<Product> SupplyChain::GetProduct(const std::string& product_id) const {
 
 std::vector<prov::ProvenanceRecord> SupplyChain::History(
     const std::string& product_id) const {
-  return store_->SubjectHistory(product_id);
+  return store_->Execute(prov::Query().WithSubject(product_id)).records;
+}
+
+std::vector<prov::ProvenanceRecord> SupplyChain::TransferHistory(
+    const std::string& product_id) const {
+  return store_
+      ->Execute(prov::Query()
+                    .WithSubject(product_id)
+                    .WithOperation("transfer-initiate")
+                    .WithOperation("transfer-confirm")
+                    .WithOperation("transfer-cancel"))
+      .records;
+}
+
+std::vector<prov::ProvenanceRecord> SupplyChain::SensorHistory(
+    const std::string& product_id, Timestamp from, Timestamp to) const {
+  return store_
+      ->Execute(prov::Query()
+                    .WithSubject(product_id)
+                    .WithOperation("sensor-reading")
+                    .Between(from, to))
+      .records;
 }
 
 bool SupplyChain::VerifyAuthenticity(const std::string& product_id,

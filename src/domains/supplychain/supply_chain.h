@@ -10,6 +10,7 @@
 #ifndef PROVLEDGER_DOMAINS_SUPPLYCHAIN_SUPPLY_CHAIN_H_
 #define PROVLEDGER_DOMAINS_SUPPLYCHAIN_SUPPLY_CHAIN_H_
 
+#include <limits>
 #include <map>
 #include <optional>
 #include <set>
@@ -106,6 +107,14 @@ class SupplyChain {
   /// Complete custody/event history from the ledger.
   std::vector<prov::ProvenanceRecord> History(
       const std::string& product_id) const;
+  /// Just the two-phase custody transfer events (operation-filtered).
+  std::vector<prov::ProvenanceRecord> TransferHistory(
+      const std::string& product_id) const;
+  /// Cold-chain readings for a product inside a time window (subject index
+  /// narrowed by timestamp, then operation-filtered).
+  std::vector<prov::ProvenanceRecord> SensorHistory(
+      const std::string& product_id, Timestamp from,
+      Timestamp to = std::numeric_limits<Timestamp>::max()) const;
   /// True iff the claimed product exists, is not recalled, and the claimed
   /// holder matches on-ledger custody (counterfeit check).
   bool VerifyAuthenticity(const std::string& product_id,

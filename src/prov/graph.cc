@@ -1,6 +1,7 @@
 #include "prov/graph.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace provledger {
 namespace prov {
@@ -93,6 +94,7 @@ Status ProvenanceGraph::AddRecord(const ProvenanceRecord& record) {
     }
   }
 
+  if (by_subject_[meta.subject].empty()) ++subject_count_;
   AppendByTime(&by_subject_[meta.subject], rid, &subject_dirty_[meta.subject]);
   uint32_t aid = agents_.Intern(record.agent);
   if (aid >= by_agent_.size()) {
@@ -159,46 +161,311 @@ std::vector<std::string> ProvenanceGraph::Descendants(
   return EntityClosure(derivations_, entity);
 }
 
-std::vector<ProvenanceRecord> ProvenanceGraph::MaterializeRecords(
-    const std::vector<uint32_t>& rids) const {
-  std::vector<ProvenanceRecord> out;
-  out.reserve(rids.size());
-  for (uint32_t rid : rids) out.push_back(records_[rid]);
-  return out;
-}
-
 std::vector<ProvenanceRecord> ProvenanceGraph::SubjectHistory(
     const std::string& subject) const {
-  uint32_t eid = entities_.Find(subject);
-  if (eid == InternTable::kNone) return {};
-  EnsureTimeSorted(&by_subject_[eid], &subject_dirty_[eid]);
-  return MaterializeRecords(by_subject_[eid]);
+  return Run(Query().WithSubject(subject)).records;
 }
 
 std::vector<ProvenanceRecord> ProvenanceGraph::ByAgent(
     const std::string& agent) const {
-  uint32_t aid = agents_.Find(agent);
-  if (aid == InternTable::kNone) return {};
-  EnsureTimeSorted(&by_agent_[aid], &agent_dirty_[aid]);
-  return MaterializeRecords(by_agent_[aid]);
+  return Run(Query().WithAgent(agent)).records;
 }
 
 std::vector<ProvenanceRecord> ProvenanceGraph::InRange(Timestamp from,
                                                        Timestamp to) const {
-  std::vector<ProvenanceRecord> out;
-  if (from > to) return out;
-  if (time_dirty_) {
-    std::sort(by_time_.begin(), by_time_.end());
-    time_dirty_ = 0;
+  return Run(Query().Between(from, to)).records;
+}
+
+// ---------------------------------------------------------------------------
+// Composable query execution.
+// ---------------------------------------------------------------------------
+
+void ProvenanceGraph::EnsureGlobalTimeSorted() const {
+  if (!time_dirty_) return;
+  // Pair order (timestamp, rid) reproduces the documented tie order: rids
+  // are assigned in ingest order, so equal timestamps stay ingest-ordered.
+  std::sort(by_time_.begin(), by_time_.end());
+  time_dirty_ = 0;
+}
+
+std::pair<size_t, size_t> ProvenanceGraph::TimeIndexSlice(
+    std::optional<Timestamp> from, std::optional<Timestamp> to) const {
+  EnsureGlobalTimeSorted();
+  size_t lo =
+      from ? static_cast<size_t>(
+                 std::lower_bound(by_time_.begin(), by_time_.end(),
+                                  std::pair<Timestamp, uint32_t>{*from, 0}) -
+                 by_time_.begin())
+           : 0;
+  size_t hi = to ? static_cast<size_t>(
+                       std::upper_bound(
+                           by_time_.begin(), by_time_.end(),
+                           std::pair<Timestamp, uint32_t>{*to,
+                                                          InternTable::kNone}) -
+                       by_time_.begin())
+                 : by_time_.size();
+  if (hi < lo) hi = lo;
+  return {lo, hi};
+}
+
+void ProvenanceGraph::NarrowByTime(const Query& query,
+                                   const std::vector<uint32_t>& list,
+                                   size_t* lo, size_t* hi) const {
+  if (query.from) {
+    *lo = std::lower_bound(list.begin(), list.end(), *query.from,
+                           [this](uint32_t rid, Timestamp t) {
+                             return meta_[rid].timestamp < t;
+                           }) -
+          list.begin();
   }
-  auto lo = std::lower_bound(by_time_.begin(), by_time_.end(),
-                             std::pair<Timestamp, uint32_t>{from, 0});
-  auto hi = std::upper_bound(
-      by_time_.begin(), by_time_.end(),
-      std::pair<Timestamp, uint32_t>{to, InternTable::kNone});
-  out.reserve(hi - lo);
-  for (auto it = lo; it != hi; ++it) out.push_back(records_[it->second]);
-  return out;
+  if (query.to) {
+    *hi = std::upper_bound(list.begin() + *lo, list.end(), *query.to,
+                           [this](Timestamp t, uint32_t rid) {
+                             return t < meta_[rid].timestamp;
+                           }) -
+          list.begin();
+  }
+  if (*hi < *lo) *hi = *lo;
+}
+
+ProvenanceGraph::QueryPlan ProvenanceGraph::PlanQuery(
+    const Query& query) const {
+  QueryPlan plan;
+  // An impossible time range matches nothing regardless of indexes.
+  if (query.from && query.to && *query.from > *query.to) return plan;
+
+  // Candidate estimates per applicable index; a filter naming an unknown
+  // key is an immediate empty result. kNone marks "not applicable".
+  constexpr size_t kNotApplicable = std::numeric_limits<size_t>::max();
+  size_t subject_n = kNotApplicable, agent_n = kNotApplicable;
+  size_t input_n = kNotApplicable, output_n = kNotApplicable;
+  size_t range_n = kNotApplicable;
+  uint32_t subject_eid = InternTable::kNone, agent_aid = InternTable::kNone;
+  uint32_t input_eid = InternTable::kNone, output_eid = InternTable::kNone;
+  size_t range_lo = 0, range_hi = 0;
+
+  if (query.subject) {
+    subject_eid = entities_.Find(*query.subject);
+    if (subject_eid == InternTable::kNone) return plan;
+    subject_n = by_subject_[subject_eid].size();
+  }
+  if (query.agent) {
+    agent_aid = agents_.Find(*query.agent);
+    if (agent_aid == InternTable::kNone || agent_aid >= by_agent_.size()) {
+      return plan;
+    }
+    agent_n = by_agent_[agent_aid].size();
+  }
+  if (query.input) {
+    input_eid = entities_.Find(*query.input);
+    if (input_eid == InternTable::kNone) return plan;
+    input_n = used_by_[input_eid].size();
+  }
+  if (query.output) {
+    output_eid = entities_.Find(*query.output);
+    if (output_eid == InternTable::kNone) return plan;
+    output_n = generated_by_[output_eid].size();
+  }
+  if (query.from || query.to) {
+    std::tie(range_lo, range_hi) = TimeIndexSlice(query.from, query.to);
+    range_n = range_hi - range_lo;
+  }
+
+  // Most selective index wins; ties break toward the cheaper scan shape
+  // (postings lists are already time-sorted, input/output lists need a
+  // sort, the time index needs no per-candidate key check).
+  struct Option {
+    QueryIndex index;
+    size_t estimate;
+  };
+  const Option options[] = {{QueryIndex::kSubject, subject_n},
+                            {QueryIndex::kAgent, agent_n},
+                            {QueryIndex::kTimeRange, range_n},
+                            {QueryIndex::kInput, input_n},
+                            {QueryIndex::kOutput, output_n}};
+  QueryIndex best = QueryIndex::kFullScan;
+  size_t best_n = records_.size();
+  for (const Option& option : options) {
+    if (option.estimate < best_n) {
+      best = option.index;
+      best_n = option.estimate;
+    }
+  }
+
+  plan.index = best;
+  switch (best) {
+    case QueryIndex::kSubject:
+      EnsureTimeSorted(&by_subject_[subject_eid], &subject_dirty_[subject_eid]);
+      plan.list = &by_subject_[subject_eid];
+      break;
+    case QueryIndex::kAgent:
+      EnsureTimeSorted(&by_agent_[agent_aid], &agent_dirty_[agent_aid]);
+      plan.list = &by_agent_[agent_aid];
+      break;
+    case QueryIndex::kInput:
+    case QueryIndex::kOutput: {
+      // Usage postings are appended in ingest order with one entry per
+      // mention (a record can list an entity twice); the owned copy is
+      // sorted into the canonical (timestamp, rid) order and deduplicated
+      // so each record appears once.
+      plan.owned = best == QueryIndex::kInput ? used_by_[input_eid]
+                                              : generated_by_[output_eid];
+      std::sort(plan.owned.begin(), plan.owned.end(),
+                [this](uint32_t a, uint32_t b) {
+                  Timestamp ta = meta_[a].timestamp, tb = meta_[b].timestamp;
+                  return ta != tb ? ta < tb : a < b;
+                });
+      plan.owned.erase(std::unique(plan.owned.begin(), plan.owned.end()),
+                       plan.owned.end());
+      plan.use_owned = true;
+      break;
+    }
+    case QueryIndex::kTimeRange:
+      plan.lo = range_lo;
+      plan.hi = range_hi;
+      break;
+    case QueryIndex::kFullScan:
+      EnsureGlobalTimeSorted();
+      plan.hi = by_time_.size();
+      break;
+  }
+  if (plan.use_owned || plan.list != nullptr) {
+    const std::vector<uint32_t>& candidates =
+        plan.use_owned ? plan.owned : *plan.list;
+    plan.hi = candidates.size();
+    NarrowByTime(query, candidates, &plan.lo, &plan.hi);
+  }
+
+  // Does the slice alone guarantee every filter? (Time bounds are always
+  // honored: postings slices are narrowed above, and a present time range
+  // beats a full scan in the selectivity contest.)
+  plan.covers_filters =
+      !query.subject_prefix && !query.domain && query.operations.empty() &&
+      !query.invalidated && query.field_equals.empty() &&
+      (!query.subject || best == QueryIndex::kSubject) &&
+      (!query.agent || best == QueryIndex::kAgent) &&
+      (!query.input || best == QueryIndex::kInput) &&
+      (!query.output || best == QueryIndex::kOutput);
+  return plan;
+}
+
+QueryResult ProvenanceGraph::Run(const Query& query) const {
+  QueryResult result;
+  QueryPlan plan = PlanQuery(query);
+  result.index_used = plan.index;
+  result.candidates_scanned = plan.size();
+
+  if (query.count_only) {
+    if (plan.covers_filters) {
+      result.count = plan.size();
+      result.candidates_scanned = 0;  // no per-record work at all
+      return result;
+    }
+    for (size_t i = 0; i < plan.size(); ++i) {
+      uint32_t rid = PlanRidAt(plan, i);
+      if (query.Matches(records_[rid], invalidations_.count(rid) > 0)) {
+        ++result.count;
+      }
+    }
+    return result;
+  }
+
+  if (plan.covers_filters) {
+    // Every candidate is a match, so offset/limit become slice arithmetic
+    // and no per-record predicate or invalidation lookup runs — the legacy
+    // wrappers (SubjectHistory/ByAgent/InRange) stay pure materialization.
+    size_t start = std::min(query.offset, plan.size());
+    size_t take = std::min(query.limit, plan.size() - start);
+    result.records.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      size_t pos = start + i;
+      result.records.push_back(records_[PlanRidAt(
+          plan, query.descending ? plan.size() - 1 - pos : pos)]);
+    }
+    result.count = take;
+    return result;
+  }
+
+  size_t skipped = 0;
+  for (size_t i = 0; i < plan.size(); ++i) {
+    uint32_t rid = PlanRidAt(plan, query.descending ? plan.size() - 1 - i : i);
+    if (!query.Matches(records_[rid], invalidations_.count(rid) > 0)) continue;
+    if (skipped < query.offset) {
+      ++skipped;
+      continue;
+    }
+    if (result.records.size() >= query.limit) break;
+    result.records.push_back(records_[rid]);
+  }
+  result.count = result.records.size();
+  return result;
+}
+
+size_t ProvenanceGraph::Run(
+    const Query& query,
+    const std::function<bool(const ProvenanceRecord&)>& visit) const {
+  QueryPlan plan = PlanQuery(query);
+  if (plan.covers_filters) {
+    size_t start = std::min(query.offset, plan.size());
+    size_t take = std::min(query.limit, plan.size() - start);
+    size_t visited = 0;
+    for (size_t i = 0; i < take; ++i) {
+      size_t pos = start + i;
+      ++visited;
+      if (!visit(records_[PlanRidAt(
+              plan, query.descending ? plan.size() - 1 - pos : pos)])) {
+        break;
+      }
+    }
+    return visited;
+  }
+
+  size_t skipped = 0, visited = 0;
+  for (size_t i = 0; i < plan.size(); ++i) {
+    uint32_t rid = PlanRidAt(plan, query.descending ? plan.size() - 1 - i : i);
+    if (!query.Matches(records_[rid], invalidations_.count(rid) > 0)) continue;
+    if (skipped < query.offset) {
+      ++skipped;
+      continue;
+    }
+    if (visited >= query.limit) break;
+    ++visited;
+    if (!visit(records_[rid])) break;
+  }
+  return visited;
+}
+
+// ---------------------------------------------------------------------------
+// Planner cardinality accessors.
+// ---------------------------------------------------------------------------
+
+size_t ProvenanceGraph::SubjectRecordCount(const std::string& subject) const {
+  uint32_t eid = entities_.Find(subject);
+  return eid == InternTable::kNone ? 0 : by_subject_[eid].size();
+}
+
+size_t ProvenanceGraph::AgentRecordCount(const std::string& agent) const {
+  uint32_t aid = agents_.Find(agent);
+  return aid == InternTable::kNone || aid >= by_agent_.size()
+             ? 0
+             : by_agent_[aid].size();
+}
+
+size_t ProvenanceGraph::EntityUseCount(const std::string& entity) const {
+  uint32_t eid = entities_.Find(entity);
+  return eid == InternTable::kNone ? 0 : used_by_[eid].size();
+}
+
+size_t ProvenanceGraph::EntityGenerationCount(
+    const std::string& entity) const {
+  uint32_t eid = entities_.Find(entity);
+  return eid == InternTable::kNone ? 0 : generated_by_[eid].size();
+}
+
+size_t ProvenanceGraph::InRangeCount(Timestamp from, Timestamp to) const {
+  if (from > to) return 0;
+  auto [lo, hi] = TimeIndexSlice(from, to);
+  return hi - lo;
 }
 
 void ProvenanceGraph::AppendDownstream(uint32_t rid, Bitset* seen,

@@ -4,7 +4,9 @@
 // paper's §6.1 "Provenance Query" axis calls for:
 //
 //   * lineage (ancestor entities) and descendants,
-//   * per-agent, per-subject, and time-range queries,
+//   * composable filtered queries (prov/query.h) executed by a planner
+//     that scans only the most selective index,
+//   * per-agent, per-subject, and time-range queries (thin Query wrappers),
 //   * SciBlock-style timestamp invalidation with downstream cascade
 //     (the Figure 4 lifecycle's "invalidate + selective re-execution").
 //
@@ -21,12 +23,14 @@
 #ifndef PROVLEDGER_PROV_GRAPH_H_
 #define PROVLEDGER_PROV_GRAPH_H_
 
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "prov/intern.h"
+#include "prov/query.h"
 #include "prov/record.h"
 
 namespace provledger {
@@ -74,7 +78,27 @@ class ProvenanceGraph {
   /// assertion).
   size_t edge_count() const { return edge_count_; }
 
-  /// \name Queries (§6.1 "Provenance Query").
+  /// \name Composable queries (§6.1 "Provenance Query").
+  /// @{
+  /// Execute a Query: a small planner picks the most selective index
+  /// (subject/agent postings, input/output usage postings, the global
+  /// timestamp index, or a full scan over it), checks the remaining
+  /// predicates per candidate, and materializes matches in timestamp order
+  /// (ties in ingest order; Descending() reverses). Count-only queries
+  /// skip materialization entirely and, when the chosen index already
+  /// guarantees every filter, skip the scan too.
+  QueryResult Run(const Query& query) const;
+  /// Zero-copy streaming overload: `visit` receives each match by const
+  /// reference, in order, with offset/limit applied; returning false stops
+  /// the scan early. Returns the number of records visited. The count_only
+  /// modifier is ignored (visiting IS the result). The visitor must not
+  /// mutate this graph (no AddRecord/Invalidate): the scan holds pointers
+  /// into the index vectors, which mutation may reallocate.
+  size_t Run(const Query& query,
+             const std::function<bool(const ProvenanceRecord&)>& visit) const;
+  /// @}
+
+  /// \name Fixed-shape queries (thin wrappers over Run()).
   /// @{
   /// All ancestor entities `entity` transitively derives from.
   std::vector<std::string> Lineage(const std::string& entity) const;
@@ -85,9 +109,33 @@ class ProvenanceGraph {
       const std::string& subject) const;
   /// Records performed by `agent`, in timestamp order.
   std::vector<ProvenanceRecord> ByAgent(const std::string& agent) const;
-  /// Records with timestamp in [from, to], in timestamp order (ties in
-  /// ingest order).
+  /// Records with timestamp in [from, to], in timestamp order. Equal
+  /// timestamps come back in ingest order even when records were ingested
+  /// out of timestamp order: the lazy re-sort orders by (timestamp, dense
+  /// record id), and dense ids are assigned in ingest order.
   std::vector<ProvenanceRecord> InRange(Timestamp from, Timestamp to) const;
+  /// @}
+
+  /// \name Planner cardinality accessors.
+  /// All O(1) except InRangeCount (O(log n), and it may pay the deferred
+  /// time-index sort). These are what the query planner reads to estimate
+  /// selectivity; exposed for tests, benchmarks, and future sharded
+  /// planning.
+  /// @{
+  /// Distinct agents seen so far.
+  size_t agent_count() const { return agents_.size(); }
+  /// Distinct entities that have appeared as a record subject.
+  size_t subject_count() const { return subject_count_; }
+  /// Records whose subject is `subject` (0 if unknown).
+  size_t SubjectRecordCount(const std::string& subject) const;
+  /// Records performed by `agent` (0 if unknown).
+  size_t AgentRecordCount(const std::string& agent) const;
+  /// Records that consumed `entity` as an input.
+  size_t EntityUseCount(const std::string& entity) const;
+  /// Records that produced `entity` (including implicit subject versions).
+  size_t EntityGenerationCount(const std::string& entity) const;
+  /// Records with timestamp in [from, to].
+  size_t InRangeCount(Timestamp from, Timestamp to) const;
   /// @}
 
   /// \name Invalidation (SciBlock / Figure 4).
@@ -134,6 +182,45 @@ class ProvenanceGraph {
     std::vector<uint64_t> words_;
   };
 
+  /// A planned candidate scan: a slice of a time-sorted rid postings list
+  /// (`list`), of the plan's own sorted `owned` buffer (`use_owned`; the
+  /// plan is returned by value, so it must not point into itself), or of
+  /// the global by_time_ index (neither set). [lo, hi) bounds the slice;
+  /// `covers_filters` means every query predicate is already guaranteed by
+  /// the index + slice, so count-only queries need no scan.
+  struct QueryPlan {
+    QueryIndex index = QueryIndex::kFullScan;
+    const std::vector<uint32_t>* list = nullptr;
+    bool use_owned = false;
+    size_t lo = 0;
+    size_t hi = 0;
+    std::vector<uint32_t> owned;
+    bool covers_filters = false;
+
+    size_t size() const { return hi - lo; }
+  };
+
+  /// Pick the most selective index for `query` (estimates = candidate
+  /// counts from the cardinality accessors). A filter naming an unknown
+  /// subject/agent/entity yields an empty plan.
+  QueryPlan PlanQuery(const Query& query) const;
+  /// Narrow a time-sorted rid list to the query's [from, to] window.
+  void NarrowByTime(const Query& query, const std::vector<uint32_t>& list,
+                    size_t* lo, size_t* hi) const;
+  /// Record id at plan position `idx` (ascending time order).
+  uint32_t PlanRidAt(const QueryPlan& plan, size_t idx) const {
+    if (plan.use_owned) return plan.owned[plan.lo + idx];
+    return plan.list != nullptr ? (*plan.list)[plan.lo + idx]
+                                : by_time_[plan.lo + idx].second;
+  }
+  /// Sort-on-demand for the global (timestamp, record) index.
+  void EnsureGlobalTimeSorted() const;
+  /// [lo, hi) slice of by_time_ covering the inclusive [from, to] window
+  /// (open bounds when unset). Shared by the planner and InRangeCount so
+  /// the boundary/sentinel logic lives once.
+  std::pair<size_t, size_t> TimeIndexSlice(std::optional<Timestamp> from,
+                                           std::optional<Timestamp> to) const;
+
   uint32_t InternEntity(const std::string& entity);
   /// Direct downstream consumers of `rid`'s outputs, appended to `out`
   /// (deduplicated via `seen`).
@@ -154,8 +241,6 @@ class ProvenanceGraph {
   /// Sort-on-demand counterpart of AppendByTime.
   void EnsureTimeSorted(std::vector<uint32_t>* postings,
                         uint8_t* dirty) const;
-  std::vector<ProvenanceRecord> MaterializeRecords(
-      const std::vector<uint32_t>& rids) const;
 
   InternTable record_ids_;
   InternTable entities_;
@@ -183,6 +268,9 @@ class ProvenanceGraph {
 
   std::unordered_map<uint32_t, Invalidation> invalidations_;
   size_t edge_count_ = 0;
+  /// Distinct entities that have appeared as a subject (kept incrementally
+  /// so the planner accessor stays O(1)).
+  size_t subject_count_ = 0;
 };
 
 }  // namespace prov

@@ -1,0 +1,66 @@
+#include "prov/query.h"
+
+#include <algorithm>
+
+namespace provledger {
+namespace prov {
+
+const char* QueryIndexName(QueryIndex index) {
+  switch (index) {
+    case QueryIndex::kSubject:
+      return "subject";
+    case QueryIndex::kAgent:
+      return "agent";
+    case QueryIndex::kInput:
+      return "input";
+    case QueryIndex::kOutput:
+      return "output";
+    case QueryIndex::kTimeRange:
+      return "time_range";
+    case QueryIndex::kFullScan:
+      return "full_scan";
+  }
+  return "unknown";
+}
+
+bool Query::Matches(const ProvenanceRecord& record,
+                    bool record_invalidated) const {
+  if (subject && record.subject != *subject) return false;
+  if (subject_prefix &&
+      record.subject.compare(0, subject_prefix->size(), *subject_prefix) !=
+          0) {
+    return false;
+  }
+  if (agent && record.agent != *agent) return false;
+  if (domain && record.domain != *domain) return false;
+  if (!operations.empty() &&
+      std::find(operations.begin(), operations.end(), record.operation) ==
+          operations.end()) {
+    return false;
+  }
+  if (from && record.timestamp < *from) return false;
+  if (to && record.timestamp > *to) return false;
+  if (invalidated && record_invalidated != *invalidated) return false;
+  if (input && std::find(record.inputs.begin(), record.inputs.end(),
+                         *input) == record.inputs.end()) {
+    return false;
+  }
+  if (output) {
+    // Output-less records implicitly produce a new subject version
+    // (mirrors ProvenanceGraph's effective-outputs rule).
+    if (record.outputs.empty()) {
+      if (record.subject != *output) return false;
+    } else if (std::find(record.outputs.begin(), record.outputs.end(),
+                         *output) == record.outputs.end()) {
+      return false;
+    }
+  }
+  for (const auto& [key, value] : field_equals) {
+    auto it = record.fields.find(key);
+    if (it == record.fields.end() || it->second != value) return false;
+  }
+  return true;
+}
+
+}  // namespace prov
+}  // namespace provledger

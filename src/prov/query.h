@@ -1,0 +1,196 @@
+// Composable provenance queries (§6.1 "Provenance Query").
+//
+// A Query is a declarative, AND-composed filter over anchored records —
+// subject, agent, domain, operation(s), time range, validity, input/output
+// entity, Table 1 field equality — plus result modifiers (limit, offset,
+// ascending/descending, count-only). It is a plain value type: build one
+// with the fluent setters, hand it to ProvenanceGraph::Run() or
+// ProvenanceStore::Execute(), reuse or copy it freely.
+//
+//   prov::Query q;
+//   q.WithAgent("alice").Between(t0, t1).WithOperation("update").Limit(20);
+//   auto page = store.Execute(q);
+//
+// Execution is index-backed: a small planner (see graph.cc) estimates the
+// candidate count behind each applicable index — subject postings, agent
+// postings, input/output usage postings, the global timestamp index — and
+// scans only the most selective one, checking the remaining predicates per
+// candidate. Results materialize in timestamp order (ties in ingest order),
+// or stream through a visitor without copying any record.
+
+#ifndef PROVLEDGER_PROV_QUERY_H_
+#define PROVLEDGER_PROV_QUERY_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "prov/record.h"
+
+namespace provledger {
+namespace prov {
+
+/// \brief Index the planner selected for a query (introspection for tests
+/// and benchmarks; callers never need to pick one themselves).
+enum class QueryIndex : uint8_t {
+  kSubject = 0,    // per-subject postings (time-sorted)
+  kAgent = 1,      // per-agent postings (time-sorted)
+  kInput = 2,      // used-by postings of the input entity
+  kOutput = 3,     // generated-by postings of the output entity
+  kTimeRange = 4,  // global timestamp index, binary-searched
+  kFullScan = 5,   // global timestamp index, whole extent
+};
+
+/// Canonical lowercase name ("subject", "time_range", ...).
+const char* QueryIndexName(QueryIndex index);
+
+/// \brief A composable filter + modifier set over provenance records.
+///
+/// All filters are optional and AND-composed; an empty Query matches every
+/// record. Setters return *this so they chain.
+struct Query {
+  /// Sentinel for "no limit".
+  static constexpr size_t kNoLimit = std::numeric_limits<size_t>::max();
+
+  /// \name Filters.
+  /// @{
+  /// Exact subject entity.
+  std::optional<std::string> subject;
+  /// Subject prefix ("case-" matches "case-7/ev1"); composes with
+  /// `subject` (exact match is checked first, then the prefix).
+  std::optional<std::string> subject_prefix;
+  /// Exact agent id (pass the on-chain/anonymized id in privacy mode).
+  std::optional<std::string> agent;
+  std::optional<Domain> domain;
+  /// Operations OR-ed together (empty = any operation).
+  std::vector<std::string> operations;
+  /// Inclusive time range; either bound may be open.
+  std::optional<Timestamp> from;
+  std::optional<Timestamp> to;
+  /// Validity state: true = only invalidated records, false = only valid.
+  std::optional<bool> invalidated;
+  /// Records that consumed this entity (PROV `used`).
+  std::optional<std::string> input;
+  /// Records that produced this entity (PROV `wasGeneratedBy`, including
+  /// the implicit subject-version output of output-less records).
+  std::optional<std::string> output;
+  /// Table 1 / domain field equality, AND-composed (key -> required value).
+  std::map<std::string, std::string> field_equals;
+  /// @}
+
+  /// \name Modifiers.
+  /// @{
+  size_t limit = kNoLimit;
+  size_t offset = 0;
+  /// False = ascending timestamp order (ties in ingest order).
+  bool descending = false;
+  /// Count matches without materializing records. Limit/offset/order are
+  /// ignored; Run() returns the total match count.
+  bool count_only = false;
+  /// @}
+
+  /// \name Fluent setters.
+  /// @{
+  Query& WithSubject(std::string s) {
+    subject = std::move(s);
+    return *this;
+  }
+  Query& WithSubjectPrefix(std::string prefix) {
+    subject_prefix = std::move(prefix);
+    return *this;
+  }
+  Query& WithAgent(std::string a) {
+    agent = std::move(a);
+    return *this;
+  }
+  Query& WithDomain(Domain d) {
+    domain = d;
+    return *this;
+  }
+  /// Adds one accepted operation (repeat to OR several).
+  Query& WithOperation(std::string op) {
+    operations.push_back(std::move(op));
+    return *this;
+  }
+  Query& After(Timestamp t) {
+    from = t;
+    return *this;
+  }
+  Query& Before(Timestamp t) {
+    to = t;
+    return *this;
+  }
+  /// Inclusive [range_from, range_to].
+  Query& Between(Timestamp range_from, Timestamp range_to) {
+    from = range_from;
+    to = range_to;
+    return *this;
+  }
+  Query& OnlyValid() {
+    invalidated = false;
+    return *this;
+  }
+  Query& OnlyInvalidated() {
+    invalidated = true;
+    return *this;
+  }
+  Query& WithInput(std::string entity) {
+    input = std::move(entity);
+    return *this;
+  }
+  Query& WithOutput(std::string entity) {
+    output = std::move(entity);
+    return *this;
+  }
+  Query& WithField(std::string key, std::string value) {
+    field_equals[std::move(key)] = std::move(value);
+    return *this;
+  }
+  Query& Limit(size_t n) {
+    limit = n;
+    return *this;
+  }
+  Query& Offset(size_t n) {
+    offset = n;
+    return *this;
+  }
+  Query& Descending() {
+    descending = true;
+    return *this;
+  }
+  Query& Ascending() {
+    descending = false;
+    return *this;
+  }
+  Query& CountOnly() {
+    count_only = true;
+    return *this;
+  }
+  /// @}
+
+  /// True when the record passes every *residual* (non-index) predicate.
+  /// The executor re-checks all predicates here — an index only narrows the
+  /// candidate set, it never stands in for the check.
+  bool Matches(const ProvenanceRecord& record, bool record_invalidated) const;
+};
+
+/// \brief Result of a materializing Run()/Execute().
+struct QueryResult {
+  /// Matching records in the requested order (empty for count-only).
+  std::vector<ProvenanceRecord> records;
+  /// Count-only queries: total matches. Otherwise records.size().
+  size_t count = 0;
+  /// The index the planner chose.
+  QueryIndex index_used = QueryIndex::kFullScan;
+  /// Candidates the chosen index yielded (scanned, not necessarily
+  /// matched) — the planner's selectivity in action.
+  size_t candidates_scanned = 0;
+};
+
+}  // namespace prov
+}  // namespace provledger
+
+#endif  // PROVLEDGER_PROV_QUERY_H_

@@ -120,14 +120,29 @@ bool ProvenanceStore::HasRecord(const std::string& record_id) const {
   return graph_.HasRecord(record_id);
 }
 
+QueryResult ProvenanceStore::Execute(const Query& query) const {
+  return graph_.Run(query);
+}
+
+size_t ProvenanceStore::Execute(
+    const Query& query,
+    const std::function<bool(const ProvenanceRecord&)>& visit) const {
+  return graph_.Run(query, visit);
+}
+
 std::vector<ProvenanceRecord> ProvenanceStore::SubjectHistory(
     const std::string& subject) const {
-  return graph_.SubjectHistory(subject);
+  return Execute(Query().WithSubject(subject)).records;
 }
 
 std::vector<ProvenanceRecord> ProvenanceStore::ByAgent(
     const std::string& agent) const {
-  return graph_.ByAgent(agent);
+  return Execute(Query().WithAgent(agent)).records;
+}
+
+std::vector<ProvenanceRecord> ProvenanceStore::InRange(Timestamp from,
+                                                       Timestamp to) const {
+  return Execute(Query().Between(from, to)).records;
 }
 
 std::vector<std::string> ProvenanceStore::Lineage(

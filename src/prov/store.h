@@ -5,7 +5,8 @@
 //
 //   * Anchor()        — serialize a record into a ledger transaction
 //   * GetRecord()     — point lookup via the record index
-//   * SubjectHistory()/ByAgent()/Lineage() — via the PROV graph
+//   * Execute()       — composable index-planned queries (prov/query.h)
+//   * SubjectHistory()/ByAgent()/Lineage() — fixed-shape wrappers
 //   * ProveRecord()   — Merkle inclusion proof (auditor / light client)
 //   * RebuildFromChain() — recover all state purely from the ledger
 //   * hash_agent_ids  — ProvChain's privacy mode: agents appear on-chain
@@ -61,13 +62,31 @@ class ProvenanceStore {
   Result<ProvenanceRecord> GetRecord(const std::string& record_id) const;
   /// True if the record id is anchored.
   bool HasRecord(const std::string& record_id) const;
+
+  /// Execute a composable query over anchored records (planner-backed; see
+  /// prov/query.h). In privacy mode, agent filters match on-chain ids —
+  /// pass OnChainAgentId(agent).
+  QueryResult Execute(const Query& query) const;
+  /// Streaming overload: zero-copy visit of each match in order; the
+  /// visitor returns false to stop early. Returns records visited. The
+  /// visitor must not anchor/flush/invalidate through this store — the
+  /// scan holds pointers into the graph's index vectors.
+  size_t Execute(const Query& query,
+                 const std::function<bool(const ProvenanceRecord&)>& visit)
+      const;
+
+  /// \name Fixed-shape queries (thin wrappers over Execute()).
+  /// @{
   /// All records for a subject, in time order.
   std::vector<ProvenanceRecord> SubjectHistory(
       const std::string& subject) const;
   /// All records by an agent (pass the anonymized id in privacy mode).
   std::vector<ProvenanceRecord> ByAgent(const std::string& agent) const;
+  /// Records with timestamp in the inclusive [from, to] window.
+  std::vector<ProvenanceRecord> InRange(Timestamp from, Timestamp to) const;
   /// Ancestor entities of `entity` (delegates to the PROV graph).
   std::vector<std::string> Lineage(const std::string& entity) const;
+  /// @}
 
   /// The agent id as it appears on-chain (identity unless privacy mode).
   std::string OnChainAgentId(const std::string& agent) const;

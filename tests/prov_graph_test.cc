@@ -251,6 +251,54 @@ TEST(GraphScaleTest, DescendingTimestampBackfill) {
   }
 }
 
+TEST(GraphOrderingTest, InRangeTiesKeepIngestOrderAfterLazyResort) {
+  // Regression: out-of-order ingest dirties the global time index; the
+  // lazy re-sort must still put duplicate timestamps back in ingest order
+  // (the documented tie rule), not in an arbitrary or reversed order.
+  ProvenanceGraph g;
+  ASSERT_TRUE(g.AddRecord(Rec("d1", "a", 500, {}, {"x1"})).ok());  // tie @500
+  ASSERT_TRUE(g.AddRecord(Rec("d2", "a", 100, {}, {"x2"})).ok());  // dirties
+  ASSERT_TRUE(g.AddRecord(Rec("d3", "a", 500, {}, {"x3"})).ok());  // tie @500
+  ASSERT_TRUE(g.AddRecord(Rec("d4", "a", 300, {}, {"x4"})).ok());  // dirties
+  ASSERT_TRUE(g.AddRecord(Rec("d5", "a", 500, {}, {"x5"})).ok());  // tie @500
+  auto recs = g.InRange(0, 1000);
+  ASSERT_EQ(recs.size(), 5u);
+  EXPECT_EQ(recs[0].record_id, "d2");
+  EXPECT_EQ(recs[1].record_id, "d4");
+  // The three ts=500 ties must come back d1, d3, d5 — their ingest order.
+  EXPECT_EQ(recs[2].record_id, "d1");
+  EXPECT_EQ(recs[3].record_id, "d3");
+  EXPECT_EQ(recs[4].record_id, "d5");
+  // Boundary query cutting into the tie group keeps the same tie order.
+  auto at_tie = g.InRange(500, 500);
+  ASSERT_EQ(at_tie.size(), 3u);
+  EXPECT_EQ(at_tie[0].record_id, "d1");
+  EXPECT_EQ(at_tie[2].record_id, "d5");
+}
+
+TEST_F(GraphTest, CardinalityAccessors) {
+  // Corpus: t1 alice, t2/t3 bob, t4 carol; subjects mid/out1/out2/final.
+  EXPECT_EQ(g_.agent_count(), 3u);
+  EXPECT_EQ(g_.subject_count(), 4u);
+  EXPECT_EQ(g_.SubjectRecordCount("mid"), 1u);
+  EXPECT_EQ(g_.SubjectRecordCount("raw"), 0u);      // input only, never subject
+  EXPECT_EQ(g_.SubjectRecordCount("ghost"), 0u);    // unknown entity
+  EXPECT_EQ(g_.AgentRecordCount("bob"), 2u);
+  EXPECT_EQ(g_.AgentRecordCount("nobody"), 0u);
+  EXPECT_EQ(g_.EntityUseCount("mid"), 2u);          // t2 and t3 consumed it
+  EXPECT_EQ(g_.EntityUseCount("final"), 0u);
+  EXPECT_EQ(g_.EntityGenerationCount("mid"), 1u);   // t1 produced it
+  EXPECT_EQ(g_.EntityGenerationCount("raw"), 0u);
+  EXPECT_EQ(g_.InRangeCount(150, 350), 2u);
+  EXPECT_EQ(g_.InRangeCount(0, 1000), 4u);
+  EXPECT_EQ(g_.InRangeCount(500, 100), 0u);         // inverted
+  // A repeated subject does not bump the distinct-subject count.
+  ASSERT_TRUE(g_.AddRecord(Rec("t5", "dave", 500, {}, {}, "mid")).ok());
+  EXPECT_EQ(g_.subject_count(), 4u);
+  EXPECT_EQ(g_.SubjectRecordCount("mid"), 2u);
+  EXPECT_EQ(g_.agent_count(), 4u);
+}
+
 TEST(GraphDiamondTest, DiamondLineageNoDuplicates) {
   // a -> {b, c} -> d (diamond): d's lineage must contain each node once.
   ProvenanceGraph g;

@@ -1,0 +1,372 @@
+// Composable query API tests: every single-filter path, multi-filter
+// combinations, planner index selection, paging equivalence, count-only,
+// ordering, and visitor streaming/early termination.
+
+#include <gtest/gtest.h>
+
+#include "prov/graph.h"
+#include "prov/store.h"
+
+namespace provledger {
+namespace prov {
+namespace {
+
+ProvenanceRecord Rec(const std::string& id, const std::string& subject,
+                     const std::string& agent, const std::string& op,
+                     Timestamp ts, Domain domain = Domain::kGeneric,
+                     std::vector<std::string> inputs = {},
+                     std::vector<std::string> outputs = {}) {
+  ProvenanceRecord rec;
+  rec.record_id = id;
+  rec.domain = domain;
+  rec.operation = op;
+  rec.subject = subject;
+  rec.agent = agent;
+  rec.timestamp = ts;
+  rec.inputs = std::move(inputs);
+  rec.outputs = std::move(outputs);
+  return rec;
+}
+
+std::vector<std::string> Ids(const std::vector<ProvenanceRecord>& records) {
+  std::vector<std::string> ids;
+  for (const auto& rec : records) ids.push_back(rec.record_id);
+  return ids;
+}
+
+// A small mixed-domain corpus:
+//   q1  doc    alice  create   100  generic            -> doc
+//   q2  doc    bob    update   200  generic  [doc]     -> doc2
+//   q3  doc2   alice  share    300  cloud    [doc2]
+//   q4  img    carol  create   300  cloud              -> img
+//   q5  img    bob    update   400  generic  [img]     (implicit img out)
+//   q6  doc2   alice  update   500  generic  [img]     -> doc3
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        g_.AddRecord(Rec("q1", "doc", "alice", "create", 100,
+                         Domain::kGeneric, {}, {"doc"}))
+            .ok());
+    ASSERT_TRUE(
+        g_.AddRecord(Rec("q2", "doc", "bob", "update", 200, Domain::kGeneric,
+                         {"doc"}, {"doc2"}))
+            .ok());
+    ASSERT_TRUE(g_.AddRecord(Rec("q3", "doc2", "alice", "share", 300,
+                                 Domain::kCloud, {"doc2"}))
+                    .ok());
+    ASSERT_TRUE(g_.AddRecord(Rec("q4", "img", "carol", "create", 300,
+                                 Domain::kCloud, {}, {"img"}))
+                    .ok());
+    ASSERT_TRUE(g_.AddRecord(
+                      Rec("q5", "img", "bob", "update", 400, Domain::kGeneric,
+                          {"img"}))
+                    .ok());
+    ASSERT_TRUE(
+        g_.AddRecord(Rec("q6", "doc2", "alice", "update", 500,
+                         Domain::kGeneric, {"img"}, {"doc3"}))
+            .ok());
+  }
+  ProvenanceGraph g_;
+};
+
+// --- Single-filter paths -------------------------------------------------
+
+TEST_F(QueryTest, EmptyQueryMatchesEverythingInTimeOrder) {
+  auto result = g_.Run(Query());
+  EXPECT_EQ(Ids(result.records),
+            (std::vector<std::string>{"q1", "q2", "q3", "q4", "q5", "q6"}));
+  EXPECT_EQ(result.index_used, QueryIndex::kFullScan);
+  EXPECT_EQ(result.count, 6u);
+}
+
+TEST_F(QueryTest, SubjectFilterUsesSubjectIndex) {
+  auto result = g_.Run(Query().WithSubject("doc"));
+  EXPECT_EQ(Ids(result.records), (std::vector<std::string>{"q1", "q2"}));
+  EXPECT_EQ(result.index_used, QueryIndex::kSubject);
+  EXPECT_TRUE(g_.Run(Query().WithSubject("ghost")).records.empty());
+}
+
+TEST_F(QueryTest, SubjectPrefixFilter) {
+  auto result = g_.Run(Query().WithSubjectPrefix("doc"));
+  EXPECT_EQ(Ids(result.records),
+            (std::vector<std::string>{"q1", "q2", "q3", "q6"}));
+}
+
+TEST_F(QueryTest, AgentFilterUsesAgentIndex) {
+  auto result = g_.Run(Query().WithAgent("alice"));
+  EXPECT_EQ(Ids(result.records), (std::vector<std::string>{"q1", "q3", "q6"}));
+  EXPECT_EQ(result.index_used, QueryIndex::kAgent);
+  EXPECT_TRUE(g_.Run(Query().WithAgent("nobody")).records.empty());
+}
+
+TEST_F(QueryTest, DomainFilter) {
+  auto result = g_.Run(Query().WithDomain(Domain::kCloud));
+  EXPECT_EQ(Ids(result.records), (std::vector<std::string>{"q3", "q4"}));
+}
+
+TEST_F(QueryTest, OperationFilterOrsSeveral) {
+  EXPECT_EQ(Ids(g_.Run(Query().WithOperation("create")).records),
+            (std::vector<std::string>{"q1", "q4"}));
+  EXPECT_EQ(Ids(g_.Run(Query().WithOperation("create").WithOperation("share"))
+                    .records),
+            (std::vector<std::string>{"q1", "q3", "q4"}));
+}
+
+TEST_F(QueryTest, TimeRangeFilterUsesTimeIndex) {
+  auto result = g_.Run(Query().Between(200, 300));
+  EXPECT_EQ(Ids(result.records), (std::vector<std::string>{"q2", "q3", "q4"}));
+  EXPECT_EQ(result.index_used, QueryIndex::kTimeRange);
+  // Open-ended bounds.
+  EXPECT_EQ(g_.Run(Query().After(400)).records.size(), 2u);
+  EXPECT_EQ(g_.Run(Query().Before(100)).records.size(), 1u);
+  // Inverted range matches nothing.
+  EXPECT_TRUE(g_.Run(Query().Between(300, 200)).records.empty());
+}
+
+TEST_F(QueryTest, ValidityFilter) {
+  ASSERT_TRUE(g_.Invalidate("q4", 999, "bad camera").ok());
+  // q4's implicit cascade: q5 consumed img, q6 consumed img.
+  auto invalid = g_.Run(Query().OnlyInvalidated());
+  EXPECT_EQ(Ids(invalid.records), (std::vector<std::string>{"q4", "q5", "q6"}));
+  auto valid = g_.Run(Query().OnlyValid());
+  EXPECT_EQ(Ids(valid.records), (std::vector<std::string>{"q1", "q2", "q3"}));
+}
+
+TEST_F(QueryTest, InputFilterUsesInputIndex) {
+  auto result = g_.Run(Query().WithInput("img"));
+  EXPECT_EQ(Ids(result.records), (std::vector<std::string>{"q5", "q6"}));
+  EXPECT_EQ(result.index_used, QueryIndex::kInput);
+  EXPECT_TRUE(g_.Run(Query().WithInput("ghost")).records.empty());
+}
+
+TEST_F(QueryTest, OutputFilterIncludesImplicitSubjectVersion) {
+  // q4 declares img as an output; q5 (no declared outputs) implicitly
+  // produces a new version of its subject img.
+  auto result = g_.Run(Query().WithOutput("img"));
+  EXPECT_EQ(Ids(result.records), (std::vector<std::string>{"q4", "q5"}));
+  EXPECT_EQ(result.index_used, QueryIndex::kOutput);
+}
+
+TEST_F(QueryTest, DuplicateEntityMentionsYieldOneResult) {
+  // A record listing the same entity twice (as input and as output) must
+  // appear once in index-backed results and counts — the usage postings
+  // hold one entry per mention, and the planner must deduplicate.
+  ProvenanceGraph g;
+  ASSERT_TRUE(g.AddRecord(Rec("m1", "doc", "alice", "merge", 100,
+                              Domain::kGeneric, {"x", "x"}, {"y", "y"}))
+                  .ok());
+  for (int i = 0; i < 10; ++i) {
+    // Filler so the input/output postings are the most selective index.
+    ASSERT_TRUE(g.AddRecord(Rec("f" + std::to_string(i), "doc", "alice",
+                                "noise", 200 + i))
+                    .ok());
+  }
+  auto by_input = g.Run(Query().WithInput("x"));
+  EXPECT_EQ(by_input.index_used, QueryIndex::kInput);
+  EXPECT_EQ(Ids(by_input.records), (std::vector<std::string>{"m1"}));
+  EXPECT_EQ(g.Run(Query().WithInput("x").CountOnly()).count, 1u);
+  auto by_output = g.Run(Query().WithOutput("y"));
+  EXPECT_EQ(by_output.index_used, QueryIndex::kOutput);
+  EXPECT_EQ(Ids(by_output.records), (std::vector<std::string>{"m1"}));
+  EXPECT_EQ(g.Run(Query().WithOutput("y").CountOnly()).count, 1u);
+}
+
+TEST_F(QueryTest, FieldEqualityFilter) {
+  ProvenanceRecord rec =
+      Rec("q7", "doc", "dave", "annotate", 600, Domain::kGeneric);
+  rec.fields["reviewer"] = "eve";
+  ASSERT_TRUE(g_.AddRecord(rec).ok());
+  auto result = g_.Run(Query().WithField("reviewer", "eve"));
+  EXPECT_EQ(Ids(result.records), (std::vector<std::string>{"q7"}));
+  EXPECT_TRUE(g_.Run(Query().WithField("reviewer", "mallory")).records.empty());
+  EXPECT_TRUE(g_.Run(Query().WithField("missing", "x")).records.empty());
+}
+
+// --- Multi-filter combinations -------------------------------------------
+
+TEST_F(QueryTest, AgentPlusTimeRange) {
+  auto result = g_.Run(Query().WithAgent("alice").Between(200, 400));
+  EXPECT_EQ(Ids(result.records), (std::vector<std::string>{"q3"}));
+  // Either index is correct; the scan must not exceed the smaller side.
+  EXPECT_LE(result.candidates_scanned, 3u);
+}
+
+TEST_F(QueryTest, SubjectPlusOperation) {
+  auto result = g_.Run(Query().WithSubject("doc2").WithOperation("update"));
+  EXPECT_EQ(Ids(result.records), (std::vector<std::string>{"q6"}));
+  EXPECT_EQ(result.index_used, QueryIndex::kSubject);
+}
+
+TEST_F(QueryTest, DomainPlusOperationPlusRange) {
+  auto result = g_.Run(
+      Query().WithDomain(Domain::kCloud).WithOperation("create").Between(
+          250, 350));
+  EXPECT_EQ(Ids(result.records), (std::vector<std::string>{"q4"}));
+  EXPECT_EQ(result.index_used, QueryIndex::kTimeRange);
+}
+
+TEST_F(QueryTest, AgentPlusValidityPlusInput) {
+  ASSERT_TRUE(g_.Invalidate("q6", 999, "stale").ok());
+  auto result = g_.Run(Query().WithAgent("bob").OnlyValid().WithInput("img"));
+  EXPECT_EQ(Ids(result.records), (std::vector<std::string>{"q5"}));
+}
+
+TEST_F(QueryTest, PlannerPicksMostSelectiveIndex) {
+  // "alice" has 3 records, doc2 has 2 — subject postings are smaller.
+  auto result = g_.Run(Query().WithAgent("alice").WithSubject("doc2"));
+  EXPECT_EQ(result.index_used, QueryIndex::kSubject);
+  EXPECT_EQ(Ids(result.records), (std::vector<std::string>{"q3", "q6"}));
+  // One-record input postings beat both.
+  auto narrower =
+      g_.Run(Query().WithAgent("alice").WithSubject("doc2").WithInput("doc2"));
+  EXPECT_EQ(narrower.index_used, QueryIndex::kInput);
+  EXPECT_EQ(Ids(narrower.records), (std::vector<std::string>{"q3"}));
+}
+
+// --- Modifiers -----------------------------------------------------------
+
+TEST_F(QueryTest, DescendingReversesOrder) {
+  auto result = g_.Run(Query().WithAgent("alice").Descending());
+  EXPECT_EQ(Ids(result.records), (std::vector<std::string>{"q6", "q3", "q1"}));
+}
+
+TEST_F(QueryTest, LimitOffsetPagingMatchesUnpagedResult) {
+  // Build a larger corpus so paging crosses index boundaries. Two base
+  // queries: subject-only (index-covered, sliced without a scan) and
+  // subject+operation (residual predicate, scanned per candidate) — paging
+  // must agree with the unpaged result on both paths, both directions.
+  ProvenanceGraph g;
+  for (int i = 0; i < 57; ++i) {
+    ASSERT_TRUE(g.AddRecord(Rec("p" + std::to_string(i), "subj",
+                                "a" + std::to_string(i % 3),
+                                i % 2 ? "odd" : "even",
+                                1000 + (i * 37) % 101))
+                    .ok());
+  }
+  for (bool filtered : {false, true}) {
+    for (bool descending : {false, true}) {
+      Query base = Query().WithSubject("subj");
+      if (filtered) base.WithOperation("even");
+      if (descending) base.Descending();
+      auto unpaged = Ids(g.Run(base).records);
+      ASSERT_EQ(unpaged.size(), filtered ? 29u : 57u);
+      std::vector<std::string> paged;
+      const size_t kPage = 10;
+      for (size_t offset = 0;; offset += kPage) {
+        Query page = base;
+        page.Offset(offset).Limit(kPage);
+        auto chunk = Ids(g.Run(page).records);
+        if (chunk.empty()) break;
+        EXPECT_LE(chunk.size(), kPage);
+        paged.insert(paged.end(), chunk.begin(), chunk.end());
+      }
+      EXPECT_EQ(paged, unpaged);
+    }
+  }
+}
+
+TEST_F(QueryTest, OffsetPastEndIsEmpty) {
+  EXPECT_TRUE(g_.Run(Query().WithSubject("doc").Offset(10)).records.empty());
+  EXPECT_TRUE(g_.Run(Query().Limit(0)).records.empty());
+}
+
+TEST_F(QueryTest, CountOnlySkipsMaterialization) {
+  auto result = g_.Run(Query().WithAgent("alice").CountOnly());
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_EQ(result.count, 3u);
+  // Fully index-covered count: no per-record scan at all.
+  EXPECT_EQ(result.candidates_scanned, 0u);
+  // Residual predicates force a counting scan (but still no records).
+  auto filtered =
+      g_.Run(Query().WithAgent("alice").WithOperation("update").CountOnly());
+  EXPECT_TRUE(filtered.records.empty());
+  EXPECT_EQ(filtered.count, 1u);
+  EXPECT_GT(filtered.candidates_scanned, 0u);
+}
+
+TEST_F(QueryTest, CountOnlyRangeIsIndexCovered) {
+  auto result = g_.Run(Query().Between(200, 300).CountOnly());
+  EXPECT_EQ(result.count, 3u);
+  EXPECT_EQ(result.index_used, QueryIndex::kTimeRange);
+  EXPECT_EQ(result.candidates_scanned, 0u);
+}
+
+// --- Visitor streaming ---------------------------------------------------
+
+TEST_F(QueryTest, VisitorStreamsInOrder) {
+  std::vector<std::string> seen;
+  size_t visited = g_.Run(Query().WithAgent("alice"),
+                          [&](const ProvenanceRecord& rec) {
+                            seen.push_back(rec.record_id);
+                            return true;
+                          });
+  EXPECT_EQ(visited, 3u);
+  EXPECT_EQ(seen, (std::vector<std::string>{"q1", "q3", "q6"}));
+}
+
+TEST_F(QueryTest, VisitorEarlyTermination) {
+  std::vector<std::string> seen;
+  size_t visited = g_.Run(Query(), [&](const ProvenanceRecord& rec) {
+    seen.push_back(rec.record_id);
+    return seen.size() < 2;  // stop after two
+  });
+  EXPECT_EQ(visited, 2u);
+  EXPECT_EQ(seen, (std::vector<std::string>{"q1", "q2"}));
+}
+
+TEST_F(QueryTest, VisitorHonorsOffsetAndLimit) {
+  std::vector<std::string> seen;
+  g_.Run(Query().Offset(2).Limit(3), [&](const ProvenanceRecord& rec) {
+    seen.push_back(rec.record_id);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<std::string>{"q3", "q4", "q5"}));
+}
+
+// --- Store integration ---------------------------------------------------
+
+TEST(StoreQueryTest, ExecuteDelegatesToGraphPlanner) {
+  ledger::Blockchain chain;
+  SimClock clock(1'000'000);
+  ProvenanceStore store(&chain, &clock);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store
+                    .Anchor(Rec("s" + std::to_string(i), "artifact",
+                                i % 2 ? "alice" : "bob", "update", 100 + i))
+                    .ok());
+  }
+  auto result = store.Execute(Query().WithAgent("alice").Between(103, 107));
+  EXPECT_EQ(Ids(result.records), (std::vector<std::string>{"s3", "s5", "s7"}));
+
+  size_t streamed = store.Execute(Query().WithSubject("artifact").Limit(4),
+                                  [](const ProvenanceRecord&) { return true; });
+  EXPECT_EQ(streamed, 4u);
+
+  // Legacy wrappers agree with their Query equivalents.
+  EXPECT_EQ(Ids(store.SubjectHistory("artifact")),
+            Ids(store.Execute(Query().WithSubject("artifact")).records));
+  EXPECT_EQ(Ids(store.ByAgent("bob")),
+            Ids(store.Execute(Query().WithAgent("bob")).records));
+  EXPECT_EQ(Ids(store.InRange(102, 104)),
+            Ids(store.Execute(Query().Between(102, 104)).records));
+}
+
+TEST(StoreQueryTest, PrivacyModeQueriesMatchOnChainAgentIds) {
+  ledger::Blockchain chain;
+  SimClock clock(1'000'000);
+  ProvenanceStoreOptions options;
+  options.hash_agent_ids = true;
+  ProvenanceStore store(&chain, &clock, options);
+  ASSERT_TRUE(store.Anchor(Rec("p1", "doc", "alice", "create", 100)).ok());
+  // Raw agent ids never hit the ledger, so they match nothing...
+  EXPECT_TRUE(store.Execute(Query().WithAgent("alice")).records.empty());
+  // ...while the anonymized id finds the record.
+  auto result =
+      store.Execute(Query().WithAgent(store.OnChainAgentId("alice")));
+  EXPECT_EQ(result.records.size(), 1u);
+}
+
+}  // namespace
+}  // namespace prov
+}  // namespace provledger
