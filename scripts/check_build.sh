@@ -18,4 +18,6 @@ cmake -B "$BUILD" -S "$ROOT" \
   "$@"
 cmake --build "$BUILD" -j
 (cd "$BUILD" && ctest --output-on-failure -j)
+# Crash/restart coverage gets its own visible pass (same binaries).
+(cd "$BUILD" && ctest --output-on-failure -L recovery)
 echo "check_build: OK"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Build Release and regenerate the benchmark JSONs:
-#   BENCH_graph.json — dense graph engine vs legacy std::map graph
-#   BENCH_query.json — planner-chosen index scans vs fetch-then-filter
+#   BENCH_graph.json    — dense graph engine vs legacy std::map graph
+#   BENCH_query.json    — planner-chosen index scans vs fetch-then-filter
+#   BENCH_recovery.json — snapshot restore vs cold RebuildFromChain
 #
 # Usage: scripts/run_benches.sh [record_count]   (default 100000)
 set -euo pipefail
@@ -15,7 +16,9 @@ cmake -B "$BUILD" -S "$ROOT" \
   -DPROVLEDGER_BUILD_BENCHES=ON \
   -DPROVLEDGER_BUILD_TESTS=OFF \
   -DPROVLEDGER_BUILD_EXAMPLES=OFF
-cmake --build "$BUILD" -j --target bench_graph_scale --target bench_query_api
+cmake --build "$BUILD" -j --target bench_graph_scale --target bench_query_api \
+  --target bench_recovery
 
 "$BUILD/bench_graph_scale" "$ROOT/BENCH_graph.json" "$RECORDS"
 "$BUILD/bench_query_api" "$ROOT/BENCH_query.json" "$RECORDS"
+"$BUILD/bench_recovery" "$ROOT/BENCH_recovery.json" "$RECORDS"

@@ -44,23 +44,48 @@ void Encoder::PutRaw(const Bytes& b) {
   buf_.insert(buf_.end(), b.begin(), b.end());
 }
 
+void Encoder::PutRaw(const uint8_t* data, size_t len) {
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+void Encoder::PutU32Array(const uint32_t* v, size_t n) {
+  PutU32(static_cast<uint32_t>(n));
+  size_t at = buf_.size();
+  buf_.resize(at + 4 * n);
+  uint8_t* out = buf_.data() + at;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t x = v[i];
+    out[0] = static_cast<uint8_t>(x);
+    out[1] = static_cast<uint8_t>(x >> 8);
+    out[2] = static_cast<uint8_t>(x >> 16);
+    out[3] = static_cast<uint8_t>(x >> 24);
+    out += 4;
+  }
+}
+
 Status Decoder::Need(size_t n) {
-  if (buf_.size() - pos_ < n) {
+  if (size_ - pos_ < n) {
     return Status::Corruption("decode past end of buffer");
   }
   return Status::OK();
 }
 
+Status Decoder::Skip(size_t n) {
+  PROVLEDGER_RETURN_NOT_OK(Need(n));
+  pos_ += n;
+  return Status::OK();
+}
+
 Status Decoder::GetU8(uint8_t* v) {
   PROVLEDGER_RETURN_NOT_OK(Need(1));
-  *v = buf_[pos_++];
+  *v = data_[pos_++];
   return Status::OK();
 }
 
 Status Decoder::GetU16(uint16_t* v) {
   PROVLEDGER_RETURN_NOT_OK(Need(2));
-  *v = static_cast<uint16_t>(buf_[pos_]) |
-       static_cast<uint16_t>(buf_[pos_ + 1]) << 8;
+  *v = static_cast<uint16_t>(data_[pos_]) |
+       static_cast<uint16_t>(data_[pos_ + 1]) << 8;
   pos_ += 2;
   return Status::OK();
 }
@@ -69,7 +94,7 @@ Status Decoder::GetU32(uint32_t* v) {
   PROVLEDGER_RETURN_NOT_OK(Need(4));
   uint32_t out = 0;
   for (int i = 0; i < 4; ++i) {
-    out |= static_cast<uint32_t>(buf_[pos_ + i]) << (8 * i);
+    out |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
   }
   pos_ += 4;
   *v = out;
@@ -80,7 +105,7 @@ Status Decoder::GetU64(uint64_t* v) {
   PROVLEDGER_RETURN_NOT_OK(Need(8));
   uint64_t out = 0;
   for (int i = 0; i < 8; ++i) {
-    out |= static_cast<uint64_t>(buf_[pos_ + i]) << (8 * i);
+    out |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
   }
   pos_ += 8;
   *v = out;
@@ -113,7 +138,7 @@ Status Decoder::GetBytes(Bytes* b) {
   uint32_t len;
   PROVLEDGER_RETURN_NOT_OK(GetU32(&len));
   PROVLEDGER_RETURN_NOT_OK(Need(len));
-  b->assign(buf_.begin() + pos_, buf_.begin() + pos_ + len);
+  b->assign(data_ + pos_, data_ + pos_ + len);
   pos_ += len;
   return Status::OK();
 }
@@ -122,15 +147,35 @@ Status Decoder::GetString(std::string* s) {
   uint32_t len;
   PROVLEDGER_RETURN_NOT_OK(GetU32(&len));
   PROVLEDGER_RETURN_NOT_OK(Need(len));
-  s->assign(buf_.begin() + pos_, buf_.begin() + pos_ + len);
+  s->assign(data_ + pos_, data_ + pos_ + len);
   pos_ += len;
   return Status::OK();
 }
 
 Status Decoder::GetRaw(size_t len, Bytes* b) {
   PROVLEDGER_RETURN_NOT_OK(Need(len));
-  b->assign(buf_.begin() + pos_, buf_.begin() + pos_ + len);
+  b->assign(data_ + pos_, data_ + pos_ + len);
   pos_ += len;
+  return Status::OK();
+}
+
+Status Decoder::GetU32Array(std::vector<uint32_t>* v, size_t max_count) {
+  uint32_t n = 0;
+  PROVLEDGER_RETURN_NOT_OK(GetU32(&n));
+  if (n > max_count) {
+    return Status::Corruption("u32 array length exceeds limit");
+  }
+  PROVLEDGER_RETURN_NOT_OK(Need(4 * static_cast<size_t>(n)));
+  v->resize(n);
+  const uint8_t* in = data_ + pos_;
+  for (uint32_t i = 0; i < n; ++i) {
+    (*v)[i] = static_cast<uint32_t>(in[0]) |
+              static_cast<uint32_t>(in[1]) << 8 |
+              static_cast<uint32_t>(in[2]) << 16 |
+              static_cast<uint32_t>(in[3]) << 24;
+    in += 4;
+  }
+  pos_ += 4 * static_cast<size_t>(n);
   return Status::OK();
 }
 

@@ -36,6 +36,13 @@ class Encoder {
   void PutString(std::string_view s);
   /// Raw bytes, no length prefix (caller must know the length when decoding).
   void PutRaw(const Bytes& b);
+  void PutRaw(const uint8_t* data, size_t len);
+  /// u32-length-prefixed little-endian u32 array, written in one append —
+  /// the bulk form the snapshot codecs use for index/adjacency vectors.
+  void PutU32Array(const uint32_t* v, size_t n);
+  void PutU32Array(const std::vector<uint32_t>& v) {
+    PutU32Array(v.data(), v.size());
+  }
 
   const Bytes& buffer() const { return buf_; }
   Bytes TakeBuffer() { return std::move(buf_); }
@@ -49,7 +56,16 @@ class Encoder {
 /// remaining length and returns Corruption on truncated input.
 class Decoder {
  public:
-  explicit Decoder(const Bytes& buf) : buf_(buf) {}
+  /// Decode from `buf`, optionally starting at byte offset `pos` (used to
+  /// decode one record out of a larger snapshot blob without copying it).
+  explicit Decoder(const Bytes& buf, size_t pos = 0)
+      : data_(buf.data()),
+        size_(buf.size()),
+        pos_(pos < buf.size() ? pos : buf.size()) {}
+  /// Decode a raw byte range (zero-copy views into snapshot buffers). The
+  /// memory must outlive the decoder.
+  Decoder(const uint8_t* data, size_t size)
+      : data_(data), size_(size), pos_(0) {}
 
   Status GetU8(uint8_t* v);
   Status GetU16(uint16_t* v);
@@ -62,16 +78,25 @@ class Decoder {
   Status GetString(std::string* s);
   /// Reads exactly `len` raw bytes.
   Status GetRaw(size_t len, Bytes* b);
+  /// Bulk counterpart of Encoder::PutU32Array: one bounds check, one tight
+  /// assemble loop. `max_count` caps the prefixed length (Corruption past
+  /// it) so corrupt input cannot force a huge allocation.
+  Status GetU32Array(std::vector<uint32_t>* v, size_t max_count);
 
   /// Bytes not yet consumed.
-  size_t remaining() const { return buf_.size() - pos_; }
-  bool AtEnd() const { return pos_ == buf_.size(); }
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+  /// Current byte offset from the start of the buffer.
+  size_t position() const { return pos_; }
+  /// Advance past `n` bytes without materializing them (section skipping).
+  Status Skip(size_t n);
 
  private:
   Status Need(size_t n);
 
-  const Bytes& buf_;
-  size_t pos_ = 0;
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_;
 };
 
 }  // namespace provledger

@@ -1,0 +1,44 @@
+#include "common/framed_log.h"
+
+#include "common/crc32.h"
+
+namespace provledger {
+
+namespace {
+uint32_t ReadU32At(const Bytes& buf, size_t pos) {
+  return static_cast<uint32_t>(buf[pos]) |
+         static_cast<uint32_t>(buf[pos + 1]) << 8 |
+         static_cast<uint32_t>(buf[pos + 2]) << 16 |
+         static_cast<uint32_t>(buf[pos + 3]) << 24;
+}
+
+void PutU32(Bytes* out, uint32_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+}  // namespace
+
+FrameScan ScanFrameAt(const Bytes& buf, size_t pos, size_t* payload_len) {
+  if (pos + kFrameHeaderBytes > buf.size()) return FrameScan::kTorn;
+  *payload_len = ReadU32At(buf, pos);
+  if (pos + kFrameHeaderBytes + *payload_len > buf.size()) {
+    return FrameScan::kTorn;
+  }
+  uint32_t crc = ReadU32At(buf, pos + 4);
+  return Crc32(buf.data() + pos + kFrameHeaderBytes, *payload_len) == crc
+             ? FrameScan::kValid
+             : FrameScan::kCorrupt;
+}
+
+Bytes BuildFrame(const Bytes& payload) {
+  Bytes frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, Crc32(payload));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+}  // namespace provledger

@@ -1,0 +1,71 @@
+#include "common/hash64.h"
+
+namespace provledger {
+
+namespace {
+
+constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+constexpr uint64_t kPrime4 = 0x27D4EB2F165667C5ULL;
+
+inline uint64_t Rotl(uint64_t x, int r) { return (x << r) | (x >> (64 - r)); }
+
+inline uint64_t LoadLE64(const uint8_t* p) {
+  return static_cast<uint64_t>(p[0]) | static_cast<uint64_t>(p[1]) << 8 |
+         static_cast<uint64_t>(p[2]) << 16 | static_cast<uint64_t>(p[3]) << 24 |
+         static_cast<uint64_t>(p[4]) << 32 | static_cast<uint64_t>(p[5]) << 40 |
+         static_cast<uint64_t>(p[6]) << 48 | static_cast<uint64_t>(p[7]) << 56;
+}
+
+inline uint64_t Mix(uint64_t acc, uint64_t lane) {
+  return Rotl(acc + lane * kPrime2, 31) * kPrime1;
+}
+
+}  // namespace
+
+uint64_t Hash64(const uint8_t* data, size_t len) {
+  const uint8_t* p = data;
+  const uint8_t* end = data + len;
+  uint64_t h;
+  if (len >= 32) {
+    // Four independent accumulators keep the multiply pipeline full.
+    uint64_t a1 = kPrime1 + kPrime2, a2 = kPrime2, a3 = 0, a4 = 0 - kPrime1;
+    do {
+      a1 = Mix(a1, LoadLE64(p));
+      a2 = Mix(a2, LoadLE64(p + 8));
+      a3 = Mix(a3, LoadLE64(p + 16));
+      a4 = Mix(a4, LoadLE64(p + 24));
+      p += 32;
+    } while (p + 32 <= end);
+    h = Rotl(a1, 1) + Rotl(a2, 7) + Rotl(a3, 12) + Rotl(a4, 18);
+    h = (h ^ Mix(0, a1)) * kPrime1 + kPrime4;
+    h = (h ^ Mix(0, a2)) * kPrime1 + kPrime4;
+    h = (h ^ Mix(0, a3)) * kPrime1 + kPrime4;
+    h = (h ^ Mix(0, a4)) * kPrime1 + kPrime4;
+  } else {
+    h = kPrime3;
+  }
+  h += static_cast<uint64_t>(len);
+
+  while (p + 8 <= end) {
+    h = Rotl(h ^ Mix(0, LoadLE64(p)), 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  while (p < end) {
+    h = Rotl(h ^ (*p * kPrime3), 11) * kPrime1;
+    ++p;
+  }
+
+  // Final avalanche: every input bit reaches every output bit.
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+uint64_t Hash64(const Bytes& data) { return Hash64(data.data(), data.size()); }
+
+}  // namespace provledger

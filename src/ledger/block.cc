@@ -1,7 +1,17 @@
 #include "ledger/block.h"
 
+#include <atomic>
+
 namespace provledger {
 namespace ledger {
+
+namespace {
+std::atomic<uint64_t> g_merkle_root_computes{0};
+}  // namespace
+
+uint64_t Block::merkle_root_computes() {
+  return g_merkle_root_computes.load(std::memory_order_relaxed);
+}
 
 void BlockHeader::EncodeTo(Encoder* enc) const {
   enc->PutU64(height);
@@ -40,6 +50,7 @@ std::vector<Bytes> Block::TxLeaves(const std::vector<Transaction>& txs) {
 }
 
 crypto::Digest Block::ComputeMerkleRoot(const std::vector<Transaction>& txs) {
+  g_merkle_root_computes.fetch_add(1, std::memory_order_relaxed);
   return crypto::MerkleTree::Build(TxLeaves(txs)).root();
 }
 

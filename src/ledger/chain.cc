@@ -31,8 +31,8 @@ const Block& Blockchain::genesis() const {
   return blocks_.at(Key(main_chain_[0]));
 }
 
-Status Blockchain::ValidateBlock(const Block& block,
-                                 const Block& parent) const {
+Status Blockchain::ValidateBlock(const Block& block, const Block& parent,
+                                 bool check_merkle_root) const {
   if (block.header.height != parent.header.height + 1) {
     return Status::InvalidArgument("block height does not extend parent");
   }
@@ -46,8 +46,8 @@ Status Blockchain::ValidateBlock(const Block& block,
       block.transactions.size() > options_.max_block_txs) {
     return Status::InvalidArgument("block exceeds max transaction count");
   }
-  if (Block::ComputeMerkleRoot(block.transactions) !=
-      block.header.merkle_root) {
+  if (check_merkle_root && Block::ComputeMerkleRoot(block.transactions) !=
+                               block.header.merkle_root) {
     return Status::Corruption("merkle root does not match transactions");
   }
   for (const auto& tx : block.transactions) {
@@ -69,11 +69,17 @@ Result<crypto::Digest> Blockchain::Append(std::vector<Transaction> txs,
   Block block = Block::Make(parent.header.height + 1, parent.header.Hash(),
                             std::move(txs), timestamp, proposer);
   block.header.nonce = nonce;
-  PROVLEDGER_RETURN_NOT_OK(SubmitBlock(block));
+  // Self-produce fast path: Make just derived the root from these exact
+  // transactions, so acceptance skips the redundant re-computation.
+  PROVLEDGER_RETURN_NOT_OK(AcceptBlock(block, /*check_merkle_root=*/false));
   return block.header.Hash();
 }
 
 Status Blockchain::SubmitBlock(const Block& block) {
+  return AcceptBlock(block, /*check_merkle_root=*/true);
+}
+
+Status Blockchain::AcceptBlock(const Block& block, bool check_merkle_root) {
   const std::string block_key = Key(block.header.Hash());
   if (blocks_.count(block_key)) {
     return Status::AlreadyExists("block already known");
@@ -82,7 +88,12 @@ Status Blockchain::SubmitBlock(const Block& block) {
   if (parent_it == blocks_.end()) {
     return Status::NotFound("parent block unknown");
   }
-  PROVLEDGER_RETURN_NOT_OK(ValidateBlock(block, parent_it->second));
+  PROVLEDGER_RETURN_NOT_OK(
+      ValidateBlock(block, parent_it->second, check_merkle_root));
+
+  // Write-ahead: the block must be durable before any in-memory state
+  // changes, so a crash can never leave the memory view ahead of the log.
+  if (block_sink_) PROVLEDGER_RETURN_NOT_OK(block_sink_(block));
 
   blocks_.emplace(block_key, block);
 

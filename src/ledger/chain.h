@@ -10,6 +10,7 @@
 #define PROVLEDGER_LEDGER_CHAIN_H_
 
 #include <deque>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -78,6 +79,16 @@ class Blockchain {
   /// longer than the main chain, a reorg adopts it.
   Status SubmitBlock(const Block& block);
 
+  /// \brief Install a durability sink invoked for every accepted block
+  /// (main chain or side branch), after validation but before any chain
+  /// state mutates — write-ahead ordering. A sink error rejects the block,
+  /// so in-memory state never runs ahead of the persisted log. Pass nullptr
+  /// to detach. Blocks replayed *from* the sink's storage should be
+  /// submitted with the sink detached, or they would be re-persisted.
+  void SetBlockSink(std::function<Status(const Block&)> sink) {
+    block_sink_ = std::move(sink);
+  }
+
   /// Main-chain block by height.
   Result<Block> GetBlock(uint64_t height) const;
   /// Borrowed view of a main-chain block, or nullptr if out of range.
@@ -127,7 +138,15 @@ class Blockchain {
   Status TamperForTesting(uint64_t height, size_t tx_index, uint8_t xor_mask);
 
  private:
-  Status ValidateBlock(const Block& block, const Block& parent) const;
+  /// `check_merkle_root` is false only for blocks this process just built
+  /// via Block::Make (Append's self-produce path): their root was computed
+  /// from these exact transactions one call earlier, so re-deriving it
+  /// would double the per-block hash work for no information.
+  Status ValidateBlock(const Block& block, const Block& parent,
+                       bool check_merkle_root) const;
+  /// Shared acceptance path behind Append and SubmitBlock: validate,
+  /// persist (block sink), store, fork-choice.
+  Status AcceptBlock(const Block& block, bool check_merkle_root);
   void ReindexMainChain();
   /// Cached Merkle tree over `block`'s transactions, built on first use.
   /// `block_key` is hex(block hash); blocks are immutable once stored, so
@@ -147,6 +166,7 @@ class Blockchain {
   mutable std::unordered_map<std::string, crypto::MerkleTree> merkle_cache_;
   mutable std::deque<std::string> merkle_cache_order_;
   mutable size_t merkle_builds_ = 0;
+  std::function<Status(const Block&)> block_sink_;
 };
 
 /// \brief FIFO mempool with id-dedup and signature pre-validation.

@@ -51,7 +51,18 @@ Status DataStoreCapture::FlushBuffered() {
   std::vector<ProvenanceRecord> batch = std::move(buffer_);
   buffer_.clear();
   buffered_ = 0;
-  return store_->AnchorBatch(batch);
+  const uint64_t height_before = store_->chain()->height();
+  Status anchored = store_->AnchorBatch(batch);
+  if (!anchored.ok() && store_->chain()->height() == height_before) {
+    // No block landed: AnchorBatch rolled its side back, so restore ours
+    // too — the captured records survive for a retry instead of being
+    // silently destroyed with the moved-out batch. If the height advanced,
+    // the batch IS on-chain (only post-append indexing failed) and
+    // re-buffering it would wedge every future flush on duplicate ids.
+    buffer_ = std::move(batch);
+    buffered_ = buffer_.size();
+  }
+  return anchored;
 }
 
 CentralizedCapture::CentralizedCapture(ProvenanceStore* store, SimClock* clock,

@@ -74,7 +74,8 @@ class DataStoreCapture : public CaptureService {
   std::string name() const override { return "datastore-emitted"; }
   Status Capture(const std::string& user,
                  const ProvenanceRecord& record) override;
-  /// Force the buffered records out (end of an operation burst).
+  /// Force the buffered records out (end of an operation burst). On
+  /// failure the buffer is kept intact so the flush can be retried.
   Status FlushBuffered();
   size_t buffered() const { return buffered_; }
 

@@ -58,6 +58,14 @@ Status ProvenanceGraph::AddRecord(const ProvenanceRecord& record) {
                                  record.record_id);
   }
 
+  // A lazily restored graph must be fully hydrated before its first
+  // mutation: ingest appends into every deferred section.
+  EnsureUsageLoaded();
+  EnsureDerivationsLoaded();
+  EnsurePostingsLoaded();
+  EnsureMetaEdgesLoaded();
+  EnsureTimeIndexLoaded();
+
   uint32_t rid = record_ids_.Intern(record.record_id);
   records_.push_back(record);
   meta_.emplace_back();
@@ -123,7 +131,7 @@ Result<ProvenanceRecord> ProvenanceGraph::GetRecord(
   if (rid == InternTable::kNone) {
     return Status::NotFound("no such record: " + record_id);
   }
-  return records_[rid];
+  return RecordAt(rid);
 }
 
 std::vector<std::string> ProvenanceGraph::EntityClosure(
@@ -153,11 +161,13 @@ std::vector<std::string> ProvenanceGraph::EntityClosure(
 
 std::vector<std::string> ProvenanceGraph::Lineage(
     const std::string& entity) const {
+  EnsureDerivationsLoaded();
   return EntityClosure(derived_from_, entity);
 }
 
 std::vector<std::string> ProvenanceGraph::Descendants(
     const std::string& entity) const {
+  EnsureDerivationsLoaded();
   return EntityClosure(derivations_, entity);
 }
 
@@ -181,6 +191,7 @@ std::vector<ProvenanceRecord> ProvenanceGraph::InRange(Timestamp from,
 // ---------------------------------------------------------------------------
 
 void ProvenanceGraph::EnsureGlobalTimeSorted() const {
+  EnsureTimeIndexLoaded();
   if (!time_dirty_) return;
   // Pair order (timestamp, rid) reproduces the documented tie order: rids
   // are assigned in ingest order, so equal timestamps stay ingest-ordered.
@@ -245,11 +256,13 @@ ProvenanceGraph::QueryPlan ProvenanceGraph::PlanQuery(
   size_t range_lo = 0, range_hi = 0;
 
   if (query.subject) {
+    EnsurePostingsLoaded();
     subject_eid = entities_.Find(*query.subject);
     if (subject_eid == InternTable::kNone) return plan;
     subject_n = by_subject_[subject_eid].size();
   }
   if (query.agent) {
+    EnsurePostingsLoaded();
     agent_aid = agents_.Find(*query.agent);
     if (agent_aid == InternTable::kNone || agent_aid >= by_agent_.size()) {
       return plan;
@@ -257,11 +270,13 @@ ProvenanceGraph::QueryPlan ProvenanceGraph::PlanQuery(
     agent_n = by_agent_[agent_aid].size();
   }
   if (query.input) {
+    EnsureUsageLoaded();
     input_eid = entities_.Find(*query.input);
     if (input_eid == InternTable::kNone) return plan;
     input_n = used_by_[input_eid].size();
   }
   if (query.output) {
+    EnsureUsageLoaded();
     output_eid = entities_.Find(*query.output);
     if (output_eid == InternTable::kNone) return plan;
     output_n = generated_by_[output_eid].size();
@@ -363,7 +378,7 @@ QueryResult ProvenanceGraph::Run(const Query& query) const {
     }
     for (size_t i = 0; i < plan.size(); ++i) {
       uint32_t rid = PlanRidAt(plan, i);
-      if (query.Matches(records_[rid], invalidations_.count(rid) > 0)) {
+      if (query.Matches(RecordAt(rid), invalidations_.count(rid) > 0)) {
         ++result.count;
       }
     }
@@ -379,8 +394,8 @@ QueryResult ProvenanceGraph::Run(const Query& query) const {
     result.records.reserve(take);
     for (size_t i = 0; i < take; ++i) {
       size_t pos = start + i;
-      result.records.push_back(records_[PlanRidAt(
-          plan, query.descending ? plan.size() - 1 - pos : pos)]);
+      result.records.push_back(RecordAt(PlanRidAt(
+          plan, query.descending ? plan.size() - 1 - pos : pos)));
     }
     result.count = take;
     return result;
@@ -389,13 +404,13 @@ QueryResult ProvenanceGraph::Run(const Query& query) const {
   size_t skipped = 0;
   for (size_t i = 0; i < plan.size(); ++i) {
     uint32_t rid = PlanRidAt(plan, query.descending ? plan.size() - 1 - i : i);
-    if (!query.Matches(records_[rid], invalidations_.count(rid) > 0)) continue;
+    if (!query.Matches(RecordAt(rid), invalidations_.count(rid) > 0)) continue;
     if (skipped < query.offset) {
       ++skipped;
       continue;
     }
     if (result.records.size() >= query.limit) break;
-    result.records.push_back(records_[rid]);
+    result.records.push_back(RecordAt(rid));
   }
   result.count = result.records.size();
   return result;
@@ -412,8 +427,8 @@ size_t ProvenanceGraph::Run(
     for (size_t i = 0; i < take; ++i) {
       size_t pos = start + i;
       ++visited;
-      if (!visit(records_[PlanRidAt(
-              plan, query.descending ? plan.size() - 1 - pos : pos)])) {
+      if (!visit(RecordAt(PlanRidAt(
+              plan, query.descending ? plan.size() - 1 - pos : pos)))) {
         break;
       }
     }
@@ -423,14 +438,14 @@ size_t ProvenanceGraph::Run(
   size_t skipped = 0, visited = 0;
   for (size_t i = 0; i < plan.size(); ++i) {
     uint32_t rid = PlanRidAt(plan, query.descending ? plan.size() - 1 - i : i);
-    if (!query.Matches(records_[rid], invalidations_.count(rid) > 0)) continue;
+    if (!query.Matches(RecordAt(rid), invalidations_.count(rid) > 0)) continue;
     if (skipped < query.offset) {
       ++skipped;
       continue;
     }
     if (visited >= query.limit) break;
     ++visited;
-    if (!visit(records_[rid])) break;
+    if (!visit(RecordAt(rid))) break;
   }
   return visited;
 }
@@ -440,11 +455,13 @@ size_t ProvenanceGraph::Run(
 // ---------------------------------------------------------------------------
 
 size_t ProvenanceGraph::SubjectRecordCount(const std::string& subject) const {
+  EnsurePostingsLoaded();
   uint32_t eid = entities_.Find(subject);
   return eid == InternTable::kNone ? 0 : by_subject_[eid].size();
 }
 
 size_t ProvenanceGraph::AgentRecordCount(const std::string& agent) const {
+  EnsurePostingsLoaded();
   uint32_t aid = agents_.Find(agent);
   return aid == InternTable::kNone || aid >= by_agent_.size()
              ? 0
@@ -452,12 +469,14 @@ size_t ProvenanceGraph::AgentRecordCount(const std::string& agent) const {
 }
 
 size_t ProvenanceGraph::EntityUseCount(const std::string& entity) const {
+  EnsureUsageLoaded();
   uint32_t eid = entities_.Find(entity);
   return eid == InternTable::kNone ? 0 : used_by_[eid].size();
 }
 
 size_t ProvenanceGraph::EntityGenerationCount(
     const std::string& entity) const {
+  EnsureUsageLoaded();
   uint32_t eid = entities_.Find(entity);
   return eid == InternTable::kNone ? 0 : generated_by_[eid].size();
 }
@@ -480,6 +499,8 @@ void ProvenanceGraph::AppendDownstream(uint32_t rid, Bitset* seen,
 }
 
 std::vector<uint32_t> ProvenanceGraph::DownstreamClosure(uint32_t rid) const {
+  EnsureUsageLoaded();      // used_by_ drives the BFS
+  EnsureMetaEdgesLoaded();  // AppendDownstream walks meta outputs
   // BFS over the consumption graph: every record that used (transitively)
   // this record's outputs (SciBlock semantics).
   Bitset seen(records_.size());
@@ -536,9 +557,335 @@ Result<Invalidation> ProvenanceGraph::GetInvalidation(
   uint32_t rid = record_ids_.Find(record_id);
   if (rid != InternTable::kNone) {
     auto it = invalidations_.find(rid);
-    if (it != invalidations_.end()) return it->second;
+    if (it != invalidations_.end()) {
+      Invalidation inv = it->second;
+      // Snapshot-loaded entries carry no record_id string (lazy names).
+      if (inv.record_id.empty()) inv.record_id = record_ids_.Name(rid);
+      return inv;
+    }
   }
   return Status::NotFound("record not invalidated: " + record_id);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot serialization.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Reads a u32 vector in one bulk step, rejecting ids outside
+/// [0, id_limit). GetU32Array validates the byte length against the buffer
+/// before allocating, so the length cap can stay open-ended.
+Status GetU32Vec(Decoder* dec, std::vector<uint32_t>* v, uint32_t id_limit) {
+  PROVLEDGER_RETURN_NOT_OK(
+      dec->GetU32Array(v, std::numeric_limits<uint32_t>::max()));
+  for (uint32_t x : *v) {
+    if (x >= id_limit) {
+      return Status::Corruption("graph snapshot id out of range");
+    }
+  }
+  return Status::OK();
+}
+
+void PutVecOfU32Vec(Encoder* enc,
+                    const std::vector<std::vector<uint32_t>>& vv) {
+  enc->PutU32(static_cast<uint32_t>(vv.size()));
+  for (const auto& v : vv) enc->PutU32Array(v);
+}
+
+Status GetVecOfU32Vec(Decoder* dec, std::vector<std::vector<uint32_t>>* vv,
+                      uint32_t expected_size, uint32_t id_limit) {
+  uint32_t n = 0;
+  PROVLEDGER_RETURN_NOT_OK(dec->GetU32(&n));
+  if (n != expected_size) {
+    return Status::Corruption("graph snapshot adjacency size mismatch");
+  }
+  vv->assign(n, {});
+  for (auto& v : *vv) PROVLEDGER_RETURN_NOT_OK(GetU32Vec(dec, &v, id_limit));
+  return Status::OK();
+}
+
+}  // namespace
+
+void ProvenanceGraph::MaterializeRecord(uint32_t rid) const {
+  Decoder dec(lazy_records_.data() + lazy_record_offsets_[rid],
+              lazy_record_offsets_[rid + 1] - lazy_record_offsets_[rid]);
+  auto rec = ProvenanceRecord::DecodeFrom(&dec);
+  if (rec.ok()) records_[rid] = std::move(rec).value();
+  // Mark even on failure (offsets were validated at load, so failure is a
+  // bug, not data): an empty record beats an infinite retry loop.
+  record_ready_[rid] = 1;
+}
+
+void ProvenanceGraph::Hydrate(LazySlice* slice,
+                              const std::function<Status(Decoder*)>& load) {
+  if (slice->empty()) return;
+  // Detach first so a re-entrant Ensure* during `load` no-ops.
+  LazySlice pinned = std::move(*slice);
+  slice->clear();
+  Decoder dec(pinned.data(), pinned.length);
+  Status hydrated = load(&dec);
+  // The section sat under the snapshot's load-time checksum and its ids
+  // were bounded at write time, so failure here is a bug; the section
+  // stays empty then.
+  assert(hydrated.ok());
+  (void)hydrated;
+}
+
+void ProvenanceGraph::EnsureUsageLoaded() const {
+  Hydrate(&lazy_usage_, [this](Decoder* dec) -> Status {
+    const uint32_t ne = static_cast<uint32_t>(entities_.size());
+    const uint32_t nr = static_cast<uint32_t>(records_.size());
+    PROVLEDGER_RETURN_NOT_OK(GetVecOfU32Vec(dec, &generated_by_, ne, nr));
+    PROVLEDGER_RETURN_NOT_OK(GetVecOfU32Vec(dec, &used_by_, ne, nr));
+    if (!dec->AtEnd()) return Status::Corruption("trailing usage bytes");
+    return Status::OK();
+  });
+}
+
+void ProvenanceGraph::EnsureDerivationsLoaded() const {
+  Hydrate(&lazy_derived_, [this](Decoder* dec) -> Status {
+    const uint32_t ne = static_cast<uint32_t>(entities_.size());
+    PROVLEDGER_RETURN_NOT_OK(GetVecOfU32Vec(dec, &derived_from_, ne, ne));
+    PROVLEDGER_RETURN_NOT_OK(GetVecOfU32Vec(dec, &derivations_, ne, ne));
+    if (!dec->AtEnd()) return Status::Corruption("trailing derivation bytes");
+    return Status::OK();
+  });
+}
+
+void ProvenanceGraph::EnsurePostingsLoaded() const {
+  Hydrate(&lazy_postings_, [this](Decoder* dec) -> Status {
+    const uint32_t ne = static_cast<uint32_t>(entities_.size());
+    const uint32_t na = static_cast<uint32_t>(agents_.size());
+    const uint32_t nr = static_cast<uint32_t>(records_.size());
+    PROVLEDGER_RETURN_NOT_OK(GetVecOfU32Vec(dec, &by_subject_, ne, nr));
+    PROVLEDGER_RETURN_NOT_OK(GetVecOfU32Vec(dec, &by_agent_, na, nr));
+    // Saved postings are canonically sorted, so every list starts clean.
+    subject_dirty_.assign(ne, 0);
+    agent_dirty_.assign(na, 0);
+    if (!dec->AtEnd()) return Status::Corruption("trailing postings bytes");
+    return Status::OK();
+  });
+}
+
+void ProvenanceGraph::EnsureMetaEdgesLoaded() const {
+  Hydrate(&lazy_meta_edges_, [this](Decoder* dec) -> Status {
+    const uint32_t ne = static_cast<uint32_t>(entities_.size());
+    for (size_t i = 0; i < lazy_loaded_records_; ++i) {
+      PROVLEDGER_RETURN_NOT_OK(GetU32Vec(dec, &meta_[i].inputs, ne));
+      PROVLEDGER_RETURN_NOT_OK(GetU32Vec(dec, &meta_[i].outputs, ne));
+    }
+    if (!dec->AtEnd()) return Status::Corruption("trailing meta-edge bytes");
+    return Status::OK();
+  });
+}
+
+void ProvenanceGraph::EnsureTimeIndexLoaded() const {
+  Hydrate(&lazy_time_index_, [this](Decoder* dec) -> Status {
+    const uint32_t nr = static_cast<uint32_t>(records_.size());
+    uint32_t n = 0;
+    PROVLEDGER_RETURN_NOT_OK(dec->GetU32(&n));
+    if (n != lazy_loaded_records_) {
+      return Status::Corruption("time index size mismatch");
+    }
+    by_time_.resize(n);
+    for (auto& [ts, rid] : by_time_) {
+      PROVLEDGER_RETURN_NOT_OK(dec->GetI64(&ts));
+      PROVLEDGER_RETURN_NOT_OK(dec->GetU32(&rid));
+      if (rid >= nr) {
+        return Status::Corruption("time index rid out of range");
+      }
+    }
+    time_dirty_ = 0;  // saved sorted
+    if (!dec->AtEnd()) return Status::Corruption("trailing time-index bytes");
+    return Status::OK();
+  });
+}
+
+void ProvenanceGraph::SaveTo(Encoder* enc) const {
+  // Postings are saved in canonical (timestamp, rid) order so LoadFrom can
+  // clear every dirty flag; paying any deferred sorts now keeps the load
+  // path sort-free. Sections still sitting in raw snapshot form are
+  // untouched since their own load and already canonical.
+  if (lazy_postings_.empty()) {
+    for (size_t eid = 0; eid < by_subject_.size(); ++eid) {
+      EnsureTimeSorted(&by_subject_[eid], &subject_dirty_[eid]);
+    }
+    for (size_t aid = 0; aid < by_agent_.size(); ++aid) {
+      EnsureTimeSorted(&by_agent_[aid], &agent_dirty_[aid]);
+    }
+  }
+
+  // One length-prefixed section each for the deferred structure groups:
+  // raw passthrough when this graph itself still holds the section lazily
+  // (any mutation hydrates everything first, so raw implies unchanged).
+  auto save_section = [enc](const LazySlice& raw,
+                            const std::function<void(Encoder*)>& write) {
+    if (!raw.empty()) {
+      enc->PutU32(static_cast<uint32_t>(raw.length));
+      enc->PutRaw(raw.data(), raw.length);
+      return;
+    }
+    Encoder section;
+    write(&section);
+    enc->PutU32(static_cast<uint32_t>(section.size()));
+    enc->PutRaw(section.buffer());
+  };
+
+  record_ids_.SaveTo(enc);
+  entities_.SaveTo(enc);
+  agents_.SaveTo(enc);
+
+  // Records travel as one blob plus an offset table (n + 1 entries, last =
+  // blob size) so LoadFrom can keep them lazily encoded. Records still
+  // sitting un-materialized in this graph's own lazy blob are copied as
+  // bytes — snapshotting a snapshot-restored store never decodes them.
+  enc->PutU32(static_cast<uint32_t>(records_.size()));
+  Encoder blob;
+  std::vector<uint32_t> offsets;
+  offsets.reserve(records_.size() + 1);
+  for (uint32_t rid = 0; rid < records_.size(); ++rid) {
+    offsets.push_back(static_cast<uint32_t>(blob.size()));
+    if (rid < record_ready_.size() && !record_ready_[rid]) {
+      blob.PutRaw(lazy_records_.data() + lazy_record_offsets_[rid],
+                  lazy_record_offsets_[rid + 1] - lazy_record_offsets_[rid]);
+    } else {
+      records_[rid].EncodeTo(&blob);
+    }
+  }
+  offsets.push_back(static_cast<uint32_t>(blob.size()));
+  enc->PutU32Array(offsets);
+  enc->PutU32(static_cast<uint32_t>(blob.size()));
+  enc->PutRaw(blob.buffer());
+
+  // Planner-critical meta scalars load eagerly, so they are flat arrays.
+  std::vector<uint32_t> subjects;
+  subjects.reserve(meta_.size());
+  for (const auto& meta : meta_) subjects.push_back(meta.subject);
+  enc->PutU32Array(subjects);
+  for (const auto& meta : meta_) enc->PutI64(meta.timestamp);
+
+  save_section(lazy_usage_, [this](Encoder* s) {
+    PutVecOfU32Vec(s, generated_by_);
+    PutVecOfU32Vec(s, used_by_);
+  });
+  save_section(lazy_derived_, [this](Encoder* s) {
+    PutVecOfU32Vec(s, derived_from_);
+    PutVecOfU32Vec(s, derivations_);
+  });
+  save_section(lazy_postings_, [this](Encoder* s) {
+    PutVecOfU32Vec(s, by_subject_);
+    PutVecOfU32Vec(s, by_agent_);
+  });
+  save_section(lazy_meta_edges_, [this](Encoder* s) {
+    for (const auto& meta : meta_) {
+      s->PutU32Array(meta.inputs);
+      s->PutU32Array(meta.outputs);
+    }
+  });
+  if (lazy_time_index_.empty()) EnsureGlobalTimeSorted();
+  save_section(lazy_time_index_, [this](Encoder* s) {
+    s->PutU32(static_cast<uint32_t>(by_time_.size()));
+    for (const auto& [ts, rid] : by_time_) {
+      s->PutI64(ts);
+      s->PutU32(rid);
+    }
+  });
+
+  enc->PutU32(static_cast<uint32_t>(invalidations_.size()));
+  for (const auto& [rid, inv] : invalidations_) {
+    enc->PutU32(rid);
+    enc->PutI64(inv.at);
+    enc->PutString(inv.reason);
+    enc->PutBool(inv.cascaded);
+  }
+
+  enc->PutU64(edge_count_);
+  enc->PutU64(subject_count_);
+}
+
+Status ProvenanceGraph::LoadFrom(
+    Decoder* dec, const std::shared_ptr<const Bytes>& backing) {
+  *this = ProvenanceGraph();
+  Status loaded = [&]() -> Status {
+    PROVLEDGER_RETURN_NOT_OK(record_ids_.LoadFrom(dec, backing));
+    PROVLEDGER_RETURN_NOT_OK(entities_.LoadFrom(dec, backing));
+    PROVLEDGER_RETURN_NOT_OK(agents_.LoadFrom(dec, backing));
+    const uint32_t n_records = static_cast<uint32_t>(record_ids_.size());
+    const uint32_t n_entities = static_cast<uint32_t>(entities_.size());
+
+    uint32_t n = 0;
+    PROVLEDGER_RETURN_NOT_OK(dec->GetU32(&n));
+    if (n != n_records) {
+      return Status::Corruption("graph snapshot record count mismatch");
+    }
+    // Records stay encoded: validate the offset table now (monotone, ends
+    // at the blob size) so lazy materialization can slice blindly later.
+    PROVLEDGER_RETURN_NOT_OK(dec->GetU32Array(&lazy_record_offsets_, n + 1));
+    if (lazy_record_offsets_.size() != n + 1 ||
+        (n > 0 && lazy_record_offsets_[0] != 0)) {
+      return Status::Corruption("graph snapshot record offsets malformed");
+    }
+    for (uint32_t i = 1; i <= n; ++i) {
+      if (lazy_record_offsets_[i] < lazy_record_offsets_[i - 1]) {
+        return Status::Corruption("graph snapshot record offsets unsorted");
+      }
+    }
+    PROVLEDGER_RETURN_NOT_OK(GetSlice(dec, backing, &lazy_records_));
+    if (lazy_record_offsets_[n] != lazy_records_.length) {
+      return Status::Corruption("graph snapshot record blob size mismatch");
+    }
+    records_.resize(n);
+    record_ready_.assign(n, 0);
+
+    // Meta scalars load eagerly (the planner's time narrowing reads them);
+    // the structure sections below stay zero-copy slices until first touch.
+    std::vector<uint32_t> subjects;
+    PROVLEDGER_RETURN_NOT_OK(GetU32Vec(dec, &subjects, n_entities));
+    if (subjects.size() != n) {
+      return Status::Corruption("graph snapshot meta subject count mismatch");
+    }
+    meta_.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      meta_[i].subject = subjects[i];
+      PROVLEDGER_RETURN_NOT_OK(dec->GetI64(&meta_[i].timestamp));
+    }
+    lazy_loaded_records_ = n;
+
+    PROVLEDGER_RETURN_NOT_OK(GetSlice(dec, backing, &lazy_usage_));
+    PROVLEDGER_RETURN_NOT_OK(GetSlice(dec, backing, &lazy_derived_));
+    PROVLEDGER_RETURN_NOT_OK(GetSlice(dec, backing, &lazy_postings_));
+    PROVLEDGER_RETURN_NOT_OK(GetSlice(dec, backing, &lazy_meta_edges_));
+    PROVLEDGER_RETURN_NOT_OK(GetSlice(dec, backing, &lazy_time_index_));
+    time_dirty_ = 0;  // the deferred time index was saved sorted
+
+    PROVLEDGER_RETURN_NOT_OK(dec->GetU32(&n));
+    invalidations_.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      uint32_t rid = 0;
+      Invalidation inv;
+      PROVLEDGER_RETURN_NOT_OK(dec->GetU32(&rid));
+      if (rid >= n_records) {
+        return Status::Corruption("graph snapshot invalidation out of range");
+      }
+      PROVLEDGER_RETURN_NOT_OK(dec->GetI64(&inv.at));
+      PROVLEDGER_RETURN_NOT_OK(dec->GetString(&inv.reason));
+      PROVLEDGER_RETURN_NOT_OK(dec->GetBool(&inv.cascaded));
+      // record_id is left empty here — GetInvalidation fills it from the
+      // rid on demand, so loading invalidations does not force the whole
+      // record-id intern table to hydrate.
+      invalidations_.emplace(rid, std::move(inv));
+    }
+
+    uint64_t v = 0;
+    PROVLEDGER_RETURN_NOT_OK(dec->GetU64(&v));
+    edge_count_ = static_cast<size_t>(v);
+    PROVLEDGER_RETURN_NOT_OK(dec->GetU64(&v));
+    subject_count_ = static_cast<size_t>(v);
+    return Status::OK();
+  }();
+  if (!loaded.ok()) *this = ProvenanceGraph();
+  return loaded;
 }
 
 std::vector<std::string> ProvenanceGraph::ReexecutionSet(

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "prov/intern.h"
+#include "prov/lazy_slice.h"
 #include "prov/query.h"
 #include "prov/record.h"
 
@@ -154,6 +155,29 @@ class ProvenanceGraph {
   std::vector<std::string> ReexecutionSet(const std::string& record_id) const;
   /// @}
 
+  /// \name Snapshot serialization (durable restart path).
+  /// SaveTo dumps the engine's internal structures — intern tables,
+  /// records, dense metadata, adjacency, time-sorted postings, the global
+  /// time index, invalidations — so LoadFrom is pure bulk deserialization:
+  /// no validation, no edge re-derivation, no re-sorting, no hashing.
+  /// Derived structures hydrate lazily: records stay one encoded blob
+  /// (decoded per record on first materialization), the adjacency /
+  /// postings / meta-edge sections stay raw bytes until the first query
+  /// path that touches them, and the intern hash maps rebuild on first
+  /// lookup. A restored graph is therefore serviceable after little more
+  /// than a checksum pass and a few bulk array reads — what makes snapshot
+  /// restore an order of magnitude cheaper than replaying AddRecord over
+  /// the chain (see bench_recovery) — and each deferred piece is paid at
+  /// most once, by the first operation that needs it.
+  /// @{
+  void SaveTo(Encoder* enc) const;
+  /// Replaces the whole graph. `backing` must be the buffer `dec` decodes
+  /// (the snapshot body, already checksum-verified): deferred sections are
+  /// zero-copy slices into it, pinning it until they hydrate. On error the
+  /// graph is left empty, not partially loaded.
+  Status LoadFrom(Decoder* dec, const std::shared_ptr<const Bytes>& backing);
+  /// @}
+
  private:
   /// Per-record dense metadata mirrored off the full ProvenanceRecord so
   /// traversals never touch strings.
@@ -221,6 +245,39 @@ class ProvenanceGraph {
   std::pair<size_t, size_t> TimeIndexSlice(std::optional<Timestamp> from,
                                            std::optional<Timestamp> to) const;
 
+  /// The record for `rid`, lazily decoded out of a snapshot blob on first
+  /// access (plain records_ read outside the lazy window).
+  const ProvenanceRecord& RecordAt(uint32_t rid) const {
+    if (rid < record_ready_.size() && !record_ready_[rid]) {
+      MaterializeRecord(rid);
+    }
+    return records_[rid];
+  }
+  /// Decode records_[rid] from lazy_records_blob_. The blob was CRC-gated
+  /// and offset-validated at load, so failure here is a programming error;
+  /// the record is left empty rather than crashing.
+  void MaterializeRecord(uint32_t rid) const;
+
+  /// \name Deferred snapshot-section hydration.
+  /// Each Ensure* decodes its raw section on first touch (no-ops
+  /// otherwise). Sections live under the snapshot's CRC, so a hydration
+  /// decode failure is a programming error; the section loads empty then.
+  /// @{
+  /// generated_by_ + used_by_ (usage adjacency).
+  void EnsureUsageLoaded() const;
+  /// derived_from_ + derivations_ (entity derivation DAG).
+  void EnsureDerivationsLoaded() const;
+  /// by_subject_ + by_agent_ time-sorted postings (+ clean dirty flags).
+  void EnsurePostingsLoaded() const;
+  /// Per-record input/output id lists in meta_ (traversal edges).
+  void EnsureMetaEdgesLoaded() const;
+  /// The global (timestamp, record) index.
+  void EnsureTimeIndexLoaded() const;
+  /// Decode `slice` through `load`, then release it. Shared guard logic.
+  static void Hydrate(LazySlice* slice,
+                      const std::function<Status(Decoder*)>& load);
+  /// @}
+
   uint32_t InternEntity(const std::string& entity);
   /// Direct downstream consumers of `rid`'s outputs, appended to `out`
   /// (deduplicated via `seen`).
@@ -245,15 +302,38 @@ class ProvenanceGraph {
   InternTable record_ids_;
   InternTable entities_;
   InternTable agents_;
-  /// Full records by dense record id (ingest order).
-  std::vector<ProvenanceRecord> records_;
-  std::vector<RecordMeta> meta_;
+  /// Full records by dense record id (ingest order). After a snapshot
+  /// load, entries below record_ready_.size() are placeholders until
+  /// RecordAt materializes them from the blob (hence mutable).
+  mutable std::vector<ProvenanceRecord> records_;
+  /// Encoded snapshot records ([lazy_record_offsets_[i],
+  /// lazy_record_offsets_[i+1]) sub-ranges); empty outside the lazy state.
+  LazySlice lazy_records_;
+  std::vector<uint32_t> lazy_record_offsets_;
+  /// 1 = records_[i] is materialized; only covers snapshot-loaded records
+  /// (records added after the load are always materialized).
+  mutable std::vector<uint8_t> record_ready_;
+  /// subject/timestamp are always populated; the inputs/outputs vectors of
+  /// the first lazy_loaded_records_ entries hydrate from
+  /// lazy_meta_edges_raw_ (hence mutable).
+  mutable std::vector<RecordMeta> meta_;
 
-  // Per-entity adjacency, indexed by entity id.
-  std::vector<std::vector<uint32_t>> generated_by_;  // record ids
-  std::vector<std::vector<uint32_t>> used_by_;       // record ids
-  std::vector<std::vector<uint32_t>> derived_from_;  // entity ids, sorted
-  std::vector<std::vector<uint32_t>> derivations_;   // entity ids, sorted
+  // Per-entity adjacency, indexed by entity id; mutable because the
+  // snapshot sections hydrate on first touch from const query paths.
+  mutable std::vector<std::vector<uint32_t>> generated_by_;  // record ids
+  mutable std::vector<std::vector<uint32_t>> used_by_;       // record ids
+  mutable std::vector<std::vector<uint32_t>> derived_from_;  // entity ids, sorted
+  mutable std::vector<std::vector<uint32_t>> derivations_;   // entity ids, sorted
+
+  // Raw snapshot sections awaiting hydration (empty = live state). Each
+  // pins the snapshot buffer until it hydrates.
+  mutable LazySlice lazy_usage_;
+  mutable LazySlice lazy_derived_;
+  mutable LazySlice lazy_postings_;
+  mutable LazySlice lazy_meta_edges_;
+  mutable LazySlice lazy_time_index_;
+  /// How many leading meta_ entries the meta-edges section covers.
+  size_t lazy_loaded_records_ = 0;
 
   // Time-ordered postings (subject / agent / global). Lists touched by an
   // out-of-order ingest carry a dirty flag and are re-sorted lazily on

@@ -1,9 +1,13 @@
 #include "prov/intern.h"
 
+#include <cassert>
+
 namespace provledger {
 namespace prov {
 
 uint32_t InternTable::Intern(const std::string& s) {
+  EnsureNames();
+  EnsureMap();
   auto it = ids_.find(s);
   if (it != ids_.end()) return it->second;
   uint32_t id = static_cast<uint32_t>(names_.size());
@@ -13,8 +17,67 @@ uint32_t InternTable::Intern(const std::string& s) {
 }
 
 uint32_t InternTable::Find(const std::string& s) const {
+  EnsureNames();
+  EnsureMap();
   auto it = ids_.find(s);
   return it == ids_.end() ? kNone : it->second;
+}
+
+void InternTable::EnsureNames() const {
+  if (lazy_names_.empty()) return;
+  LazySlice slice = std::move(lazy_names_);
+  lazy_names_.clear();
+  Decoder dec(slice.data(), slice.length);
+  uint32_t n = 0;
+  Status hydrated = [&]() -> Status {
+    PROVLEDGER_RETURN_NOT_OK(dec.GetU32(&n));
+    names_.assign(n, std::string());
+    for (uint32_t id = 0; id < n; ++id) {
+      PROVLEDGER_RETURN_NOT_OK(dec.GetString(&names_[id]));
+    }
+    return dec.AtEnd() ? Status::OK()
+                       : Status::Corruption("trailing intern-table bytes");
+  }();
+  // The slice sat under the snapshot's load-time checksum; failure = bug.
+  assert(hydrated.ok());
+  (void)hydrated;
+}
+
+void InternTable::EnsureMap() const {
+  if (map_ready_) return;
+  ids_.reserve(names_.size());
+  for (uint32_t id = 0; id < names_.size(); ++id) {
+    ids_.emplace(names_[id], id);
+  }
+  map_ready_ = true;
+}
+
+void InternTable::SaveTo(Encoder* enc) const {
+  if (!lazy_names_.empty()) {
+    // Never materialized since its own load: the section passes through.
+    enc->PutU32(static_cast<uint32_t>(lazy_names_.length));
+    enc->PutRaw(lazy_names_.data(), lazy_names_.length);
+    return;
+  }
+  Encoder payload;
+  payload.PutU32(static_cast<uint32_t>(names_.size()));
+  for (const auto& name : names_) payload.PutString(name);
+  enc->PutU32(static_cast<uint32_t>(payload.size()));
+  enc->PutRaw(payload.buffer());
+}
+
+Status InternTable::LoadFrom(Decoder* dec,
+                             const std::shared_ptr<const Bytes>& backing) {
+  names_.clear();
+  ids_.clear();
+  PROVLEDGER_RETURN_NOT_OK(GetSlice(dec, backing, &lazy_names_));
+  Decoder peek(lazy_names_.data(), lazy_names_.length);
+  uint32_t n = 0;
+  PROVLEDGER_RETURN_NOT_OK(peek.GetU32(&n));
+  lazy_count_ = n;
+  if (n == 0) lazy_names_.clear();  // nothing to hydrate later
+  map_ready_ = n == 0;
+  return Status::OK();
 }
 
 }  // namespace prov

@@ -14,9 +14,13 @@
 #define PROVLEDGER_PROV_INTERN_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/codec.h"
+#include "prov/lazy_slice.h"
 
 namespace provledger {
 namespace prov {
@@ -36,14 +40,40 @@ class InternTable {
 
   /// The string for a previously returned id. The reference is invalidated
   /// by the next Intern() call.
-  const std::string& Name(uint32_t id) const { return names_[id]; }
+  const std::string& Name(uint32_t id) const {
+    EnsureNames();
+    return names_[id];
+  }
 
   /// Number of distinct strings interned.
-  size_t size() const { return names_.size(); }
+  size_t size() const {
+    return lazy_names_.empty() ? names_.size() : lazy_count_;
+  }
+
+  /// \name Snapshot serialization (graph persistence).
+  /// Ids are dense and first-seen ordered, so the name vector alone is the
+  /// whole table, written as one `[u32 len][u32 count][strings]` section.
+  /// LoadFrom keeps the section as a zero-copy slice: the name vector
+  /// materializes on the first Name() / Find() / Intern(), and the reverse
+  /// hash map on the first Find()/Intern() — a restored store that never
+  /// looks a string up pays for neither.
+  /// @{
+  void SaveTo(Encoder* enc) const;
+  Status LoadFrom(Decoder* dec, const std::shared_ptr<const Bytes>& backing);
+  /// @}
 
  private:
-  std::unordered_map<std::string, uint32_t> ids_;
-  std::vector<std::string> names_;
+  /// Decode names_ from the deferred slice. Runs under the snapshot's
+  /// load-time checksum, so failure is a bug; names load empty then.
+  void EnsureNames() const;
+  /// Build ids_ from names_ if a snapshot load deferred it.
+  void EnsureMap() const;
+
+  mutable std::unordered_map<std::string, uint32_t> ids_;
+  mutable bool map_ready_ = true;
+  mutable std::vector<std::string> names_;
+  mutable LazySlice lazy_names_;
+  size_t lazy_count_ = 0;
 };
 
 }  // namespace prov

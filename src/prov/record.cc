@@ -50,59 +50,68 @@ const std::vector<std::string>& RequiredFields(Domain domain) {
   }
 }
 
+void ProvenanceRecord::EncodeTo(Encoder* enc) const {
+  enc->PutString(record_id);
+  enc->PutU8(static_cast<uint8_t>(domain));
+  enc->PutString(operation);
+  enc->PutString(subject);
+  enc->PutString(agent);
+  enc->PutI64(timestamp);
+  enc->PutU32(static_cast<uint32_t>(inputs.size()));
+  for (const auto& in : inputs) enc->PutString(in);
+  enc->PutU32(static_cast<uint32_t>(outputs.size()));
+  for (const auto& out : outputs) enc->PutString(out);
+  enc->PutU32(static_cast<uint32_t>(fields.size()));
+  for (const auto& [key, value] : fields) {  // std::map: sorted, canonical
+    enc->PutString(key);
+    enc->PutString(value);
+  }
+  enc->PutRaw(crypto::DigestToBytes(payload_hash));
+}
+
 Bytes ProvenanceRecord::Encode() const {
   Encoder enc;
-  enc.PutString(record_id);
-  enc.PutU8(static_cast<uint8_t>(domain));
-  enc.PutString(operation);
-  enc.PutString(subject);
-  enc.PutString(agent);
-  enc.PutI64(timestamp);
-  enc.PutU32(static_cast<uint32_t>(inputs.size()));
-  for (const auto& in : inputs) enc.PutString(in);
-  enc.PutU32(static_cast<uint32_t>(outputs.size()));
-  for (const auto& out : outputs) enc.PutString(out);
-  enc.PutU32(static_cast<uint32_t>(fields.size()));
-  for (const auto& [key, value] : fields) {  // std::map: sorted, canonical
-    enc.PutString(key);
-    enc.PutString(value);
-  }
-  enc.PutRaw(crypto::DigestToBytes(payload_hash));
+  EncodeTo(&enc);
   return enc.TakeBuffer();
 }
 
-Result<ProvenanceRecord> ProvenanceRecord::Decode(const Bytes& data) {
-  Decoder dec(data);
+Result<ProvenanceRecord> ProvenanceRecord::DecodeFrom(Decoder* dec) {
   ProvenanceRecord rec;
-  PROVLEDGER_RETURN_NOT_OK(dec.GetString(&rec.record_id));
+  PROVLEDGER_RETURN_NOT_OK(dec->GetString(&rec.record_id));
   uint8_t domain_byte = 0;
-  PROVLEDGER_RETURN_NOT_OK(dec.GetU8(&domain_byte));
+  PROVLEDGER_RETURN_NOT_OK(dec->GetU8(&domain_byte));
   if (domain_byte > static_cast<uint8_t>(Domain::kMachineLearning)) {
     return Status::Corruption("unknown domain byte");
   }
   rec.domain = static_cast<Domain>(domain_byte);
-  PROVLEDGER_RETURN_NOT_OK(dec.GetString(&rec.operation));
-  PROVLEDGER_RETURN_NOT_OK(dec.GetString(&rec.subject));
-  PROVLEDGER_RETURN_NOT_OK(dec.GetString(&rec.agent));
-  PROVLEDGER_RETURN_NOT_OK(dec.GetI64(&rec.timestamp));
+  PROVLEDGER_RETURN_NOT_OK(dec->GetString(&rec.operation));
+  PROVLEDGER_RETURN_NOT_OK(dec->GetString(&rec.subject));
+  PROVLEDGER_RETURN_NOT_OK(dec->GetString(&rec.agent));
+  PROVLEDGER_RETURN_NOT_OK(dec->GetI64(&rec.timestamp));
 
   uint32_t n = 0;
-  PROVLEDGER_RETURN_NOT_OK(dec.GetU32(&n));
+  PROVLEDGER_RETURN_NOT_OK(dec->GetU32(&n));
   rec.inputs.resize(n);
-  for (auto& in : rec.inputs) PROVLEDGER_RETURN_NOT_OK(dec.GetString(&in));
-  PROVLEDGER_RETURN_NOT_OK(dec.GetU32(&n));
+  for (auto& in : rec.inputs) PROVLEDGER_RETURN_NOT_OK(dec->GetString(&in));
+  PROVLEDGER_RETURN_NOT_OK(dec->GetU32(&n));
   rec.outputs.resize(n);
-  for (auto& out : rec.outputs) PROVLEDGER_RETURN_NOT_OK(dec.GetString(&out));
-  PROVLEDGER_RETURN_NOT_OK(dec.GetU32(&n));
+  for (auto& out : rec.outputs) PROVLEDGER_RETURN_NOT_OK(dec->GetString(&out));
+  PROVLEDGER_RETURN_NOT_OK(dec->GetU32(&n));
   for (uint32_t i = 0; i < n; ++i) {
     std::string key, value;
-    PROVLEDGER_RETURN_NOT_OK(dec.GetString(&key));
-    PROVLEDGER_RETURN_NOT_OK(dec.GetString(&value));
+    PROVLEDGER_RETURN_NOT_OK(dec->GetString(&key));
+    PROVLEDGER_RETURN_NOT_OK(dec->GetString(&value));
     rec.fields.emplace(std::move(key), std::move(value));
   }
   Bytes raw;
-  PROVLEDGER_RETURN_NOT_OK(dec.GetRaw(crypto::kSha256DigestSize, &raw));
+  PROVLEDGER_RETURN_NOT_OK(dec->GetRaw(crypto::kSha256DigestSize, &raw));
   PROVLEDGER_ASSIGN_OR_RETURN(rec.payload_hash, crypto::DigestFromBytes(raw));
+  return rec;
+}
+
+Result<ProvenanceRecord> ProvenanceRecord::Decode(const Bytes& data) {
+  Decoder dec(data);
+  PROVLEDGER_ASSIGN_OR_RETURN(ProvenanceRecord rec, DecodeFrom(&dec));
   if (!dec.AtEnd()) {
     return Status::Corruption("trailing bytes after provenance record");
   }

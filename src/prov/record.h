@@ -95,6 +95,10 @@ struct ProvenanceRecord {
   /// Canonical encoding (deterministic; map keys are sorted by std::map).
   Bytes Encode() const;
   static Result<ProvenanceRecord> Decode(const Bytes& data);
+  /// Streaming forms (same wire format, no per-record buffer) used when a
+  /// record is embedded in a larger structure, e.g. a graph snapshot.
+  void EncodeTo(Encoder* enc) const;
+  static Result<ProvenanceRecord> DecodeFrom(Decoder* dec);
   /// SHA-256 of the canonical encoding.
   crypto::Digest Hash() const;
 

@@ -1,7 +1,19 @@
 #include "prov/store.h"
 
+#include <algorithm>
+
+#include "common/fileio.h"
+#include "common/hash64.h"
+
 namespace provledger {
 namespace prov {
+
+namespace {
+// Snapshot file: magic, then a checksum-framed body (torn or bit-rotted
+// snapshots are detected before any state is replaced; Hash64 keeps the
+// verification cheap on multi-megabyte bodies).
+constexpr char kSnapshotMagic[8] = {'P', 'L', 'S', 'N', 'A', 'P', '0', '2'};
+}  // namespace
 
 ProvenanceStore::ProvenanceStore(ledger::Blockchain* chain, Clock* clock,
                                  ProvenanceStoreOptions options)
@@ -60,26 +72,35 @@ Status ProvenanceStore::Anchor(const ProvenanceRecord& record,
 Status ProvenanceStore::AnchorBatch(
     const std::vector<ProvenanceRecord>& records,
     const crypto::PrivateKey* signer) {
-  // All-or-nothing: a mid-batch failure must not leave this batch's
+  // All-or-nothing: a failed AnchorBatch must not leave this batch's
   // records buffered, or they would block retries and then ride along on
   // an unrelated later Flush despite the reported error.
   const size_t mark = pending_.size();
   const uint64_t nonce_mark = nonce_;
+  auto unbuffer_batch = [&]() {
+    for (size_t i = mark; i < pending_records_.size(); ++i) {
+      pending_ids_.erase(pending_records_[i].record_id);
+    }
+    pending_.resize(mark);
+    pending_records_.resize(mark);
+    nonce_ = nonce_mark;
+  };
   for (const auto& record : records) {
     ProvenanceRecord anchored = record;
     anchored.agent = OnChainAgentId(record.agent);
     Status s = Buffer(std::move(anchored), signer);
     if (!s.ok()) {
-      for (size_t i = mark; i < pending_records_.size(); ++i) {
-        pending_ids_.erase(pending_records_[i].record_id);
-      }
-      pending_.resize(mark);
-      pending_records_.resize(mark);
-      nonce_ = nonce_mark;
+      unbuffer_batch();
       return s;
     }
   }
-  return Flush();
+  Status flushed = Flush();
+  // A still-buffered batch after a failed flush means the chain refused the
+  // block: hand the records back to the caller instead of letting them
+  // linger (a drained buffer means the block landed and only indexing
+  // failed — those records are on-chain and must stay).
+  if (!flushed.ok() && pending_.size() > mark) unbuffer_batch();
+  return flushed;
 }
 
 Status ProvenanceStore::Flush() {
@@ -96,19 +117,58 @@ Status ProvenanceStore::Flush() {
   pending_.clear();
   pending_records_.clear();
   pending_ids_.clear();
+  // The block is on the chain now, so every record of the batch must be
+  // indexed — bailing at the first failure would leave on-chain records
+  // invisible to queries and audits. Index them all, aggregate the errors.
+  Status first_error;
+  size_t failures = 0;
   for (size_t i = 0; i < records.size(); ++i) {
-    PROVLEDGER_RETURN_NOT_OK(IndexRecord(records[i], txs[i].Id()));
+    Status s = IndexRecord(records[i], txs[i].Id());
+    if (!s.ok()) {
+      ++failures;
+      if (first_error.ok()) first_error = std::move(s);
+    }
+  }
+  if (failures > 0) {
+    return Status::Internal(
+        "flush indexed " + std::to_string(records.size() - failures) + "/" +
+        std::to_string(records.size()) + " anchored records; first error: " +
+        first_error.ToString());
   }
   return Status::OK();
 }
 
 Status ProvenanceStore::IndexRecord(const ProvenanceRecord& record,
                                     const crypto::Digest& txid) {
+  PROVLEDGER_RETURN_NOT_OK(EnsureIndexLoaded());
   PROVLEDGER_RETURN_NOT_OK(graph_.AddRecord(record));
   PROVLEDGER_RETURN_NOT_OK(index_.Put("rec/" + record.record_id,
                                       crypto::DigestToBytes(txid)));
   ++anchored_count_;
   return Status::OK();
+}
+
+Status ProvenanceStore::EnsureIndexLoaded() const {
+  if (lazy_index_.empty()) return Status::OK();
+  LazySlice slice = std::move(lazy_index_);
+  lazy_index_.clear();
+  Decoder dec(slice.data(), slice.length);
+  uint32_t count = 0;
+  PROVLEDGER_RETURN_NOT_OK(dec.GetU32(&count));
+  std::vector<std::pair<std::string, Bytes>> entries;
+  entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string key;
+    Bytes value;
+    PROVLEDGER_RETURN_NOT_OK(dec.GetString(&key));
+    PROVLEDGER_RETURN_NOT_OK(dec.GetBytes(&value));
+    entries.emplace_back(std::move(key), std::move(value));
+  }
+  if (!dec.AtEnd()) {
+    return Status::Corruption("trailing bytes in snapshot index section");
+  }
+  // Saved via an ordered iterator, loaded in O(n).
+  return index_.LoadSorted(std::move(entries));
 }
 
 Result<ProvenanceRecord> ProvenanceStore::GetRecord(
@@ -152,6 +212,7 @@ std::vector<std::string> ProvenanceStore::Lineage(
 
 Result<ledger::TxProof> ProvenanceStore::ProveRecord(
     const std::string& record_id) const {
+  PROVLEDGER_RETURN_NOT_OK(EnsureIndexLoaded());
   PROVLEDGER_ASSIGN_OR_RETURN(Bytes txid_bytes,
                               index_.Get("rec/" + record_id));
   PROVLEDGER_ASSIGN_OR_RETURN(crypto::Digest txid,
@@ -161,6 +222,7 @@ Result<ledger::TxProof> ProvenanceStore::ProveRecord(
 
 bool ProvenanceStore::VerifyRecordProof(const ProvenanceRecord& record,
                                         const ledger::TxProof& proof) const {
+  if (!EnsureIndexLoaded().ok()) return false;
   auto txid_bytes = index_.Get("rec/" + record.record_id);
   if (!txid_bytes.ok()) return false;
   auto txid = crypto::DigestFromBytes(txid_bytes.value());
@@ -172,36 +234,182 @@ bool ProvenanceStore::VerifyRecordProof(const ProvenanceRecord& record,
   return chain_->VerifyTxProof(tx->Encode(), proof);
 }
 
-Status ProvenanceStore::RebuildFromChain() {
+void ProvenanceStore::ResetState() {
   graph_ = ProvenanceGraph();
   index_ = storage::MemKvStore();
+  lazy_index_.clear();
   anchored_count_ = 0;
   pending_.clear();
   pending_records_.clear();
   pending_ids_.clear();
   nonce_ = 0;
+}
 
-  for (uint64_t h = 0; h <= chain_->height(); ++h) {
-    const ledger::Block* block = chain_->PeekBlock(h);
-    if (block == nullptr) {
-      return Status::NotFound("no block at height " + std::to_string(h));
+Status ProvenanceStore::ReplayBlock(uint64_t h) {
+  const ledger::Block* block = chain_->PeekBlock(h);
+  if (block == nullptr) {
+    return Status::NotFound("no block at height " + std::to_string(h));
+  }
+  for (const auto& tx : block->transactions) {
+    if (tx.type != "prov/record" || tx.channel != options_.channel) {
+      continue;
     }
-    for (const auto& tx : block->transactions) {
-      if (tx.type != "prov/record" || tx.channel != options_.channel) {
-        continue;
-      }
-      PROVLEDGER_ASSIGN_OR_RETURN(ProvenanceRecord record,
-                                  ProvenanceRecord::Decode(tx.payload));
-      PROVLEDGER_RETURN_NOT_OK(IndexRecord(record, tx.Id()));
-      // Resume nonce issuance past everything already on the chain, so
-      // post-rebuild transactions never reuse an anchored nonce.
-      if (tx.nonce > nonce_) nonce_ = tx.nonce;
-    }
+    PROVLEDGER_ASSIGN_OR_RETURN(ProvenanceRecord record,
+                                ProvenanceRecord::Decode(tx.payload));
+    PROVLEDGER_RETURN_NOT_OK(IndexRecord(record, tx.Id()));
+    // Resume nonce issuance past everything already on the chain, so
+    // post-replay transactions never reuse an anchored nonce.
+    if (tx.nonce > nonce_) nonce_ = tx.nonce;
   }
   return Status::OK();
 }
 
+Status ProvenanceStore::RebuildFromChain() {
+  ResetState();
+  for (uint64_t h = 0; h <= chain_->height(); ++h) {
+    PROVLEDGER_RETURN_NOT_OK(ReplayBlock(h));
+  }
+  return Status::OK();
+}
+
+Status ProvenanceStore::SaveSnapshot(const std::string& path) const {
+  Encoder body;
+  body.PutString(options_.channel);
+  const uint64_t height = chain_->height();
+  body.PutU64(height);
+  const ledger::Block* head = chain_->PeekBlock(height);
+  if (head == nullptr) {
+    return Status::Internal("chain has no block at its own height");
+  }
+  // Bind the snapshot to the exact chain position (height + block hash) so
+  // a restart against a different or reorged chain refuses to load it.
+  body.PutRaw(crypto::DigestToBytes(head->header.Hash()));
+  body.PutU64(nonce_);
+  body.PutU64(anchored_count_);
+  graph_.SaveTo(&body);
+
+  // rec/ index as one length-prefixed section. If this store itself was
+  // snapshot-restored and never needed the index, its raw section passes
+  // straight through (every mutation path hydrates first, so raw implies
+  // unchanged).
+  if (!lazy_index_.empty()) {
+    body.PutU32(static_cast<uint32_t>(lazy_index_.length));
+    body.PutRaw(lazy_index_.data(), lazy_index_.length);
+  } else {
+    Encoder section;
+    section.PutU32(static_cast<uint32_t>(index_.ApproximateCount()));
+    auto it = index_.NewIterator();
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      section.PutString(it->key());
+      section.PutBytes(it->value());
+    }
+    body.PutU32(static_cast<uint32_t>(section.size()));
+    body.PutRaw(section.buffer());
+  }
+
+  Encoder file;
+  file.PutRaw(Bytes(kSnapshotMagic, kSnapshotMagic + sizeof(kSnapshotMagic)));
+  file.PutU32(static_cast<uint32_t>(body.size()));
+  file.PutU64(Hash64(body.buffer()));
+  file.PutRaw(body.buffer());
+  return WriteFileAtomic(path, file.buffer());
+}
+
+Status ProvenanceStore::LoadSnapshot(const std::string& path) {
+  PROVLEDGER_ASSIGN_OR_RETURN(Bytes data_owned, ReadFileToBytes(path));
+  // The buffer is shared: the graph and index keep zero-copy slices into
+  // it, deferring their decoding to first use; the last hydration drops
+  // the final reference.
+  auto data = std::make_shared<const Bytes>(std::move(data_owned));
+  Decoder file(*data);
+  Bytes magic;
+  PROVLEDGER_RETURN_NOT_OK(file.GetRaw(sizeof(kSnapshotMagic), &magic));
+  if (!std::equal(magic.begin(), magic.end(), kSnapshotMagic)) {
+    return Status::Corruption("not a provenance snapshot: " + path);
+  }
+  uint32_t body_len = 0;
+  uint64_t checksum = 0;
+  PROVLEDGER_RETURN_NOT_OK(file.GetU32(&body_len));
+  PROVLEDGER_RETURN_NOT_OK(file.GetU64(&checksum));
+  // The body is checksummed and decoded in place — no second copy of a
+  // multi-megabyte buffer on the restart path.
+  if (file.remaining() != body_len) {
+    return Status::Corruption("snapshot body length mismatch: " + path);
+  }
+  if (Hash64(data->data() + (data->size() - body_len), body_len) !=
+      checksum) {
+    return Status::Corruption("snapshot checksum mismatch: " + path);
+  }
+
+  Decoder& dec = file;
+  std::string channel;
+  PROVLEDGER_RETURN_NOT_OK(dec.GetString(&channel));
+  if (channel != options_.channel) {
+    return Status::FailedPrecondition("snapshot is for channel '" + channel +
+                                      "', store uses '" + options_.channel +
+                                      "'");
+  }
+  uint64_t snapshot_height = 0;
+  PROVLEDGER_RETURN_NOT_OK(dec.GetU64(&snapshot_height));
+  Bytes hash_raw;
+  PROVLEDGER_RETURN_NOT_OK(dec.GetRaw(crypto::kSha256DigestSize, &hash_raw));
+  PROVLEDGER_ASSIGN_OR_RETURN(crypto::Digest snapshot_hash,
+                              crypto::DigestFromBytes(hash_raw));
+  if (snapshot_height > chain_->height()) {
+    return Status::FailedPrecondition(
+        "snapshot height " + std::to_string(snapshot_height) +
+        " is past chain height " + std::to_string(chain_->height()));
+  }
+  const ledger::Block* at = chain_->PeekBlock(snapshot_height);
+  if (at == nullptr || at->header.Hash() != snapshot_hash) {
+    return Status::FailedPrecondition(
+        "snapshot does not match this chain at height " +
+        std::to_string(snapshot_height));
+  }
+
+  uint64_t nonce = 0, anchored = 0;
+  PROVLEDGER_RETURN_NOT_OK(dec.GetU64(&nonce));
+  PROVLEDGER_RETURN_NOT_OK(dec.GetU64(&anchored));
+
+  ResetState();
+  Status loaded = [&]() -> Status {
+    PROVLEDGER_RETURN_NOT_OK(graph_.LoadFrom(&dec, data));
+    PROVLEDGER_RETURN_NOT_OK(GetSlice(&dec, data, &lazy_index_));
+    // Sanity before deferring: the section's entry count must match the
+    // graph (full parsing waits for the first proof/audit/anchor).
+    Decoder peek(lazy_index_.data(), lazy_index_.length);
+    uint32_t index_count = 0;
+    PROVLEDGER_RETURN_NOT_OK(peek.GetU32(&index_count));
+    if (index_count != graph_.record_count()) {
+      return Status::Corruption("snapshot index/graph record count mismatch");
+    }
+    if (!dec.AtEnd()) {
+      return Status::Corruption("trailing bytes in snapshot body");
+    }
+    nonce_ = nonce;
+    anchored_count_ = anchored;
+    // Tail replay: everything anchored after the snapshot was taken.
+    for (uint64_t h = snapshot_height + 1; h <= chain_->height(); ++h) {
+      PROVLEDGER_RETURN_NOT_OK(ReplayBlock(h));
+    }
+    return Status::OK();
+  }();
+  if (!loaded.ok()) ResetState();
+  return loaded;
+}
+
+Status ProvenanceStore::Recover(const std::string& snapshot_path) {
+  if (FileExists(snapshot_path)) {
+    Status s = LoadSnapshot(snapshot_path);
+    // A snapshot for another chain position is stale, not fatal; corrupt
+    // contents keep failing loudly so operators notice.
+    if (!s.IsFailedPrecondition()) return s;
+  }
+  return RebuildFromChain();
+}
+
 Result<size_t> ProvenanceStore::AuditAll() const {
+  PROVLEDGER_RETURN_NOT_OK(EnsureIndexLoaded());
   size_t verified = 0;
   auto it = index_.NewIterator();
   for (it->Seek("rec/"); it->Valid(); it->Next()) {

@@ -55,7 +55,11 @@ class ProvenanceStore {
   /// Anchor a batch in one block regardless of batch_size.
   Status AnchorBatch(const std::vector<ProvenanceRecord>& records,
                      const crypto::PrivateKey* signer = nullptr);
-  /// Flush any buffered records into a block.
+  /// Flush any buffered records into a block. If the chain rejects the
+  /// block, everything stays buffered for retry. Once the block is
+  /// appended, *every* record of the batch is indexed even if some fail —
+  /// an on-chain record must never be invisible to queries — and the
+  /// per-record failures come back aggregated as one Internal status.
   Status Flush();
 
   /// Point lookup by record id.
@@ -100,6 +104,29 @@ class ProvenanceStore {
   /// Drop all local state and rebuild indexes + graph from the chain.
   Status RebuildFromChain();
 
+  /// \name Snapshot persistence (durable restart path).
+  /// A snapshot serializes the store's derived state — the dense-id graph,
+  /// the rec/ index, anchored count and nonce — bound to the chain position
+  /// it was taken at (height + block hash). Restart = LoadSnapshot + replay
+  /// of the short chain tail past the snapshot height, instead of a full
+  /// O(chain) RebuildFromChain. Only anchored state is covered: pending
+  /// (unflushed) records are not on the chain and not in the snapshot, so
+  /// flush before snapshotting.
+  /// @{
+  /// Atomically (temp file + rename) write a snapshot of the current
+  /// anchored state.
+  Status SaveSnapshot(const std::string& path) const;
+  /// Restore from a snapshot, then replay chain blocks past the snapshot
+  /// height. FailedPrecondition when the snapshot was taken on a different
+  /// chain (block hash mismatch) or past this chain's height — callers
+  /// should fall back to RebuildFromChain (see Recover).
+  Status LoadSnapshot(const std::string& path);
+  /// Restart entry point: LoadSnapshot if `snapshot_path` holds a usable
+  /// snapshot for this chain, otherwise a full RebuildFromChain. Corrupt
+  /// snapshot *contents* still fail loudly rather than falling back.
+  Status Recover(const std::string& snapshot_path);
+  /// @}
+
   /// Auditor sweep: re-fetch and Merkle-verify every indexed record.
   /// Returns the number verified, or Corruption on the first mismatch.
   Result<size_t> AuditAll() const;
@@ -115,6 +142,15 @@ class ProvenanceStore {
  private:
   Status IndexRecord(const ProvenanceRecord& record,
                      const crypto::Digest& txid);
+  /// Drop graph, index, counters, and pending buffers.
+  void ResetState();
+  /// Index every prov/record transaction of the main-chain block at `h`
+  /// (the shared per-block step of RebuildFromChain and tail replay).
+  Status ReplayBlock(uint64_t h);
+  /// Hydrate the rec/ index from a snapshot's deferred section. Queries
+  /// never touch the index; only the proof/audit paths (and new anchors)
+  /// pay this, once.
+  Status EnsureIndexLoaded() const;
   /// AlreadyExists if `record_id` is anchored or buffered for anchoring.
   Status CheckNotAnchored(const std::string& record_id) const;
   /// Validate, dedup, encode once, and buffer `record` (already carrying
@@ -127,7 +163,10 @@ class ProvenanceStore {
   Clock* clock_;
   ProvenanceStoreOptions options_;
   ProvenanceGraph graph_;
-  storage::MemKvStore index_;  // "rec/<id>" -> txid bytes
+  // "rec/<id>" -> txid bytes. After LoadSnapshot the entries wait as a
+  // zero-copy snapshot slice until the first proof/audit/anchor needs them.
+  mutable storage::MemKvStore index_;
+  mutable LazySlice lazy_index_;
   std::vector<ledger::Transaction> pending_;
   std::vector<ProvenanceRecord> pending_records_;
   // Record ids in pending_records_, so a duplicate cannot buffer twice and

@@ -1,0 +1,342 @@
+#include "storage/file_kv_store.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+
+#include "common/codec.h"
+#include "common/fileio.h"
+#include "common/framed_log.h"
+
+namespace provledger {
+namespace storage {
+
+namespace {
+
+constexpr uint8_t kOpPut = 0;
+constexpr uint8_t kOpDelete = 1;
+
+Status Errno(const std::string& what, const std::string& path) {
+  return ErrnoStatus(what, path);
+}
+
+}  // namespace
+
+FileKvStore::SegmentSet::~SegmentSet() {
+  for (int fd : fds) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+class FileKvStore::Iterator : public KvIterator {
+ public:
+  Iterator(std::shared_ptr<const Index> snapshot,
+           std::shared_ptr<SegmentSet> segments)
+      : snapshot_(std::move(snapshot)),
+        segments_(std::move(segments)),
+        it_(snapshot_->begin()) {}
+
+  void Seek(const std::string& target) override {
+    it_ = snapshot_->lower_bound(target);
+    loaded_ = false;
+  }
+  void SeekToFirst() override {
+    it_ = snapshot_->begin();
+    loaded_ = false;
+  }
+  bool Valid() const override { return it_ != snapshot_->end(); }
+  void Next() override {
+    ++it_;
+    loaded_ = false;
+  }
+  const std::string& key() const override { return it_->first; }
+  /// Lazily pread()s the value at the indexed location. An I/O failure
+  /// surfaces as an empty value (the KvIterator interface has no error
+  /// channel); segments are append-only, so a location from any snapshot
+  /// stays readable while the iterator is alive.
+  const Bytes& value() const override {
+    if (!loaded_) {
+      const ValueLoc& loc = it_->second;
+      value_.assign(loc.length, 0);
+      ssize_t n = ::pread(segments_->fds[loc.segment], value_.data(),
+                          loc.length, static_cast<off_t>(loc.offset));
+      if (n != static_cast<ssize_t>(loc.length)) value_.clear();
+      loaded_ = true;
+    }
+    return value_;
+  }
+
+ private:
+  std::shared_ptr<const Index> snapshot_;
+  std::shared_ptr<SegmentSet> segments_;
+  Index::const_iterator it_;
+  mutable Bytes value_;
+  mutable bool loaded_ = false;
+};
+
+FileKvStore::FileKvStore(std::string dir, FileKvStoreOptions options)
+    : dir_(std::move(dir)),
+      options_(options),
+      segments_(std::make_shared<SegmentSet>()),
+      index_(std::make_shared<Index>()) {}
+
+FileKvStore::~FileKvStore() = default;
+
+Result<std::vector<std::string>> FileKvStore::ListSegments(
+    const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Errno("opendir", dir);
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() == 10 && name.compare(6, 4, ".log") == 0 &&
+        name.find_first_not_of("0123456789") == 6) {
+      names.push_back(name);
+    }
+  }
+  ::closedir(d);
+  // Zero-padded numbering: lexical order is creation order.
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status FileKvStore::OpenSegment(const std::string& name, bool create) {
+  const std::string path = dir_ + "/" + name;
+  int flags = O_RDWR | O_APPEND | (create ? O_CREAT | O_EXCL : 0);
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return Errno("open", path);
+  segments_->fds.push_back(fd);
+  segment_names_.push_back(name);
+  active_size_ = 0;
+  if (create) {
+    // Make the new directory entry durable before anything points at it.
+    int dirfd = ::open(dir_.c_str(), O_RDONLY);
+    if (dirfd >= 0) {
+      ::fsync(dirfd);
+      ::close(dirfd);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FileKvStore>> FileKvStore::Open(
+    const std::string& dir, FileKvStoreOptions options) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Errno("mkdir", dir);
+  }
+  auto store =
+      std::unique_ptr<FileKvStore>(new FileKvStore(dir, options));
+  PROVLEDGER_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                              ListSegments(dir));
+  if (names.empty()) {
+    PROVLEDGER_RETURN_NOT_OK(store->OpenSegment("000001.log", /*create=*/true));
+    return store;
+  }
+  for (size_t i = 0; i < names.size(); ++i) {
+    PROVLEDGER_RETURN_NOT_OK(store->OpenSegment(names[i], /*create=*/false));
+    PROVLEDGER_RETURN_NOT_OK(store->ReplaySegment(
+        static_cast<uint32_t>(i), dir + "/" + names[i],
+        /*last=*/i + 1 == names.size()));
+  }
+  return store;
+}
+
+Status FileKvStore::ReplaySegment(uint32_t segment, const std::string& path,
+                                  bool last) {
+  int fd = segments_->fds[segment];
+  struct stat st;
+  if (::fstat(fd, &st) != 0) return Errno("fstat", path);
+  Bytes buf(static_cast<size_t>(st.st_size));
+  if (!buf.empty()) {
+    ssize_t n = ::pread(fd, buf.data(), buf.size(), 0);
+    if (n != static_cast<ssize_t>(buf.size())) return Errno("pread", path);
+  }
+
+  size_t pos = 0;
+  while (pos < buf.size()) {
+    size_t payload_len = 0;
+    FrameScan scan = ScanFrameAt(buf, pos, &payload_len);
+    if (scan == FrameScan::kCorrupt) {
+      // A complete frame failing its CRC was damaged after the fact; valid
+      // batches may follow it, so this is never silently truncated.
+      return Status::Corruption("bad log record in " + path + " at offset " +
+                                std::to_string(pos));
+    }
+    if (scan == FrameScan::kTorn) {
+      // An incomplete tail frame is what a crash mid-append leaves — and
+      // only the active (last) segment is ever appended to.
+      if (!last) {
+        return Status::Corruption("truncated record inside sealed segment " +
+                                  path);
+      }
+      if (::ftruncate(fd, static_cast<off_t>(pos)) != 0) {
+        return Errno("ftruncate", path);
+      }
+      recovered_torn_write_ = true;
+      break;
+    }
+
+    const size_t payload_pos = pos + kFrameHeaderBytes;
+    Bytes payload(buf.begin() + payload_pos,
+                  buf.begin() + payload_pos + payload_len);
+    Decoder dec(payload);
+    uint32_t op_count = 0;
+    PROVLEDGER_RETURN_NOT_OK(dec.GetU32(&op_count));
+    for (uint32_t i = 0; i < op_count; ++i) {
+      uint8_t kind = 0;
+      std::string key;
+      PROVLEDGER_RETURN_NOT_OK(dec.GetU8(&kind));
+      PROVLEDGER_RETURN_NOT_OK(dec.GetString(&key));
+      if (kind == kOpPut) {
+        // The value starts right after its u32 length prefix; remaining()
+        // gives the decoder's position without exposing it directly.
+        Bytes value;
+        size_t before = dec.remaining();
+        PROVLEDGER_RETURN_NOT_OK(dec.GetBytes(&value));
+        ValueLoc loc;
+        loc.segment = segment;
+        loc.offset = payload_pos + (payload.size() - before) + 4;
+        loc.length = static_cast<uint32_t>(value.size());
+        ApplyToIndex(index_.get(), key, /*is_put=*/true, loc);
+      } else if (kind == kOpDelete) {
+        ApplyToIndex(index_.get(), key, /*is_put=*/false, ValueLoc());
+      } else {
+        return Status::Corruption("unknown op kind in " + path);
+      }
+    }
+    if (!dec.AtEnd()) {
+      return Status::Corruption("trailing payload bytes in " + path);
+    }
+    ++replayed_batches_;
+    pos = payload_pos + payload_len;
+  }
+  active_size_ = pos;
+  return Status::OK();
+}
+
+void FileKvStore::ApplyToIndex(Index* index, const std::string& key,
+                               bool is_put, const ValueLoc& loc) {
+  auto it = index->find(key);
+  if (it != index->end()) {
+    live_bytes_ -= key.size() + it->second.length;
+    if (!is_put) index->erase(it);
+  }
+  if (is_put) {
+    live_bytes_ += key.size() + loc.length;
+    (*index)[key] = loc;
+  }
+}
+
+FileKvStore::Index& FileKvStore::MutableIndex() {
+  if (index_.use_count() > 1) index_ = std::make_shared<Index>(*index_);
+  return *index_;
+}
+
+Status FileKvStore::RollIfNeeded() {
+  if (active_size_ < options_.segment_bytes) return Status::OK();
+  char name[32];
+  std::snprintf(name, sizeof(name), "%06zu.log", segments_->fds.size() + 1);
+  return OpenSegment(name, /*create=*/true);
+}
+
+Status FileKvStore::Write(const WriteBatch& batch) {
+  if (batch.empty()) return Status::OK();
+  PROVLEDGER_RETURN_NOT_OK(RollIfNeeded());
+  const uint32_t segment = static_cast<uint32_t>(segments_->fds.size() - 1);
+
+  // One framed record per batch; value offsets are computed while encoding
+  // so the index can point straight into the segment afterwards.
+  Encoder payload;
+  payload.PutU32(static_cast<uint32_t>(batch.ops().size()));
+  std::vector<std::pair<const WriteBatch::Op*, ValueLoc>> applied;
+  applied.reserve(batch.ops().size());
+  for (const auto& op : batch.ops()) {
+    const bool is_put = op.kind == WriteBatch::Op::Kind::kPut;
+    payload.PutU8(is_put ? kOpPut : kOpDelete);
+    payload.PutString(op.key);
+    ValueLoc loc;
+    if (is_put) {
+      loc.segment = segment;
+      loc.offset = active_size_ + kFrameHeaderBytes + payload.size() + 4;
+      loc.length = static_cast<uint32_t>(op.value.size());
+      payload.PutBytes(op.value);
+    }
+    applied.emplace_back(&op, loc);
+  }
+
+  Bytes frame = BuildFrame(payload.buffer());
+
+  const std::string& path = segment_names_.back();
+  int fd = segments_->fds.back();
+  Status written = WriteAllFd(fd, frame.data(), frame.size(), path);
+  if (written.ok() && options_.sync_writes && ::fsync(fd) != 0) {
+    written = Errno("fsync", path);
+  }
+  if (!written.ok()) {
+    // Drop any partially written frame so the next append re-frames cleanly
+    // (a partial record mid-log would otherwise read as corruption).
+    ::ftruncate(fd, static_cast<off_t>(active_size_));
+    return written;
+  }
+  active_size_ += frame.size();
+
+  // Only after the record is durably framed does the index move.
+  Index& index = MutableIndex();
+  for (const auto& [op, loc] : applied) {
+    ApplyToIndex(&index, op->key,
+                 op->kind == WriteBatch::Op::Kind::kPut, loc);
+  }
+  return Status::OK();
+}
+
+Status FileKvStore::Put(const std::string& key, Bytes value) {
+  WriteBatch batch;
+  batch.Put(key, std::move(value));
+  return Write(batch);
+}
+
+Status FileKvStore::Delete(const std::string& key) {
+  if (!Has(key)) return Status::OK();  // avoid logging no-op tombstones
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(batch);
+}
+
+Result<Bytes> FileKvStore::Get(const std::string& key) const {
+  auto it = index_->find(key);
+  if (it == index_->end()) {
+    return Status::NotFound("key not found: " + key);
+  }
+  const ValueLoc& loc = it->second;
+  Bytes value(loc.length, 0);
+  ssize_t n = ::pread(segments_->fds[loc.segment], value.data(), loc.length,
+                      static_cast<off_t>(loc.offset));
+  if (n != static_cast<ssize_t>(loc.length)) {
+    return Status::Corruption("short value read for key: " + key);
+  }
+  return value;
+}
+
+bool FileKvStore::Has(const std::string& key) const {
+  return index_->count(key) > 0;
+}
+
+std::unique_ptr<KvIterator> FileKvStore::NewIterator() const {
+  return std::make_unique<Iterator>(index_, segments_);
+}
+
+Status FileKvStore::Sync() {
+  if (segments_->fds.empty()) return Status::OK();
+  if (::fsync(segments_->fds.back()) != 0) {
+    return Errno("fsync", segment_names_.back());
+  }
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace provledger

@@ -20,51 +20,60 @@ void WriteBatch::Clear() { ops_.clear(); }
 namespace {
 class MemKvIterator : public KvIterator {
  public:
-  explicit MemKvIterator(std::map<std::string, Bytes> snapshot)
-      : snapshot_(std::move(snapshot)), it_(snapshot_.begin()) {}
+  explicit MemKvIterator(std::shared_ptr<const std::map<std::string, Bytes>>
+                             snapshot)
+      : snapshot_(std::move(snapshot)), it_(snapshot_->begin()) {}
 
   void Seek(const std::string& target) override {
-    it_ = snapshot_.lower_bound(target);
+    it_ = snapshot_->lower_bound(target);
   }
-  void SeekToFirst() override { it_ = snapshot_.begin(); }
-  bool Valid() const override { return it_ != snapshot_.end(); }
+  void SeekToFirst() override { it_ = snapshot_->begin(); }
+  bool Valid() const override { return it_ != snapshot_->end(); }
   void Next() override { ++it_; }
   const std::string& key() const override { return it_->first; }
   const Bytes& value() const override { return it_->second; }
 
  private:
-  std::map<std::string, Bytes> snapshot_;
+  std::shared_ptr<const std::map<std::string, Bytes>> snapshot_;
   std::map<std::string, Bytes>::const_iterator it_;
 };
 }  // namespace
 
+MemKvStore::Map& MemKvStore::Mutable() {
+  // A use count above one means a live snapshot iterator still pins the
+  // current map: detach by copying once, and mutate the private copy.
+  if (map_.use_count() > 1) map_ = std::make_shared<Map>(*map_);
+  return *map_;
+}
+
 Status MemKvStore::Put(const std::string& key, Bytes value) {
-  auto it = map_.find(key);
-  if (it != map_.end()) {
+  Map& map = Mutable();
+  auto it = map.find(key);
+  if (it != map.end()) {
     bytes_ -= key.size() + it->second.size();
   }
   bytes_ += key.size() + value.size();
-  map_[key] = std::move(value);
+  map[key] = std::move(value);
   return Status::OK();
 }
 
 Result<Bytes> MemKvStore::Get(const std::string& key) const {
-  auto it = map_.find(key);
-  if (it == map_.end()) return Status::NotFound("key not found: " + key);
+  auto it = map_->find(key);
+  if (it == map_->end()) return Status::NotFound("key not found: " + key);
   return it->second;
 }
 
 Status MemKvStore::Delete(const std::string& key) {
-  auto it = map_.find(key);
-  if (it != map_.end()) {
+  auto it = map_->find(key);
+  if (it != map_->end()) {
     bytes_ -= key.size() + it->second.size();
-    map_.erase(it);
+    Mutable().erase(key);
   }
   return Status::OK();
 }
 
 bool MemKvStore::Has(const std::string& key) const {
-  return map_.count(key) > 0;
+  return map_->count(key) > 0;
 }
 
 Status MemKvStore::Write(const WriteBatch& batch) {
@@ -80,7 +89,28 @@ Status MemKvStore::Write(const WriteBatch& batch) {
 }
 
 std::unique_ptr<KvIterator> MemKvStore::NewIterator() const {
+  // O(1): the iterator shares the current map; the next mutation detaches.
   return std::make_unique<MemKvIterator>(map_);
+}
+
+Status MemKvStore::LoadSorted(
+    std::vector<std::pair<std::string, Bytes>> entries) {
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (!(entries[i - 1].first < entries[i].first)) {
+      return Status::InvalidArgument(
+          "LoadSorted input not strictly key-sorted near: " +
+          entries[i].first);
+    }
+  }
+  auto map = std::make_shared<Map>();
+  size_t bytes = 0;
+  for (auto& [key, value] : entries) {
+    bytes += key.size() + value.size();
+    map->emplace_hint(map->end(), std::move(key), std::move(value));
+  }
+  map_ = std::move(map);  // live snapshots keep the old map alive
+  bytes_ = bytes;
+  return Status::OK();
 }
 
 std::vector<std::pair<std::string, Bytes>> ScanPrefix(

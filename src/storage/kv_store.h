@@ -74,19 +74,38 @@ class KvStore {
 };
 
 /// \brief In-memory ordered store (std::map-backed).
+///
+/// Iterators are true point-in-time snapshots, shared copy-on-write: taking
+/// an iterator is O(1) (it pins the current map), and the store only pays a
+/// full copy on the first mutation while a snapshot is still alive. Scan
+/// paths that take many iterators between writes (AuditAll, ScanPrefix) no
+/// longer deep-copy the map per call.
 class MemKvStore : public KvStore {
  public:
+  MemKvStore() : map_(std::make_shared<Map>()) {}
+
   Status Put(const std::string& key, Bytes value) override;
   Result<Bytes> Get(const std::string& key) const override;
   Status Delete(const std::string& key) override;
   bool Has(const std::string& key) const override;
   Status Write(const WriteBatch& batch) override;
   std::unique_ptr<KvIterator> NewIterator() const override;
-  size_t ApproximateCount() const override { return map_.size(); }
+  size_t ApproximateCount() const override { return map_->size(); }
   size_t ApproximateBytes() const override { return bytes_; }
 
+  /// Replace the whole store from key-sorted, duplicate-free entries in
+  /// O(n) — std::map's range constructor is linear on sorted input, versus
+  /// O(n log n) comparisons for n individual Puts. This is the snapshot
+  /// restore path; InvalidArgument if the input is unsorted.
+  Status LoadSorted(std::vector<std::pair<std::string, Bytes>> entries);
+
  private:
-  std::map<std::string, Bytes> map_;
+  using Map = std::map<std::string, Bytes>;
+
+  /// The map, detached from live snapshots first (copy-on-write).
+  Map& Mutable();
+
+  std::shared_ptr<Map> map_;
   size_t bytes_ = 0;
 };
 

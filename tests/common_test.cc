@@ -5,6 +5,8 @@
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/codec.h"
+#include "common/crc32.h"
+#include "common/hash64.h"
 #include "common/rng.h"
 #include "common/status.h"
 
@@ -203,6 +205,79 @@ TEST(RngTest, NextBelowRespectsBound) {
     EXPECT_LT(rng.NextBelow(17), 17u);
   }
   EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // The canonical IEEE check value for "123456789".
+  EXPECT_EQ(Crc32(ToBytes("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(Bytes{}), 0u);
+}
+
+TEST(Crc32Test, SlicedLoopMatchesByteLoop) {
+  // Inputs straddling the 8-byte fast path and the byte tail.
+  Bytes data;
+  for (int i = 0; i < 100; ++i) data.push_back(static_cast<uint8_t>(i * 7));
+  for (size_t len = 0; len <= data.size(); ++len) {
+    uint32_t whole = Crc32(data.data(), len);
+    // Recompute through a deliberately misaligned prefix split.
+    Bytes copy(data.begin(), data.begin() + len);
+    EXPECT_EQ(Crc32(copy), whole) << "len " << len;
+  }
+  Bytes flipped = data;
+  flipped[50] ^= 0x01;
+  EXPECT_NE(Crc32(flipped), Crc32(data));
+}
+
+TEST(Hash64Test, DeterministicAndBitSensitive) {
+  Bytes data;
+  for (int i = 0; i < 1000; ++i) data.push_back(static_cast<uint8_t>(i));
+  uint64_t h = Hash64(data);
+  EXPECT_EQ(Hash64(data), h);  // deterministic
+  for (size_t at : {size_t{0}, size_t{31}, size_t{32}, size_t{999}}) {
+    Bytes flipped = data;
+    flipped[at] ^= 0x01;
+    EXPECT_NE(Hash64(flipped), h) << "flip at " << at;
+  }
+  // Length is part of the digest (no trivial extension collisions).
+  Bytes shorter(data.begin(), data.end() - 1);
+  EXPECT_NE(Hash64(shorter), h);
+  EXPECT_NE(Hash64(Bytes{}), Hash64(Bytes{0}));
+}
+
+TEST(CodecTest, U32ArrayRoundTripAndLimit) {
+  std::vector<uint32_t> values = {0, 1, 0xFFFFFFFFu, 42, 7};
+  Encoder enc;
+  enc.PutU32Array(values);
+  Decoder dec(enc.buffer());
+  std::vector<uint32_t> out;
+  ASSERT_TRUE(dec.GetU32Array(&out, 5).ok());
+  EXPECT_EQ(out, values);
+  EXPECT_TRUE(dec.AtEnd());
+  // A cap below the prefixed length is Corruption, not a huge allocation.
+  Decoder capped(enc.buffer());
+  EXPECT_TRUE(capped.GetU32Array(&out, 4).IsCorruption());
+}
+
+TEST(CodecTest, DecoderOffsetSkipAndPosition) {
+  Encoder enc;
+  enc.PutU32(7);
+  enc.PutString("hello");
+  Decoder at(enc.buffer(), 4);  // start past the u32
+  std::string s;
+  ASSERT_TRUE(at.GetString(&s).ok());
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(at.AtEnd());
+
+  Decoder skip(enc.buffer());
+  ASSERT_TRUE(skip.Skip(4).ok());
+  EXPECT_EQ(skip.position(), 4u);
+  ASSERT_TRUE(skip.GetString(&s).ok());
+  EXPECT_TRUE(skip.Skip(1).IsCorruption());
+
+  // Raw-pointer view decodes a sub-range without copying.
+  Decoder view(enc.buffer().data() + 4, enc.buffer().size() - 4);
+  ASSERT_TRUE(view.GetString(&s).ok());
+  EXPECT_EQ(s, "hello");
 }
 
 TEST(RngTest, NextRangeInclusive) {

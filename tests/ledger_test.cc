@@ -147,6 +147,30 @@ TEST(BlockchainTest, MaxBlockTxsEnforced) {
   EXPECT_TRUE(chain.Append(txs, 1000, "n").ok());
 }
 
+TEST(BlockchainTest, AppendComputesMerkleRootOncePerBlock) {
+  // Self-produce path: Block::Make derives the root from the transactions,
+  // and acceptance trusts it — re-deriving it bought nothing and doubled
+  // the per-block hashing on every local Append.
+  Blockchain chain;
+  uint64_t before = Block::merkle_root_computes();
+  ASSERT_TRUE(chain.Append({SignedTx("a", "a", 1)}, 1000, "n").ok());
+  EXPECT_EQ(Block::merkle_root_computes(), before + 1);
+
+  // Externally submitted blocks still get the full recompute: Make pays
+  // one, validation pays the second.
+  Block external = Block::Make(2, chain.head_hash(), {SignedTx("b", "a", 2)},
+                               1001, "rival");
+  before = Block::merkle_root_computes();
+  ASSERT_TRUE(chain.SubmitBlock(external).ok());
+  EXPECT_EQ(Block::merkle_root_computes(), before + 1);
+
+  // ...and a tampered external block is still caught by that recompute.
+  Block bad = Block::Make(3, chain.head_hash(), {SignedTx("c", "a", 3)},
+                          1002, "rival");
+  bad.transactions[0].payload = ToBytes("swapped");
+  EXPECT_TRUE(chain.SubmitBlock(bad).IsCorruption());
+}
+
 TEST(BlockchainTest, TimestampMonotonicity) {
   Blockchain chain;
   ASSERT_TRUE(chain.Append({SignedTx("a", "a")}, 2000, "n").ok());

@@ -249,6 +249,37 @@ TEST_F(StoreTest, CachedBlockProvesWithoutMerkleRebuild) {
   EXPECT_EQ(chain_.merkle_tree_builds(), audit_baseline);
 }
 
+TEST_F(StoreTest, FlushIndexesWholeBatchPastMidBatchIndexFailure) {
+  // Regression: a mid-batch IndexRecord failure used to abort the loop,
+  // leaving that record AND the rest of the batch on-chain but invisible
+  // to queries. Force one by injecting a buffered record's id into the
+  // shared graph out of band (the SciBlock workflows mutate it directly).
+  ProvenanceStoreOptions opts;
+  opts.batch_size = 10;
+  ProvenanceStore batched(&chain_, &clock_, opts);
+  ASSERT_TRUE(batched.Anchor(Rec("r1", "f", "a", 100)).ok());
+  ASSERT_TRUE(batched.Anchor(Rec("r2", "f", "a", 200)).ok());
+  ASSERT_TRUE(batched.Anchor(Rec("r3", "f", "a", 300)).ok());
+  // r2 lands in the graph behind the store's back: its IndexRecord in the
+  // upcoming flush must fail with AlreadyExists.
+  ASSERT_TRUE(batched.mutable_graph()->AddRecord(Rec("r2", "f", "a", 200)).ok());
+
+  Status s = batched.Flush();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("2/3"), std::string::npos) << s.ToString();
+
+  // The block made it on-chain, and every *other* record of the batch is
+  // still indexed and auditable — r3 was not abandoned behind r2's failure.
+  EXPECT_EQ(chain_.height(), 1u);
+  EXPECT_TRUE(batched.HasRecord("r1"));
+  EXPECT_TRUE(batched.HasRecord("r3"));
+  EXPECT_EQ(batched.SubjectHistory("f").size(), 3u);
+  EXPECT_EQ(batched.anchored_count(), 2u);  // r2's IndexRecord failed
+  EXPECT_EQ(batched.pending_count(), 0u);
+  ASSERT_TRUE(batched.ProveRecord("r1").ok());
+  ASSERT_TRUE(batched.ProveRecord("r3").ok());
+}
+
 TEST_F(StoreTest, PrivacyModeHashesAgents) {
   ProvenanceStoreOptions opts;
   opts.hash_agent_ids = true;
@@ -300,6 +331,61 @@ TEST_F(CaptureTest, DataStoreCaptureBatches) {
   ASSERT_TRUE(ds.Capture("u", Rec("r4", "f", "store", 4)).ok());
   ASSERT_TRUE(ds.FlushBuffered().ok());
   EXPECT_EQ(chain_.height(), 2u);
+}
+
+TEST_F(CaptureTest, DataStoreCaptureKeepsBufferWhenFlushFails) {
+  // Regression: FlushBuffered moved the buffer out before AnchorBatch; on
+  // failure the captured records were silently destroyed. They must stay
+  // buffered so the flush can be retried.
+  ledger::ChainOptions chain_opts;
+  chain_opts.max_block_txs = 2;
+  ledger::Blockchain strict_chain(chain_opts);
+  ProvenanceStore store(&strict_chain, &clock_);
+  DataStoreCapture ds(&store, &clock_, /*flush_threshold=*/3);
+
+  ASSERT_TRUE(ds.Capture("u", Rec("r1", "f", "store", 1)).ok());
+  ASSERT_TRUE(ds.Capture("u", Rec("r2", "f", "store", 2)).ok());
+  // Third capture trips the auto-flush; the chain refuses the 3-tx block.
+  EXPECT_FALSE(ds.Capture("u", Rec("r3", "f", "store", 3)).ok());
+  EXPECT_EQ(ds.buffered(), 3u);  // nothing lost
+  EXPECT_EQ(store.pending_count(), 0u);
+  EXPECT_EQ(strict_chain.height(), 0u);
+
+  // An explicit retry still fails (the block is still too big) but keeps
+  // the records; no capture was destroyed along the way.
+  EXPECT_FALSE(ds.FlushBuffered().ok());
+  EXPECT_EQ(ds.buffered(), 3u);
+  EXPECT_EQ(ds.metrics().records, 3u);
+}
+
+TEST_F(CaptureTest, DataStoreCaptureDoesNotRebufferAnchoredBatch) {
+  // Counterpart of the restore-on-failure fix: when the block DID land and
+  // only post-append indexing failed, the records are on-chain — putting
+  // them back in the buffer would wedge every future flush on duplicates.
+  ProvenanceStoreOptions opts;
+  opts.batch_size = 8;
+  ProvenanceStore store(&chain_, &clock_, opts);
+  // A record pending from another producer whose IndexRecord will fail
+  // (injected into the shared graph out of band, as the SciBlock shared-
+  // graph workflows can).
+  ASSERT_TRUE(store.Anchor(Rec("p1", "f", "other", 1)).ok());
+  ASSERT_TRUE(store.mutable_graph()->AddRecord(Rec("p1", "f", "other", 1)).ok());
+
+  DataStoreCapture ds(&store, &clock_, /*flush_threshold=*/8);
+  ASSERT_TRUE(ds.Capture("u", Rec("r1", "f", "store", 2)).ok());
+  ASSERT_TRUE(ds.Capture("u", Rec("r2", "f", "store", 3)).ok());
+  // The combined block [p1, r1, r2] lands; p1's indexing fails afterwards.
+  Status s = ds.FlushBuffered();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(chain_.height(), 1u);  // the block landed
+  EXPECT_EQ(ds.buffered(), 0u);    // capture must NOT re-buffer
+  EXPECT_EQ(store.pending_count(), 0u);
+  // The capture's records are fully anchored, and later flushes flow.
+  EXPECT_TRUE(store.HasRecord("r1"));
+  EXPECT_TRUE(store.HasRecord("r2"));
+  ASSERT_TRUE(ds.Capture("u", Rec("r3", "f", "store", 4)).ok());
+  ASSERT_TRUE(ds.FlushBuffered().ok());
+  EXPECT_TRUE(store.HasRecord("r3"));
 }
 
 TEST_F(CaptureTest, CentralizedCaptureChecksToken) {

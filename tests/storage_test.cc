@@ -69,6 +69,56 @@ TEST(MemKvStoreTest, IteratorIsOrderedSnapshot) {
   EXPECT_EQ(keys, (std::vector<std::string>{"a", "b", "c"}));
 }
 
+TEST(MemKvStoreTest, IteratorsShareSnapshotsCopyOnWrite) {
+  MemKvStore store;
+  ASSERT_TRUE(store.Put("k", ToBytes("v1")).ok());
+  // Many iterators between writes share one snapshot (no per-iterator
+  // copy); each still sees the state at its creation time.
+  auto it1 = store.NewIterator();
+  auto it2 = store.NewIterator();
+  ASSERT_TRUE(store.Put("k", ToBytes("v2")).ok());  // detaches via COW
+  auto it3 = store.NewIterator();
+  ASSERT_TRUE(store.Delete("k").ok());
+
+  it1->SeekToFirst();
+  it2->SeekToFirst();
+  it3->SeekToFirst();
+  ASSERT_TRUE(it1->Valid());
+  EXPECT_EQ(BytesToString(it1->value()), "v1");
+  ASSERT_TRUE(it2->Valid());
+  EXPECT_EQ(BytesToString(it2->value()), "v1");
+  ASSERT_TRUE(it3->Valid());
+  EXPECT_EQ(BytesToString(it3->value()), "v2");
+  EXPECT_FALSE(store.Has("k"));
+}
+
+TEST(MemKvStoreTest, LoadSortedReplacesContents) {
+  MemKvStore store;
+  ASSERT_TRUE(store.Put("old", ToBytes("gone")).ok());
+  auto snapshot = store.NewIterator();
+
+  ASSERT_TRUE(store
+                  .LoadSorted({{"a", ToBytes("1")},
+                               {"b", ToBytes("2")},
+                               {"c", ToBytes("3")}})
+                  .ok());
+  EXPECT_EQ(store.ApproximateCount(), 3u);
+  EXPECT_EQ(store.ApproximateBytes(), 6u);
+  EXPECT_FALSE(store.Has("old"));
+  EXPECT_TRUE(store.Has("b"));
+  // The pre-load snapshot still reads the old state.
+  snapshot->SeekToFirst();
+  ASSERT_TRUE(snapshot->Valid());
+  EXPECT_EQ(snapshot->key(), "old");
+
+  // Unsorted (or duplicated) input is rejected, state unchanged.
+  EXPECT_TRUE(store.LoadSorted({{"z", ToBytes("1")}, {"a", ToBytes("2")}})
+                  .IsInvalidArgument());
+  EXPECT_TRUE(store.LoadSorted({{"a", ToBytes("1")}, {"a", ToBytes("2")}})
+                  .IsInvalidArgument());
+  EXPECT_EQ(store.ApproximateCount(), 3u);
+}
+
 TEST(MemKvStoreTest, IteratorSeek) {
   MemKvStore store;
   for (const char* k : {"apple", "banana", "cherry"}) {
