@@ -20,4 +20,17 @@ cmake --build "$BUILD" -j
 (cd "$BUILD" && ctest --output-on-failure -j)
 # Crash/restart coverage gets its own visible pass (same binaries).
 (cd "$BUILD" && ctest --output-on-failure -L recovery)
+
+# ThreadSanitizer gate: the `concurrency` label (sharded ingest, snapshot
+# readers, parallel queries) rebuilt under -fsanitize=thread. Any data
+# race fails the build.
+TSAN_BUILD="$ROOT/build-tsan"
+cmake -B "$TSAN_BUILD" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPROVLEDGER_SANITIZE=thread \
+  -DPROVLEDGER_BUILD_TESTS=ON \
+  -DPROVLEDGER_BUILD_BENCHES=OFF \
+  -DPROVLEDGER_BUILD_EXAMPLES=OFF
+cmake --build "$TSAN_BUILD" -j --target concurrency_test
+(cd "$TSAN_BUILD" && ctest --output-on-failure -L concurrency)
 echo "check_build: OK"

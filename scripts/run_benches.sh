@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Build Release and regenerate the benchmark JSONs:
-#   BENCH_graph.json    — dense graph engine vs legacy std::map graph
-#   BENCH_query.json    — planner-chosen index scans vs fetch-then-filter
-#   BENCH_recovery.json — snapshot restore vs cold RebuildFromChain
+#   BENCH_graph.json      — dense graph engine vs legacy std::map graph
+#   BENCH_query.json      — planner-chosen index scans vs fetch-then-filter
+#   BENCH_recovery.json   — snapshot restore vs cold RebuildFromChain
+#   BENCH_concurrent.json — sharded pipeline ingest vs single-threaded
+#                           AnchorBatch; query latency under write load
 #
 # Usage: scripts/run_benches.sh [record_count]   (default 100000)
 set -euo pipefail
@@ -11,14 +13,32 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD="$ROOT/build-release"
 RECORDS="${1:-100000}"
 
+BENCHES=(bench_graph_scale bench_query_api bench_recovery bench_concurrent)
+
 cmake -B "$BUILD" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=Release \
   -DPROVLEDGER_BUILD_BENCHES=ON \
   -DPROVLEDGER_BUILD_TESTS=OFF \
   -DPROVLEDGER_BUILD_EXAMPLES=OFF
-cmake --build "$BUILD" -j --target bench_graph_scale --target bench_query_api \
-  --target bench_recovery
+TARGET_ARGS=()
+for bench in "${BENCHES[@]}"; do TARGET_ARGS+=(--target "$bench"); done
+cmake --build "$BUILD" -j "${TARGET_ARGS[@]}"
 
-"$BUILD/bench_graph_scale" "$ROOT/BENCH_graph.json" "$RECORDS"
-"$BUILD/bench_query_api" "$ROOT/BENCH_query.json" "$RECORDS"
-"$BUILD/bench_recovery" "$ROOT/BENCH_recovery.json" "$RECORDS"
+# Fail loudly when a bench binary is missing (e.g. a cmake option silently
+# skipped its target): a bench that never ran must not look like a bench
+# that passed with stale numbers.
+run_bench() {
+  local name="$1"; shift
+  local bin="$BUILD/$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "run_benches.sh: bench binary missing: $bin" >&2
+    echo "(target skipped or build failed — refusing to skip it silently)" >&2
+    exit 1
+  fi
+  "$bin" "$@"
+}
+
+run_bench bench_graph_scale "$ROOT/BENCH_graph.json" "$RECORDS"
+run_bench bench_query_api "$ROOT/BENCH_query.json" "$RECORDS"
+run_bench bench_recovery "$ROOT/BENCH_recovery.json" "$RECORDS"
+run_bench bench_concurrent "$ROOT/BENCH_concurrent.json" "$RECORDS"

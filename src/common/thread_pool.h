@@ -1,0 +1,93 @@
+// A small fixed-size worker pool for CPU-parallel fan-out (parallel query
+// execution, bench drivers). Deliberately minimal: FIFO task queue, no
+// futures, no work stealing — callers coordinate completion with WaitGroup.
+//
+// Tasks must be non-blocking compute: a task that waits on another pool
+// task can deadlock the pool. The query executor obeys this by running one
+// chunk inline on the calling thread and never submitting nested tasks.
+
+#ifndef PROVLEDGER_COMMON_THREAD_POOL_H_
+#define PROVLEDGER_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace provledger {
+namespace common {
+
+/// \brief Completion latch: Add() work, Done() it, Wait() for zero.
+///
+/// Thread safety: fully synchronized; any method may be called from any
+/// thread. Add() must not race with the final Done() reaching zero (the
+/// usual pattern — Add everything up front, then hand out work — is safe).
+class WaitGroup {
+ public:
+  /// Register `n` units of pending work.
+  void Add(size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_ += n;
+  }
+  /// Mark one unit complete; wakes Wait() when the count reaches zero.
+  void Done() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) cv_.notify_all();
+  }
+  /// Block until every Add()ed unit is Done().
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;
+};
+
+/// \brief Fixed pool of worker threads draining a FIFO task queue.
+///
+/// Thread safety: Submit() may be called from any thread, including pool
+/// workers (but see the header comment: a task must never *wait* on
+/// another task from inside the pool). The destructor drains the queue,
+/// then joins every worker.
+class ThreadPool {
+ public:
+  /// Start `threads` workers (minimum 1).
+  explicit ThreadPool(size_t threads);
+  /// Runs every already-submitted task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task for execution on some worker thread.
+  void Submit(std::function<void()> task);
+
+  /// Number of worker threads.
+  size_t size() const { return workers_.size(); }
+
+  /// Process-wide shared pool, lazily created on first use and sized to
+  /// the hardware concurrency. Never destroyed before exit; intended for
+  /// short compute bursts (parallel query chunks), not for long-running
+  /// or blocking work.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace common
+}  // namespace provledger
+
+#endif  // PROVLEDGER_COMMON_THREAD_POOL_H_

@@ -69,17 +69,67 @@ Result<crypto::Digest> Blockchain::Append(std::vector<Transaction> txs,
   Block block = Block::Make(parent.header.height + 1, parent.header.Hash(),
                             std::move(txs), timestamp, proposer);
   block.header.nonce = nonce;
+  crypto::Digest hash = block.header.Hash();
   // Self-produce fast path: Make just derived the root from these exact
   // transactions, so acceptance skips the redundant re-computation.
-  PROVLEDGER_RETURN_NOT_OK(AcceptBlock(block, /*check_merkle_root=*/false));
-  return block.header.Hash();
+  PROVLEDGER_RETURN_NOT_OK(AcceptBlock(std::move(block),
+                                       /*check_merkle_root=*/false,
+                                       /*cached_ids=*/nullptr));
+  return hash;
+}
+
+Result<crypto::Digest> Blockchain::AppendPrepared(
+    std::vector<PreparedTx>* txs, Timestamp timestamp,
+    const std::string& proposer, uint64_t nonce,
+    const crypto::Digest* precomputed_root) {
+  const Block& parent = blocks_.at(Key(head_hash()));
+  // Root straight from the cached leaf digests — the transactions' bytes
+  // are never re-encoded or re-hashed on this path.
+  std::vector<crypto::Digest> ids;
+  ids.reserve(txs->size());
+  for (const auto& ptx : *txs) ids.push_back(ptx.id);
+  crypto::Digest root;
+  if (precomputed_root != nullptr) {
+    root = *precomputed_root;
+  } else {
+    std::vector<crypto::Digest> leaves;
+    leaves.reserve(txs->size());
+    for (const auto& ptx : *txs) leaves.push_back(ptx.leaf);
+    root = crypto::MerkleTree::BuildFromDigests(leaves).root();
+  }
+  Block block;
+  block.header.height = parent.header.height + 1;
+  block.header.prev_hash = parent.header.Hash();
+  block.header.merkle_root = root;
+  block.header.timestamp = timestamp;
+  block.header.nonce = nonce;
+  block.header.proposer = proposer;
+  block.transactions.reserve(txs->size());
+  for (auto& ptx : *txs) block.transactions.push_back(std::move(ptx.tx));
+  crypto::Digest hash = block.header.Hash();
+  // AcceptBlock only consumes `block` after every failure point
+  // (validation, sink), so on error the transactions are still here and
+  // move straight back into the caller's PreparedTx vector for retry.
+  Status accepted =
+      AcceptBlock(std::move(block), /*check_merkle_root=*/false, &ids);
+  if (!accepted.ok()) {
+    for (size_t i = 0; i < txs->size(); ++i) {
+      (*txs)[i].tx = std::move(block.transactions[i]);
+    }
+    return accepted;
+  }
+  txs->clear();
+  return hash;
 }
 
 Status Blockchain::SubmitBlock(const Block& block) {
-  return AcceptBlock(block, /*check_merkle_root=*/true);
+  Block copy = block;
+  return AcceptBlock(std::move(copy), /*check_merkle_root=*/true,
+                     /*cached_ids=*/nullptr);
 }
 
-Status Blockchain::AcceptBlock(const Block& block, bool check_merkle_root) {
+Status Blockchain::AcceptBlock(Block&& block, bool check_merkle_root,
+                               const std::vector<crypto::Digest>* cached_ids) {
   const std::string block_key = Key(block.header.Hash());
   if (blocks_.count(block_key)) {
     return Status::AlreadyExists("block already known");
@@ -95,22 +145,28 @@ Status Blockchain::AcceptBlock(const Block& block, bool check_merkle_root) {
   // changes, so a crash can never leave the memory view ahead of the log.
   if (block_sink_) PROVLEDGER_RETURN_NOT_OK(block_sink_(block));
 
-  blocks_.emplace(block_key, block);
+  const bool extends_head = block.header.prev_hash == head_hash();
+  const Block& stored =
+      blocks_.emplace(block_key, std::move(block)).first->second;
 
   // Fork choice: extending the head is the fast path; a strictly higher
   // side branch triggers a reorg (longest-chain rule).
-  if (block.header.prev_hash == head_hash()) {
-    main_chain_.push_back(block.header.Hash());
+  if (extends_head) {
+    main_chain_.push_back(stored.header.Hash());
     uint32_t idx = 0;
-    for (const auto& tx : block.transactions) {
-      tx_index_[Key(tx.Id())] = TxLocation{block.header.height, idx++};
+    for (const auto& tx : stored.transactions) {
+      // Cached ids (the prepared-ingest path) spare the per-transaction
+      // re-encode + re-hash that Id() costs.
+      const crypto::Digest id =
+          cached_ids != nullptr ? (*cached_ids)[idx] : tx.Id();
+      tx_index_[Key(id)] = TxLocation{stored.header.height, idx++};
     }
     return Status::OK();
   }
-  if (block.header.height > height()) {
+  if (stored.header.height > height()) {
     // Rebuild the main chain by walking parents back to genesis.
     std::vector<crypto::Digest> new_chain;
-    crypto::Digest cursor = block.header.Hash();
+    crypto::Digest cursor = stored.header.Hash();
     while (true) {
       new_chain.push_back(cursor);
       const Block& b = blocks_.at(Key(cursor));

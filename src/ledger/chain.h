@@ -51,11 +51,24 @@ struct TxProof {
   crypto::MerkleProof merkle_proof;
 };
 
+/// \brief A transaction whose expensive digests were precomputed off the
+/// commit path (by ingest-pipeline shard workers): `id` is Transaction::
+/// Id() and `leaf` is MerkleTree::LeafHash over the same canonical
+/// encoding. AppendPrepared trusts them, so they must come from those
+/// exact functions — a mismatched digest corrupts the chain's indexes.
+struct PreparedTx {
+  Transaction tx;
+  crypto::Digest id;
+  crypto::Digest leaf;
+};
+
 /// \brief Block tree + longest-chain view.
 ///
-/// Thread safety: NOT internally synchronized. Const proof methods
-/// populate a mutable Merkle-tree cache, so even concurrent read-only use
-/// requires external synchronization.
+/// Thread safety: NOT internally synchronized; one thread (or external
+/// locking) must own all access. Const proof methods populate a mutable
+/// Merkle-tree cache, so even concurrent read-only use requires external
+/// synchronization. The ingest pipeline satisfies this by funnelling every
+/// chain call through its single committer thread.
 class Blockchain {
  public:
   explicit Blockchain(ChainOptions options = ChainOptions());
@@ -73,6 +86,27 @@ class Blockchain {
                                 Timestamp timestamp,
                                 const std::string& proposer,
                                 uint64_t nonce = 0);
+
+  /// \brief Append a block of transactions whose encodings were already
+  /// hashed by the caller (see PreparedTx). The local-produce fast path
+  /// behind the ingest pipeline's committer: the Merkle root is assembled
+  /// from the cached leaf digests (no re-encode, no re-hash) and the
+  /// transaction index reuses the cached ids, so each transaction's bytes
+  /// are hashed exactly once over its whole anchoring lifetime.
+  /// `precomputed_root` (optional) skips even the digest-level tree
+  /// build: pass the root of exactly these leaves in this order (the
+  /// pipeline's shard workers compute it off-thread); a wrong root
+  /// corrupts the chain the same way a wrong leaf digest would.
+  /// Validation parity with Append otherwise (height/link/timestamp/
+  /// signature checks, block sink ordering). Returns the new block hash.
+  /// `*txs` is consumed on success and left INTACT on failure — a
+  /// rejected block (validation, block-sink/durability error) hands the
+  /// prepared transactions back so the caller can retry, mirroring the
+  /// buffered path's no-record-loss contract.
+  Result<crypto::Digest> AppendPrepared(
+      std::vector<PreparedTx>* txs, Timestamp timestamp,
+      const std::string& proposer, uint64_t nonce = 0,
+      const crypto::Digest* precomputed_root = nullptr);
 
   /// \brief Submit an externally built block (fork-aware). The block is
   /// fully validated; if it extends a side branch that becomes strictly
@@ -144,9 +178,13 @@ class Blockchain {
   /// would double the per-block hash work for no information.
   Status ValidateBlock(const Block& block, const Block& parent,
                        bool check_merkle_root) const;
-  /// Shared acceptance path behind Append and SubmitBlock: validate,
-  /// persist (block sink), store, fork-choice.
-  Status AcceptBlock(const Block& block, bool check_merkle_root);
+  /// Shared acceptance path behind Append, AppendPrepared, and
+  /// SubmitBlock: validate, persist (block sink), store (by move — the
+  /// block is consumed), fork-choice. `cached_ids` optionally carries the
+  /// per-transaction ids (same order as block.transactions) so the fast
+  /// path skips re-hashing them for the transaction index.
+  Status AcceptBlock(Block&& block, bool check_merkle_root,
+                     const std::vector<crypto::Digest>* cached_ids);
   void ReindexMainChain();
   /// Cached Merkle tree over `block`'s transactions, built on first use.
   /// `block_key` is hex(block hash); blocks are immutable once stored, so

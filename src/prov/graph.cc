@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/thread_pool.h"
+
 namespace provledger {
 namespace prov {
 
@@ -52,6 +54,10 @@ void ProvenanceGraph::EnsureTimeSorted(std::vector<uint32_t>* postings,
 }
 
 Status ProvenanceGraph::AddRecord(const ProvenanceRecord& record) {
+  return AddRecord(ProvenanceRecord(record));
+}
+
+Status ProvenanceGraph::AddRecord(ProvenanceRecord&& record) {
   PROVLEDGER_RETURN_NOT_OK(record.Validate());
   if (record_ids_.Find(record.record_id) != InternTable::kNone) {
     return Status::AlreadyExists("record already in graph: " +
@@ -67,14 +73,17 @@ Status ProvenanceGraph::AddRecord(const ProvenanceRecord& record) {
   EnsureTimeIndexLoaded();
 
   uint32_t rid = record_ids_.Intern(record.record_id);
-  records_.push_back(record);
+  records_.push_back(std::move(record));
+  // The moved-in record's strings stay valid inside records_; index off
+  // that resting place instead of the consumed parameter.
+  const ProvenanceRecord& rec = records_.back();
   meta_.emplace_back();
   RecordMeta& meta = meta_.back();
-  meta.timestamp = record.timestamp;
-  meta.subject = InternEntity(record.subject);
+  meta.timestamp = rec.timestamp;
+  meta.subject = InternEntity(rec.subject);
 
-  meta.inputs.reserve(record.inputs.size());
-  for (const auto& in : record.inputs) {
+  meta.inputs.reserve(rec.inputs.size());
+  for (const auto& in : rec.inputs) {
     uint32_t eid = InternEntity(in);
     meta.inputs.push_back(eid);
     used_by_[eid].push_back(rid);
@@ -83,11 +92,11 @@ Status ProvenanceGraph::AddRecord(const ProvenanceRecord& record) {
 
   // Effective outputs: if none are declared, the operation produces a new
   // logical version of the subject entity.
-  if (record.outputs.empty()) {
+  if (rec.outputs.empty()) {
     meta.outputs.push_back(meta.subject);
   } else {
-    meta.outputs.reserve(record.outputs.size());
-    for (const auto& out : record.outputs) {
+    meta.outputs.reserve(rec.outputs.size());
+    for (const auto& out : rec.outputs) {
       meta.outputs.push_back(InternEntity(out));
     }
   }
@@ -104,7 +113,7 @@ Status ProvenanceGraph::AddRecord(const ProvenanceRecord& record) {
 
   if (by_subject_[meta.subject].empty()) ++subject_count_;
   AppendByTime(&by_subject_[meta.subject], rid, &subject_dirty_[meta.subject]);
-  uint32_t aid = agents_.Intern(record.agent);
+  uint32_t aid = agents_.Intern(rec.agent);
   if (aid >= by_agent_.size()) {
     by_agent_.resize(aid + 1);
     agent_dirty_.resize(aid + 1, 0);
@@ -112,7 +121,7 @@ Status ProvenanceGraph::AddRecord(const ProvenanceRecord& record) {
   AppendByTime(&by_agent_[aid], rid, &agent_dirty_[aid]);
 
   // Global time index; same append-and-mark-dirty scheme.
-  std::pair<Timestamp, uint32_t> entry{record.timestamp, rid};
+  std::pair<Timestamp, uint32_t> entry{rec.timestamp, rid};
   if (!by_time_.empty() && by_time_.back() > entry) time_dirty_ = 1;
   by_time_.push_back(entry);
 
@@ -364,11 +373,117 @@ ProvenanceGraph::QueryPlan ProvenanceGraph::PlanQuery(
   return plan;
 }
 
+// Fan-out only pays once each worker has a few thousand candidates to
+// check: below that, the queue handoff and wake-up dominate the scan.
+static constexpr size_t kMinCandidatesPerWorker = 2048;
+
+bool ProvenanceGraph::ShouldFanOut(const Query& query,
+                                   const QueryPlan& plan) const {
+  if (query.parallelism <= 1) return false;
+  // A covering plan needs no per-candidate checks — offset/limit become
+  // slice arithmetic, which no thread pool can beat.
+  if (plan.covers_filters) return false;
+  // Lazily-encoded snapshot records hydrate on first touch; concurrent
+  // workers would race on that mutation. Warm() lifts the restriction.
+  if (!record_ready_.empty()) return false;
+  if (plan.size() < 2 * kMinCandidatesPerWorker) return false;
+  // Parallel workers cannot stop early, so a query satisfied by a small
+  // result prefix usually does better with the serial early-exit —
+  // unless its page reaches deep into the candidate range anyway.
+  if (!query.count_only && query.limit != Query::kNoLimit) {
+    const size_t wanted = query.offset > Query::kNoLimit - query.limit
+                              ? Query::kNoLimit
+                              : query.offset + query.limit;
+    if (wanted < plan.size() / 4) return false;
+  }
+  return true;
+}
+
+std::vector<uint32_t> ProvenanceGraph::ParallelMatch(
+    const Query& query, const QueryPlan& plan) const {
+  // Planning already hydrated and sorted everything this scan reads (the
+  // chosen index, the global time index, record metadata), so the workers
+  // below only perform pure reads — no locks needed.
+  common::ThreadPool& pool = common::ThreadPool::Shared();
+  const size_t n = plan.size();
+  size_t workers = std::min(query.parallelism, pool.size() + 1);
+  workers = std::min(workers, n / kMinCandidatesPerWorker);
+  workers = std::max<size_t>(workers, 1);
+  const size_t chunk = (n + workers - 1) / workers;
+
+  std::vector<std::vector<uint32_t>> found(workers);
+  auto scan = [&](size_t w) {
+    const size_t lo = w * chunk;
+    const size_t hi = std::min(n, lo + chunk);
+    std::vector<uint32_t>& out = found[w];
+    for (size_t i = lo; i < hi; ++i) {
+      uint32_t rid = PlanRidAt(plan, i);
+      if (query.Matches(RecordAt(rid), invalidations_.count(rid) > 0)) {
+        out.push_back(rid);
+      }
+    }
+  };
+  common::WaitGroup wg;
+  wg.Add(workers - 1);
+  for (size_t w = 1; w < workers; ++w) {
+    pool.Submit([&, w] {
+      scan(w);
+      wg.Done();
+    });
+  }
+  scan(0);  // the calling thread pulls its weight instead of idling
+  wg.Wait();
+
+  // Chunks are contiguous plan slices, so in-order concatenation restores
+  // the exact ascending (timestamp, ingest) order of the serial scan.
+  size_t total = 0;
+  for (const auto& f : found) total += f.size();
+  std::vector<uint32_t> matches;
+  matches.reserve(total);
+  for (auto& f : found) {
+    matches.insert(matches.end(), f.begin(), f.end());
+  }
+  return matches;
+}
+
+namespace {
+// Visit the page [offset, offset + limit) of `matches` (ascending plan
+// order) in the requested direction, calling fn(rid) until it declines.
+// The one home for the descending-page index arithmetic, so the
+// materializing and visitor fan-out paths can never diverge.
+template <typename Fn>
+void ForEachPageMatch(const std::vector<uint32_t>& matches, size_t offset,
+                      size_t limit, bool descending, Fn&& fn) {
+  size_t start = std::min(offset, matches.size());
+  size_t take = std::min(limit, matches.size() - start);
+  for (size_t i = 0; i < take; ++i) {
+    size_t pos = start + i;
+    if (!fn(matches[descending ? matches.size() - 1 - pos : pos])) break;
+  }
+}
+}  // namespace
+
 QueryResult ProvenanceGraph::Run(const Query& query) const {
   QueryResult result;
   QueryPlan plan = PlanQuery(query);
   result.index_used = plan.index;
   result.candidates_scanned = plan.size();
+
+  if (ShouldFanOut(query, plan)) {
+    std::vector<uint32_t> matches = ParallelMatch(query, plan);
+    if (query.count_only) {
+      result.count = matches.size();
+      return result;
+    }
+    result.records.reserve(std::min(query.limit, matches.size()));
+    ForEachPageMatch(matches, query.offset, query.limit, query.descending,
+                     [&](uint32_t rid) {
+                       result.records.push_back(RecordAt(rid));
+                       return true;
+                     });
+    result.count = result.records.size();
+    return result;
+  }
 
   if (query.count_only) {
     if (plan.covers_filters) {
@@ -420,6 +535,20 @@ size_t ProvenanceGraph::Run(
     const Query& query,
     const std::function<bool(const ProvenanceRecord&)>& visit) const {
   QueryPlan plan = PlanQuery(query);
+
+  if (ShouldFanOut(query, plan)) {
+    // Predicate checks fan out; the visitor itself stays on the calling
+    // thread, in order — callers never need a thread-safe visitor.
+    std::vector<uint32_t> matches = ParallelMatch(query, plan);
+    size_t visited = 0;
+    ForEachPageMatch(matches, query.offset, query.limit, query.descending,
+                     [&](uint32_t rid) {
+                       ++visited;
+                       return visit(RecordAt(rid));
+                     });
+    return visited;
+  }
+
   if (plan.covers_filters) {
     size_t start = std::min(query.offset, plan.size());
     size_t take = std::min(query.limit, plan.size() - start);
@@ -886,6 +1015,38 @@ Status ProvenanceGraph::LoadFrom(
   }();
   if (!loaded.ok()) *this = ProvenanceGraph();
   return loaded;
+}
+
+void ProvenanceGraph::Warm() {
+  // Hydrate every deferred snapshot section.
+  EnsureUsageLoaded();
+  EnsureDerivationsLoaded();
+  EnsurePostingsLoaded();
+  EnsureMetaEdgesLoaded();
+  EnsureTimeIndexLoaded();
+
+  // Pay every pending sort now so no const query path re-sorts later.
+  for (size_t eid = 0; eid < by_subject_.size(); ++eid) {
+    EnsureTimeSorted(&by_subject_[eid], &subject_dirty_[eid]);
+  }
+  for (size_t aid = 0; aid < by_agent_.size(); ++aid) {
+    EnsureTimeSorted(&by_agent_[aid], &agent_dirty_[aid]);
+  }
+  EnsureGlobalTimeSorted();
+
+  // Decode every lazily-encoded record, then drop the lazy window so
+  // RecordAt becomes a plain vector read.
+  for (uint32_t rid = 0; rid < record_ready_.size(); ++rid) {
+    if (!record_ready_[rid]) MaterializeRecord(rid);
+  }
+  record_ready_.clear();
+  lazy_records_.clear();
+  lazy_record_offsets_.clear();
+
+  // Intern tables: names and reverse maps.
+  record_ids_.Warm();
+  entities_.Warm();
+  agents_.Warm();
 }
 
 std::vector<std::string> ProvenanceGraph::ReexecutionSet(

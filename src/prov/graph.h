@@ -60,14 +60,26 @@ struct Invalidation {
 
 /// \brief In-memory provenance DAG over anchored records.
 ///
-/// Thread safety: NOT internally synchronized. Const query methods may
-/// lazily re-sort internal time indexes (mutable state), so even
-/// concurrent read-only use requires external synchronization.
+/// Thread safety: NOT internally synchronized — one thread (or external
+/// locking) must own all access to a *live* graph. Const query methods may
+/// lazily hydrate snapshot sections and re-sort internal time indexes
+/// (mutable state), so even concurrent read-only use of an arbitrary graph
+/// requires external synchronization. The exception that makes concurrent
+/// reads possible: after Warm() — and with no mutation afterwards — every
+/// const method is a pure read, so any number of threads may query the
+/// same instance concurrently. The snapshot-isolation machinery
+/// (prov/snapshot.h) builds on exactly that contract; alternatively each
+/// reader thread loads its own cheap lazy graph from a shared immutable
+/// snapshot buffer and skips Warm() entirely.
 class ProvenanceGraph {
  public:
   /// Ingest a (validated) record, creating entity/activity/agent nodes and
-  /// PROV edges. Records must have unique ids.
+  /// PROV edges. Records must have unique ids. Writer-thread only.
   Status AddRecord(const ProvenanceRecord& record);
+  /// Move-in overload: the pipeline commit path hands records through
+  /// without another deep copy. Same semantics; `record` is consumed only
+  /// on success.
+  Status AddRecord(ProvenanceRecord&& record);
 
   bool HasRecord(const std::string& record_id) const;
   Result<ProvenanceRecord> GetRecord(const std::string& record_id) const;
@@ -87,7 +99,11 @@ class ProvenanceGraph {
   /// predicates per candidate, and materializes matches in timestamp order
   /// (ties in ingest order; Descending() reverses). Count-only queries
   /// skip materialization entirely and, when the chosen index already
-  /// guarantees every filter, skip the scan too.
+  /// guarantees every filter, skip the scan too. With Query::Parallel(n)
+  /// the candidate scan fans out across the shared thread pool when the
+  /// planner estimates it pays (see ShouldFanOut) — results are identical
+  /// to serial execution. Safe to call concurrently from many threads only
+  /// on a warmed, unmutated graph (see class comment).
   QueryResult Run(const Query& query) const;
   /// Zero-copy streaming overload: `visit` receives each match by const
   /// reference, in order, with offset/limit applied; returning false stops
@@ -178,6 +194,16 @@ class ProvenanceGraph {
   Status LoadFrom(Decoder* dec, const std::shared_ptr<const Bytes>& backing);
   /// @}
 
+  /// \brief Force every deferred structure into its fully-materialized,
+  /// canonically-sorted form: hydrate all lazy snapshot sections, decode
+  /// every lazily-encoded record, rebuild the intern hash maps, and pay
+  /// every pending postings/time-index sort. Afterwards — until the next
+  /// mutation — every const method on this graph is a pure read, safe to
+  /// call from any number of threads concurrently, and parallel query
+  /// execution (Query::Parallel) becomes eligible. Idempotent; a no-op on
+  /// a graph that was never snapshot-loaded and has no pending sorts.
+  void Warm();
+
  private:
   /// Per-record dense metadata mirrored off the full ProvenanceRecord so
   /// traversals never touch strings.
@@ -228,6 +254,17 @@ class ProvenanceGraph {
   /// counts from the cardinality accessors). A filter naming an unknown
   /// subject/agent/entity yields an empty plan.
   QueryPlan PlanQuery(const Query& query) const;
+  /// True when Run should fan the candidate scan out across the shared
+  /// thread pool: the query asks for it, the planner's candidate estimate
+  /// says the scan is big enough to amortize the thread handoff, the plan
+  /// needs per-candidate predicate checks at all, and every record is
+  /// already materialized (lazy snapshot records would race on hydration).
+  bool ShouldFanOut(const Query& query, const QueryPlan& plan) const;
+  /// Parallel candidate scan: rids of plan positions whose record passes
+  /// every predicate, in ascending plan (time) order. Only called when
+  /// ShouldFanOut — all state it touches is read-only by then.
+  std::vector<uint32_t> ParallelMatch(const Query& query,
+                                      const QueryPlan& plan) const;
   /// Narrow a time-sorted rid list to the query's [from, to] window.
   void NarrowByTime(const Query& query, const std::vector<uint32_t>& list,
                     size_t* lo, size_t* hi) const;

@@ -50,6 +50,15 @@ class InternTable {
     return lazy_names_.empty() ? names_.size() : lazy_count_;
   }
 
+  /// \brief Force both deferred structures (name vector, reverse hash
+  /// map) to materialize now. After Warm() — and with no Intern() calls
+  /// afterwards — every const method is a pure read and safe to call from
+  /// many threads concurrently.
+  void Warm() const {
+    EnsureNames();
+    EnsureMap();
+  }
+
   /// \name Snapshot serialization (graph persistence).
   /// Ids are dense and first-seen ordered, so the name vector alone is the
   /// whole table, written as one `[u32 len][u32 count][strings]` section.

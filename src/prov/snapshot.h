@@ -1,0 +1,128 @@
+// Snapshot-isolated reads: an epoch-tagged, immutable view of the
+// provenance graph that readers query while the writer keeps appending.
+//
+// The scheme builds on the LazySlice snapshot machinery from the
+// durability layer instead of copying the graph: publishing an epoch
+// serializes the live graph once into a single immutable buffer
+// (ProvenanceGraph::SaveTo), and every reader *thread* opens its own
+// cheap ProvenanceGraph over that shared buffer (LoadFrom) — a few bulk
+// array reads up front, with adjacency/postings/records hydrating lazily
+// into reader-private state only when a query actually touches them. No
+// lock is ever taken on the read path: acquiring the current snapshot is
+// one atomic shared_ptr load, and everything behind it is immutable.
+//
+//   writer (committer thread)            readers (any threads)
+//   ─────────────────────────            ─────────────────────
+//   AnchorPrepared(batch)                auto snap = store.AcquireSnapshot();
+//   ...                                  auto reader = snap->OpenReader();
+//   store.PublishSnapshot()  ──────────▶ reader->Execute(query);
+//   AnchorPrepared(batch)                // still sees the published epoch
+//
+// Readers therefore observe only fully-committed batches (publication
+// happens strictly after a batch commits) and a snapshot acquired once
+// stays stable for the whole read transaction, however long the writer
+// runs ahead — classic snapshot isolation, at the cost of staleness
+// bounded by the publication cadence.
+
+#ifndef PROVLEDGER_PROV_SNAPSHOT_H_
+#define PROVLEDGER_PROV_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "prov/graph.h"
+
+namespace provledger {
+namespace prov {
+
+class SnapshotReader;
+
+/// \brief One published epoch of the provenance graph: an immutable,
+/// self-contained serialization bound to the chain position it was taken
+/// at.
+///
+/// Thread safety: fully immutable after construction — every method is
+/// safe from any number of threads concurrently. Holding the shared_ptr
+/// keeps the epoch's buffer alive regardless of what the writer publishes
+/// next.
+class GraphSnapshot {
+ public:
+  /// Built by ProvenanceStore::PublishSnapshot; `body` is a
+  /// ProvenanceGraph::SaveTo serialization.
+  GraphSnapshot(uint64_t epoch, uint64_t chain_height, size_t record_count,
+                std::shared_ptr<const Bytes> body)
+      : epoch_(epoch),
+        chain_height_(chain_height),
+        record_count_(record_count),
+        body_(std::move(body)) {}
+
+  /// Publication sequence number (1 = first publish; strictly increasing).
+  uint64_t epoch() const { return epoch_; }
+  /// Main-chain height at publication: every block up to and including
+  /// this height is reflected in the snapshot, nothing after it.
+  uint64_t chain_height() const { return chain_height_; }
+  /// Records visible in this epoch.
+  size_t record_count() const { return record_count_; }
+  /// Size of the serialized graph backing this epoch.
+  size_t body_bytes() const { return body_->size(); }
+
+  /// \brief Open a reader over this epoch. Each reader owns a private
+  /// lazy graph view into the shared buffer, so a reader is cheap to open
+  /// (no record decoding up front) but is NOT itself thread-safe — open
+  /// one per reader thread, or call SnapshotReader::Warm() once and share
+  /// it read-only.
+  Result<SnapshotReader> OpenReader() const;
+
+ private:
+  uint64_t epoch_;
+  uint64_t chain_height_;
+  size_t record_count_;
+  std::shared_ptr<const Bytes> body_;
+};
+
+/// \brief A queryable view of one snapshot epoch.
+///
+/// Thread safety: thread-compatible, like any lazily-loaded
+/// ProvenanceGraph — one thread per reader. To share a single reader
+/// across threads (e.g. for Query::Parallel fan-out), call Warm() first
+/// and mutate nothing afterwards; a warmed reader's const methods are
+/// pure reads.
+class SnapshotReader {
+ public:
+  /// The epoch this reader sees (never changes, whatever the writer does).
+  uint64_t epoch() const { return epoch_; }
+  uint64_t chain_height() const { return chain_height_; }
+
+  /// Execute a query against the snapshot (same semantics as
+  /// ProvenanceStore::Execute, minus anything newer than the epoch).
+  QueryResult Execute(const Query& query) const { return graph_.Run(query); }
+  /// Zero-copy streaming overload; the visitor runs on the calling thread.
+  size_t Execute(const Query& query,
+                 const std::function<bool(const ProvenanceRecord&)>& visit)
+      const {
+    return graph_.Run(query, visit);
+  }
+
+  /// Full graph surface (lineage, cardinality accessors, ...) over the
+  /// snapshot.
+  const ProvenanceGraph& graph() const { return graph_; }
+
+  /// Materialize everything now (records, postings, intern maps). Trades
+  /// the lazy open for concurrent shareability and Query::Parallel
+  /// eligibility — see ProvenanceGraph::Warm.
+  void Warm() { graph_.Warm(); }
+
+ private:
+  friend class GraphSnapshot;
+  SnapshotReader(uint64_t epoch, uint64_t chain_height)
+      : epoch_(epoch), chain_height_(chain_height) {}
+
+  uint64_t epoch_;
+  uint64_t chain_height_;
+  ProvenanceGraph graph_;
+};
+
+}  // namespace prov
+}  // namespace provledger
+
+#endif  // PROVLEDGER_PROV_SNAPSHOT_H_

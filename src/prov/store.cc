@@ -26,16 +26,17 @@ std::string ProvenanceStore::OnChainAgentId(const std::string& agent) const {
   return "anon-" + HexEncode(mac.data(), 8);
 }
 
-ledger::Transaction ProvenanceStore::MakeTx(
-    Bytes payload, const crypto::PrivateKey* signer) const {
+ledger::Transaction ProvenanceStore::MakeTx(Bytes payload,
+                                            const crypto::PrivateKey* signer,
+                                            uint64_t nonce) const {
   if (signer != nullptr) {
     return ledger::Transaction::MakeSigned("prov/record", options_.channel,
                                            std::move(payload), *signer,
-                                           clock_->NowMicros(), nonce_);
+                                           clock_->NowMicros(), nonce);
   }
   return ledger::Transaction::MakeSystem("prov/record", options_.channel,
                                          std::move(payload),
-                                         clock_->NowMicros(), nonce_);
+                                         clock_->NowMicros(), nonce);
 }
 
 Status ProvenanceStore::CheckNotAnchored(const std::string& record_id) const {
@@ -52,7 +53,7 @@ Status ProvenanceStore::Buffer(ProvenanceRecord&& record,
   ++nonce_;
   // Encode once; the encoding travels into the transaction payload and the
   // record itself moves into the pending buffer — no further full copies.
-  pending_.push_back(MakeTx(record.Encode(), signer));
+  pending_.push_back(MakeTx(record.Encode(), signer, nonce_));
   pending_ids_.insert(record.record_id);
   pending_records_.push_back(std::move(record));
   return Status::OK();
@@ -123,7 +124,7 @@ Status ProvenanceStore::Flush() {
   Status first_error;
   size_t failures = 0;
   for (size_t i = 0; i < records.size(); ++i) {
-    Status s = IndexRecord(records[i], txs[i].Id());
+    Status s = IndexRecord(std::move(records[i]), txs[i].Id());
     if (!s.ok()) {
       ++failures;
       if (first_error.ok()) first_error = std::move(s);
@@ -138,14 +139,141 @@ Status ProvenanceStore::Flush() {
   return Status::OK();
 }
 
-Status ProvenanceStore::IndexRecord(const ProvenanceRecord& record,
+Status ProvenanceStore::IndexRecord(ProvenanceRecord&& record,
                                     const crypto::Digest& txid) {
   PROVLEDGER_RETURN_NOT_OK(EnsureIndexLoaded());
-  PROVLEDGER_RETURN_NOT_OK(graph_.AddRecord(record));
-  PROVLEDGER_RETURN_NOT_OK(index_.Put("rec/" + record.record_id,
+  // The id is needed after the record moves into the graph.
+  std::string key = "rec/" + record.record_id;
+  PROVLEDGER_RETURN_NOT_OK(graph_.AddRecord(std::move(record)));
+  PROVLEDGER_RETURN_NOT_OK(index_.Put(std::move(key),
                                       crypto::DigestToBytes(txid)));
   ++anchored_count_;
   return Status::OK();
+}
+
+Result<PreparedRecord> ProvenanceStore::PrepareRecord(
+    ProvenanceRecord&& record, uint64_t nonce,
+    const crypto::PrivateKey* signer) const {
+  record.agent = OnChainAgentId(record.agent);
+  PROVLEDGER_RETURN_NOT_OK(record.Validate());
+  PreparedRecord prepared;
+  prepared.tx = MakeTx(record.Encode(), signer, nonce);
+  // One encoding serves both digests the commit path will need — after
+  // this, no byte of the transaction is ever hashed again.
+  Bytes tx_encoding = prepared.tx.Encode();
+  prepared.txid = crypto::Sha256::Hash(tx_encoding);
+  prepared.leaf = crypto::MerkleTree::LeafHash(tx_encoding);
+  prepared.record = std::move(record);
+  return prepared;
+}
+
+Status ProvenanceStore::AnchorPrepared(PreparedBatch* batch,
+                                       size_t* committed) {
+  if (committed != nullptr) *committed = 0;
+  if (batch->records.empty()) return Status::OK();
+  PROVLEDGER_RETURN_NOT_OK(EnsureIndexLoaded());
+
+  // Duplicates (already anchored, pending, or repeated within the batch)
+  // must drop *before* the block forms: an on-chain duplicate would be
+  // refused by the graph and become invisible to queries forever.
+  std::vector<PreparedRecord> unique;
+  unique.reserve(batch->records.size());
+  std::unordered_set<std::string> batch_ids;
+  Status first_drop;
+  size_t dropped = 0;
+  for (auto& prepared : batch->records) {
+    Status s = CheckNotAnchored(prepared.record.record_id);
+    if (s.ok() && !batch_ids.insert(prepared.record.record_id).second) {
+      s = Status::AlreadyExists("duplicate record in prepared batch: " +
+                                prepared.record.record_id);
+    }
+    if (!s.ok()) {
+      ++dropped;
+      if (first_drop.ok()) first_drop = std::move(s);
+      continue;
+    }
+    unique.push_back(std::move(prepared));
+  }
+  batch->records.clear();
+
+  if (!unique.empty()) {
+    std::vector<ledger::PreparedTx> txs;
+    txs.reserve(unique.size());
+    uint64_t max_nonce = nonce_;
+    for (auto& prepared : unique) {
+      if (prepared.tx.nonce > max_nonce) max_nonce = prepared.tx.nonce;
+      txs.push_back(ledger::PreparedTx{std::move(prepared.tx), prepared.txid,
+                                       prepared.leaf});
+    }
+    // The precomputed root matches only the batch exactly as prepared;
+    // any drop changes the leaf set and forces a rebuild from digests.
+    const crypto::Digest* root =
+        dropped == 0 && batch->merkle_root ? &*batch->merkle_root : nullptr;
+    auto block_hash = chain_->AppendPrepared(&txs, clock_->NowMicros(),
+                                            options_.proposer,
+                                            /*nonce=*/0, root);
+    // Chain refusal leaves no store state mutated, and the chain handed
+    // the transactions back — reassemble the batch (minus dropped
+    // duplicates) so the caller can retry it wholesale. Same
+    // no-record-loss contract as AnchorBatch's un-buffering.
+    if (!block_hash.ok()) {
+      for (size_t i = 0; i < unique.size(); ++i) {
+        unique[i].tx = std::move(txs[i].tx);
+      }
+      batch->records = std::move(unique);
+      return block_hash.status();
+    }
+    // Track issued nonces so later Anchor()/Flush() calls never reuse one.
+    nonce_ = max_nonce;
+
+    // The block is on the chain: index everything, aggregate failures
+    // (same contract as Flush). `committed` counts only fully-landed
+    // records (on-chain AND indexed) — an indexing casualty is a failure
+    // to the caller even though its bytes are on the chain.
+    Status first_error;
+    size_t failures = 0;
+    for (auto& prepared : unique) {
+      Status s = IndexRecord(std::move(prepared.record), prepared.txid);
+      if (!s.ok()) {
+        ++failures;
+        if (first_error.ok()) first_error = std::move(s);
+      }
+    }
+    if (committed != nullptr) *committed = unique.size() - failures;
+    if (failures > 0) {
+      return Status::Internal(
+          "prepared anchor indexed " +
+          std::to_string(unique.size() - failures) + "/" +
+          std::to_string(unique.size()) +
+          " on-chain records; first error: " + first_error.ToString());
+    }
+  }
+  if (dropped > 0) {
+    return Status::AlreadyExists(
+        "dropped " + std::to_string(dropped) +
+        " duplicate records from prepared batch; first: " +
+        first_drop.ToString());
+  }
+  return Status::OK();
+}
+
+Status ProvenanceStore::PublishSnapshot() {
+  Encoder body;
+  graph_.SaveTo(&body);
+  auto bytes = std::make_shared<const Bytes>(body.TakeBuffer());
+  const uint64_t epoch = snapshot_epoch_.load(std::memory_order_relaxed) + 1;
+  auto snapshot = std::make_shared<const GraphSnapshot>(
+      epoch, chain_->height(), graph_.record_count(), std::move(bytes));
+  // Pointer first, counter second: a reader that observes epoch N can
+  // always acquire a snapshot at least that fresh.
+  std::atomic_store(&snapshot_, std::move(snapshot));
+  snapshot_epoch_.store(epoch, std::memory_order_release);
+  return Status::OK();
+}
+
+std::shared_ptr<const GraphSnapshot> ProvenanceStore::AcquireSnapshot()
+    const {
+  return std::atomic_load(&snapshot_);
 }
 
 Status ProvenanceStore::EnsureIndexLoaded() const {
@@ -256,7 +384,7 @@ Status ProvenanceStore::ReplayBlock(uint64_t h) {
     }
     PROVLEDGER_ASSIGN_OR_RETURN(ProvenanceRecord record,
                                 ProvenanceRecord::Decode(tx.payload));
-    PROVLEDGER_RETURN_NOT_OK(IndexRecord(record, tx.Id()));
+    PROVLEDGER_RETURN_NOT_OK(IndexRecord(std::move(record), tx.Id()));
     // Resume nonce issuance past everything already on the chain, so
     // post-replay transactions never reuse an anchored nonce.
     if (tx.nonce > nonce_) nonce_ = tx.nonce;

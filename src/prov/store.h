@@ -15,11 +15,14 @@
 #ifndef PROVLEDGER_PROV_STORE_H_
 #define PROVLEDGER_PROV_STORE_H_
 
+#include <atomic>
+#include <memory>
 #include <optional>
 #include <unordered_set>
 
 #include "ledger/chain.h"
 #include "prov/graph.h"
+#include "prov/snapshot.h"
 #include "storage/kv_store.h"
 
 namespace provledger {
@@ -41,7 +44,41 @@ struct ProvenanceStoreOptions {
   std::string proposer = "prov-store";
 };
 
+/// \brief A record whose expensive anchoring work — validation,
+/// anonymization, serialization, transaction digests — already happened,
+/// off the commit path. PrepareRecord builds these on ingest-pipeline
+/// shard threads; AnchorPrepared commits them without re-hashing a byte.
+struct PreparedRecord {
+  /// Validated record, agent already rewritten to its on-chain id.
+  ProvenanceRecord record;
+  /// The anchoring transaction (payload = encoded record, nonce assigned).
+  ledger::Transaction tx;
+  /// Cached Transaction::Id() of `tx`.
+  crypto::Digest txid;
+  /// Cached Merkle leaf digest of `tx`'s canonical encoding.
+  crypto::Digest leaf;
+};
+
+/// \brief A commit-ready group of prepared records, optionally carrying
+/// the Merkle root over their leaf digests (in order) so even the
+/// digest-level tree build happens off the committer thread. The root is
+/// only usable when the batch commits exactly as prepared — dropping a
+/// duplicate falls back to rebuilding from the surviving leaves.
+struct PreparedBatch {
+  std::vector<PreparedRecord> records;
+  std::optional<crypto::Digest> merkle_root;
+};
+
 /// \brief Ledger-backed provenance store.
+///
+/// Thread safety: NOT internally synchronized — one thread (or external
+/// locking) must own every mutating and live-querying call; the ingest
+/// pipeline satisfies this by funnelling all of them through its single
+/// committer thread. Three members are the deliberate exceptions, safe
+/// from any thread with no lock:
+///   * PrepareRecord()    — pure function of its inputs + immutable options
+///   * AcquireSnapshot()  — one atomic shared_ptr load
+///   * snapshot_epoch()   — one atomic read
 class ProvenanceStore {
  public:
   ProvenanceStore(ledger::Blockchain* chain, Clock* clock,
@@ -61,6 +98,71 @@ class ProvenanceStore {
   /// an on-chain record must never be invisible to queries — and the
   /// per-record failures come back aggregated as one Internal status.
   Status Flush();
+
+  /// \name Prepared (pipelined) ingest.
+  /// The two-phase write path behind prov::IngestPipeline: preparation is
+  /// the per-record heavy lifting and runs concurrently on shard threads;
+  /// committing is cheap sequencing and runs on one committer thread.
+  /// @{
+  /// Validate, (optionally) anonymize, serialize, and hash `record` into
+  /// a PreparedRecord carrying its anchoring transaction. Thread-safe
+  /// const: touches only immutable options and the clock — never graph or
+  /// index state, so duplicate detection waits until AnchorPrepared.
+  /// `nonce` must be unique per transaction (the pipeline issues them
+  /// from one atomic counter seeded past the store's own).
+  Result<PreparedRecord> PrepareRecord(ProvenanceRecord&& record,
+                                       uint64_t nonce,
+                                       const crypto::PrivateKey* signer =
+                                           nullptr) const;
+  /// Anchor a prepared batch as one block, reusing every cached digest
+  /// (no re-encode, no re-hash; see Blockchain::AppendPrepared) and the
+  /// batch's precomputed Merkle root when it is intact.
+  /// Committer/writer thread only. Records already anchored or duplicated
+  /// within the batch are dropped *before* the block forms and reported
+  /// via the returned status; the rest commit. Like Flush, once the block
+  /// is on the chain every surviving record is indexed even past
+  /// per-record indexing failures (aggregated Internal). `committed`
+  /// (optional) receives the number of records that fully landed —
+  /// on-chain AND indexed.
+  /// `*batch` is consumed on commit; if the *chain refuses the block*
+  /// (validation, durability-sink error) it is handed back intact (minus
+  /// dropped duplicates) so the caller can retry — the same
+  /// no-record-loss contract as AnchorBatch's un-buffering.
+  /// Does not touch the Anchor()/Flush() pending buffer — don't interleave
+  /// unflushed buffered records with prepared commits.
+  Status AnchorPrepared(PreparedBatch* batch, size_t* committed = nullptr);
+  /// Convenience overload without a precomputed root; the batch is
+  /// consumed even on chain refusal (no retry hand-back).
+  Status AnchorPrepared(std::vector<PreparedRecord> records,
+                        size_t* committed = nullptr) {
+    PreparedBatch batch;
+    batch.records = std::move(records);
+    return AnchorPrepared(&batch, committed);
+  }
+  /// @}
+
+  /// \name Snapshot-isolated reads (epoch publication).
+  /// The writer publishes immutable epochs; readers acquire them lock-free
+  /// and query away while writes continue. See prov/snapshot.h for the
+  /// full model.
+  /// @{
+  /// Serialize the current graph into a new immutable epoch and publish
+  /// it. Writer/committer thread only (it reads live graph state); the
+  /// publication itself is an atomic pointer swap, so readers never see a
+  /// half-built snapshot. Cost is O(graph) — amortize by publishing per
+  /// batch group, not per record (IngestPipelineOptions::
+  /// snapshot_every_batches).
+  Status PublishSnapshot();
+  /// Latest published epoch, or nullptr before the first publication.
+  /// Wait-free; safe from any thread. The returned snapshot stays valid
+  /// (and unchanged) for as long as the pointer is held.
+  std::shared_ptr<const GraphSnapshot> AcquireSnapshot() const;
+  /// Epoch number of the latest publication (0 = none yet). Safe from any
+  /// thread; readers use it to decide whether to re-acquire.
+  uint64_t snapshot_epoch() const {
+    return snapshot_epoch_.load(std::memory_order_acquire);
+  }
+  /// @}
 
   /// Point lookup by record id.
   Result<ProvenanceRecord> GetRecord(const std::string& record_id) const;
@@ -138,10 +240,14 @@ class ProvenanceStore {
   ledger::Blockchain* chain() { return chain_; }
   size_t anchored_count() const { return anchored_count_; }
   size_t pending_count() const { return pending_.size(); }
+  /// Highest transaction nonce issued or observed so far. The pipeline
+  /// seeds its own atomic nonce counter from this at construction.
+  uint64_t nonce() const { return nonce_; }
+
+  const ProvenanceStoreOptions& options() const { return options_; }
 
  private:
-  Status IndexRecord(const ProvenanceRecord& record,
-                     const crypto::Digest& txid);
+  Status IndexRecord(ProvenanceRecord&& record, const crypto::Digest& txid);
   /// Drop graph, index, counters, and pending buffers.
   void ResetState();
   /// Index every prov/record transaction of the main-chain block at `h`
@@ -156,8 +262,10 @@ class ProvenanceStore {
   /// Validate, dedup, encode once, and buffer `record` (already carrying
   /// its on-chain agent id) plus its transaction.
   Status Buffer(ProvenanceRecord&& record, const crypto::PrivateKey* signer);
-  ledger::Transaction MakeTx(Bytes payload,
-                             const crypto::PrivateKey* signer) const;
+  /// Build the anchoring transaction for `payload` with an explicit nonce
+  /// (thread-safe const — reads only options and the clock).
+  ledger::Transaction MakeTx(Bytes payload, const crypto::PrivateKey* signer,
+                             uint64_t nonce) const;
 
   ledger::Blockchain* chain_;
   Clock* clock_;
@@ -174,6 +282,12 @@ class ProvenanceStore {
   std::unordered_set<std::string> pending_ids_;
   size_t anchored_count_ = 0;
   uint64_t nonce_ = 0;
+  // Latest published epoch; accessed with std::atomic_load/atomic_store so
+  // AcquireSnapshot never locks. snapshot_epoch_ trails the pointer (it is
+  // published second), so epoch N observed implies snapshot epoch >= N is
+  // acquirable.
+  std::shared_ptr<const GraphSnapshot> snapshot_;
+  std::atomic<uint64_t> snapshot_epoch_{0};
 };
 
 }  // namespace prov

@@ -80,6 +80,12 @@ class KvStore {
 /// full copy on the first mutation while a snapshot is still alive. Scan
 /// paths that take many iterators between writes (AuditAll, ScanPrefix) no
 /// longer deep-copy the map per call.
+///
+/// Thread safety: NOT internally synchronized — one thread (or external
+/// locking) must own the store. An *iterator*, however, is safe to hand to
+/// another thread once taken: it pins an immutable COW map generation that
+/// later mutations never touch (the same property the provenance snapshot
+/// layer builds its reader isolation on).
 class MemKvStore : public KvStore {
  public:
   MemKvStore() : map_(std::make_shared<Map>()) {}
