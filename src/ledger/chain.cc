@@ -33,11 +33,13 @@ const Block& Blockchain::genesis() const {
 
 Status Blockchain::ValidateBlock(const Block& block, const Block& parent,
                                  bool check_merkle_root) const {
+  // No prev_hash check: the sole caller (ValidateAndPersist) fetched
+  // `parent` from blocks_ by Key(block.header.prev_hash), and every
+  // stored block is keyed by its own header hash — the link equality is
+  // structural, and re-deriving parent.header.Hash() here would cost a
+  // redundant SHA-256 per acceptance.
   if (block.header.height != parent.header.height + 1) {
     return Status::InvalidArgument("block height does not extend parent");
-  }
-  if (block.header.prev_hash != parent.header.Hash()) {
-    return Status::InvalidArgument("prev_hash does not match parent");
   }
   if (block.header.timestamp < parent.header.timestamp) {
     return Status::InvalidArgument("block timestamp precedes parent");
@@ -65,14 +67,15 @@ Result<crypto::Digest> Blockchain::Append(std::vector<Transaction> txs,
                                           Timestamp timestamp,
                                           const std::string& proposer,
                                           uint64_t nonce) {
-  const Block& parent = blocks_.at(Key(head_hash()));
-  Block block = Block::Make(parent.header.height + 1, parent.header.Hash(),
+  const crypto::Digest parent_hash = head_hash();
+  const Block& parent = blocks_.at(Key(parent_hash));
+  Block block = Block::Make(parent.header.height + 1, parent_hash,
                             std::move(txs), timestamp, proposer);
   block.header.nonce = nonce;
   crypto::Digest hash = block.header.Hash();
   // Self-produce fast path: Make just derived the root from these exact
   // transactions, so acceptance skips the redundant re-computation.
-  PROVLEDGER_RETURN_NOT_OK(AcceptBlock(std::move(block),
+  PROVLEDGER_RETURN_NOT_OK(AcceptBlock(std::move(block), hash,
                                        /*check_merkle_root=*/false,
                                        /*cached_ids=*/nullptr));
   return hash;
@@ -82,7 +85,8 @@ Result<crypto::Digest> Blockchain::AppendPrepared(
     std::vector<PreparedTx>* txs, Timestamp timestamp,
     const std::string& proposer, uint64_t nonce,
     const crypto::Digest* precomputed_root) {
-  const Block& parent = blocks_.at(Key(head_hash()));
+  const crypto::Digest parent_hash = head_hash();
+  const Block& parent = blocks_.at(Key(parent_hash));
   // Root straight from the cached leaf digests — the transactions' bytes
   // are never re-encoded or re-hashed on this path.
   std::vector<crypto::Digest> ids;
@@ -99,7 +103,7 @@ Result<crypto::Digest> Blockchain::AppendPrepared(
   }
   Block block;
   block.header.height = parent.header.height + 1;
-  block.header.prev_hash = parent.header.Hash();
+  block.header.prev_hash = parent_hash;
   block.header.merkle_root = root;
   block.header.timestamp = timestamp;
   block.header.nonce = nonce;
@@ -107,30 +111,48 @@ Result<crypto::Digest> Blockchain::AppendPrepared(
   block.transactions.reserve(txs->size());
   for (auto& ptx : *txs) block.transactions.push_back(std::move(ptx.tx));
   crypto::Digest hash = block.header.Hash();
-  // AcceptBlock only consumes `block` after every failure point
-  // (validation, sink), so on error the transactions are still here and
-  // move straight back into the caller's PreparedTx vector for retry.
+  // Two-stage acceptance keeps the hand-back contract structural: every
+  // failure point runs before `block` is consumed, so on error the
+  // transactions are still here and move straight back into the caller's
+  // PreparedTx vector for retry.
+  const std::string block_key = Key(hash);
   Status accepted =
-      AcceptBlock(std::move(block), /*check_merkle_root=*/false, &ids);
+      ValidateAndPersist(block, block_key, /*check_merkle_root=*/false);
   if (!accepted.ok()) {
     for (size_t i = 0; i < txs->size(); ++i) {
       (*txs)[i].tx = std::move(block.transactions[i]);
     }
     return accepted;
   }
+  InstallBlock(std::move(block), hash, block_key, &ids);
   txs->clear();
   return hash;
 }
 
 Status Blockchain::SubmitBlock(const Block& block) {
-  Block copy = block;
-  return AcceptBlock(std::move(copy), /*check_merkle_root=*/true,
-                     /*cached_ids=*/nullptr);
+  const crypto::Digest hash = block.header.Hash();
+  const std::string block_key = Key(hash);
+  // Validate against the caller's block; the deep copy (every transaction
+  // payload) is only paid once the block is actually going in.
+  PROVLEDGER_RETURN_NOT_OK(
+      ValidateAndPersist(block, block_key, /*check_merkle_root=*/true));
+  InstallBlock(Block(block), hash, block_key, /*cached_ids=*/nullptr);
+  return Status::OK();
 }
 
-Status Blockchain::AcceptBlock(Block&& block, bool check_merkle_root,
+Status Blockchain::AcceptBlock(Block&& block, const crypto::Digest& hash,
+                               bool check_merkle_root,
                                const std::vector<crypto::Digest>* cached_ids) {
-  const std::string block_key = Key(block.header.Hash());
+  const std::string block_key = Key(hash);
+  PROVLEDGER_RETURN_NOT_OK(
+      ValidateAndPersist(block, block_key, check_merkle_root));
+  InstallBlock(std::move(block), hash, block_key, cached_ids);
+  return Status::OK();
+}
+
+Status Blockchain::ValidateAndPersist(const Block& block,
+                                      const std::string& block_key,
+                                      bool check_merkle_root) {
   if (blocks_.count(block_key)) {
     return Status::AlreadyExists("block already known");
   }
@@ -144,7 +166,12 @@ Status Blockchain::AcceptBlock(Block&& block, bool check_merkle_root,
   // Write-ahead: the block must be durable before any in-memory state
   // changes, so a crash can never leave the memory view ahead of the log.
   if (block_sink_) PROVLEDGER_RETURN_NOT_OK(block_sink_(block));
+  return Status::OK();
+}
 
+void Blockchain::InstallBlock(Block&& block, const crypto::Digest& hash,
+                              const std::string& block_key,
+                              const std::vector<crypto::Digest>* cached_ids) {
   const bool extends_head = block.header.prev_hash == head_hash();
   const Block& stored =
       blocks_.emplace(block_key, std::move(block)).first->second;
@@ -152,7 +179,7 @@ Status Blockchain::AcceptBlock(Block&& block, bool check_merkle_root,
   // Fork choice: extending the head is the fast path; a strictly higher
   // side branch triggers a reorg (longest-chain rule).
   if (extends_head) {
-    main_chain_.push_back(stored.header.Hash());
+    main_chain_.push_back(hash);
     uint32_t idx = 0;
     for (const auto& tx : stored.transactions) {
       // Cached ids (the prepared-ingest path) spare the per-transaction
@@ -161,12 +188,12 @@ Status Blockchain::AcceptBlock(Block&& block, bool check_merkle_root,
           cached_ids != nullptr ? (*cached_ids)[idx] : tx.Id();
       tx_index_[Key(id)] = TxLocation{stored.header.height, idx++};
     }
-    return Status::OK();
+    return;
   }
   if (stored.header.height > height()) {
     // Rebuild the main chain by walking parents back to genesis.
     std::vector<crypto::Digest> new_chain;
-    crypto::Digest cursor = stored.header.Hash();
+    crypto::Digest cursor = hash;
     while (true) {
       new_chain.push_back(cursor);
       const Block& b = blocks_.at(Key(cursor));
@@ -177,7 +204,6 @@ Status Blockchain::AcceptBlock(Block&& block, bool check_merkle_root,
     main_chain_ = std::move(new_chain);
     ReindexMainChain();
   }
-  return Status::OK();
 }
 
 void Blockchain::ReindexMainChain() {

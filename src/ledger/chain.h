@@ -179,12 +179,29 @@ class Blockchain {
   Status ValidateBlock(const Block& block, const Block& parent,
                        bool check_merkle_root) const;
   /// Shared acceptance path behind Append, AppendPrepared, and
-  /// SubmitBlock: validate, persist (block sink), store (by move — the
-  /// block is consumed), fork-choice. `cached_ids` optionally carries the
-  /// per-transaction ids (same order as block.transactions) so the fast
-  /// path skips re-hashing them for the transaction index.
-  Status AcceptBlock(Block&& block, bool check_merkle_root,
+  /// SubmitBlock: ValidateAndPersist then InstallBlock. `hash` is
+  /// block.header.Hash(), computed once by the caller and reused by both
+  /// stages (the header is never re-hashed during acceptance).
+  /// `cached_ids` optionally carries the per-transaction ids (same order
+  /// as block.transactions) so the fast path skips re-hashing them for
+  /// the transaction index.
+  Status AcceptBlock(Block&& block, const crypto::Digest& hash,
+                     bool check_merkle_root,
                      const std::vector<crypto::Digest>* cached_ids);
+  /// Every fallible acceptance step — duplicate check, parent lookup,
+  /// validation, block-sink write — without consuming the block. Callers
+  /// that need the transactions back on failure (AppendPrepared's retry
+  /// hand-back) run this first; the block is only moved into the chain by
+  /// InstallBlock after this succeeds. `block_key` is Key(header hash),
+  /// computed once per acceptance and shared with InstallBlock.
+  Status ValidateAndPersist(const Block& block, const std::string& block_key,
+                            bool check_merkle_root);
+  /// Infallible final stage: store the block (by move) and run fork
+  /// choice. `hash`/`block_key` are the block's header hash and its map
+  /// key. Must only be called after ValidateAndPersist succeeded.
+  void InstallBlock(Block&& block, const crypto::Digest& hash,
+                    const std::string& block_key,
+                    const std::vector<crypto::Digest>* cached_ids);
   void ReindexMainChain();
   /// Cached Merkle tree over `block`'s transactions, built on first use.
   /// `block_key` is hex(block hash); blocks are immutable once stored, so

@@ -72,6 +72,7 @@ Status IngestPipeline::SubmitBatch(std::vector<ProvenanceRecord> records) {
   }
   // Partition first (one pass over the intern table), then take each
   // shard's lock once for its whole group.
+  const size_t total = records.size();
   std::vector<std::vector<ProvenanceRecord>> groups(shards_.size());
   {
     std::lock_guard<std::mutex> lock(partition_mu_);
@@ -80,6 +81,7 @@ Status IngestPipeline::SubmitBatch(std::vector<ProvenanceRecord> records) {
       groups[idx].push_back(std::move(record));
     }
   }
+  size_t accepted = 0;
   for (size_t idx = 0; idx < groups.size(); ++idx) {
     auto& group = groups[idx];
     if (group.empty()) continue;
@@ -93,7 +95,16 @@ Status IngestPipeline::SubmitBatch(std::vector<ProvenanceRecord> records) {
                stopping_.load(std::memory_order_acquire);
       });
       if (stopping_.load(std::memory_order_acquire)) {
-        return Status::FailedPrecondition("ingest pipeline is closed");
+        // Records already enqueued (this group's `pushed` plus every
+        // earlier group) were accepted and will still drain during Close;
+        // only the remainder is refused. Report the split so the caller
+        // can account for the partial acceptance.
+        return Status::FailedPrecondition(
+            "ingest pipeline is closed; accepted " +
+            std::to_string(accepted + pushed) + "/" +
+            std::to_string(total) +
+            " records before shutdown (they will still be drained; commit "
+            "subject to per-record validation/dedup)");
       }
       if (shard.queue.empty()) notify = true;
       while (pushed < group.size() &&
@@ -108,6 +119,7 @@ Status IngestPipeline::SubmitBatch(std::vector<ProvenanceRecord> records) {
         notify = false;
       }
     }
+    accepted += pushed;
   }
   return Status::OK();
 }

@@ -106,7 +106,17 @@ class IngestPipeline {
   /// Bulk Submit: partitions `records` across shards and takes each shard
   /// lock once per group instead of once per record — the cheap way to
   /// feed a high-rate producer. Same per-record semantics and ordering
-  /// guarantees as calling Submit in order. Safe from any thread.
+  /// guarantees as calling Submit in order, with one exception: if the
+  /// call races Close(), records enqueued before the pipeline began
+  /// stopping are accepted — they drain during Close, committing unless
+  /// per-record validation/dedup drops them (surfaced via failed() /
+  /// first_error(), as for any Submit) — while the
+  /// rest are refused and dropped. The FailedPrecondition message reports
+  /// the accepted/total split, but because records are regrouped by shard
+  /// before enqueueing, the accepted subset is NOT a prefix (or any
+  /// caller-determinable subset) of the input — to recover, resubmit the
+  /// whole batch to a new pipeline and rely on the store's per-record-id
+  /// dedup to refuse the already-committed ones. Safe from any thread.
   Status SubmitBatch(std::vector<ProvenanceRecord> records);
 
   /// Wait until everything submitted before this call is either committed

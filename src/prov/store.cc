@@ -170,8 +170,21 @@ Result<PreparedRecord> ProvenanceStore::PrepareRecord(
 Status ProvenanceStore::AnchorPrepared(PreparedBatch* batch,
                                        size_t* committed) {
   if (committed != nullptr) *committed = 0;
-  if (batch->records.empty()) return Status::OK();
+  if (batch->records.empty()) {
+    // Contract: the root never outlives the call (an empty batch has no
+    // leaves for it to describe, so a refill must not inherit it).
+    batch->merkle_root.reset();
+    return Status::OK();
+  }
   PROVLEDGER_RETURN_NOT_OK(EnsureIndexLoaded());
+
+  // The precomputed root matches only the batch exactly as prepared, so
+  // it is consumed here — never left behind on a batch whose records were
+  // taken (a reused PreparedBatch would otherwise anchor a later block
+  // under this stale root). It goes back only on the refusal hand-back,
+  // and only when the handed-back records still match it exactly.
+  std::optional<crypto::Digest> precomputed = std::move(batch->merkle_root);
+  batch->merkle_root.reset();
 
   // Duplicates (already anchored, pending, or repeated within the batch)
   // must drop *before* the block forms: an on-chain duplicate would be
@@ -205,21 +218,25 @@ Status ProvenanceStore::AnchorPrepared(PreparedBatch* batch,
       txs.push_back(ledger::PreparedTx{std::move(prepared.tx), prepared.txid,
                                        prepared.leaf});
     }
-    // The precomputed root matches only the batch exactly as prepared;
-    // any drop changes the leaf set and forces a rebuild from digests.
+    // Any drop changes the leaf set, so the precomputed root only applies
+    // to an intact batch; otherwise rebuild from the cached digests.
     const crypto::Digest* root =
-        dropped == 0 && batch->merkle_root ? &*batch->merkle_root : nullptr;
+        dropped == 0 && precomputed ? &*precomputed : nullptr;
     auto block_hash = chain_->AppendPrepared(&txs, clock_->NowMicros(),
                                             options_.proposer,
                                             /*nonce=*/0, root);
     // Chain refusal leaves no store state mutated, and the chain handed
     // the transactions back — reassemble the batch (minus dropped
     // duplicates) so the caller can retry it wholesale. Same
-    // no-record-loss contract as AnchorBatch's un-buffering.
+    // no-record-loss contract as AnchorBatch's un-buffering. The root
+    // goes back only when nothing was dropped: a batch missing its
+    // dropped records no longer matches it, and a retry anchoring under
+    // the stale root would corrupt the chain.
     if (!block_hash.ok()) {
       for (size_t i = 0; i < unique.size(); ++i) {
         unique[i].tx = std::move(txs[i].tx);
       }
+      if (dropped == 0) batch->merkle_root = std::move(precomputed);
       batch->records = std::move(unique);
       return block_hash.status();
     }
@@ -258,12 +275,16 @@ Status ProvenanceStore::AnchorPrepared(PreparedBatch* batch,
 }
 
 Status ProvenanceStore::PublishSnapshot() {
+  return PublishSnapshotAt(chain_->height());
+}
+
+Status ProvenanceStore::PublishSnapshotAt(uint64_t reflected_height) {
   Encoder body;
   graph_.SaveTo(&body);
   auto bytes = std::make_shared<const Bytes>(body.TakeBuffer());
   const uint64_t epoch = snapshot_epoch_.load(std::memory_order_relaxed) + 1;
   auto snapshot = std::make_shared<const GraphSnapshot>(
-      epoch, chain_->height(), graph_.record_count(), std::move(bytes));
+      epoch, reflected_height, graph_.record_count(), std::move(bytes));
   // Pointer first, counter second: a reader that observes epoch N can
   // always acquire a snapshot at least that fresh.
   std::atomic_store(&snapshot_, std::move(snapshot));
@@ -394,10 +415,33 @@ Status ProvenanceStore::ReplayBlock(uint64_t h) {
 
 Status ProvenanceStore::RebuildFromChain() {
   ResetState();
-  for (uint64_t h = 0; h <= chain_->height(); ++h) {
-    PROVLEDGER_RETURN_NOT_OK(ReplayBlock(h));
-  }
-  return Status::OK();
+  Status replayed = [&]() -> Status {
+    for (uint64_t h = 0; h <= chain_->height(); ++h) {
+      PROVLEDGER_RETURN_NOT_OK(ReplayBlock(h));
+    }
+    return Status::OK();
+  }();
+  // A mid-chain failure can leave a block partially indexed — no state a
+  // snapshot could truthfully describe (chain_height promises "nothing
+  // after it") and no state worth keeping: reset, as LoadSnapshot does.
+  if (!replayed.ok()) ResetState();
+  // Same contract as LoadSnapshot: the published epoch must describe what
+  // the store now holds (rebuilt on success, empty after a failure reset
+  // — genesis carries no records), never the pre-rebuild graph.
+  Status republished =
+      RepublishIfPublished(replayed.ok() ? chain_->height() : 0);
+  return replayed.ok() ? republished : replayed;
+}
+
+Status ProvenanceStore::RepublishIfPublished(uint64_t reflected_height) {
+  // A previously published epoch describes pre-restore state; left in
+  // place, readers would keep acquiring a graph whose records may no
+  // longer exist in the restored store (and whose chain_height may exceed
+  // the actual chain). Re-publish from current state — the epoch counter
+  // keeps climbing, preserving reader monotonicity — stamped with the
+  // height the restored state actually reflects, not the chain's head.
+  if (std::atomic_load(&snapshot_) == nullptr) return Status::OK();
+  return PublishSnapshotAt(reflected_height);
 }
 
 Status ProvenanceStore::SaveSnapshot(const std::string& path) const {
@@ -523,7 +567,13 @@ Status ProvenanceStore::LoadSnapshot(const std::string& path) {
     return Status::OK();
   }();
   if (!loaded.ok()) ResetState();
-  return loaded;
+  // Whether the restore landed or reset the store, the published epoch
+  // must describe what the store now holds, not what it held before: the
+  // full chain height on success, height 0 after a failure reset (genesis
+  // carries no provenance records, so an empty graph reflects it).
+  Status republished =
+      RepublishIfPublished(loaded.ok() ? chain_->height() : 0);
+  return loaded.ok() ? republished : loaded;
 }
 
 Status ProvenanceStore::Recover(const std::string& snapshot_path) {

@@ -64,6 +64,10 @@ struct PreparedRecord {
 /// digest-level tree build happens off the committer thread. The root is
 /// only usable when the batch commits exactly as prepared — dropping a
 /// duplicate falls back to rebuilding from the surviving leaves.
+/// AnchorPrepared consumes both fields: after it returns, the root is
+/// present only on a chain-refusal hand-back where the handed-back
+/// records still match it exactly, so a PreparedBatch can be reused
+/// (refilled) without a stale root leaking into a later block.
 struct PreparedBatch {
   std::vector<PreparedRecord> records;
   std::optional<crypto::Digest> merkle_root;
@@ -204,6 +208,10 @@ class ProvenanceStore {
                          const ledger::TxProof& proof) const;
 
   /// Drop all local state and rebuild indexes + graph from the chain.
+  /// A replay failure resets the store again (a partially rebuilt state
+  /// is not kept). If an epoch was ever published, a fresh one is
+  /// published from the resulting state — rebuilt on success, empty on
+  /// failure — so readers cannot keep acquiring pre-rebuild state.
   Status RebuildFromChain();
 
   /// \name Snapshot persistence (durable restart path).
@@ -221,7 +229,13 @@ class ProvenanceStore {
   /// Restore from a snapshot, then replay chain blocks past the snapshot
   /// height. FailedPrecondition when the snapshot was taken on a different
   /// chain (block hash mismatch) or past this chain's height — callers
-  /// should fall back to RebuildFromChain (see Recover).
+  /// should fall back to RebuildFromChain (see Recover). If an epoch was
+  /// ever published, a fresh one is published afterwards — from the
+  /// restored state on success, or from the reset (empty) state when a
+  /// failure struck after the restore began mutating state — so readers
+  /// never keep acquiring pre-restore state. Failures detected before any
+  /// mutation (bad magic/checksum, wrong chain, bad height) leave both
+  /// the store and the published epoch untouched.
   Status LoadSnapshot(const std::string& path);
   /// Restart entry point: LoadSnapshot if `snapshot_path` holds a usable
   /// snapshot for this chain, otherwise a full RebuildFromChain. Corrupt
@@ -259,6 +273,14 @@ class ProvenanceStore {
   Status EnsureIndexLoaded() const;
   /// AlreadyExists if `record_id` is anchored or buffered for anchoring.
   Status CheckNotAnchored(const std::string& record_id) const;
+  /// Serialize the current graph into a new epoch stamped as reflecting
+  /// the chain up to `reflected_height` (PublishSnapshot passes the chain
+  /// head; restore paths pass the height actually replayed).
+  Status PublishSnapshotAt(uint64_t reflected_height);
+  /// If an epoch was ever published, publish a fresh one from current
+  /// state — restore paths call this so readers never keep acquiring a
+  /// snapshot of pre-restore state.
+  Status RepublishIfPublished(uint64_t reflected_height);
   /// Validate, dedup, encode once, and buffer `record` (already carrying
   /// its on-chain agent id) plus its transaction.
   Status Buffer(ProvenanceRecord&& record, const crypto::PrivateKey* signer);

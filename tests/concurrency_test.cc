@@ -458,6 +458,69 @@ TEST(AppendPreparedTest, RejectedBlockHandsTransactionsBack) {
   EXPECT_TRUE(chain.VerifyTxProof(tx0.Encode(), proof.value()));
 }
 
+TEST_F(ConcurrencyTest, RefusedBatchWithDroppedDupInvalidatesStaleRoot) {
+  // Regression: a prepared batch carrying (a) a duplicate of an
+  // already-anchored record and (b) a precomputed Merkle root, refused by
+  // a transient sink failure, must not retry with the stale root. The
+  // duplicate was dropped from the handed-back batch, so the old root
+  // (built over the original leaf set) no longer matches the surviving
+  // leaves — anchoring it would silently corrupt the chain.
+  ASSERT_TRUE(store_.Anchor(Rec(0, 2, 2)).ok());
+
+  PreparedBatch batch;
+  std::vector<crypto::Digest> leaves;
+  for (size_t i = 0; i < 4; ++i) {  // rec-0 duplicates the anchored record
+    auto prepared = store_.PrepareRecord(Rec(i, 2, 2),
+                                         store_.nonce() + 1 + i,
+                                         /*signer=*/nullptr);
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    leaves.push_back(prepared.value().leaf);
+    batch.records.push_back(std::move(prepared).value());
+  }
+  batch.merkle_root = crypto::MerkleTree::BuildFromDigests(leaves).root();
+
+  std::atomic<int> sink_calls{0};
+  chain_.SetBlockSink([&](const ledger::Block&) -> Status {
+    if (sink_calls.fetch_add(1) == 0) return Status::Internal("blip");
+    return Status::OK();
+  });
+
+  size_t committed = 0;
+  Status first = store_.AnchorPrepared(&batch, &committed);
+  ASSERT_FALSE(first.ok());  // chain refused; batch handed back minus dup
+  ASSERT_EQ(batch.records.size(), 3u);
+  EXPECT_FALSE(batch.merkle_root.has_value());  // stale root invalidated
+
+  Status retried = store_.AnchorPrepared(&batch, &committed);
+  ASSERT_TRUE(retried.ok()) << retried.ToString();
+  EXPECT_EQ(committed, 3u);
+  // The retried block's header root matches its 3 transactions, so the
+  // full-chain integrity scan and per-record proofs both hold.
+  ASSERT_TRUE(chain_.VerifyIntegrity().ok());
+  auto audited = store_.AuditAll();
+  ASSERT_TRUE(audited.ok()) << audited.status().ToString();
+  EXPECT_EQ(audited.value(), 4u);
+}
+
+TEST_F(ConcurrencyTest, RestoreRepublishesEpochFromRestoredState) {
+  // Regression: a restore (RebuildFromChain / LoadSnapshot) resets the
+  // store's in-memory state but used to leave the previously published
+  // epoch in place — readers kept acquiring a snapshot describing
+  // pre-restore state. Any restore must republish from what the store now
+  // holds, with the epoch counter still climbing (reader monotonicity).
+  ASSERT_TRUE(store_.Anchor(Rec(0, 2, 2)).ok());
+  ASSERT_TRUE(store_.PublishSnapshot().ok());
+  const uint64_t epoch_before = store_.snapshot_epoch();
+  ASSERT_TRUE(store_.Anchor(Rec(1, 2, 2)).ok());
+
+  ASSERT_TRUE(store_.RebuildFromChain().ok());
+  EXPECT_GT(store_.snapshot_epoch(), epoch_before);
+  auto after = store_.AcquireSnapshot();
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->record_count(), 2u);  // the restored state, not epoch 1
+  EXPECT_EQ(after->chain_height(), chain_.height());
+}
+
 TEST_F(ConcurrencyTest, PipelineRetriesChainRefusalOnce) {
   // First commit attempt fails at the durability sink; the committer's
   // single retry lands the batch — no records lost.
