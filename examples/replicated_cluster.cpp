@@ -1,0 +1,148 @@
+// Replicated cluster walkthrough: a 4-node provenance ledger in one
+// process.
+//
+//   1. build a 4-node cluster ordered by Raft,
+//   2. commit provenance batches — the elected proposer builds the block,
+//      every follower re-validates and indexes it,
+//   3. query any node: they all serve the same ledger locally,
+//   4. partition a node away, commit more, heal, and watch anti-entropy
+//      catch it up,
+//   5. crash a node and restart it from its durable state (chain log +
+//      snapshot), then let it sync the tail from peers.
+//
+// Build & run:  ./build/examples/replicated_cluster
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "replication/cluster.h"
+
+using provledger::Status;
+using provledger::crypto::DigestHex;
+using provledger::network::NodeId;
+using provledger::prov::ProvenanceRecord;
+using provledger::replication::Cluster;
+using provledger::replication::ClusterOptions;
+
+namespace {
+
+void RemoveTree(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    const std::string path = dir + "/" + name;
+    struct stat st;
+    if (::lstat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      RemoveTree(path);
+    } else {
+      ::unlink(path.c_str());
+    }
+  }
+  ::closedir(d);
+  ::rmdir(dir.c_str());
+}
+
+ProvenanceRecord MakeRecord(const std::string& id, const std::string& subject,
+                            const std::string& agent,
+                            provledger::Timestamp ts) {
+  ProvenanceRecord rec;
+  rec.record_id = id;
+  rec.operation = "execute";
+  rec.subject = subject;
+  rec.agent = agent;
+  rec.timestamp = ts;
+  return rec;
+}
+
+void PrintHeads(Cluster* cluster, const char* label) {
+  std::printf("%s\n", label);
+  for (NodeId i = 0; i < cluster->size(); ++i) {
+    auto* node = cluster->node(i);
+    std::printf("  %s: height %llu head %s%s\n", node->name().c_str(),
+                static_cast<unsigned long long>(node->height()),
+                DigestHex(node->head_hash()).substr(0, 12).c_str(),
+                node->alive() ? "" : "  (crashed)");
+  }
+}
+
+bool Commit(Cluster* cluster, const std::string& tag, int count, int from_ts) {
+  for (int i = 0; i < count; ++i) {
+    Status s = cluster->Submit(MakeRecord(tag + "-" + std::to_string(i),
+                                          "dataset-" + std::to_string(i % 3),
+                                          "analyst-" + std::to_string(i % 2),
+                                          from_ts + i));
+    if (!s.ok()) return false;
+  }
+  return cluster->CommitPending().ok();
+}
+
+int RunDemo(const std::string& dir) {
+  ClusterOptions options;
+  options.num_nodes = 4;
+  options.seed = 2024;
+  options.consensus = "raft";
+  options.data_dir = dir;
+  auto created = Cluster::Create(options);
+  if (!created.ok()) {
+    std::fprintf(stderr, "Create: %s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  Cluster* cluster = created->get();
+
+  // 1+2. Two committed batches: consensus orders, the proposer anchors,
+  // everyone replicates.
+  if (!Commit(cluster, "batch1", 6, 100) || !Commit(cluster, "batch2", 6, 200))
+    return 1;
+  PrintHeads(cluster, "after two batches (all heads identical):");
+
+  // 3. Any node answers queries from its local store.
+  auto* follower = cluster->node(3);
+  std::printf("\nnode-3 history of dataset-1: %zu records, audit %zu ok\n",
+              follower->store()->SubjectHistory("dataset-1").size(),
+              follower->store()->AuditAll().value_or(0));
+
+  // 4. Partition node 3 away; the majority keeps committing.
+  cluster->Partition({{0, 1, 2}, {3}});
+  if (!Commit(cluster, "during-split", 6, 300)) return 1;
+  PrintHeads(cluster, "\npartitioned (node-3 lags):");
+  cluster->Heal();
+  cluster->AntiEntropy();
+  PrintHeads(cluster, "\nhealed + anti-entropy (node-3 pulled the gap):");
+  std::printf("  node-3 catch-up: %llu pull rounds, %llu blocks fetched\n",
+              static_cast<unsigned long long>(follower->metrics().pulls_sent),
+              static_cast<unsigned long long>(
+                  follower->metrics().blocks_applied));
+
+  // 5. Crash node 2, commit while it is down, restart from disk + sync.
+  if (!cluster->SaveSnapshot(2).ok()) return 1;
+  cluster->Crash(2);
+  if (!Commit(cluster, "while-down", 6, 400)) return 1;
+  if (!cluster->Restart(2).ok()) return 1;
+  PrintHeads(cluster, "\nnode-2 restarted from chain log + snapshot:");
+  std::printf("  node-2 audit after rejoin: %zu records verified\n",
+              cluster->node(2)->store()->AuditAll().value_or(0));
+
+  std::printf("\ncluster converged: %s\n",
+              cluster->Converged() ? "yes" : "no");
+  return cluster->Converged() ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== ProvLedger replicated cluster ===\n\n");
+
+  // Durable nodes so the crash/restart leg has disk state to revive.
+  std::string dir = "/tmp/provledger_cluster_XXXXXX";
+  if (::mkdtemp(dir.data()) == nullptr) return 1;
+  int rc = RunDemo(dir);
+  RemoveTree(dir);
+  return rc;
+}

@@ -20,6 +20,8 @@ cmake --build "$BUILD" -j
 (cd "$BUILD" && ctest --output-on-failure -j)
 # Crash/restart coverage gets its own visible pass (same binaries).
 (cd "$BUILD" && ctest --output-on-failure -L recovery)
+# Multi-node cluster convergence gets the same treatment.
+(cd "$BUILD" && ctest --output-on-failure -L replication)
 
 # ThreadSanitizer gate: the `concurrency` label (sharded ingest, snapshot
 # readers, parallel queries) rebuilt under -fsanitize=thread. Any data

@@ -5,6 +5,8 @@
 #   BENCH_recovery.json   — snapshot restore vs cold RebuildFromChain
 #   BENCH_concurrent.json — sharded pipeline ingest vs single-threaded
 #                           AnchorBatch; query latency under write load
+#   BENCH_replication.json — 4-node cluster ingest per consensus engine,
+#                           replication overhead/record, catch-up vs lag
 #
 # Usage: scripts/run_benches.sh [record_count]   (default 100000)
 set -euo pipefail
@@ -13,7 +15,8 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD="$ROOT/build-release"
 RECORDS="${1:-100000}"
 
-BENCHES=(bench_graph_scale bench_query_api bench_recovery bench_concurrent)
+BENCHES=(bench_graph_scale bench_query_api bench_recovery bench_concurrent
+         bench_replication)
 
 cmake -B "$BUILD" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=Release \
@@ -42,3 +45,4 @@ run_bench bench_graph_scale "$ROOT/BENCH_graph.json" "$RECORDS"
 run_bench bench_query_api "$ROOT/BENCH_query.json" "$RECORDS"
 run_bench bench_recovery "$ROOT/BENCH_recovery.json" "$RECORDS"
 run_bench bench_concurrent "$ROOT/BENCH_concurrent.json" "$RECORDS"
+run_bench bench_replication "$ROOT/BENCH_replication.json" "$RECORDS"

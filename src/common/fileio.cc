@@ -14,6 +14,13 @@ Status ErrnoStatus(const std::string& what, const std::string& path) {
   return Status::Unavailable(what + " " + path + ": " + std::strerror(errno));
 }
 
+Status EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return ErrnoStatus("mkdir", path);
+}
+
 Status WriteAllFd(int fd, const uint8_t* data, size_t len,
                   const std::string& path) {
   while (len > 0) {

@@ -25,6 +25,9 @@ Result<Bytes> ReadFileToBytes(const std::string& path);
 /// \brief True if a regular file exists at `path`.
 bool FileExists(const std::string& path);
 
+/// \brief Create directory `path` (one level) if it does not already exist.
+Status EnsureDir(const std::string& path);
+
 /// \brief Write all `len` bytes to `fd`, retrying partial writes and EINTR.
 Status WriteAllFd(int fd, const uint8_t* data, size_t len,
                   const std::string& path);

@@ -217,6 +217,23 @@ void Blockchain::ReindexMainChain() {
   }
 }
 
+Result<crypto::Digest> Blockchain::BlockHashAt(uint64_t h) const {
+  if (h >= main_chain_.size()) {
+    return Status::NotFound("no block at height " + std::to_string(h));
+  }
+  return main_chain_[h];
+}
+
+std::vector<const Block*> Blockchain::PeekRange(uint64_t from,
+                                                size_t max_blocks) const {
+  std::vector<const Block*> out;
+  for (uint64_t h = from; h < main_chain_.size() && out.size() < max_blocks;
+       ++h) {
+    out.push_back(&blocks_.at(Key(main_chain_[h])));
+  }
+  return out;
+}
+
 Result<Block> Blockchain::GetBlock(uint64_t h) const {
   if (h >= main_chain_.size()) {
     return Status::NotFound("no block at height " + std::to_string(h));

@@ -123,6 +123,17 @@ class Blockchain {
     block_sink_ = std::move(sink);
   }
 
+  /// Hash of the main-chain block at `height`, read straight from the
+  /// height index — never re-derived by hashing the header. NotFound past
+  /// the head. The replication sync protocol's height/head-hash exchange
+  /// and the snapshot chain-binding both use this.
+  Result<crypto::Digest> BlockHashAt(uint64_t height) const;
+  /// Borrowed views of the main-chain blocks [from, from + max_blocks),
+  /// clipped to the head (empty when `from` is past it). The cheap ranged
+  /// read behind catch-up block serving; views are valid until the next
+  /// chain mutation, like PeekBlock.
+  std::vector<const Block*> PeekRange(uint64_t from, size_t max_blocks) const;
+
   /// Main-chain block by height.
   Result<Block> GetBlock(uint64_t height) const;
   /// Borrowed view of a main-chain block, or nullptr if out of range.

@@ -15,11 +15,18 @@ NodeId SimNetwork::AddNode(Handler handler) {
   return static_cast<NodeId>(handlers_.size() - 1);
 }
 
+namespace {
+// Group index of nodes not named by any PartitionGroups() set.
+constexpr size_t kRemainderGroup = static_cast<size_t>(-1);
+}  // namespace
+
 bool SimNetwork::Partitioned(NodeId a, NodeId b) const {
   if (!partitioned_) return false;
-  bool a_in = partition_group_.count(a) > 0;
-  bool b_in = partition_group_.count(b) > 0;
-  return a_in != b_in;
+  auto group_of = [this](NodeId n) {
+    auto it = partition_group_of_.find(n);
+    return it == partition_group_of_.end() ? kRemainderGroup : it->second;
+  };
+  return group_of(a) != group_of(b);
 }
 
 void SimNetwork::Send(NodeId from, NodeId to, const std::string& type,
@@ -53,13 +60,20 @@ void SimNetwork::Broadcast(NodeId from, const std::string& type,
 }
 
 void SimNetwork::Partition(const std::set<NodeId>& group_a) {
+  PartitionGroups({group_a});
+}
+
+void SimNetwork::PartitionGroups(const std::vector<std::set<NodeId>>& groups) {
   partitioned_ = true;
-  partition_group_ = group_a;
+  partition_group_of_.clear();
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (NodeId n : groups[g]) partition_group_of_.emplace(n, g);
+  }
 }
 
 void SimNetwork::Heal() {
   partitioned_ = false;
-  partition_group_.clear();
+  partition_group_of_.clear();
 }
 
 size_t SimNetwork::RunUntilIdle() {

@@ -76,9 +76,18 @@ class SimNetwork {
   void Broadcast(NodeId from, const std::string& type, const Bytes& payload);
 
   /// Split the network: messages between `group_a` and everyone else are
-  /// dropped until Heal() is called.
+  /// dropped until Heal() is called. Equivalent to PartitionGroups with the
+  /// single group `group_a` (everyone else forms the remainder group).
   void Partition(const std::set<NodeId>& group_a);
+  /// General split: each set is one partition group; nodes listed in no
+  /// group form one implicit remainder group. Messages are delivered only
+  /// between nodes of the same group until Heal(). A node listed in more
+  /// than one group belongs to the first group that names it. Replaces any
+  /// partition currently in effect.
+  void PartitionGroups(const std::vector<std::set<NodeId>>& groups);
   void Heal();
+  /// True while a Partition()/PartitionGroups() split is in effect.
+  bool partitioned() const { return partitioned_; }
 
   /// Deliver events until the queue is empty; returns events delivered.
   size_t RunUntilIdle();
@@ -109,7 +118,9 @@ class SimNetwork {
   uint64_t next_seq_ = 0;
   NetworkMetrics metrics_;
   bool partitioned_ = false;
-  std::set<NodeId> partition_group_;
+  // Node -> partition group index; unlisted nodes share the implicit
+  // remainder group (kRemainderGroup).
+  std::unordered_map<NodeId, size_t> partition_group_of_;
 };
 
 }  // namespace network

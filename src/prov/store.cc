@@ -413,6 +413,10 @@ Status ProvenanceStore::ReplayBlock(uint64_t h) {
   return Status::OK();
 }
 
+Status ProvenanceStore::ApplyChainBlock(uint64_t height) {
+  return ReplayBlock(height);
+}
+
 Status ProvenanceStore::RebuildFromChain() {
   ResetState();
   Status replayed = [&]() -> Status {
@@ -449,13 +453,14 @@ Status ProvenanceStore::SaveSnapshot(const std::string& path) const {
   body.PutString(options_.channel);
   const uint64_t height = chain_->height();
   body.PutU64(height);
-  const ledger::Block* head = chain_->PeekBlock(height);
-  if (head == nullptr) {
+  // Bind the snapshot to the exact chain position (height + block hash) so
+  // a restart against a different or reorged chain refuses to load it. The
+  // hash comes from the chain's height index, not a header re-hash.
+  auto head_hash = chain_->BlockHashAt(height);
+  if (!head_hash.ok()) {
     return Status::Internal("chain has no block at its own height");
   }
-  // Bind the snapshot to the exact chain position (height + block hash) so
-  // a restart against a different or reorged chain refuses to load it.
-  body.PutRaw(crypto::DigestToBytes(head->header.Hash()));
+  body.PutRaw(crypto::DigestToBytes(head_hash.value()));
   body.PutU64(nonce_);
   body.PutU64(anchored_count_);
   graph_.SaveTo(&body);
@@ -532,8 +537,8 @@ Status ProvenanceStore::LoadSnapshot(const std::string& path) {
         "snapshot height " + std::to_string(snapshot_height) +
         " is past chain height " + std::to_string(chain_->height()));
   }
-  const ledger::Block* at = chain_->PeekBlock(snapshot_height);
-  if (at == nullptr || at->header.Hash() != snapshot_hash) {
+  auto at = chain_->BlockHashAt(snapshot_height);
+  if (!at.ok() || at.value() != snapshot_hash) {
     return Status::FailedPrecondition(
         "snapshot does not match this chain at height " +
         std::to_string(snapshot_height));

@@ -207,6 +207,14 @@ class ProvenanceStore {
   bool VerifyRecordProof(const ProvenanceRecord& record,
                          const ledger::TxProof& proof) const;
 
+  /// Index the prov/record transactions of the main-chain block at
+  /// `height` — the follower apply path of the replication layer, where a
+  /// block enters via Blockchain::SubmitBlock (full re-validation) rather
+  /// than Anchor()/Flush(), so the store has not yet seen its records.
+  /// Call once per height, in order, for blocks the store has not indexed;
+  /// a block whose records are already indexed fails as duplicates.
+  Status ApplyChainBlock(uint64_t height);
+
   /// Drop all local state and rebuild indexes + graph from the chain.
   /// A replay failure resets the store again (a partially rebuilt state
   /// is not kept). If an epoch was ever published, a fresh one is

@@ -1,0 +1,286 @@
+#include "replication/replicated_node.h"
+
+namespace provledger {
+namespace replication {
+
+namespace {
+
+// Protocol message tags.
+constexpr char kMsgBlock[] = "repl/block";
+constexpr char kMsgStatus[] = "repl/status";
+constexpr char kMsgPull[] = "repl/pull";
+constexpr char kMsgBlocks[] = "repl/blocks";
+
+}  // namespace
+
+ReplicatedNode::ReplicatedNode(Clock* clock, ReplicatedNodeOptions options)
+    : clock_(clock), options_(std::move(options)), chain_(options_.chain) {
+  prov::ProvenanceStoreOptions store_options = options_.store;
+  store_options.proposer = options_.name;
+  store_ = std::make_unique<prov::ProvenanceStore>(&chain_, clock_,
+                                                   std::move(store_options));
+}
+
+Result<std::unique_ptr<ReplicatedNode>> ReplicatedNode::Create(
+    Clock* clock, ReplicatedNodeOptions options) {
+  auto node = std::unique_ptr<ReplicatedNode>(
+      new ReplicatedNode(clock, std::move(options)));
+  if (!node->options_.data_dir.empty()) {
+    // Restart path: the chain reloads from its write-ahead block log (every
+    // block re-validated through SubmitBlock), then stays attached so every
+    // block accepted from now on — proposed or replicated — persists before
+    // chain state mutates. The store recovers from its snapshot plus the
+    // chain tail, falling back to a full rebuild when the snapshot is
+    // missing or stale.
+    PROVLEDGER_ASSIGN_OR_RETURN(
+        node->log_,
+        ledger::ChainLog::Open(node->options_.data_dir + "/chain.log"));
+    PROVLEDGER_RETURN_NOT_OK(node->log_->AttachTo(&node->chain_));
+    PROVLEDGER_RETURN_NOT_OK(node->store_->Recover(node->snapshot_path()));
+  }
+  node->applied_height_ = node->chain_.height();
+  node->applied_hash_ = node->chain_.head_hash();
+  return node;
+}
+
+void ReplicatedNode::BindNetwork(network::SimNetwork* net,
+                                 network::NodeId id) {
+  net_ = net;
+  id_ = id;
+}
+
+std::string ReplicatedNode::snapshot_path() const {
+  return options_.data_dir.empty() ? std::string()
+                                   : options_.data_dir + "/store.snap";
+}
+
+Status ReplicatedNode::SaveSnapshot() const {
+  if (options_.data_dir.empty()) {
+    return Status::FailedPrecondition("volatile node has no snapshot path");
+  }
+  return store_->SaveSnapshot(snapshot_path());
+}
+
+Status ReplicatedNode::ProposeBatch(
+    const std::vector<prov::ProvenanceRecord>& records) {
+  if (records.empty()) return Status::OK();
+  PROVLEDGER_RETURN_NOT_OK(store_->AnchorBatch(records));
+  // AnchorBatch committed exactly one block on the head and indexed every
+  // record, so the store tracker moves with it — no replay needed.
+  applied_height_ = chain_.height();
+  applied_hash_ = chain_.head_hash();
+  ++metrics_.blocks_proposed;
+  const ledger::Block* head = chain_.PeekBlock(chain_.height());
+  if (net_ != nullptr && head != nullptr) {
+    net_->Broadcast(id_, kMsgBlock, head->Encode());
+  }
+  return Status::OK();
+}
+
+void ReplicatedNode::RequestSync() {
+  if (net_ == nullptr) return;
+  // A fresh anti-entropy round supersedes any stalled catch-up
+  // conversation (e.g. a pull whose target crashed before answering).
+  sync_in_flight_ = false;
+  net_->Broadcast(id_, kMsgStatus, StatusPayload(/*probe=*/true));
+}
+
+void ReplicatedNode::OnMessage(const network::Message& message) {
+  if (!alive_) return;  // a crashed node is silent until restarted
+  if (message.type == kMsgBlock) {
+    auto block = ledger::Block::Decode(message.payload);
+    if (!block.ok()) {
+      ++metrics_.blocks_rejected;
+      return;
+    }
+    ApplyPeerBlock(block.value(), message.from);
+  } else if (message.type == kMsgStatus) {
+    HandleStatus(message);
+  } else if (message.type == kMsgPull) {
+    HandlePull(message);
+  } else if (message.type == kMsgBlocks) {
+    HandleBlocks(message);
+  }
+}
+
+void ReplicatedNode::ApplyPeerBlock(const ledger::Block& block,
+                                    network::NodeId from) {
+  Status st = chain_.SubmitBlock(block);
+  if (st.ok()) {
+    ++metrics_.blocks_applied;
+    (void)SyncStoreWithChain();
+    return;
+  }
+  if (st.IsAlreadyExists()) return;
+  if (st.IsNotFound()) {
+    // Parent unknown: we are lagging behind the proposer (or the block is
+    // from a foreign chain — the pull resolves either way, since foreign
+    // blocks never attach to our genesis). A sync conversation that made
+    // no progress since its pull went out is treated as stalled (its
+    // repl/blocks reply was dropped) and re-armed — new commits keep
+    // arriving as broadcasts, so a lossy network retries at every commit.
+    // Progress is measured in total blocks known, not main-chain height:
+    // a fork fill-in attaches side-branch blocks for several rounds
+    // before the height moves, and must not read as stalled.
+    const bool stalled =
+        sync_in_flight_ && chain_.total_blocks() == blocks_at_pull_;
+    if (net_ != nullptr && (!sync_in_flight_ || stalled)) {
+      SendPull(from, chain_.height() + 1);
+    }
+    return;
+  }
+  // Validation failure (bad Merkle root, broken link, bad signature, ...):
+  // the divergent-fork rejection path. The block is dropped; our chain and
+  // store are untouched.
+  ++metrics_.blocks_rejected;
+}
+
+Status ReplicatedNode::SyncStoreWithChain() {
+  // Reorg detector: if the hash at the last applied height changed, the
+  // indexed prefix left the main chain and incremental replay would index
+  // orphaned records.
+  auto anchor = chain_.BlockHashAt(applied_height_);
+  bool rebuild = !anchor.ok() || anchor.value() != applied_hash_;
+  Status st;
+  if (rebuild) {
+    ++metrics_.reorgs;
+  } else {
+    for (uint64_t h = applied_height_ + 1; h <= chain_.height(); ++h) {
+      st = store_->ApplyChainBlock(h);
+      if (!st.ok()) {
+        // A partially indexed block is no state to keep; the rebuild
+        // below resets to a consistent view of the whole main chain.
+        rebuild = true;
+        break;
+      }
+    }
+  }
+  if (rebuild) {
+    ++metrics_.store_rebuilds;
+    st = store_->RebuildFromChain();
+  }
+  if (!st.ok()) {
+    // RebuildFromChain reset the store to empty; make the tracker agree so
+    // a later sync replays from genesis instead of assuming the prefix.
+    applied_height_ = 0;
+    applied_hash_ = chain_.BlockHashAt(0).value();
+    return st;
+  }
+  applied_height_ = chain_.height();
+  applied_hash_ = chain_.head_hash();
+  return Status::OK();
+}
+
+Bytes ReplicatedNode::StatusPayload(bool probe) const {
+  Encoder enc;
+  enc.PutU8(probe ? 1 : 0);  // probe asks the receiver to reply in kind
+  enc.PutU64(chain_.height());
+  enc.PutRaw(crypto::DigestToBytes(chain_.head_hash()));
+  return enc.TakeBuffer();
+}
+
+void ReplicatedNode::SendStatus(network::NodeId to, bool probe) {
+  net_->Send(id_, to, kMsgStatus, StatusPayload(probe));
+}
+
+void ReplicatedNode::SendPull(network::NodeId to, uint64_t from_height) {
+  sync_in_flight_ = true;
+  last_pull_from_ = from_height;
+  blocks_at_pull_ = chain_.total_blocks();
+  ++metrics_.pulls_sent;
+  Encoder enc;
+  enc.PutU64(from_height);
+  net_->Send(id_, to, kMsgPull, enc.TakeBuffer());
+}
+
+void ReplicatedNode::HandleStatus(const network::Message& message) {
+  Decoder dec(message.payload);
+  uint8_t probe = 0;
+  uint64_t peer_height = 0;
+  Bytes peer_head;
+  if (!dec.GetU8(&probe).ok() || !dec.GetU64(&peer_height).ok() ||
+      !dec.GetRaw(crypto::kSha256DigestSize, &peer_head).ok()) {
+    return;
+  }
+  if (probe != 0 && net_ != nullptr) SendStatus(message.from, /*probe=*/false);
+  // Height decides who pulls. Equal heights with different heads (a
+  // symmetric fork) stay put until one side grows — longest-chain fork
+  // choice needs a strictly longer branch to reorg anyway.
+  if (peer_height > chain_.height() && net_ != nullptr && !sync_in_flight_) {
+    SendPull(message.from, chain_.height() + 1);
+  }
+}
+
+void ReplicatedNode::HandlePull(const network::Message& message) {
+  if (net_ == nullptr) return;
+  Decoder dec(message.payload);
+  uint64_t from_height = 0;
+  if (!dec.GetU64(&from_height).ok()) return;
+  auto blocks = chain_.PeekRange(from_height, options_.catch_up_batch_blocks);
+  Encoder enc;
+  enc.PutU64(chain_.height());
+  enc.PutU32(static_cast<uint32_t>(blocks.size()));
+  for (const ledger::Block* block : blocks) enc.PutBytes(block->Encode());
+  metrics_.blocks_served += blocks.size();
+  net_->Send(id_, message.from, kMsgBlocks, enc.TakeBuffer());
+}
+
+void ReplicatedNode::HandleBlocks(const network::Message& message) {
+  Decoder dec(message.payload);
+  uint64_t sender_height = 0;
+  uint32_t count = 0;
+  if (!dec.GetU64(&sender_height).ok() || !dec.GetU32(&count).ok()) return;
+  size_t attached = 0;
+  uint64_t attached_tip = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    Bytes encoded;
+    if (!dec.GetBytes(&encoded).ok()) break;
+    auto block = ledger::Block::Decode(encoded);
+    if (!block.ok()) {
+      ++metrics_.blocks_rejected;
+      continue;
+    }
+    Status st = chain_.SubmitBlock(block.value());
+    if (st.ok()) {
+      ++metrics_.blocks_applied;
+      ++attached;
+      if (block->header.height > attached_tip) {
+        attached_tip = block->header.height;
+      }
+    } else if (!st.IsAlreadyExists() && !st.IsNotFound()) {
+      ++metrics_.blocks_rejected;
+    }
+    // Only genuinely new blocks count as attach progress: a window of
+    // AlreadyExists (the shared prefix below a fork) must keep the
+    // back-step walking toward the fork point, and NotFound is a gap
+    // below the pulled window that the back-step will cover.
+  }
+  (void)SyncStoreWithChain();
+  if (chain_.height() >= sender_height || net_ == nullptr) {
+    sync_in_flight_ = false;
+    return;
+  }
+  uint64_t next_from;
+  if (attached == 0) {
+    // Nothing in the window attached: the fork point (or our true chain
+    // tip as the sender sees it) is below last_pull_from_. Walk the window
+    // back one stride; from height 1 with still nothing attaching, the
+    // sender's chain shares no genesis with ours — stop.
+    const uint64_t stride = options_.catch_up_batch_blocks;
+    next_from = last_pull_from_ > stride ? last_pull_from_ - stride : 1;
+    if (next_from == last_pull_from_) {
+      sync_in_flight_ = false;
+      return;
+    }
+  } else {
+    // Continue past the highest block that attached — which may sit on a
+    // side branch below our main-chain head (a fork being filled in);
+    // jumping to height()+1 there would skip the sender-branch gap
+    // between the side tip and our head and force a redundant back-step.
+    next_from = attached_tip + 1;
+  }
+  SendPull(message.from, next_from);
+}
+
+}  // namespace replication
+}  // namespace provledger

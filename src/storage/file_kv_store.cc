@@ -126,9 +126,7 @@ Status FileKvStore::OpenSegment(const std::string& name, bool create) {
 
 Result<std::unique_ptr<FileKvStore>> FileKvStore::Open(
     const std::string& dir, FileKvStoreOptions options) {
-  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
-    return Errno("mkdir", dir);
-  }
+  PROVLEDGER_RETURN_NOT_OK(EnsureDir(dir));
   auto store =
       std::unique_ptr<FileKvStore>(new FileKvStore(dir, options));
   PROVLEDGER_ASSIGN_OR_RETURN(std::vector<std::string> names,

@@ -94,6 +94,34 @@ TEST(SimNetworkTest, PartitionBlocksCrossTraffic) {
   EXPECT_EQ(received_0, 2);
 }
 
+TEST(SimNetworkTest, PartitionGroupsIsolateEachGroup) {
+  SimClock clock(0);
+  SimNetwork net(&clock, 1);
+  std::vector<int> received(5, 0);
+  for (int i = 0; i < 5; ++i) {
+    net.AddNode([&received, i](const Message&) { ++received[i]; });
+  }
+
+  // Three-way split: {0,1} | {2} | remainder {3,4}. Only same-group
+  // traffic flows; the two singleton-ish groups cannot reach each other
+  // either (the old binary Partition could not express this).
+  net.PartitionGroups({{0, 1}, {2}});
+  EXPECT_TRUE(net.partitioned());
+  net.Send(0, 1, "in-group", {});       // delivered
+  net.Send(1, 2, "cross-a", {});        // dropped
+  net.Send(2, 3, "cross-b", {});        // dropped
+  net.Send(3, 4, "remainder", {});      // delivered (shared remainder group)
+  net.Send(4, 0, "cross-c", {});        // dropped
+  net.RunUntilIdle();
+  EXPECT_EQ(received, (std::vector<int>{0, 1, 0, 0, 1}));
+
+  net.Heal();
+  EXPECT_FALSE(net.partitioned());
+  net.Send(4, 0, "healed", {});
+  net.RunUntilIdle();
+  EXPECT_EQ(received[0], 1);
+}
+
 TEST(SimNetworkTest, DeterministicAcrossRuns) {
   auto run = [] {
     SimClock clock(0);

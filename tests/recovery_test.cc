@@ -7,11 +7,9 @@
 
 #include <gtest/gtest.h>
 
-#include <dirent.h>
 #include <unistd.h>
 
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <set>
 
@@ -19,28 +17,13 @@
 #include "ledger/chain_log.h"
 #include "prov/store.h"
 #include "storage/file_kv_store.h"
+#include "temp_dir.h"
 
 namespace provledger {
 namespace {
 
-std::string MakeTempDir() {
-  std::string tmpl = ::testing::TempDir() + "provledger_recovery_XXXXXX";
-  char* made = ::mkdtemp(tmpl.data());
-  EXPECT_NE(made, nullptr);
-  return made == nullptr ? std::string() : std::string(made);
-}
-
-void RemoveTree(const std::string& dir) {
-  DIR* d = ::opendir(dir.c_str());
-  if (d == nullptr) return;
-  while (struct dirent* entry = ::readdir(d)) {
-    const std::string name = entry->d_name;
-    if (name == "." || name == "..") continue;
-    ::unlink((dir + "/" + name).c_str());
-  }
-  ::closedir(d);
-  ::rmdir(dir.c_str());
-}
+using testutil::MakeTempDir;
+using testutil::RemoveTree;
 
 /// Append raw garbage to a file — the on-disk shape of a crash mid-append.
 void AppendGarbage(const std::string& path, size_t n) {

@@ -1,0 +1,54 @@
+// Shared filesystem scaffolding for suites that exercise durable state
+// (recovery, replication): a unique temp directory per test and its
+// recursive cleanup. Header-only so the one definition serves every suite
+// (tests/*.cc are each their own executable).
+
+#ifndef PROVLEDGER_TESTS_TEMP_DIR_H_
+#define PROVLEDGER_TESTS_TEMP_DIR_H_
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace provledger {
+namespace testutil {
+
+inline std::string MakeTempDir() {
+  std::string tmpl = ::testing::TempDir() + "provledger_test_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  EXPECT_NE(made, nullptr);
+  return made == nullptr ? std::string() : std::string(made);
+}
+
+inline void RemoveTree(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    const std::string path = dir + "/" + name;
+    bool is_dir = entry->d_type == DT_DIR;
+    if (entry->d_type == DT_UNKNOWN) {
+      // Some filesystems don't fill d_type; fall back to stat.
+      struct stat st;
+      is_dir = ::lstat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+    }
+    if (is_dir) {
+      RemoveTree(path);
+    } else {
+      ::unlink(path.c_str());
+    }
+  }
+  ::closedir(d);
+  ::rmdir(dir.c_str());
+}
+
+}  // namespace testutil
+}  // namespace provledger
+
+#endif  // PROVLEDGER_TESTS_TEMP_DIR_H_
