@@ -22,6 +22,9 @@ cmake --build "$BUILD" -j
 (cd "$BUILD" && ctest --output-on-failure -L recovery)
 # Multi-node cluster convergence gets the same treatment.
 (cd "$BUILD" && ctest --output-on-failure -L replication)
+# Columnar/varint/compression codec coverage: the bit-identical round-trip
+# invariant and the versioned block frames.
+(cd "$BUILD" && ctest --output-on-failure -L encoding)
 
 # ThreadSanitizer gate: the `concurrency` label (sharded ingest, snapshot
 # readers, parallel queries) rebuilt under -fsanitize=thread. Any data
@@ -33,6 +36,9 @@ cmake -B "$TSAN_BUILD" -S "$ROOT" \
   -DPROVLEDGER_BUILD_TESTS=ON \
   -DPROVLEDGER_BUILD_BENCHES=OFF \
   -DPROVLEDGER_BUILD_EXAMPLES=OFF
-cmake --build "$TSAN_BUILD" -j --target concurrency_test
+cmake --build "$TSAN_BUILD" -j --target concurrency_test encoding_test
 (cd "$TSAN_BUILD" && ctest --output-on-failure -L concurrency)
+# The encoding suite also runs under TSan: the codec is exercised from
+# shard workers and the replication cluster threads.
+(cd "$TSAN_BUILD" && ctest --output-on-failure -L encoding)
 echo "check_build: OK"

@@ -7,6 +7,8 @@
 #                           AnchorBatch; query latency under write load
 #   BENCH_replication.json — 4-node cluster ingest per consensus engine,
 #                           replication overhead/record, catch-up vs lag
+#   BENCH_encoding.json   — IoT-scale sensor ingest: columnar vs raw block
+#                           bodies on disk and on the replication wire
 #
 # Usage: scripts/run_benches.sh [record_count]   (default 100000)
 set -euo pipefail
@@ -16,7 +18,7 @@ BUILD="$ROOT/build-release"
 RECORDS="${1:-100000}"
 
 BENCHES=(bench_graph_scale bench_query_api bench_recovery bench_concurrent
-         bench_replication)
+         bench_replication bench_iot_ingest)
 
 cmake -B "$BUILD" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=Release \
@@ -46,3 +48,4 @@ run_bench bench_query_api "$ROOT/BENCH_query.json" "$RECORDS"
 run_bench bench_recovery "$ROOT/BENCH_recovery.json" "$RECORDS"
 run_bench bench_concurrent "$ROOT/BENCH_concurrent.json" "$RECORDS"
 run_bench bench_replication "$ROOT/BENCH_replication.json" "$RECORDS"
+run_bench bench_iot_ingest "$ROOT/BENCH_encoding.json" "$((RECORDS * 2))"

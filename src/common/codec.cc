@@ -30,6 +30,20 @@ void Encoder::PutDouble(double v) {
 
 void Encoder::PutBool(bool v) { PutU8(v ? 1 : 0); }
 
+void Encoder::PutUVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void Encoder::PutSVarint(int64_t v) {
+  // ZigZag: interleave signs so small magnitudes stay one byte either way.
+  PutUVarint((static_cast<uint64_t>(v) << 1) ^
+             static_cast<uint64_t>(v >> 63));
+}
+
 void Encoder::PutBytes(const Bytes& b) {
   PutU32(static_cast<uint32_t>(b.size()));
   buf_.insert(buf_.end(), b.begin(), b.end());
@@ -123,6 +137,32 @@ Status Decoder::GetDouble(double* v) {
   uint64_t bits;
   PROVLEDGER_RETURN_NOT_OK(GetU64(&bits));
   std::memcpy(v, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status Decoder::GetUVarint(uint64_t* v) {
+  uint64_t out = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    uint8_t byte;
+    PROVLEDGER_RETURN_NOT_OK(GetU8(&byte));
+    out |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // The 10th byte carries only the top bit of a u64; anything above
+      // that is an overlong/overflowing encoding, not a value.
+      if (shift == 63 && byte > 1) {
+        return Status::Corruption("uvarint overflows 64 bits");
+      }
+      *v = out;
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("uvarint runs past 10 bytes");
+}
+
+Status Decoder::GetSVarint(int64_t* v) {
+  uint64_t zz;
+  PROVLEDGER_RETURN_NOT_OK(GetUVarint(&zz));
+  *v = static_cast<int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
   return Status::OK();
 }
 

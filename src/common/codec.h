@@ -27,6 +27,13 @@ class Encoder {
   void PutU32(uint32_t v);
   void PutU64(uint64_t v);
   void PutI64(int64_t v);
+  /// LEB128 varint (1 byte for values < 128, at most 10). The compact-form
+  /// primitive behind the columnar record codec (prov/columnar.h): dict
+  /// references, counts, and deltas are almost always tiny.
+  void PutUVarint(uint64_t v);
+  /// ZigZag-mapped signed varint: small magnitudes of either sign stay
+  /// short (delta-encoded timestamps go both ways).
+  void PutSVarint(int64_t v);
   /// Encodes an IEEE-754 double by bit pattern.
   void PutDouble(double v);
   void PutBool(bool v);
@@ -47,6 +54,11 @@ class Encoder {
   const Bytes& buffer() const { return buf_; }
   Bytes TakeBuffer() { return std::move(buf_); }
   size_t size() const { return buf_.size(); }
+  /// Drop the contents but keep the capacity — the reuse primitive for
+  /// scratch encoders on hot paths (ingest shard workers encode every
+  /// record/transaction into one buffer that never reallocates in steady
+  /// state).
+  void Clear() { buf_.clear(); }
 
  private:
   Bytes buf_;
@@ -72,6 +84,10 @@ class Decoder {
   Status GetU32(uint32_t* v);
   Status GetU64(uint64_t* v);
   Status GetI64(int64_t* v);
+  /// Counterparts of PutUVarint/PutSVarint; Corruption on truncation or a
+  /// varint running past 10 bytes (no silent wraparound).
+  Status GetUVarint(uint64_t* v);
+  Status GetSVarint(int64_t* v);
   Status GetDouble(double* v);
   Status GetBool(bool* v);
   Status GetBytes(Bytes* b);

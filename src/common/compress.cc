@@ -1,0 +1,108 @@
+#include "common/compress.h"
+
+#include <cstring>
+
+#include "common/codec.h"
+
+namespace provledger {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 0x7F + kMinMatch;  // 131
+constexpr size_t kWindow = 64u << 10;
+constexpr size_t kHashBits = 15;
+
+inline uint32_t HashAt(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void FlushLiterals(const uint8_t* data, size_t from, size_t to, Bytes* out) {
+  while (from < to) {
+    size_t run = to - from < 128 ? to - from : 128;
+    out->push_back(static_cast<uint8_t>(run - 1));
+    out->insert(out->end(), data + from, data + from + run);
+    from += run;
+  }
+}
+
+}  // namespace
+
+Bytes LzCompress(const Bytes& input) {
+  Bytes out;
+  out.reserve(input.size() / 2 + 16);
+  const uint8_t* data = input.data();
+  const size_t n = input.size();
+  if (n < kMinMatch) {
+    FlushLiterals(data, 0, n, &out);
+    return out;
+  }
+
+  // Single-probe hash table: last position whose 4-byte prefix hashed here.
+  std::vector<uint32_t> head(1u << kHashBits, 0xFFFFFFFFu);
+  size_t pos = 0;
+  size_t literal_start = 0;
+  const size_t limit = n - kMinMatch + 1;
+  while (pos < limit) {
+    const uint32_t h = HashAt(data + pos);
+    const uint32_t cand = head[h];
+    head[h] = static_cast<uint32_t>(pos);
+    if (cand != 0xFFFFFFFFu && pos - cand <= kWindow &&
+        std::memcmp(data + cand, data + pos, kMinMatch) == 0) {
+      size_t len = kMinMatch;
+      const size_t max_len = n - pos < kMaxMatch ? n - pos : kMaxMatch;
+      while (len < max_len && data[cand + len] == data[pos + len]) ++len;
+      FlushLiterals(data, literal_start, pos, &out);
+      out.push_back(static_cast<uint8_t>(0x80 | (len - kMinMatch)));
+      Encoder dist;
+      dist.PutUVarint(pos - cand);
+      out.insert(out.end(), dist.buffer().begin(), dist.buffer().end());
+      pos += len;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  FlushLiterals(data, literal_start, n, &out);
+  return out;
+}
+
+Result<Bytes> LzDecompress(const Bytes& input, size_t raw_size) {
+  Bytes out;
+  out.reserve(raw_size);
+  Decoder dec(input);
+  while (!dec.AtEnd()) {
+    uint8_t token;
+    PROVLEDGER_RETURN_NOT_OK(dec.GetU8(&token));
+    if (token < 0x80) {
+      const size_t run = static_cast<size_t>(token) + 1;
+      if (out.size() + run > raw_size) {
+        return Status::Corruption("lz literal run past declared raw size");
+      }
+      Bytes lit;
+      PROVLEDGER_RETURN_NOT_OK(dec.GetRaw(run, &lit));
+      out.insert(out.end(), lit.begin(), lit.end());
+    } else {
+      const size_t len = static_cast<size_t>(token & 0x7F) + kMinMatch;
+      uint64_t dist = 0;
+      PROVLEDGER_RETURN_NOT_OK(dec.GetUVarint(&dist));
+      if (dist == 0 || dist > out.size()) {
+        return Status::Corruption("lz match distance out of range");
+      }
+      if (out.size() + len > raw_size) {
+        return Status::Corruption("lz match run past declared raw size");
+      }
+      // Byte-by-byte: matches may overlap their own output (RLE-style).
+      size_t from = out.size() - dist;
+      for (size_t i = 0; i < len; ++i) out.push_back(out[from + i]);
+    }
+  }
+  if (out.size() != raw_size) {
+    return Status::Corruption("lz stream ended short of declared raw size");
+  }
+  return out;
+}
+
+}  // namespace provledger

@@ -1,0 +1,38 @@
+// Byte-oriented LZ compression for cold blobs (KV-store write batches,
+// snapshot bodies). Self-contained — no external codec dependency — and
+// deliberately simple: a greedy LZ77 with a hash-chained 64 KiB window,
+// emitting literal runs and back-references. It is not a general-purpose
+// compressor race entry; it exists so byte-bound storage paths can trade a
+// little CPU for disk when the payload is self-similar (framed record
+// blobs, graph snapshots), with the columnar codec (prov/columnar.h)
+// handling the structured hot path.
+//
+// Token stream:
+//   [u8 t]  t < 0x80  -> literal run of t+1 bytes follows (1..128)
+//           t >= 0x80 -> match: length = (t & 0x7F) + kMinMatch,
+//                        then uvarint distance (1..window size)
+//
+// Decompression is bounds-checked: a distance pointing before the start of
+// the output, a run past the end, or trailing garbage is Corruption.
+
+#ifndef PROVLEDGER_COMMON_COMPRESS_H_
+#define PROVLEDGER_COMMON_COMPRESS_H_
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace provledger {
+
+/// Compress `input`. The output is self-delimiting given the raw size;
+/// callers persist the raw size alongside (see FileKvStore's compressed
+/// frame header). Compressing already-dense data can expand slightly —
+/// callers should keep the raw form when that happens.
+Bytes LzCompress(const Bytes& input);
+
+/// Invert LzCompress. `raw_size` is the exact expected output size; any
+/// mismatch (short stream, overrun, bad distance) is Corruption.
+Result<Bytes> LzDecompress(const Bytes& input, size_t raw_size);
+
+}  // namespace provledger
+
+#endif  // PROVLEDGER_COMMON_COMPRESS_H_

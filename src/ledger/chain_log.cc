@@ -8,6 +8,7 @@
 
 #include "common/fileio.h"
 #include "common/framed_log.h"
+#include "prov/columnar.h"
 
 namespace provledger {
 namespace ledger {
@@ -76,7 +77,9 @@ Status ChainLog::ScanExisting() {
 }
 
 Status ChainLog::Append(const Block& block) {
-  Bytes frame = BuildFrame(block.Encode());
+  Bytes frame = BuildFrame(options_.columnar_bodies
+                               ? prov::columnar::EncodeBlock(block)
+                               : block.Encode());
   Status written = WriteAllFd(fd_, frame.data(), frame.size(), path_);
   if (written.ok() && options_.sync_writes && ::fsync(fd_) != 0) {
     written = ErrnoStatus("fsync", path_);
@@ -102,7 +105,10 @@ Status ChainLog::Replay(Blockchain* chain) {
     }
     Bytes encoded(buf.begin() + pos + kFrameHeaderBytes,
                   buf.begin() + pos + kFrameHeaderBytes + payload_len);
-    PROVLEDGER_ASSIGN_OR_RETURN(Block block, Block::Decode(encoded));
+    // DecodeBlock sniffs the columnar magic and falls back to the legacy
+    // body format, so old logs replay no matter how this log is configured.
+    PROVLEDGER_ASSIGN_OR_RETURN(Block block,
+                                prov::columnar::DecodeBlock(encoded));
     Status submitted = chain->SubmitBlock(block);
     // A block the chain already knows is fine — replay is idempotent, so
     // attaching a partially caught-up chain works.

@@ -31,6 +31,12 @@ struct ChainLogOptions {
   /// fsync after every appended block. Turning it off batches durability
   /// into explicit Sync() calls (bulk-ingest benchmarking).
   bool sync_writes = true;
+  /// Persist block bodies in the columnar form (prov/columnar.h): record
+  /// payloads stored once through the record columns instead of per-record
+  /// canonical bytes. Replay handles both forms regardless — the columnar
+  /// body carries its own magic — so logs written either way reload on any
+  /// setting, and mixed logs (format flipped mid-life) are fine.
+  bool columnar_bodies = true;
 };
 
 /// \brief Append-only durable block log.

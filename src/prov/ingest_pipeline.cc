@@ -129,6 +129,12 @@ void IngestPipeline::ShardLoop(size_t shard_index) {
   std::vector<ProvenanceRecord> popped;
   std::vector<PreparedRecord> batch;
   batch.reserve(options_.batch_size);
+  // Worker-local scratch buffers, reused across every record/batch this
+  // shard ever prepares: the transaction-encoding scratch and the Merkle
+  // leaf vector stop allocating once their steady-state capacity is hit.
+  Encoder scratch;
+  std::vector<crypto::Digest> leaves;
+  leaves.reserve(options_.batch_size);
   // The flush baseline is the construction-time generation (1), NOT a
   // fresh load: this worker thread may first run long after construction,
   // by which time a Flush may already have bumped the generation — a
@@ -174,8 +180,8 @@ void IngestPipeline::ShardLoop(size_t shard_index) {
     for (auto& record : popped) {
       const uint64_t nonce =
           nonce_.fetch_add(1, std::memory_order_relaxed) + 1;
-      auto prepared =
-          store_->PrepareRecord(std::move(record), nonce, options_.signer);
+      auto prepared = store_->PrepareRecord(std::move(record), nonce,
+                                            options_.signer, &scratch);
       if (!prepared.ok()) {
         NoteFailure(1, prepared.status());
         NoteProcessed(1);
@@ -190,8 +196,7 @@ void IngestPipeline::ShardLoop(size_t shard_index) {
       // Even the digest-level Merkle tree is built here, off the
       // committer thread; the committer only sequences.
       PreparedBatch prepared;
-      std::vector<crypto::Digest> leaves;
-      leaves.reserve(batch.size());
+      leaves.clear();
       for (const auto& record : batch) leaves.push_back(record.leaf);
       prepared.merkle_root = crypto::MerkleTree::BuildFromDigests(leaves).root();
       prepared.records = std::move(batch);

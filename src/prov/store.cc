@@ -153,16 +153,21 @@ Status ProvenanceStore::IndexRecord(ProvenanceRecord&& record,
 
 Result<PreparedRecord> ProvenanceStore::PrepareRecord(
     ProvenanceRecord&& record, uint64_t nonce,
-    const crypto::PrivateKey* signer) const {
+    const crypto::PrivateKey* signer, Encoder* scratch) const {
   record.agent = OnChainAgentId(record.agent);
   PROVLEDGER_RETURN_NOT_OK(record.Validate());
   PreparedRecord prepared;
   prepared.tx = MakeTx(record.Encode(), signer, nonce);
   // One encoding serves both digests the commit path will need — after
-  // this, no byte of the transaction is ever hashed again.
-  Bytes tx_encoding = prepared.tx.Encode();
-  prepared.txid = crypto::Sha256::Hash(tx_encoding);
-  prepared.leaf = crypto::MerkleTree::LeafHash(tx_encoding);
+  // this, no byte of the transaction is ever hashed again. The encoding is
+  // a throwaway, so a caller-provided scratch encoder (ingest shard
+  // workers keep one per thread) makes it allocation-free in steady state.
+  Encoder local;
+  Encoder& enc = scratch != nullptr ? *scratch : local;
+  enc.Clear();
+  prepared.tx.EncodeTo(&enc);
+  prepared.txid = crypto::Sha256::Hash(enc.buffer());
+  prepared.leaf = crypto::MerkleTree::LeafHash(enc.buffer());
   prepared.record = std::move(record);
   return prepared;
 }

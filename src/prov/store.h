@@ -114,10 +114,16 @@ class ProvenanceStore {
   /// index state, so duplicate detection waits until AnchorPrepared.
   /// `nonce` must be unique per transaction (the pipeline issues them
   /// from one atomic counter seeded past the store's own).
+  /// `scratch` (optional) is a caller-owned reusable encoder the
+  /// transaction encoding is built in — on the IoT hot path of tiny
+  /// records, a worker-thread-local scratch kills the per-record heap
+  /// allocation of that temporary (its capacity stabilizes after a few
+  /// records). Contents are clobbered; the caller must not read them.
   Result<PreparedRecord> PrepareRecord(ProvenanceRecord&& record,
                                        uint64_t nonce,
                                        const crypto::PrivateKey* signer =
-                                           nullptr) const;
+                                           nullptr,
+                                       Encoder* scratch = nullptr) const;
   /// Anchor a prepared batch as one block, reusing every cached digest
   /// (no re-encode, no re-hash; see Blockchain::AppendPrepared) and the
   /// batch's precomputed Merkle root when it is intact.

@@ -1,5 +1,7 @@
 #include "replication/replicated_node.h"
 
+#include "prov/columnar.h"
+
 namespace provledger {
 namespace replication {
 
@@ -72,7 +74,9 @@ Status ReplicatedNode::ProposeBatch(
   ++metrics_.blocks_proposed;
   const ledger::Block* head = chain_.PeekBlock(chain_.height());
   if (net_ != nullptr && head != nullptr) {
-    net_->Broadcast(id_, kMsgBlock, head->Encode());
+    net_->Broadcast(id_, kMsgBlock,
+                    options_.columnar_wire ? prov::columnar::EncodeBlock(*head)
+                                           : head->Encode());
   }
   return Status::OK();
 }
@@ -88,7 +92,8 @@ void ReplicatedNode::RequestSync() {
 void ReplicatedNode::OnMessage(const network::Message& message) {
   if (!alive_) return;  // a crashed node is silent until restarted
   if (message.type == kMsgBlock) {
-    auto block = ledger::Block::Decode(message.payload);
+    // Format-sniffing decode: columnar and legacy peers look the same here.
+    auto block = prov::columnar::DecodeBlock(message.payload);
     if (!block.ok()) {
       ++metrics_.blocks_rejected;
       return;
@@ -220,7 +225,10 @@ void ReplicatedNode::HandlePull(const network::Message& message) {
   Encoder enc;
   enc.PutU64(chain_.height());
   enc.PutU32(static_cast<uint32_t>(blocks.size()));
-  for (const ledger::Block* block : blocks) enc.PutBytes(block->Encode());
+  for (const ledger::Block* block : blocks) {
+    enc.PutBytes(options_.columnar_wire ? prov::columnar::EncodeBlock(*block)
+                                        : block->Encode());
+  }
   metrics_.blocks_served += blocks.size();
   net_->Send(id_, message.from, kMsgBlocks, enc.TakeBuffer());
 }
@@ -235,7 +243,7 @@ void ReplicatedNode::HandleBlocks(const network::Message& message) {
   for (uint32_t i = 0; i < count; ++i) {
     Bytes encoded;
     if (!dec.GetBytes(&encoded).ok()) break;
-    auto block = ledger::Block::Decode(encoded);
+    auto block = prov::columnar::DecodeBlock(encoded);
     if (!block.ok()) {
       ++metrics_.blocks_rejected;
       continue;

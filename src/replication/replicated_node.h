@@ -56,6 +56,12 @@ struct ReplicatedNodeOptions {
   std::string name = "node";
   /// Max blocks served per repl/pull response (ranged catch-up stride).
   size_t catch_up_batch_blocks = 32;
+  /// Ship repl/block and repl/blocks bodies in the columnar form
+  /// (prov/columnar.h) instead of raw Block::Encode() bytes. Decoding is
+  /// format-sniffing either way, so mixed-setting clusters interoperate;
+  /// received blocks are re-validated in full by SubmitBlock regardless of
+  /// how they traveled.
+  bool columnar_wire = true;
 };
 
 /// \brief Replication counters (per node).

@@ -21,6 +21,17 @@ namespace {
 constexpr uint8_t kOpPut = 0;
 constexpr uint8_t kOpDelete = 1;
 
+// First u32 of a compressed batch payload. A raw payload starts with its
+// op count, which can never plausibly reach 2^32-1, so the two forms are
+// unambiguous within one log.
+constexpr uint32_t kCompressedPayloadTag = 0xFFFFFFFFu;
+
+// Upper bound on the declared raw size of a compressed batch, relative to
+// its compressed body: byte-oriented LZ-style codecs top out well under
+// this expansion, so anything bigger is corruption, not data — and must not
+// drive a giant allocation.
+constexpr size_t kMaxExpansion = 256;
+
 Status Errno(const std::string& what, const std::string& path) {
   return ErrnoStatus(what, path);
 }
@@ -36,9 +47,11 @@ FileKvStore::SegmentSet::~SegmentSet() {
 class FileKvStore::Iterator : public KvIterator {
  public:
   Iterator(std::shared_ptr<const Index> snapshot,
-           std::shared_ptr<SegmentSet> segments)
+           std::shared_ptr<SegmentSet> segments,
+           std::function<Result<Bytes>(const Bytes&, size_t)> decompress)
       : snapshot_(std::move(snapshot)),
         segments_(std::move(segments)),
+        decompress_(std::move(decompress)),
         it_(snapshot_->begin()) {}
 
   void Seek(const std::string& target) override {
@@ -61,11 +74,8 @@ class FileKvStore::Iterator : public KvIterator {
   /// stays readable while the iterator is alive.
   const Bytes& value() const override {
     if (!loaded_) {
-      const ValueLoc& loc = it_->second;
-      value_.assign(loc.length, 0);
-      ssize_t n = ::pread(segments_->fds[loc.segment], value_.data(),
-                          loc.length, static_cast<off_t>(loc.offset));
-      if (n != static_cast<ssize_t>(loc.length)) value_.clear();
+      auto read = ReadValueAt(*segments_, it_->second, decompress_);
+      value_ = read.ok() ? std::move(read).value() : Bytes();
       loaded_ = true;
     }
     return value_;
@@ -74,6 +84,7 @@ class FileKvStore::Iterator : public KvIterator {
  private:
   std::shared_ptr<const Index> snapshot_;
   std::shared_ptr<SegmentSet> segments_;
+  std::function<Result<Bytes>(const Bytes&, size_t)> decompress_;
   Index::const_iterator it_;
   mutable Bytes value_;
   mutable bool loaded_ = false;
@@ -182,7 +193,37 @@ Status FileKvStore::ReplaySegment(uint32_t segment, const std::string& path,
     const size_t payload_pos = pos + kFrameHeaderBytes;
     Bytes payload(buf.begin() + payload_pos,
                   buf.begin() + payload_pos + payload_len);
-    Decoder dec(payload);
+
+    // A compressed batch announces itself with the payload tag; the ops are
+    // decoded from the decompressed bytes, and the index points at the
+    // whole frame payload (the value is sliced back out on read).
+    bool compressed = false;
+    Bytes raw;
+    {
+      Decoder probe(payload);
+      uint32_t tag = 0;
+      if (payload.size() >= 4) PROVLEDGER_RETURN_NOT_OK(probe.GetU32(&tag));
+      if (payload.size() >= 4 && tag == kCompressedPayloadTag) {
+        compressed = true;
+        if (!options_.decompress) {
+          return Status::Corruption("compressed batch in " + path +
+                                    " but no decompressor configured");
+        }
+        uint64_t raw_len = 0;
+        PROVLEDGER_RETURN_NOT_OK(probe.GetUVarint(&raw_len));
+        Bytes body;
+        PROVLEDGER_RETURN_NOT_OK(probe.GetRaw(probe.remaining(), &body));
+        if (raw_len > (body.size() + 16) * kMaxExpansion) {
+          return Status::Corruption("implausible raw size in " + path);
+        }
+        PROVLEDGER_ASSIGN_OR_RETURN(
+            raw, options_.decompress(body, static_cast<size_t>(raw_len)));
+      } else {
+        raw = std::move(payload);
+      }
+    }
+
+    Decoder dec(raw);
     uint32_t op_count = 0;
     PROVLEDGER_RETURN_NOT_OK(dec.GetU32(&op_count));
     for (uint32_t i = 0; i < op_count; ++i) {
@@ -196,10 +237,17 @@ Status FileKvStore::ReplaySegment(uint32_t segment, const std::string& path,
         Bytes value;
         size_t before = dec.remaining();
         PROVLEDGER_RETURN_NOT_OK(dec.GetBytes(&value));
+        const size_t inner = (raw.size() - before) + 4;
         ValueLoc loc;
         loc.segment = segment;
-        loc.offset = payload_pos + (payload.size() - before) + 4;
         loc.length = static_cast<uint32_t>(value.size());
+        if (compressed) {
+          loc.offset = payload_pos;
+          loc.frame_len = static_cast<uint32_t>(payload_len);
+          loc.inner = static_cast<uint32_t>(inner);
+        } else {
+          loc.offset = payload_pos + inner;
+        }
         ApplyToIndex(index_.get(), key, /*is_put=*/true, loc);
       } else if (kind == kOpDelete) {
         ApplyToIndex(index_.get(), key, /*is_put=*/false, ValueLoc());
@@ -248,7 +296,9 @@ Status FileKvStore::Write(const WriteBatch& batch) {
   const uint32_t segment = static_cast<uint32_t>(segments_->fds.size() - 1);
 
   // One framed record per batch; value offsets are computed while encoding
-  // so the index can point straight into the segment afterwards.
+  // so the index can point straight into the segment afterwards. Offsets
+  // are tracked payload-relative first, since compression (below) decides
+  // whether they end up direct or inside a compressed frame.
   Encoder payload;
   payload.PutU32(static_cast<uint32_t>(batch.ops().size()));
   std::vector<std::pair<const WriteBatch::Op*, ValueLoc>> applied;
@@ -260,14 +310,38 @@ Status FileKvStore::Write(const WriteBatch& batch) {
     ValueLoc loc;
     if (is_put) {
       loc.segment = segment;
-      loc.offset = active_size_ + kFrameHeaderBytes + payload.size() + 4;
+      loc.inner = static_cast<uint32_t>(payload.size() + 4);
       loc.length = static_cast<uint32_t>(op.value.size());
       payload.PutBytes(op.value);
     }
     applied.emplace_back(&op, loc);
   }
 
-  Bytes frame = BuildFrame(payload.buffer());
+  // Try the compression hook; keep the raw payload when it does not
+  // shrink (dense values would otherwise expand on disk).
+  bool compressed = false;
+  Encoder compressed_payload;
+  if (options_.compress) {
+    Bytes body = options_.compress(payload.buffer());
+    compressed_payload.PutU32(kCompressedPayloadTag);
+    compressed_payload.PutUVarint(payload.size());
+    compressed_payload.PutRaw(body);
+    compressed = compressed_payload.size() < payload.size();
+  }
+  const Bytes& final_payload =
+      compressed ? compressed_payload.buffer() : payload.buffer();
+  for (auto& [op, loc] : applied) {
+    if (op->kind != WriteBatch::Op::Kind::kPut) continue;
+    if (compressed) {
+      loc.offset = active_size_ + kFrameHeaderBytes;
+      loc.frame_len = static_cast<uint32_t>(final_payload.size());
+    } else {
+      loc.offset = active_size_ + kFrameHeaderBytes + loc.inner;
+      loc.inner = 0;
+    }
+  }
+
+  Bytes frame = BuildFrame(final_payload);
 
   const std::string& path = segment_names_.back();
   int fd = segments_->fds.back();
@@ -305,17 +379,57 @@ Status FileKvStore::Delete(const std::string& key) {
   return Write(batch);
 }
 
+Result<Bytes> FileKvStore::ReadValueAt(
+    const SegmentSet& segments, const ValueLoc& loc,
+    const std::function<Result<Bytes>(const Bytes&, size_t)>& decompress) {
+  if (loc.frame_len == 0) {
+    Bytes value(loc.length, 0);
+    ssize_t n = ::pread(segments.fds[loc.segment], value.data(), loc.length,
+                        static_cast<off_t>(loc.offset));
+    if (n != static_cast<ssize_t>(loc.length)) {
+      return Status::Corruption("short value read");
+    }
+    return value;
+  }
+  // Compressed batch: fetch the whole frame payload, decompress, slice.
+  Bytes payload(loc.frame_len, 0);
+  ssize_t n = ::pread(segments.fds[loc.segment], payload.data(),
+                      loc.frame_len, static_cast<off_t>(loc.offset));
+  if (n != static_cast<ssize_t>(loc.frame_len)) {
+    return Status::Corruption("short compressed-batch read");
+  }
+  if (!decompress) {
+    return Status::Corruption("compressed batch but no decompressor");
+  }
+  Decoder dec(payload);
+  uint32_t tag = 0;
+  uint64_t raw_len = 0;
+  Bytes body;
+  PROVLEDGER_RETURN_NOT_OK(dec.GetU32(&tag));
+  if (tag != kCompressedPayloadTag) {
+    return Status::Corruption("compressed batch lost its payload tag");
+  }
+  PROVLEDGER_RETURN_NOT_OK(dec.GetUVarint(&raw_len));
+  PROVLEDGER_RETURN_NOT_OK(dec.GetRaw(dec.remaining(), &body));
+  if (raw_len > (body.size() + 16) * kMaxExpansion) {
+    return Status::Corruption("implausible raw size in compressed batch");
+  }
+  PROVLEDGER_ASSIGN_OR_RETURN(Bytes raw,
+                              decompress(body, static_cast<size_t>(raw_len)));
+  if (static_cast<size_t>(loc.inner) + loc.length > raw.size()) {
+    return Status::Corruption("value location past decompressed batch");
+  }
+  return Bytes(raw.begin() + loc.inner, raw.begin() + loc.inner + loc.length);
+}
+
 Result<Bytes> FileKvStore::Get(const std::string& key) const {
   auto it = index_->find(key);
   if (it == index_->end()) {
     return Status::NotFound("key not found: " + key);
   }
-  const ValueLoc& loc = it->second;
-  Bytes value(loc.length, 0);
-  ssize_t n = ::pread(segments_->fds[loc.segment], value.data(), loc.length,
-                      static_cast<off_t>(loc.offset));
-  if (n != static_cast<ssize_t>(loc.length)) {
-    return Status::Corruption("short value read for key: " + key);
+  auto value = ReadValueAt(*segments_, it->second, options_.decompress);
+  if (!value.ok()) {
+    return Status::Corruption(value.status().message() + " for key: " + key);
   }
   return value;
 }
@@ -325,7 +439,7 @@ bool FileKvStore::Has(const std::string& key) const {
 }
 
 std::unique_ptr<KvIterator> FileKvStore::NewIterator() const {
-  return std::make_unique<Iterator>(index_, segments_);
+  return std::make_unique<Iterator>(index_, segments_, options_.decompress);
 }
 
 Status FileKvStore::Sync() {

@@ -24,6 +24,7 @@
 #ifndef PROVLEDGER_STORAGE_FILE_KV_STORE_H_
 #define PROVLEDGER_STORAGE_FILE_KV_STORE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,6 +42,17 @@ struct FileKvStoreOptions {
   /// trades crash durability of the most recent writes for throughput;
   /// Sync() still forces everything out.
   bool sync_writes = true;
+  /// Optional per-batch compression: when set, each applied WriteBatch
+  /// payload is compressed before framing (kept raw when compression does
+  /// not shrink it — both forms coexist in one log). Reads of a compressed
+  /// batch decompress the whole batch payload and slice the value out, so
+  /// this trades read CPU for disk; point it at LzCompress/LzDecompress
+  /// (common/compress.h) for self-similar blob workloads. Reopening a log
+  /// that contains compressed batches without `decompress` fails loudly
+  /// with Corruption rather than serving garbage.
+  std::function<Bytes(const Bytes&)> compress;
+  std::function<Result<Bytes>(const Bytes& compressed, size_t raw_size)>
+      decompress;
 };
 
 /// \brief Durable ordered KV store over an append-only segmented log.
@@ -81,11 +93,18 @@ class FileKvStore : public KvStore {
   bool recovered_torn_write() const { return recovered_torn_write_; }
 
  private:
-  /// Where a live value sits in the log.
+  /// Where a live value sits in the log. A raw batch indexes the value
+  /// bytes directly; a compressed batch indexes the whole frame payload
+  /// plus the value's offset inside the decompressed batch.
   struct ValueLoc {
     uint32_t segment = 0;  // index into segments_->fds
-    uint64_t offset = 0;   // byte offset of the value within the segment
-    uint32_t length = 0;
+    uint64_t offset = 0;   // raw: value offset in the segment;
+                           // compressed: offset of the frame payload
+    uint32_t length = 0;   // raw (uncompressed) value length
+    /// Nonzero marks a compressed batch: the on-disk frame payload length.
+    uint32_t frame_len = 0;
+    /// Value offset inside the decompressed batch payload.
+    uint32_t inner = 0;
   };
   using Index = std::map<std::string, ValueLoc>;
 
@@ -108,6 +127,13 @@ class FileKvStore : public KvStore {
   /// Apply one decoded op to the index + accounting.
   void ApplyToIndex(Index* index, const std::string& key, bool is_put,
                     const ValueLoc& loc);
+  /// Fetch the value bytes at `loc` — a direct pread for raw batches, a
+  /// pread + decompress + slice for compressed ones. Static (and taking the
+  /// decompressor explicitly) so iterators holding only the SegmentSet can
+  /// keep reading after the store is gone.
+  static Result<Bytes> ReadValueAt(
+      const SegmentSet& segments, const ValueLoc& loc,
+      const std::function<Result<Bytes>(const Bytes&, size_t)>& decompress);
   /// The index, detached from live snapshots first (copy-on-write).
   Index& MutableIndex();
   Status RollIfNeeded();

@@ -157,6 +157,79 @@ TEST(CodecTest, TruncatedStringLengthIsCorruption) {
   EXPECT_TRUE(dec.GetString(&s).IsCorruption());
 }
 
+TEST(CodecTest, UVarintRoundTripAndSizes) {
+  const uint64_t cases[] = {0,
+                            1,
+                            127,
+                            128,
+                            16383,
+                            16384,
+                            0xDEADBEEF,
+                            (1ULL << 56) - 1,
+                            UINT64_MAX};
+  for (uint64_t v : cases) {
+    Encoder enc;
+    enc.PutUVarint(v);
+    Decoder dec(enc.buffer());
+    uint64_t got;
+    ASSERT_TRUE(dec.GetUVarint(&got).ok()) << v;
+    EXPECT_EQ(got, v);
+    EXPECT_TRUE(dec.AtEnd());
+  }
+  // Spot-check the LEB128 width contract the columnar codec relies on.
+  Encoder enc;
+  enc.PutUVarint(127);
+  EXPECT_EQ(enc.buffer().size(), 1u);
+  enc.Clear();
+  enc.PutUVarint(128);
+  EXPECT_EQ(enc.buffer().size(), 2u);
+  enc.Clear();
+  enc.PutUVarint(UINT64_MAX);
+  EXPECT_EQ(enc.buffer().size(), 10u);
+}
+
+TEST(CodecTest, SVarintRoundTrip) {
+  const int64_t cases[] = {0,  1,  -1, 63, -64, 64,
+                           -65, 1'000'000, -1'000'000,
+                           INT64_MAX, INT64_MIN};
+  for (int64_t v : cases) {
+    Encoder enc;
+    enc.PutSVarint(v);
+    Decoder dec(enc.buffer());
+    int64_t got;
+    ASSERT_TRUE(dec.GetSVarint(&got).ok()) << v;
+    EXPECT_EQ(got, v);
+    EXPECT_TRUE(dec.AtEnd());
+  }
+  // Zigzag keeps small-magnitude deltas one byte wide, either sign.
+  Encoder enc;
+  enc.PutSVarint(-64);
+  EXPECT_EQ(enc.buffer().size(), 1u);
+}
+
+TEST(CodecTest, VarintRejectsTruncationAndOverlong) {
+  uint64_t v;
+  {
+    // Continuation bit set with no byte following.
+    const Bytes truncated = {0x80};
+    Decoder dec(truncated);
+    EXPECT_TRUE(dec.GetUVarint(&v).IsCorruption());
+  }
+  {
+    // Ten bytes, every one a continuation: runs past the 64-bit maximum.
+    const Bytes runaway(10, 0xFF);
+    Decoder dec(runaway);
+    EXPECT_TRUE(dec.GetUVarint(&v).IsCorruption());
+  }
+  {
+    // Tenth byte may only contribute one bit; 0x02 overflows 64 bits.
+    Bytes overlong(9, 0xFF);
+    overlong.push_back(0x02);
+    Decoder dec(overlong);
+    EXPECT_TRUE(dec.GetUVarint(&v).IsCorruption());
+  }
+}
+
 TEST(CodecTest, CanonicalEncoding) {
   // Re-encoding a decoded structure must be byte-identical (hashing relies
   // on this).
