@@ -1,0 +1,37 @@
+// Harness: ChainLog open + replay over an arbitrary log file — frame
+// classification, block decoding (both body formats), and full SubmitBlock
+// re-validation of whatever decodes. Trust boundary: the write-ahead block
+// log on disk, which a restart treats as the source of truth.
+
+#include "harnesses.h"
+
+#include <string>
+
+#include "ledger/chain_log.h"
+
+namespace provledger {
+namespace fuzz {
+
+void FuzzChainLog(const uint8_t* data, size_t size) {
+  // One scratch dir for the whole run, log rewritten (not fsynced) per
+  // input: durability of fuzz scratch is irrelevant, and an atomic write's
+  // fsyncs would dominate every iteration.
+  const std::string dir = ScratchDir();
+  if (dir.empty()) return;
+  const std::string path = dir + "/chain.log";
+  PROVLEDGER_FUZZ_REQUIRE(WriteScratchFile(path, data, size));
+
+  auto log = ledger::ChainLog::Open(path);
+  if (log.ok()) {
+    // Replay re-validates every decodable block through SubmitBlock; a
+    // log of hostile bytes must surface Corruption or rejection, never
+    // crash the chain.
+    ledger::Blockchain chain;
+    (void)log.value()->Replay(&chain);
+  }
+}
+
+}  // namespace fuzz
+}  // namespace provledger
+
+PROVLEDGER_FUZZ_SHIM(FuzzChainLog)

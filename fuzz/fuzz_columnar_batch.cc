@@ -1,0 +1,32 @@
+// Harness: columnar::DecodeRecordBatch over arbitrary bytes — the record
+// columns, dictionary, id-delta chains, and schema table. Trust boundary:
+// batch bytes arrive inside ChainLog bodies and replication payloads, i.e.
+// from disk and from network peers.
+
+#include "harnesses.h"
+#include "prov/columnar.h"
+
+namespace provledger {
+namespace fuzz {
+
+void FuzzColumnarBatch(const uint8_t* data, size_t size) {
+  Bytes input(data, data + size);
+  auto decoded = prov::columnar::DecodeRecordBatch(input);
+  if (!decoded.ok()) return;
+
+  // Decodable input must round-trip bit-identically through the canonical
+  // re-encode: same record Encode() bytes, same Hash(), stable batch form.
+  Bytes reencoded = prov::columnar::EncodeRecordBatch(decoded.value());
+  auto again = prov::columnar::DecodeRecordBatch(reencoded);
+  PROVLEDGER_FUZZ_REQUIRE(again.ok());
+  PROVLEDGER_FUZZ_REQUIRE(again.value().size() == decoded.value().size());
+  for (size_t i = 0; i < again.value().size(); ++i) {
+    PROVLEDGER_FUZZ_REQUIRE(again.value()[i].Encode() ==
+                            decoded.value()[i].Encode());
+  }
+}
+
+}  // namespace fuzz
+}  // namespace provledger
+
+PROVLEDGER_FUZZ_SHIM(FuzzColumnarBatch)

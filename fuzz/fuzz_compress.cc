@@ -1,0 +1,46 @@
+// Harness: compress::LzDecompress — token stream, back-reference distances,
+// and the declared-raw-size contract. Trust boundary: compressed batch
+// payloads inside FileKvStore segments (disk bytes).
+//
+// Input mapping: first 4 bytes (little-endian, capped) are the declared raw
+// size handed to LzDecompress; the rest is the token stream. The whole
+// input also round-trips through LzCompress as plain data.
+
+#include "harnesses.h"
+#include "common/compress.h"
+
+namespace provledger {
+namespace fuzz {
+
+void FuzzCompress(const uint8_t* data, size_t size) {
+  if (size >= 4) {
+    size_t raw_size = static_cast<size_t>(data[0]) |
+                      static_cast<size_t>(data[1]) << 8 |
+                      static_cast<size_t>(data[2]) << 16 |
+                      static_cast<size_t>(data[3]) << 24;
+    // No cap: LzDecompress itself must reject implausible sizes before
+    // allocating (the expansion bound under test).
+    Bytes stream(data + 4, data + size);
+    auto decoded = LzDecompress(stream, raw_size);
+    if (decoded.ok()) {
+      PROVLEDGER_FUZZ_REQUIRE(decoded.value().size() == raw_size);
+      // A decodable stream's content must survive a recompress cycle.
+      Bytes recompressed = LzCompress(decoded.value());
+      auto back = LzDecompress(recompressed, raw_size);
+      PROVLEDGER_FUZZ_REQUIRE(back.ok());
+      PROVLEDGER_FUZZ_REQUIRE(back.value() == decoded.value());
+    }
+  }
+
+  // Compression must be total and invertible on arbitrary bytes.
+  Bytes raw(data, data + size);
+  Bytes compressed = LzCompress(raw);
+  auto round = LzDecompress(compressed, raw.size());
+  PROVLEDGER_FUZZ_REQUIRE(round.ok());
+  PROVLEDGER_FUZZ_REQUIRE(round.value() == raw);
+}
+
+}  // namespace fuzz
+}  // namespace provledger
+
+PROVLEDGER_FUZZ_SHIM(FuzzCompress)

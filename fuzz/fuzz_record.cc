@@ -1,0 +1,26 @@
+// Harness: ProvenanceRecord::Decode — the canonical per-record form whose
+// bytes are hashed into transaction ids and Merkle leaves. Trust boundary:
+// record payloads ride inside transactions from peers and from disk.
+// The decoder is strict-canonical: decodable bytes must re-encode to
+// themselves (otherwise two distinct byte strings would share a Hash()).
+
+#include "harnesses.h"
+#include "prov/record.h"
+
+namespace provledger {
+namespace fuzz {
+
+void FuzzRecord(const uint8_t* data, size_t size) {
+  Bytes input(data, data + size);
+  auto decoded = prov::ProvenanceRecord::Decode(input);
+  if (!decoded.ok()) return;
+  PROVLEDGER_FUZZ_REQUIRE(decoded.value().Encode() == input);
+  // Validate() must be total on decoded records (no crash on weird
+  // contents), whatever it decides.
+  (void)decoded.value().Validate();
+}
+
+}  // namespace fuzz
+}  // namespace provledger
+
+PROVLEDGER_FUZZ_SHIM(FuzzRecord)

@@ -1,44 +1,72 @@
 #!/usr/bin/env bash
-# CI-style strict check: configure + build + run the full ctest suite in a
-# dedicated build tree, with the provledger library compiled under
-# -Wall -Wextra -Werror (PROVLEDGER_WERROR) at RelWithDebInfo.
+# CI-style strict check, four gates in order:
+#   1. build-check/  — full build (tests+benches+examples) under
+#      -Wall -Wextra -Werror (PROVLEDGER_WERROR), full ctest suite, then
+#      per-label passes (recovery, replication, encoding, fuzz).
+#   2. build-tsan/   — the `concurrency` + `encoding` labels rebuilt under
+#      -fsanitize=thread. Any data race fails the build.
+#   3. build-asan/   — the FULL ctest suite rebuilt under
+#      -fsanitize=address,undefined (halt_on_error): every test and every
+#      deterministic fuzz harness runs with memory and UB checking on.
+#   4. scripts/run_lint.sh over build-check's compile_commands.json.
 #
 # Usage: scripts/check_build.sh [extra cmake args...]
 set -euo pipefail
+source "$(dirname "${BASH_SOURCE[0]}")/lib.sh"
 
-ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD="$ROOT/build-check"
-
-cmake -B "$BUILD" -S "$ROOT" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+configure_tree "$BUILD" RelWithDebInfo \
   -DPROVLEDGER_WERROR=ON \
   -DPROVLEDGER_BUILD_TESTS=ON \
   -DPROVLEDGER_BUILD_BENCHES=ON \
   -DPROVLEDGER_BUILD_EXAMPLES=ON \
   "$@"
-cmake --build "$BUILD" -j
-(cd "$BUILD" && ctest --output-on-failure -j)
+build_tree "$BUILD"
+ctest_tree "$BUILD"
 # Crash/restart coverage gets its own visible pass (same binaries).
-(cd "$BUILD" && ctest --output-on-failure -L recovery)
+ctest_tree "$BUILD" -L recovery
 # Multi-node cluster convergence gets the same treatment.
-(cd "$BUILD" && ctest --output-on-failure -L replication)
+ctest_tree "$BUILD" -L replication
 # Columnar/varint/compression codec coverage: the bit-identical round-trip
 # invariant and the versioned block frames.
-(cd "$BUILD" && ctest --output-on-failure -L encoding)
+ctest_tree "$BUILD" -L encoding
+# Deterministic fuzz pass: corpus replay + bounded mutation loop on every
+# harness (the corpus crash-* files are the decoder-bug regression suite).
+ctest_tree "$BUILD" -L fuzz
 
 # ThreadSanitizer gate: the `concurrency` label (sharded ingest, snapshot
 # readers, parallel queries) rebuilt under -fsanitize=thread. Any data
 # race fails the build.
 TSAN_BUILD="$ROOT/build-tsan"
-cmake -B "$TSAN_BUILD" -S "$ROOT" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+configure_tree "$TSAN_BUILD" RelWithDebInfo \
   -DPROVLEDGER_SANITIZE=thread \
   -DPROVLEDGER_BUILD_TESTS=ON \
   -DPROVLEDGER_BUILD_BENCHES=OFF \
   -DPROVLEDGER_BUILD_EXAMPLES=OFF
-cmake --build "$TSAN_BUILD" -j --target concurrency_test encoding_test
-(cd "$TSAN_BUILD" && ctest --output-on-failure -L concurrency)
+build_tree "$TSAN_BUILD" --target concurrency_test encoding_test \
+  encoding_hardening_test
+ctest_tree "$TSAN_BUILD" -L concurrency
 # The encoding suite also runs under TSan: the codec is exercised from
 # shard workers and the replication cluster threads.
-(cd "$TSAN_BUILD" && ctest --output-on-failure -L encoding)
+ctest_tree "$TSAN_BUILD" -L encoding
+
+# AddressSanitizer + UndefinedBehaviorSanitizer gate: the whole suite —
+# including the deterministic fuzz harnesses and the corpus regression
+# replay — under memory and UB checking. halt_on_error turns any UBSan
+# diagnostic into a test failure instead of a log line.
+ASAN_BUILD="$ROOT/build-asan"
+configure_tree "$ASAN_BUILD" RelWithDebInfo \
+  -DPROVLEDGER_SANITIZE=address,undefined \
+  -DPROVLEDGER_BUILD_TESTS=ON \
+  -DPROVLEDGER_BUILD_BENCHES=OFF \
+  -DPROVLEDGER_BUILD_EXAMPLES=OFF
+build_tree "$ASAN_BUILD"
+UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+  ASAN_OPTIONS="detect_leaks=1" \
+  ctest_tree "$ASAN_BUILD"
+
+# Lint gate: clang-tidy over compile_commands.json when available, else the
+# gcc strict-warning fallback. Either way a finding fails the check.
+"$ROOT/scripts/run_lint.sh" "$BUILD"
+
 echo "check_build: OK"

@@ -1,0 +1,41 @@
+# Shared helpers for scripts/*.sh — source this, don't execute it:
+#   source "$(dirname "${BASH_SOURCE[0]}")/lib.sh"
+# Sourcing sets ROOT to the repository root and defines the helpers below,
+# so every script configures build trees with the same flag vocabulary
+# instead of hand-copying cmake invocations.
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+# configure_tree <build-dir> <build-type> [extra cmake args...]
+# One cmake configure with the repo as source; extra args win (last flag
+# repeated takes effect), so callers can override the type defaults.
+configure_tree() {
+  local build="$1" type="$2"
+  shift 2
+  cmake -B "$build" -S "$ROOT" -DCMAKE_BUILD_TYPE="$type" "$@"
+}
+
+# build_tree <build-dir> [cmake --build args, e.g. --target foo]
+build_tree() {
+  local build="$1"
+  shift
+  cmake --build "$build" -j "$@"
+}
+
+# ctest_tree <build-dir> [ctest args, e.g. -L recovery]
+ctest_tree() {
+  local build="$1"
+  shift
+  (cd "$build" && ctest --output-on-failure "$@")
+}
+
+# require_binary <path> — fail loudly when a binary is missing (e.g. a
+# cmake option silently skipped its target): a tool that never ran must not
+# look like a tool that passed.
+require_binary() {
+  if [[ ! -x "$1" ]]; then
+    echo "${BASH_SOURCE[1]##*/}: binary missing: $1" >&2
+    echo "(target skipped or build failed — refusing to skip it silently)" >&2
+    exit 1
+  fi
+}

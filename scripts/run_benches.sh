@@ -12,35 +12,28 @@
 #
 # Usage: scripts/run_benches.sh [record_count]   (default 100000)
 set -euo pipefail
+source "$(dirname "${BASH_SOURCE[0]}")/lib.sh"
 
-ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD="$ROOT/build-release"
 RECORDS="${1:-100000}"
 
 BENCHES=(bench_graph_scale bench_query_api bench_recovery bench_concurrent
          bench_replication bench_iot_ingest)
 
-cmake -B "$BUILD" -S "$ROOT" \
-  -DCMAKE_BUILD_TYPE=Release \
+configure_tree "$BUILD" Release \
   -DPROVLEDGER_BUILD_BENCHES=ON \
   -DPROVLEDGER_BUILD_TESTS=OFF \
   -DPROVLEDGER_BUILD_EXAMPLES=OFF
 TARGET_ARGS=()
 for bench in "${BENCHES[@]}"; do TARGET_ARGS+=(--target "$bench"); done
-cmake --build "$BUILD" -j "${TARGET_ARGS[@]}"
+build_tree "$BUILD" "${TARGET_ARGS[@]}"
 
-# Fail loudly when a bench binary is missing (e.g. a cmake option silently
-# skipped its target): a bench that never ran must not look like a bench
-# that passed with stale numbers.
+# A bench that never ran must not look like a bench that passed with stale
+# numbers — require_binary fails loudly on a silently skipped target.
 run_bench() {
   local name="$1"; shift
-  local bin="$BUILD/$name"
-  if [[ ! -x "$bin" ]]; then
-    echo "run_benches.sh: bench binary missing: $bin" >&2
-    echo "(target skipped or build failed — refusing to skip it silently)" >&2
-    exit 1
-  fi
-  "$bin" "$@"
+  require_binary "$BUILD/$name"
+  "$BUILD/$name" "$@"
 }
 
 run_bench bench_graph_scale "$ROOT/BENCH_graph.json" "$RECORDS"

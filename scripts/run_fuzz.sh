@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Long-form fuzzing session over every harness in fuzz/.
+#
+#   * clang available -> coverage-guided libFuzzer binaries
+#     (PROVLEDGER_BUILD_FUZZERS=ON) under ASan+UBSan, each run for
+#     $FUZZ_SECONDS against its seed corpus, followed by corpus
+#     minimization (-merge=1) back into fuzz/corpus/<name>/. New crashers
+#     land in build-fuzz/artifacts/<name>/ — check them in as
+#     fuzz/corpus/<name>/crash-*.bin so the regression test replays them.
+#   * clang missing   -> deterministic fallback: the bounded-iteration
+#     driver binaries rebuilt under ASan+UBSan and run for $FUZZ_ITERATIONS
+#     mutations each (default 10x the ctest budget). No coverage feedback,
+#     but the same harness bodies and sanitizers.
+#
+# Usage: scripts/run_fuzz.sh [harness...]   (default: all harnesses)
+#   FUZZ_SECONDS=600 FUZZ_ITERATIONS=1000000 to change budgets.
+set -euo pipefail
+source "$(dirname "${BASH_SOURCE[0]}")/lib.sh"
+
+FUZZ_SECONDS="${FUZZ_SECONDS:-300}"
+FUZZ_ITERATIONS="${FUZZ_ITERATIONS:-1000000}"
+
+ALL_HARNESSES=()
+for src in "$ROOT"/fuzz/fuzz_*.cc; do
+  name="$(basename "$src" .cc)"
+  ALL_HARNESSES+=("$name")
+done
+if [[ $# -gt 0 ]]; then
+  HARNESSES=("$@")
+else
+  HARNESSES=("${ALL_HARNESSES[@]}")
+fi
+
+BUILD="$ROOT/build-fuzz"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+
+if command -v clang++ >/dev/null 2>&1; then
+  configure_tree "$BUILD" RelWithDebInfo \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DPROVLEDGER_BUILD_FUZZERS=ON \
+    -DPROVLEDGER_SANITIZE=address,undefined \
+    -DPROVLEDGER_BUILD_TESTS=OFF \
+    -DPROVLEDGER_BUILD_BENCHES=OFF \
+    -DPROVLEDGER_BUILD_EXAMPLES=OFF
+  build_tree "$BUILD"
+  for name in "${HARNESSES[@]}"; do
+    corpus="$ROOT/fuzz/corpus/${name#fuzz_}"
+    bin="$BUILD/${name}_libfuzzer"
+    require_binary "$bin"
+    mkdir -p "$corpus" "$BUILD/artifacts/${name#fuzz_}"
+    echo "=== libFuzzer: $name (${FUZZ_SECONDS}s) ==="
+    "$bin" -max_total_time="$FUZZ_SECONDS" \
+      -artifact_prefix="$BUILD/artifacts/${name#fuzz_}/" "$corpus"
+    # Minimize: rewrite the corpus as the smallest set with equal coverage.
+    tmp="$BUILD/corpus-min-${name#fuzz_}"
+    rm -rf "$tmp" && mkdir -p "$tmp"
+    "$bin" -merge=1 "$tmp" "$corpus"
+    # Keep checked-in crash-* regression fixtures regardless of coverage.
+    for crash in "$corpus"/crash-*; do
+      [[ -e "$crash" ]] && cp "$crash" "$tmp/"
+    done
+    rm -rf "$corpus" && mv "$tmp" "$corpus"
+  done
+  echo "run_fuzz: OK (libFuzzer)"
+  exit 0
+fi
+
+echo "run_fuzz: clang not found — deterministic driver fallback under ASan+UBSan"
+configure_tree "$BUILD" RelWithDebInfo \
+  -DPROVLEDGER_SANITIZE=address,undefined \
+  -DPROVLEDGER_BUILD_TESTS=ON \
+  -DPROVLEDGER_BUILD_BENCHES=OFF \
+  -DPROVLEDGER_BUILD_EXAMPLES=OFF
+TARGET_ARGS=()
+for name in "${HARNESSES[@]}"; do TARGET_ARGS+=(--target "$name"); done
+build_tree "$BUILD" "${TARGET_ARGS[@]}"
+for name in "${HARNESSES[@]}"; do
+  bin="$BUILD/$name"
+  require_binary "$bin"
+  echo "=== deterministic: $name ($FUZZ_ITERATIONS iterations) ==="
+  "$bin" "$ROOT/fuzz/corpus/${name#fuzz_}" "$FUZZ_ITERATIONS"
+done
+echo "run_fuzz: OK (deterministic)"

@@ -70,6 +70,13 @@ Bytes LzCompress(const Bytes& input) {
 }
 
 Result<Bytes> LzDecompress(const Bytes& input, size_t raw_size) {
+  // `raw_size` usually arrives from the same untrusted header as `input`.
+  // The densest valid stream emits kMaxMatch output bytes per 2 input bytes
+  // (match token + 1-byte distance), so any declared size beyond that ratio
+  // is unreachable — reject it before reserving the declared size.
+  if (raw_size / (kMaxMatch / 2 + 1) > input.size()) {
+    return Status::Corruption("lz declared raw size exceeds max expansion");
+  }
   Bytes out;
   out.reserve(raw_size);
   Decoder dec(input);

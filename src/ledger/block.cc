@@ -88,6 +88,12 @@ Result<Block> Block::Decode(const Bytes& data) {
   PROVLEDGER_ASSIGN_OR_RETURN(b.header, BlockHeader::DecodeFrom(&dec));
   uint32_t count = 0;
   PROVLEDGER_RETURN_NOT_OK(dec.GetU32(&count));
+  // The count prefix is untrusted: the smallest encoded transaction is far
+  // larger than 4 bytes, so a count beyond remaining/4 cannot be satisfied
+  // by the payload — reject it before reserving storage for it.
+  if (count > dec.remaining() / 4) {
+    return Status::Corruption("block transaction count exceeds payload");
+  }
   b.transactions.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     PROVLEDGER_ASSIGN_OR_RETURN(Transaction tx, Transaction::DecodeFrom(&dec));

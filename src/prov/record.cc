@@ -89,18 +89,37 @@ Result<ProvenanceRecord> ProvenanceRecord::DecodeFrom(Decoder* dec) {
   PROVLEDGER_RETURN_NOT_OK(dec->GetString(&rec.agent));
   PROVLEDGER_RETURN_NOT_OK(dec->GetI64(&rec.timestamp));
 
+  // Count prefixes are attacker-controlled: each remaining element costs at
+  // least a u32 length prefix (4 bytes), so any count exceeding remaining/4
+  // is corrupt — reject before sizing containers off it.
   uint32_t n = 0;
   PROVLEDGER_RETURN_NOT_OK(dec->GetU32(&n));
+  if (n > dec->remaining() / 4) {
+    return Status::Corruption("record inputs count exceeds payload");
+  }
   rec.inputs.resize(n);
   for (auto& in : rec.inputs) PROVLEDGER_RETURN_NOT_OK(dec->GetString(&in));
   PROVLEDGER_RETURN_NOT_OK(dec->GetU32(&n));
+  if (n > dec->remaining() / 4) {
+    return Status::Corruption("record outputs count exceeds payload");
+  }
   rec.outputs.resize(n);
   for (auto& out : rec.outputs) PROVLEDGER_RETURN_NOT_OK(dec->GetString(&out));
   PROVLEDGER_RETURN_NOT_OK(dec->GetU32(&n));
+  if (n > dec->remaining() / 8) {  // a field is two length-prefixed strings
+    return Status::Corruption("record fields count exceeds payload");
+  }
   for (uint32_t i = 0; i < n; ++i) {
     std::string key, value;
     PROVLEDGER_RETURN_NOT_OK(dec->GetString(&key));
     PROVLEDGER_RETURN_NOT_OK(dec->GetString(&value));
+    // The encoding is canonical (EncodeTo walks the map in key order), so a
+    // decoder seeing out-of-order or duplicate keys is looking at bytes no
+    // encoder produced. Accepting them would let two distinct byte strings
+    // decode to records with the same Hash().
+    if (!rec.fields.empty() && key <= rec.fields.rbegin()->first) {
+      return Status::Corruption("record field keys not strictly increasing");
+    }
     rec.fields.emplace(std::move(key), std::move(value));
   }
   Bytes raw;

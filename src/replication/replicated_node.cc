@@ -204,8 +204,9 @@ void ReplicatedNode::HandleStatus(const network::Message& message) {
   uint64_t peer_height = 0;
   Bytes peer_head;
   if (!dec.GetU8(&probe).ok() || !dec.GetU64(&peer_height).ok() ||
-      !dec.GetRaw(crypto::kSha256DigestSize, &peer_head).ok()) {
-    return;
+      !dec.GetRaw(crypto::kSha256DigestSize, &peer_head).ok() ||
+      !dec.AtEnd()) {
+    return;  // short or oversized status: not a frame any peer sends
   }
   if (probe != 0 && net_ != nullptr) SendStatus(message.from, /*probe=*/false);
   // Height decides who pulls. Equal heights with different heads (a
@@ -220,7 +221,7 @@ void ReplicatedNode::HandlePull(const network::Message& message) {
   if (net_ == nullptr) return;
   Decoder dec(message.payload);
   uint64_t from_height = 0;
-  if (!dec.GetU64(&from_height).ok()) return;
+  if (!dec.GetU64(&from_height).ok() || !dec.AtEnd()) return;
   auto blocks = chain_.PeekRange(from_height, options_.catch_up_batch_blocks);
   Encoder enc;
   enc.PutU64(chain_.height());
@@ -234,15 +235,25 @@ void ReplicatedNode::HandlePull(const network::Message& message) {
 }
 
 void ReplicatedNode::HandleBlocks(const network::Message& message) {
+  // Parse the whole wire message before touching the chain: a frame that
+  // is truncated mid-list or carries trailing bytes is dropped outright,
+  // so a malformed batch can never half-apply.
   Decoder dec(message.payload);
   uint64_t sender_height = 0;
   uint32_t count = 0;
   if (!dec.GetU64(&sender_height).ok() || !dec.GetU32(&count).ok()) return;
-  size_t attached = 0;
-  uint64_t attached_tip = 0;
+  std::vector<Bytes> encoded_blocks;
+  if (count > dec.remaining() / 4) return;  // each entry has a u32 prefix
+  encoded_blocks.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     Bytes encoded;
-    if (!dec.GetBytes(&encoded).ok()) break;
+    if (!dec.GetBytes(&encoded).ok()) return;
+    encoded_blocks.push_back(std::move(encoded));
+  }
+  if (!dec.AtEnd()) return;
+  size_t attached = 0;
+  uint64_t attached_tip = 0;
+  for (const Bytes& encoded : encoded_blocks) {
     auto block = prov::columnar::DecodeBlock(encoded);
     if (!block.ok()) {
       ++metrics_.blocks_rejected;
