@@ -14,6 +14,8 @@
 #include "access/stage_gate.h"
 #include "access/views.h"
 
+#include "must.h"
+
 namespace {
 
 using namespace provledger;  // benchmark driver
@@ -22,12 +24,12 @@ access::RbacPolicy MakeRbac(size_t principals) {
   access::RbacPolicy rbac;
   for (const char* role : {"doctor", "nurse", "auditor", "admin"}) {
     rbac.DefineRole(role);
-    (void)rbac.GrantPermission(role, "read");
+    Must(rbac.GrantPermission(role, "read"));
   }
-  (void)rbac.GrantPermission("admin", "write");
+  Must(rbac.GrantPermission("admin", "write"));
   for (size_t i = 0; i < principals; ++i) {
-    (void)rbac.AssignRole("user-" + std::to_string(i),
-                          i % 2 ? "doctor" : "nurse");
+    Must(rbac.AssignRole("user-" + std::to_string(i),
+                          i % 2 ? "doctor" : "nurse"));
   }
   return rbac;
 }
@@ -80,8 +82,8 @@ void PrintAccessTable() {
   }
   {
     access::StageGate gate({"s1", "s2", "s3", "s4", "s5"});
-    (void)gate.AllowInStage("s1", "investigator", "read");
-    (void)gate.StartProcess("p");
+    Must(gate.AllowInStage("s1", "investigator", "read"));
+    Must(gate.StartProcess("p"));
     auto t0 = std::chrono::steady_clock::now();
     int allowed = 0;
     for (int i = 0; i < kChecks; ++i) {
@@ -130,15 +132,15 @@ void BM_ViewQuery(benchmark::State& state) {
     rec.subject = "prod-1";
     rec.agent = "a";
     rec.timestamp = i;
-    (void)store.Anchor(rec);
+    Must(store.Anchor(rec));
   }
   access::ViewManager views(&store);
   access::View view;
   view.name = "v";
   view.owner = "owner";
   view.filter.operations = {"transfer"};
-  (void)views.CreateView(view);
-  (void)views.Grant("v", "owner", "reader");
+  Must(views.CreateView(view));
+  Must(views.Grant("v", "owner", "reader"));
   for (auto _ : state) {
     auto records = views.Query("v", "reader", "prod-1");
     benchmark::DoNotOptimize(records);

@@ -152,7 +152,8 @@ RunResult RunPipeline(size_t n, size_t shards, size_t producers,
           chunk.reserve(kBatchSize);
         }
       }
-      if (!chunk.empty()) pipeline.SubmitBatch(std::move(chunk));
+      if (!chunk.empty() && !pipeline.SubmitBatch(std::move(chunk)).ok())
+            return;
     });
   }
   for (auto& t : threads) t.join();
@@ -262,7 +263,8 @@ int Run(const std::string& json_path, size_t n) {
             chunk.reserve(kBatchSize);
           }
         }
-        if (!chunk.empty()) pipeline.SubmitBatch(std::move(chunk));
+        if (!chunk.empty() && !pipeline.SubmitBatch(std::move(chunk)).ok())
+            return;
       });
     }
     for (auto& t : producers) t.join();

@@ -12,6 +12,8 @@
 #include "crosschain/relay.h"
 #include "crosschain/sidechain.h"
 
+#include "must.h"
+
 namespace {
 
 using namespace provledger;  // benchmark driver
@@ -24,8 +26,8 @@ void PrintPrimitiveTable() {
     const int kSwaps = 20;
     SimClock clock(1'000'000);
     crosschain::AssetLedger a("chain-a", &clock), b("chain-b", &clock);
-    (void)a.Mint("alice", 10'000);
-    (void)b.Mint("bob", 10'000);
+    Must(a.Mint("alice", 10'000));
+    Must(b.Mint("bob", 10'000));
     crosschain::AtomicSwap swap(&a, &b, &clock);
     int completed = 0, aborted_clean = 0;
     for (int i = 0; i < kSwaps; ++i) {
@@ -70,15 +72,15 @@ void PrintPrimitiveTable() {
     SimClock clock(0);
     crosschain::RelayChain relay(&clock);
     ledger::Blockchain source(ledger::ChainOptions{.chain_id = "src"});
-    (void)relay.RegisterChain("src", source.GetHeader(0).value());
+    Must(relay.RegisterChain("src", source.GetHeader(0).value()));
     std::vector<ledger::Transaction> txs;
     for (int i = 0; i < 64; ++i) {
       auto tx = ledger::Transaction::MakeSystem(
           "t", "c", ToBytes("p" + std::to_string(i)), 1000 + i, i);
       txs.push_back(tx);
-      (void)source.Append({tx}, 1000 + i, "src");
-      (void)relay.SubmitHeader(
-          "src", source.GetHeader(source.height()).value());
+      Must(source.Append({tx}, 1000 + i, "src"));
+      Must(relay.SubmitHeader(
+          "src", source.GetHeader(source.height()).value()));
     }
     auto proof = source.ProveTransaction(txs[32].Id());
     bool verified = relay
@@ -95,12 +97,12 @@ void PrintPrimitiveTable() {
     SimClock clock(0);
     crosschain::PeggedSidechain peg(&clock);
     peg.FundMain("alice", 1000);
-    (void)peg.Deposit("alice", 500);
+    Must(peg.Deposit("alice", 500));
     for (int i = 0; i < 50; ++i) {
-      (void)peg.SideTransfer("alice", "bob", 5);
+      Must(peg.SideTransfer("alice", "bob", 5));
     }
     auto burn = peg.WithdrawInitiate("bob", 200);
-    (void)peg.Checkpoint();
+    Must(peg.Checkpoint());
     bool withdrawn = peg.WithdrawComplete("bob", burn.value()).ok();
     std::printf("  sidechain: 50 side transfers, checkpointed height %llu, "
                 "withdrawal via burn proof: %s\n\n",
@@ -112,8 +114,8 @@ void PrintPrimitiveTable() {
 void BM_HtlcSwap(benchmark::State& state) {
   SimClock clock(1'000'000);
   crosschain::AssetLedger a("chain-a", &clock), b("chain-b", &clock);
-  (void)a.Mint("alice", 100'000'000);
-  (void)b.Mint("bob", 100'000'000);
+  Must(a.Mint("alice", 100'000'000));
+  Must(b.Mint("bob", 100'000'000));
   crosschain::AtomicSwap swap(&a, &b, &clock);
   uint64_t i = 0;
   for (auto _ : state) {
@@ -153,10 +155,10 @@ void BM_RelayVerifyForeignTx(benchmark::State& state) {
   SimClock clock(0);
   crosschain::RelayChain relay(&clock);
   ledger::Blockchain source(ledger::ChainOptions{.chain_id = "src"});
-  (void)relay.RegisterChain("src", source.GetHeader(0).value());
+  Must(relay.RegisterChain("src", source.GetHeader(0).value()));
   auto tx = ledger::Transaction::MakeSystem("t", "c", ToBytes("p"), 1000, 1);
-  (void)source.Append({tx}, 1000, "src");
-  (void)relay.SubmitHeader("src", source.GetHeader(1).value());
+  Must(source.Append({tx}, 1000, "src"));
+  Must(relay.SubmitHeader("src", source.GetHeader(1).value()));
   auto proof = source.ProveTransaction(tx.Id()).value();
   Bytes encoding = tx.Encode();
   for (auto _ : state) {

@@ -13,6 +13,8 @@
 #include "crosschain/provquery.h"
 #include "domains/scientific/workflow.h"
 
+#include "must.h"
+
 namespace {
 
 using namespace provledger;  // benchmark driver
@@ -27,9 +29,9 @@ void PrintPipeline() {
   storage::ContentStore content;
   cloud::CloudStore cloud(&org_a_store, &content, &clock);
   Timestamp t0 = clock.NowMicros();
-  (void)cloud.CreateFile("alice", "raw-data.csv", ToBytes("sensor dump"));
-  (void)cloud.UpdateFile("alice", "raw-data.csv", ToBytes("sensor dump v2"));
-  (void)cloud.ShareFile("alice", "raw-data.csv", "lab");
+  Must(cloud.CreateFile("alice", "raw-data.csv", ToBytes("sensor dump")));
+  Must(cloud.UpdateFile("alice", "raw-data.csv", ToBytes("sensor dump v2")));
+  Must(cloud.ShareFile("alice", "raw-data.csv", "lab"));
   clock.Advance(300);
   Timestamp t1 = clock.NowMicros();
   std::printf("  RQ1  single-entity capture   : %3zu records  (sim %lld us)\n",
@@ -38,10 +40,10 @@ void PrintPipeline() {
 
   // --- RQ2: a collaborative workflow consumes the file --------------------
   scientific::WorkflowManager wm(&org_a_store, &clock);
-  (void)wm.CreateWorkflow("analysis", "lab");
-  (void)wm.AddTask("analysis", "clean", "clean");
-  (void)wm.AddTask("analysis", "model", "fit", {"clean"});
-  (void)wm.ExecuteAll("analysis", "lab");
+  Must(wm.CreateWorkflow("analysis", "lab"));
+  Must(wm.AddTask("analysis", "clean", "clean"));
+  Must(wm.AddTask("analysis", "model", "fit", {"clean"}));
+  Must(wm.ExecuteAll("analysis", "lab"));
   clock.Advance(500);
   Timestamp t2 = clock.NowMicros();
   std::printf("  RQ2  intra-chain collaboration: %3zu records  (sim %lld us)\n",
@@ -57,11 +59,11 @@ void PrintPipeline() {
   downstream.subject = "model";  // org-b re-publishes org-a's model task
   downstream.agent = "org-b";
   downstream.timestamp = clock.NowMicros();
-  (void)org_b_store.Anchor(downstream);
+  Must(org_b_store.Anchor(downstream));
 
   crosschain::DependencyChain deps(&clock);
-  (void)deps.RecordDependency("model", "org-a");
-  (void)deps.RecordDependency("model", "org-b");
+  Must(deps.RecordDependency("model", "org-a"));
+  Must(deps.RecordDependency("model", "org-b"));
 
   std::vector<crosschain::OrgChain> orgs;
   orgs.push_back({"org-a", &org_a_chain, &org_a_store, 2000});
@@ -87,11 +89,11 @@ void BM_FullPipeline(benchmark::State& state) {
     prov::ProvenanceStore store(&chain, &clock);
     storage::ContentStore content;
     cloud::CloudStore cloud(&store, &content, &clock);
-    (void)cloud.CreateFile("alice", "f", ToBytes("x"));
+    Must(cloud.CreateFile("alice", "f", ToBytes("x")));
     scientific::WorkflowManager wm(&store, &clock);
-    (void)wm.CreateWorkflow("wf", "lab");
-    (void)wm.AddTask("wf", "t", "op");
-    (void)wm.ExecuteAll("wf", "lab");
+    Must(wm.CreateWorkflow("wf", "lab"));
+    Must(wm.AddTask("wf", "t", "op"));
+    Must(wm.ExecuteAll("wf", "lab"));
     benchmark::DoNotOptimize(store.anchored_count());
   }
 }

@@ -10,6 +10,8 @@
 
 #include "ledger/chain.h"
 
+#include "must.h"
+
 namespace {
 
 using namespace provledger;  // benchmark driver
@@ -34,10 +36,10 @@ void PrintTamperSweep() {
   for (int k = 1; k <= kBlocks; ++k) {
     ledger::Blockchain chain;
     for (int b = 1; b <= kBlocks; ++b) {
-      (void)chain.Append(MakeTxs(4, static_cast<uint64_t>(b)), 1000 + b,
-                         "node");
+      Must(chain.Append(MakeTxs(4, static_cast<uint64_t>(b)), 1000 + b,
+                         "node"));
     }
-    (void)chain.TamperForTesting(static_cast<uint64_t>(k), 0, 0xFF);
+    Must(chain.TamperForTesting(static_cast<uint64_t>(k), 0, 0xFF));
     if (chain.VerifyIntegrity().IsCorruption()) ++detected;
   }
   std::printf("  tampered heights tested : %d\n", kBlocks);
@@ -82,7 +84,7 @@ void BM_ChainVerifyIntegrity(benchmark::State& state) {
   const size_t blocks = static_cast<size_t>(state.range(0));
   ledger::Blockchain chain;
   for (size_t b = 1; b <= blocks; ++b) {
-    (void)chain.Append(MakeTxs(8, b), 1000 + static_cast<int64_t>(b), "n");
+    Must(chain.Append(MakeTxs(8, b), 1000 + static_cast<int64_t>(b), "n"));
   }
   for (auto _ : state) {
     Status s = chain.VerifyIntegrity();
@@ -96,7 +98,7 @@ void BM_TxInclusionProof(benchmark::State& state) {
   const size_t txs_per_block = static_cast<size_t>(state.range(0));
   ledger::Blockchain chain;
   auto txs = MakeTxs(txs_per_block, 1);
-  (void)chain.Append(txs, 1000, "n");
+  Must(chain.Append(txs, 1000, "n"));
   for (auto _ : state) {
     auto proof = chain.ProveTransaction(txs[txs_per_block / 2].Id());
     benchmark::DoNotOptimize(proof);

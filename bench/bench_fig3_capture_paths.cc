@@ -10,6 +10,8 @@
 
 #include "prov/capture.h"
 
+#include "must.h"
+
 namespace {
 
 using namespace provledger;  // benchmark driver
@@ -41,7 +43,7 @@ void PrintCapturePathTable() {
     capture.RegisterUser("user-1",
                          crypto::PrivateKey::FromSeed(std::string("user-1")));
     for (int i = 0; i < kRecords; ++i) {
-      (void)capture.Capture("user-1", Rec(static_cast<uint64_t>(i)));
+      Must(capture.Capture("user-1", Rec(static_cast<uint64_t>(i))));
     }
     std::printf("  %-28s %14.1f %12llu %10llu\n", capture.name().c_str(),
                 static_cast<double>(clock.NowMicros()) / kRecords,
@@ -56,9 +58,9 @@ void PrintCapturePathTable() {
     prov::ProvenanceStore store(&chain, &clock);
     prov::DataStoreCapture capture(&store, &clock, /*flush_threshold=*/8);
     for (int i = 0; i < kRecords; ++i) {
-      (void)capture.Capture("user-1", Rec(static_cast<uint64_t>(i)));
+      Must(capture.Capture("user-1", Rec(static_cast<uint64_t>(i))));
     }
-    (void)capture.FlushBuffered();
+    Must(capture.FlushBuffered());
     std::printf("  %-28s %14.1f %12llu %10llu\n", capture.name().c_str(),
                 static_cast<double>(clock.NowMicros()) / kRecords,
                 static_cast<unsigned long long>(capture.metrics().messages),
@@ -73,7 +75,7 @@ void PrintCapturePathTable() {
     prov::CentralizedCapture capture(&store, &clock);
     capture.PresentToken("user-1", capture.EnrollUser("user-1"));
     for (int i = 0; i < kRecords; ++i) {
-      (void)capture.Capture("user-1", Rec(static_cast<uint64_t>(i)));
+      Must(capture.Capture("user-1", Rec(static_cast<uint64_t>(i))));
     }
     std::printf("  %-28s %14.1f %12llu %10llu\n", capture.name().c_str(),
                 static_cast<double>(clock.NowMicros()) / kRecords,
@@ -88,7 +90,7 @@ void PrintCapturePathTable() {
     prov::ProvenanceStore store(&chain, &clock);
     prov::DecentralizedCapture capture(&store, &clock, 4, 3);
     for (int i = 0; i < kRecords; ++i) {
-      (void)capture.Capture("user-1", Rec(static_cast<uint64_t>(i)));
+      Must(capture.Capture("user-1", Rec(static_cast<uint64_t>(i))));
     }
     std::printf("  %-28s %14.1f %12llu %10llu\n", capture.name().c_str(),
                 static_cast<double>(clock.NowMicros()) / kRecords,

@@ -10,6 +10,8 @@
 
 #include "domains/scientific/workflow.h"
 
+#include "must.h"
+
 namespace {
 
 using namespace provledger;  // benchmark driver
@@ -18,14 +20,14 @@ using namespace provledger;  // benchmark driver
 // task of the previous layer.
 void BuildWorkflow(scientific::WorkflowManager* wm, const std::string& wf,
                    size_t depth, size_t width) {
-  (void)wm->CreateWorkflow(wf, "lab");
+  Must(wm->CreateWorkflow(wf, "lab"));
   std::vector<std::string> previous;
   for (size_t layer = 0; layer < depth; ++layer) {
     std::vector<std::string> current;
     for (size_t i = 0; i < width; ++i) {
       std::string task =
           "t" + std::to_string(layer) + "-" + std::to_string(i);
-      (void)wm->AddTask(wf, task, "op", previous);
+      Must(wm->AddTask(wf, task, "op", previous));
       current.push_back(task);
     }
     previous = std::move(current);
@@ -46,7 +48,7 @@ void PrintLifecycleTable() {
     scientific::WorkflowManager wm(&store, &clock);
     BuildWorkflow(&wm, "wf", depth, width);
     auto executed = wm.ExecuteAll("wf", "alice");
-    (void)wm.Publish("wf");
+    Must(wm.Publish("wf"));
 
     // Invalidate one task in layer 1: everything below it cascades; layer 0
     // is untouched.
@@ -69,12 +71,12 @@ void BM_ExecuteTask(benchmark::State& state) {
   SimClock clock(0);
   prov::ProvenanceStore store(&chain, &clock);
   scientific::WorkflowManager wm(&store, &clock);
-  (void)wm.CreateWorkflow("wf", "lab");
+  Must(wm.CreateWorkflow("wf", "lab"));
   uint64_t i = 0;
   for (auto _ : state) {
     state.PauseTiming();
     std::string task = "task-" + std::to_string(i++);
-    (void)wm.AddTask("wf", task, "op");
+    Must(wm.AddTask("wf", task, "op"));
     state.ResumeTiming();
     Status s = wm.ExecuteTask("wf", task, "alice");
     benchmark::DoNotOptimize(s);
@@ -92,7 +94,7 @@ void BM_InvalidationCascade(benchmark::State& state) {
     prov::ProvenanceStore store(&chain, &clock);
     scientific::WorkflowManager wm(&store, &clock);
     BuildWorkflow(&wm, "wf", depth, 3);
-    (void)wm.ExecuteAll("wf", "alice");
+    Must(wm.ExecuteAll("wf", "alice"));
     state.ResumeTiming();
     auto invalidated = wm.InvalidateTask("wf", "t0-0", "x");
     benchmark::DoNotOptimize(invalidated);

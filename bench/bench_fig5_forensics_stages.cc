@@ -10,6 +10,8 @@
 
 #include "domains/forensics/case_manager.h"
 
+#include "must.h"
+
 namespace {
 
 using namespace provledger;  // benchmark driver
@@ -22,26 +24,26 @@ void RunCase(size_t evidence_count, double* collect_ms, double* verify_ms,
   storage::ContentStore content;
   forensics::CaseManager cm(&store, &content, &clock);
 
-  (void)cm.OpenCase("case-1", "lead", "2026-06-01");
-  (void)cm.IdentifySource("case-1", "laptop", "inv");        // identification
-  (void)cm.AdvanceStage("case-1", "lead");                   // preservation
-  (void)cm.AdvanceStage("case-1", "lead");                   // collection
+  Must(cm.OpenCase("case-1", "lead", "2026-06-01"));
+  Must(cm.IdentifySource("case-1", "laptop", "inv"));        // identification
+  Must(cm.AdvanceStage("case-1", "lead"));                   // preservation
+  Must(cm.AdvanceStage("case-1", "lead"));                   // collection
 
   auto t0 = std::chrono::steady_clock::now();
   for (size_t i = 0; i < evidence_count; ++i) {
-    (void)cm.CollectEvidence("case-1", "ev-" + std::to_string(i), "img",
+    Must(cm.CollectEvidence("case-1", "ev-" + std::to_string(i), "img",
                              ToBytes("evidence-bytes-" + std::to_string(i)),
-                             "inv");
+                             "inv"));
   }
   auto t1 = std::chrono::steady_clock::now();
 
-  (void)cm.AdvanceStage("case-1", "lead");                   // analysis
+  Must(cm.AdvanceStage("case-1", "lead"));                   // analysis
   for (size_t i = 0; i < evidence_count; ++i) {
-    (void)cm.AnalyzeEvidence("case-1", "ev-" + std::to_string(i), "finding",
-                             "analyst");
+    Must(cm.AnalyzeEvidence("case-1", "ev-" + std::to_string(i), "finding",
+                             "analyst"));
   }
-  (void)cm.AdvanceStage("case-1", "lead");                   // reporting
-  (void)cm.FileReport("case-1", "done", "lead", "2026-07-01");
+  Must(cm.AdvanceStage("case-1", "lead"));                   // reporting
+  Must(cm.FileReport("case-1", "done", "lead", "2026-07-01"));
 
   auto t2 = std::chrono::steady_clock::now();
   size_t verified = 0;
@@ -80,9 +82,9 @@ void BM_CollectEvidence(benchmark::State& state) {
   prov::ProvenanceStore store(&chain, &clock);
   storage::ContentStore content;
   forensics::CaseManager cm(&store, &content, &clock);
-  (void)cm.OpenCase("case-1", "lead", "2026-06-01");
-  (void)cm.AdvanceStage("case-1", "lead");
-  (void)cm.AdvanceStage("case-1", "lead");
+  Must(cm.OpenCase("case-1", "lead", "2026-06-01"));
+  Must(cm.AdvanceStage("case-1", "lead"));
+  Must(cm.AdvanceStage("case-1", "lead"));
   uint64_t i = 0;
   for (auto _ : state) {
     Status s = cm.CollectEvidence("case-1", "ev-" + std::to_string(i++),
@@ -100,12 +102,12 @@ void BM_VerifyEvidenceForest(benchmark::State& state) {
   prov::ProvenanceStore store(&chain, &clock);
   storage::ContentStore content;
   forensics::CaseManager cm(&store, &content, &clock);
-  (void)cm.OpenCase("case-1", "lead", "2026-06-01");
-  (void)cm.AdvanceStage("case-1", "lead");
-  (void)cm.AdvanceStage("case-1", "lead");
+  Must(cm.OpenCase("case-1", "lead", "2026-06-01"));
+  Must(cm.AdvanceStage("case-1", "lead"));
+  Must(cm.AdvanceStage("case-1", "lead"));
   for (size_t i = 0; i < evidence; ++i) {
-    (void)cm.CollectEvidence("case-1", "ev-" + std::to_string(i), "img",
-                             ToBytes("b" + std::to_string(i)), "inv");
+    Must(cm.CollectEvidence("case-1", "ev-" + std::to_string(i), "img",
+                             ToBytes("b" + std::to_string(i)), "inv"));
   }
   size_t i = 0;
   for (auto _ : state) {

@@ -10,6 +10,8 @@
 
 #include "cloud/cloud_store.h"
 
+#include "must.h"
+
 namespace {
 
 using namespace provledger;  // benchmark driver
@@ -38,8 +40,8 @@ void PrintOverheadTable() {
     cloud::CloudStore cloud(&store, &content, &clock);
     auto t0 = std::chrono::steady_clock::now();
     for (int i = 0; i < kOps; ++i) {
-      (void)cloud.CreateFile("u", "f-" + std::to_string(i),
-                             ToBytes("content-" + std::to_string(i)));
+      Must(cloud.CreateFile("u", "f-" + std::to_string(i),
+                             ToBytes("content-" + std::to_string(i))));
     }
     hooked_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - t0)
@@ -58,7 +60,7 @@ void PrintOverheadTable() {
     storage::ContentStore content;
     cloud::CloudStore cloud(&store, &content, &clock);
     for (int i = 0; i < n; ++i) {
-      (void)cloud.CreateFile("u", "f-" + std::to_string(i), ToBytes("x"));
+      Must(cloud.CreateFile("u", "f-" + std::to_string(i), ToBytes("x")));
     }
     cloud::CloudAuditor auditor(&store);
     auto t0 = std::chrono::steady_clock::now();
@@ -94,7 +96,7 @@ void BM_AuditRecord(benchmark::State& state) {
   storage::ContentStore content;
   cloud::CloudStore cloud(&store, &content, &clock);
   for (int i = 0; i < history; ++i) {
-    (void)cloud.CreateFile("u", "f-" + std::to_string(i), ToBytes("x"));
+    Must(cloud.CreateFile("u", "f-" + std::to_string(i), ToBytes("x")));
   }
   cloud::CloudAuditor auditor(&store);
   uint64_t i = 0;

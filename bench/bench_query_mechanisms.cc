@@ -12,6 +12,8 @@
 
 #include "crosschain/provquery.h"
 
+#include "must.h"
+
 namespace {
 
 using namespace provledger;  // benchmark driver
@@ -40,9 +42,9 @@ struct Deployment {
           rec.subject = "asset-1";
           rec.agent = opts.chain_id;
           rec.timestamp = static_cast<Timestamp>(r);
-          (void)stores.back()->Anchor(rec);
+          Must(stores.back()->Anchor(rec));
         }
-        (void)deps.RecordDependency("asset-1", opts.chain_id);
+        Must(deps.RecordDependency("asset-1", opts.chain_id));
       }
       crosschain::OrgChain org;
       org.chain_id = opts.chain_id;
@@ -106,7 +108,7 @@ void BM_SingleChainSubjectHistory(benchmark::State& state) {
     rec.subject = "doc-" + std::to_string(i % 16);
     rec.agent = "a";
     rec.timestamp = i;
-    (void)store.Anchor(rec);
+    Must(store.Anchor(rec));
   }
   for (auto _ : state) {
     auto history = store.SubjectHistory("doc-3");
@@ -130,7 +132,7 @@ void BM_LineageQuery(benchmark::State& state) {
     rec.timestamp = i;
     if (i > 0) rec.inputs = {"e-" + std::to_string(i)};
     rec.outputs = {"e-" + std::to_string(i + 1)};
-    (void)store.Anchor(rec);
+    Must(store.Anchor(rec));
   }
   for (auto _ : state) {
     auto lineage = store.Lineage("e-" + std::to_string(depth));

@@ -12,6 +12,8 @@
 #include "prov/store.h"
 #include "storage/content_store.h"
 
+#include "must.h"
+
 namespace {
 
 using namespace provledger;  // benchmark driver
@@ -36,7 +38,7 @@ void PrintOverheadTable() {
       rec.agent = "u";
       rec.timestamp = i;
       rec.fields["data"] = BytesToString(rng.NextBytes(payload));
-      (void)store_a.Anchor(rec);
+      Must(store_a.Anchor(rec));
     }
     double onchain =
         static_cast<double>(chain_a.ApproximateBytes() - base_a) / kRecords;
@@ -55,7 +57,7 @@ void PrintOverheadTable() {
       rec.agent = "u";
       rec.timestamp = i;
       rec.payload_hash = content.Put(rng.NextBytes(payload));
-      (void)store_b.Anchor(rec);
+      Must(store_b.Anchor(rec));
     }
     double hashed =
         static_cast<double>(chain_b.ApproximateBytes() - base_b) / kRecords;

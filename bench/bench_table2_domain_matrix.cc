@@ -14,6 +14,8 @@
 #include "domains/scientific/workflow.h"
 #include "domains/supplychain/supply_chain.h"
 
+#include "must.h"
+
 namespace {
 
 using namespace provledger;  // benchmark driver
@@ -37,9 +39,9 @@ std::vector<Cell> ScientificColumn() {
   SimClock clock(0);
   prov::ProvenanceStore store(&chain, &clock);
   scientific::WorkflowManager wm(&store, &clock);
-  (void)wm.CreateWorkflow("wf", "lab");
-  (void)wm.AddTask("wf", "a", "op");
-  (void)wm.AddTask("wf", "b", "op", {"a"});
+  Must(wm.CreateWorkflow("wf", "lab"));
+  Must(wm.AddTask("wf", "a", "op"));
+  Must(wm.AddTask("wf", "b", "op", {"a"}));
   bool executed = wm.ExecuteAll("wf", "alice").ok();
   bool invalidate = wm.InvalidateTask("wf", "a", "x").ok();
   bool reexec = true;
@@ -127,8 +129,8 @@ std::vector<Cell> HealthcareColumn() {
   prov::ProvenanceStore store(&chain, &clock);
   storage::ContentStore content;
   healthcare::EhrSystem ehr(&store, &content, &clock);
-  (void)ehr.RegisterPatient("pat");
-  (void)ehr.rbac()->AssignRole("doc", "doctor");
+  Must(ehr.RegisterPatient("pat"));
+  Must(ehr.rbac()->AssignRole("doc", "doctor"));
   bool ownership = ehr.GrantConsent("pat", "doc", {"treatment"}).ok();
   auto rec = ehr.AddRecord("pat", "doc", "note", {"kw"});
   bool access_manager = rec.ok() &&

@@ -1,0 +1,36 @@
+// Abort-on-error helpers for bench drivers.
+//
+// A bench that discards a failed setup or ingest Status silently measures
+// a smaller workload than it reports — every number after the failure is
+// fiction. Under the repo-wide [[nodiscard]] contract the discards are now
+// compile errors; benches resolve them by treating any non-OK Status as
+// fatal instead of justifying a discard.
+//
+// Thread safety: stateless free functions — safe from any thread.
+
+#ifndef PROVLEDGER_BENCH_MUST_H_
+#define PROVLEDGER_BENCH_MUST_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+namespace provledger {
+
+inline void Must(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench: fatal status: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+void Must(const Result<T>& result) {
+  Must(result.status());
+}
+
+}  // namespace provledger
+
+#endif  // PROVLEDGER_BENCH_MUST_H_

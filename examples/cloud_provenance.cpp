@@ -9,6 +9,8 @@
 
 #include "cloud/cloud_store.h"
 
+#include "must.h"
+
 using namespace provledger;  // example code; library code never does this
 
 int main() {
@@ -24,12 +26,12 @@ int main() {
   cloud::CloudAuditor auditor(&store);
 
   // A user's day: create, edit, share, collaborator edits, read back.
-  (void)cloud.CreateFile("alice", "thesis.tex", ToBytes("\\chapter{Intro}"));
-  (void)cloud.UpdateFile("alice", "thesis.tex",
-                         ToBytes("\\chapter{Intro} more text"));
-  (void)cloud.ShareFile("alice", "thesis.tex", "advisor");
-  (void)cloud.UpdateFile("advisor", "thesis.tex",
-                         ToBytes("\\chapter{Intro} reviewed"));
+  Must(cloud.CreateFile("alice", "thesis.tex", ToBytes("\\chapter{Intro}")));
+  Must(cloud.UpdateFile("alice", "thesis.tex",
+                         ToBytes("\\chapter{Intro} more text")));
+  Must(cloud.ShareFile("alice", "thesis.tex", "advisor"));
+  Must(cloud.UpdateFile("advisor", "thesis.tex",
+                         ToBytes("\\chapter{Intro} reviewed")));
   auto denied = cloud.ReadFile("stranger", "thesis.tex");
   std::printf("stranger reads thesis.tex: %s\n",
               denied.status().ToString().c_str());
@@ -46,7 +48,7 @@ int main() {
   std::printf("\nauditor verified %zu records: OK\n", audit.value());
 
   // Tamper with the ledger -> the auditor notices.
-  (void)chain.TamperForTesting(2, 0, 0x99);
+  Must(chain.TamperForTesting(2, 0, 0x99));
   std::printf("after ledger tampering, audit says: %s\n",
               auditor.AuditEverything().status().ToString().c_str());
 

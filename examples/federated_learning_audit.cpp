@@ -11,6 +11,8 @@
 #include "domains/ml/asset_graph.h"
 #include "domains/ml/federated.h"
 
+#include "must.h"
+
 using namespace provledger;  // example code; library code never does this
 
 int main() {
@@ -22,14 +24,14 @@ int main() {
 
   // --- Asset registration (Lüthi et al.'s dataset/operation/model DAG) ----
   ml::AssetGraph assets(&store, &clock);
-  (void)assets.RegisterDataset("ds-hospital-a", "hospital-a");
-  (void)assets.RegisterDataset("ds-hospital-b", "hospital-b");
-  (void)assets.RegisterDataset("ds-hospital-c", "hospital-c");
-  (void)assets.RegisterDerivedDataset("ds-harmonized", "consortium",
+  Must(assets.RegisterDataset("ds-hospital-a", "hospital-a"));
+  Must(assets.RegisterDataset("ds-hospital-b", "hospital-b"));
+  Must(assets.RegisterDataset("ds-hospital-c", "hospital-c"));
+  Must(assets.RegisterDerivedDataset("ds-harmonized", "consortium",
                                       "harmonize",
-                                      {"ds-hospital-a", "ds-hospital-b"});
-  (void)assets.RegisterModel("diabetes-model-v1", "consortium", "fl-train",
-                             {"ds-harmonized", "ds-hospital-c"});
+                                      {"ds-hospital-a", "ds-hospital-b"}));
+  Must(assets.RegisterModel("diabetes-model-v1", "consortium", "fl-train",
+                             {"ds-harmonized", "ds-hospital-c"}));
   auto contributors = assets.Contributors("diabetes-model-v1");
   std::printf("fair-compensation set for diabetes-model-v1:");
   for (const auto& org : contributors) std::printf(" %s", org.c_str());

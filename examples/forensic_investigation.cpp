@@ -10,6 +10,8 @@
 
 #include "crosschain/forensicross.h"
 
+#include "must.h"
+
 using namespace provledger;  // example code; library code never does this
 
 int main() {
@@ -40,12 +42,12 @@ int main() {
     org.chain = bundle.chain.get();
     org.store = bundle.store.get();
     org.cases = bundle.cases.get();
-    (void)fx.RegisterOrg(org);
+    Must(fx.RegisterOrg(org));
     bundles.push_back(std::move(bundle));
   }
 
   // --- Link the case; both agencies start at identification ---------------
-  (void)fx.LinkCase("case-2026-0611", "lead-harper", "2026-06-11");
+  Must(fx.LinkCase("case-2026-0611", "lead-harper", "2026-06-11"));
   std::printf("case linked; stage everywhere: %s\n",
               bundles[0].cases->CurrentStage("case-2026-0611")->c_str());
 
@@ -54,20 +56,20 @@ int main() {
   std::printf("advance with 3/4 notaries: %s\n", partial.ToString().c_str());
 
   // --- Identification -> preservation -> collection ------------------------
-  (void)bundles[0].cases->IdentifySource("case-2026-0611", "suspect-laptop",
-                                         "inv-miller");
-  (void)fx.AdvanceLinkedStage("case-2026-0611", "lead-harper");
-  (void)fx.AdvanceLinkedStage("case-2026-0611", "lead-harper");
+  Must(bundles[0].cases->IdentifySource("case-2026-0611", "suspect-laptop",
+                                         "inv-miller"));
+  Must(fx.AdvanceLinkedStage("case-2026-0611", "lead-harper"));
+  Must(fx.AdvanceLinkedStage("case-2026-0611", "lead-harper"));
   std::printf("stage now: %s\n",
               bundles[0].cases->CurrentStage("case-2026-0611")->c_str());
 
   // Each agency collects its own evidence.
-  (void)bundles[0].cases->CollectEvidence("case-2026-0611", "laptop-image",
+  Must(bundles[0].cases->CollectEvidence("case-2026-0611", "laptop-image",
                                           "img", ToBytes("dd-image-bytes"),
-                                          "inv-miller");
-  (void)bundles[1].cases->CollectEvidence("case-2026-0611", "router-logs",
+                                          "inv-miller"));
+  Must(bundles[1].cases->CollectEvidence("case-2026-0611", "router-logs",
                                           "log", ToBytes("syslog-bytes"),
-                                          "inv-dubois");
+                                          "inv-dubois"));
 
   // --- Cross-chain evidence sharing ---------------------------------------
   auto shared = fx.ShareEvidence("agency-eu", "case-2026-0611", "router-logs");
@@ -79,23 +81,23 @@ int main() {
               fx.VerifySharedEvidence(forged).ToString().c_str());
 
   // --- Analysis with custody transfers -------------------------------------
-  (void)fx.AdvanceLinkedStage("case-2026-0611", "lead-harper");
-  (void)bundles[0].cases->TransferCustody("case-2026-0611", "laptop-image",
-                                          "inv-miller", "analyst-chen");
+  Must(fx.AdvanceLinkedStage("case-2026-0611", "lead-harper"));
+  Must(bundles[0].cases->TransferCustody("case-2026-0611", "laptop-image",
+                                          "inv-miller", "analyst-chen"));
   auto dup = bundles[0].cases->DuplicateEvidence("case-2026-0611",
                                                  "laptop-image",
                                                  "analyst-chen");
-  (void)bundles[0].cases->AnalyzeEvidence("case-2026-0611", "laptop-image",
+  Must(bundles[0].cases->AnalyzeEvidence("case-2026-0611", "laptop-image",
                                           "deleted-partition-recovered",
-                                          "analyst-chen");
+                                          "analyst-chen"));
   std::printf("\nworking copy %s created; analysis recorded\n",
               dup->c_str());
 
   // --- Reporting ------------------------------------------------------------
-  (void)fx.AdvanceLinkedStage("case-2026-0611", "lead-harper");
-  (void)bundles[0].cases->FileReport("case-2026-0611",
+  Must(fx.AdvanceLinkedStage("case-2026-0611", "lead-harper"));
+  Must(bundles[0].cases->FileReport("case-2026-0611",
                                      "exfiltration confirmed via router-logs",
-                                     "lead-harper", "2026-07-01");
+                                     "lead-harper", "2026-07-01"));
 
   // --- Combined authenticated provenance extraction ------------------------
   std::printf("\nchain of custody for laptop-image:\n");

@@ -1,0 +1,35 @@
+// Abort-on-error helper for the example walkthroughs.
+//
+// Examples teach the API's idiom, and the idiom is: never drop a Status.
+// Real services branch on the error; a linear demo has nothing sensible to
+// do on failure except stop, loudly — so every fallible call it does not
+// explicitly inspect goes through Must().
+//
+// Thread safety: stateless free functions — safe from any thread.
+
+#ifndef PROVLEDGER_EXAMPLES_MUST_H_
+#define PROVLEDGER_EXAMPLES_MUST_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+namespace provledger {
+
+inline void Must(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "example: fatal status: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+void Must(const Result<T>& result) {
+  Must(result.status());
+}
+
+}  // namespace provledger
+
+#endif  // PROVLEDGER_EXAMPLES_MUST_H_

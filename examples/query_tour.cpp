@@ -13,6 +13,8 @@
 
 #include "prov/store.h"
 
+#include "must.h"
+
 using provledger::SimClock;
 using provledger::Timestamp;
 using provledger::ledger::Blockchain;
@@ -58,7 +60,7 @@ int main() {
       rec.inputs = {"dataset"};
       rec.outputs = {rec.subject + "/v" + std::to_string(i)};
     }
-    (void)store.Anchor(rec);
+    Must(store.Anchor(rec));
   }
   std::printf("anchored %zu records\n\n", store.anchored_count());
 
@@ -100,7 +102,7 @@ int main() {
 
   // 6. Invalidate the first dataset update; every training that consumed
   // the dataset cascades, and validity filters split the record set.
-  (void)store.mutable_graph()->Invalidate("r0", 99'000, "label leakage");
+  Must(store.mutable_graph()->Invalidate("r0", 99'000, "label leakage"));
   std::printf("\nafter invalidating r0 (cascades into the trainings):\n");
   std::printf("  still valid:  %zu\n",
               store.Execute(Query().OnlyValid().CountOnly()).count);

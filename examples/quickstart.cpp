@@ -12,6 +12,8 @@
 
 #include "prov/store.h"
 
+#include "must.h"
+
 using provledger::SimClock;
 using provledger::crypto::DigestHex;
 using provledger::ledger::Blockchain;
@@ -45,11 +47,11 @@ int main() {
   ProvenanceStore store(&chain, &clock);
 
   // 1. Record a small data pipeline: raw.csv -> clean.csv -> report.pdf.
-  (void)store.Anchor(MakeRecord("r1", "create", "raw.csv", "alice", {}, 100));
-  (void)store.Anchor(
-      MakeRecord("r2", "clean", "clean.csv", "bob", {"raw.csv"}, 200));
-  (void)store.Anchor(
-      MakeRecord("r3", "report", "report.pdf", "carol", {"clean.csv"}, 300));
+  Must(store.Anchor(MakeRecord("r1", "create", "raw.csv", "alice", {}, 100)));
+  Must(store.Anchor(
+      MakeRecord("r2", "clean", "clean.csv", "bob", {"raw.csv"}, 200)));
+  Must(store.Anchor(
+      MakeRecord("r3", "report", "report.pdf", "carol", {"clean.csv"}, 300)));
   std::printf("anchored %zu records across %llu blocks\n",
               store.anchored_count(),
               static_cast<unsigned long long>(chain.height()));
@@ -85,7 +87,7 @@ int main() {
   }
 
   // 5. Tamper evidence: mutate history, watch verification break.
-  (void)chain.TamperForTesting(2, 0, 0xFF);
+  Must(chain.TamperForTesting(2, 0, 0xFF));
   std::printf("\nafter tampering with block 2: chain integrity = %s\n",
               chain.VerifyIntegrity().ToString().c_str());
 

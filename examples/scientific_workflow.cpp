@@ -10,6 +10,8 @@
 
 #include "domains/scientific/workflow.h"
 
+#include "must.h"
+
 using namespace provledger;  // example code; library code never does this
 
 int main() {
@@ -21,13 +23,13 @@ int main() {
   scientific::WorkflowManager wm(&store, &clock);
 
   // --- Design: sequencing -> align -> {variant-call, coverage} -> report --
-  (void)wm.CreateWorkflow("genome-run-7", "broad-lab");
-  (void)wm.AddTask("genome-run-7", "sequence", "basecall");
-  (void)wm.AddTask("genome-run-7", "align", "bwa-mem", {"sequence"});
-  (void)wm.Branch("genome-run-7", "variant-call", "gatk", "align");
-  (void)wm.Branch("genome-run-7", "coverage", "mosdepth", "align");
-  (void)wm.Merge("genome-run-7", "report", "multiqc",
-                 {"variant-call", "coverage"});
+  Must(wm.CreateWorkflow("genome-run-7", "broad-lab"));
+  Must(wm.AddTask("genome-run-7", "sequence", "basecall"));
+  Must(wm.AddTask("genome-run-7", "align", "bwa-mem", {"sequence"}));
+  Must(wm.Branch("genome-run-7", "variant-call", "gatk", "align"));
+  Must(wm.Branch("genome-run-7", "coverage", "mosdepth", "align"));
+  Must(wm.Merge("genome-run-7", "report", "multiqc",
+                 {"variant-call", "coverage"}));
   std::printf("workflow designed: 5 tasks (branching + merging)\n");
 
   // --- Execute everything in dependency order ------------------------------
@@ -57,15 +59,15 @@ int main() {
               plan->size());
   for (const auto& task : plan.value()) {
     std::printf("  ~ %s\n", task.c_str());
-    (void)wm.ReexecuteTask("genome-run-7", task, "dr-alvarez");
+    Must(wm.ReexecuteTask("genome-run-7", task, "dr-alvarez"));
   }
   std::printf("workflow republished: %s\n",
               wm.Publish("genome-run-7").ToString().c_str());
 
   // --- A second lab shares the ledger (multi-workflow) ---------------------
-  (void)wm.CreateWorkflow("replication-study", "mit-lab");
-  (void)wm.AddTask("replication-study", "replicate", "rerun");
-  (void)wm.ExecuteTask("replication-study", "replicate", "dr-okafor");
+  Must(wm.CreateWorkflow("replication-study", "mit-lab"));
+  Must(wm.AddTask("replication-study", "replicate", "rerun"));
+  Must(wm.ExecuteTask("replication-study", "replicate", "dr-okafor"));
 
   std::printf("\nledger now holds %zu execution records across %zu "
               "workflows; integrity=%s\n",

@@ -13,6 +13,8 @@
 #include "domains/supplychain/puf.h"
 #include "domains/supplychain/supply_chain.h"
 
+#include "must.h"
+
 using namespace provledger;  // example code; library code never does this
 
 int main() {
@@ -28,24 +30,24 @@ int main() {
   auto bad = sc.RegisterProduct("fake-1", "vaccine", "b0", "shady-corp", "x");
   std::printf("shady-corp tries to register a product: %s\n",
               bad.ToString().c_str());
-  (void)sc.RegisterProduct("vx-001", "vaccine", "batch-42", "acme-pharma",
-                           "2027-12");
+  Must(sc.RegisterProduct("vx-001", "vaccine", "batch-42", "acme-pharma",
+                           "2027-12"));
   std::printf("acme-pharma registered vx-001 (batch-42)\n");
 
   // --- Confirmation-based custody transfer -------------------------------
-  (void)sc.InitiateTransfer("vx-001", "acme-pharma", "medi-dist");
+  Must(sc.InitiateTransfer("vx-001", "acme-pharma", "medi-dist"));
   std::printf("transfer initiated to medi-dist; thief tries to confirm: %s\n",
               sc.ConfirmTransfer("vx-001", "thief").ToString().c_str());
-  (void)sc.ConfirmTransfer("vx-001", "medi-dist");
-  (void)sc.InitiateTransfer("vx-001", "medi-dist", "city-pharmacy");
-  (void)sc.ConfirmTransfer("vx-001", "city-pharmacy");
+  Must(sc.ConfirmTransfer("vx-001", "medi-dist"));
+  Must(sc.InitiateTransfer("vx-001", "medi-dist", "city-pharmacy"));
+  Must(sc.ConfirmTransfer("vx-001", "city-pharmacy"));
   std::printf("custody trace: %s\n",
               sc.GetProduct("vx-001")->trace.c_str());
 
   // --- Cold chain ----------------------------------------------------------
-  (void)sc.SetColdChainRange("vx-001", 2, 8);
+  Must(sc.SetColdChainRange("vx-001", 2, 8));
   for (int64_t reading : {4, 5, 6, 11, 5}) {
-    (void)sc.RecordSensorReading("vx-001", "truck-sensor", reading);
+    Must(sc.RecordSensorReading("vx-001", "truck-sensor", reading));
   }
   std::printf("cold-chain alerts raised: %zu (reading=%lld outside 2..8)\n",
               sc.alerts().size(),
@@ -61,23 +63,23 @@ int main() {
 
   // ...and the verifier pays the incentive automatically.
   contracts::ContractRuntime runtime(&clock);
-  (void)runtime.Deploy(std::make_unique<contracts::IncentiveContract>(10));
-  (void)runtime.Invoke("incentive", "deposit",
+  Must(runtime.Deploy(std::make_unique<contracts::IncentiveContract>(10)));
+  Must(runtime.Invoke("incentive", "deposit",
                        contracts::IncentiveContract::DepositArgs("regulator",
                                                                  100),
-                       "regulator");
-  (void)runtime.Invoke(
+                       "regulator"));
+  Must(runtime.Invoke(
       "incentive", "record_proof",
       contracts::IncentiveContract::RecordProofArgs("truck-sensor",
                                                     proof_rec.value()),
-      "regulator");
+      "regulator"));
   std::printf("incentive events: %zu (sensor operator rewarded)\n",
               runtime.event_log().size());
 
   // --- PUF device authentication (Islam et al.) ---------------------------
   supplychain::PufDevice sensor("truck-sensor", ToBytes("sensor-silicon"));
   supplychain::PufVerifier verifier;
-  (void)verifier.Enroll(sensor, 10, /*seed=*/99);
+  Must(verifier.Enroll(sensor, 10, /*seed=*/99));
   auto genuine = verifier.Authenticate(
       "truck-sensor", [&](const Bytes& c) { return sensor.Respond(c); });
   supplychain::PufDevice fake("truck-sensor", ToBytes("cloned-silicon"));

@@ -23,10 +23,10 @@ void FuzzChainLog(const uint8_t* data, size_t size) {
 
   auto log = ledger::ChainLog::Open(path);
   if (log.ok()) {
+    ledger::Blockchain chain;
     // Replay re-validates every decodable block through SubmitBlock; a
     // log of hostile bytes must surface Corruption or rejection, never
-    // crash the chain.
-    ledger::Blockchain chain;
+    // crash the chain — the discarded status is the expected rejection.
     (void)log.value()->Replay(&chain);
   }
 }

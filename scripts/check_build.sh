@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
-# CI-style strict check, four gates in order:
-#   1. build-check/  — full build (tests+benches+examples) under
+# CI-style strict check, five gates in order:
+#   1. build-check/    — full build (tests+benches+examples) under
 #      -Wall -Wextra -Werror (PROVLEDGER_WERROR), full ctest suite, then
-#      per-label passes (recovery, replication, encoding, fuzz).
-#   2. build-tsan/   — the `concurrency` + `encoding` labels rebuilt under
+#      per-label passes (recovery, replication, encoding, fuzz). The
+#      class-level [[nodiscard]] on Status/Result makes every unjustified
+#      discard a compile error here.
+#   2. build-tsan/     — the `concurrency` + `encoding` labels rebuilt under
 #      -fsanitize=thread. Any data race fails the build.
-#   3. build-asan/   — the FULL ctest suite rebuilt under
+#   3. build-asan/     — the FULL ctest suite rebuilt under
 #      -fsanitize=address,undefined (halt_on_error): every test and every
 #      deterministic fuzz harness runs with memory and UB checking on.
-#   4. scripts/run_lint.sh over build-check's compile_commands.json.
+#   4. build-analyzer/ — the library rebuilt under gcc -fanalyzer with a
+#      triaged checker set (suppression rationale below).
+#   5. scripts/run_lint.sh — provlint (repo rules + fixture self-test),
+#      then clang-tidy / gcc strict-warning fallback over build-check's
+#      compile_commands.json.
 #
 # Usage: scripts/check_build.sh [extra cmake args...]
 set -euo pipefail
@@ -65,8 +71,45 @@ UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
   ASAN_OPTIONS="detect_leaks=1" \
   ctest_tree "$ASAN_BUILD"
 
-# Lint gate: clang-tidy over compile_commands.json when available, else the
-# gcc strict-warning fallback. Either way a finding fails the check.
+# GCC static-analyzer gate: the library rebuilt under -fanalyzer in its own
+# tree (this container is gcc-only, so this is the analyzer that actually
+# runs in CI). gcc 12's analyzer is C-first and mis-models two C++
+# fundamentals, so five checker families are off — every finding they
+# produce here was triaged to a path inside libstdc++ internals, not our
+# code:
+#   * use-of-uninitialized-value  — fires inside std::string's move/SSO
+#     internals for every Status factory (GCC PR analyzer/105831 class).
+#   * malloc-leak                 — fires inside _Rb_tree::_M_copy and
+#     friends, whose RAII cleanup the analyzer cannot see.
+#   * null-dereference / possible-null-dereference — fires inside
+#     vector::_M_realloc_insert and other container reallocation paths.
+#   * null-argument / possible-null-argument — the analyzer models
+#     libstdc++'s THROWING operator new as possibly returning NULL, then
+#     propagates that impossible null into every container's buffer.
+# Everything else — file-descriptor leaks, double-free, use-after-free,
+# double-fclose, infinite loops, shift overflows — is live and fatal
+# (PROVLEDGER_WERROR). One real finding from triage is fixed in-tree:
+# Sha256::Update's empty-input overloads no longer pass a null data() to
+# memcpy (UB even at length zero).
+ANALYZER_BUILD="$ROOT/build-analyzer"
+ANALYZER_FLAGS="-fanalyzer \
+-Wno-analyzer-use-of-uninitialized-value \
+-Wno-analyzer-malloc-leak \
+-Wno-analyzer-null-dereference \
+-Wno-analyzer-possible-null-dereference \
+-Wno-analyzer-null-argument \
+-Wno-analyzer-possible-null-argument"
+configure_tree "$ANALYZER_BUILD" RelWithDebInfo \
+  -DPROVLEDGER_WERROR=ON \
+  -DPROVLEDGER_BUILD_TESTS=OFF \
+  -DPROVLEDGER_BUILD_BENCHES=OFF \
+  -DPROVLEDGER_BUILD_EXAMPLES=OFF \
+  -DCMAKE_CXX_FLAGS="$ANALYZER_FLAGS"
+build_tree "$ANALYZER_BUILD"
+
+# Lint gate: provlint (self-test + full tree, via lib.sh run_provlint),
+# then clang-tidy over compile_commands.json when available, else the gcc
+# strict-warning fallback. Either way a finding fails the check.
 "$ROOT/scripts/run_lint.sh" "$BUILD"
 
 echo "check_build: OK"

@@ -39,3 +39,15 @@ require_binary() {
     exit 1
   fi
 }
+
+# run_provlint <build-dir> — build the repo linter in <build-dir> and run
+# both of its modes: the golden-fixture self-test (proves every rule still
+# fires) and the full-tree lint (proves the tree is clean). Shared by
+# run_lint.sh and check_build.sh so the two gates can never drift apart.
+run_provlint() {
+  local build="$1"
+  build_tree "$build" --target provlint
+  require_binary "$build/provlint"
+  "$build/provlint" --self-test "$ROOT/tools/provlint/fixtures"
+  "$build/provlint" --root "$ROOT"
+}

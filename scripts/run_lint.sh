@@ -10,6 +10,11 @@
 #     clang-tidy but runs everywhere the build runs, so the gate never
 #     silently disappears on gcc-only machines.
 #
+# Either way, provlint (tools/provlint/) runs first: the repo-specific rules
+# — thread-contract lines, justified status discards, naked new/delete,
+# fuzz-harness durable I/O, common/ include hygiene — with its fixture
+# self-test, so a broken rule fails before a silently-clean tree can pass.
+#
 # Usage: scripts/run_lint.sh [build-dir]   (default: build-check, configured
 #        on demand — CMAKE_EXPORT_COMPILE_COMMANDS is on by default)
 set -euo pipefail
@@ -25,6 +30,9 @@ if [[ ! -f "$DB" ]]; then
   echo "run_lint.sh: no compile_commands.json in $BUILD" >&2
   exit 1
 fi
+
+# Repo-specific rules first: provlint self-test + full-tree lint (lib.sh).
+run_provlint "$BUILD"
 
 # Library TUs only: tests and benches are linted by -Werror in check_build;
 # the tuned check set is aimed at the production decoders and stores.
@@ -50,12 +58,16 @@ echo "run_lint.sh: clang-tidy not found, gcc strict-warning fallback over ${#FIL
 # tree lints in seconds even on one core.
 # No -Wpedantic: crypto/u256.cc uses unsigned __int128 deliberately for
 # 64x64->128 limb products, which pedantic ISO mode rejects wholesale.
+# -Wunused-result is the gcc half of bugprone-unused-return-value /
+# cert-err33-c: with the class-level [[nodiscard]] on Status/Result every
+# unjustified discard is an error here too.
 GCC_FLAGS=(
   -std=c++17 -fsyntax-only
   -Wall -Wextra
   -Wshadow -Wnon-virtual-dtor -Woverloaded-virtual
   -Wcast-qual -Wformat=2 -Wundef
   -Wpointer-arith -Wwrite-strings
+  -Wunused-result
   -Werror
   -I "$ROOT/src"
 )

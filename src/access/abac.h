@@ -2,6 +2,9 @@
 // resource, and environment attributes. More expressive than RBAC (and
 // correspondingly slower to evaluate — bench_access_control measures the
 // gap the paper's design-considerations section alludes to).
+//
+// Thread safety: NOT internally synchronized — single owner, or external
+// locking around every call.
 
 #ifndef PROVLEDGER_ACCESS_ABAC_H_
 #define PROVLEDGER_ACCESS_ABAC_H_

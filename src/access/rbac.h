@@ -1,6 +1,9 @@
 // Role-based access control (§6.1 "Access Control"): roles aggregate
 // permissions; principals hold roles. Used directly by the healthcare and
 // forensics domains, and as the baseline in bench_access_control.
+//
+// Thread safety: NOT internally synchronized — single owner, or external
+// locking around every call.
 
 #ifndef PROVLEDGER_ACCESS_RBAC_H_
 #define PROVLEDGER_ACCESS_RBAC_H_

@@ -3,6 +3,9 @@
 // Figure 5). Stage transitions are themselves permission-gated and recorded,
 // and access rights change automatically as the process advances — the
 // "supporting investigation stage changes" mechanism of ForensiBlock.
+//
+// Thread safety: NOT internally synchronized — single owner, or external
+// locking around every call.
 
 #ifndef PROVLEDGER_ACCESS_STAGE_GATE_H_
 #define PROVLEDGER_ACCESS_STAGE_GATE_H_

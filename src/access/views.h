@@ -4,6 +4,9 @@
 // *irrevocable* (membership is a permanent capability — revocation attempts
 // fail), the distinction LedgerView contributes on Hyperledger Fabric.
 // Views compose with RBAC: a view can require a role for reading.
+//
+// Thread safety: NOT internally synchronized — single owner, or external
+// locking around every call.
 
 #ifndef PROVLEDGER_ACCESS_VIEWS_H_
 #define PROVLEDGER_ACCESS_VIEWS_H_

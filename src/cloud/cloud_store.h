@@ -7,6 +7,9 @@
 // chain, bytes off chain); user identities can be anonymized on-chain
 // (ProvChain's privacy property); and an independent Auditor verifies a
 // user's full history against the ledger with Merkle proofs.
+//
+// Thread safety: NOT internally synchronized — same contract as the
+// ProvenanceStore it drives: single owner or external locking.
 
 #ifndef PROVLEDGER_CLOUD_CLOUD_STORE_H_
 #define PROVLEDGER_CLOUD_CLOUD_STORE_H_

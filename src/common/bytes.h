@@ -1,5 +1,9 @@
 // Byte-buffer utilities shared by every subsystem: the canonical Bytes type,
 // hex encoding/decoding, and constant-time comparison for secret material.
+//
+// Thread safety: free functions over caller-owned buffers — safe to call
+// concurrently on distinct buffers; sharing one buffer needs external
+// coordination.
 
 #ifndef PROVLEDGER_COMMON_BYTES_H_
 #define PROVLEDGER_COMMON_BYTES_H_

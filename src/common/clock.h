@@ -1,6 +1,9 @@
 // Clock abstraction. Every timestamp in ProvLedger flows through a Clock so
 // that tests and the discrete-event network simulation are fully
 // deterministic (SimClock), while examples may use wall time (SystemClock).
+//
+// Thread safety: SystemClock is safe from any thread. SimClock is NOT
+// synchronized — advance it from one thread (the test or simulation driver).
 
 #ifndef PROVLEDGER_COMMON_CLOCK_H_
 #define PROVLEDGER_COMMON_CLOCK_H_

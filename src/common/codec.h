@@ -4,6 +4,9 @@
 // are length-prefixed with a u32. Encoding is canonical: re-encoding a decoded
 // structure yields byte-identical output, which is required because structure
 // hashes (transaction ids, Merkle leaves, block ids) are hashes of encodings.
+//
+// Thread safety: Encoder and Decoder are single-owner value objects;
+// distinct instances are independent.
 
 #ifndef PROVLEDGER_COMMON_CODEC_H_
 #define PROVLEDGER_COMMON_CODEC_H_

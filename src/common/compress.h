@@ -14,6 +14,10 @@
 //
 // Decompression is bounds-checked: a distance pointing before the start of
 // the output, a run past the end, or trailing garbage is Corruption.
+//
+// Thread safety: free functions over caller-owned buffers — safe to call
+// concurrently on distinct buffers; sharing one buffer needs external
+// coordination.
 
 #ifndef PROVLEDGER_COMMON_COMPRESS_H_
 #define PROVLEDGER_COMMON_COMPRESS_H_

@@ -6,6 +6,8 @@
 // as garbage. CRC is the right tool here: it is cheap, and integrity against
 // an *adversary* is already covered one layer up by the hash chain and
 // Merkle roots — the CRC only needs to catch accidental corruption.
+//
+// Thread safety: stateless free functions — safe from any thread.
 
 #ifndef PROVLEDGER_COMMON_CRC32_H_
 #define PROVLEDGER_COMMON_CRC32_H_

@@ -3,6 +3,9 @@
 // slurping a file into a Bytes buffer. Log-structured writers (FileKvStore,
 // ChainLog) keep their own fd-level append paths; these helpers serve the
 // write-rarely artifacts such as provenance snapshots.
+//
+// Thread safety: free functions — safe to call concurrently on distinct
+// paths; concurrent writers to one path need external coordination.
 
 #ifndef PROVLEDGER_COMMON_FILEIO_H_
 #define PROVLEDGER_COMMON_FILEIO_H_

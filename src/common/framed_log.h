@@ -10,6 +10,9 @@
 // that is fully present but fails its CRC was completed and then damaged —
 // that is corruption and must fail loudly, never be silently truncated
 // (valid records may follow it).
+//
+// Thread safety: NOT internally synchronized — one writer or reader per log
+// instance; concurrent access needs external locking.
 
 #ifndef PROVLEDGER_COMMON_FRAMED_LOG_H_
 #define PROVLEDGER_COMMON_FRAMED_LOG_H_

@@ -7,6 +7,8 @@
 // digests several bytes per cycle, an order of magnitude faster than the
 // byte-table CRC used for small log frames. Not cryptographic: tamper
 // evidence comes from the chain, this only catches accidental corruption.
+//
+// Thread safety: stateless free functions — safe from any thread.
 
 #ifndef PROVLEDGER_COMMON_HASH64_H_
 #define PROVLEDGER_COMMON_HASH64_H_

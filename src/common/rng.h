@@ -2,6 +2,9 @@
 // All stochastic behaviour in ProvLedger — workload generators, simulated
 // network jitter, PoS leader election, attack injection — draws from an Rng
 // so experiments are reproducible from a single seed.
+//
+// Thread safety: each Rng instance is single-owner; distinct instances are
+// independent.
 
 #ifndef PROVLEDGER_COMMON_RNG_H_
 #define PROVLEDGER_COMMON_RNG_H_

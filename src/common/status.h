@@ -2,6 +2,10 @@
 //
 // Status / Result error model (RocksDB idiom): no exceptions cross public API
 // boundaries; every fallible operation returns a Status or a Result<T>.
+//
+// Thread safety: Status and Result are plain value types — distinct
+// instances are independent; concurrent const access to one instance is
+// safe.
 
 #ifndef PROVLEDGER_COMMON_STATUS_H_
 #define PROVLEDGER_COMMON_STATUS_H_
@@ -10,6 +14,8 @@
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "common/annotations.h"
 
 namespace provledger {
 
@@ -36,7 +42,13 @@ const char* StatusCodeName(StatusCode code);
 
 /// \brief Result of a fallible operation: a code plus a human-readable
 /// message. Cheap to copy when OK (no allocation).
-class Status {
+///
+/// The class itself is [[nodiscard]]: *every* function returning a Status
+/// by value is discard-checked by the compiler, independent of whether the
+/// declaration also carries PROV_NODISCARD. Ignoring one is a build error
+/// under -Werror; a deliberate discard is written `(void)expr;` with an
+/// adjacent justification comment (enforced by tools/provlint).
+class PROV_NODISCARD Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -99,6 +111,7 @@ class Status {
     return code_ == StatusCode::kUnauthenticated;
   }
   bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
 
@@ -126,8 +139,11 @@ class Status {
 ///   if (!r.ok()) return r.status();
 ///   const Block& b = r.value();
 /// \endcode
+///
+/// [[nodiscard]] like Status: dropping a Result on the floor loses both the
+/// value and the error.
 template <typename T>
-class Result {
+class PROV_NODISCARD Result {
  public:
   /// Implicit from value: `return my_value;`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -17,6 +17,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
+
 namespace provledger {
 namespace common {
 
@@ -28,17 +30,17 @@ namespace common {
 class WaitGroup {
  public:
   /// Register `n` units of pending work.
-  void Add(size_t n) {
+  void Add(size_t n) PROV_EXCLUDES(mu_) {
     std::lock_guard<std::mutex> lock(mu_);
     pending_ += n;
   }
   /// Mark one unit complete; wakes Wait() when the count reaches zero.
-  void Done() {
+  void Done() PROV_EXCLUDES(mu_) {
     std::lock_guard<std::mutex> lock(mu_);
     if (--pending_ == 0) cv_.notify_all();
   }
   /// Block until every Add()ed unit is Done().
-  void Wait() {
+  void Wait() PROV_EXCLUDES(mu_) {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [this] { return pending_ == 0; });
   }
@@ -46,7 +48,7 @@ class WaitGroup {
  private:
   std::mutex mu_;
   std::condition_variable cv_;
-  size_t pending_ = 0;
+  size_t pending_ PROV_GUARDED_BY(mu_) = 0;
 };
 
 /// \brief Fixed pool of worker threads draining a FIFO task queue.
@@ -66,7 +68,7 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task for execution on some worker thread.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) PROV_EXCLUDES(mu_);
 
   /// Number of worker threads.
   size_t size() const { return workers_.size(); }
@@ -82,8 +84,10 @@ class ThreadPool {
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  std::deque<std::function<void()>> queue_ PROV_GUARDED_BY(mu_);
+  bool stopping_ PROV_GUARDED_BY(mu_) = false;
+  // Written once in the constructor before any concurrency; read-only
+  // afterwards (size(), join loop), so not guarded.
   std::vector<std::thread> workers_;
 };
 

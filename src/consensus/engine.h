@@ -6,6 +6,9 @@
 // §6.1 evaluation metrics: protocol messages, bytes, rounds, simulated
 // latency, and (for PoW) hash attempts. Engines keep protocol state across
 // calls (PBFT view, Raft term/leader, PoS seed chain).
+//
+// Thread safety: NOT internally synchronized — each engine instance is
+// driven from a single (simulation) thread.
 
 #ifndef PROVLEDGER_CONSENSUS_ENGINE_H_
 #define PROVLEDGER_CONSENSUS_ENGINE_H_

@@ -4,6 +4,9 @@
 // and view changes when the leader is faulty. Consortium designs surveyed in
 // §4.1 (EO data management) pair PBFT with Raft; bench_consensus_comparison
 // reproduces the message-complexity gap between them.
+//
+// Thread safety: NOT internally synchronized — each engine instance is
+// driven from a single (simulation) thread.
 
 #ifndef PROVLEDGER_CONSENSUS_PBFT_H_
 #define PROVLEDGER_CONSENSUS_PBFT_H_

@@ -3,6 +3,9 @@
 // followed by a propose/attest round. This is the mechanism BlockCloud [75]
 // adopts to cut PoW's computational cost for cloud provenance — the
 // consensus-comparison bench reproduces exactly that PoW-vs-PoS gap.
+//
+// Thread safety: NOT internally synchronized — each engine instance is
+// driven from a single (simulation) thread.
 
 #ifndef PROVLEDGER_CONSENSUS_POS_H_
 #define PROVLEDGER_CONSENSUS_POS_H_

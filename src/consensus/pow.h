@@ -2,6 +2,9 @@
 // over SHA-256 with the block broadcast modelled on the simulated network.
 // Simulated mining latency = attempts / aggregate hash rate, so the §6.1
 // "difficulty level" axis sweeps honestly (attempts double per bit).
+//
+// Thread safety: NOT internally synchronized — each engine instance is
+// driven from a single (simulation) thread.
 
 #ifndef PROVLEDGER_CONSENSUS_POW_H_
 #define PROVLEDGER_CONSENSUS_POW_H_

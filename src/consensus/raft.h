@@ -3,6 +3,9 @@
 // crash-fault injection. Raft is the crash-fault-tolerant engine used by
 // the consortium EO-data design of §4.1; the consensus benches contrast its
 // linear message complexity with PBFT's quadratic one.
+//
+// Thread safety: NOT internally synchronized — each engine instance is
+// driven from a single (simulation) thread.
 
 #ifndef PROVLEDGER_CONSENSUS_RAFT_H_
 #define PROVLEDGER_CONSENSUS_RAFT_H_

@@ -8,6 +8,9 @@
 // The contract never sees the private data; the verifier calls
 // record_proof only after Zkrp::Verify succeeds, which is exactly
 // PrivChain's "proof instead of data, payment by smart contract" loop.
+//
+// Thread safety: NOT internally synchronized — single owner, or external
+// locking around every call.
 
 #ifndef PROVLEDGER_CONTRACTS_INCENTIVE_H_
 #define PROVLEDGER_CONTRACTS_INCENTIVE_H_

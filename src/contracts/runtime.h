@@ -4,6 +4,9 @@
 // buffered and applied only on success), and emit events. The provenance
 // layer anchors each invocation on the ledger so contract activity is itself
 // provenance-tracked, as SmartProvenance and PrivChain require.
+//
+// Thread safety: NOT internally synchronized — single owner, or external
+// locking around every call.
 
 #ifndef PROVLEDGER_CONTRACTS_RUNTIME_H_
 #define PROVLEDGER_CONTRACTS_RUNTIME_H_

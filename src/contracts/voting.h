@@ -5,6 +5,9 @@
 //   status(id)         — "open" / "approved" / "rejected"
 // A ballot closes as soon as the approval (or rejection) threshold is
 // mathematically reached; "approved"/"rejected" events fire exactly once.
+//
+// Thread safety: NOT internally synchronized — single owner, or external
+// locking around every call.
 
 #ifndef PROVLEDGER_CONTRACTS_VOTING_H_
 #define PROVLEDGER_CONTRACTS_VOTING_H_

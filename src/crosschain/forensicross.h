@@ -11,6 +11,9 @@
 //     recipient against relayed headers without trusting the sender;
 //   * cross-chain provenance extraction gathers both sides' evidence
 //     histories through the dependency-chain query engine pattern.
+//
+// Thread safety: NOT internally synchronized — the cross-chain coordinator
+// and both chains are driven from one thread.
 
 #ifndef PROVLEDGER_CROSSCHAIN_FORENSICROSS_H_
 #define PROVLEDGER_CROSSCHAIN_FORENSICROSS_H_

@@ -8,6 +8,9 @@
 // correctly ordered timeouts (the follower's lock expires first), giving
 // the all-or-nothing property the paper cites — tests exercise both the
 // happy path and every abort schedule.
+//
+// Thread safety: NOT internally synchronized — single owner, or external
+// locking around every call.
 
 #ifndef PROVLEDGER_CROSSCHAIN_HTLC_H_
 #define PROVLEDGER_CROSSCHAIN_HTLC_H_

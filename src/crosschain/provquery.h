@@ -14,6 +14,9 @@
 // Both return identical record sets with per-record authentication
 // (Merkle proofs against each source chain), so bench_query_mechanisms can
 // honestly reproduce the paper's latency-gap claim.
+//
+// Thread safety: NOT internally synchronized — single owner, or external
+// locking around every call.
 
 #ifndef PROVLEDGER_CROSSCHAIN_PROVQUERY_H_
 #define PROVLEDGER_CROSSCHAIN_PROVQUERY_H_

@@ -7,6 +7,9 @@
 // pattern. The relay also carries typed cross-chain messages whose payload
 // hash is anchored on the relay's own ledger, giving the logging +
 // synchronization substrate ForensiCross builds on.
+//
+// Thread safety: NOT internally synchronized — single owner, or external
+// locking around every call.
 
 #ifndef PROVLEDGER_CROSSCHAIN_RELAY_H_
 #define PROVLEDGER_CROSSCHAIN_RELAY_H_

@@ -7,6 +7,9 @@
 // burn on the side chain and unlock on the main chain only with a Merkle
 // proof of the burn against a checkpointed header — so the main chain never
 // trusts the side chain's word, only its own anchored checkpoints.
+//
+// Thread safety: NOT internally synchronized — single owner, or external
+// locking around every call.
 
 #ifndef PROVLEDGER_CROSSCHAIN_SIDECHAIN_H_
 #define PROVLEDGER_CROSSCHAIN_SIDECHAIN_H_

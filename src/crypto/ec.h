@@ -5,6 +5,9 @@
 // Pedersen commitments / range proofs (crypto/pedersen.h). Arithmetic is
 // correct but variable-time; see DESIGN.md §3 on the security scope of the
 // crypto substitution.
+//
+// Thread safety: stateless free functions over value types — safe from any
+// thread.
 
 #ifndef PROVLEDGER_CRYPTO_EC_H_
 #define PROVLEDGER_CRYPTO_EC_H_

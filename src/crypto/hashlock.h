@@ -2,6 +2,8 @@
 // holding the preimage can later "unlock". This is the cryptographic core of
 // the HTLC atomic-swap protocol (crosschain/htlc.h) and of claim-first
 // cross-chain transfers surveyed in §2.3 of the paper.
+//
+// Thread safety: stateless free functions — safe from any thread.
 
 #ifndef PROVLEDGER_CRYPTO_HASHLOCK_H_
 #define PROVLEDGER_CRYPTO_HASHLOCK_H_

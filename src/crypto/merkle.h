@@ -7,6 +7,9 @@
 // Odd levels duplicate the last node (Bitcoin convention). Leaves are hashed
 // with a 0x00 domain-separation prefix and interior nodes with 0x01 to
 // prevent second-preimage attacks that splice subtrees as leaves.
+//
+// Thread safety: building a MerkleTree is single-owner; a fully built tree
+// is immutable and its const queries are safe concurrently.
 
 #ifndef PROVLEDGER_CRYPTO_MERKLE_H_
 #define PROVLEDGER_CRYPTO_MERKLE_H_

@@ -5,6 +5,9 @@
 // tree — O(log n_partition + log n_partitions) instead of O(log n_total) over
 // a single interleaved tree, and partitions can be verified independently,
 // which is the property ForensiBlock exploits for per-case integrity checks.
+//
+// Thread safety: NOT internally synchronized — single owner, or external
+// locking around every call.
 
 #ifndef PROVLEDGER_CRYPTO_MERKLE_FOREST_H_
 #define PROVLEDGER_CRYPTO_MERKLE_FOREST_H_

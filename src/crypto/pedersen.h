@@ -8,6 +8,9 @@
 // OR-proof per bit (Fiat–Shamir transformed) — rather than Bulletproofs;
 // proof size is linear in the bit width, which preserves every qualitative
 // trade-off the paper discusses (DESIGN.md §3).
+//
+// Thread safety: stateless free functions and plain value types — safe from
+// any thread.
 
 #ifndef PROVLEDGER_CRYPTO_PEDERSEN_H_
 #define PROVLEDGER_CRYPTO_PEDERSEN_H_

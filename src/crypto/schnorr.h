@@ -4,6 +4,9 @@
 // the surveyed systems use (DESIGN.md §3): identical sign/verify/aggregate
 // code paths and asymptotics, deterministic nonces (RFC6979-style via
 // HMAC), and m-of-n multi-signature support for notary committees.
+//
+// Thread safety: stateless free functions and plain value types — safe from
+// any thread.
 
 #ifndef PROVLEDGER_CRYPTO_SCHNORR_H_
 #define PROVLEDGER_CRYPTO_SCHNORR_H_

@@ -101,10 +101,19 @@ void Sha256::Update(const uint8_t* data, size_t len) {
   }
 }
 
-void Sha256::Update(const Bytes& data) { Update(data.data(), data.size()); }
+void Sha256::Update(const Bytes& data) {
+  // An empty vector's data() may be nullptr; don't hand that to the
+  // pointer overload (memcpy with a null source is UB even at length 0,
+  // and -fanalyzer rightly flags the path).
+  if (!data.empty()) Update(data.data(), data.size());
+}
 
 void Sha256::Update(std::string_view data) {
-  Update(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  // Same null-data guard as the Bytes overload: an empty view's data()
+  // may be nullptr.
+  if (!data.empty()) {
+    Update(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  }
 }
 
 Digest Sha256::Finish() {

@@ -1,6 +1,9 @@
 // SHA-256 (FIPS 180-4), implemented from scratch. This is the only hash in
 // ProvLedger: transaction ids, block ids, Merkle nodes, content addresses,
 // hash-locks, and Fiat–Shamir challenges are all SHA-256 digests.
+//
+// Thread safety: the free functions are stateless and safe from any thread;
+// each streaming Sha256 instance is single-owner.
 
 #ifndef PROVLEDGER_CRYPTO_SHA256_H_
 #define PROVLEDGER_CRYPTO_SHA256_H_

@@ -4,6 +4,9 @@
 //     modulo the secp256k1 group order n, and
 //   * a fast path for the secp256k1 field prime p = 2^256 - 2^32 - 977,
 //     exploiting 2^256 ≡ 2^32 + 977 (mod p) for O(1)-fold reduction.
+//
+// Thread safety: plain value type — distinct instances are independent;
+// concurrent const access to one instance is safe.
 
 #ifndef PROVLEDGER_CRYPTO_U256_H_
 #define PROVLEDGER_CRYPTO_U256_H_

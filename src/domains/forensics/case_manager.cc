@@ -1,7 +1,20 @@
 #include "domains/forensics/case_manager.h"
 
+#include <cassert>
+
 namespace provledger {
 namespace forensics {
+
+namespace {
+// The default gate matrix is built against the freshly constructed
+// StageGate over ForensicStages(): every stage named below exists, so the
+// grants are infallible by construction — a failure is a programming
+// error, not a runtime condition.
+void MustOk(const Status& status) {
+  assert(status.ok());
+  (void)status;  // assert compiles out under NDEBUG
+}
+}  // namespace
 
 const std::vector<std::string>& ForensicStages() {
   static const std::vector<std::string> kStages = {
@@ -15,15 +28,15 @@ CaseManager::CaseManager(prov::ProvenanceStore* store,
     : store_(store), content_(content), clock_(clock),
       gate_(ForensicStages()) {
   // Default gate matrix (ForensiBlock: privileges follow the stage).
-  (void)gate_.AllowInStage("identification", "investigator", "identify");
-  (void)gate_.AllowInStage("preservation", "investigator", "collect");
-  (void)gate_.AllowInStage("collection", "investigator", "collect");
-  (void)gate_.AllowInStage("collection", "investigator", "duplicate");
-  (void)gate_.AllowInStage("analysis", "analyst", "analyze");
-  (void)gate_.AllowInStage("analysis", "analyst", "duplicate");
-  (void)gate_.AllowInStage("reporting", "lead", "report");
+  MustOk(gate_.AllowInStage("identification", "investigator", "identify"));
+  MustOk(gate_.AllowInStage("preservation", "investigator", "collect"));
+  MustOk(gate_.AllowInStage("collection", "investigator", "collect"));
+  MustOk(gate_.AllowInStage("collection", "investigator", "duplicate"));
+  MustOk(gate_.AllowInStage("analysis", "analyst", "analyze"));
+  MustOk(gate_.AllowInStage("analysis", "analyst", "duplicate"));
+  MustOk(gate_.AllowInStage("reporting", "lead", "report"));
   for (const auto& stage : ForensicStages()) {
-    (void)gate_.AllowTransition(stage, "lead");
+    MustOk(gate_.AllowTransition(stage, "lead"));
   }
 }
 

@@ -7,6 +7,9 @@
 //   * per-case distributed Merkle trees (crypto/merkle_forest.h) so one
 //     case's integrity is verifiable without touching other cases, and
 //   * every action anchored as a Table 1 forensics record.
+//
+// Thread safety: NOT internally synchronized — same contract as the
+// ProvenanceStore it drives: single owner or external locking.
 
 #ifndef PROVLEDGER_DOMAINS_FORENSICS_CASE_MANAGER_H_
 #define PROVLEDGER_DOMAINS_FORENSICS_CASE_MANAGER_H_

@@ -1,7 +1,20 @@
 #include "domains/healthcare/ehr.h"
 
+#include <cassert>
+
 namespace provledger {
 namespace healthcare {
+
+namespace {
+// Constructor-time policy setup is infallible by construction (every role
+// is defined immediately above its grants, and a fresh RbacPolicy has no
+// duplicates) — a failure here is a programming error, not a runtime
+// condition, so it asserts instead of propagating.
+void MustOk(const Status& status) {
+  assert(status.ok());
+  (void)status;  // assert compiles out under NDEBUG
+}
+}  // namespace
 
 EhrSystem::EhrSystem(prov::ProvenanceStore* store,
                      storage::ContentStore* content, Clock* clock)
@@ -12,11 +25,11 @@ EhrSystem::EhrSystem(prov::ProvenanceStore* store,
   rbac_.DefineRole("insurer");
   rbac_.DefineRole("researcher");
   for (const char* role : {"doctor", "nurse"}) {
-    (void)rbac_.GrantPermission(role, "ehr:read");
+    MustOk(rbac_.GrantPermission(role, "ehr:read"));
   }
-  (void)rbac_.GrantPermission("doctor", "ehr:write");
-  (void)rbac_.GrantPermission("pharmacist", "ehr:read");
-  (void)rbac_.GrantPermission("researcher", "ehr:read");
+  MustOk(rbac_.GrantPermission("doctor", "ehr:write"));
+  MustOk(rbac_.GrantPermission("pharmacist", "ehr:read"));
+  MustOk(rbac_.GrantPermission("researcher", "ehr:read"));
 }
 
 Status EhrSystem::Audit(const std::string& patient, const std::string& actor,
@@ -33,6 +46,20 @@ Status EhrSystem::Audit(const std::string& patient, const std::string& actor,
   rec.fields["outcome"] = outcome;
   if (!record_id.empty()) rec.fields["record"] = record_id;
   return store_->Anchor(rec);
+}
+
+Status EhrSystem::DenyAudited(const std::string& patient,
+                              const std::string& actor,
+                              const std::string& operation,
+                              const std::string& outcome, Status denial,
+                              const std::string& record_id) {
+  Status audit = Audit(patient, actor, operation, outcome, record_id);
+  if (!audit.ok()) {
+    return Status::Internal("audit write failed (" + audit.ToString() +
+                            ") while denying " + operation + ": " +
+                            denial.message());
+  }
+  return denial;
 }
 
 Status EhrSystem::RegisterPatient(const std::string& patient) {
@@ -63,12 +90,14 @@ Result<std::string> EhrSystem::AddRecord(
     return Status::NotFound("no such patient: " + patient);
   }
   if (!rbac_.Check(provider, "ehr:write")) {
-    (void)Audit(patient, provider, "add-record", "denied:role");
-    return Status::PermissionDenied(provider + " lacks ehr:write");
+    return DenyAudited(
+        patient, provider, "add-record", "denied:role",
+        Status::PermissionDenied(provider + " lacks ehr:write"));
   }
   if (!HasConsent(patient, provider, "treatment")) {
-    (void)Audit(patient, provider, "add-record", "denied:consent");
-    return Status::PermissionDenied("no treatment consent from " + patient);
+    return DenyAudited(
+        patient, provider, "add-record", "denied:consent",
+        Status::PermissionDenied("no treatment consent from " + patient));
   }
 
   // Content goes off-chain; the ledger holds its hash (HealthBlock/IPFS
@@ -138,13 +167,16 @@ Result<std::string> EhrSystem::ReadRecord(const std::string& record_id,
   const std::string& patient = it->second.patient;
 
   if (!rbac_.Check(reader, "ehr:read")) {
-    (void)Audit(patient, reader, "read-record", "denied:role", record_id);
-    return Status::PermissionDenied(reader + " lacks ehr:read");
+    return DenyAudited(patient, reader, "read-record", "denied:role",
+                       Status::PermissionDenied(reader + " lacks ehr:read"),
+                       record_id);
   }
   if (!emergency && !HasConsent(patient, reader, purpose) &&
       reader != patient) {
-    (void)Audit(patient, reader, "read-record", "denied:consent", record_id);
-    return Status::PermissionDenied("no consent for purpose " + purpose);
+    return DenyAudited(
+        patient, reader, "read-record", "denied:consent",
+        Status::PermissionDenied("no consent for purpose " + purpose),
+        record_id);
   }
   // Break-glass: allowed, but loudly audited (HealthBlock's emergency
   // access requirement).
@@ -180,8 +212,9 @@ Result<std::vector<std::string>> EhrSystem::Search(
   // Multi-user search: the searcher needs consent for "search" (or to be
   // the patient), mirroring Niu et al.'s delegated search capability.
   if (searcher != patient && !HasConsent(patient, searcher, "search")) {
-    (void)Audit(patient, searcher, "search", "denied:consent");
-    return Status::PermissionDenied("no search consent from " + patient);
+    return DenyAudited(
+        patient, searcher, "search", "denied:consent",
+        Status::PermissionDenied("no search consent from " + patient));
   }
   PROVLEDGER_RETURN_NOT_OK(
       Audit(patient, searcher, "search", "ok:" + keyword));

@@ -8,6 +8,9 @@
 // ownership (patients own records), patient centricity (consent manager),
 // HIPAA-style minimum-necessary access (role × consent × purpose), and
 // break-glass emergency access with mandatory audit.
+//
+// Thread safety: NOT internally synchronized — same contract as the
+// ProvenanceStore it drives: single owner or external locking.
 
 #ifndef PROVLEDGER_DOMAINS_HEALTHCARE_EHR_H_
 #define PROVLEDGER_DOMAINS_HEALTHCARE_EHR_H_
@@ -109,6 +112,14 @@ class EhrSystem {
   Status Audit(const std::string& patient, const std::string& actor,
                const std::string& operation, const std::string& outcome,
                const std::string& record_id = "");
+  /// Audit a denied access, then return `denial` (always non-OK). Fails
+  /// CLOSED when the audit write itself fails: access stays denied, but the
+  /// caller sees Internal("audit write failed ...") instead of the clean
+  /// denial — a ledger that cannot record denials is a broken audit trail,
+  /// and that must never look like business as usual.
+  Status DenyAudited(const std::string& patient, const std::string& actor,
+                     const std::string& operation, const std::string& outcome,
+                     Status denial, const std::string& record_id = "");
   Bytes SearchKey(const std::string& patient) const;
   std::string Trapdoor(const std::string& patient,
                        const std::string& keyword) const;

@@ -2,6 +2,9 @@
 // as first-class assets in a DAG, tracked without requiring a corresponding
 // operation for every asset, supporting audits ("which datasets shaped this
 // model?") and fair-compensation queries ("who contributed to it?").
+//
+// Thread safety: NOT internally synchronized — same contract as the
+// ProvenanceStore it drives: single owner or external locking.
 
 #ifndef PROVLEDGER_DOMAINS_ML_ASSET_GRAPH_H_
 #define PROVLEDGER_DOMAINS_ML_ASSET_GRAPH_H_

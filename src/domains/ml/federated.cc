@@ -184,14 +184,19 @@ RoundStats FederatedLearning::RunRound() {
     rec.fields["accepted"] = std::to_string(stats.accepted);
     rec.fields["rejected"] = std::to_string(stats.rejected);
     rec.fields["error"] = std::to_string(stats.model_error);
-    (void)store_->Anchor(rec);
+    stats.provenance = store_->Anchor(rec);
   }
   return stats;
 }
 
 RoundStats FederatedLearning::RunRounds(size_t n) {
   RoundStats last;
-  for (size_t i = 0; i < n; ++i) last = RunRound();
+  Status provenance;  // first anchoring failure anywhere in the run
+  for (size_t i = 0; i < n; ++i) {
+    last = RunRound();
+    if (provenance.ok()) provenance = last.provenance;
+  }
+  last.provenance = provenance;
   return last;
 }
 

@@ -10,6 +10,9 @@
 // `model_error()` (L2 distance to the truth) is the accuracy proxy whose
 // attacker-fraction sweep reproduces the "stable under ~50% attacks" shape
 // (bench_ml_poisoning).
+//
+// Thread safety: NOT internally synchronized — same contract as the
+// ProvenanceStore it drives: single owner or external locking.
 
 #ifndef PROVLEDGER_DOMAINS_ML_FEDERATED_H_
 #define PROVLEDGER_DOMAINS_ML_FEDERATED_H_
@@ -60,6 +63,10 @@ struct RoundStats {
   size_t excluded = 0;  // workers barred by reputation before the round
   double model_error = 0.0;
   uint64_t bytes_uploaded = 0;  // after compression
+  /// OK when this round's provenance record anchored (always OK without a
+  /// store). From RunRounds: the FIRST anchoring failure across the run —
+  /// a training run whose lineage has a hole must not report clean stats.
+  Status provenance = Status::OK();
 };
 
 /// \brief The FL coordinator (the role the blockchain replaces the central

@@ -4,6 +4,9 @@
 // design (add tasks/dependencies), execution (dependency-ordered), sharing
 // (publish), branching/merging, timestamp invalidation with cascade, and
 // selective re-execution of exactly the affected subgraph.
+//
+// Thread safety: NOT internally synchronized — same contract as the
+// ProvenanceStore it drives: single owner or external locking.
 
 #ifndef PROVLEDGER_DOMAINS_SCIENTIFIC_WORKFLOW_H_
 #define PROVLEDGER_DOMAINS_SCIENTIFIC_WORKFLOW_H_

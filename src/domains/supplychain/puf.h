@@ -9,6 +9,9 @@
 // enrollment/authentication protocol the paper's supply-chain section
 // describes, with the same unclonability *property* (the secret never
 // leaves the device object).
+//
+// Thread safety: NOT internally synchronized — single owner, or external
+// locking around every call.
 
 #ifndef PROVLEDGER_DOMAINS_SUPPLYCHAIN_PUF_H_
 #define PROVLEDGER_DOMAINS_SUPPLYCHAIN_PUF_H_

@@ -6,6 +6,9 @@
 // al. [38] (PUF-authenticated parts via domains/supplychain/puf.h).
 //
 // Every action anchors a Table 1 supply-chain record on the ledger.
+//
+// Thread safety: NOT internally synchronized — same contract as the
+// ProvenanceStore it drives: single owner or external locking.
 
 #ifndef PROVLEDGER_DOMAINS_SUPPLYCHAIN_SUPPLY_CHAIN_H_
 #define PROVLEDGER_DOMAINS_SUPPLYCHAIN_SUPPLY_CHAIN_H_

@@ -2,6 +2,10 @@
 // of the paper) and body. Any mutation of any historical transaction breaks
 // either the Merkle root or the hash chain — the immutability property the
 // paper identifies as blockchain's key contribution to provenance.
+//
+// Thread safety: plain value types — distinct instances are independent;
+// concurrent const access to one instance is safe, any mutation needs
+// external coordination.
 
 #ifndef PROVLEDGER_LEDGER_BLOCK_H_
 #define PROVLEDGER_LEDGER_BLOCK_H_

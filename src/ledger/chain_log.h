@@ -14,6 +14,9 @@
 // Replay goes through Blockchain::SubmitBlock, i.e. every reloaded block is
 // re-validated in full (hash links, Merkle roots, signatures, fork choice).
 // A restart is therefore also a re-audit of the persisted ledger.
+//
+// Thread safety: NOT internally synchronized — one ChainLog instance per log
+// file, driven by a single owner (the chain's commit path).
 
 #ifndef PROVLEDGER_LEDGER_CHAIN_LOG_H_
 #define PROVLEDGER_LEDGER_CHAIN_LOG_H_

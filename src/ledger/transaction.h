@@ -3,6 +3,10 @@
 // domain modules never touch blocks directly. `channel` namespaces
 // applications sharing one chain (the Fabric-style isolation LedgerView
 // builds its views over).
+//
+// Thread safety: plain value types — distinct instances are independent;
+// concurrent const access to one instance is safe, any mutation needs
+// external coordination.
 
 #ifndef PROVLEDGER_LEDGER_TRANSACTION_H_
 #define PROVLEDGER_LEDGER_TRANSACTION_H_

@@ -7,6 +7,9 @@
 // the Rng seed. This is the substitute for the authors' real testbeds —
 // message counts and simulated latencies preserve protocol *shape*
 // (DESIGN.md §3).
+//
+// Thread safety: NOT internally synchronized — the discrete-event simulation
+// is driven from exactly one thread.
 
 #ifndef PROVLEDGER_NETWORK_SIM_NETWORK_H_
 #define PROVLEDGER_NETWORK_SIM_NETWORK_H_

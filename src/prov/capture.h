@@ -14,6 +14,9 @@
 //
 // Each service accounts simulated authentication/anchor latency on a
 // SimClock and message counts, which bench_fig3_capture_paths compares.
+//
+// Thread safety: capture services are NOT internally synchronized — same
+// contract as the store and chain they forward to.
 
 #ifndef PROVLEDGER_PROV_CAPTURE_H_
 #define PROVLEDGER_PROV_CAPTURE_H_

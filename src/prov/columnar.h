@@ -34,6 +34,9 @@
 //                  the ordered key-id list); per record one schema ref plus
 //                  dict refs for the values
 //   payload hash — 1 flag byte (zero digest) or flag + 32 raw bytes
+//
+// Thread safety: free encode/decode functions over caller-owned buffers —
+// safe concurrently on distinct data.
 
 #ifndef PROVLEDGER_PROV_COLUMNAR_H_
 #define PROVLEDGER_PROV_COLUMNAR_H_

@@ -32,7 +32,12 @@ IngestPipeline::IngestPipeline(ProvenanceStore* store,
   committer_ = std::thread([this] { CommitterLoop(); });
 }
 
-IngestPipeline::~IngestPipeline() { Close(); }
+IngestPipeline::~IngestPipeline() {
+  // A destructor cannot report a failed final flush — call Close()
+  // yourself (the header's drain contract) to observe it; records it
+  // could not commit stay refusable/dedupable in the store either way.
+  (void)Close();
+}
 
 size_t IngestPipeline::ShardFor(const std::string& subject) {
   std::lock_guard<std::mutex> lock(partition_mu_);

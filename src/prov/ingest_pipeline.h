@@ -40,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "prov/intern.h"
 #include "prov/store.h"
 
@@ -101,7 +102,7 @@ class IngestPipeline {
   /// per-record failures surface through failed()/first_error(), not
   /// here. Blocks only when the shard queue is full (backpressure).
   /// FailedPrecondition after Close(). Safe from any thread.
-  Status Submit(ProvenanceRecord record);
+  Status Submit(ProvenanceRecord record) PROV_EXCLUDES(partition_mu_);
 
   /// Bulk Submit: partitions `records` across shards and takes each shard
   /// lock once per group instead of once per record — the cheap way to
@@ -117,7 +118,8 @@ class IngestPipeline {
   /// caller-determinable subset) of the input — to recover, resubmit the
   /// whole batch to a new pipeline and rely on the store's per-record-id
   /// dedup to refuse the already-committed ones. Safe from any thread.
-  Status SubmitBatch(std::vector<ProvenanceRecord> records);
+  Status SubmitBatch(std::vector<ProvenanceRecord> records)
+      PROV_EXCLUDES(partition_mu_);
 
   /// Wait until everything submitted before this call is either committed
   /// or counted failed, forcing partial batches through. Returns
@@ -125,12 +127,12 @@ class IngestPipeline {
   /// from any thread; concurrent Flush() calls serialize, and a Flush
   /// after (or racing) Close() returns Close()'s result instead of
   /// waiting on stopped workers.
-  Status Flush();
+  Status Flush() PROV_EXCLUDES(flush_mu_);
 
   /// Flush, stop every worker, and join. Idempotent; Submit() fails
   /// afterwards. Returns the final first_error(). Safe from any thread
   /// (first caller wins; the rest see the same result).
-  Status Close();
+  Status Close() PROV_EXCLUDES(close_mu_, flush_mu_);
 
   /// \name Statistics (atomic reads; safe from any thread, monotonic).
   /// @{
@@ -158,7 +160,7 @@ class IngestPipeline {
   /// First error any stage hit since construction (OK if none). Later
   /// errors are counted in failed() but not retained. Safe from any
   /// thread.
-  Status first_error() const;
+  Status first_error() const PROV_EXCLUDES(error_mu_);
 
  private:
   /// A bounded MPSC record queue owned by one shard worker.
@@ -166,7 +168,7 @@ class IngestPipeline {
     std::mutex mu;
     std::condition_variable not_empty;
     std::condition_variable not_full;
-    std::deque<ProvenanceRecord> queue;
+    std::deque<ProvenanceRecord> queue PROV_GUARDED_BY(mu);
     std::thread worker;
   };
 
@@ -180,7 +182,7 @@ class IngestPipeline {
   size_t ShardFor(const std::string& subject);
   void ShardLoop(size_t shard_index);
   /// Flush with flush_mu_ already held (shared by Flush and Close).
-  Status FlushLocked();
+  Status FlushLocked() PROV_REQUIRES(flush_mu_);
   void CommitterLoop();
   /// Push a prepared batch to the committer (blocks on backpressure).
   void EnqueueBatch(PreparedBatch&& batch);
@@ -196,7 +198,7 @@ class IngestPipeline {
   // Subject partitioning: interned subject id -> shard. Guarded; touched
   // once per Submit.
   std::mutex partition_mu_;
-  InternTable subjects_;
+  InternTable subjects_ PROV_GUARDED_BY(partition_mu_);
 
   std::vector<std::unique_ptr<Shard>> shards_;
 
@@ -204,7 +206,7 @@ class IngestPipeline {
   std::mutex commit_mu_;
   std::condition_variable commit_not_empty_;
   std::condition_variable commit_not_full_;
-  std::deque<PreparedBatch> commit_queue_;
+  std::deque<PreparedBatch> commit_queue_ PROV_GUARDED_BY(commit_mu_);
   std::thread committer_;
 
   // Lifecycle. closed_: no new Submits; stopping_: workers exit once
@@ -216,11 +218,13 @@ class IngestPipeline {
   std::atomic<uint64_t> flush_gen_{1};
   // Lock order: close_mu_ before flush_mu_. Close() holds both across
   // the whole shutdown; joined_/close_status_ are written under both, so
-  // holding either suffices to read them.
+  // holding either suffices to read them. (The capability annotation can
+  // name only one lock — close_mu_, the outer one; Flush()'s read under
+  // flush_mu_ alone is the documented exception.)
   std::mutex flush_mu_;   // serializes Flush()
   std::mutex close_mu_;   // serializes Close()
-  bool joined_ = false;
-  Status close_status_;
+  bool joined_ PROV_GUARDED_BY(close_mu_) = false;
+  Status close_status_ PROV_GUARDED_BY(close_mu_);
 
   // Drain accounting: processed_ == submitted_ means nothing is in
   // flight. cv guarded by drain_mu_.
@@ -236,7 +240,7 @@ class IngestPipeline {
   std::atomic<uint64_t> nonce_;
 
   mutable std::mutex error_mu_;
-  Status first_error_;
+  Status first_error_ PROV_GUARDED_BY(error_mu_);
 };
 
 }  // namespace prov

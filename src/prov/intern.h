@@ -9,6 +9,10 @@
 // Ids are assigned contiguously from 0 in first-seen order, which makes
 // them directly usable as vector indexes (CSR-style adjacency) and bitset
 // positions.
+//
+// Thread safety: NOT internally synchronized. Intern() mutates; const
+// lookups hydrate lazy state on first use. After Warm() — and with no
+// further Intern() — const reads are safe from many threads.
 
 #ifndef PROVLEDGER_PROV_INTERN_H_
 #define PROVLEDGER_PROV_INTERN_H_

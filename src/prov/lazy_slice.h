@@ -2,6 +2,10 @@
 // is deferred until first use. The whole snapshot body is checksummed at
 // load time (common/hash64.h), so slices can be handed out without
 // re-verification; holding a slice pins the backing buffer alive.
+//
+// Thread safety: thread-compatible value type over an immutable shared
+// buffer — concurrent const reads of one slice are safe; mutation
+// (clear/assign) needs a single owner.
 
 #ifndef PROVLEDGER_PROV_LAZY_SLICE_H_
 #define PROVLEDGER_PROV_LAZY_SLICE_H_

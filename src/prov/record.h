@@ -6,6 +6,10 @@
 // domain reproduce Table 1 of the paper ("Provenance Record Fields"):
 // product supply chain, digital forensics, and scientific collaboration
 // each have a required field schema validated by Validate().
+//
+// Thread safety: plain value types — distinct instances are independent;
+// concurrent const access to one instance is safe, any mutation needs
+// external coordination.
 
 #ifndef PROVLEDGER_PROV_RECORD_H_
 #define PROVLEDGER_PROV_RECORD_H_

@@ -321,7 +321,9 @@ class ProvenanceStore {
   // Latest published epoch; accessed with std::atomic_load/atomic_store so
   // AcquireSnapshot never locks. snapshot_epoch_ trails the pointer (it is
   // published second), so epoch N observed implies snapshot epoch >= N is
-  // acquirable.
+  // acquirable. Deliberately NOT PROV_GUARDED_BY anything (annotations.h):
+  // there is no lock — publication IS the atomic_store, acquisition the
+  // atomic_load; everything behind the pointer is immutable.
   std::shared_ptr<const GraphSnapshot> snapshot_;
   std::atomic<uint64_t> snapshot_epoch_{0};
 };

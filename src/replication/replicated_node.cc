@@ -113,7 +113,10 @@ void ReplicatedNode::ApplyPeerBlock(const ledger::Block& block,
   Status st = chain_.SubmitBlock(block);
   if (st.ok()) {
     ++metrics_.blocks_applied;
-    (void)SyncStoreWithChain();
+    // A failed sync already reset the applied-height tracker, so the next
+    // broadcast/pull retries from genesis; count it so a node serving
+    // degraded query results is visible to operators.
+    if (!SyncStoreWithChain().ok()) ++metrics_.store_sync_failures;
     return;
   }
   if (st.IsAlreadyExists()) return;
@@ -274,7 +277,9 @@ void ReplicatedNode::HandleBlocks(const network::Message& message) {
     // back-step walking toward the fork point, and NotFound is a gap
     // below the pulled window that the back-step will cover.
   }
-  (void)SyncStoreWithChain();
+  // As above: failure resets the tracker for a from-genesis retry on the
+  // next message; the counter keeps the degraded window observable.
+  if (!SyncStoreWithChain().ok()) ++metrics_.store_sync_failures;
   if (chain_.height() >= sender_height || net_ == nullptr) {
     sync_in_flight_ = false;
     return;

@@ -4,6 +4,9 @@
 // on the ledger; ContentStore preserves exactly that architectural split and
 // its measurable consequences (on-chain bytes vs retrieval indirection),
 // which bench_storage_overhead quantifies.
+//
+// Thread safety: NOT internally synchronized — single owner, or external
+// locking around every call.
 
 #ifndef PROVLEDGER_STORAGE_CONTENT_STORE_H_
 #define PROVLEDGER_STORAGE_CONTENT_STORE_H_

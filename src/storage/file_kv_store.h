@@ -20,6 +20,9 @@
 // (no compaction yet), so an index snapshot stays valid forever — iterators
 // share the index map copy-on-write exactly like MemKvStore, giving O(1)
 // snapshot creation with the same documented point-in-time semantics.
+//
+// Thread safety: NOT internally synchronized — single owner, or external
+// locking around every call.
 
 #ifndef PROVLEDGER_STORAGE_FILE_KV_STORE_H_
 #define PROVLEDGER_STORAGE_FILE_KV_STORE_H_

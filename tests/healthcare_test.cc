@@ -106,6 +106,7 @@ TEST_F(EhrTest, EmergencyBreakGlassIsAuditedLoudly) {
 
 TEST_F(EhrTest, DeniedAccessesAreAudited) {
   std::string id = AddTreatmentRecord();
+  // The denial status itself is not under test — only its audit record.
   (void)ehr_.ReadRecord(id, "dr-jones", "treatment");
   bool denied_audited = false;
   for (const auto& rec : ehr_.AccessAudit("patient-1")) {
@@ -115,6 +116,34 @@ TEST_F(EhrTest, DeniedAccessesAreAudited) {
     }
   }
   EXPECT_TRUE(denied_audited);
+}
+
+// Regression: a denial whose audit write fails must fail CLOSED — access
+// stays denied AND the caller learns the audit trail is broken (Internal),
+// instead of the audit failure being silently swallowed and the denial
+// looking like any other. Audit ids are "ehr-audit-<seq>", so anchoring
+// records under the upcoming ids directly into the store makes every
+// subsequent audit write collide with AlreadyExists.
+TEST_F(EhrTest, FailedDenialAuditFailsClosed) {
+  std::string id = AddTreatmentRecord();
+  for (int k = 1; k <= 32; ++k) {
+    prov::ProvenanceRecord rec;
+    rec.record_id = "ehr-audit-" + std::to_string(k);
+    rec.domain = prov::Domain::kHealthcare;
+    rec.operation = "squat";
+    rec.subject = "patient-1";
+    rec.agent = "test";
+    rec.timestamp = clock_.NowMicros();
+    Status anchored = store_.Anchor(rec);
+    // Low ids were already used by real audits: AlreadyExists is expected.
+    ASSERT_TRUE(anchored.ok() || anchored.IsAlreadyExists());
+  }
+  // dr-jones holds the doctor role but no consent: this is a denial, and
+  // its audit write now cannot land.
+  auto denied = ehr_.ReadRecord(id, "dr-jones", "treatment");
+  EXPECT_TRUE(denied.status().IsInternal());
+  EXPECT_NE(denied.status().message().find("audit write failed"),
+            std::string::npos);
 }
 
 TEST_F(EhrTest, SearchableIndexWithDelegation) {

@@ -169,6 +169,28 @@ TEST(FederatedTest, RoundsAnchoredToProvenance) {
   EXPECT_EQ(history[4].fields.at("round"), "5");
 }
 
+// Regression: a round whose provenance record fails to anchor must surface
+// that failure in RoundStats::provenance (previously the Anchor status was
+// discarded, so a run with a lineage hole reported clean stats). Two runs
+// with the same seed share round record ids ("fl-round-<n>-<seed>"), so
+// the second run's anchors all collide.
+TEST(FederatedTest, AnchorFailureSurfacesInRoundStats) {
+  ledger::Blockchain chain;
+  SimClock clock(0);
+  prov::ProvenanceStore store(&chain, &clock);
+  FederatedLearning first(BaseConfig(Aggregation::kFedAvg, 0.0), &store,
+                          &clock);
+  EXPECT_TRUE(first.RunRounds(3).provenance.ok());
+  EXPECT_EQ(store.anchored_count(), 3u);
+
+  FederatedLearning second(BaseConfig(Aggregation::kFedAvg, 0.0), &store,
+                           &clock);
+  auto stats = second.RunRounds(3);
+  EXPECT_TRUE(stats.provenance.IsAlreadyExists());
+  // The colliding rounds really did not anchor.
+  EXPECT_EQ(store.anchored_count(), 3u);
+}
+
 TEST(FederatedTest, DeterministicAcrossRuns) {
   auto run = [] {
     FederatedLearning fl(BaseConfig(Aggregation::kBlockDfl, 0.3), nullptr,

@@ -1,0 +1,504 @@
+// provlint — ProvLedger's repo-specific source linter.
+//
+// Enforces the handful of contracts the generic tools (gcc -Werror,
+// clang-tidy, -fanalyzer) cannot express, at the line/token level:
+//
+//   thread-contract   Every public header under src/ states its threading
+//                     contract ("Thread safety:" / "Thread contract:"),
+//                     the prose half of the PROV_GUARDED_BY annotations.
+//   status-discard    `(void)Call(...)` / `static_cast<void>(Call(...))`
+//                     discards of a call result need an adjacent
+//                     justification comment — a discarded Status with no
+//                     stated reason is exactly the silent-drop failure mode
+//                     [[nodiscard]] exists to kill.
+//   naked-new         No naked `new` / `delete` expressions in src/ or
+//                     tools/: allocation goes through make_unique/
+//                     make_shared or the factory idiom that wraps a
+//                     private-constructor `new` in a smart pointer on the
+//                     same line. Placement new is fine.
+//   fuzz-io           No fsync/fdatasync/WriteFileAtomic in the fuzz
+//                     harness hot loops (fuzz_*.cc, driver_main.cc,
+//                     harnesses.h): per-iteration fsyncs once turned a
+//                     17-second fuzz pass into 120 seconds. The corpus
+//                     generator (make_corpus.cc) runs once, manually, and
+//                     is exempt.
+//   common-include    src/common/ is the base layer: its files may include
+//                     only other common/ headers (and system headers),
+//                     never prov/, ledger/, storage/, ... — keeps the
+//                     dependency graph acyclic by construction.
+//
+// Matching is done on comment- and string-stripped text, so prose about
+// fsync or `new` never trips a rule. Any rule can be suppressed on one
+// line with a justified marker comment:
+//
+//     legacy_call();  // provlint:allow(naked-new): interop with libfoo
+//
+// (marker on the flagged line or the line above; the rationale after the
+// colon is mandatory — an empty allowance is itself a violation).
+//
+// Modes:
+//   provlint --root <repo-root>          lint src/ tests/ bench/ fuzz/
+//                                        examples/ tools/; exit 1 on any
+//                                        violation.
+//   provlint --self-test <fixtures-dir>  golden test: lint every *.in
+//                                        fixture (first line carries a
+//                                        `provlint-fixture: <pseudo-path>`
+//                                        directive) and diff the report
+//                                        against the matching *.golden.
+//
+// Thread safety: single-threaded command-line tool; no shared state.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string path;  // as reported (pseudo-path for fixtures)
+  size_t line = 0;   // 1-based
+  std::string rule;
+  std::string message;
+};
+
+// ---------------------------------------------------------------------------
+// Source model: per-line raw text plus a comment/string-stripped shadow.
+// ---------------------------------------------------------------------------
+
+struct SourceLine {
+  std::string raw;       // original text
+  std::string code;      // comments and string/char literal bodies blanked
+  std::string comments;  // concatenated comment text on this line
+};
+
+// Strip comments and literals with a small state machine. Literal bodies are
+// replaced by spaces (so token scans never match prose or string contents);
+// comment text is preserved separately for the justification checks.
+std::vector<SourceLine> ParseSource(const std::string& text) {
+  std::vector<SourceLine> lines;
+  SourceLine cur;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  bool raw_string = false;       // inside a C++ raw string literal
+  std::string raw_delim;         // its )delim" terminator
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      // Unterminated strings/chars cannot legally span lines (raw strings
+      // excepted) — reset so one bad line cannot poison the whole file.
+      if (!raw_string && (state == State::kString || state == State::kChar))
+        state = State::kCode;
+      lines.push_back(std::move(cur));
+      cur = SourceLine();
+      continue;
+    }
+    cur.raw += c;
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          cur.code += "  ";
+          cur.raw += next;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          cur.code += "  ";
+          cur.raw += next;
+          ++i;
+        } else if (c == 'R' && next == '"') {
+          // Raw string literal: R"delim( ... )delim"
+          size_t paren = text.find('(', i + 2);
+          if (paren != std::string::npos) {
+            raw_string = true;
+            raw_delim = ")" + text.substr(i + 2, paren - (i + 2)) + "\"";
+            state = State::kString;
+          }
+          cur.code += ' ';
+        } else if (c == '"') {
+          state = State::kString;
+          raw_string = false;
+          cur.code += '"';
+        } else if (c == '\'') {
+          state = State::kChar;
+          cur.code += '\'';
+        } else {
+          cur.code += c;
+        }
+        break;
+      case State::kLineComment:
+        cur.code += ' ';
+        cur.comments += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          cur.code += "  ";
+          cur.raw += next;
+          ++i;
+        } else {
+          cur.code += ' ';
+          cur.comments += c;
+        }
+        break;
+      case State::kString:
+        if (raw_string) {
+          if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+            for (size_t k = 1; k < raw_delim.size(); ++k)
+              cur.raw += text[i + k];
+            i += raw_delim.size() - 1;
+            state = State::kCode;
+            raw_string = false;
+            cur.code += '"';
+          } else {
+            cur.code += ' ';
+          }
+        } else if (c == '\\') {
+          cur.code += ' ';
+          if (next != '\n' && next != '\0') {
+            cur.raw += next;
+            cur.code += ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+          cur.code += '"';
+        } else {
+          cur.code += ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          cur.code += ' ';
+          if (next != '\n' && next != '\0') {
+            cur.raw += next;
+            cur.code += ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::kCode;
+          cur.code += '\'';
+        } else {
+          cur.code += ' ';
+        }
+        break;
+    }
+  }
+  if (!cur.raw.empty()) lines.push_back(std::move(cur));
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Suppression markers and justification comments.
+// ---------------------------------------------------------------------------
+
+const std::regex kAllowRe(R"(provlint:allow\(([a-z-]+)\):\s*(\S?))");
+
+// True when line `idx` (or the line above) carries a well-formed
+// provlint:allow(<rule>) marker with a non-empty rationale.
+bool IsAllowed(const std::vector<SourceLine>& lines, size_t idx,
+               const std::string& rule, std::vector<Violation>* out,
+               const std::string& path) {
+  for (size_t k = 0; k < 2; ++k) {
+    if (idx < k) break;
+    const SourceLine& line = lines[idx - k];
+    std::smatch m;
+    if (std::regex_search(line.comments, m, kAllowRe) && m[1] == rule) {
+      if (m[2].str().empty()) {
+        out->push_back({path, idx - k + 1, rule,
+                        "provlint:allow(" + rule +
+                            ") needs a rationale after the colon"});
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+// True when line `idx` has any non-marker comment text on it or on the
+// immediately preceding line — the "adjacent justification" a deliberate
+// status discard must carry.
+bool HasAdjacentComment(const std::vector<SourceLine>& lines, size_t idx) {
+  for (size_t k = 0; k < 2; ++k) {
+    if (idx < k) break;
+    const std::string& c = lines[idx - k].comments;
+    if (std::any_of(c.begin(), c.end(),
+                    [](unsigned char ch) { return std::isgraph(ch); }))
+      return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// File classification: which rules apply where.
+// ---------------------------------------------------------------------------
+
+struct FileClass {
+  bool src_header = false;    // src/**/*.h        -> thread-contract
+  bool src_or_tools = false;  // src/**, tools/**  -> naked-new
+  bool common_layer = false;  // src/common/**     -> common-include
+  bool fuzz_hot = false;      // fuzz harness loop -> fuzz-io
+};
+
+FileClass Classify(const std::string& rel) {
+  FileClass fc;
+  auto starts = [&rel](const char* p) { return rel.rfind(p, 0) == 0; };
+  bool header = rel.size() > 2 && rel.compare(rel.size() - 2, 2, ".h") == 0;
+  fc.src_header = starts("src/") && header;
+  fc.src_or_tools = starts("src/") || starts("tools/");
+  fc.common_layer = starts("src/common/");
+  if (starts("fuzz/")) {
+    std::string base = rel.substr(rel.find('/') + 1);
+    fc.fuzz_hot = base.rfind("fuzz_", 0) == 0 || base == "driver_main.cc" ||
+                  base == "harnesses.h";
+  }
+  return fc;
+}
+
+// ---------------------------------------------------------------------------
+// The rules.
+// ---------------------------------------------------------------------------
+
+// `(void)expr;` or `static_cast<void>(expr)` where expr contains a call —
+// a discarded result. Plain `(void)identifier;` (unused-parameter
+// suppression) is not a result discard and passes.
+const std::regex kVoidCastCallRe(
+    R"((\(\s*void\s*\)|static_cast<\s*void\s*>\s*\()\s*[A-Za-z_:.&*(][^;]*\()");
+// `new` starting an allocation (placement `new (` excluded below).
+const std::regex kNewRe(R"(\bnew\b\s*([A-Za-z_(:]))");
+// A delete *expression* (needs an operand — `= delete;` has none).
+const std::regex kDeleteRe(R"(\bdelete\b\s*(\[\s*\])?\s*[A-Za-z_*(])");
+// Smart-pointer factory idiom: the `new` is wrapped on the same line.
+const std::regex kPtrWrapRe(R"(_ptr\s*<[^;]*>\s*\(\s*$)");
+const std::regex kFuzzIoRe(R"(\b(fsync|fdatasync|WriteFileAtomic)\s*\()");
+const std::regex kQuotedIncludeRe(R"(^\s*#\s*include\s+\"([^\"]+)\")");
+const std::regex kThreadContractRe(R"(Thread (safety|contract):)");
+
+void LintFile(const std::string& rel, const std::vector<SourceLine>& lines,
+              std::vector<Violation>* out) {
+  FileClass fc = Classify(rel);
+
+  if (fc.src_header) {
+    bool has_contract = false;
+    for (const SourceLine& line : lines) {
+      if (std::regex_search(line.comments, kThreadContractRe) ||
+          std::regex_search(line.code, kThreadContractRe)) {
+        has_contract = true;
+        break;
+      }
+    }
+    if (!has_contract) {
+      out->push_back({rel, 1, "thread-contract",
+                      "public header has no \"Thread safety:\" (or \"Thread "
+                      "contract:\") line documenting its threading model"});
+    }
+  }
+
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    std::smatch m;
+
+    if (std::regex_search(code, m, kVoidCastCallRe)) {
+      if (!IsAllowed(lines, i, "status-discard", out, rel) &&
+          !HasAdjacentComment(lines, i)) {
+        out->push_back(
+            {rel, i + 1, "status-discard",
+             "discarded call result ((void)/static_cast<void>) without an "
+             "adjacent justification comment"});
+      }
+    }
+
+    if (fc.src_or_tools) {
+      if (std::regex_search(code, m, kNewRe) && m[1] != "(") {
+        // The factory idiom may break the line after the opening paren:
+        //   std::unique_ptr<ReplicatedNode>(
+        //       new ReplicatedNode(...));
+        std::string before = m.prefix().str();
+        bool wrapped = std::regex_search(before, kPtrWrapRe) ||
+                       (i > 0 && std::regex_search(lines[i - 1].code,
+                                                   kPtrWrapRe));
+        if (!wrapped && !IsAllowed(lines, i, "naked-new", out, rel)) {
+          out->push_back({rel, i + 1, "naked-new",
+                          "naked `new`: use make_unique/make_shared, or wrap "
+                          "a private-constructor new in its smart pointer on "
+                          "the same line"});
+        }
+      }
+      if (std::regex_search(code, kDeleteRe) &&
+          !IsAllowed(lines, i, "naked-new", out, rel)) {
+        out->push_back({rel, i + 1, "naked-new",
+                        "naked `delete` expression: ownership belongs in a "
+                        "smart pointer"});
+      }
+    }
+
+    if (fc.fuzz_hot && std::regex_search(code, kFuzzIoRe) &&
+        !IsAllowed(lines, i, "fuzz-io", out, rel)) {
+      out->push_back({rel, i + 1, "fuzz-io",
+                      "fsync/WriteFileAtomic in a fuzz harness: per-iteration "
+                      "durable I/O turns a 17s fuzz pass into minutes — use "
+                      "plain truncating writes (see fuzz/harnesses.h)"});
+    }
+
+    // Includes are matched on the RAW line: the quoted path is a string
+    // literal, which the stripper blanks out of `code`.
+    if (fc.common_layer && std::regex_search(lines[i].raw, m,
+                                             kQuotedIncludeRe)) {
+      std::string inc = m[1];
+      if (inc.rfind("common/", 0) != 0 &&
+          !IsAllowed(lines, i, "common-include", out, rel)) {
+        out->push_back({rel, i + 1, "common-include",
+                        "src/common/ is the base layer and must not include "
+                        "\"" + inc + "\" — only common/ or system headers"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Drivers.
+// ---------------------------------------------------------------------------
+
+bool ReadFile(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+std::string FormatReport(const std::vector<Violation>& vs) {
+  std::ostringstream out;
+  for (const Violation& v : vs) {
+    out << v.path << ":" << v.line << ": [" << v.rule << "] " << v.message
+        << "\n";
+  }
+  return out.str();
+}
+
+bool IsSourceFile(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+int LintTree(const fs::path& root) {
+  static const char* kDirs[] = {"src",  "tests",    "bench",
+                                "fuzz", "examples", "tools"};
+  std::vector<Violation> violations;
+  std::vector<fs::path> files;
+  for (const char* dir : kDirs) {
+    fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !IsSourceFile(entry.path())) continue;
+      // Fixtures violate on purpose; they are linted by --self-test.
+      if (entry.path().string().find("/fixtures/") != std::string::npos)
+        continue;
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::cerr << "provlint: no source files under " << root << "\n";
+    return 2;
+  }
+  for (const fs::path& p : files) {
+    std::string text;
+    if (!ReadFile(p, &text)) {
+      std::cerr << "provlint: cannot read " << p << "\n";
+      return 2;
+    }
+    std::string rel = fs::relative(p, root).generic_string();
+    LintFile(rel, ParseSource(text), &violations);
+  }
+  std::cout << FormatReport(violations);
+  std::cout << "provlint: " << files.size() << " files, "
+            << violations.size() << " violation(s)\n";
+  return violations.empty() ? 0 : 1;
+}
+
+// Fixture mode: each *.in file's first line is
+//   // provlint-fixture: <pseudo-path>
+// and the lint report over the remaining lines (line numbers unshifted:
+// the directive is line 1) must equal the sibling *.golden byte-for-byte.
+int SelfTest(const fs::path& fixtures) {
+  size_t checked = 0;
+  bool failed = false;
+  std::vector<fs::path> inputs;
+  for (const auto& entry : fs::directory_iterator(fixtures)) {
+    if (entry.path().extension() == ".in") inputs.push_back(entry.path());
+  }
+  std::sort(inputs.begin(), inputs.end());
+  for (const fs::path& input : inputs) {
+    std::string text;
+    if (!ReadFile(input, &text)) {
+      std::cerr << "provlint: cannot read " << input << "\n";
+      return 2;
+    }
+    std::vector<SourceLine> lines = ParseSource(text);
+    const std::string directive = "// provlint-fixture: ";
+    if (lines.empty() || lines[0].raw.rfind(directive, 0) != 0) {
+      std::cerr << input << ": first line must be `" << directive
+                << "<pseudo-path>`\n";
+      return 2;
+    }
+    std::string pseudo = lines[0].raw.substr(directive.size());
+    std::vector<Violation> violations;
+    LintFile(pseudo, lines, &violations);
+    std::string got = FormatReport(violations);
+    fs::path golden_path = input;
+    golden_path.replace_extension(".golden");
+    std::string want;
+    if (!ReadFile(golden_path, &want)) {
+      std::cerr << input << ": missing golden " << golden_path << "\n";
+      return 2;
+    }
+    if (got != want) {
+      failed = true;
+      std::cerr << "FAIL " << input.filename().string() << "\n--- expected\n"
+                << want << "--- actual\n" << got;
+    }
+    // A fixture that exercises a rule must actually fire it — a golden that
+    // goes stale-empty would silently stop covering its rule.
+    bool expect_clean =
+        input.filename().string().rfind("clean_", 0) == 0;
+    if (!expect_clean && violations.empty()) {
+      failed = true;
+      std::cerr << "FAIL " << input.filename().string()
+                << ": fixture produced no violations (rename clean_* if "
+                   "intentional)\n";
+    }
+    if (expect_clean && !violations.empty()) failed = true;
+    ++checked;
+  }
+  if (checked == 0) {
+    std::cerr << "provlint: no *.in fixtures under " << fixtures << "\n";
+    return 2;
+  }
+  if (failed) return 1;
+  std::cout << "provlint self-test: " << checked << " fixtures OK\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--root")
+    return LintTree(fs::path(argv[2]));
+  if (argc == 3 && std::string(argv[1]) == "--self-test")
+    return SelfTest(fs::path(argv[2]));
+  std::cerr << "usage: provlint --root <repo-root> | --self-test "
+               "<fixtures-dir>\n";
+  return 2;
+}
