@@ -86,6 +86,7 @@ void FuzzFramedLog(const uint8_t* data, size_t size);
 void FuzzKvSegment(const uint8_t* data, size_t size);
 void FuzzChainLog(const uint8_t* data, size_t size);
 void FuzzReplication(const uint8_t* data, size_t size);
+void FuzzLineageProof(const uint8_t* data, size_t size);
 
 }  // namespace fuzz
 }  // namespace provledger

@@ -22,10 +22,12 @@
 #include "common/fileio.h"
 #include "common/framed_log.h"
 #include "common/rng.h"
+#include "audit/lineage_proof.h"
 #include "ledger/chain.h"
 #include "ledger/chain_log.h"
 #include "prov/columnar.h"
 #include "prov/record.h"
+#include "prov/store.h"
 #include "storage/file_kv_store.h"
 
 namespace provledger {
@@ -299,6 +301,49 @@ void EmitChainLogAndReplication(const std::vector<ledger::Block>& blocks) {
   }
 }
 
+void EmitLineageProof() {
+  ledger::Blockchain chain;
+  SimClock clock(3'000'000);
+  prov::ProvenanceStore store(&chain, &clock);
+  auto rec = [](const std::string& id, std::vector<std::string> inputs,
+                std::vector<std::string> outputs) {
+    prov::ProvenanceRecord r;
+    r.record_id = id;
+    r.operation = "create";
+    r.subject = "artifact";
+    r.agent = "agent-a";
+    r.timestamp = 3'000'000;
+    r.inputs = std::move(inputs);
+    r.outputs = std::move(outputs);
+    return r;
+  };
+  if (!store.Anchor(rec("l0", {"raw"}, {"e0"})).ok()) std::exit(1);
+  if (!store.Anchor(rec("l1", {"e0"}, {"e1"})).ok()) std::exit(1);
+  // Batch the leaf with fillers so the seed carries multi-step Merkle
+  // proofs (a 4-leaf tree), not just single-sibling paths.
+  if (!store
+           .AnchorBatch({rec("l2", {"e1"}, {"e2"}), rec("f0", {}, {}),
+                         rec("f1", {}, {}), rec("f2", {}, {})})
+           .ok()) {
+    std::exit(1);
+  }
+  auto deep = audit::BuildLineageProof(store, "l2");
+  auto single = audit::BuildLineageProof(store, "l0");
+  if (!deep.ok() || !single.ok()) {
+    std::fprintf(stderr, "make_corpus: lineage proof build failed\n");
+    std::exit(1);
+  }
+  WriteSeed("lineage_proof", "chain_of_three.bin", deep.value().Encode());
+  WriteSeed("lineage_proof", "single_node.bin", single.value().Encode());
+  // Valid magic + target followed by a 2^32-1 header count: the classic
+  // trusted-count-prefix shape; must be Corruption, not a giant resize.
+  Encoder enc;
+  enc.PutRaw(ToBytes("PLLPRF01"));
+  enc.PutString("l2");
+  enc.PutU32(0xFFFFFFFFu);
+  WriteSeed("lineage_proof", "crash-header-count.bin", enc.TakeBuffer());
+}
+
 }  // namespace
 }  // namespace provledger
 
@@ -335,6 +380,7 @@ int main(int argc, char** argv) {
   EmitFramedLog();
   EmitKvSegment();
   EmitChainLogAndReplication(blocks);
+  EmitLineageProof();
   std::printf("make_corpus: seeds written under %s\n", g_root.c_str());
   return 0;
 }

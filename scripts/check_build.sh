@@ -2,11 +2,11 @@
 # CI-style strict check, five gates in order:
 #   1. build-check/    — full build (tests+benches+examples) under
 #      -Wall -Wextra -Werror (PROVLEDGER_WERROR), full ctest suite, then
-#      per-label passes (recovery, replication, encoding, fuzz). The
+#      per-label passes (recovery, replication, encoding, fuzz, audit). The
 #      class-level [[nodiscard]] on Status/Result makes every unjustified
 #      discard a compile error here.
-#   2. build-tsan/     — the `concurrency` + `encoding` labels rebuilt under
-#      -fsanitize=thread. Any data race fails the build.
+#   2. build-tsan/     — the `concurrency` + `encoding` + `audit` labels
+#      rebuilt under -fsanitize=thread. Any data race fails the build.
 #   3. build-asan/     — the FULL ctest suite rebuilt under
 #      -fsanitize=address,undefined (halt_on_error): every test and every
 #      deterministic fuzz harness runs with memory and UB checking on.
@@ -39,6 +39,9 @@ ctest_tree "$BUILD" -L encoding
 # Deterministic fuzz pass: corpus replay + bounded mutation loop on every
 # harness (the corpus crash-* files are the decoder-bug regression suite).
 ctest_tree "$BUILD" -L fuzz
+# Continuous auditor + lineage proofs: tamper localization, adversarial
+# proof mutations, and the auditor-vs-ingest concurrency test.
+ctest_tree "$BUILD" -L audit
 
 # ThreadSanitizer gate: the `concurrency` label (sharded ingest, snapshot
 # readers, parallel queries) rebuilt under -fsanitize=thread. Any data
@@ -50,11 +53,14 @@ configure_tree "$TSAN_BUILD" RelWithDebInfo \
   -DPROVLEDGER_BUILD_BENCHES=OFF \
   -DPROVLEDGER_BUILD_EXAMPLES=OFF
 build_tree "$TSAN_BUILD" --target concurrency_test encoding_test \
-  encoding_hardening_test
+  encoding_hardening_test audit_test
 ctest_tree "$TSAN_BUILD" -L concurrency
 # The encoding suite also runs under TSan: the codec is exercised from
 # shard workers and the replication cluster threads.
 ctest_tree "$TSAN_BUILD" -L encoding
+# The audit suite too: the background auditor reads published views while
+# the ingest pipeline commits — the coexistence claim must hold under TSan.
+ctest_tree "$TSAN_BUILD" -L audit
 
 # AddressSanitizer + UndefinedBehaviorSanitizer gate: the whole suite —
 # including the deterministic fuzz harnesses and the corpus regression

@@ -1,0 +1,336 @@
+#include "audit/lineage_proof.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "prov/query.h"
+
+namespace provledger {
+namespace audit {
+
+namespace {
+
+// 8-byte magic doubles as the format version ("01"); bump it for any
+// layout change so old verifiers reject new proofs instead of misreading.
+constexpr char kMagic[] = "PLLPRF01";
+constexpr size_t kMagicSize = 8;
+
+std::string NodeLabel(size_t index, const std::string& record_id) {
+  return "node " + std::to_string(index) +
+         (record_id.empty() ? "" : " (record " + record_id + ")");
+}
+
+}  // namespace
+
+void LineageProof::EncodeTo(Encoder* enc) const {
+  enc->PutRaw(reinterpret_cast<const uint8_t*>(kMagic), kMagicSize);
+  enc->PutString(target_record_id);
+  enc->PutU32(static_cast<uint32_t>(headers.size()));
+  for (const auto& header : headers) header.EncodeTo(enc);
+  enc->PutU32(static_cast<uint32_t>(nodes.size()));
+  for (const auto& node : nodes) {
+    enc->PutU32(node.header_index);
+    enc->PutBytes(node.tx_encoding);
+    node.merkle_proof.EncodeTo(enc);
+  }
+}
+
+Bytes LineageProof::Encode() const {
+  Encoder enc;
+  EncodeTo(&enc);
+  return enc.TakeBuffer();
+}
+
+Result<LineageProof> LineageProof::DecodeFrom(Decoder* dec) {
+  Bytes magic;
+  PROVLEDGER_RETURN_NOT_OK(dec->GetRaw(kMagicSize, &magic));
+  if (!std::equal(magic.begin(), magic.end(),
+                  reinterpret_cast<const uint8_t*>(kMagic))) {
+    return Status::Corruption("bad lineage proof magic/version");
+  }
+  LineageProof proof;
+  PROVLEDGER_RETURN_NOT_OK(dec->GetString(&proof.target_record_id));
+  uint32_t header_count = 0;
+  PROVLEDGER_RETURN_NOT_OK(dec->GetU32(&header_count));
+  // Counts are untrusted: grow by decoding, never by resize(count), so a
+  // forged count cannot allocate past the input (truncation fails the
+  // first missing element instead).
+  for (uint32_t i = 0; i < header_count; ++i) {
+    PROVLEDGER_ASSIGN_OR_RETURN(ledger::BlockHeader header,
+                                ledger::BlockHeader::DecodeFrom(dec));
+    if (!proof.headers.empty() &&
+        header.height <= proof.headers.back().height) {
+      return Status::Corruption(
+          "lineage proof headers not strictly increasing by height");
+    }
+    proof.headers.push_back(std::move(header));
+  }
+  uint32_t node_count = 0;
+  PROVLEDGER_RETURN_NOT_OK(dec->GetU32(&node_count));
+  for (uint32_t i = 0; i < node_count; ++i) {
+    LineageProofNode node;
+    PROVLEDGER_RETURN_NOT_OK(dec->GetU32(&node.header_index));
+    if (node.header_index >= proof.headers.size()) {
+      return Status::Corruption("lineage proof node references header " +
+                                std::to_string(node.header_index) +
+                                " past the header table");
+    }
+    PROVLEDGER_RETURN_NOT_OK(dec->GetBytes(&node.tx_encoding));
+    PROVLEDGER_ASSIGN_OR_RETURN(node.merkle_proof,
+                                crypto::MerkleProof::DecodeFrom(dec));
+    proof.nodes.push_back(std::move(node));
+  }
+  return proof;
+}
+
+Result<LineageProof> LineageProof::Decode(const Bytes& data) {
+  Decoder dec(data);
+  PROVLEDGER_ASSIGN_OR_RETURN(LineageProof proof, DecodeFrom(&dec));
+  if (!dec.AtEnd()) {
+    return Status::Corruption("trailing bytes after lineage proof");
+  }
+  return proof;
+}
+
+Result<LineageProof> BuildLineageProof(const prov::ProvenanceStore& store,
+                                       const std::string& record_id) {
+  const ledger::Blockchain* chain = store.chain();
+  // BFS the ancestry: a record depends on the producers of each of its
+  // input entities (wasGeneratedBy edges through the query index, which
+  // already resolves the implicit subject-version outputs).
+  std::vector<std::string> order;
+  std::unordered_set<std::string> seen{record_id};
+  std::deque<std::string> queue{record_id};
+  while (!queue.empty()) {
+    std::string id = std::move(queue.front());
+    queue.pop_front();
+    PROVLEDGER_ASSIGN_OR_RETURN(prov::ProvenanceRecord rec,
+                                store.GetRecord(id));
+    order.push_back(std::move(id));
+    for (const auto& input : rec.inputs) {
+      prov::QueryResult producers =
+          store.Execute(prov::Query().WithOutput(input));
+      for (const auto& producer : producers.records) {
+        if (seen.insert(producer.record_id).second) {
+          queue.push_back(producer.record_id);
+        }
+      }
+    }
+  }
+
+  // One TxProof per ancestor; headers shared through a height-keyed table
+  // (records batched into one block cost one header, not one each).
+  struct NodeDraft {
+    uint64_t height = 0;
+    Bytes tx_encoding;
+    crypto::MerkleProof merkle_proof;
+  };
+  std::vector<NodeDraft> drafts;
+  drafts.reserve(order.size());
+  std::unordered_map<uint64_t, ledger::BlockHeader> headers_by_height;
+  for (const auto& id : order) {
+    PROVLEDGER_ASSIGN_OR_RETURN(crypto::Digest txid, store.RecordTxId(id));
+    PROVLEDGER_ASSIGN_OR_RETURN(ledger::Transaction tx,
+                                chain->GetTransaction(txid));
+    PROVLEDGER_ASSIGN_OR_RETURN(ledger::TxProof tx_proof,
+                                chain->ProveTransaction(txid));
+    NodeDraft draft;
+    draft.height = tx_proof.header.height;
+    draft.tx_encoding = tx.Encode();
+    draft.merkle_proof = std::move(tx_proof.merkle_proof);
+    headers_by_height.emplace(draft.height, std::move(tx_proof.header));
+    drafts.push_back(std::move(draft));
+  }
+
+  LineageProof proof;
+  proof.target_record_id = record_id;
+  std::vector<uint64_t> heights;
+  heights.reserve(headers_by_height.size());
+  for (const auto& entry : headers_by_height) heights.push_back(entry.first);
+  std::sort(heights.begin(), heights.end());
+  std::unordered_map<uint64_t, uint32_t> height_index;
+  proof.headers.reserve(heights.size());
+  for (uint64_t h : heights) {
+    height_index.emplace(h, static_cast<uint32_t>(proof.headers.size()));
+    proof.headers.push_back(std::move(headers_by_height.at(h)));
+  }
+  proof.nodes.reserve(drafts.size());
+  for (auto& draft : drafts) {
+    LineageProofNode node;
+    node.header_index = height_index.at(draft.height);
+    node.tx_encoding = std::move(draft.tx_encoding);
+    node.merkle_proof = std::move(draft.merkle_proof);
+    proof.nodes.push_back(std::move(node));
+  }
+  return proof;
+}
+
+Status VerifyLineageProof(const LineageProof& proof,
+                          const std::string& record_id,
+                          const HeaderHashAt& main_chain_hash_at,
+                          LineageSummary* summary) {
+  if (proof.target_record_id != record_id) {
+    return Status::Corruption("proof targets record '" +
+                              proof.target_record_id + "', not '" +
+                              record_id + "'");
+  }
+  if (proof.nodes.empty() || proof.headers.empty()) {
+    return Status::Corruption("lineage proof has no nodes");
+  }
+
+  // 1. Anchor every header to the verifier's main chain: the hash at the
+  // claimed height must equal the header's own hash. Everything below
+  // derives its trust from this step.
+  for (size_t i = 0; i < proof.headers.size(); ++i) {
+    const ledger::BlockHeader& header = proof.headers[i];
+    if (i > 0 && header.height <= proof.headers[i - 1].height) {
+      return Status::Corruption(
+          "lineage proof headers not strictly increasing by height");
+    }
+    Result<crypto::Digest> expected = main_chain_hash_at(header.height);
+    if (!expected.ok() || expected.value() != header.Hash()) {
+      return Status::Corruption("header at height " +
+                                std::to_string(header.height) +
+                                " is not on the main chain");
+    }
+  }
+
+  // 2. Per node: Merkle inclusion under its header, strict transaction +
+  // record decoding, canonical record bytes, unique record ids.
+  struct VerifiedNode {
+    prov::ProvenanceRecord record;
+  };
+  std::vector<VerifiedNode> verified;
+  verified.reserve(proof.nodes.size());
+  std::unordered_map<std::string, size_t> node_by_record;
+  for (size_t i = 0; i < proof.nodes.size(); ++i) {
+    const LineageProofNode& node = proof.nodes[i];
+    if (node.header_index >= proof.headers.size()) {
+      return Status::Corruption(NodeLabel(i, "") +
+                                " references header past the table");
+    }
+    auto tx = ledger::Transaction::Decode(node.tx_encoding);
+    if (!tx.ok()) {
+      return Status::Corruption(NodeLabel(i, "") + ": " +
+                                tx.status().message());
+    }
+    if (tx->type != "prov/record") {
+      return Status::Corruption(NodeLabel(i, "") +
+                                " is not a provenance record transaction");
+    }
+    auto record = prov::ProvenanceRecord::Decode(tx->payload);
+    if (!record.ok()) {
+      return Status::Corruption(NodeLabel(i, "") + ": " +
+                                record.status().message());
+    }
+    if (record->Encode() != tx->payload) {
+      return Status::Corruption(NodeLabel(i, record->record_id) +
+                                " carries a non-canonical record encoding");
+    }
+    // Bind leaf_index to the proof path: VerifyProof derives the root
+    // from the step sides alone, so without this an attacker could flip
+    // leaf_index bits undetected. The node is a right child at level s
+    // exactly when bit s of its index is set, and no index bits may
+    // extend past the proof depth.
+    const crypto::MerkleProof& mp = node.merkle_proof;
+    if (mp.steps.size() < 64 && (mp.leaf_index >> mp.steps.size()) != 0) {
+      return Status::Corruption(NodeLabel(i, record->record_id) +
+                                ": leaf index exceeds its proof depth");
+    }
+    for (size_t s = 0; s < mp.steps.size(); ++s) {
+      if (mp.steps[s].sibling_on_left != (((mp.leaf_index >> s) & 1) != 0)) {
+        return Status::Corruption(NodeLabel(i, record->record_id) +
+                                  ": merkle step side disagrees with the "
+                                  "leaf index");
+      }
+    }
+    if (!crypto::MerkleTree::VerifyProof(
+            proof.headers[node.header_index].merkle_root, node.tx_encoding,
+            node.merkle_proof)) {
+      return Status::Corruption(NodeLabel(i, record->record_id) +
+                                ": merkle inclusion failed at height " +
+                                std::to_string(
+                                    proof.headers[node.header_index].height));
+    }
+    if (!node_by_record.emplace(record->record_id, i).second) {
+      return Status::Corruption(NodeLabel(i, record->record_id) +
+                                " duplicates an earlier node");
+    }
+    verified.push_back(VerifiedNode{std::move(record).value()});
+  }
+  if (verified[0].record.record_id != record_id) {
+    return Status::Corruption("first node proves record '" +
+                              verified[0].record.record_id +
+                              "', not the target");
+  }
+
+  // 3. DAG closure: every node must be reachable from the target over
+  // input -> producer edges, under the graph's effective-output rule
+  // (a record with no declared outputs produces a new version of its
+  // subject). A valid-but-unrelated record — anchored, Merkle-proven —
+  // still fails here, because it produces nothing the DAG consumes.
+  std::unordered_map<std::string, std::vector<size_t>> producers_of;
+  for (size_t i = 0; i < verified.size(); ++i) {
+    const prov::ProvenanceRecord& rec = verified[i].record;
+    if (rec.outputs.empty()) {
+      producers_of[rec.subject].push_back(i);
+    } else {
+      for (const auto& out : rec.outputs) producers_of[out].push_back(i);
+    }
+  }
+  std::vector<bool> reachable(verified.size(), false);
+  reachable[0] = true;
+  std::deque<size_t> frontier{0};
+  std::unordered_set<std::string> source_inputs;
+  while (!frontier.empty()) {
+    size_t i = frontier.front();
+    frontier.pop_front();
+    for (const auto& input : verified[i].record.inputs) {
+      auto it = producers_of.find(input);
+      if (it == producers_of.end()) {
+        source_inputs.insert(input);
+        continue;
+      }
+      for (size_t producer : it->second) {
+        if (!reachable[producer]) {
+          reachable[producer] = true;
+          frontier.push_back(producer);
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < reachable.size(); ++i) {
+    if (!reachable[i]) {
+      return Status::Corruption(NodeLabel(i, verified[i].record.record_id) +
+                                " is not an ancestor of the target");
+    }
+  }
+  // Unused headers would be freeloader weight a prover could stuff in.
+  std::vector<bool> header_used(proof.headers.size(), false);
+  for (const auto& node : proof.nodes) header_used[node.header_index] = true;
+  for (size_t i = 0; i < header_used.size(); ++i) {
+    if (!header_used[i]) {
+      return Status::Corruption("header at height " +
+                                std::to_string(proof.headers[i].height) +
+                                " is referenced by no node");
+    }
+  }
+
+  if (summary != nullptr) {
+    summary->record_ids.clear();
+    summary->frontier_inputs.assign(source_inputs.begin(),
+                                    source_inputs.end());
+    std::sort(summary->frontier_inputs.begin(),
+              summary->frontier_inputs.end());
+    summary->record_ids.reserve(verified.size());
+    for (const auto& node : verified) {
+      summary->record_ids.push_back(node.record.record_id);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace audit
+}  // namespace provledger

@@ -1,0 +1,113 @@
+// Succinct lineage proofs: a compact, versioned bundle proving one
+// record's *full ancestry DAG* against nothing but main-chain headers —
+// the "trustless provenance tree" primitive. Where ledger::TxProof shows
+// that one transaction is on the chain, a LineageProof shows that a
+// record AND every ancestor that produced its inputs (transitively, BFS
+// over input/output entity edges) are all anchored, and that the claimed
+// derivation edges actually connect them. The verifier needs no graph, no
+// store, and no blocks: just a way to map a height to the main-chain
+// block hash (what any header-syncing light client holds).
+//
+// Wire format (all fixed-width, canonical — decode of any accepted input
+// re-encodes bit-identically):
+//
+//   "PLLPRF01"                    8-byte magic + version
+//   target_record_id              length-prefixed string
+//   u32 header_count              deduplicated block headers, strictly
+//   header_count x BlockHeader      increasing height (canonical order)
+//   u32 node_count                nodes[0] is the target record
+//   node_count x {
+//     u32   header_index          into the header table
+//     bytes tx_encoding           full canonical Transaction encoding
+//                                   (the Merkle leaf payload)
+//     MerkleProof                 inclusion under that header's root
+//   }
+//
+// Thread safety: plain value types and pure free functions — distinct
+// instances are independent; concurrent const access to one instance is
+// safe. BuildLineageProof reads the store/chain under their single-owner
+// contract (call it from the owning thread or on quiescent state).
+
+#ifndef PROVLEDGER_AUDIT_LINEAGE_PROOF_H_
+#define PROVLEDGER_AUDIT_LINEAGE_PROOF_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ledger/block.h"
+#include "prov/store.h"
+
+namespace provledger {
+namespace audit {
+
+/// \brief One proven ancestor: the anchoring transaction's canonical
+/// bytes plus its Merkle inclusion proof under headers[header_index].
+struct LineageProofNode {
+  uint32_t header_index = 0;
+  Bytes tx_encoding;
+  crypto::MerkleProof merkle_proof;
+};
+
+/// \brief Versioned ancestry-DAG proof; see the file comment for the
+/// wire layout and VerifyLineageProof for what acceptance means.
+struct LineageProof {
+  std::string target_record_id;
+  /// Deduplicated main-chain headers, strictly increasing height.
+  std::vector<ledger::BlockHeader> headers;
+  /// BFS order from the target (nodes[0] proves target_record_id).
+  std::vector<LineageProofNode> nodes;
+
+  void EncodeTo(Encoder* enc) const;
+  Bytes Encode() const;
+  /// Strict decode: structural bounds, header ordering, and version are
+  /// enforced here; cryptographic checks live in VerifyLineageProof.
+  static Result<LineageProof> DecodeFrom(Decoder* dec);
+  /// Whole-buffer decode; trailing bytes are Corruption.
+  static Result<LineageProof> Decode(const Bytes& data);
+
+  size_t EncodedSize() const { return Encode().size(); }
+};
+
+/// \brief The verifier's only trust root: main-chain block hash by
+/// height (NotFound past the head). A follower passes
+/// `[&chain](uint64_t h) { return chain.BlockHashAt(h); }`; a storeless
+/// light client wraps whatever header list it synced.
+using HeaderHashAt = std::function<Result<crypto::Digest>(uint64_t)>;
+
+/// \brief What a successful verification established, decoded once so
+/// callers need not re-parse the proof.
+struct LineageSummary {
+  /// All proven record ids, BFS order ([0] = target).
+  std::vector<std::string> record_ids;
+  /// Input entities consumed inside the DAG but produced by no proven
+  /// ancestor — the DAG's source frontier (e.g. raw external inputs).
+  std::vector<std::string> frontier_inputs;
+};
+
+/// \brief Build the ancestry proof for `record_id`: BFS the input/output
+/// entity edges through the store's query index, then attach one Merkle
+/// inclusion proof per ancestor, sharing headers across records anchored
+/// in the same block. Runs on the store owner's thread (or quiescent
+/// state) like any live store read.
+Result<LineageProof> BuildLineageProof(const prov::ProvenanceStore& store,
+                                       const std::string& record_id);
+
+/// \brief Verify `proof` against main-chain headers alone. Establishes:
+///   1. every header hashes to the main-chain hash at its height;
+///   2. every node's transaction is Merkle-included under its header,
+///      decodes as a prov/record transaction, and carries a canonical
+///      record encoding;
+///   3. nodes[0] is `record_id`, record ids are unique, and every other
+///      node is reachable from the target over input→producer edges
+///      (a valid-but-unrelated record smuggled into the bundle fails);
+/// Corruption (with a localizing message) on any violation.
+Status VerifyLineageProof(const LineageProof& proof,
+                          const std::string& record_id,
+                          const HeaderHashAt& main_chain_hash_at,
+                          LineageSummary* summary = nullptr);
+
+}  // namespace audit
+}  // namespace provledger
+
+#endif  // PROVLEDGER_AUDIT_LINEAGE_PROOF_H_

@@ -17,6 +17,13 @@ Result<MerkleProof> MerkleProof::DecodeFrom(Decoder* dec) {
   PROVLEDGER_RETURN_NOT_OK(dec->GetU64(&proof.leaf_index));
   uint32_t n;
   PROVLEDGER_RETURN_NOT_OK(dec->GetU32(&n));
+  // Bound the count against the bytes actually present before allocating:
+  // each step consumes at least 33 bytes (32 sibling + 1 side flag), so a
+  // forged count can never drive an allocation past the input size. Proof
+  // bytes arrive from untrusted peers via LineageProof decoding.
+  if (n > dec->remaining() / (kSha256DigestSize + 1)) {
+    return Status::Corruption("merkle proof step count exceeds input");
+  }
   proof.steps.resize(n);
   for (uint32_t i = 0; i < n; ++i) {
     Bytes raw;

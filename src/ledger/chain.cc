@@ -16,9 +16,10 @@ Blockchain::Blockchain(ChainOptions options) : options_(std::move(options)) {
   Block genesis = Block::Make(0, crypto::ZeroDigest(), {genesis_tx},
                               /*timestamp=*/0, "genesis");
   crypto::Digest hash = genesis.header.Hash();
-  blocks_.emplace(Key(hash), genesis);
+  blocks_.emplace(Key(hash), std::make_shared<const Block>(std::move(genesis)));
   main_chain_.push_back(hash);
   tx_index_.emplace(Key(genesis_tx.Id()), TxLocation{0, 0});
+  RepublishChainView();
 }
 
 uint64_t Blockchain::height() const {
@@ -28,7 +29,7 @@ uint64_t Blockchain::height() const {
 crypto::Digest Blockchain::head_hash() const { return main_chain_.back(); }
 
 const Block& Blockchain::genesis() const {
-  return blocks_.at(Key(main_chain_[0]));
+  return *blocks_.at(Key(main_chain_[0]));
 }
 
 Status Blockchain::ValidateBlock(const Block& block, const Block& parent,
@@ -68,7 +69,7 @@ Result<crypto::Digest> Blockchain::Append(std::vector<Transaction> txs,
                                           const std::string& proposer,
                                           uint64_t nonce) {
   const crypto::Digest parent_hash = head_hash();
-  const Block& parent = blocks_.at(Key(parent_hash));
+  const Block& parent = *blocks_.at(Key(parent_hash));
   Block block = Block::Make(parent.header.height + 1, parent_hash,
                             std::move(txs), timestamp, proposer);
   block.header.nonce = nonce;
@@ -86,7 +87,7 @@ Result<crypto::Digest> Blockchain::AppendPrepared(
     const std::string& proposer, uint64_t nonce,
     const crypto::Digest* precomputed_root) {
   const crypto::Digest parent_hash = head_hash();
-  const Block& parent = blocks_.at(Key(parent_hash));
+  const Block& parent = *blocks_.at(Key(parent_hash));
   // Root straight from the cached leaf digests — the transactions' bytes
   // are never re-encoded or re-hashed on this path.
   std::vector<crypto::Digest> ids;
@@ -161,7 +162,7 @@ Status Blockchain::ValidateAndPersist(const Block& block,
     return Status::NotFound("parent block unknown");
   }
   PROVLEDGER_RETURN_NOT_OK(
-      ValidateBlock(block, parent_it->second, check_merkle_root));
+      ValidateBlock(block, *parent_it->second, check_merkle_root));
 
   // Write-ahead: the block must be durable before any in-memory state
   // changes, so a crash can never leave the memory view ahead of the log.
@@ -174,7 +175,10 @@ void Blockchain::InstallBlock(Block&& block, const crypto::Digest& hash,
                               const std::vector<crypto::Digest>* cached_ids) {
   const bool extends_head = block.header.prev_hash == head_hash();
   const Block& stored =
-      blocks_.emplace(block_key, std::move(block)).first->second;
+      *blocks_
+           .emplace(block_key,
+                    std::make_shared<const Block>(std::move(block)))
+           .first->second;
 
   // Fork choice: extending the head is the fast path; a strictly higher
   // side branch triggers a reorg (longest-chain rule).
@@ -188,6 +192,7 @@ void Blockchain::InstallBlock(Block&& block, const crypto::Digest& hash,
           cached_ids != nullptr ? (*cached_ids)[idx] : tx.Id();
       tx_index_[Key(id)] = TxLocation{stored.header.height, idx++};
     }
+    RepublishChainView();
     return;
   }
   if (stored.header.height > height()) {
@@ -196,25 +201,41 @@ void Blockchain::InstallBlock(Block&& block, const crypto::Digest& hash,
     crypto::Digest cursor = hash;
     while (true) {
       new_chain.push_back(cursor);
-      const Block& b = blocks_.at(Key(cursor));
+      const Block& b = *blocks_.at(Key(cursor));
       if (b.header.height == 0) break;
       cursor = b.header.prev_hash;
     }
     std::reverse(new_chain.begin(), new_chain.end());
     main_chain_ = std::move(new_chain);
     ReindexMainChain();
+    RepublishChainView();
   }
 }
 
 void Blockchain::ReindexMainChain() {
   tx_index_.clear();
   for (const auto& hash : main_chain_) {
-    const Block& b = blocks_.at(Key(hash));
+    const Block& b = *blocks_.at(Key(hash));
     uint32_t idx = 0;
     for (const auto& tx : b.transactions) {
       tx_index_[Key(tx.Id())] = TxLocation{b.header.height, idx++};
     }
   }
+}
+
+void Blockchain::RepublishChainView() {
+  auto view = std::make_shared<ChainView>();
+  view->blocks.reserve(main_chain_.size());
+  view->hashes = main_chain_;
+  for (const auto& hash : main_chain_) {
+    view->blocks.push_back(blocks_.at(Key(hash)));
+  }
+  std::atomic_store(&view_,
+                    std::shared_ptr<const ChainView>(std::move(view)));
+}
+
+std::shared_ptr<const ChainView> Blockchain::AcquireChainView() const {
+  return std::atomic_load(&view_);
 }
 
 Result<crypto::Digest> Blockchain::BlockHashAt(uint64_t h) const {
@@ -229,7 +250,7 @@ std::vector<const Block*> Blockchain::PeekRange(uint64_t from,
   std::vector<const Block*> out;
   for (uint64_t h = from; h < main_chain_.size() && out.size() < max_blocks;
        ++h) {
-    out.push_back(&blocks_.at(Key(main_chain_[h])));
+    out.push_back(blocks_.at(Key(main_chain_[h])).get());
   }
   return out;
 }
@@ -238,18 +259,18 @@ Result<Block> Blockchain::GetBlock(uint64_t h) const {
   if (h >= main_chain_.size()) {
     return Status::NotFound("no block at height " + std::to_string(h));
   }
-  return blocks_.at(Key(main_chain_[h]));
+  return *blocks_.at(Key(main_chain_[h]));
 }
 
 const Block* Blockchain::PeekBlock(uint64_t h) const {
   if (h >= main_chain_.size()) return nullptr;
-  return &blocks_.at(Key(main_chain_[h]));
+  return blocks_.at(Key(main_chain_[h])).get();
 }
 
 Result<Block> Blockchain::GetBlockByHash(const crypto::Digest& hash) const {
   auto it = blocks_.find(Key(hash));
   if (it == blocks_.end()) return Status::NotFound("unknown block hash");
-  return it->second;
+  return *it->second;
 }
 
 Result<BlockHeader> Blockchain::GetHeader(uint64_t h) const {
@@ -271,7 +292,7 @@ Result<Transaction> Blockchain::GetTransaction(
   PROVLEDGER_ASSIGN_OR_RETURN(TxLocation loc, FindTransaction(txid));
   // Reference the stored block directly: GetBlock would copy the whole
   // block (every transaction) to hand back one of them.
-  const Block& b = blocks_.at(Key(main_chain_[loc.height]));
+  const Block& b = *blocks_.at(Key(main_chain_[loc.height]));
   return b.transactions[loc.index];
 }
 
@@ -279,7 +300,7 @@ std::vector<Transaction> Blockchain::GetChannelTransactions(
     const std::string& channel) const {
   std::vector<Transaction> out;
   for (const auto& hash : main_chain_) {
-    const Block& b = blocks_.at(Key(hash));
+    const Block& b = *blocks_.at(Key(hash));
     for (const auto& tx : b.transactions) {
       if (tx.channel == channel) out.push_back(tx);
     }
@@ -309,7 +330,7 @@ const crypto::MerkleTree& Blockchain::TreeFor(const std::string& block_key,
 Result<TxProof> Blockchain::ProveTransaction(const crypto::Digest& txid) const {
   PROVLEDGER_ASSIGN_OR_RETURN(TxLocation loc, FindTransaction(txid));
   const std::string block_key = Key(main_chain_[loc.height]);
-  const Block& b = blocks_.at(block_key);
+  const Block& b = *blocks_.at(block_key);
   TxProof proof;
   proof.block_hash = main_chain_[loc.height];
   proof.header = b.header;
@@ -335,7 +356,7 @@ bool Blockchain::VerifyTxProof(const Bytes& tx_encoding,
 
 Status Blockchain::VerifyIntegrity() const {
   for (size_t h = 0; h < main_chain_.size(); ++h) {
-    const Block& b = blocks_.at(Key(main_chain_[h]));
+    const Block& b = *blocks_.at(Key(main_chain_[h]));
     if (b.header.height != h) {
       return Status::Corruption("height mismatch at " + std::to_string(h));
     }
@@ -344,7 +365,7 @@ Status Blockchain::VerifyIntegrity() const {
                                 std::to_string(h));
     }
     if (h > 0) {
-      const Block& parent = blocks_.at(Key(main_chain_[h - 1]));
+      const Block& parent = *blocks_.at(Key(main_chain_[h - 1]));
       if (b.header.prev_hash != parent.header.Hash()) {
         return Status::Corruption("hash chain broken at height " +
                                   std::to_string(h));
@@ -366,7 +387,7 @@ Status Blockchain::VerifyIntegrity() const {
 size_t Blockchain::ApproximateBytes() const {
   size_t total = 0;
   for (const auto& hash : main_chain_) {
-    total += blocks_.at(Key(hash)).EncodedSize();
+    total += blocks_.at(Key(hash))->EncodedSize();
   }
   return total;
 }
@@ -376,7 +397,9 @@ Status Blockchain::TamperForTesting(uint64_t height, size_t tx_index,
   if (height >= main_chain_.size()) {
     return Status::NotFound("no block at that height");
   }
-  Block& b = blocks_.at(Key(main_chain_[height]));
+  // Installed blocks are shared immutably with published ChainViews; the
+  // const_cast is this hook's documented single-threaded-test exception.
+  Block& b = const_cast<Block&>(*blocks_.at(Key(main_chain_[height])));
   if (tx_index >= b.transactions.size()) {
     return Status::NotFound("no transaction at that index");
   }

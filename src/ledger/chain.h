@@ -11,6 +11,7 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -51,6 +52,32 @@ struct TxProof {
   crypto::MerkleProof merkle_proof;
 };
 
+/// \brief An immutable view of the main chain at one instant: every
+/// main-chain block (by height) plus its installed hash. Published by the
+/// committer on every accepted block and acquired wait-free by background
+/// readers (the continuous auditor), mirroring the store's GraphSnapshot
+/// epochs: the vectors are never mutated after publication, and the Block
+/// objects are shared with the live chain, which never mutates an
+/// installed block (TamperForTesting is the single, documented,
+/// single-threaded-test exception).
+///
+/// Thread safety: fully immutable after construction — safe from any
+/// number of threads. Holding the shared_ptr keeps the view (and every
+/// block behind it) alive across reorgs on the live chain.
+struct ChainView {
+  /// Main-chain blocks indexed by height (blocks[0] = genesis).
+  std::vector<std::shared_ptr<const Block>> blocks;
+  /// Installed main-chain hashes by height (hashes[h] is the hash the
+  /// block was accepted under — read from the height index, never
+  /// re-derived).
+  std::vector<crypto::Digest> hashes;
+
+  /// Height of the view's head (genesis = 0). Views are never empty.
+  uint64_t height() const {
+    return static_cast<uint64_t>(blocks.size()) - 1;
+  }
+};
+
 /// \brief A transaction whose expensive digests were precomputed off the
 /// commit path (by ingest-pipeline shard workers): `id` is Transaction::
 /// Id() and `leaf` is MerkleTree::LeafHash over the same canonical
@@ -68,7 +95,11 @@ struct PreparedTx {
 /// locking) must own all access. Const proof methods populate a mutable
 /// Merkle-tree cache, so even concurrent read-only use requires external
 /// synchronization. The ingest pipeline satisfies this by funnelling every
-/// chain call through its single committer thread.
+/// chain call through its single committer thread. One deliberate
+/// exception, safe from any thread with no lock:
+///   * AcquireChainView() — one atomic shared_ptr load of the immutable
+///     view the owner thread republished on its last accepted block (the
+///     same epoch-publication idiom as ProvenanceStore::AcquireSnapshot).
 class Blockchain {
  public:
   explicit Blockchain(ChainOptions options = ChainOptions());
@@ -134,6 +165,14 @@ class Blockchain {
   /// chain mutation, like PeekBlock.
   std::vector<const Block*> PeekRange(uint64_t from, size_t max_blocks) const;
 
+  /// \brief Latest published main-chain view. Wait-free; safe from any
+  /// thread. The view reflects the chain as of the last block accepted
+  /// before the load, and stays valid (and unchanged) for as long as the
+  /// pointer is held — the continuous auditor reads whole passes from one
+  /// acquired view while the committer keeps appending. Never nullptr
+  /// (the constructor publishes the genesis-only view).
+  std::shared_ptr<const ChainView> AcquireChainView() const;
+
   /// Main-chain block by height.
   Result<Block> GetBlock(uint64_t height) const;
   /// Borrowed view of a main-chain block, or nullptr if out of range.
@@ -179,7 +218,10 @@ class Blockchain {
   size_t merkle_tree_builds() const { return merkle_builds_; }
 
   /// Test hook: mutate a stored transaction payload in place, bypassing
-  /// validation (for tamper-detection experiments).
+  /// validation (for tamper-detection experiments). Writes through the
+  /// shared immutability of installed blocks (const_cast), so it must only
+  /// run while no other thread holds a ChainView — single-threaded tamper
+  /// tests only, never under concurrent readers.
   Status TamperForTesting(uint64_t height, size_t tx_index, uint8_t xor_mask);
 
  private:
@@ -214,6 +256,10 @@ class Blockchain {
                     const std::string& block_key,
                     const std::vector<crypto::Digest>* cached_ids);
   void ReindexMainChain();
+  /// Rebuild and atomically publish the ChainView for the current main
+  /// chain. Owner thread only; called after every install/reorg. O(height)
+  /// pointer copies — trivial next to the per-block hash work.
+  void RepublishChainView();
   /// Cached Merkle tree over `block`'s transactions, built on first use.
   /// `block_key` is hex(block hash); blocks are immutable once stored, so
   /// entries survive reorgs.
@@ -221,10 +267,18 @@ class Blockchain {
                                     const Block& block) const;
 
   ChainOptions options_;
-  // All known blocks by hex(hash).
-  std::unordered_map<std::string, Block> blocks_;
+  // All known blocks by hex(hash). Blocks are heap-shared and immutable
+  // once installed so published ChainViews can alias them without copies
+  // (TamperForTesting's const_cast is the lone documented exception).
+  std::unordered_map<std::string, std::shared_ptr<const Block>> blocks_;
   // Main chain: block hashes by height.
   std::vector<crypto::Digest> main_chain_;
+  // Latest published main-chain view; accessed with std::atomic_load/
+  // atomic_store so AcquireChainView never locks. Deliberately NOT
+  // PROV_GUARDED_BY anything (annotations.h): there is no lock —
+  // publication IS the atomic_store, acquisition the atomic_load;
+  // everything behind the pointer is immutable.
+  std::shared_ptr<const ChainView> view_;
   // txid hex -> location, main chain only.
   std::unordered_map<std::string, TxLocation> tx_index_;
   // hex(block hash) -> Merkle tree over its transactions (proof cache),

@@ -364,13 +364,17 @@ std::vector<std::string> ProvenanceStore::Lineage(
   return graph_.Lineage(entity);
 }
 
-Result<ledger::TxProof> ProvenanceStore::ProveRecord(
+Result<crypto::Digest> ProvenanceStore::RecordTxId(
     const std::string& record_id) const {
   PROVLEDGER_RETURN_NOT_OK(EnsureIndexLoaded());
   PROVLEDGER_ASSIGN_OR_RETURN(Bytes txid_bytes,
                               index_.Get("rec/" + record_id));
-  PROVLEDGER_ASSIGN_OR_RETURN(crypto::Digest txid,
-                              crypto::DigestFromBytes(txid_bytes));
+  return crypto::DigestFromBytes(txid_bytes);
+}
+
+Result<ledger::TxProof> ProvenanceStore::ProveRecord(
+    const std::string& record_id) const {
+  PROVLEDGER_ASSIGN_OR_RETURN(crypto::Digest txid, RecordTxId(record_id));
   return chain_->ProveTransaction(txid);
 }
 

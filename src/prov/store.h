@@ -207,6 +207,11 @@ class ProvenanceStore {
   /// The agent id as it appears on-chain (identity unless privacy mode).
   std::string OnChainAgentId(const std::string& agent) const;
 
+  /// Id of the transaction that anchored `record_id` (NotFound when the
+  /// record is not anchored). The audit layer's lineage-proof builder uses
+  /// this to walk from records back to their on-chain transactions.
+  Result<crypto::Digest> RecordTxId(const std::string& record_id) const;
+
   /// Merkle inclusion proof of the record's anchoring transaction.
   Result<ledger::TxProof> ProveRecord(const std::string& record_id) const;
   /// Verify a record + proof against the chain (auditor path).
@@ -266,6 +271,7 @@ class ProvenanceStore {
   /// operate on the store's shared graph so cross-workflow cascades work).
   ProvenanceGraph* mutable_graph() { return &graph_; }
   ledger::Blockchain* chain() { return chain_; }
+  const ledger::Blockchain* chain() const { return chain_; }
   size_t anchored_count() const { return anchored_count_; }
   size_t pending_count() const { return pending_.size(); }
   /// Highest transaction nonce issued or observed so far. The pipeline

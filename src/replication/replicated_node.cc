@@ -1,5 +1,6 @@
 #include "replication/replicated_node.h"
 
+#include "audit/lineage_proof.h"
 #include "prov/columnar.h"
 
 namespace provledger {
@@ -12,6 +13,8 @@ constexpr char kMsgBlock[] = "repl/block";
 constexpr char kMsgStatus[] = "repl/status";
 constexpr char kMsgPull[] = "repl/pull";
 constexpr char kMsgBlocks[] = "repl/blocks";
+constexpr char kMsgProof[] = "repl/proof";
+constexpr char kMsgProofReply[] = "repl/proofr";
 
 }  // namespace
 
@@ -105,6 +108,10 @@ void ReplicatedNode::OnMessage(const network::Message& message) {
     HandlePull(message);
   } else if (message.type == kMsgBlocks) {
     HandleBlocks(message);
+  } else if (message.type == kMsgProof) {
+    HandleProofRequest(message);
+  } else if (message.type == kMsgProofReply) {
+    HandleProofReply(message);
   }
 }
 
@@ -304,6 +311,52 @@ void ReplicatedNode::HandleBlocks(const network::Message& message) {
     next_from = attached_tip + 1;
   }
   SendPull(message.from, next_from);
+}
+
+void ReplicatedNode::RequestLineageProof(network::NodeId to,
+                                         const std::string& record_id) {
+  if (net_ == nullptr) return;
+  last_proof_ = ProofReply();
+  Encoder enc;
+  enc.PutString(record_id);
+  net_->Send(id_, to, kMsgProof, enc.TakeBuffer());
+}
+
+void ReplicatedNode::HandleProofRequest(const network::Message& message) {
+  if (net_ == nullptr) return;
+  Decoder dec(message.payload);
+  std::string record_id;
+  if (!dec.GetString(&record_id).ok() || !dec.AtEnd()) return;
+  Encoder enc;
+  auto proof = audit::BuildLineageProof(*store_, record_id);
+  if (proof.ok()) {
+    ++metrics_.proofs_served;
+    enc.PutU8(1);
+    enc.PutString(std::string());
+    enc.PutBytes(proof->Encode());
+  } else {
+    enc.PutU8(0);
+    enc.PutString(proof.status().ToString());
+    enc.PutBytes(Bytes());
+  }
+  net_->Send(id_, message.from, kMsgProofReply, enc.TakeBuffer());
+}
+
+void ReplicatedNode::HandleProofReply(const network::Message& message) {
+  // Parse the whole frame before accepting any of it, like every other
+  // handler: a truncated or trailing-garbage reply is dropped outright.
+  Decoder dec(message.payload);
+  uint8_t ok = 0;
+  std::string error;
+  Bytes proof;
+  if (!dec.GetU8(&ok).ok() || ok > 1 || !dec.GetString(&error).ok() ||
+      !dec.GetBytes(&proof).ok() || !dec.AtEnd()) {
+    return;
+  }
+  last_proof_.received = true;
+  last_proof_.ok = ok != 0;
+  last_proof_.message = std::move(error);
+  last_proof_.proof = std::move(proof);
 }
 
 }  // namespace replication

@@ -13,6 +13,12 @@
 //   repl/blocks  — a batch of encoded main-chain blocks answering a pull,
 //                  plus the sender's height so the puller knows whether to
 //                  continue. Every block replays through SubmitBlock.
+//   repl/proof   — lineage-proof request: one record id. The receiver
+//                  builds an audit::LineageProof from its store + chain.
+//   repl/proofr  — the reply: ok flag, error message, proof bytes. The
+//                  requester verifies with audit::VerifyLineageProof
+//                  against nothing but its own main-chain headers — the
+//                  serving node's store is never trusted.
 //
 // Convergence invariants (tested in tests/replication_test.cc):
 //   * a block enters a node's chain only through SubmitBlock — followers
@@ -73,6 +79,7 @@ struct NodeMetrics {
   uint64_t blocks_served = 0;     // blocks shipped answering peer pulls
   uint64_t reorgs = 0;            // main-chain switches observed
   uint64_t store_rebuilds = 0;    // store rebuilds forced by reorgs
+  uint64_t proofs_served = 0;     // lineage proofs built answering repl/proof
   /// Chain->store syncs that failed even after the rebuild fallback: the
   /// node keeps serving (degraded, possibly empty) query results until the
   /// next broadcast/pull retries the sync from genesis. Non-zero means
@@ -112,6 +119,21 @@ class ReplicatedNode {
   /// Anti-entropy round trigger: broadcast a status probe. Peers reply
   /// with their status; whichever side is behind pulls the missing range.
   void RequestSync();
+
+  /// Ask `to` to prove `record_id`'s full ancestry (repl/proof). The
+  /// repl/proofr reply lands in last_proof(); callers then verify the
+  /// bytes with audit::VerifyLineageProof against their *own* headers —
+  /// a storeless header-syncing node can consume proofs this way.
+  void RequestLineageProof(network::NodeId to, const std::string& record_id);
+
+  /// \brief The most recent repl/proofr reply (reset by each request).
+  struct ProofReply {
+    bool received = false;  // a reply arrived since the last request
+    bool ok = false;        // the serving node could build the proof
+    std::string message;    // server-side error when !ok (diagnostic only)
+    Bytes proof;            // encoded audit::LineageProof when ok
+  };
+  const ProofReply& last_proof() const { return last_proof_; }
 
   /// Persist the store snapshot to `<data_dir>/store.snap` (durable nodes
   /// only; FailedPrecondition otherwise). Restart = snapshot + chain tail.
@@ -159,6 +181,8 @@ class ReplicatedNode {
   void HandleStatus(const network::Message& message);
   void HandlePull(const network::Message& message);
   void HandleBlocks(const network::Message& message);
+  void HandleProofRequest(const network::Message& message);
+  void HandleProofReply(const network::Message& message);
 
   Clock* clock_;
   ReplicatedNodeOptions options_;
@@ -181,6 +205,7 @@ class ReplicatedNode {
   bool sync_in_flight_ = false;
   uint64_t last_pull_from_ = 0;
   size_t blocks_at_pull_ = 0;
+  ProofReply last_proof_;
   NodeMetrics metrics_;
 };
 

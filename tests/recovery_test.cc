@@ -17,6 +17,7 @@
 #include "ledger/chain_log.h"
 #include "prov/store.h"
 #include "storage/file_kv_store.h"
+#include "tamper.h"
 #include "temp_dir.h"
 
 namespace provledger {
@@ -29,16 +30,6 @@ using testutil::RemoveTree;
 void AppendGarbage(const std::string& path, size_t n) {
   std::ofstream out(path, std::ios::binary | std::ios::app);
   for (size_t i = 0; i < n; ++i) out.put(static_cast<char>(0x7F));
-}
-
-/// Flip one bit inside a file — complete-record damage, not a torn write.
-void FlipByteAt(const std::string& path, size_t offset) {
-  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
-  f.seekg(static_cast<std::streamoff>(offset));
-  char c = 0;
-  f.get(c);
-  f.seekp(static_cast<std::streamoff>(offset));
-  f.put(static_cast<char>(c ^ 0x01));
 }
 
 /// Chop the last `n` bytes off a file (a torn tail write).
@@ -175,7 +166,7 @@ TEST_F(RecoveryTest, FileKvStoreMidLogCorruptionFailsLoudly) {
   // Damage a byte inside the FIRST record's payload: the frame is still
   // complete (a later valid record follows), so this is corruption — it
   // must fail loudly, never silently truncate away the valid tail.
-  FlipByteAt(dir_ + "/000001.log", 10);
+  ASSERT_TRUE(testutil::FlipByteInFile(dir_ + "/000001.log", 10).ok());
   auto reopened = FileKvStore::Open(dir_);
   ASSERT_FALSE(reopened.ok());
   EXPECT_TRUE(reopened.status().IsCorruption());
@@ -286,7 +277,7 @@ TEST_F(RecoveryTest, ChainLogMidLogCorruptionFailsLoudly) {
   // Damage the FIRST block's payload: a complete frame with a valid block
   // after it. Truncating here would silently destroy block 2, so Open must
   // report Corruption instead.
-  FlipByteAt(path, 20);
+  ASSERT_TRUE(testutil::FlipByteInFile(path, 20).ok());
   auto log = ledger::ChainLog::Open(path);
   ASSERT_FALSE(log.ok());
   EXPECT_TRUE(log.status().IsCorruption());
@@ -528,11 +519,7 @@ TEST_F(RecoveryTest, CorruptSnapshotFailsLoudly) {
   ASSERT_TRUE(store.SaveSnapshot(snapshot).ok());
 
   // Flip one body byte: the CRC catches it before any state is replaced.
-  auto data = ReadFileToBytes(snapshot);
-  ASSERT_TRUE(data.ok());
-  Bytes tampered = data.value();
-  tampered[tampered.size() / 2] ^= 0x01;
-  ASSERT_TRUE(WriteFileAtomic(snapshot, tampered).ok());
+  ASSERT_TRUE(testutil::CorruptSnapshotFile(snapshot).ok());
 
   prov::ProvenanceStore fresh(&chain, &clock);
   EXPECT_TRUE(fresh.LoadSnapshot(snapshot).IsCorruption());

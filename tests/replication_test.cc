@@ -9,7 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "audit/lineage_proof.h"
 #include "replication/cluster.h"
+#include "tamper.h"
 #include "temp_dir.h"
 
 namespace provledger {
@@ -271,7 +273,7 @@ TEST(ReplicationTest, TamperedBlockIsRejectedEverywhere) {
   ledger::Block bad = forged.value();
   bad.header.height += 1;  // pose as the next block...
   bad.header.prev_hash = head_before.value();
-  bad.transactions[0].payload[0] ^= 0x01;  // ...with tampered contents
+  ASSERT_TRUE(testutil::TamperBlockTx(&bad, 0).ok());  // ...tampered contents
   (*cluster)->net()->Broadcast(2, "repl/block", bad.Encode());
   (*cluster)->RunUntilIdle();
 
@@ -429,6 +431,65 @@ TEST(ReplicationTest, BlockHashAtMatchesHeaderHashWithoutRehash) {
   ASSERT_EQ(range.size(), 2u);
   EXPECT_EQ(range[1]->header.height, 1u);
   EXPECT_TRUE(chain.PeekRange(5, 3).empty());
+}
+
+TEST(ReplicationTest, LineageProofServedOverWire) {
+  ClusterOptions options;
+  options.num_nodes = 3;
+  options.seed = 41;
+  auto cluster = Cluster::Create(options);
+  ASSERT_TRUE(cluster.ok());
+  // A three-record derivation chain, one block each, through consensus.
+  ASSERT_TRUE(
+      (*cluster)->Submit(Rec("a0", "s", "agent", 1000, {}, {"w0"})).ok());
+  ASSERT_TRUE((*cluster)->CommitPending().ok());
+  ASSERT_TRUE(
+      (*cluster)->Submit(Rec("a1", "s", "agent", 1001, {"w0"}, {"w1"})).ok());
+  ASSERT_TRUE((*cluster)->CommitPending().ok());
+  ASSERT_TRUE(
+      (*cluster)->Submit(Rec("a2", "s", "agent", 1002, {"w1"}, {"w2"})).ok());
+  ASSERT_TRUE((*cluster)->CommitPending().ok());
+  ASSERT_TRUE((*cluster)->Converged());
+
+  // Node 1 asks node 2 to prove a2's ancestry. The reply bytes verify
+  // against node 1's *own* main-chain headers — the serving node's store
+  // is never trusted, and the verifier needs none of its own.
+  ReplicatedNode* requester = (*cluster)->node(1);
+  requester->RequestLineageProof(2, "a2");
+  (*cluster)->RunUntilIdle();
+  ASSERT_TRUE(requester->last_proof().received);
+  ASSERT_TRUE(requester->last_proof().ok) << requester->last_proof().message;
+  EXPECT_GE((*cluster)->node(2)->metrics().proofs_served, 1u);
+  const Bytes wire = requester->last_proof().proof;
+  auto proof = audit::LineageProof::Decode(wire);
+  ASSERT_TRUE(proof.ok());
+  const ledger::Blockchain& headers = *requester->chain();
+  audit::LineageSummary summary;
+  ASSERT_TRUE(audit::VerifyLineageProof(
+                  *proof, "a2",
+                  [&headers](uint64_t h) { return headers.BlockHashAt(h); },
+                  &summary)
+                  .ok());
+  ASSERT_EQ(summary.record_ids.size(), 3u);
+  EXPECT_EQ(summary.record_ids[0], "a2");
+
+  // A flipped byte in transit must not survive decode + verify.
+  Bytes damaged = wire;
+  damaged[damaged.size() / 2] ^= 0x01;
+  auto reparsed = audit::LineageProof::Decode(damaged);
+  if (reparsed.ok()) {
+    EXPECT_FALSE(audit::VerifyLineageProof(
+                     *reparsed, "a2",
+                     [&headers](uint64_t h) { return headers.BlockHashAt(h); })
+                     .ok());
+  }
+
+  // Unknown records come back as an explicit failure, not a fabrication.
+  requester->RequestLineageProof(2, "no-such-record");
+  (*cluster)->RunUntilIdle();
+  ASSERT_TRUE(requester->last_proof().received);
+  EXPECT_FALSE(requester->last_proof().ok);
+  EXPECT_TRUE(requester->last_proof().proof.empty());
 }
 
 }  // namespace
