@@ -23,6 +23,7 @@
 
 #include "audit/auditor.h"
 #include "audit/lineage_proof.h"
+#include "bench_env.h"
 #include "must.h"
 #include "prov/ingest_pipeline.h"
 #include "prov/store.h"
@@ -178,8 +179,9 @@ int Run(const std::string& json_path, size_t n) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
+  std::fprintf(f, "{\n");
+  bench::WriteEnvFields(f);
   std::fprintf(f,
-               "{\n"
                "  \"bench\": \"bench_audit\",\n"
                "  \"records\": %zu,\n"
                "  \"lineage_proofs\": [\n",
@@ -211,6 +213,7 @@ int Run(const std::string& json_path, size_t n) {
       static_cast<unsigned long long>(auditor.findings_total()));
   std::fclose(f);
   std::printf("\n  wrote %s\n", json_path.c_str());
+  bench::WriteMetricsSidecar(json_path);
   return 0;
 }
 

@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_env.h"
 #include "prov/ingest_pipeline.h"
 #include "prov/snapshot.h"
 #include "prov/store.h"
@@ -175,9 +176,8 @@ int Run(const std::string& json_path, size_t n) {
     std::fprintf(stderr, "record count must be >= 2000 (got %zu)\n", n);
     return 1;
   }
-  const unsigned hw = std::thread::hardware_concurrency();
   std::printf("bench_concurrent: %zu records, batch %zu, %u hardware threads\n",
-              n, kBatchSize, hw);
+              n, kBatchSize, bench::HardwareThreads());
 
   RunResult baseline = RunBaseline(n);
   std::printf("  baseline AnchorBatch: %.3fs (%.0f rec/s, %llu blocks)\n",
@@ -316,19 +316,19 @@ int Run(const std::string& json_path, size_t n) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
+  std::fprintf(f, "{\n");
+  bench::WriteEnvFields(f);
   std::fprintf(
       f,
-      "{\n"
       "  \"bench\": \"bench_concurrent\",\n"
       "  \"records\": %zu,\n"
       "  \"batch_size\": %zu,\n"
-      "  \"hardware_threads\": %u,\n"
       "  \"baseline_anchor_batch\": {\"seconds\": %.4f, "
       "\"records_per_sec\": %.0f, \"blocks\": %llu},\n"
       "  \"prepared_serial\": {\"seconds\": %.4f, \"records_per_sec\": "
       "%.0f, \"work_reduction_vs_baseline\": %.2f},\n"
       "  \"pipeline\": [\n",
-      n, kBatchSize, hw, baseline.seconds, n / baseline.seconds,
+      n, kBatchSize, baseline.seconds, n / baseline.seconds,
       static_cast<unsigned long long>(baseline.blocks),
       prepared_serial.seconds, n / prepared_serial.seconds,
       baseline.seconds / prepared_serial.seconds);
@@ -363,6 +363,7 @@ int Run(const std::string& json_path, size_t n) {
       serial_s / parallel_s);
   std::fclose(f);
   std::printf("\n  wrote %s\n", json_path.c_str());
+  bench::WriteMetricsSidecar(json_path);
   return 0;
 }
 

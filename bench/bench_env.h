@@ -1,0 +1,75 @@
+// Shared helpers for the BENCH_*.json writers so every bench reports the
+// same environment fields and drops a metrics snapshot beside its JSON.
+//
+//   WriteEnvFields(f)          emits `hardware_threads` and `timestamp_utc`
+//                              immediately after the opening `{` — the two
+//                              fields a reader needs to judge whether two
+//                              BENCH_*.json files are comparable.
+//   WriteMetricsSidecar(path)  dumps obs::Registry::Default()'s Prometheus
+//                              text exposition to `<path>.metrics.prom`,
+//                              the per-run counter/latency snapshot that
+//                              scripts/run_benches.sh collects next to each
+//                              BENCH_*.json.
+//
+// Thread safety: call from the bench main thread after workers have joined;
+// the registry itself is safe to read concurrently.
+
+#ifndef PROVLEDGER_BENCH_BENCH_ENV_H_
+#define PROVLEDGER_BENCH_BENCH_ENV_H_
+
+#include <cstdio>
+#include <ctime>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace provledger {
+namespace bench {
+
+/// std::thread::hardware_concurrency(), floored at 1 (the standard allows 0
+/// when the count is unknowable; a zero in the JSON would read as "no CPU").
+inline unsigned HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Wall-clock run stamp, ISO-8601 UTC ("2026-08-08T12:34:56Z").
+inline std::string TimestampUtc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  ::gmtime_r(&now, &utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buf;
+}
+
+/// Emits the shared environment fields. Call right after printing the
+/// opening `{\n` so every BENCH_*.json leads with the same two keys.
+inline void WriteEnvFields(std::FILE* f) {
+  std::fprintf(f,
+               "  \"hardware_threads\": %u,\n"
+               "  \"timestamp_utc\": \"%s\",\n",
+               HardwareThreads(), TimestampUtc().c_str());
+}
+
+/// Writes the default registry's text exposition to
+/// `<json_path>.metrics.prom`. Failure to write the sidecar is reported but
+/// never fails the bench — the JSON is the primary artifact.
+inline void WriteMetricsSidecar(const std::string& json_path) {
+  const std::string sidecar = json_path + ".metrics.prom";
+  std::FILE* f = std::fopen(sidecar.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s (continuing)\n", sidecar.c_str());
+    return;
+  }
+  const std::string text = obs::Registry::Default()->TextExposition();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("  wrote %s\n", sidecar.c_str());
+}
+
+}  // namespace bench
+}  // namespace provledger
+
+#endif  // PROVLEDGER_BENCH_BENCH_ENV_H_

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_env.h"
 #include "common/rng.h"
 #include "prov/graph.h"
 
@@ -380,8 +381,9 @@ int Run(const std::string& json_path, size_t n) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
+  std::fprintf(f, "{\n");
+  bench::WriteEnvFields(f);
   std::fprintf(f,
-               "{\n"
                "  \"bench\": \"bench_graph_scale\",\n"
                "  \"records\": %zu,\n"
                "  \"build\": {\n"
@@ -402,6 +404,7 @@ int Run(const std::string& json_path, size_t n) {
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf("\n  wrote %s\n", json_path.c_str());
+  bench::WriteMetricsSidecar(json_path);
   return 0;
 }
 

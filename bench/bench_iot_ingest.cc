@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_env.h"
 #include "domains/supplychain/supply_chain.h"
 #include "ledger/chain_log.h"
 #include "prov/ingest_pipeline.h"
@@ -221,9 +222,10 @@ int Run(const std::string& json_path, size_t n) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
+  std::fprintf(f, "{\n");
+  bench::WriteEnvFields(f);
   std::fprintf(
       f,
-      "{\n"
       "  \"bench\": \"bench_iot_ingest\",\n"
       "  \"records\": %zu,\n"
       "  \"single_node\": {\n"
@@ -257,6 +259,7 @@ int Run(const std::string& json_path, size_t n) {
       raw_wire.audited, wire_reduction);
   std::fclose(f);
   std::printf("\n  wrote %s\n", json_path.c_str());
+  bench::WriteMetricsSidecar(json_path);
   return 0;
 }
 

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_env.h"
 #include "ledger/chain_log.h"
 #include "prov/store.h"
 
@@ -222,9 +223,10 @@ int Run(const std::string& json_path, size_t n) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
+  std::fprintf(f, "{\n");
+  bench::WriteEnvFields(f);
   std::fprintf(
       f,
-      "{\n"
       "  \"bench\": \"bench_recovery\",\n"
       "  \"records\": %zu,\n"
       "  \"ingest\": {\n"
@@ -253,6 +255,7 @@ int Run(const std::string& json_path, size_t n) {
       clean_save_s, first_subject_s, warm_subject_s, audit.value(), audit_s);
   std::fclose(f);
   std::printf("\n  wrote %s\n", json_path.c_str());
+  bench::WriteMetricsSidecar(json_path);
 
   ::unlink(chain_log_path.c_str());
   ::unlink(crash_snapshot.c_str());

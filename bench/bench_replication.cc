@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_env.h"
 #include "prov/columnar.h"
 #include "replication/cluster.h"
 
@@ -230,8 +231,9 @@ int Run(const std::string& json_path, size_t n) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
+  std::fprintf(f, "{\n");
+  bench::WriteEnvFields(f);
   std::fprintf(f,
-               "{\n"
                "  \"bench\": \"bench_replication\",\n"
                "  \"nodes\": %u,\n"
                "  \"records_per_engine\": %zu,\n"
@@ -280,6 +282,7 @@ int Run(const std::string& json_path, size_t n) {
                "}\n");
   std::fclose(f);
   std::printf("\n  wrote %s\n", json_path.c_str());
+  bench::WriteMetricsSidecar(json_path);
   return 0;
 }
 

@@ -42,6 +42,11 @@ ctest_tree "$BUILD" -L fuzz
 # Continuous auditor + lineage proofs: tamper localization, adversarial
 # proof mutations, and the auditor-vs-ingest concurrency test.
 ctest_tree "$BUILD" -L audit
+# Observability: metric cell semantics, the exposition goldens, EXPLAIN
+# plan reporting, and provtop's registry self-test.
+ctest_tree "$BUILD" -L obs
+require_binary "$BUILD/provtop"
+"$BUILD/provtop" --self-test
 
 # ThreadSanitizer gate: the `concurrency` label (sharded ingest, snapshot
 # readers, parallel queries) rebuilt under -fsanitize=thread. Any data
@@ -53,7 +58,7 @@ configure_tree "$TSAN_BUILD" RelWithDebInfo \
   -DPROVLEDGER_BUILD_BENCHES=OFF \
   -DPROVLEDGER_BUILD_EXAMPLES=OFF
 build_tree "$TSAN_BUILD" --target concurrency_test encoding_test \
-  encoding_hardening_test audit_test
+  encoding_hardening_test audit_test obs_test
 ctest_tree "$TSAN_BUILD" -L concurrency
 # The encoding suite also runs under TSan: the codec is exercised from
 # shard workers and the replication cluster threads.
@@ -61,6 +66,10 @@ ctest_tree "$TSAN_BUILD" -L encoding
 # The audit suite too: the background auditor reads published views while
 # the ingest pipeline commits — the coexistence claim must hold under TSan.
 ctest_tree "$TSAN_BUILD" -L audit
+# And the metric cells themselves: relaxed-atomic counters/histograms
+# incremented from many threads while the exposition reads them (-R, not
+# -L obs: provtop_selftest shares the label but isn't built in this tree).
+ctest_tree "$TSAN_BUILD" -R obs_test
 
 # AddressSanitizer + UndefinedBehaviorSanitizer gate: the whole suite —
 # including the deterministic fuzz harnesses and the corpus regression

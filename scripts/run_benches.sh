@@ -12,6 +12,11 @@
 #   BENCH_audit.json      — lineage proof size/build/verify by ancestry
 #                           depth; continuous auditor vs live ingest
 #
+# Every BENCH_*.json carries `hardware_threads` and `timestamp_utc`
+# (bench/bench_env.h), and each bench drops a metrics snapshot — the
+# default obs registry's Prometheus text exposition — next to its JSON as
+# BENCH_*.json.metrics.prom.
+#
 # Usage: scripts/run_benches.sh [record_count]   (default 100000)
 set -euo pipefail
 source "$(dirname "${BASH_SOURCE[0]}")/lib.sh"

@@ -110,6 +110,13 @@ ContinuousAuditor::ContinuousAuditor(const ledger::Blockchain* chain,
                                      const prov::ProvenanceStore* store,
                                      ContinuousAuditorOptions options)
     : chain_(chain), store_(store), options_(std::move(options)) {
+  obs::Registry* registry = options_.registry != nullptr
+                                ? options_.registry
+                                : obs::Registry::Default();
+  lag_gauge_ = registry->GetGauge(
+      "audit_lag_blocks", "Blocks between chain head and the audited cursor");
+  findings_counter_ = registry->GetCounter(
+      "audit_findings_total", "Integrity violations found across passes");
   auto view = chain_->AcquireChainView();
   std::lock_guard<std::mutex> lock(run_mu_);
   cursor_hash_ = view->hashes[0];
@@ -246,6 +253,7 @@ AuditReport ContinuousAuditor::RunPass() {
   report.to_height =
       std::min(limit, cursor_height_ + options_.max_blocks_per_pass);
   if (report.from_height > report.to_height) {
+    lag_gauge_->Set(static_cast<int64_t>(report.head_height - cursor_height_));
     passes_.fetch_add(1, std::memory_order_relaxed);
     return report;
   }
@@ -329,6 +337,7 @@ AuditReport ContinuousAuditor::RunPass() {
   cursor_height_ = report.to_height;
   cursor_hash_ = view->hashes[cursor_height_];
   audited_height_.store(cursor_height_, std::memory_order_release);
+  lag_gauge_->Set(static_cast<int64_t>(report.head_height - cursor_height_));
   passes_.fetch_add(1, std::memory_order_relaxed);
   blocks_total_.fetch_add(report.blocks_audited, std::memory_order_relaxed);
   records_total_.fetch_add(report.records_checked,
@@ -336,12 +345,21 @@ AuditReport ContinuousAuditor::RunPass() {
   if (!report.findings.empty()) {
     findings_total_.fetch_add(report.findings.size(),
                               std::memory_order_relaxed);
+    findings_counter_->Increment(report.findings.size());
     std::lock_guard<std::mutex> lock(findings_mu_);
     for (const auto& finding : report.findings) {
       findings_.push_back(finding);
     }
   }
   return report;
+}
+
+uint64_t ContinuousAuditor::lag_blocks() const {
+  const uint64_t head = chain_->AcquireChainView()->height();
+  const uint64_t audited = audited_height_.load(std::memory_order_acquire);
+  // A reorg can briefly leave the cursor above the adopted head; the next
+  // pass rewinds it, and until then the lag is simply "nothing to do".
+  return head > audited ? head - audited : 0;
 }
 
 void ContinuousAuditor::Rewind() {

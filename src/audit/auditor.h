@@ -116,6 +116,9 @@ struct ContinuousAuditorOptions {
   size_t parallelism = 0;
   /// Background mode: sleep between passes (microseconds).
   uint64_t pass_interval_us = 1000;
+  /// Metric registry for the cursor-lag gauge and findings counter
+  /// (nullptr = obs::Registry::Default()).
+  obs::Registry* registry = nullptr;
 };
 
 /// \brief Cursor-driven incremental chain/store auditor; see file comment.
@@ -165,6 +168,11 @@ class ContinuousAuditor {
   uint64_t findings_total() const {
     return findings_total_.load(std::memory_order_relaxed);
   }
+  /// Blocks between the current chain head and the audited cursor — how
+  /// far behind the auditor is right now. Reads the published chain view
+  /// and the atomic cursor only: monitoring this does NOT drain the
+  /// findings channel (TakeFindings()) or take the pass lock.
+  uint64_t lag_blocks() const;
   /// @}
 
   /// Drain the findings accumulated across passes (background mode's
@@ -217,6 +225,10 @@ class ContinuousAuditor {
   std::atomic<bool> stop_{false};
   std::thread background_;
   bool running_ = false;
+
+  // Cached registry cells (resolved once in the constructor).
+  obs::Gauge* lag_gauge_;
+  obs::Counter* findings_counter_;
 };
 
 }  // namespace audit

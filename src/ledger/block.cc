@@ -1,17 +1,22 @@
 #include "ledger/block.h"
 
-#include <atomic>
+#include "obs/metrics.h"
 
 namespace provledger {
 namespace ledger {
 
 namespace {
-std::atomic<uint64_t> g_merkle_root_computes{0};
+// The process-wide root-compute counter lives on the default metric
+// registry; merkle_root_computes() is a thin read of the same cell.
+obs::Counter* RootComputesCell() {
+  static obs::Counter* cell = obs::Registry::Default()->GetCounter(
+      "merkle_root_computes_total",
+      "Process-wide Block::ComputeMerkleRoot calls");
+  return cell;
+}
 }  // namespace
 
-uint64_t Block::merkle_root_computes() {
-  return g_merkle_root_computes.load(std::memory_order_relaxed);
-}
+uint64_t Block::merkle_root_computes() { return RootComputesCell()->value(); }
 
 void BlockHeader::EncodeTo(Encoder* enc) const {
   enc->PutU64(height);
@@ -50,7 +55,7 @@ std::vector<Bytes> Block::TxLeaves(const std::vector<Transaction>& txs) {
 }
 
 crypto::Digest Block::ComputeMerkleRoot(const std::vector<Transaction>& txs) {
-  g_merkle_root_computes.fetch_add(1, std::memory_order_relaxed);
+  RootComputesCell()->Increment();
   return crypto::MerkleTree::Build(TxLeaves(txs)).root();
 }
 

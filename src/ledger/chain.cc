@@ -10,6 +10,21 @@ std::string Key(const crypto::Digest& d) { return crypto::DigestHex(d); }
 }  // namespace
 
 Blockchain::Blockchain(ChainOptions options) : options_(std::move(options)) {
+  obs::Registry* registry = options_.registry != nullptr
+                                ? options_.registry
+                                : obs::Registry::Default();
+  append_seconds_ = registry->GetHistogram(
+      "chain_append_seconds", "Block acceptance latency (validate + install)",
+      obs::LatencyBuckets());
+  validate_seconds_ = registry->GetHistogram(
+      "chain_validate_seconds",
+      "Block validation + write-ahead persistence latency",
+      obs::LatencyBuckets());
+  merkle_builds_total_ = registry->GetCounter(
+      "chain_merkle_tree_builds_total",
+      "Merkle proof trees built (cache misses on the proof path)");
+  height_gauge_ =
+      registry->GetGauge("chain_height", "Main-chain head height");
   // Genesis: one system transaction binding the chain id.
   Transaction genesis_tx = Transaction::MakeSystem(
       "genesis", "", ToBytes(options_.chain_id), /*timestamp=*/0, /*nonce=*/0);
@@ -68,6 +83,7 @@ Result<crypto::Digest> Blockchain::Append(std::vector<Transaction> txs,
                                           Timestamp timestamp,
                                           const std::string& proposer,
                                           uint64_t nonce) {
+  obs::ScopedTimer timer(append_seconds_);
   const crypto::Digest parent_hash = head_hash();
   const Block& parent = *blocks_.at(Key(parent_hash));
   Block block = Block::Make(parent.header.height + 1, parent_hash,
@@ -86,6 +102,7 @@ Result<crypto::Digest> Blockchain::AppendPrepared(
     std::vector<PreparedTx>* txs, Timestamp timestamp,
     const std::string& proposer, uint64_t nonce,
     const crypto::Digest* precomputed_root) {
+  obs::ScopedTimer timer(append_seconds_);
   const crypto::Digest parent_hash = head_hash();
   const Block& parent = *blocks_.at(Key(parent_hash));
   // Root straight from the cached leaf digests — the transactions' bytes
@@ -131,6 +148,7 @@ Result<crypto::Digest> Blockchain::AppendPrepared(
 }
 
 Status Blockchain::SubmitBlock(const Block& block) {
+  obs::ScopedTimer timer(append_seconds_);
   const crypto::Digest hash = block.header.Hash();
   const std::string block_key = Key(hash);
   // Validate against the caller's block; the deep copy (every transaction
@@ -154,6 +172,7 @@ Status Blockchain::AcceptBlock(Block&& block, const crypto::Digest& hash,
 Status Blockchain::ValidateAndPersist(const Block& block,
                                       const std::string& block_key,
                                       bool check_merkle_root) {
+  obs::ScopedTimer timer(validate_seconds_);
   if (blocks_.count(block_key)) {
     return Status::AlreadyExists("block already known");
   }
@@ -232,6 +251,7 @@ void Blockchain::RepublishChainView() {
   }
   std::atomic_store(&view_,
                     std::shared_ptr<const ChainView>(std::move(view)));
+  height_gauge_->Set(static_cast<int64_t>(height()));
 }
 
 std::shared_ptr<const ChainView> Blockchain::AcquireChainView() const {
@@ -320,6 +340,7 @@ const crypto::MerkleTree& Blockchain::TreeFor(const std::string& block_key,
     }
   }
   ++merkle_builds_;
+  merkle_builds_total_->Increment();
   merkle_cache_order_.push_back(block_key);
   return merkle_cache_
       .emplace(block_key, crypto::MerkleTree::Build(

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "ledger/block.h"
+#include "obs/metrics.h"
 
 namespace provledger {
 namespace ledger {
@@ -36,6 +37,9 @@ struct ChainOptions {
   /// Cap on cached per-block Merkle proof trees (FIFO eviction; 0 =
   /// unlimited). Bounds proof-cache memory on long-lived nodes.
   size_t merkle_cache_blocks = 1024;
+  /// Metric registry for append/validate timers, the height gauge, and the
+  /// Merkle-build counter (nullptr = obs::Registry::Default()).
+  obs::Registry* registry = nullptr;
 };
 
 /// \brief Where a transaction lives on the main chain.
@@ -215,6 +219,8 @@ class Blockchain {
   /// Number of Merkle trees built to serve proofs since construction.
   /// Proof requests against a block whose tree is already cached do not
   /// increment this (perf counter; exercised by the prov store tests).
+  /// Per-instance delta; the registry's chain_merkle_tree_builds_total
+  /// counter aggregates the same events process-wide.
   size_t merkle_tree_builds() const { return merkle_builds_; }
 
   /// Test hook: mutate a stored transaction payload in place, bypassing
@@ -287,6 +293,12 @@ class Blockchain {
   mutable std::deque<std::string> merkle_cache_order_;
   mutable size_t merkle_builds_ = 0;
   std::function<Status(const Block&)> block_sink_;
+  // Cached registry cells (resolved once in the constructor); hot-path
+  // updates are single relaxed atomic ops.
+  obs::Histogram* append_seconds_;
+  obs::Histogram* validate_seconds_;
+  obs::Counter* merkle_builds_total_;
+  obs::Gauge* height_gauge_;
 };
 
 /// \brief FIFO mempool with id-dedup and signature pre-validation.

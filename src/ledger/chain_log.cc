@@ -31,7 +31,20 @@ Result<Bytes> ReadFd(int fd, const std::string& path) {
 }  // namespace
 
 ChainLog::ChainLog(std::string path, ChainLogOptions options)
-    : path_(std::move(path)), options_(options) {}
+    : path_(std::move(path)), options_(options) {
+  obs::Registry* registry = options_.registry != nullptr
+                                ? options_.registry
+                                : obs::Registry::Default();
+  append_seconds_ = registry->GetHistogram(
+      "chainlog_append_seconds",
+      "Block persistence latency (frame + write + optional fsync)",
+      obs::LatencyBuckets());
+  replay_blocks_total_ = registry->GetCounter(
+      "chainlog_replay_blocks_total",
+      "Blocks re-validated from the log by Replay()");
+  size_gauge_ =
+      registry->GetGauge("chainlog_bytes", "Log size on disk, framing included");
+}
 
 ChainLog::~ChainLog() {
   if (fd_ >= 0) ::close(fd_);
@@ -65,6 +78,7 @@ Status ChainLog::ScanExisting() {
         }
         recovered_torn_write_ = true;
         size_ = pos;
+        size_gauge_->Set(static_cast<int64_t>(size_));
         return Status::OK();
       case FrameScan::kValid:
         ++block_count_;
@@ -73,10 +87,12 @@ Status ChainLog::ScanExisting() {
     }
   }
   size_ = pos;
+  size_gauge_->Set(static_cast<int64_t>(size_));
   return Status::OK();
 }
 
 Status ChainLog::Append(const Block& block) {
+  obs::ScopedTimer timer(append_seconds_);
   Bytes frame = BuildFrame(options_.columnar_bodies
                                ? prov::columnar::EncodeBlock(block)
                                : block.Encode());
@@ -90,6 +106,7 @@ Status ChainLog::Append(const Block& block) {
   }
   size_ += frame.size();
   ++block_count_;
+  size_gauge_->Set(static_cast<int64_t>(size_));
   return Status::OK();
 }
 
@@ -114,6 +131,7 @@ Status ChainLog::Replay(Blockchain* chain) {
     // attaching a partially caught-up chain works.
     if (!submitted.ok() && !submitted.IsAlreadyExists()) return submitted;
     ++replayed;
+    replay_blocks_total_->Increment();
     pos += kFrameHeaderBytes + payload_len;
   }
   return Status::OK();

@@ -40,6 +40,9 @@ struct ChainLogOptions {
   /// body carries its own magic — so logs written either way reload on any
   /// setting, and mixed logs (format flipped mid-life) are fine.
   bool columnar_bodies = true;
+  /// Metric registry for the append timer, replay progress counter, and
+  /// log-size gauge (nullptr = obs::Registry::Default()).
+  obs::Registry* registry = nullptr;
 };
 
 /// \brief Append-only durable block log.
@@ -93,6 +96,10 @@ class ChainLog {
   uint64_t size_ = 0;
   size_t block_count_ = 0;
   bool recovered_torn_write_ = false;
+  // Cached registry cells (resolved once in the constructor).
+  obs::Histogram* append_seconds_;
+  obs::Counter* replay_blocks_total_;
+  obs::Gauge* size_gauge_;
 };
 
 }  // namespace ledger

@@ -1,0 +1,335 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace provledger {
+namespace obs {
+
+namespace {
+
+constexpr double kSumScale = 1e6;  // fixed-point microunits per 1.0
+
+/// Shortest round-trippable decimal for bounds/sums ("0.001", "4.096").
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Prometheus label-value / HELP escaping: backslash, quote, newline.
+std::string EscapeText(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeJson(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// `{key="value",...}` — the series identity and the exposition form.
+std::string SerializeLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + EscapeText(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Label string for one extra `le` pair appended (histogram buckets).
+std::string LabelsWithLe(const Labels& labels, const std::string& le) {
+  std::string out = "{";
+  for (const auto& kv : labels) {
+    out += kv.first + "=\"" + EscapeText(kv.second) + "\",";
+  }
+  out += "le=\"" + le + "\"}";
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      cells_(std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1)) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    cells_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double value) {
+  if (value < 0 || std::isnan(value)) value = 0;
+  const size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  cells_[idx].fetch_add(1, std::memory_order_relaxed);
+  sum_microunits_.fetch_add(static_cast<uint64_t>(std::llround(value * kSumScale)),
+                            std::memory_order_relaxed);
+}
+
+uint64_t Histogram::count() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    total += cells_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const {
+  return static_cast<double>(sum_microunits_.load(std::memory_order_relaxed)) /
+         kSumScale;
+}
+
+std::vector<double> LatencyBuckets() {
+  // 1us .. ~16.8s, powers of four: 13 bounds + implicit +Inf.
+  std::vector<double> bounds;
+  double b = 1e-6;
+  for (int i = 0; i < 13; ++i) {
+    bounds.push_back(b);
+    b *= 4;
+  }
+  return bounds;
+}
+
+std::vector<double> SizeBuckets() {
+  // 64B .. 1GiB, powers of four: 13 bounds + implicit +Inf.
+  std::vector<double> bounds;
+  double b = 64;
+  for (int i = 0; i < 13; ++i) {
+    bounds.push_back(b);
+    b *= 4;
+  }
+  return bounds;
+}
+
+struct Registry::Series {
+  Labels labels;
+  std::string label_string;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+Registry::Registry() = default;
+Registry::~Registry() = default;
+
+Registry* Registry::Default() {
+  // Leaked on purpose: instrumented singletons and cached cell pointers
+  // may outlive every static destructor.
+  static Registry* instance = new Registry();  // provlint:allow(naked-new): intentionally leaked process singleton
+  return instance;
+}
+
+Registry::Series* Registry::GetSeries(const std::string& name,
+                                      const std::string& help,
+                                      MetricType type,
+                                      const std::vector<double>& bounds,
+                                      const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto fam_it = families_.find(name);
+  if (fam_it == families_.end()) {
+    Family fam;
+    fam.type = type;
+    fam.help = help;
+    fam.bounds = bounds;
+    fam_it = families_.emplace(name, std::move(fam)).first;
+  } else if (fam_it->second.type != type) {
+    // Same name, different type: never clobber the live family. The caller
+    // gets a detached cell that is safe to use but never exposed.
+    type_conflicts_.fetch_add(1, std::memory_order_relaxed);
+    auto series = std::make_unique<Series>();
+    switch (type) {
+      case MetricType::kCounter:
+        series->counter = std::make_unique<Counter>();
+        break;
+      case MetricType::kGauge:
+        series->gauge = std::make_unique<Gauge>();
+        break;
+      case MetricType::kHistogram:
+        series->histogram = std::make_unique<Histogram>(bounds);
+        break;
+    }
+    quarantine_.push_back(std::move(series));
+    return quarantine_.back().get();
+  }
+  Family& fam = fam_it->second;
+  const std::string key = SerializeLabels(labels);
+  auto it = fam.series.find(key);
+  if (it == fam.series.end()) {
+    auto series = std::make_unique<Series>();
+    series->labels = labels;
+    series->label_string = key;
+    switch (type) {
+      case MetricType::kCounter:
+        series->counter = std::make_unique<Counter>();
+        break;
+      case MetricType::kGauge:
+        series->gauge = std::make_unique<Gauge>();
+        break;
+      case MetricType::kHistogram:
+        // The family's first registration fixed the bounds.
+        series->histogram = std::make_unique<Histogram>(fam.bounds);
+        break;
+    }
+    it = fam.series.emplace(key, std::move(series)).first;
+  }
+  return it->second.get();
+}
+
+Counter* Registry::GetCounter(const std::string& name,
+                              const std::string& help, const Labels& labels) {
+  return GetSeries(name, help, MetricType::kCounter, {}, labels)->counter.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const std::string& help,
+                          const Labels& labels) {
+  return GetSeries(name, help, MetricType::kGauge, {}, labels)->gauge.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const std::string& help,
+                                  const std::vector<double>& bounds,
+                                  const Labels& labels) {
+  return GetSeries(name, help, MetricType::kHistogram, bounds, labels)
+      ->histogram.get();
+}
+
+uint64_t Registry::type_conflicts() const {
+  return type_conflicts_.load(std::memory_order_relaxed);
+}
+
+std::string Registry::TextExposition() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& fam_entry : families_) {
+    const std::string& name = fam_entry.first;
+    const Family& fam = fam_entry.second;
+    const char* type_name = fam.type == MetricType::kCounter ? "counter"
+                            : fam.type == MetricType::kGauge ? "gauge"
+                                                             : "histogram";
+    if (!fam.help.empty()) {
+      out += "# HELP " + name + " " + EscapeText(fam.help) + "\n";
+    }
+    out += "# TYPE " + name + " " + std::string(type_name) + "\n";
+    for (const auto& series_entry : fam.series) {
+      const Series& s = *series_entry.second;
+      if (fam.type == MetricType::kCounter) {
+        out += name + s.label_string + " " +
+               std::to_string(s.counter->value()) + "\n";
+      } else if (fam.type == MetricType::kGauge) {
+        out += name + s.label_string + " " +
+               std::to_string(s.gauge->value()) + "\n";
+      } else {
+        const Histogram& h = *s.histogram;
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.bucket_value(i);
+          out += name + "_bucket" +
+                 LabelsWithLe(s.labels, FormatDouble(h.bounds()[i])) + " " +
+                 std::to_string(cumulative) + "\n";
+        }
+        cumulative += h.bucket_value(h.bounds().size());
+        out += name + "_bucket" + LabelsWithLe(s.labels, "+Inf") + " " +
+               std::to_string(cumulative) + "\n";
+        out += name + "_sum" + s.label_string + " " + FormatDouble(h.sum()) +
+               "\n";
+        out += name + "_count" + s.label_string + " " +
+               std::to_string(cumulative) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::JsonExposition() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"type_conflicts\": " +
+                    std::to_string(type_conflicts()) + ",\n  \"metrics\": [";
+  bool first_fam = true;
+  for (const auto& fam_entry : families_) {
+    const std::string& name = fam_entry.first;
+    const Family& fam = fam_entry.second;
+    const char* type_name = fam.type == MetricType::kCounter ? "counter"
+                            : fam.type == MetricType::kGauge ? "gauge"
+                                                             : "histogram";
+    if (!first_fam) out += ",";
+    first_fam = false;
+    out += "\n    {\"name\": \"" + EscapeJson(name) + "\", \"type\": \"" +
+           type_name + "\", \"help\": \"" + EscapeJson(fam.help) +
+           "\", \"series\": [";
+    bool first_series = true;
+    for (const auto& series_entry : fam.series) {
+      const Series& s = *series_entry.second;
+      if (!first_series) out += ",";
+      first_series = false;
+      out += "\n      {\"labels\": {";
+      for (size_t i = 0; i < s.labels.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "\"" + EscapeJson(s.labels[i].first) + "\": \"" +
+               EscapeJson(s.labels[i].second) + "\"";
+      }
+      out += "}, ";
+      if (fam.type == MetricType::kCounter) {
+        out += "\"value\": " + std::to_string(s.counter->value()) + "}";
+      } else if (fam.type == MetricType::kGauge) {
+        out += "\"value\": " + std::to_string(s.gauge->value()) + "}";
+      } else {
+        const Histogram& h = *s.histogram;
+        out += "\"count\": " + std::to_string(h.count()) +
+               ", \"sum\": " + FormatDouble(h.sum()) + ", \"buckets\": [";
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.bucket_value(i);
+          if (i > 0) out += ", ";
+          out += "{\"le\": " + FormatDouble(h.bounds()[i]) +
+                 ", \"count\": " + std::to_string(cumulative) + "}";
+        }
+        cumulative += h.bucket_value(h.bounds().size());
+        out += ", {\"le\": \"+Inf\", \"count\": " +
+               std::to_string(cumulative) + "}]}";
+      }
+    }
+    out += "\n    ]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string Registry::Exposition(ExpositionFormat format) const {
+  return format == ExpositionFormat::kPrometheusText ? TextExposition()
+                                                     : JsonExposition();
+}
+
+}  // namespace obs
+}  // namespace provledger

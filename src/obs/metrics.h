@@ -1,0 +1,190 @@
+// Observability registry: named counters, gauges, and fixed-bucket
+// histograms with Prometheus-text and JSON exposition. The hot path is a
+// single relaxed atomic add on a cell the caller looked up once and cached
+// (registration takes a mutex; increments never do), so instrumenting the
+// ingest/commit/replication paths costs nanoseconds even on the 1-core CI
+// container.
+//
+// Naming contract (enforced by provlint's metric-name rule): metric names
+// are snake_case; counters end in `_total`; histograms end in `_seconds`
+// or `_bytes` (base units — no milliseconds, no kilobytes). Gauges carry
+// no mandatory suffix. Label keys are snake_case; one metric name maps to
+// one family, and every series in a family shares the same label keys.
+//
+// Thread safety: Counter/Gauge/Histogram cells are lock-free and safe from
+// any thread. Registry lookups (GetCounter/GetGauge/GetHistogram) and the
+// exposition methods take an internal mutex; returned cell pointers are
+// stable for the registry's lifetime, so callers resolve once and cache.
+
+#ifndef PROVLEDGER_OBS_METRICS_H_
+#define PROVLEDGER_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace provledger {
+namespace obs {
+
+/// Ordered key/value label set. Series identity is the labels *in the
+/// order given* — always pass a family's labels in one consistent order.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief Monotonically increasing counter. One relaxed add per increment.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Instantaneous signed value (queue depth, lag, segment count).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Fixed-bucket histogram: ascending upper bounds plus an implicit
+/// +Inf overflow bucket. Observe() is two relaxed adds (bucket cell + sum).
+/// The running sum is fixed-point (microunits: microseconds for `_seconds`
+/// metrics, millionths of a byte for `_bytes`) because C++17 has no atomic
+/// double fetch_add; sum() converts back.
+class Histogram {
+ public:
+  /// `bounds` must be ascending; an implicit +Inf bucket is appended.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  /// Total observations (sum over all bucket cells).
+  uint64_t count() const;
+  /// Sum of observed values (fixed-point accumulation, see class comment).
+  double sum() const;
+
+  /// Upper bounds, ascending, excluding the implicit +Inf bucket.
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Non-cumulative cell value for bucket `i` (i == bounds().size() is the
+  /// +Inf overflow cell).
+  uint64_t bucket_value(size_t i) const {
+    return cells_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> cells_;  // bounds_.size() + 1
+  std::atomic<uint64_t> sum_microunits_{0};
+};
+
+/// Log-scaled latency bounds in seconds: 1us .. ~16.8s, powers of four.
+std::vector<double> LatencyBuckets();
+/// Log-scaled size bounds in bytes: 64B .. 1GiB, powers of four.
+std::vector<double> SizeBuckets();
+
+/// \brief Times a scope and records the elapsed seconds into a histogram
+/// on destruction. A null histogram makes the timer a no-op.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    if (histogram_ == nullptr) return;
+    histogram_->Observe(std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+enum class ExpositionFormat { kPrometheusText, kJson };
+
+/// \brief Process-wide metric registry; see file comment for the naming
+/// and threading contracts.
+class Registry {
+ public:
+  Registry();
+  ~Registry();  // out of line: Series is incomplete here
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Shared process-wide registry (what instrumented classes use when no
+  /// registry is injected). Never destroyed — cached cell pointers stay
+  /// valid through static teardown.
+  static Registry* Default();
+
+  /// Find-or-create the counter `name{labels}`. `help` is recorded on
+  /// first registration of the family. Returned pointer is stable for the
+  /// registry's lifetime — resolve once, cache, increment lock-free.
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const Labels& labels = {});
+  /// Find-or-create the gauge `name{labels}`.
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const Labels& labels = {});
+  /// Find-or-create the histogram `name{labels}` with ascending upper
+  /// `bounds` (see LatencyBuckets/SizeBuckets). Bounds are fixed by the
+  /// family's first registration; later calls reuse them.
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          const std::vector<double>& bounds,
+                          const Labels& labels = {});
+
+  /// A name registered again as a different metric type does NOT clobber
+  /// the existing family: the caller gets a detached quarantine cell (safe
+  /// to use, never exposed) and this count goes up. Zero in a healthy
+  /// process; pinned by the obs tests.
+  uint64_t type_conflicts() const;
+
+  /// Prometheus text exposition (families sorted by name, series by label
+  /// string; histograms emit cumulative `_bucket{le=...}` + `_sum` +
+  /// `_count`).
+  std::string TextExposition() const;
+  /// The same data as a single JSON object (bench-JSON idiom).
+  std::string JsonExposition() const;
+  std::string Exposition(ExpositionFormat format) const;
+
+ private:
+  enum class MetricType { kCounter, kGauge, kHistogram };
+
+  struct Series;
+  struct Family {
+    MetricType type = MetricType::kCounter;
+    std::string help;
+    std::vector<double> bounds;  // histograms only
+    // Serialized label string -> series; std::map keeps exposition sorted.
+    std::map<std::string, std::unique_ptr<Series>> series;
+  };
+
+  Series* GetSeries(const std::string& name, const std::string& help,
+                    MetricType type, const std::vector<double>& bounds,
+                    const Labels& labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;       // guarded by mu_
+  std::vector<std::unique_ptr<Series>> quarantine_;  // guarded by mu_
+  std::atomic<uint64_t> type_conflicts_{0};
+};
+
+}  // namespace obs
+}  // namespace provledger
+
+#endif  // PROVLEDGER_OBS_METRICS_H_

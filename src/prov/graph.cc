@@ -1,6 +1,7 @@
 #include "prov/graph.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "common/thread_pool.h"
@@ -317,6 +318,7 @@ ProvenanceGraph::QueryPlan ProvenanceGraph::PlanQuery(
   }
 
   plan.index = best;
+  plan.estimate = best_n;
   switch (best) {
     case QueryIndex::kSubject:
       EnsureTimeSorted(&by_subject_[subject_eid], &subject_dirty_[subject_eid]);
@@ -529,6 +531,35 @@ QueryResult ProvenanceGraph::Run(const Query& query) const {
   }
   result.count = result.records.size();
   return result;
+}
+
+QueryExplain ProvenanceGraph::Explain(const Query& query) const {
+  QueryExplain out;
+  const auto plan_start = std::chrono::steady_clock::now();
+  QueryPlan plan = PlanQuery(query);
+  const auto plan_end = std::chrono::steady_clock::now();
+  out.index_used = plan.index;
+  out.estimated_candidates = plan.estimate;
+  out.covers_filters = plan.covers_filters;
+  out.plan_seconds =
+      std::chrono::duration<double>(plan_end - plan_start).count();
+  if (plan.covers_filters) {
+    // Same short-circuit a count-only execution takes: the slice IS the
+    // answer, no candidate is ever visited.
+    out.rows_matched = plan.size();
+    return out;
+  }
+  out.candidates_scanned = plan.size();
+  for (size_t i = 0; i < plan.size(); ++i) {
+    uint32_t rid = PlanRidAt(plan, i);
+    if (query.Matches(RecordAt(rid), invalidations_.count(rid) > 0)) {
+      ++out.rows_matched;
+    }
+  }
+  out.scan_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - plan_end)
+                         .count();
+  return out;
 }
 
 size_t ProvenanceGraph::Run(

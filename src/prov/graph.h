@@ -105,6 +105,12 @@ class ProvenanceGraph {
   /// to serial execution. Safe to call concurrently from many threads only
   /// on a warmed, unmutated graph (see class comment).
   QueryResult Run(const Query& query) const;
+  /// EXPLAIN: plan the query, run its candidate scan in count-only mode,
+  /// and report the planner's choice — chosen index, candidate estimate at
+  /// plan time vs candidates actually scanned and rows matched, plus
+  /// per-phase timing. No records are materialized; limit/offset do not
+  /// apply. Same thread-safety contract as Run().
+  QueryExplain Explain(const Query& query) const;
   /// Zero-copy streaming overload: `visit` receives each match by const
   /// reference, in order, with offset/limit applied; returning false stops
   /// the scan early. Returns the number of records visited. The count_only
@@ -246,6 +252,10 @@ class ProvenanceGraph {
     size_t hi = 0;
     std::vector<uint32_t> owned;
     bool covers_filters = false;
+    /// The winning index's candidate estimate when it won the selectivity
+    /// contest (before time-window narrowing) — what Explain reports
+    /// against the actual scan size.
+    size_t estimate = 0;
 
     size_t size() const { return hi - lo; }
   };

@@ -19,9 +19,29 @@ IngestPipeline::IngestPipeline(ProvenanceStore* store,
   options_.commit_queue_capacity =
       std::max<size_t>(1, options_.commit_queue_capacity);
 
+  obs::Registry* registry = options_.registry != nullptr
+                                ? options_.registry
+                                : obs::Registry::Default();
+  prepare_seconds_ = registry->GetHistogram(
+      "ingest_stage_seconds", "Pipeline stage latency per drained batch",
+      obs::LatencyBuckets(), {{"stage", "prepare"}});
+  commit_seconds_ = registry->GetHistogram(
+      "ingest_stage_seconds", "Pipeline stage latency per drained batch",
+      obs::LatencyBuckets(), {{"stage", "commit"}});
+  committed_total_ =
+      registry->GetCounter("ingest_records_total", "Records by final outcome",
+                           {{"result", "committed"}});
+  failed_total_ =
+      registry->GetCounter("ingest_records_total", "Records by final outcome",
+                           {{"result", "failed"}});
+
   shards_.reserve(options_.shards);
+  queue_depth_gauges_.reserve(options_.shards);
   for (size_t i = 0; i < options_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+    queue_depth_gauges_.push_back(registry->GetGauge(
+        "ingest_shard_queue_depth", "Records waiting in each shard queue",
+        {{"shard", std::to_string(i)}}));
   }
   active_shards_.store(options_.shards, std::memory_order_release);
   // Workers only start once every shard exists: a worker never touches a
@@ -48,7 +68,8 @@ Status IngestPipeline::Submit(ProvenanceRecord record) {
   if (closed_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("ingest pipeline is closed");
   }
-  Shard& shard = *shards_[ShardFor(record.subject)];
+  const size_t shard_index = ShardFor(record.subject);
+  Shard& shard = *shards_[shard_index];
   bool was_empty;
   {
     std::unique_lock<std::mutex> lock(shard.mu);
@@ -61,6 +82,8 @@ Status IngestPipeline::Submit(ProvenanceRecord record) {
     }
     was_empty = shard.queue.empty();
     shard.queue.push_back(std::move(record));
+    queue_depth_gauges_[shard_index]->Set(
+        static_cast<int64_t>(shard.queue.size()));
   }
   // Incremented only after the record is safely enqueued, so a Flush that
   // observes this count is guaranteed to drain the record.
@@ -118,6 +141,7 @@ Status IngestPipeline::SubmitBatch(std::vector<ProvenanceRecord> records) {
         ++pushed;
         submitted_.fetch_add(1, std::memory_order_release);
       }
+      queue_depth_gauges_[idx]->Set(static_cast<int64_t>(shard.queue.size()));
       lock.unlock();
       if (notify) {
         shard.not_empty.notify_one();
@@ -162,6 +186,8 @@ void IngestPipeline::ShardLoop(size_t shard_index) {
         popped.push_back(std::move(shard.queue.front()));
         shard.queue.pop_front();
       }
+      queue_depth_gauges_[shard_index]->Set(
+          static_cast<int64_t>(shard.queue.size()));
       // Only acknowledge a flush (or exit) once the queue is fully
       // drained — the partial batch pushed below must carry everything
       // submitted before the flush.
@@ -182,19 +208,22 @@ void IngestPipeline::ShardLoop(size_t shard_index) {
     // The heavy lifting — validation, anonymization, serialization, both
     // SHA-256 digests — happens here, outside every lock, concurrently
     // across shards.
-    for (auto& record : popped) {
-      const uint64_t nonce =
-          nonce_.fetch_add(1, std::memory_order_relaxed) + 1;
-      auto prepared = store_->PrepareRecord(std::move(record), nonce,
-                                            options_.signer, &scratch);
-      if (!prepared.ok()) {
-        NoteFailure(1, prepared.status());
-        NoteProcessed(1);
-        continue;
+    if (!popped.empty()) {
+      obs::ScopedTimer prepare_timer(prepare_seconds_);
+      for (auto& record : popped) {
+        const uint64_t nonce =
+            nonce_.fetch_add(1, std::memory_order_relaxed) + 1;
+        auto prepared = store_->PrepareRecord(std::move(record), nonce,
+                                              options_.signer, &scratch);
+        if (!prepared.ok()) {
+          NoteFailure(1, prepared.status());
+          NoteProcessed(1);
+          continue;
+        }
+        batch.push_back(std::move(prepared).value());
       }
-      batch.push_back(std::move(prepared).value());
+      popped.clear();
     }
-    popped.clear();
 
     if (batch.size() >= options_.batch_size ||
         (push_partial && !batch.empty())) {
@@ -266,15 +295,20 @@ void IngestPipeline::CommitterLoop() {
 
     const size_t batch_records = batch.records.size();
     size_t committed_records = 0;
-    Status committed = store_->AnchorPrepared(&batch, &committed_records);
-    if (!committed.ok() && !batch.records.empty()) {
-      // The chain refused the block and handed the batch back (e.g. a
-      // transient durability-sink error). One immediate retry covers
-      // blips; a persistent fault fails the records loudly rather than
-      // looping forever.
+    Status committed;
+    {
+      obs::ScopedTimer commit_timer(commit_seconds_);
       committed = store_->AnchorPrepared(&batch, &committed_records);
+      if (!committed.ok() && !batch.records.empty()) {
+        // The chain refused the block and handed the batch back (e.g. a
+        // transient durability-sink error). One immediate retry covers
+        // blips; a persistent fault fails the records loudly rather than
+        // looping forever.
+        committed = store_->AnchorPrepared(&batch, &committed_records);
+      }
     }
     committed_.fetch_add(committed_records, std::memory_order_acq_rel);
+    committed_total_->Increment(committed_records);
     if (!committed.ok()) {
       NoteFailure(batch_records - committed_records, std::move(committed));
     } else if (committed_records < batch_records) {
@@ -299,6 +333,7 @@ void IngestPipeline::CommitterLoop() {
 
 void IngestPipeline::NoteFailure(size_t n, Status status) {
   failed_.fetch_add(n, std::memory_order_acq_rel);
+  failed_total_->Increment(n);
   std::lock_guard<std::mutex> lock(error_mu_);
   if (first_error_.ok()) first_error_ = std::move(status);
 }

@@ -71,6 +71,9 @@ struct IngestPipelineOptions {
   /// Sign every anchoring transaction with this key (user-direct capture);
   /// nullptr = system transactions. The key must outlive the pipeline.
   const crypto::PrivateKey* signer = nullptr;
+  /// Metric registry for the stage timers, queue-depth gauges, and record
+  /// outcome counters (nullptr = obs::Registry::Default()).
+  obs::Registry* registry = nullptr;
 };
 
 /// \brief Multi-producer sharded ingest front-end for a ProvenanceStore.
@@ -241,6 +244,14 @@ class IngestPipeline {
 
   mutable std::mutex error_mu_;
   Status first_error_ PROV_GUARDED_BY(error_mu_);
+
+  // Cached registry cells (resolved once in the constructor; the gauges
+  // are per shard, parallel to shards_).
+  obs::Histogram* prepare_seconds_;
+  obs::Histogram* commit_seconds_;
+  obs::Counter* committed_total_;
+  obs::Counter* failed_total_;
+  std::vector<obs::Gauge*> queue_depth_gauges_;
 };
 
 }  // namespace prov

@@ -1,6 +1,7 @@
 #include "prov/query.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace provledger {
 namespace prov {
@@ -21,6 +22,32 @@ const char* QueryIndexName(QueryIndex index) {
       return "full_scan";
   }
   return "unknown";
+}
+
+std::string QueryExplain::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "index=%s est=%zu scanned=%zu matched=%zu covering=%s "
+                "plan_us=%.1f scan_us=%.1f",
+                QueryIndexName(index_used), estimated_candidates,
+                candidates_scanned, rows_matched,
+                covers_filters ? "yes" : "no", plan_seconds * 1e6,
+                scan_seconds * 1e6);
+  return buf;
+}
+
+std::string QueryExplain::ToJson() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"index\": \"%s\", \"estimated_candidates\": %zu, "
+                "\"candidates_scanned\": %zu, \"rows_matched\": %zu, "
+                "\"covers_filters\": %s, \"plan_seconds\": %.9g, "
+                "\"scan_seconds\": %.9g}",
+                QueryIndexName(index_used), estimated_candidates,
+                candidates_scanned, rows_matched,
+                covers_filters ? "true" : "false", plan_seconds,
+                scan_seconds);
+  return buf;
 }
 
 bool Query::Matches(const ProvenanceRecord& record,

@@ -202,6 +202,37 @@ struct Query {
   bool Matches(const ProvenanceRecord& record, bool record_invalidated) const;
 };
 
+/// \brief Plan trace from ProvenanceGraph::Explain() / ProvenanceStore::
+/// Explain(): which index the planner chose, its candidate estimate at
+/// plan time vs what the scan actually visited and matched, and per-phase
+/// timing. Explain executes the query in count-only mode — no records are
+/// materialized and limit/offset do not apply — so rows_matched is the
+/// total match count.
+struct QueryExplain {
+  /// The index the planner chose.
+  QueryIndex index_used = QueryIndex::kFullScan;
+  /// The planner's candidate estimate for the chosen index when it won
+  /// the selectivity contest (before time-window narrowing).
+  size_t estimated_candidates = 0;
+  /// Candidates the scan actually visited (0 when covers_filters let a
+  /// count-only execution skip the scan entirely).
+  size_t candidates_scanned = 0;
+  /// Records that passed every predicate.
+  size_t rows_matched = 0;
+  /// The chosen index slice alone guaranteed every filter.
+  bool covers_filters = false;
+  /// Time spent picking the index and narrowing the slice.
+  double plan_seconds = 0;
+  /// Time spent scanning candidates (0 when the scan was skipped).
+  double scan_seconds = 0;
+
+  /// One-line human form: "index=subject est=120 scanned=87 matched=12
+  /// covering=no plan_us=3.1 scan_us=42.0".
+  std::string ToString() const;
+  /// The same fields as one JSON object.
+  std::string ToJson() const;
+};
+
 /// \brief Result of a materializing Run()/Execute().
 struct QueryResult {
   /// Matching records in the requested order (empty for count-only).

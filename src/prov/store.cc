@@ -17,7 +17,18 @@ constexpr char kSnapshotMagic[8] = {'P', 'L', 'S', 'N', 'A', 'P', '0', '2'};
 
 ProvenanceStore::ProvenanceStore(ledger::Blockchain* chain, Clock* clock,
                                  ProvenanceStoreOptions options)
-    : chain_(chain), clock_(clock), options_(std::move(options)) {}
+    : chain_(chain), clock_(clock), options_(std::move(options)) {
+  registry_ = options_.registry != nullptr ? options_.registry
+                                           : obs::Registry::Default();
+  for (int i = 0; i < 6; ++i) {
+    query_plans_[i] = registry_->GetCounter(
+        "query_plans_total", "Executed queries by planner-chosen index",
+        {{"index", QueryIndexName(static_cast<QueryIndex>(i))}});
+  }
+  query_seconds_ = registry_->GetHistogram(
+      "query_exec_seconds", "End-to-end Execute() latency",
+      obs::LatencyBuckets());
+}
 
 std::string ProvenanceStore::OnChainAgentId(const std::string& agent) const {
   if (!options_.hash_agent_ids) return agent;
@@ -335,13 +346,26 @@ bool ProvenanceStore::HasRecord(const std::string& record_id) const {
 }
 
 QueryResult ProvenanceStore::Execute(const Query& query) const {
-  return graph_.Run(query);
+  obs::ScopedTimer timer(query_seconds_);
+  QueryResult result = graph_.Run(query);
+  query_plans_[static_cast<int>(result.index_used)]->Increment();
+  return result;
 }
 
 size_t ProvenanceStore::Execute(
     const Query& query,
     const std::function<bool(const ProvenanceRecord&)>& visit) const {
+  obs::ScopedTimer timer(query_seconds_);
   return graph_.Run(query, visit);
+}
+
+QueryExplain ProvenanceStore::Explain(const Query& query) const {
+  return graph_.Explain(query);
+}
+
+std::string ProvenanceStore::MetricsSnapshot(
+    obs::ExpositionFormat format) const {
+  return registry_->Exposition(format);
 }
 
 std::vector<ProvenanceRecord> ProvenanceStore::SubjectHistory(

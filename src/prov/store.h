@@ -21,6 +21,7 @@
 #include <unordered_set>
 
 #include "ledger/chain.h"
+#include "obs/metrics.h"
 #include "prov/graph.h"
 #include "prov/snapshot.h"
 #include "storage/kv_store.h"
@@ -42,6 +43,11 @@ struct ProvenanceStoreOptions {
   Bytes anonymization_key = {0x42};
   /// Block proposer identity used for anchored blocks.
   std::string proposer = "prov-store";
+  /// Metric registry for query/anchor instrumentation (nullptr = the
+  /// process-wide obs::Registry::Default()). Inject a private instance to
+  /// scrape one store in isolation (per-node registries in replication
+  /// tests do exactly this).
+  obs::Registry* registry = nullptr;
 };
 
 /// \brief A record whose expensive anchoring work — validation,
@@ -190,6 +196,21 @@ class ProvenanceStore {
   size_t Execute(const Query& query,
                  const std::function<bool(const ProvenanceRecord&)>& visit)
       const;
+  /// EXPLAIN: plan `query` against the live graph and report the planner's
+  /// index choice, candidate estimate vs actual rows scanned/matched, and
+  /// per-phase timing — without materializing any record (see
+  /// QueryExplain). Same threading contract as Execute().
+  QueryExplain Explain(const Query& query) const;
+
+  /// Exposition of this store's metric registry (the process-wide default
+  /// unless one was injected): every metric every instrumented layer
+  /// registered there, in Prometheus text or JSON form. Safe from any
+  /// thread.
+  std::string MetricsSnapshot(
+      obs::ExpositionFormat format =
+          obs::ExpositionFormat::kPrometheusText) const;
+  /// The registry this store records into.
+  obs::Registry* registry() const { return registry_; }
 
   /// \name Fixed-shape queries (thin wrappers over Execute()).
   /// @{
@@ -312,6 +333,11 @@ class ProvenanceStore {
   ledger::Blockchain* chain_;
   Clock* clock_;
   ProvenanceStoreOptions options_;
+  // Resolved registry + cells cached at construction; increments on the
+  // query path are single relaxed adds on these.
+  obs::Registry* registry_;
+  obs::Counter* query_plans_[6] = {};  // indexed by QueryIndex
+  obs::Histogram* query_seconds_;
   ProvenanceGraph graph_;
   // "rec/<id>" -> txid bytes. After LoadSnapshot the entries wait as a
   // zero-copy snapshot slice until the first proof/audit/anchor needs them.

@@ -16,6 +16,7 @@ ReplicatedNodeOptions Cluster::MakeNodeOptions(network::NodeId id) const {
   node_options.name = "node-" + std::to_string(id);
   node_options.catch_up_batch_blocks = options_.catch_up_batch_blocks;
   node_options.columnar_wire = options_.columnar_wire;
+  node_options.registry = registries_[id].get();
   if (!options_.data_dir.empty()) {
     node_options.data_dir = options_.data_dir + "/" + node_options.name;
   }
@@ -39,6 +40,9 @@ Result<std::unique_ptr<Cluster>> Cluster::Create(ClusterOptions options) {
 
   if (!cluster->options_.data_dir.empty()) {
     PROVLEDGER_RETURN_NOT_OK(EnsureDir(cluster->options_.data_dir));
+  }
+  for (uint32_t i = 0; i < cluster->options_.num_nodes; ++i) {
+    cluster->registries_.push_back(std::make_unique<obs::Registry>());
   }
   for (uint32_t i = 0; i < cluster->options_.num_nodes; ++i) {
     ReplicatedNodeOptions node_options = cluster->MakeNodeOptions(i);

@@ -112,6 +112,10 @@ class Cluster {
 
   ReplicatedNode* node(network::NodeId id) { return nodes_[id].get(); }
   const ReplicatedNode& node(network::NodeId id) const { return *nodes_[id]; }
+  /// Node `id`'s private metric registry (every node gets its own, so one
+  /// node's `repl/metrics` answer never mixes in a peer's counters; the
+  /// registry survives Crash()/Restart() so counters span incarnations).
+  obs::Registry* registry(network::NodeId id) { return registries_[id].get(); }
   size_t size() const { return nodes_.size(); }
   SimClock* clock() { return &clock_; }
   network::SimNetwork* net() { return &net_; }
@@ -129,6 +133,9 @@ class Cluster {
   SimClock clock_;
   network::SimNetwork net_;
   std::unique_ptr<consensus::ConsensusEngine> engine_;
+  // One registry per node slot, created before the nodes and never
+  // recycled — MakeNodeOptions wires slot i's registry into node i.
+  std::vector<std::unique_ptr<obs::Registry>> registries_;
   std::vector<std::unique_ptr<ReplicatedNode>> nodes_;
   std::vector<prov::ProvenanceRecord> pending_;
   ClusterMetrics metrics_;

@@ -8,22 +8,63 @@ namespace replication {
 
 namespace {
 
-// Protocol message tags.
+// Protocol message tags. kMessageTypes/kTypeCount index the per-type
+// metric cells; keep all three lists in step.
 constexpr char kMsgBlock[] = "repl/block";
 constexpr char kMsgStatus[] = "repl/status";
 constexpr char kMsgPull[] = "repl/pull";
 constexpr char kMsgBlocks[] = "repl/blocks";
 constexpr char kMsgProof[] = "repl/proof";
 constexpr char kMsgProofReply[] = "repl/proofr";
+constexpr char kMsgMetrics[] = "repl/metrics";
+constexpr char kMsgMetricsReply[] = "repl/metricsr";
+
+constexpr const char* kMessageTypes[] = {
+    kMsgBlock, kMsgStatus,     kMsgPull,    kMsgBlocks,
+    kMsgProof, kMsgProofReply, kMsgMetrics, kMsgMetricsReply,
+};
+constexpr size_t kTypeCount = sizeof(kMessageTypes) / sizeof(kMessageTypes[0]);
+
+// Metric label for a tag: the part after "repl/".
+const char* TypeLabel(const char* tag) { return tag + 5; }
+
+// Fill the chain/store/log options' registry with the node's when unset.
+ledger::ChainOptions ChainOptionsWith(ledger::ChainOptions chain,
+                                      obs::Registry* registry) {
+  if (chain.registry == nullptr) chain.registry = registry;
+  return chain;
+}
 
 }  // namespace
 
 ReplicatedNode::ReplicatedNode(Clock* clock, ReplicatedNodeOptions options)
-    : clock_(clock), options_(std::move(options)), chain_(options_.chain) {
+    : clock_(clock),
+      options_(std::move(options)),
+      registry_(options_.registry != nullptr ? options_.registry
+                                             : obs::Registry::Default()),
+      chain_(ChainOptionsWith(options_.chain, registry_)) {
   prov::ProvenanceStoreOptions store_options = options_.store;
   store_options.proposer = options_.name;
+  if (store_options.registry == nullptr) store_options.registry = registry_;
   store_ = std::make_unique<prov::ProvenanceStore>(&chain_, clock_,
                                                    std::move(store_options));
+  for (size_t i = 0; i < kTypeCount; ++i) {
+    msg_total_[i] = registry_->GetCounter(
+        "repl_messages_total", "Replication messages delivered, by type",
+        {{"type", TypeLabel(kMessageTypes[i])}});
+    msg_bytes_[i] = registry_->GetCounter(
+        "repl_bytes_total", "Replication payload bytes delivered, by type",
+        {{"type", TypeLabel(kMessageTypes[i])}});
+  }
+  catchup_lag_gauge_ = registry_->GetGauge(
+      "repl_catchup_lag_blocks",
+      "Blocks behind the tallest peer seen (0 once caught up)");
+  proofs_served_total_ = registry_->GetCounter(
+      "repl_proofs_served_total",
+      "Lineage proofs built answering repl/proof requests");
+  sync_failures_total_ = registry_->GetCounter(
+      "repl_store_sync_failures_total",
+      "Chain->store syncs that failed even after the rebuild fallback");
 }
 
 Result<std::unique_ptr<ReplicatedNode>> ReplicatedNode::Create(
@@ -37,9 +78,11 @@ Result<std::unique_ptr<ReplicatedNode>> ReplicatedNode::Create(
     // chain state mutates. The store recovers from its snapshot plus the
     // chain tail, falling back to a full rebuild when the snapshot is
     // missing or stale.
+    ledger::ChainLogOptions log_options;
+    log_options.registry = node->registry_;
     PROVLEDGER_ASSIGN_OR_RETURN(
-        node->log_,
-        ledger::ChainLog::Open(node->options_.data_dir + "/chain.log"));
+        node->log_, ledger::ChainLog::Open(
+                        node->options_.data_dir + "/chain.log", log_options));
     PROVLEDGER_RETURN_NOT_OK(node->log_->AttachTo(&node->chain_));
     PROVLEDGER_RETURN_NOT_OK(node->store_->Recover(node->snapshot_path()));
   }
@@ -92,8 +135,20 @@ void ReplicatedNode::RequestSync() {
   net_->Broadcast(id_, kMsgStatus, StatusPayload(/*probe=*/true));
 }
 
+void ReplicatedNode::CountMessage(const std::string& type,
+                                  size_t payload_bytes) {
+  for (size_t i = 0; i < kTypeCount; ++i) {
+    if (type == kMessageTypes[i]) {
+      msg_total_[i]->Increment();
+      msg_bytes_[i]->Increment(payload_bytes);
+      return;
+    }
+  }
+}
+
 void ReplicatedNode::OnMessage(const network::Message& message) {
   if (!alive_) return;  // a crashed node is silent until restarted
+  CountMessage(message.type, message.payload.size());
   if (message.type == kMsgBlock) {
     // Format-sniffing decode: columnar and legacy peers look the same here.
     auto block = prov::columnar::DecodeBlock(message.payload);
@@ -112,6 +167,10 @@ void ReplicatedNode::OnMessage(const network::Message& message) {
     HandleProofRequest(message);
   } else if (message.type == kMsgProofReply) {
     HandleProofReply(message);
+  } else if (message.type == kMsgMetrics) {
+    HandleMetricsRequest(message);
+  } else if (message.type == kMsgMetricsReply) {
+    HandleMetricsReply(message);
   }
 }
 
@@ -123,7 +182,10 @@ void ReplicatedNode::ApplyPeerBlock(const ledger::Block& block,
     // A failed sync already reset the applied-height tracker, so the next
     // broadcast/pull retries from genesis; count it so a node serving
     // degraded query results is visible to operators.
-    if (!SyncStoreWithChain().ok()) ++metrics_.store_sync_failures;
+    if (!SyncStoreWithChain().ok()) {
+      ++metrics_.store_sync_failures;
+      sync_failures_total_->Increment();
+    }
     return;
   }
   if (st.IsAlreadyExists()) return;
@@ -222,8 +284,12 @@ void ReplicatedNode::HandleStatus(const network::Message& message) {
   // Height decides who pulls. Equal heights with different heads (a
   // symmetric fork) stay put until one side grows — longest-chain fork
   // choice needs a strictly longer branch to reorg anyway.
-  if (peer_height > chain_.height() && net_ != nullptr && !sync_in_flight_) {
-    SendPull(message.from, chain_.height() + 1);
+  if (peer_height > chain_.height()) {
+    catchup_lag_gauge_->Set(
+        static_cast<int64_t>(peer_height - chain_.height()));
+    if (net_ != nullptr && !sync_in_flight_) {
+      SendPull(message.from, chain_.height() + 1);
+    }
   }
 }
 
@@ -286,11 +352,17 @@ void ReplicatedNode::HandleBlocks(const network::Message& message) {
   }
   // As above: failure resets the tracker for a from-genesis retry on the
   // next message; the counter keeps the degraded window observable.
-  if (!SyncStoreWithChain().ok()) ++metrics_.store_sync_failures;
+  if (!SyncStoreWithChain().ok()) {
+    ++metrics_.store_sync_failures;
+    sync_failures_total_->Increment();
+  }
   if (chain_.height() >= sender_height || net_ == nullptr) {
+    catchup_lag_gauge_->Set(0);
     sync_in_flight_ = false;
     return;
   }
+  catchup_lag_gauge_->Set(
+      static_cast<int64_t>(sender_height - chain_.height()));
   uint64_t next_from;
   if (attached == 0) {
     // Nothing in the window attached: the fork point (or our true chain
@@ -331,6 +403,7 @@ void ReplicatedNode::HandleProofRequest(const network::Message& message) {
   auto proof = audit::BuildLineageProof(*store_, record_id);
   if (proof.ok()) {
     ++metrics_.proofs_served;
+    proofs_served_total_->Increment();
     enc.PutU8(1);
     enc.PutString(std::string());
     enc.PutBytes(proof->Encode());
@@ -357,6 +430,36 @@ void ReplicatedNode::HandleProofReply(const network::Message& message) {
   last_proof_.ok = ok != 0;
   last_proof_.message = std::move(error);
   last_proof_.proof = std::move(proof);
+}
+
+void ReplicatedNode::RequestMetrics(network::NodeId to,
+                                    obs::ExpositionFormat format) {
+  if (net_ == nullptr) return;
+  last_metrics_ = MetricsReply();
+  Encoder enc;
+  enc.PutU8(format == obs::ExpositionFormat::kJson ? 1 : 0);
+  net_->Send(id_, to, kMsgMetrics, enc.TakeBuffer());
+}
+
+void ReplicatedNode::HandleMetricsRequest(const network::Message& message) {
+  if (net_ == nullptr) return;
+  Decoder dec(message.payload);
+  uint8_t format = 0;
+  if (!dec.GetU8(&format).ok() || format > 1 || !dec.AtEnd()) return;
+  const std::string body = registry_->Exposition(
+      format == 1 ? obs::ExpositionFormat::kJson
+                  : obs::ExpositionFormat::kPrometheusText);
+  Encoder enc;
+  enc.PutString(body);
+  net_->Send(id_, message.from, kMsgMetricsReply, enc.TakeBuffer());
+}
+
+void ReplicatedNode::HandleMetricsReply(const network::Message& message) {
+  Decoder dec(message.payload);
+  std::string body;
+  if (!dec.GetString(&body).ok() || !dec.AtEnd()) return;
+  last_metrics_.received = true;
+  last_metrics_.body = std::move(body);
 }
 
 }  // namespace replication

@@ -19,6 +19,11 @@
 //                  requester verifies with audit::VerifyLineageProof
 //                  against nothing but its own main-chain headers — the
 //                  serving node's store is never trusted.
+//   repl/metrics — metrics scrape request: one format byte (0 = Prometheus
+//                  text, 1 = JSON). The receiver serializes its own
+//                  registry — every layer of its stack reports there.
+//   repl/metricsr— the reply: the exposition text, landing in
+//                  last_metrics() on the requester.
 //
 // Convergence invariants (tested in tests/replication_test.cc):
 //   * a block enters a node's chain only through SubmitBlock — followers
@@ -39,6 +44,7 @@
 
 #include "ledger/chain_log.h"
 #include "network/sim_network.h"
+#include "obs/metrics.h"
 #include "prov/store.h"
 
 namespace provledger {
@@ -68,6 +74,12 @@ struct ReplicatedNodeOptions {
   /// received blocks are re-validated in full by SubmitBlock regardless of
   /// how they traveled.
   bool columnar_wire = true;
+  /// Metric registry this node's whole stack reports into (nullptr =
+  /// obs::Registry::Default()). A repl/metrics scrape serializes exactly
+  /// this registry, so multi-node-per-process tests should give each node
+  /// its own instance; any registry set inside `chain`/`store` wins over
+  /// this one for that layer.
+  obs::Registry* registry = nullptr;
 };
 
 /// \brief Replication counters (per node).
@@ -135,6 +147,23 @@ class ReplicatedNode {
   };
   const ProofReply& last_proof() const { return last_proof_; }
 
+  /// Ask `to` for its metrics exposition (repl/metrics). The repl/metricsr
+  /// reply lands in last_metrics() — the remote-scrape path: every node of
+  /// a cluster can be monitored through the same wire its blocks travel.
+  void RequestMetrics(network::NodeId to,
+                      obs::ExpositionFormat format =
+                          obs::ExpositionFormat::kPrometheusText);
+
+  /// \brief The most recent repl/metricsr reply (reset by each request).
+  struct MetricsReply {
+    bool received = false;  // a reply arrived since the last request
+    std::string body;       // the serving node's exposition text
+  };
+  const MetricsReply& last_metrics() const { return last_metrics_; }
+
+  /// The registry this node's stack reports into (see options().registry).
+  obs::Registry* registry() const { return registry_; }
+
   /// Persist the store snapshot to `<data_dir>/store.snap` (durable nodes
   /// only; FailedPrecondition otherwise). Restart = snapshot + chain tail.
   Status SaveSnapshot() const;
@@ -183,9 +212,16 @@ class ReplicatedNode {
   void HandleBlocks(const network::Message& message);
   void HandleProofRequest(const network::Message& message);
   void HandleProofReply(const network::Message& message);
+  void HandleMetricsRequest(const network::Message& message);
+  void HandleMetricsReply(const network::Message& message);
+  /// Count one delivered message on the per-type counters.
+  void CountMessage(const std::string& type, size_t payload_bytes);
 
   Clock* clock_;
   ReplicatedNodeOptions options_;
+  // Resolved before chain_ (declaration order is initialization order) so
+  // the chain/store/log options can inherit it.
+  obs::Registry* registry_;
   ledger::Blockchain chain_;
   std::unique_ptr<ledger::ChainLog> log_;
   std::unique_ptr<prov::ProvenanceStore> store_;
@@ -206,7 +242,17 @@ class ReplicatedNode {
   uint64_t last_pull_from_ = 0;
   size_t blocks_at_pull_ = 0;
   ProofReply last_proof_;
+  MetricsReply last_metrics_;
   NodeMetrics metrics_;
+
+  // Cached registry cells (resolved once in the constructor). The
+  // per-message-type counters are parallel to the protocol tag table in
+  // the .cc (kTypeCount entries).
+  obs::Counter* msg_total_[8];
+  obs::Counter* msg_bytes_[8];
+  obs::Gauge* catchup_lag_gauge_;
+  obs::Counter* proofs_served_total_;
+  obs::Counter* sync_failures_total_;
 };
 
 }  // namespace replication

@@ -94,7 +94,23 @@ FileKvStore::FileKvStore(std::string dir, FileKvStoreOptions options)
     : dir_(std::move(dir)),
       options_(options),
       segments_(std::make_shared<SegmentSet>()),
-      index_(std::make_shared<Index>()) {}
+      index_(std::make_shared<Index>()) {
+  obs::Registry* registry = options_.registry != nullptr
+                                ? options_.registry
+                                : obs::Registry::Default();
+  write_seconds_ = registry->GetHistogram(
+      "kv_write_seconds", "WriteBatch apply latency (framing + log append)",
+      obs::LatencyBuckets());
+  fsync_seconds_ = registry->GetHistogram(
+      "kv_fsync_seconds", "Segment fsync latency", obs::LatencyBuckets());
+  write_bytes_ = registry->GetHistogram(
+      "kv_write_bytes", "Framed bytes appended per WriteBatch",
+      obs::SizeBuckets());
+  segments_gauge_ =
+      registry->GetGauge("kv_segments", "Log segments (active included)");
+  live_bytes_gauge_ = registry->GetGauge(
+      "kv_live_bytes", "Live key + value bytes (dead log entries excluded)");
+}
 
 FileKvStore::~FileKvStore() = default;
 
@@ -123,6 +139,7 @@ Status FileKvStore::OpenSegment(const std::string& name, bool create) {
   if (fd < 0) return Errno("open", path);
   segments_->fds.push_back(fd);
   segment_names_.push_back(name);
+  segments_gauge_->Set(static_cast<int64_t>(segments_->fds.size()));
   active_size_ = 0;
   if (create) {
     // Make the new directory entry durable before anything points at it.
@@ -292,6 +309,7 @@ Status FileKvStore::RollIfNeeded() {
 
 Status FileKvStore::Write(const WriteBatch& batch) {
   if (batch.empty()) return Status::OK();
+  obs::ScopedTimer write_timer(write_seconds_);
   PROVLEDGER_RETURN_NOT_OK(RollIfNeeded());
   const uint32_t segment = static_cast<uint32_t>(segments_->fds.size() - 1);
 
@@ -346,8 +364,9 @@ Status FileKvStore::Write(const WriteBatch& batch) {
   const std::string& path = segment_names_.back();
   int fd = segments_->fds.back();
   Status written = WriteAllFd(fd, frame.data(), frame.size(), path);
-  if (written.ok() && options_.sync_writes && ::fsync(fd) != 0) {
-    written = Errno("fsync", path);
+  if (written.ok() && options_.sync_writes) {
+    obs::ScopedTimer fsync_timer(fsync_seconds_);
+    if (::fsync(fd) != 0) written = Errno("fsync", path);
   }
   if (!written.ok()) {
     // Drop any partially written frame so the next append re-frames cleanly
@@ -356,6 +375,7 @@ Status FileKvStore::Write(const WriteBatch& batch) {
     return written;
   }
   active_size_ += frame.size();
+  write_bytes_->Observe(static_cast<double>(frame.size()));
 
   // Only after the record is durably framed does the index move.
   Index& index = MutableIndex();
@@ -363,6 +383,7 @@ Status FileKvStore::Write(const WriteBatch& batch) {
     ApplyToIndex(&index, op->key,
                  op->kind == WriteBatch::Op::Kind::kPut, loc);
   }
+  live_bytes_gauge_->Set(static_cast<int64_t>(live_bytes_));
   return Status::OK();
 }
 
@@ -444,6 +465,7 @@ std::unique_ptr<KvIterator> FileKvStore::NewIterator() const {
 
 Status FileKvStore::Sync() {
   if (segments_->fds.empty()) return Status::OK();
+  obs::ScopedTimer fsync_timer(fsync_seconds_);
   if (::fsync(segments_->fds.back()) != 0) {
     return Errno("fsync", segment_names_.back());
   }

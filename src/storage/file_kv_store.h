@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/kv_store.h"
 
 namespace provledger {
@@ -56,6 +57,11 @@ struct FileKvStoreOptions {
   std::function<Bytes(const Bytes&)> compress;
   std::function<Result<Bytes>(const Bytes& compressed, size_t raw_size)>
       decompress;
+  /// Metric registry for write/fsync timers and the segment gauges
+  /// (nullptr = obs::Registry::Default()). Segments are immutable once
+  /// written (no compaction yet), so there is no compaction timer to
+  /// register.
+  obs::Registry* registry = nullptr;
 };
 
 /// \brief Durable ordered KV store over an append-only segmented log.
@@ -151,6 +157,12 @@ class FileKvStore : public KvStore {
   size_t live_bytes_ = 0;
   uint64_t replayed_batches_ = 0;
   bool recovered_torn_write_ = false;
+  // Cached registry cells (resolved once in the constructor).
+  obs::Histogram* write_seconds_;
+  obs::Histogram* fsync_seconds_;
+  obs::Histogram* write_bytes_;
+  obs::Gauge* segments_gauge_;
+  obs::Gauge* live_bytes_gauge_;
 };
 
 }  // namespace storage

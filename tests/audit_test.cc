@@ -15,6 +15,7 @@
 #include "audit/auditor.h"
 #include "audit/lineage_proof.h"
 #include "common/fileio.h"
+#include "obs/metrics.h"
 #include "ledger/chain_log.h"
 #include "prov/ingest_pipeline.h"
 #include "prov/store.h"
@@ -341,6 +342,54 @@ TEST_F(AuditorFixture, LocalizesLiveTamperToExactBlockAndTx) {
   EXPECT_EQ(auditor.findings_total(), report.findings.size());
   EXPECT_EQ(auditor.TakeFindings().size(), report.findings.size());
   EXPECT_TRUE(auditor.TakeFindings().empty());  // drained
+}
+
+// Regression: watching the auditor's lag must be a pure read. The first
+// monitoring hook drained state a dashboard poll must never touch —
+// lag_blocks() now reads only the published chain view and the atomic
+// cursor, so polling it drains no findings and takes no lock.
+TEST_F(AuditorFixture, LagObservableWithoutDrainingFindings) {
+  Ingest(10, 3);
+  ASSERT_TRUE(testutil::TamperChainTx(&chain_, 2, 1).ok());
+
+  obs::Registry registry;
+  ContinuousAuditorOptions options;
+  options.max_blocks_per_pass = 4;
+  options.registry = &registry;
+  ContinuousAuditor auditor(&chain_, &store_, options);
+
+  // Nothing audited yet: the whole chain is lag.
+  EXPECT_EQ(auditor.lag_blocks(), chain_.height());
+
+  AuditReport first = auditor.RunPass();
+  ASSERT_FALSE(first.clean());
+  const uint64_t expected_lag = chain_.height() - 4;
+  // Poll the lag repeatedly — a monitoring loop, not a consumer.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(auditor.lag_blocks(), expected_lag);
+  }
+  // The registry gauge and findings counter mirror the pass.
+  EXPECT_EQ(registry.GetGauge("audit_lag_blocks", "")->value(),
+            static_cast<int64_t>(expected_lag));
+  EXPECT_EQ(registry.GetCounter("audit_findings_total", "")->value(),
+            first.findings.size());
+  // Every finding is still there for the real consumer to take.
+  EXPECT_EQ(auditor.TakeFindings().size(), first.findings.size());
+
+  size_t passes = 0;
+  while (auditor.lag_blocks() > 0) {
+    (void)auditor.RunPass();  // only the lag converging to 0 matters here
+    ASSERT_LT(++passes, 100u);
+  }
+  EXPECT_EQ(auditor.lag_blocks(), 0u);
+  EXPECT_EQ(registry.GetGauge("audit_lag_blocks", "")->value(), 0);
+
+  // New blocks re-open the gap without any auditor involvement.
+  std::vector<prov::ProvenanceRecord> extra;
+  extra.push_back(Rec("lag-x0", "s0", "agent", 900));
+  extra.push_back(Rec("lag-x1", "s1", "agent", 901));
+  ASSERT_TRUE(store_.AnchorBatch(extra).ok());
+  EXPECT_EQ(auditor.lag_blocks(), 1u);
 }
 
 TEST_F(AuditorFixture, RewindReauditsAndChainOnlyModeWorks) {

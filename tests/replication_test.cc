@@ -492,6 +492,46 @@ TEST(ReplicationTest, LineageProofServedOverWire) {
   EXPECT_TRUE(requester->last_proof().proof.empty());
 }
 
+TEST(ReplicationTest, EveryNodeAnswersMetricsOverWire) {
+  ClusterOptions options;
+  options.num_nodes = 4;
+  options.seed = 23;
+  auto cluster = Cluster::Create(options);
+  ASSERT_TRUE(cluster.ok());
+  Ingest(cluster->get(), "met", 24, 6);
+  ASSERT_TRUE((*cluster)->Converged());
+
+  // Every node serves repl/metrics; the body is that node's own stack.
+  for (network::NodeId target = 0; target < 4; ++target) {
+    SCOPED_TRACE(target);
+    ReplicatedNode* asker = (*cluster)->node((target + 1) % 4);
+    asker->RequestMetrics(target);
+    (*cluster)->RunUntilIdle();
+    ASSERT_TRUE(asker->last_metrics().received);
+    const std::string& body = asker->last_metrics().body;
+    EXPECT_NE(body.find("chain_height 4"), std::string::npos) << body;
+    EXPECT_NE(body.find("# TYPE chain_append_seconds histogram"),
+              std::string::npos);
+    // One registry per node: the serve we just triggered is the only
+    // repl/metrics message this node has ever counted — a shared registry
+    // would show the whole cluster's scrapes here.
+    EXPECT_NE(body.find("repl_messages_total{type=\"metrics\"} 1"),
+              std::string::npos);
+    EXPECT_EQ((*cluster)->node(target)->registry(),
+              (*cluster)->registry(target));
+  }
+
+  // A JSON scrape carries the same registry in the bench-JSON shape.
+  ReplicatedNode* asker = (*cluster)->node(0);
+  asker->RequestMetrics(1, obs::ExpositionFormat::kJson);
+  (*cluster)->RunUntilIdle();
+  ASSERT_TRUE(asker->last_metrics().received);
+  const std::string& json = asker->last_metrics().body;
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"name\": \"chain_height\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace replication
 }  // namespace provledger

@@ -26,6 +26,12 @@
 //                     only other common/ headers (and system headers),
 //                     never prov/, ledger/, storage/, ... — keeps the
 //                     dependency graph acyclic by construction.
+//   metric-name       Metric names registered through obs::Registry
+//                     (GetCounter/GetGauge/GetHistogram) in src/ or tools/
+//                     follow the exposition naming contract: snake_case,
+//                     counters end in _total, histograms in _seconds or
+//                     _bytes. Names passed as variables are not checkable
+//                     and are skipped.
 //
 // Matching is done on comment- and string-stripped text, so prose about
 // fsync or `new` never trips a rule. Any rule can be suppressed on one
@@ -283,6 +289,45 @@ const std::regex kPtrWrapRe(R"(_ptr\s*<[^;]*>\s*\(\s*$)");
 const std::regex kFuzzIoRe(R"(\b(fsync|fdatasync|WriteFileAtomic)\s*\()");
 const std::regex kQuotedIncludeRe(R"(^\s*#\s*include\s+\"([^\"]+)\")");
 const std::regex kThreadContractRe(R"(Thread (safety|contract):)");
+// A registry call site (matched on stripped code, so prose never trips it).
+const std::regex kMetricCallRe(R"(\bGet(Counter|Gauge|Histogram)\s*\()");
+// The name extraction runs on the RAW line (the stripper blanks literals
+// out of `code`) and requires the literal directly after the open paren —
+// a variable first argument, or a mere declaration, has no literal there
+// and is skipped. clang-format may wrap the name to the next line, hence
+// the open-paren-at-EOL + leading-literal pair.
+const std::regex kMetricNameSameLineRe(
+    R"re(\bGet(Counter|Gauge|Histogram)\s*\(\s*"([^"]*)")re");
+const std::regex kMetricCallOpenRe(
+    R"(\bGet(Counter|Gauge|Histogram)\s*\(\s*$)");
+const std::regex kLeadingStringRe(R"re(^\s*"([^"]*)")re");
+const std::regex kSnakeCaseRe(R"(^[a-z][a-z0-9_]*$)");
+
+// Check one registered metric name against the naming contract. `kind` is
+// the capture from kMetricCallRe: Counter, Gauge, or Histogram.
+void CheckMetricName(const std::string& rel, size_t line_no,
+                     const std::string& kind, const std::string& name,
+                     std::vector<Violation>* out) {
+  if (!std::regex_match(name, kSnakeCaseRe)) {
+    out->push_back({rel, line_no, "metric-name",
+                    "metric name \"" + name +
+                        "\" is not snake_case ([a-z][a-z0-9_]*)"});
+    return;
+  }
+  auto ends_with = [&name](const char* suffix) {
+    const size_t n = std::char_traits<char>::length(suffix);
+    return name.size() >= n && name.compare(name.size() - n, n, suffix) == 0;
+  };
+  if (kind == "Counter" && !ends_with("_total")) {
+    out->push_back({rel, line_no, "metric-name",
+                    "counter name \"" + name + "\" must end in _total"});
+  } else if (kind == "Histogram" && !ends_with("_seconds") &&
+             !ends_with("_bytes")) {
+    out->push_back({rel, line_no, "metric-name",
+                    "histogram name \"" + name +
+                        "\" must end in _seconds or _bytes"});
+  }
+}
 
 void LintFile(const std::string& rel, const std::vector<SourceLine>& lines,
               std::vector<Violation>* out) {
@@ -339,6 +384,23 @@ void LintFile(const std::string& rel, const std::vector<SourceLine>& lines,
         out->push_back({rel, i + 1, "naked-new",
                         "naked `delete` expression: ownership belongs in a "
                         "smart pointer"});
+      }
+    }
+
+    if (fc.src_or_tools && std::regex_search(code, kMetricCallRe) &&
+        !IsAllowed(lines, i, "metric-name", out, rel)) {
+      std::smatch name_match;
+      if (std::regex_search(lines[i].raw, name_match,
+                            kMetricNameSameLineRe)) {
+        CheckMetricName(rel, i + 1, name_match[1], name_match[2], out);
+      } else if (std::regex_search(lines[i].raw, name_match,
+                                   kMetricCallOpenRe)) {
+        const std::string kind = name_match[1];
+        if (i + 1 < lines.size() &&
+            std::regex_search(lines[i + 1].raw, name_match,
+                              kLeadingStringRe)) {
+          CheckMetricName(rel, i + 1, kind, name_match[1], out);
+        }
       }
     }
 
